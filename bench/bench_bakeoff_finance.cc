@@ -1,0 +1,132 @@
+// §4.2 bakeoff, financial application (order book trading).
+//
+// Reproduces the paper's DBMS-bakeoff table for the finance queries: tuple
+// throughput per engine on the synthetic TotalView-style order-book stream.
+//   reeval    — full re-evaluation per delta (PostgreSQL / HSQLDB / DBMS 'A'
+//               architecture class)
+//   ivm1      — first-order IVM with indexed delta queries (STREAM /
+//               commercial stream processor 'B' class)
+//   toaster-i — DBToaster's recursive compilation, trigger interpreter
+//   toaster-c — DBToaster's generated C++ (dbtc, compiled into this binary)
+//
+// Expected shape (the paper claims 1–3 orders of magnitude): toaster-c >>
+// toaster-i > ivm1 >> reeval; VWAP is n/a for ivm1 (nested aggregates) and
+// reeval collapses on it.
+#include "bench/bench_common.h"
+#include "bench/gen/vwap.hpp"
+#include "bench/gen/sobi_bids.hpp"
+#include "bench/gen/mm.hpp"
+#include "bench/gen/best_bid.hpp"
+#include "src/workload/orderbook.h"
+
+namespace dbtoaster::bench {
+namespace {
+
+struct QuerySpec {
+  std::string name;
+  std::string sql;
+  std::function<std::pair<size_t, double>(const std::vector<Event>&, double)>
+      compiled_run;
+};
+
+void Run() {
+  Catalog catalog = workload::OrderBookCatalog();
+  workload::OrderBookGenerator gen;
+  std::vector<Event> events = gen.Generate(400000);
+  const double kBudget = 2.0;  // seconds per (engine, query) cell
+
+  std::vector<QuerySpec> queries = {
+      {"vwap", workload::VwapQuery(),
+       [](const std::vector<Event>& ev, double b) {
+         dbtoaster_gen::vwap_Program p;
+         return TimedCompiledRun(ev, b, &p);
+       }},
+      {"sobi_bids", workload::SobiBidLeg(),
+       [](const std::vector<Event>& ev, double b) {
+         dbtoaster_gen::sobi_bids_Program p;
+         return TimedCompiledRun(ev, b, &p);
+       }},
+      {"market_maker", workload::MarketMakerQuery(),
+       [](const std::vector<Event>& ev, double b) {
+         dbtoaster_gen::mm_Program p;
+         return TimedCompiledRun(ev, b, &p);
+       }},
+      {"best_bid", workload::BestBidQuery(),
+       [](const std::vector<Event>& ev, double b) {
+         dbtoaster_gen::best_bid_Program p;
+         return TimedCompiledRun(ev, b, &p);
+       }},
+  };
+
+  PrintHeader("finance bakeoff (order book stream)");
+  for (const QuerySpec& q : queries) {
+    // reeval
+    {
+      baseline::ReevalEngine engine(catalog, /*eager=*/true);
+      RunResult r{.engine = "reeval", .query = q.name};
+      if (engine.AddQuery("q", q.sql).ok()) {
+        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
+          (void)engine.OnEvent(ev);
+        });
+        r.events = n;
+        r.seconds = s;
+        r.state_bytes = engine.StateBytes();
+      } else {
+        r.supported = false;
+      }
+      PrintRow(r);
+    }
+    // ivm1
+    {
+      baseline::Ivm1Engine engine(catalog);
+      RunResult r{.engine = "ivm1", .query = q.name};
+      if (engine.AddQuery("q", q.sql).ok()) {
+        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
+          (void)engine.OnEvent(ev);
+        });
+        r.events = n;
+        r.seconds = s;
+        r.state_bytes = engine.StateBytes();
+      } else {
+        r.supported = false;
+      }
+      PrintRow(r);
+    }
+    // toaster interpreted
+    {
+      auto program = compiler::CompileQuery(catalog, "q", q.sql);
+      RunResult r{.engine = "toaster-i", .query = q.name};
+      if (program.ok()) {
+        runtime::Engine engine(std::move(program).value());
+        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
+          (void)engine.OnEvent(ev);
+        });
+        r.events = n;
+        r.seconds = s;
+        r.state_bytes = engine.MapMemoryBytes();
+      } else {
+        r.supported = false;
+      }
+      PrintRow(r);
+    }
+    // toaster compiled
+    {
+      RunResult r{.engine = "toaster-c", .query = q.name};
+      auto [n, s] = q.compiled_run(events, kBudget);
+      r.events = n;
+      r.seconds = s;
+      PrintRow(r);
+    }
+  }
+  std::printf(
+      "\nshape check: expect toaster-c >> toaster-i > ivm1 >> reeval;\n"
+      "vwap: ivm1 n/a (nested aggregates need recursive compilation).\n");
+}
+
+}  // namespace
+}  // namespace dbtoaster::bench
+
+int main() {
+  dbtoaster::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared helpers for the bakeoff benchmark binaries: engine adapters,
+// time-budgeted runs and table printing.
+#ifndef DBTOASTER_BENCH_BENCH_COMMON_H_
+#define DBTOASTER_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/ivm1_engine.h"
+#include "src/baseline/reeval_engine.h"
+#include "src/codegen/dbtoaster_runtime.h"
+#include "src/compiler/compile.h"
+#include "src/runtime/engine.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::bench {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  std::string engine;
+  std::string query;
+  size_t events = 0;
+  double seconds = 0;
+  size_t state_bytes = 0;
+  bool supported = true;
+
+  double EventsPerSec() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+  }
+};
+
+/// Process events through `step` until the stream ends or `budget_s`
+/// elapses; returns (#events, seconds). Checks the clock every 64 events so
+/// slow engines stop promptly and fast engines aren't timer-bound.
+template <typename Step>
+std::pair<size_t, double> TimedRun(const std::vector<Event>& events,
+                                   double budget_s, Step&& step) {
+  double start = NowSeconds();
+  size_t i = 0;
+  for (; i < events.size(); ++i) {
+    step(events[i]);
+    if ((i & 63u) == 63u && NowSeconds() - start > budget_s) {
+      ++i;
+      break;
+    }
+  }
+  return {i, NowSeconds() - start};
+}
+
+/// Convert a storage event tuple to the generated-code value vector.
+inline std::vector<dbt::Value> ToDbtValues(const Row& row) {
+  std::vector<dbt::Value> out;
+  out.reserve(row.size());
+  for (const Value& v : row) {
+    if (v.is_string()) {
+      out.emplace_back(v.AsString());
+    } else if (v.is_double()) {
+      out.emplace_back(v.AsDouble());
+    } else {
+      out.emplace_back(v.AsInt());
+    }
+  }
+  return out;
+}
+
+/// Drive a dbtc-generated Program with storage events.
+template <typename GeneratedProgram>
+std::pair<size_t, double> TimedCompiledRun(const std::vector<Event>& events,
+                                           double budget_s,
+                                           GeneratedProgram* program) {
+  return TimedRun(events, budget_s, [&](const Event& ev) {
+    program->on_event(ev.relation, ev.kind == EventKind::kInsert,
+                      ToDbtValues(ev.tuple));
+  });
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("%-14s %-12s %12s %10s %14s %14s\n", "query", "engine",
+              "events", "seconds", "events/sec", "state KiB");
+  std::printf("%s\n", std::string(82, '-').c_str());
+}
+
+inline void PrintRow(const RunResult& r) {
+  if (!r.supported) {
+    std::printf("%-14s %-12s %12s %10s %14s %14s\n", r.query.c_str(),
+                r.engine.c_str(), "-", "-", "n/a", "-");
+    return;
+  }
+  std::printf("%-14s %-12s %12zu %10.3f %14.0f %14.1f\n", r.query.c_str(),
+              r.engine.c_str(), r.events, r.seconds, r.EventsPerSec(),
+              static_cast<double>(r.state_bytes) / 1024.0);
+}
+
+}  // namespace dbtoaster::bench
+
+#endif  // DBTOASTER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,34 @@
+// Figure 2 reproduction: prints the recursive compilation table for the
+// paper's running example `select sum(A*D) from R, S, T where R.B = S.B and
+// S.C = T.C` — the query being compiled at each (level, event), the
+// generated delta code, the maps it uses, and their definitions.
+#include <cstdio>
+
+#include "src/catalog/catalog.h"
+#include "src/compiler/compile.h"
+
+int main() {
+  using namespace dbtoaster;
+  Catalog catalog;
+  (void)catalog.AddRelation(
+      Schema("R", {{"A", Type::kInt}, {"B", Type::kInt}}));
+  (void)catalog.AddRelation(
+      Schema("S", {{"B", Type::kInt}, {"C", Type::kInt}}));
+  (void)catalog.AddRelation(
+      Schema("T", {{"C", Type::kInt}, {"D", Type::kInt}}));
+
+  auto program = compiler::CompileQuery(
+      catalog, "q",
+      "select sum(R.A * T.D) from R, S, T where R.B = S.B and S.C = T.C");
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Figure 2: recursive compilation of sum(A*D) over R,S,T ==\n\n");
+  std::printf("%s\n", program.value().TraceTable().c_str());
+  std::printf("map correspondence with the paper:\n"
+              "  q  = q        m1 = qD[b]     m2 = qA[b]\n"
+              "  m3 = qD[c]    m4 = qA[c]     m5 = q1[b,c]\n\n");
+  std::printf("%s\n", program.value().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// §4.2 profiling: "detailed profiling of DBToaster's compiled code breaking
+// down its overheads for each map" — the runtime profiler's per-statement
+// execution counts, update volumes and time shares on the finance workload.
+#include "bench/bench_common.h"
+#include "src/workload/orderbook.h"
+
+namespace dbtoaster::bench {
+namespace {
+
+void Run() {
+  Catalog catalog = workload::OrderBookCatalog();
+  compiler::Compiler compiler(catalog);
+  (void)compiler.AddQuery("vwap", workload::VwapQuery());
+  (void)compiler.AddQuery("mm", workload::MarketMakerQuery());
+  (void)compiler.AddQuery("best_bid", workload::BestBidQuery());
+  auto program = compiler.Compile();
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return;
+  }
+  runtime::Engine engine(std::move(program).value());
+
+  workload::OrderBookGenerator gen;
+  std::vector<Event> events = gen.Generate(30000);
+  for (const Event& ev : events) (void)engine.OnEvent(ev);
+
+  std::printf("== per-map / per-statement overhead breakdown ==\n");
+  std::printf("%s\n", engine.profile().ToString().c_str());
+
+  std::printf("map sizes:\n");
+  for (const auto& decl : engine.program().maps) {
+    const auto* vm = engine.value_map(decl.name);
+    const auto* em = engine.extreme_map(decl.name);
+    std::printf("  %-16s %8zu entries   %s\n", decl.name.c_str(),
+                vm != nullptr ? vm->size() : (em != nullptr ? em->size() : 0),
+                decl.ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace dbtoaster::bench
+
+int main() {
+  dbtoaster::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Algorithmic-trading example (§4: order books in equities trading).
+//
+// Maintains the paper's finance queries over a synthetic TotalView-style
+// limit order book stream: VWAP (nested correlated aggregates), the SOBI
+// signal legs, market-maker detection, and best bid/ask. Prints live values
+// during the stream and the runtime profiler report at the end.
+//
+// Build & run:  ./build/examples/orderbook_vwap [num_events]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/compiler/compile.h"
+#include "src/runtime/engine.h"
+#include "src/workload/orderbook.h"
+
+using namespace dbtoaster;
+
+int main(int argc, char** argv) {
+  size_t num_events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+
+  Catalog catalog = workload::OrderBookCatalog();
+  compiler::Compiler compiler(catalog);
+  Status s = compiler.AddQuery("vwap", workload::VwapQuery());
+  if (s.ok()) s = compiler.AddQuery("bid_leg", workload::SobiBidLeg());
+  if (s.ok()) s = compiler.AddQuery("ask_leg", workload::SobiAskLeg());
+  if (s.ok()) s = compiler.AddQuery("mm", workload::MarketMakerQuery());
+  if (s.ok()) s = compiler.AddQuery("best_bid", workload::BestBidQuery());
+  if (s.ok()) s = compiler.AddQuery("best_ask", workload::BestAskQuery());
+  if (!s.ok()) {
+    std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto program = compiler.Compile();
+  if (!program.ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled %zu queries into %zu maps, %zu triggers\n",
+              program.value().views.size(), program.value().maps.size(),
+              program.value().triggers.size());
+  runtime::Engine engine(std::move(program).value());
+
+  workload::OrderBookGenerator gen;
+  std::vector<Event> events = gen.Generate(num_events);
+
+  size_t report_every = events.size() / 5 + 1;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status st = engine.OnEvent(events[i]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "event %zu: %s\n", i, st.ToString().c_str());
+      return 1;
+    }
+    if (i % report_every == 0 || i + 1 == events.size()) {
+      auto vwap = engine.ViewScalar("vwap");
+      auto bb = engine.ViewScalar("best_bid");
+      auto ba = engine.ViewScalar("best_ask");
+      auto bid = engine.View("bid_leg");
+      auto ask = engine.View("ask_leg");
+      double signal = 0;
+      if (bid.ok() && ask.ok() && !bid.value().rows.empty() &&
+          !ask.value().rows.empty()) {
+        const Row& b = bid.value().rows[0].first;
+        const Row& a = ask.value().rows[0].first;
+        // SOBI: distance of VWAP-weighted bid/ask midpoints.
+        double bvwap = b[1].AsDouble() == 0 ? 0 : b[0].AsDouble() / b[1].AsDouble();
+        double avwap = a[1].AsDouble() == 0 ? 0 : a[0].AsDouble() / a[1].AsDouble();
+        signal = bvwap - avwap;
+      }
+      std::printf(
+          "event %8zu | book %5zu/%-5zu | vwap=%-14s best_bid=%-7s "
+          "best_ask=%-7s sobi_signal=%.2f\n",
+          i, gen.live_bids(), gen.live_asks(),
+          vwap.ok() ? vwap.value().ToString().c_str() : "?",
+          bb.ok() ? bb.value().ToString().c_str() : "?",
+          ba.ok() ? ba.value().ToString().c_str() : "?", signal);
+    }
+  }
+
+  auto mm = engine.View("mm");
+  if (mm.ok()) {
+    std::printf("\nmarket-maker net posted volume by broker:\n%s",
+                mm.value().ToString().c_str());
+  }
+
+  std::printf("\n== profiler ==\n%s", engine.profile().ToString().c_str());
+  std::printf("map entries: %zu, map bytes: %zu\n", engine.TotalMapEntries(),
+              engine.MapMemoryBytes());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/baseline/reeval_engine.h"
+
+#include "src/sql/parser.h"
+
+namespace dbtoaster::baseline {
+
+ReevalEngine::ReevalEngine(const Catalog& catalog, bool eager)
+    : catalog_(catalog), db_(catalog), eager_(eager) {}
+
+Status ReevalEngine::AddQuery(const std::string& name,
+                              const std::string& sql) {
+  if (queries_.count(name)) {
+    return Status::InvalidArgument("duplicate query name: " + name);
+  }
+  DBT_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                       sql::ParseSelect(sql));
+  DBT_ASSIGN_OR_RETURN(std::shared_ptr<exec::BoundSelect> bound,
+                       exec::Bind(*stmt, catalog_));
+  queries_[name] = std::move(bound);
+  return Status::OK();
+}
+
+Status ReevalEngine::OnEvent(const Event& event) {
+  DBT_RETURN_IF_ERROR(db_.Apply(event));
+  if (!eager_) return Status::OK();
+  exec::Executor ex(&db_);
+  for (const auto& [name, bound] : queries_) {
+    DBT_ASSIGN_OR_RETURN(exec::QueryResult r, ex.Run(*bound));
+    last_results_[name] = std::move(r);
+  }
+  return Status::OK();
+}
+
+Result<exec::QueryResult> ReevalEngine::View(const std::string& name) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  if (eager_) {
+    auto rit = last_results_.find(name);
+    if (rit != last_results_.end()) return rit->second;
+  }
+  exec::Executor ex(&db_);
+  return ex.Run(*it->second);
+}
+
+size_t ReevalEngine::StateBytes() const { return db_.MemoryBytes(); }
+
+}  // namespace dbtoaster::baseline

@@ -1,0 +1,45 @@
+// Full re-evaluation baseline: the "query plan interpreter" architecture of
+// conventional DBMSes (PostgreSQL / HSQLDB / commercial DBMS 'A' in the
+// paper's bakeoff), implemented honestly on our in-memory substrate — every
+// event updates the base tables and the standing query is re-run through the
+// Volcano executor on read (or per event in eager mode).
+#ifndef DBTOASTER_BASELINE_REEVAL_ENGINE_H_
+#define DBTOASTER_BASELINE_REEVAL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/baseline/view_engine.h"
+#include "src/catalog/catalog.h"
+#include "src/exec/binder.h"
+
+namespace dbtoaster::baseline {
+
+class ReevalEngine : public ViewEngine {
+ public:
+  /// `eager`: re-evaluate all queries on every event (what a trigger-driven
+  /// DBMS view refresh does; this is the bakeoff configuration). Non-eager
+  /// evaluates lazily on View().
+  explicit ReevalEngine(const Catalog& catalog, bool eager = true);
+
+  Status AddQuery(const std::string& name, const std::string& sql);
+
+  std::string Name() const override { return "reeval"; }
+  Status OnEvent(const Event& event) override;
+  Result<exec::QueryResult> View(const std::string& name) override;
+  size_t StateBytes() const override;
+
+  Database& database() { return db_; }
+
+ private:
+  Catalog catalog_;
+  Database db_;
+  bool eager_;
+  std::map<std::string, std::shared_ptr<exec::BoundSelect>> queries_;
+  std::map<std::string, exec::QueryResult> last_results_;
+};
+
+}  // namespace dbtoaster::baseline
+
+#endif  // DBTOASTER_BASELINE_REEVAL_ENGINE_H_

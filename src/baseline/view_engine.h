@@ -1,0 +1,36 @@
+// Common interface for the engines compared in the §4.2 bakeoff: full
+// re-evaluation (DBMS-class), first-order IVM (stream-engine-class), and the
+// DBToaster runtime (runtime::Engine gets a thin adapter in bench code).
+#ifndef DBTOASTER_BASELINE_VIEW_ENGINE_H_
+#define DBTOASTER_BASELINE_VIEW_ENGINE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/exec/executor.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::baseline {
+
+/// A continuously-maintained standing-query engine.
+class ViewEngine {
+ public:
+  virtual ~ViewEngine() = default;
+
+  /// Short label for bench tables ("reeval", "ivm1", ...).
+  virtual std::string Name() const = 0;
+
+  /// Process one delta.
+  virtual Status OnEvent(const Event& event) = 0;
+
+  /// Current result of the registered query `name`.
+  virtual Result<exec::QueryResult> View(const std::string& name) = 0;
+
+  /// Retained bytes attributable to the engine's state (tables, indexes,
+  /// maps), for the memory bench.
+  virtual size_t StateBytes() const = 0;
+};
+
+}  // namespace dbtoaster::baseline
+
+#endif  // DBTOASTER_BASELINE_VIEW_ENGINE_H_

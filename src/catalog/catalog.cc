@@ -1,0 +1,70 @@
+#include "src/catalog/catalog.h"
+
+#include "src/common/str.h"
+
+namespace dbtoaster {
+
+Schema::Schema(std::string name,
+               std::vector<std::pair<std::string, Type>> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& column) const {
+  std::string up = ToUpper(column);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (ToUpper(columns_[i].first) == up) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string s = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].first;
+    s += " ";
+    s += TypeName(columns_[i].second);
+  }
+  s += ")";
+  return s;
+}
+
+Status Catalog::AddRelation(Schema schema) {
+  std::string key = ToUpper(schema.name());
+  if (by_name_.count(key)) {
+    return Status::InvalidArgument("duplicate relation: " + schema.name());
+  }
+  // Column names must be unique within the relation.
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    for (size_t j = i + 1; j < schema.num_columns(); ++j) {
+      if (ToUpper(schema.column_name(i)) == ToUpper(schema.column_name(j))) {
+        return Status::InvalidArgument(
+            "duplicate column '" + schema.column_name(i) + "' in relation " +
+            schema.name());
+      }
+    }
+  }
+  by_name_[key] = relations_.size();
+  relations_.push_back(std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::AddRelation(const sql::CreateTableStmt& stmt) {
+  return AddRelation(Schema(stmt.name, stmt.columns));
+}
+
+const Schema* Catalog::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(ToUpper(name));
+  if (it == by_name_.end()) return nullptr;
+  return &relations_[it->second];
+}
+
+std::string Catalog::ToString() const {
+  std::string s;
+  for (const Schema& r : relations_) {
+    s += r.ToString();
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace dbtoaster

@@ -1,0 +1,67 @@
+// Catalog: relation schemas and name resolution.
+#ifndef DBTOASTER_CATALOG_CATALOG_H_
+#define DBTOASTER_CATALOG_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster {
+
+/// Schema of one relation.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name,
+         std::vector<std::pair<std::string, Type>> columns);
+
+  const std::string& name() const { return name_; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::string& column_name(size_t i) const { return columns_[i].first; }
+  Type column_type(size_t i) const { return columns_[i].second; }
+  const std::vector<std::pair<std::string, Type>>& columns() const {
+    return columns_;
+  }
+
+  /// Index of `column` (case-insensitive), or nullopt.
+  std::optional<size_t> FindColumn(const std::string& column) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, Type>> columns_;
+};
+
+/// All relations known to a compilation / execution session.
+class Catalog {
+ public:
+  /// Register a relation; fails on duplicate names (case-insensitive).
+  Status AddRelation(Schema schema);
+
+  /// Convenience: register from a parsed CREATE TABLE.
+  Status AddRelation(const sql::CreateTableStmt& stmt);
+
+  const Schema* FindRelation(const std::string& name) const;
+  bool HasRelation(const std::string& name) const {
+    return FindRelation(name) != nullptr;
+  }
+
+  /// All schemas in registration order.
+  const std::vector<Schema>& relations() const { return relations_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Schema> relations_;
+  std::map<std::string, size_t> by_name_;  ///< upper-cased name -> index
+};
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_CATALOG_CATALOG_H_

@@ -1,0 +1,1034 @@
+#include "src/codegen/cpp_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/common/str.h"
+#include "src/ring/expr.h"
+
+namespace dbtoaster::codegen {
+
+using compiler::MapDecl;
+using compiler::Program;
+using compiler::Statement;
+using compiler::Trigger;
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+namespace {
+
+const char* CppType(Type t) {
+  switch (t) {
+    case Type::kInt:
+    case Type::kDate:
+      return "int64_t";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "std::string";
+  }
+  return "int64_t";
+}
+
+std::string KeyType(const std::vector<Type>& key_types) {
+  std::vector<std::string> parts;
+  for (Type t : key_types) parts.emplace_back(CppType(t));
+  return "std::tuple<" + Join(parts, ", ") + ">";
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ValueLiteral(const Value& v) {
+  if (v.is_string()) return EscapeString(v.AsString());
+  if (v.is_double()) return StrFormat("%.17g", v.AsDouble());
+  return StrFormat("INT64_C(%lld)", static_cast<long long>(v.AsInt()));
+}
+
+/// Per-program code generation context.
+class Generator {
+ public:
+  Generator(const Program& program, const GenOptions& options)
+      : p_(program), opts_(options) {
+    for (const MapDecl& m : p_.maps) decls_[m.name] = &m;
+    // Base relation maps: any relation whose trigger exists or that appears
+    // in a statement RHS / init definition.
+    for (const Trigger& t : p_.triggers) rels_.insert(t.relation);
+  }
+
+  Result<std::string> Run();
+
+ private:
+  struct Env {
+    /// variable -> C++ expression (already typed).
+    std::map<std::string, std::string> vars;
+    /// "true"/"false": may map initialiser results be cached?
+    std::string store_flag = "false";
+  };
+
+  const Schema* RelSchema(const std::string& name) const {
+    return p_.catalog.FindRelation(name);
+  }
+
+  std::string RelMapName(const std::string& rel) const {
+    return "rel_" + rel + "_";
+  }
+
+  std::string Fresh(const std::string& base) {
+    return StrFormat("%s%d", base.c_str(), ++temp_);
+  }
+
+  std::string Indent() const { return std::string(indent_ * 2, ' '); }
+  void Line(std::string* out, const std::string& s) {
+    *out += Indent() + s + "\n";
+  }
+
+  // ---- terms -------------------------------------------------------------
+
+  Result<std::string> TermCpp(const TermPtr& t, const Env& env) {
+    switch (t->kind) {
+      case Term::Kind::kConst:
+        return ValueLiteral(t->constant);
+      case Term::Kind::kVar: {
+        auto it = env.vars.find(t->var);
+        if (it == env.vars.end()) {
+          return Status::Internal("codegen: unbound variable " + t->var);
+        }
+        return it->second;
+      }
+      case Term::Kind::kMapRead: {
+        std::vector<std::string> keys;
+        for (const TermPtr& a : t->args) {
+          DBT_ASSIGN_OR_RETURN(std::string k, TermCpp(a, env));
+          keys.push_back(std::move(k));
+        }
+        const MapDecl* decl = decls_.count(t->map_name)
+                                  ? decls_.at(t->map_name)
+                                  : nullptr;
+        if (decl == nullptr) {
+          return Status::Internal("codegen: unknown map " + t->map_name);
+        }
+        std::string key = "std::make_tuple(" + Join(keys, ", ") + ")";
+        if (decl->needs_init) {
+          return StrFormat("%s_read(%s, %s)", decl->name.c_str(), key.c_str(),
+                           env.store_flag.c_str());
+        }
+        return StrFormat("%s_.get(%s)", decl->name.c_str(), key.c_str());
+      }
+      case Term::Kind::kAdd:
+      case Term::Kind::kSub:
+      case Term::Kind::kMul: {
+        DBT_ASSIGN_OR_RETURN(std::string l, TermCpp(t->lhs, env));
+        DBT_ASSIGN_OR_RETURN(std::string r, TermCpp(t->rhs, env));
+        const char* op = t->kind == Term::Kind::kAdd   ? "+"
+                         : t->kind == Term::Kind::kSub ? "-"
+                                                       : "*";
+        return "(" + l + " " + op + " " + r + ")";
+      }
+      case Term::Kind::kDiv: {
+        DBT_ASSIGN_OR_RETURN(std::string l, TermCpp(t->lhs, env));
+        DBT_ASSIGN_OR_RETURN(std::string r, TermCpp(t->rhs, env));
+        return "dbt::SafeDiv(static_cast<double>(" + l +
+               "), static_cast<double>(" + r + "))";
+      }
+    }
+    return Status::Internal("codegen: unhandled term kind");
+  }
+
+  static const char* CmpOp(sql::BinOp op) {
+    switch (op) {
+      case sql::BinOp::kEq: return "==";
+      case sql::BinOp::kNeq: return "!=";
+      case sql::BinOp::kLt: return "<";
+      case sql::BinOp::kLe: return "<=";
+      case sql::BinOp::kGt: return ">";
+      case sql::BinOp::kGe: return ">=";
+      default: return "==";
+    }
+  }
+
+  // ---- expression loops ----------------------------------------------------
+
+  /// Greedy factor ordering (mirrors the interpreter's EvalProd).
+  std::vector<ExprPtr> OrderFactors(const std::vector<ExprPtr>& factors,
+                                    const Env& env) {
+    std::set<std::string> bound;
+    for (const auto& [v, cpp] : env.vars) bound.insert(v);
+    std::vector<bool> placed(factors.size(), false);
+    std::vector<ExprPtr> order;
+    for (size_t step = 0; step < factors.size(); ++step) {
+      int best = -1, best_score = -1;
+      for (size_t i = 0; i < factors.size(); ++i) {
+        if (placed[i]) continue;
+        const ExprPtr& f = factors[i];
+        bool inputs_ok = true;
+        for (const std::string& v : f->InVars()) {
+          if (!bound.count(v)) {
+            inputs_ok = false;
+            break;
+          }
+        }
+        if (!inputs_ok) continue;
+        bool outputs_bound = true;
+        for (const std::string& v : f->OutVars()) {
+          if (!bound.count(v)) {
+            outputs_bound = false;
+            break;
+          }
+        }
+        int score;
+        if (outputs_bound) {
+          score = 100;
+        } else if (f->kind == ring::ExprKind::kLift) {
+          score = 90;
+        } else if (f->kind == ring::ExprKind::kMapRef ||
+                   f->kind == ring::ExprKind::kRel) {
+          int bound_args = 0;
+          for (const std::string& v : f->args) {
+            if (bound.count(v)) ++bound_args;
+          }
+          score = 50 + bound_args;
+        } else {
+          score = 40;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      // If nothing is placeable we fall back to declaration order; the
+      // emitter will fail with a precise message when a variable is unbound.
+      if (best < 0) {
+        for (size_t i = 0; i < factors.size(); ++i) {
+          if (!placed[i]) {
+            best = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      placed[static_cast<size_t>(best)] = true;
+      order.push_back(factors[static_cast<size_t>(best)]);
+      for (const std::string& v :
+           factors[static_cast<size_t>(best)]->OutVars()) {
+        bound.insert(v);
+      }
+    }
+    return order;
+  }
+
+  using Sink = std::function<Status(const Env&, const std::string& value)>;
+
+  /// Emit nested loops computing the contributions of `e` under `env`;
+  /// `sink` is invoked at the innermost point with the multiplicative value
+  /// expression (a product of factor values).
+  Status EmitContribs(const ExprPtr& e, const Env& env, std::string* out,
+                      const Sink& sink) {
+    switch (e->kind) {
+      case ring::ExprKind::kProd:
+        return EmitProd(OrderFactors(e->children, env), 0, env, {}, out,
+                        sink);
+      case ring::ExprKind::kSum: {
+        for (const ExprPtr& c : e->children) {
+          DBT_RETURN_IF_ERROR(EmitContribs(c, env, out, sink));
+        }
+        return Status::OK();
+      }
+      default:
+        return EmitProd({e}, 0, env, {}, out, sink);
+    }
+  }
+
+  Status EmitProd(const std::vector<ExprPtr>& factors, size_t idx,
+                  const Env& env, std::vector<std::string> values,
+                  std::string* out, const Sink& sink) {
+    if (idx == factors.size()) {
+      std::string value =
+          values.empty() ? std::string("INT64_C(1)") : Join(values, " * ");
+      return sink(env, value);
+    }
+    const ExprPtr& f = factors[idx];
+    switch (f->kind) {
+      case ring::ExprKind::kConst: {
+        values.push_back(ValueLiteral(f->constant));
+        return EmitProd(factors, idx + 1, env, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kValTerm: {
+        DBT_ASSIGN_OR_RETURN(std::string v, TermCpp(f->term, env));
+        values.push_back("(" + v + ")");
+        return EmitProd(factors, idx + 1, env, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kCmp: {
+        DBT_ASSIGN_OR_RETURN(std::string l, TermCpp(f->cmp_lhs, env));
+        DBT_ASSIGN_OR_RETURN(std::string r, TermCpp(f->cmp_rhs, env));
+        Line(out, StrFormat("if (%s %s %s) {", l.c_str(), CmpOp(f->cmp_op),
+                            r.c_str()));
+        ++indent_;
+        DBT_RETURN_IF_ERROR(
+            EmitProd(factors, idx + 1, env, std::move(values), out, sink));
+        --indent_;
+        Line(out, "}");
+        return Status::OK();
+      }
+      case ring::ExprKind::kLift: {
+        DBT_ASSIGN_OR_RETURN(std::string t, TermCpp(f->term, env));
+        auto it = env.vars.find(f->var);
+        if (it != env.vars.end()) {
+          Line(out, StrFormat("if (%s == %s) {", it->second.c_str(),
+                              t.c_str()));
+          ++indent_;
+          DBT_RETURN_IF_ERROR(
+              EmitProd(factors, idx + 1, env, std::move(values), out, sink));
+          --indent_;
+          Line(out, "}");
+          return Status::OK();
+        }
+        std::string name = Fresh("v");
+        Line(out, StrFormat("const auto %s = %s;", name.c_str(), t.c_str()));
+        Env env2 = env;
+        env2.vars[f->var] = name;
+        return EmitProd(factors, idx + 1, env2, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kNeg: {
+        values.push_back("INT64_C(-1)");
+        std::vector<ExprPtr> sub = factors;
+        sub[idx] = f->children[0];
+        return EmitProd(sub, idx, env, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kRel:
+      case ring::ExprKind::kMapRef: {
+        bool is_rel = f->kind == ring::ExprKind::kRel;
+        const MapDecl* decl = nullptr;
+        std::string map_expr;
+        if (is_rel) {
+          map_expr = RelMapName(f->name);
+        } else {
+          decl = decls_.count(f->name) ? decls_.at(f->name) : nullptr;
+          if (decl == nullptr) {
+            return Status::Internal("codegen: unknown map " + f->name);
+          }
+          map_expr = decl->name + "_";
+        }
+        // Classify arguments.
+        std::vector<std::string> bound_expr(f->args.size());
+        std::vector<bool> is_bound(f->args.size(), false);
+        std::map<std::string, size_t> first_of;
+        std::vector<int> dup_of(f->args.size(), -1);
+        bool all_bound = true;
+        for (size_t i = 0; i < f->args.size(); ++i) {
+          auto it = env.vars.find(f->args[i]);
+          if (it != env.vars.end()) {
+            is_bound[i] = true;
+            bound_expr[i] = it->second;
+            continue;
+          }
+          auto dup = first_of.find(f->args[i]);
+          if (dup != first_of.end()) {
+            dup_of[i] = static_cast<int>(dup->second);
+            all_bound = false;
+            continue;
+          }
+          first_of[f->args[i]] = i;
+          all_bound = false;
+        }
+        if (all_bound) {
+          // Point lookup.
+          std::vector<std::string> keys;
+          for (size_t i = 0; i < f->args.size(); ++i) {
+            keys.push_back(bound_expr[i]);
+          }
+          std::string key =
+              "std::make_tuple(" + Join(keys, ", ") + ")";
+          std::string v = Fresh("v");
+          if (!is_rel && decl->needs_init) {
+            Line(out, StrFormat("const auto %s = %s_read(%s, %s);", v.c_str(),
+                                decl->name.c_str(), key.c_str(),
+                                env.store_flag.c_str()));
+          } else {
+            Line(out, StrFormat("const auto %s = %s.get(%s);", v.c_str(),
+                                map_expr.c_str(), key.c_str()));
+          }
+          values.push_back(v);
+          return EmitProd(factors, idx + 1, env, std::move(values), out,
+                          sink);
+        }
+        // Slice access. With bound positions, go through a secondary slice
+        // index (the nested-map access path of the paper's generated code);
+        // otherwise scan all entries.
+        std::vector<size_t> bpos;
+        std::vector<std::string> bexprs;
+        for (size_t i = 0; i < f->args.size(); ++i) {
+          if (is_bound[i]) {
+            bpos.push_back(i);
+            bexprs.push_back(bound_expr[i]);
+          }
+        }
+        if (!bpos.empty()) {
+          DBT_ASSIGN_OR_RETURN(StoreInfo info, StoreOf(f));
+          std::string idx_name = RequestIndex(map_expr, bpos, info.key_types);
+          std::string bucket = Fresh("b");
+          std::string fk = Fresh("fk");
+          std::string val = Fresh("v");
+          Line(out, StrFormat("const auto* %s = %s.lookup(std::make_tuple(%s));",
+                              bucket.c_str(), idx_name.c_str(),
+                              Join(bexprs, ", ").c_str()));
+          Line(out, StrFormat("if (%s != nullptr) for (const auto& %s : *%s) {",
+                              bucket.c_str(), fk.c_str(), bucket.c_str()));
+          ++indent_;
+          Line(out, StrFormat("const auto %s = %s.get(%s);", val.c_str(),
+                              map_expr.c_str(), fk.c_str()));
+          Line(out, StrFormat("if (%s == 0) continue;  // stale index entry",
+                              val.c_str()));
+          Env env2 = env;
+          for (size_t i = 0; i < f->args.size(); ++i) {
+            std::string slot = StrFormat("std::get<%zu>(%s)", i, fk.c_str());
+            if (is_bound[i]) continue;  // guaranteed equal by the index
+            if (dup_of[i] >= 0) {
+              Line(out, StrFormat("if (%s != std::get<%d>(%s)) continue;",
+                                  slot.c_str(), dup_of[i], fk.c_str()));
+            } else {
+              std::string name = Fresh("v");
+              Line(out, StrFormat("const auto %s = %s;", name.c_str(),
+                                  slot.c_str()));
+              env2.vars[f->args[i]] = name;
+            }
+          }
+          std::vector<std::string> values2 = values;
+          values2.push_back(val);
+          DBT_RETURN_IF_ERROR(EmitProd(factors, idx + 1, env2,
+                                       std::move(values2), out, sink));
+          --indent_;
+          Line(out, "}");
+          return Status::OK();
+        }
+        std::string kv = Fresh("e");
+        Line(out, StrFormat("for (const auto& %s : %s.entries()) {",
+                            kv.c_str(), map_expr.c_str()));
+        ++indent_;
+        Env env2 = env;
+        for (size_t i = 0; i < f->args.size(); ++i) {
+          std::string slot =
+              StrFormat("std::get<%zu>(%s.first)", i, kv.c_str());
+          if (is_bound[i]) {
+            Line(out, StrFormat("if (%s != %s) continue;", slot.c_str(),
+                                bound_expr[i].c_str()));
+          } else if (dup_of[i] >= 0) {
+            Line(out, StrFormat("if (%s != std::get<%d>(%s.first)) continue;",
+                                slot.c_str(), dup_of[i], kv.c_str()));
+          } else {
+            std::string name = Fresh("v");
+            Line(out, StrFormat("const auto %s = %s;", name.c_str(),
+                                slot.c_str()));
+            env2.vars[f->args[i]] = name;
+          }
+        }
+        std::vector<std::string> values2 = values;
+        values2.push_back(kv + ".second");
+        DBT_RETURN_IF_ERROR(
+            EmitProd(factors, idx + 1, env2, std::move(values2), out, sink));
+        --indent_;
+        Line(out, "}");
+        return Status::OK();
+      }
+      case ring::ExprKind::kAggSum: {
+        // Scalar accumulation: all group vars must already be bound.
+        for (const std::string& g : f->group_vars) {
+          if (!env.vars.count(g)) {
+            return Status::NotSupported(
+                "codegen: AggSum factor with unbound group variable " + g);
+          }
+        }
+        std::string acc = Fresh("acc");
+        Line(out, StrFormat("double %s = 0;", acc.c_str()));
+        Sink inner = [&](const Env& e2, const std::string& value) -> Status {
+          Line(out, StrFormat("%s += static_cast<double>(%s);", acc.c_str(),
+                              value.c_str()));
+          return Status::OK();
+        };
+        DBT_RETURN_IF_ERROR(EmitContribs(f->children[0], env, out, inner));
+        values.push_back(acc);
+        return EmitProd(factors, idx + 1, env, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kSum: {
+        // 0/1 indicator sums (OR): accumulate into a scalar, then continue.
+        std::string acc = Fresh("ind");
+        Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
+        Sink inner = [&](const Env& e2, const std::string& value) -> Status {
+          Line(out, StrFormat("%s += (%s);", acc.c_str(), value.c_str()));
+          return Status::OK();
+        };
+        for (const ExprPtr& c : f->children) {
+          DBT_RETURN_IF_ERROR(EmitContribs(c, env, out, inner));
+        }
+        values.push_back(acc);
+        return EmitProd(factors, idx + 1, env, std::move(values), out, sink);
+      }
+      case ring::ExprKind::kProd: {
+        std::vector<ExprPtr> sub = factors;
+        sub.erase(sub.begin() + static_cast<long>(idx));
+        sub.insert(sub.begin() + static_cast<long>(idx),
+                   f->children.begin(), f->children.end());
+        return EmitProd(OrderFactors(sub, env), idx, env, std::move(values),
+                        out, sink);
+      }
+      default:
+        return Status::Internal("codegen: unexpected factor kind");
+    }
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  Status EmitDeltaStatement(const Statement& stmt, const Env& base_env,
+                            const std::string& pend_name, std::string* out) {
+    const MapDecl* decl = decls_.at(stmt.target);
+    Line(out, "{  // " + stmt.ToString());
+    ++indent_;
+
+    auto emit_body = [&](const Env& env) -> Status {
+      Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+        std::vector<std::string> keys;
+        for (const std::string& kv : stmt.target_keys) {
+          auto it = e2.vars.find(kv);
+          if (it == e2.vars.end()) {
+            return Status::Internal("codegen: unbound target key " + kv);
+          }
+          keys.push_back(it->second);
+        }
+        Line(out, StrFormat(
+                      "%s.emplace_back(std::make_tuple(%s), "
+                      "static_cast<%s>(%s));",
+                      pend_name.c_str(), Join(keys, ", ").c_str(),
+                      CppType(decl->value_type), value.c_str()));
+        return Status::OK();
+      };
+      return EmitContribs(stmt.rhs, env, out, sink);
+    };
+
+    if (stmt.lhs_iterate.empty()) {
+      DBT_RETURN_IF_ERROR(emit_body(base_env));
+    } else {
+      // LHS-driven iteration over the live keys of the target map, deduped
+      // on the iterated positions when they do not cover the whole key.
+      bool full = stmt.lhs_iterate.size() == stmt.target_keys.size();
+      std::string lk = Fresh("lk");
+      if (!full) {
+        Line(out, StrFormat("std::set<std::string> seen_%s;", lk.c_str()));
+      }
+      Line(out, StrFormat("for (const auto& %s : %s_.entries()) {",
+                          lk.c_str(), stmt.target.c_str()));
+      ++indent_;
+      Env env2 = base_env;
+      std::string dedup_expr;
+      for (size_t i = 0; i < stmt.lhs_iterate.size(); ++i) {
+        size_t pos = stmt.lhs_iterate[i];
+        std::string name = Fresh("v");
+        Line(out, StrFormat("const auto %s = std::get<%zu>(%s.first);",
+                            name.c_str(), pos, lk.c_str()));
+        env2.vars[stmt.target_keys[pos]] = name;
+      }
+      if (!full) {
+        // Cheap textual dedup key (positions not covered by iteration are
+        // event-bound and constant within this trigger execution).
+        std::string parts;
+        for (size_t pos : stmt.lhs_iterate) {
+          parts += StrFormat(" + \"|\" + dbt_detail_to_string(std::get<%zu>(%s.first))",
+                             pos, lk.c_str());
+        }
+        Line(out, StrFormat(
+                      "if (!seen_%s.insert(std::string()%s).second) continue;",
+                      lk.c_str(), parts.c_str()));
+      }
+      DBT_RETURN_IF_ERROR(emit_body(env2));
+      --indent_;
+      Line(out, "}");
+    }
+    --indent_;
+    Line(out, "}");
+    return Status::OK();
+  }
+
+  Status EmitTrigger(const Trigger& trig, std::string* out);
+  Status EmitMaps(std::string* out);
+  Status EmitInitFunctions(std::string* out);
+  Status EmitViews(std::string* out);
+  Status EmitDispatcher(std::string* out);
+
+  /// Key types of a storage member ("mN_" aggregate map or "rel_R_" base
+  /// multiset) plus its value C++ type.
+  struct StoreInfo {
+    std::vector<Type> key_types;
+    std::string value_type;
+  };
+  Result<StoreInfo> StoreOf(const ExprPtr& atom) const {
+    if (atom->kind == ring::ExprKind::kRel) {
+      const Schema* schema = RelSchema(atom->name);
+      if (schema == nullptr) {
+        return Status::Internal("codegen: unknown relation " + atom->name);
+      }
+      StoreInfo info;
+      for (size_t i = 0; i < schema->num_columns(); ++i) {
+        info.key_types.push_back(schema->column_type(i));
+      }
+      info.value_type = "int64_t";
+      return info;
+    }
+    const MapDecl* decl =
+        decls_.count(atom->name) ? decls_.at(atom->name) : nullptr;
+    if (decl == nullptr) {
+      return Status::Internal("codegen: unknown map " + atom->name);
+    }
+    return StoreInfo{decl->key_types, CppType(decl->value_type)};
+  }
+
+  /// Secondary slice indexes requested by partially-bound atom accesses.
+  struct IndexReq {
+    std::string store;               ///< member name, e.g. "m8_" / "rel_R_"
+    std::vector<size_t> positions;   ///< bound key positions
+    std::vector<Type> key_types;     ///< full key types of the store
+  };
+  /// Returns the index member name, registering the request if new.
+  std::string RequestIndex(const std::string& store,
+                           const std::vector<size_t>& positions,
+                           const std::vector<Type>& key_types) {
+    for (size_t i = 0; i < index_reqs_.size(); ++i) {
+      if (index_reqs_[i].store == store &&
+          index_reqs_[i].positions == positions) {
+        return StrFormat("idx%zu_", i);
+      }
+    }
+    index_reqs_.push_back(IndexReq{store, positions, key_types});
+    return StrFormat("idx%zu_", index_reqs_.size() - 1);
+  }
+
+  const Program& p_;
+  GenOptions opts_;
+  std::map<std::string, const MapDecl*> decls_;
+  std::set<std::string> rels_;
+  std::vector<IndexReq> index_reqs_;
+  int temp_ = 0;
+  int indent_ = 1;
+};
+
+Status Generator::EmitMaps(std::string* out) {
+  Line(out, "// --- base relation multiset maps (database snapshot) ---");
+  for (const std::string& rel : rels_) {
+    const Schema* schema = RelSchema(rel);
+    std::vector<Type> kt;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      kt.push_back(schema->column_type(i));
+    }
+    Line(out, StrFormat("dbt::Map<%s, int64_t> %s;",
+                        KeyType(kt).c_str(), RelMapName(rel).c_str()));
+  }
+  Line(out, "// --- aggregate maps ---");
+  for (const MapDecl& m : p_.maps) {
+    if (m.is_extreme) {
+      Line(out, StrFormat("dbt::ExtremeMap<%s, %s> %s_;  // %s",
+                          KeyType(m.key_types).c_str(),
+                          CppType(m.value_type), m.name.c_str(),
+                          sql::AggKindName(m.extreme_kind)));
+    } else {
+      Line(out, StrFormat("dbt::Map<%s, %s> %s_;",
+                          KeyType(m.key_types).c_str(),
+                          CppType(m.value_type), m.name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::EmitInitFunctions(std::string* out) {
+  for (const MapDecl& m : p_.maps) {
+    if (m.is_extreme || !m.needs_init || m.definition == nullptr) continue;
+    // V <name>_init(k0, ...) : evaluate the definition over base tables.
+    std::vector<std::string> params;
+    Env env;
+    for (size_t i = 0; i < m.key_names.size(); ++i) {
+      params.push_back(StrFormat("%s k%zu", CppType(m.key_types[i]), i));
+      env.vars[m.key_names[i]] = StrFormat("k%zu", i);
+    }
+    Line(out, StrFormat("%s %s_init(%s) {", CppType(m.value_type),
+                        m.name.c_str(), Join(params, ", ").c_str()));
+    ++indent_;
+    Line(out, StrFormat("%s acc{};", CppType(m.value_type)));
+    Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+      Line(out, StrFormat("acc += static_cast<%s>(%s);",
+                          CppType(m.value_type), value.c_str()));
+      return Status::OK();
+    };
+    assert(m.definition->kind == ring::ExprKind::kAggSum);
+    DBT_RETURN_IF_ERROR(
+        EmitContribs(m.definition->children[0], env, out, sink));
+    Line(out, "return acc;");
+    --indent_;
+    Line(out, "}");
+
+    // Read helper with optional caching.
+    Line(out, StrFormat("%s %s_read(const %s& k, bool store) {",
+                        CppType(m.value_type), m.name.c_str(),
+                        KeyType(m.key_types).c_str()));
+    ++indent_;
+    Line(out, StrFormat("if (%s_.contains(k)) return %s_.get(k);",
+                        m.name.c_str(), m.name.c_str()));
+    std::vector<std::string> gets;
+    for (size_t i = 0; i < m.key_names.size(); ++i) {
+      gets.push_back(StrFormat("std::get<%zu>(k)", i));
+    }
+    Line(out, StrFormat("const %s v = %s_init(%s);", CppType(m.value_type),
+                        m.name.c_str(), Join(gets, ", ").c_str()));
+    Line(out, StrFormat("if (store) st_%s_(k, v);", m.name.c_str()));
+    Line(out, "return v;");
+    --indent_;
+    Line(out, "}");
+  }
+  return Status::OK();
+}
+
+Status Generator::EmitTrigger(const Trigger& trig, std::string* out) {
+  const Schema* schema = RelSchema(trig.relation);
+  std::vector<std::string> params;
+  Env env;
+  for (size_t i = 0; i < trig.params.size(); ++i) {
+    std::string arg = "arg_" + trig.params[i];
+    params.push_back(StrFormat("%s %s",
+                               CppType(schema->column_type(i)), arg.c_str()));
+    env.vars[trig.params[i]] = arg;
+  }
+  Line(out, StrFormat("void on_%s_%s(%s) {",
+                      trig.event == EventKind::kInsert ? "insert" : "delete",
+                      trig.relation.c_str(), Join(params, ", ").c_str()));
+  ++indent_;
+
+  // Phase 1: evaluate delta statements against the pre-state into pendings.
+  // pend_names is aligned with trig.statements (empty for non-delta kinds).
+  std::vector<std::string> pend_names(trig.statements.size());
+  for (size_t si = 0; si < trig.statements.size(); ++si) {
+    const Statement& stmt = trig.statements[si];
+    if (stmt.kind != Statement::Kind::kDelta) continue;
+    const MapDecl* decl = decls_.at(stmt.target);
+    std::string pend = StrFormat("pend%zu", si);
+    pend_names[si] = pend;
+    Line(out, StrFormat("std::vector<std::pair<%s, %s>> %s;",
+                        KeyType(decl->key_types).c_str(),
+                        CppType(decl->value_type), pend.c_str()));
+    DBT_RETURN_IF_ERROR(EmitDeltaStatement(stmt, env, pend, out));
+  }
+
+  // Phase 2: base table + pending applications.
+  std::vector<std::string> args;
+  for (const std::string& p : trig.params) args.push_back("arg_" + p);
+  Line(out, StrFormat("upd_%s(std::make_tuple(%s), %s);",
+                      RelMapName(trig.relation).c_str(),
+                      Join(args, ", ").c_str(),
+                      trig.event == EventKind::kInsert ? "+1" : "-1"));
+  for (size_t si = 0; si < trig.statements.size(); ++si) {
+    const Statement& stmt = trig.statements[si];
+    if (stmt.kind != Statement::Kind::kDelta) continue;
+    Line(out, StrFormat("for (const auto& kv : %s) upd_%s_(kv.first, "
+                        "kv.second);",
+                        pend_names[si].c_str(), stmt.target.c_str()));
+  }
+
+  // Phase 2b: extreme statements.
+  for (const Statement& stmt : trig.statements) {
+    if (stmt.kind != Statement::Kind::kExtreme) continue;
+    Line(out, "{  // " + stmt.ToString());
+    ++indent_;
+    std::string guard_close;
+    if (stmt.extreme_guard != nullptr) {
+      std::string acc = Fresh("g");
+      Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
+      Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+        Line(out, StrFormat("%s += (%s);", acc.c_str(), value.c_str()));
+        return Status::OK();
+      };
+      DBT_RETURN_IF_ERROR(EmitContribs(stmt.extreme_guard, env, out, sink));
+      Line(out, StrFormat("if (%s != 0) {", acc.c_str()));
+      ++indent_;
+      guard_close = "}";
+    }
+    std::vector<std::string> keys;
+    for (const std::string& kv : stmt.target_keys) {
+      auto it = env.vars.find(kv);
+      if (it == env.vars.end()) {
+        return Status::Internal("codegen: unbound extreme key " + kv);
+      }
+      keys.push_back(it->second);
+    }
+    DBT_ASSIGN_OR_RETURN(std::string value, TermCpp(stmt.extreme_value, env));
+    Line(out, StrFormat("%s_.%s(std::make_tuple(%s), %s);",
+                        stmt.target.c_str(),
+                        stmt.extreme_sign > 0 ? "add" : "remove",
+                        Join(keys, ", ").c_str(), value.c_str()));
+    if (!guard_close.empty()) {
+      --indent_;
+      Line(out, guard_close);
+    }
+    --indent_;
+    Line(out, "}");
+  }
+
+  // Phase 3: hybrid re-evaluation statements (post-state; no event params).
+  for (const Statement& stmt : trig.statements) {
+    if (stmt.kind != Statement::Kind::kReeval) continue;
+    const MapDecl* decl = decls_.at(stmt.target);
+    Line(out, "{  // " + stmt.ToString());
+    ++indent_;
+    std::string acc = Fresh("acc");
+    Line(out, StrFormat("%s %s{};", CppType(decl->value_type), acc.c_str()));
+    Env renv;  // empty: reeval depends only on state
+    renv.store_flag = "true";
+    Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+      Line(out, StrFormat("%s += static_cast<%s>(%s);", acc.c_str(),
+                          CppType(decl->value_type), value.c_str()));
+      return Status::OK();
+    };
+    assert(stmt.rhs->kind == ring::ExprKind::kAggSum &&
+           stmt.rhs->group_vars.empty());
+    DBT_RETURN_IF_ERROR(EmitContribs(stmt.rhs->children[0], renv, out, sink));
+    Line(out, StrFormat("%s_.clear();", stmt.target.c_str()));
+    Line(out, StrFormat("%s_.set(std::tuple<>{}, %s);", stmt.target.c_str(),
+                        acc.c_str()));
+    --indent_;
+    Line(out, "}");
+  }
+
+  --indent_;
+  Line(out, "}");
+  return Status::OK();
+}
+
+Status Generator::EmitViews(std::string* out) {
+  for (const compiler::ViewSpec& view : p_.views) {
+    // Row type: key columns are part of `columns` already.
+    std::vector<std::string> col_types;
+    for (const auto& c : view.columns) col_types.emplace_back(CppType(c.type));
+    std::string row_type = "std::tuple<" + Join(col_types, ", ") + ">";
+    Line(out, StrFormat("std::vector<%s> view_%s() {", row_type.c_str(),
+                        view.name.c_str()));
+    ++indent_;
+    Line(out, StrFormat("std::vector<%s> out;", row_type.c_str()));
+
+    auto emit_columns = [&](const Env& env,
+                            const std::string& key_expr) -> Status {
+      std::vector<std::string> cols;
+      for (const auto& c : view.columns) {
+        if (c.kind == compiler::ViewColumn::Kind::kTerm) {
+          DBT_ASSIGN_OR_RETURN(std::string v, TermCpp(c.value, env));
+          cols.push_back(StrFormat("static_cast<%s>(%s)", CppType(c.type),
+                                   v.c_str()));
+        } else {
+          std::string tmp = Fresh("x");
+          const MapDecl* decl = decls_.at(c.extreme_map);
+          Line(out, StrFormat("%s %s{};", CppType(c.type), tmp.c_str()));
+          Line(out, StrFormat("%s_.%s(%s, &%s);", c.extreme_map.c_str(),
+                              decl->extreme_kind == sql::AggKind::kMin
+                                  ? "min"
+                                  : "max",
+                              key_expr.c_str(), tmp.c_str()));
+          cols.push_back(tmp);
+        }
+      }
+      Line(out, StrFormat("out.emplace_back(%s);", Join(cols, ", ").c_str()));
+      return Status::OK();
+    };
+
+    if (view.key_vars.empty()) {
+      Env env;
+      env.store_flag = "true";
+      DBT_RETURN_IF_ERROR(emit_columns(env, "std::tuple<>{}"));
+    } else {
+      Line(out, StrFormat("for (const auto& dk : %s_.entries()) {",
+                          view.domain_map.c_str()));
+      ++indent_;
+      Line(out, "if (dk.second == 0) continue;");
+      Env env;
+      env.store_flag = "true";
+      for (size_t i = 0; i < view.key_vars.size(); ++i) {
+        std::string name = Fresh("k");
+        Line(out, StrFormat("const auto %s = std::get<%zu>(dk.first);",
+                            name.c_str(), i));
+        env.vars[view.key_vars[i]] = name;
+      }
+      DBT_RETURN_IF_ERROR(emit_columns(env, "dk.first"));
+      --indent_;
+      Line(out, "}");
+    }
+    Line(out, "return out;");
+    --indent_;
+    Line(out, "}");
+  }
+  return Status::OK();
+}
+
+Status Generator::EmitDispatcher(std::string* out) {
+  Line(out,
+       "bool on_event(const std::string& relation, bool is_insert, const "
+       "std::vector<dbt::Value>& t) {");
+  ++indent_;
+  for (const std::string& rel : rels_) {
+    const Schema* schema = RelSchema(rel);
+    std::vector<std::string> args;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      switch (schema->column_type(i)) {
+        case Type::kDouble:
+          args.push_back(StrFormat("dbt::AsDouble(t[%zu])", i));
+          break;
+        case Type::kString:
+          args.push_back(StrFormat("dbt::AsString(t[%zu])", i));
+          break;
+        default:
+          args.push_back(StrFormat("dbt::AsInt(t[%zu])", i));
+          break;
+      }
+    }
+    Line(out, StrFormat("if (relation == \"%s\") {", rel.c_str()));
+    ++indent_;
+    bool has_insert = p_.FindTrigger(rel, EventKind::kInsert) != nullptr;
+    bool has_delete = p_.FindTrigger(rel, EventKind::kDelete) != nullptr;
+    if (has_insert) {
+      Line(out, StrFormat("if (is_insert) { on_insert_%s(%s); return true; }",
+                          rel.c_str(), Join(args, ", ").c_str()));
+    }
+    if (has_delete) {
+      Line(out, StrFormat("if (!is_insert) { on_delete_%s(%s); return true; }",
+                          rel.c_str(), Join(args, ", ").c_str()));
+    }
+    Line(out, "return false;");
+    --indent_;
+    Line(out, "}");
+  }
+  Line(out, "return false;");
+  --indent_;
+  Line(out, "}");
+
+  // Memory accounting for the bakeoff's memory bench.
+  Line(out, "size_t total_map_entries() const {");
+  ++indent_;
+  Line(out, "size_t n = 0;");
+  for (const MapDecl& m : p_.maps) {
+    Line(out, StrFormat("n += %s_.size();", m.name.c_str()));
+  }
+  Line(out, "return n;");
+  --indent_;
+  Line(out, "}");
+  return Status::OK();
+}
+
+Result<std::string> Generator::Run() {
+  std::string body;
+  DBT_RETURN_IF_ERROR(EmitMaps(&body));
+  Line(&body, "");
+  DBT_RETURN_IF_ERROR(EmitInitFunctions(&body));
+  Line(&body, "");
+  for (const Trigger& trig : p_.triggers) {
+    DBT_RETURN_IF_ERROR(EmitTrigger(trig, &body));
+    Line(&body, "");
+  }
+  DBT_RETURN_IF_ERROR(EmitViews(&body));
+  Line(&body, "");
+  DBT_RETURN_IF_ERROR(EmitDispatcher(&body));
+  Line(&body, "");
+
+  // Secondary slice indexes discovered during emission, plus the mutation
+  // wrappers that keep them in sync. In-class member order is irrelevant;
+  // wrappers were referenced above and are defined here.
+  Line(&body, "// --- secondary slice indexes ---");
+  for (size_t i = 0; i < index_reqs_.size(); ++i) {
+    const IndexReq& req = index_reqs_[i];
+    std::vector<Type> prefix_types;
+    for (size_t p : req.positions) prefix_types.push_back(req.key_types[p]);
+    Line(&body, StrFormat("dbt::SliceIndex<%s, %s> idx%zu_;  // %s on (%s)",
+                          KeyType(prefix_types).c_str(),
+                          KeyType(req.key_types).c_str(), i,
+                          req.store.c_str(),
+                          [&] {
+                            std::vector<std::string> ps;
+                            for (size_t p : req.positions) {
+                              ps.push_back(std::to_string(p));
+                            }
+                            return Join(ps, ",");
+                          }()
+                              .c_str()));
+  }
+  Line(&body, "// --- mutation wrappers (map + index maintenance) ---");
+  auto emit_wrappers = [&](const std::string& store,
+                           const std::vector<Type>& key_types,
+                           const std::string& value_type) {
+    std::string key_type = KeyType(key_types);
+    std::string inserts;
+    for (size_t i = 0; i < index_reqs_.size(); ++i) {
+      const IndexReq& req = index_reqs_[i];
+      if (req.store != store) continue;
+      std::vector<std::string> gets;
+      for (size_t p : req.positions) {
+        gets.push_back(StrFormat("std::get<%zu>(k)", p));
+      }
+      inserts += StrFormat(" idx%zu_.insert(std::make_tuple(%s), k);", i,
+                           Join(gets, ", ").c_str());
+    }
+    Line(&body, StrFormat("void upd_%s(const %s& k, %s d) { %s.add(k, d);%s }",
+                          store.c_str(), key_type.c_str(), value_type.c_str(),
+                          store.c_str(), inserts.c_str()));
+    Line(&body, StrFormat("void st_%s(const %s& k, %s v) { %s.set(k, v);%s }",
+                          store.c_str(), key_type.c_str(), value_type.c_str(),
+                          store.c_str(), inserts.c_str()));
+  };
+  for (const std::string& rel : rels_) {
+    const Schema* schema = RelSchema(rel);
+    std::vector<Type> kt;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      kt.push_back(schema->column_type(i));
+    }
+    emit_wrappers(RelMapName(rel), kt, "int64_t");
+  }
+  for (const MapDecl& m : p_.maps) {
+    if (m.is_extreme) continue;
+    emit_wrappers(m.name + "_", m.key_types, CppType(m.value_type));
+  }
+
+  std::string out;
+  out += "// Generated by dbtc (DBToaster SQL-to-C++ compiler). DO NOT EDIT.\n";
+  for (const compiler::ViewSpec& v : p_.views) {
+    out += "//   view " + v.name + ": " + v.sql + "\n";
+  }
+  out += "#pragma once\n";
+  out += "#include <cstdint>\n#include <set>\n#include <string>\n";
+  out += "#include <tuple>\n#include <vector>\n";
+  out += "#include \"" + opts_.runtime_header + "\"\n\n";
+  out += "namespace " + opts_.name_space + " {\n\n";
+  // Guarded so several generated headers can share one translation unit.
+  out += "#ifndef DBT_GEN_DETAIL_HELPERS_\n";
+  out += "#define DBT_GEN_DETAIL_HELPERS_\n";
+  out += "inline std::string dbt_detail_to_string(int64_t v) { return "
+         "std::to_string(v); }\n";
+  out += "inline std::string dbt_detail_to_string(double v) { return "
+         "std::to_string(v); }\n";
+  out += "inline std::string dbt_detail_to_string(const std::string& v) { "
+         "return v; }\n";
+  out += "#endif  // DBT_GEN_DETAIL_HELPERS_\n\n";
+  out += "struct " + opts_.class_name + " {\n";
+  out += body;
+  out += "};\n\n}  // namespace " + opts_.name_space + "\n";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> GenerateCpp(const Program& program,
+                                const GenOptions& options) {
+  Generator gen(program, options);
+  return gen.Run();
+}
+
+}  // namespace dbtoaster::codegen

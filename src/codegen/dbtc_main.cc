@@ -1,0 +1,123 @@
+// dbtc — the DBToaster SQL-to-C++ compiler driver.
+//
+// Usage:
+//   dbtc <script.sql> [-o out.hpp] [--name ClassName] [--trace] [--program]
+//
+// The script contains CREATE TABLE statements followed by one or more
+// SELECT queries (named q0, q1, ... in order). Output is a self-contained
+// C++ header (see cpp_gen.h). --trace prints the Figure-2-style recursive
+// compilation table; --program prints the trigger-program listing.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/codegen/cpp_gen.h"
+#include "src/compiler/compile.h"
+#include "src/sql/parser.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbtc <script.sql> [-o out.hpp] [--name ClassName] "
+               "[--trace] [--program]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbtoaster;
+
+  std::string input, output, class_name = "Program";
+  bool show_trace = false, show_program = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      class_name = argv[++i];
+    } else if (arg == "--trace") {
+      show_trace = true;
+    } else if (arg == "--program") {
+      show_program = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) return Usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "dbtc: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  auto script = sql::ParseScript(buf.str());
+  if (!script.ok()) {
+    std::fprintf(stderr, "dbtc: %s\n", script.status().ToString().c_str());
+    return 1;
+  }
+  Catalog catalog;
+  for (const auto& t : script.value().tables) {
+    Status s = catalog.AddRelation(t);
+    if (!s.ok()) {
+      std::fprintf(stderr, "dbtc: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (script.value().queries.empty()) {
+    std::fprintf(stderr, "dbtc: script contains no SELECT queries\n");
+    return 1;
+  }
+
+  compiler::Compiler compiler(catalog);
+  for (const auto& q : script.value().queries) {
+    Status s = compiler.AddQuery(q.name, *q.select);
+    if (!s.ok()) {
+      std::fprintf(stderr, "dbtc: query %s: %s\n", q.name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  auto program = compiler.Compile();
+  if (!program.ok()) {
+    std::fprintf(stderr, "dbtc: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  if (show_trace) {
+    std::printf("%s\n", program.value().TraceTable().c_str());
+  }
+  if (show_program) {
+    std::printf("%s\n", program.value().ToString().c_str());
+  }
+
+  codegen::GenOptions opts;
+  opts.class_name = class_name;
+  auto code = codegen::GenerateCpp(program.value(), opts);
+  if (!code.ok()) {
+    std::fprintf(stderr, "dbtc: %s\n", code.status().ToString().c_str());
+    return 1;
+  }
+  if (output.empty()) {
+    if (!show_trace && !show_program) std::printf("%s", code.value().c_str());
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "dbtc: cannot write %s\n", output.c_str());
+      return 1;
+    }
+    out << code.value();
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Standalone runtime support for DBToaster-generated C++ code.
+//
+// Generated event handlers depend on this header ONLY — no other part of
+// the repository — so emitted sources can be compiled into any application
+// (the paper's "embedded mode"). Keep it minimal and allocation-conscious:
+// the whole point of compilation is straight-line code over hash maps.
+#ifndef DBTOASTER_CODEGEN_DBTOASTER_RUNTIME_H_
+#define DBTOASTER_CODEGEN_DBTOASTER_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+namespace dbt {
+
+/// Dynamic value used only at the string-dispatch boundary; the generated
+/// handler bodies are fully typed.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline int64_t AsInt(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) return std::get<int64_t>(v);
+  if (std::holds_alternative<double>(v)) {
+    return static_cast<int64_t>(std::get<double>(v));
+  }
+  return 0;
+}
+inline double AsDouble(const Value& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  return 0.0;
+}
+inline const std::string& AsString(const Value& v) {
+  static const std::string kEmpty;
+  if (std::holds_alternative<std::string>(v)) return std::get<std::string>(v);
+  return kEmpty;
+}
+
+/// SQL-style division: x/0 == 0.
+inline double SafeDiv(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+namespace internal {
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline size_t HashScalar(int64_t v) {
+  return Mix64(static_cast<uint64_t>(v));
+}
+inline size_t HashScalar(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return Mix64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+  }
+  uint64_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return Mix64(bits);
+}
+inline size_t HashScalar(const std::string& v) {
+  return std::hash<std::string>()(v);
+}
+
+template <typename Tuple, size_t... I>
+size_t HashTupleImpl(const Tuple& t, std::index_sequence<I...>) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  ((h ^= HashScalar(std::get<I>(t)) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2)),
+   ...);
+  return h;
+}
+
+}  // namespace internal
+
+/// Hash functor for std::tuple keys.
+struct TupleHash {
+  template <typename... Ts>
+  size_t operator()(const std::tuple<Ts...>& t) const {
+    return internal::HashTupleImpl(
+        t, std::make_index_sequence<sizeof...(Ts)>());
+  }
+};
+
+/// Aggregate map: composite key -> value; integer entries reaching zero are
+/// erased so the live key set tracks the aggregate's support.
+template <typename K, typename V>
+class Map {
+ public:
+  using Store = std::unordered_map<K, V, TupleHash>;
+
+  V get(const K& k) const {
+    auto it = data_.find(k);
+    return it == data_.end() ? V{} : it->second;
+  }
+  bool contains(const K& k) const { return data_.find(k) != data_.end(); }
+
+  void add(const K& k, V delta) {
+    if (delta == V{}) return;
+    auto [it, inserted] = data_.try_emplace(k, delta);
+    if (inserted) return;
+    it->second += delta;
+    if constexpr (std::is_integral_v<V>) {
+      if (it->second == V{}) data_.erase(it);
+    }
+  }
+
+  void set(const K& k, V v) {
+    if (v == V{}) {
+      data_.erase(k);
+      return;
+    }
+    data_[k] = v;
+  }
+
+  void clear() { data_.clear(); }
+  size_t size() const { return data_.size(); }
+  const Store& entries() const { return data_; }
+
+ private:
+  Store data_;
+};
+
+/// Secondary slice index: prefix tuple -> set of full keys. Entries may be
+/// stale after map erasure; readers re-check the map value (a zero read
+/// contributes nothing). This reproduces the nested-map access paths of the
+/// paper's generated code (q_1_bc[b][c]).
+template <typename P, typename K>
+class SliceIndex {
+ public:
+  using KeySet = std::unordered_set<K, TupleHash>;
+
+  void insert(const P& prefix, const K& full_key) {
+    data_[prefix].insert(full_key);
+  }
+  const KeySet* lookup(const P& prefix) const {
+    auto it = data_.find(prefix);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+  void clear() { data_.clear(); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  std::unordered_map<P, KeySet, TupleHash> data_;
+};
+
+/// Ordered multiset per group: MIN/MAX maintenance under deletions.
+template <typename K, typename V>
+class ExtremeMap {
+ public:
+  void add(const K& k, const V& v) { data_[k][v] += 1; }
+  void remove(const K& k, const V& v) {
+    auto git = data_.find(k);
+    if (git == data_.end()) return;
+    auto vit = git->second.find(v);
+    if (vit == git->second.end()) return;
+    if (--vit->second <= 0) git->second.erase(vit);
+    if (git->second.empty()) data_.erase(git);
+  }
+  bool min(const K& k, V* out) const {
+    auto git = data_.find(k);
+    if (git == data_.end() || git->second.empty()) return false;
+    *out = git->second.begin()->first;
+    return true;
+  }
+  bool max(const K& k, V* out) const {
+    auto git = data_.find(k);
+    if (git == data_.end() || git->second.empty()) return false;
+    *out = git->second.rbegin()->first;
+    return true;
+  }
+  size_t size() const { return data_.size(); }
+
+ private:
+  std::unordered_map<K, std::map<V, int64_t>, TupleHash> data_;
+};
+
+}  // namespace dbt
+
+#endif  // DBTOASTER_CODEGEN_DBTOASTER_RUNTIME_H_

@@ -1,0 +1,25 @@
+// Hash utilities shared by map keys, interning tables and test helpers.
+#ifndef DBTOASTER_COMMON_HASH_H_
+#define DBTOASTER_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbtoaster {
+
+/// 64-bit mix (splitmix64 finalizer); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost-style, with a 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_COMMON_HASH_H_

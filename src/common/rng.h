@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. Seeded runs are reproducible across platforms (we do not
+// rely on std::uniform_* distribution implementations, whose outputs are not
+// standardised across library vendors).
+#ifndef DBTOASTER_COMMON_RNG_H_
+#define DBTOASTER_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace dbtoaster {
+
+/// xoshiro256**-style generator seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x = Mix64(x);
+      si = x;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Gaussian via Box–Muller (one value per call; simple and deterministic).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_COMMON_RNG_H_

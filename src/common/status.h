@@ -1,0 +1,118 @@
+// Error handling for DBToaster. The codebase does not use C++ exceptions
+// (Google C++ style); fallible operations return Status or Result<T>.
+#ifndef DBTOASTER_COMMON_STATUS_H_
+#define DBTOASTER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dbtoaster {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< SQL text could not be parsed
+  kTypeError,         ///< type checking failed
+  kNotSupported,      ///< outside the supported SQL fragment
+  kNotFound,          ///< missing relation / column / map
+  kInternal,          ///< invariant violation inside the system
+};
+
+/// Human-readable name of a StatusCode (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "ParseError: unexpected token ..." form.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Deliberately minimal: `ok()`, `value()`, `status()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(implicit)
+    assert(!std::get<Status>(v_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate a non-OK Status from the current function.
+#define DBT_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::dbtoaster::Status _dbt_st = (expr);          \
+    if (!_dbt_st.ok()) return _dbt_st;             \
+  } while (0)
+
+/// Evaluate a Result<T> expression; bind its value or propagate its Status.
+#define DBT_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto DBT_CONCAT_(_dbt_res, __LINE__) = (expr);   \
+  if (!DBT_CONCAT_(_dbt_res, __LINE__).ok())       \
+    return DBT_CONCAT_(_dbt_res, __LINE__).status(); \
+  lhs = std::move(DBT_CONCAT_(_dbt_res, __LINE__)).value()
+
+#define DBT_CONCAT_INNER_(a, b) a##b
+#define DBT_CONCAT_(a, b) DBT_CONCAT_INNER_(a, b)
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_COMMON_STATUS_H_

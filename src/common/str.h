@@ -1,0 +1,34 @@
+// Small string helpers used by the lexer, printers and code generator.
+#ifndef DBTOASTER_COMMON_STR_H_
+#define DBTOASTER_COMMON_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbtoaster {
+
+/// Uppercase ASCII copy (SQL keywords are case-insensitive).
+std::string ToUpper(std::string_view s);
+
+/// Lowercase ASCII copy.
+std::string ToLower(std::string_view s);
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_COMMON_STR_H_

@@ -1,0 +1,160 @@
+#include "src/common/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace dbtoaster {
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kInt:
+      return "INT";
+    case Type::kDouble:
+      return "DOUBLE";
+    case Type::kString:
+      return "STRING";
+    case Type::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+bool IsNumeric(Type t) { return t != Type::kString; }
+
+Type PromoteNumeric(Type a, Type b) {
+  if (a == Type::kDouble || b == Type::kDouble) return Type::kDouble;
+  return Type::kInt;
+}
+
+int64_t Value::AsInt() const {
+  if (is_int()) return std::get<int64_t>(v_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+  assert(false && "AsInt on string value");
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  assert(false && "AsDouble on string value");
+  return 0.0;
+}
+
+const std::string& Value::AsString() const {
+  assert(is_string());
+  return std::get<std::string>(v_);
+}
+
+bool Value::IsZero() const {
+  if (is_int()) return std::get<int64_t>(v_) == 0;
+  if (is_double()) return std::get<double>(v_) == 0.0;
+  return std::get<std::string>(v_).empty();
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_double()) {
+    double d = std::get<double>(v_);
+    // Render integral doubles as "x.0" so the type is visible in traces.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f", d);
+      return buf;
+    }
+    std::ostringstream os;
+    os.precision(15);
+    os << d;
+    return os.str();
+  }
+  return "'" + std::get<std::string>(v_) + "'";
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const bool as = a.is_string(), bs = b.is_string();
+  if (as != bs) return as ? 1 : -1;  // numerics before strings
+  if (as) {
+    const std::string& x = a.AsString();
+    const std::string& y = b.AsString();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+Value Value::Add(const Value& a, const Value& b) {
+  assert(a.is_numeric() && b.is_numeric());
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() + b.AsInt());
+  return Value(a.AsDouble() + b.AsDouble());
+}
+
+Value Value::Sub(const Value& a, const Value& b) {
+  assert(a.is_numeric() && b.is_numeric());
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() - b.AsInt());
+  return Value(a.AsDouble() - b.AsDouble());
+}
+
+Value Value::Mul(const Value& a, const Value& b) {
+  assert(a.is_numeric() && b.is_numeric());
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() * b.AsInt());
+  return Value(a.AsDouble() * b.AsDouble());
+}
+
+Value Value::Div(const Value& a, const Value& b) {
+  assert(a.is_numeric() && b.is_numeric());
+  double denom = b.AsDouble();
+  if (denom == 0.0) return Value(0.0);
+  return Value(a.AsDouble() / denom);
+}
+
+Value Value::Neg(const Value& a) {
+  assert(a.is_numeric());
+  if (a.is_int()) return Value(-a.AsInt());
+  return Value(-a.AsDouble());
+}
+
+size_t Value::Hash() const {
+  if (is_int()) return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
+  if (is_double()) {
+    double d = std::get<double>(v_);
+    // Hash integral doubles identically to the equal int (2 == 2.0 must
+    // imply equal hashes because Compare treats them as equal).
+    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+      return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+    }
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return Mix64(bits);
+  }
+  return std::hash<std::string>()(std::get<std::string>(v_));
+}
+
+std::string RowToString(const Row& row) {
+  std::string s = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ", ";
+    s += row[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace dbtoaster

@@ -1,0 +1,131 @@
+// Dynamic runtime value used throughout the system: tuple fields, map keys,
+// aggregate values. Supports the paper's data model: 64-bit integers,
+// doubles, strings, and dates (stored as days-since-epoch integers but kept
+// as a distinct logical type in the catalog).
+#ifndef DBTOASTER_COMMON_VALUE_H_
+#define DBTOASTER_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace dbtoaster {
+
+/// Logical column / expression type.
+enum class Type : uint8_t {
+  kInt = 0,     ///< 64-bit signed integer
+  kDouble = 1,  ///< IEEE double
+  kString = 2,  ///< variable-length string
+  kDate = 3,    ///< days since 1970-01-01, stored as int64
+};
+
+const char* TypeName(Type t);
+
+/// True when `t` is summable/orderable as a number (kInt, kDouble, kDate).
+bool IsNumeric(Type t);
+
+/// Result type of an arithmetic operation over two numeric types:
+/// double wins over int; dates decay to int under arithmetic.
+Type PromoteNumeric(Type a, Type b);
+
+/// A dynamically-typed scalar value.
+///
+/// Values order and compare across numeric types (2 == 2.0). Strings compare
+/// only with strings. Arithmetic helpers implement the SQL numeric promotion
+/// used by the executor, the trigger interpreter and generated code.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(bool b) : v_(static_cast<int64_t>(b ? 1 : 0)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric truthiness: nonzero numeric, or nonempty string.
+  bool IsZero() const;
+
+  /// SQL-style literal rendering ('abc' quoted, doubles shortest-round-trip).
+  std::string ToString() const;
+
+  /// Total ordering: numerics by value, strings lexicographic; numerics sort
+  /// before strings (only reachable in heterogeneous debug dumps).
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  /// Arithmetic with numeric promotion. String operands are an internal
+  /// error (the type checker rejects them before execution).
+  static Value Add(const Value& a, const Value& b);
+  static Value Sub(const Value& a, const Value& b);
+  static Value Mul(const Value& a, const Value& b);
+  /// Division always yields double; division by zero yields 0.0 (SQL NULL is
+  /// out of scope; aggregate reads over empty groups behave the same way).
+  static Value Div(const Value& a, const Value& b);
+  static Value Neg(const Value& a);
+
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// A row of values (tuple). Also used as a composite map key.
+using Row = std::vector<Value>;
+
+std::string RowToString(const Row& row);
+
+struct RowHash {
+  size_t operator()(const Row& r) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_COMMON_VALUE_H_

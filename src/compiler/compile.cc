@@ -1,0 +1,747 @@
+#include "src/compiler/compile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "src/common/str.h"
+#include "src/compiler/delta.h"
+#include "src/compiler/simplify.h"
+#include "src/sql/parser.h"
+
+namespace dbtoaster::compiler {
+
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+namespace {
+
+/// Value type of a ring expression given variable types and map value types
+/// (map types are passed as "@<map>" entries, matching Term::TypeOf).
+Result<Type> ExprValueType(const ExprPtr& e, const ring::VarTypes& types) {
+  switch (e->kind) {
+    case ring::ExprKind::kConst:
+      return e->constant.is_double() ? Type::kDouble : Type::kInt;
+    case ring::ExprKind::kValTerm:
+      return e->term->TypeOf(types);
+    case ring::ExprKind::kCmp:
+    case ring::ExprKind::kLift:
+    case ring::ExprKind::kRel:
+      return Type::kInt;
+    case ring::ExprKind::kMapRef: {
+      auto it = types.find("@" + e->name);
+      if (it == types.end()) {
+        return Status::Internal("unknown map value type: " + e->name);
+      }
+      return it->second;
+    }
+    case ring::ExprKind::kNeg:
+    case ring::ExprKind::kAggSum:
+      return ExprValueType(e->children[0], types);
+    case ring::ExprKind::kSum:
+    case ring::ExprKind::kProd: {
+      Type t = Type::kInt;
+      for (const ExprPtr& c : e->children) {
+        DBT_ASSIGN_OR_RETURN(Type ct, ExprValueType(c, types));
+        if (ct == Type::kString) {
+          return Status::TypeError("string-valued ring expression");
+        }
+        t = PromoteNumeric(t, ct);
+      }
+      return t;
+    }
+  }
+  return Status::Internal("unhandled expr kind in ExprValueType");
+}
+
+/// Canonicalise a map definition AggSum(keys, body): keys become k0..kn in
+/// key order, internal variables become b0..bm in a deterministic traversal,
+/// and factors are sorted. The canonical string is the sharing signature.
+struct Canonical {
+  ExprPtr defn;            // canonicalised AggSum
+  std::string signature;
+};
+
+void CollectVarsInOrder(const ExprPtr& e, std::vector<std::string>* out,
+                        std::set<std::string>* seen) {
+  auto add = [&](const std::string& v) {
+    if (seen->insert(v).second) out->push_back(v);
+  };
+  switch (e->kind) {
+    case ring::ExprKind::kRel:
+    case ring::ExprKind::kMapRef:
+      for (const std::string& v : e->args) add(v);
+      break;
+    case ring::ExprKind::kLift: {
+      for (const std::string& v : e->term->Vars()) add(v);
+      add(e->var);
+      break;
+    }
+    case ring::ExprKind::kValTerm:
+      for (const std::string& v : e->term->Vars()) add(v);
+      break;
+    case ring::ExprKind::kCmp:
+      for (const std::string& v : e->cmp_lhs->Vars()) add(v);
+      for (const std::string& v : e->cmp_rhs->Vars()) add(v);
+      break;
+    default:
+      for (const ExprPtr& c : e->children) CollectVarsInOrder(c, out, seen);
+  }
+}
+
+/// Skeleton string with non-key variables blanked — a rename-independent
+/// sort key for factors.
+std::string Skeleton(const ExprPtr& e, const std::set<std::string>& keys) {
+  std::string s = e->ToString();
+  // Blank variable-like identifiers that are not keys. Cheap textual
+  // approach: replace each var occurrence by '?'. We conservatively only
+  // blank names that appear in the expression's variable set.
+  for (const std::string& v : e->AllVars()) {
+    if (keys.count(v)) continue;
+    std::string needle = v;
+    size_t pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+      // Require non-identifier characters around the match.
+      auto ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+      };
+      bool left_ok = pos == 0 || !ident(s[pos - 1]);
+      bool right_ok =
+          pos + needle.size() >= s.size() || !ident(s[pos + needle.size()]);
+      if (left_ok && right_ok) {
+        s.replace(pos, needle.size(), "?");
+        pos += 1;
+      } else {
+        pos += needle.size();
+      }
+    }
+  }
+  return s;
+}
+
+ExprPtr SortFactors(const ExprPtr& e) {
+  if (e->kind == ring::ExprKind::kProd) {
+    std::vector<ExprPtr> cs = e->children;
+    std::stable_sort(cs.begin(), cs.end(),
+                     [](const ExprPtr& a, const ExprPtr& b) {
+                       return a->ToString() < b->ToString();
+                     });
+    return Expr::Prod(std::move(cs));
+  }
+  if (e->kind == ring::ExprKind::kSum) {
+    std::vector<ExprPtr> cs;
+    for (const ExprPtr& c : e->children) cs.push_back(SortFactors(c));
+    std::stable_sort(cs.begin(), cs.end(),
+                     [](const ExprPtr& a, const ExprPtr& b) {
+                       return a->ToString() < b->ToString();
+                     });
+    return Expr::Sum(std::move(cs));
+  }
+  if (e->kind == ring::ExprKind::kAggSum) {
+    return Expr::AggSum(e->group_vars, SortFactors(e->children[0]));
+  }
+  return e;
+}
+
+Canonical Canonicalize(const std::vector<std::string>& keys,
+                       const ExprPtr& body) {
+  std::map<std::string, std::string> ren;
+  std::set<std::string> key_set(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    // Duplicate key vars keep their first canonical name.
+    ren.emplace(keys[i], StrFormat("k%zu", i));
+  }
+  // Deterministic bound-variable order: sort monomial factors by skeleton,
+  // then collect variables in traversal order.
+  ExprPtr pre = body;
+  if (pre->kind == ring::ExprKind::kProd) {
+    std::vector<ExprPtr> cs = pre->children;
+    std::stable_sort(cs.begin(), cs.end(),
+                     [&](const ExprPtr& a, const ExprPtr& b) {
+                       return Skeleton(a, key_set) < Skeleton(b, key_set);
+                     });
+    pre = Expr::Prod(std::move(cs));
+  }
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  CollectVarsInOrder(pre, &order, &seen);
+  size_t next = 0;
+  for (const std::string& v : order) {
+    if (ren.count(v)) continue;
+    ren[v] = StrFormat("b%zu", next++);
+  }
+  ExprPtr renamed = pre->Rename(ren);
+  renamed = SortFactors(renamed);
+  std::vector<std::string> ckeys;
+  for (size_t i = 0; i < keys.size(); ++i) ckeys.push_back(ren[keys[i]]);
+  ExprPtr defn = Expr::AggSum(ckeys, renamed);
+  return Canonical{defn, defn->ToString()};
+}
+
+/// Event parameter name for a column (avoids canonical k*/b* names).
+std::string ParamName(const std::string& column) {
+  std::string p = ToLower(column);
+  if (p.size() >= 2 && (p[0] == 'k' || p[0] == 'b')) {
+    bool digits = true;
+    for (size_t i = 1; i < p.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(p[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) p = "p_" + p;
+  }
+  return p;
+}
+
+}  // namespace
+
+Status Compiler::AddQuery(const std::string& name, const std::string& sql) {
+  DBT_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                       sql::ParseSelect(sql));
+  return AddQuery(name, *stmt);
+}
+
+Status Compiler::AddQuery(const std::string& name,
+                          const sql::SelectStmt& stmt) {
+  for (const Pending& p : queries_) {
+    if (p.name == name) {
+      return Status::InvalidArgument("duplicate query name: " + name);
+    }
+  }
+  DBT_ASSIGN_OR_RETURN(std::unique_ptr<TranslatedQuery> t,
+                       Translate(stmt, catalog_, name, &var_counter_));
+  queries_.push_back(Pending{name, std::move(t)});
+  return Status::OK();
+}
+
+Result<Program> Compiler::Compile() {
+  Program program;
+  program.catalog = catalog_;
+
+  // Relation schemas for type inference.
+  std::map<std::string, std::vector<Type>> rel_types;
+  for (const Schema& s : catalog_.relations()) {
+    std::vector<Type> ts;
+    for (size_t i = 0; i < s.num_columns(); ++i) ts.push_back(s.column_type(i));
+    rel_types[s.name()] = std::move(ts);
+  }
+
+  // ---- map registry ----
+  struct RegMap {
+    std::string name;
+    Canonical canon;
+    std::vector<Type> key_types;
+    Type value_type;
+    int level;
+    std::string display;  ///< registration-site rendering (for the trace)
+    bool needs_init = false;
+  };
+  std::vector<RegMap> registry;
+  std::map<std::string, size_t> by_signature;
+  std::map<std::string, size_t> by_name;
+  ring::VarTypes map_value_types;  // "@name" -> value type
+  int anon_counter = 0;
+
+  // Registers (or finds) the map AggSum(keys, body); returns its name.
+  // `key_types` must align with `keys`.
+  auto register_map = [&](const std::vector<std::string>& keys,
+                          const std::vector<Type>& key_types,
+                          const ExprPtr& body, int level,
+                          const std::string& preferred_name,
+                          bool* created) -> Result<std::string> {
+    ExprPtr norm_body = NormalizeDefinition(body);
+    Canonical canon = Canonicalize(keys, norm_body);
+    auto it = by_signature.find(canon.signature);
+    if (it != by_signature.end()) {
+      if (created != nullptr) *created = false;
+      // Keep the smallest level (earliest recursion depth) for the trace.
+      registry[it->second].level =
+          std::min(registry[it->second].level, level);
+      return registry[it->second].name;
+    }
+    std::string name = preferred_name;
+    if (name.empty()) name = StrFormat("m%d", ++anon_counter);
+    if (by_name.count(name)) {
+      name = StrFormat("%s_%d", name.c_str(), ++anon_counter);
+    }
+    // Value type: infer variable types inside the canonical definition.
+    ring::VarTypes types = map_value_types;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      types[StrFormat("k%zu", i)] = key_types[i];
+    }
+    DBT_RETURN_IF_ERROR(
+        ring::InferVarTypes(*canon.defn, rel_types, &types));
+    DBT_ASSIGN_OR_RETURN(Type vt, ExprValueType(canon.defn, types));
+
+    RegMap rm;
+    rm.name = name;
+    rm.canon = canon;
+    rm.key_types = key_types;
+    rm.value_type = vt;
+    rm.level = level;
+    rm.display = "AggSum([" +
+                 Join({keys.begin(), keys.end()}, ", ") + "], " +
+                 norm_body->ToString() + ")";
+    by_signature[canon.signature] = registry.size();
+    by_name[name] = registry.size();
+    map_value_types["@" + name] = vt;
+    registry.push_back(std::move(rm));
+    if (created != nullptr) *created = true;
+    return name;
+  };
+
+  // ---- triggers ----
+  std::map<std::pair<std::string, EventKind>, Trigger> triggers;
+  auto trigger_for = [&](const std::string& rel,
+                         EventKind kind) -> Result<Trigger*> {
+    auto key = std::make_pair(rel, kind);
+    auto it = triggers.find(key);
+    if (it == triggers.end()) {
+      const Schema* schema = catalog_.FindRelation(rel);
+      if (schema == nullptr) {
+        return Status::NotFound("unknown relation: " + rel);
+      }
+      Trigger t;
+      t.relation = schema->name();
+      t.event = kind;
+      for (size_t c = 0; c < schema->num_columns(); ++c) {
+        t.params.push_back(ParamName(schema->column_name(c)));
+      }
+      it = triggers.emplace(key, std::move(t)).first;
+    }
+    return &it->second;
+  };
+
+  // Materialise AggSum / bare relation factors in a statement RHS into map
+  // references, registering new maps at `level`. Records used/new maps.
+  std::function<Result<ExprPtr>(const ExprPtr&, int, const ring::VarTypes&,
+                                std::vector<std::string>*,
+                                std::vector<std::pair<std::string, std::string>>*,
+                                std::deque<size_t>*)>
+      materialize = [&](const ExprPtr& e, int level,
+                        const ring::VarTypes& env_types,
+                        std::vector<std::string>* used,
+                        std::vector<std::pair<std::string, std::string>>*
+                            new_maps,
+                        std::deque<size_t>* worklist) -> Result<ExprPtr> {
+    auto wrap_as_map = [&](const std::vector<std::string>& keys,
+                           const ExprPtr& body) -> Result<ExprPtr> {
+      std::vector<Type> key_types;
+      for (const std::string& k : keys) {
+        auto it = env_types.find(k);
+        if (it == env_types.end()) {
+          // Infer from the body.
+          ring::VarTypes t2 = map_value_types;
+          DBT_RETURN_IF_ERROR(ring::InferVarTypes(*body, rel_types, &t2));
+          auto jt = t2.find(k);
+          if (jt == t2.end()) {
+            return Status::Internal("untyped map key variable: " + k);
+          }
+          key_types.push_back(jt->second);
+        } else {
+          key_types.push_back(it->second);
+        }
+      }
+      bool created = false;
+      DBT_ASSIGN_OR_RETURN(
+          std::string name,
+          register_map(keys, key_types, body, level, "", &created));
+      if (created) {
+        new_maps->emplace_back(name, registry[by_name[name]].display);
+        worklist->push_back(by_name[name]);
+      }
+      used->push_back(name);
+      return Expr::MapRef(name, keys);
+    };
+
+    switch (e->kind) {
+      case ring::ExprKind::kAggSum: {
+        if (!e->HasRelAtoms()) return e;
+        // Keys: the group vars plus any free inputs (event parameters or
+        // outer keys referenced by comparisons/terms inside).
+        std::vector<std::string> keys = e->group_vars;
+        std::set<std::string> have(keys.begin(), keys.end());
+        for (const std::string& v : e->InVars()) {
+          if (have.insert(v).second) keys.push_back(v);
+        }
+        return wrap_as_map(keys, e->children[0]);
+      }
+      case ring::ExprKind::kRel: {
+        // Bare relation atom: materialise its multiplicity map (the paper's
+        // q1-style count maps).
+        std::vector<std::string> keys = e->args;
+        return wrap_as_map(keys, e);
+      }
+      case ring::ExprKind::kProd:
+      case ring::ExprKind::kSum: {
+        std::vector<ExprPtr> cs;
+        cs.reserve(e->children.size());
+        for (const ExprPtr& c : e->children) {
+          DBT_ASSIGN_OR_RETURN(
+              ExprPtr mc,
+              materialize(c, level, env_types, used, new_maps, worklist));
+          cs.push_back(std::move(mc));
+        }
+        return e->kind == ring::ExprKind::kProd ? Expr::Prod(std::move(cs))
+                                                : Expr::Sum(std::move(cs));
+      }
+      case ring::ExprKind::kNeg: {
+        DBT_ASSIGN_OR_RETURN(ExprPtr mc,
+                             materialize(e->children[0], level, env_types,
+                                         used, new_maps, worklist));
+        return Expr::Neg(mc);
+      }
+      case ring::ExprKind::kMapRef:
+        used->push_back(e->name);
+        return e;
+      default:
+        return e;
+    }
+  };
+
+  // ---- per-query processing ----
+  std::deque<size_t> worklist;  // indices into registry
+  std::vector<MapDecl> extreme_decls;
+
+  for (Pending& pq : queries_) {
+    TranslatedQuery& tq = *pq.translated;
+    ViewSpec view;
+    view.name = tq.name;
+    view.sql = tq.sql;
+    view.key_column_names = tq.key_column_names;
+    view.key_vars = tq.group_vars;
+    view.key_types = tq.key_types;
+    view.hybrid = tq.hybrid;
+
+    std::map<std::string, std::string> placeholder_names;  // "$x" -> real
+
+    // --- subqueries (inner maps), compiled incrementally ---
+    for (TranslatedSubquery& sub : tq.subqueries) {
+      TranslatedQuery& in = *sub.inner;
+      for (size_t a = 0; a < in.aggregates.size(); ++a) {
+        TranslatedAggregate& agg = in.aggregates[a];
+        if (agg.is_extreme) {
+          return Status::NotSupported(
+              "MIN/MAX inside subqueries is not supported");
+        }
+        std::vector<Type> key_types;
+        ring::VarTypes t2 = map_value_types;
+        DBT_RETURN_IF_ERROR(
+            ring::InferVarTypes(*agg.expr, rel_types, &t2));
+        for (const auto& [k, v] : in.var_types) t2.emplace(k, v);
+        for (const auto& [k, v] : tq.var_types) t2.emplace(k, v);
+        for (const std::string& k : in.group_vars) {
+          auto it = t2.find(k);
+          if (it == t2.end()) {
+            return Status::Internal("untyped correlation variable: " + k);
+          }
+          key_types.push_back(it->second);
+        }
+        bool created = false;
+        DBT_ASSIGN_OR_RETURN(
+            std::string name,
+            register_map(in.group_vars, key_types, agg.expr->children[0],
+                         /*level=*/1,
+                         StrFormat("%s_a%zu", in.name.c_str(), a), &created));
+        if (created) worklist.push_back(by_name[name]);
+        std::string ph = StrFormat("$%s_agg%zu", in.name.c_str(), a);
+        placeholder_names[ph] = name;
+      }
+    }
+
+    // --- aggregates ---
+    std::vector<std::string> agg_map_names(tq.aggregates.size());
+    for (size_t a = 0; a < tq.aggregates.size(); ++a) {
+      TranslatedAggregate& agg = tq.aggregates[a];
+      std::string ph = StrFormat("$%s_agg%zu", tq.name.c_str(), a);
+
+      if (agg.is_extreme) {
+        // Ordered-multiset map + add/remove statements.
+        std::string name = StrFormat("%s_x%zu", tq.name.c_str(), a);
+        MapDecl decl;
+        decl.name = name;
+        decl.is_extreme = true;
+        decl.extreme_kind = agg.kind;
+        decl.value_type = agg.value_type;
+        for (size_t k = 0; k < tq.group_vars.size(); ++k) {
+          decl.key_names.push_back(tq.group_vars[k]);
+          decl.key_types.push_back(tq.key_types[k]);
+        }
+        decl.level = 1;
+        extreme_decls.push_back(decl);
+        agg_map_names[a] = name;
+        placeholder_names[ph] = name;
+
+        // Statements: rename the relation's column vars to event params.
+        const Schema* schema = catalog_.FindRelation(agg.extreme_relation);
+        assert(schema != nullptr);
+        std::map<std::string, std::string> to_params;
+        for (size_t c = 0; c < schema->num_columns(); ++c) {
+          to_params[agg.extreme_rel_vars[c]] =
+              ParamName(schema->column_name(c));
+        }
+        for (EventKind kind : {EventKind::kInsert, EventKind::kDelete}) {
+          DBT_ASSIGN_OR_RETURN(Trigger * trig,
+                               trigger_for(agg.extreme_relation, kind));
+          Statement st;
+          st.kind = Statement::Kind::kExtreme;
+          st.target = name;
+          for (const std::string& g : tq.group_vars) {
+            auto it = to_params.find(g);
+            st.target_keys.push_back(it == to_params.end() ? g : it->second);
+          }
+          st.extreme_sign = kind == EventKind::kInsert ? +1 : -1;
+          st.extreme_value = agg.extreme_value->Rename(to_params);
+          if (agg.extreme_guard != nullptr) {
+            st.extreme_guard = agg.extreme_guard->Rename(to_params);
+          }
+          trig->statements.push_back(std::move(st));
+        }
+        continue;
+      }
+
+      if (!tq.hybrid) {
+        // Pure IVM path: register as a level-1 map and let the worklist
+        // compile its deltas.
+        std::vector<Type> key_types = tq.key_types;
+        std::string preferred =
+            tq.aggregates.size() == 1 ? tq.name
+                                      : StrFormat("%s_a%zu", tq.name.c_str(), a);
+        bool created = false;
+        DBT_ASSIGN_OR_RETURN(
+            std::string name,
+            register_map(tq.group_vars, key_types, agg.expr->children[0],
+                         /*level=*/1, preferred, &created));
+        if (created) worklist.push_back(by_name[name]);
+        agg_map_names[a] = name;
+        placeholder_names[ph] = name;
+        continue;
+      }
+
+      // Hybrid path: materialised result map, re-evaluated per event over
+      // the maintained maps (inner aggregates are incremental).
+      if (!tq.group_vars.empty()) {
+        return Status::NotSupported(
+            "queries with subqueries must be global aggregates (no GROUP "
+            "BY) in this implementation");
+      }
+      // Rebuild the outer expression with placeholder map reads renamed to
+      // the registered inner map names.
+      std::function<ExprPtr(const ExprPtr&)> rename_maps =
+          [&](const ExprPtr& e) -> ExprPtr {
+        switch (e->kind) {
+          case ring::ExprKind::kValTerm:
+            return Expr::ValTerm(e->term->RenameMaps(placeholder_names));
+          case ring::ExprKind::kCmp:
+            return Expr::Cmp(e->cmp_op,
+                             e->cmp_lhs->RenameMaps(placeholder_names),
+                             e->cmp_rhs->RenameMaps(placeholder_names));
+          case ring::ExprKind::kLift:
+            return Expr::Lift(e->var,
+                              e->term->RenameMaps(placeholder_names));
+          case ring::ExprKind::kSum:
+          case ring::ExprKind::kProd: {
+            std::vector<ExprPtr> cs;
+            for (const ExprPtr& c : e->children) cs.push_back(rename_maps(c));
+            return e->kind == ring::ExprKind::kSum ? Expr::Sum(std::move(cs))
+                                                   : Expr::Prod(std::move(cs));
+          }
+          case ring::ExprKind::kNeg:
+            return Expr::Neg(rename_maps(e->children[0]));
+          case ring::ExprKind::kAggSum:
+            return Expr::AggSum(e->group_vars,
+                                rename_maps(e->children[0]));
+          default:
+            return e;
+        }
+      };
+      ExprPtr resolved = rename_maps(agg.expr);
+
+      std::string name = StrFormat("%s_r%zu", tq.name.c_str(), a);
+      ring::VarTypes t2 = map_value_types;
+      DBT_RETURN_IF_ERROR(ring::InferVarTypes(*resolved, rel_types, &t2));
+      DBT_ASSIGN_OR_RETURN(Type vt, ExprValueType(resolved, t2));
+      MapDecl decl;
+      decl.name = name;
+      decl.value_type = vt;
+      decl.definition = resolved;
+      decl.level = 1;
+      extreme_decls.push_back(decl);  // reuses the "extra decls" bucket
+      map_value_types["@" + name] = vt;
+      agg_map_names[a] = name;
+      placeholder_names[ph] = name;
+
+      for (const std::string& rel : tq.relations) {
+        for (EventKind kind : {EventKind::kInsert, EventKind::kDelete}) {
+          DBT_ASSIGN_OR_RETURN(Trigger * trig, trigger_for(rel, kind));
+          Statement st;
+          st.kind = Statement::Kind::kReeval;
+          st.target = name;
+          st.rhs = resolved;
+          trig->statements.push_back(std::move(st));
+        }
+      }
+      TraceRow row;
+      row.level = 1;
+      row.event = "*";
+      row.target = name;
+      row.query = resolved->ToString();
+      row.delta_code = name + "[] := re-evaluate over maps (hybrid)";
+      program.trace.push_back(std::move(row));
+    }
+
+    // --- domain map for grouped views ---
+    if (!tq.group_vars.empty()) {
+      if (tq.domain_expr == nullptr) {
+        return Status::Internal("translator did not produce a domain query");
+      }
+      bool created = false;
+      DBT_ASSIGN_OR_RETURN(
+          std::string dom,
+          register_map(tq.group_vars, tq.key_types,
+                       tq.domain_expr->children[0], /*level=*/1,
+                       StrFormat("%s_dom", tq.name.c_str()), &created));
+      if (created) worklist.push_back(by_name[dom]);
+      view.domain_map = dom;
+    }
+
+    // --- view columns: resolve placeholders ---
+    for (const ViewColumn& c : tq.columns) {
+      ViewColumn out = c;
+      if (out.kind == ViewColumn::Kind::kTerm) {
+        out.value = out.value->RenameMaps(placeholder_names);
+      } else {
+        auto it = placeholder_names.find(out.extreme_map);
+        if (it == placeholder_names.end()) {
+          return Status::Internal("unresolved extreme map placeholder");
+        }
+        out.extreme_map = it->second;
+      }
+      view.columns.push_back(std::move(out));
+    }
+    program.views.push_back(std::move(view));
+  }
+
+  // ---- recursive delta compilation over the worklist ----
+  std::set<size_t> processed;
+  while (!worklist.empty()) {
+    size_t idx = worklist.front();
+    worklist.pop_front();
+    if (!processed.insert(idx).second) continue;
+    // Copy out what we need: registry may grow (and reallocate) below.
+    const std::string map_name = registry[idx].name;
+    const ExprPtr defn = registry[idx].canon.defn;
+    const std::vector<Type> key_types = registry[idx].key_types;
+    const int level = registry[idx].level;
+    const std::string display = registry[idx].display;
+
+    std::set<std::string> rels;
+    defn->CollectRels(&rels);
+    for (const std::string& rel : rels) {
+      const Schema* schema = catalog_.FindRelation(rel);
+      if (schema == nullptr) {
+        return Status::NotFound("unknown relation in definition: " + rel);
+      }
+      for (int sign : {+1, -1}) {
+        DeltaEvent ev;
+        ev.relation = schema->name();
+        ev.sign = sign;
+        for (size_t c = 0; c < schema->num_columns(); ++c) {
+          ev.params.push_back(ParamName(schema->column_name(c)));
+        }
+        ExprPtr delta = Delta(defn, ev);
+        std::set<std::string> params(ev.params.begin(), ev.params.end());
+        DBT_ASSIGN_OR_RETURN(std::vector<DeltaUnit> units,
+                             SimplifyDelta(delta, params));
+
+        // Environment types: canonical keys + event parameters.
+        ring::VarTypes env_types = map_value_types;
+        for (size_t k = 0; k < key_types.size(); ++k) {
+          env_types[StrFormat("k%zu", k)] = key_types[k];
+        }
+        for (size_t c = 0; c < schema->num_columns(); ++c) {
+          env_types[ev.params[c]] = schema->column_type(c);
+        }
+        DBT_RETURN_IF_ERROR(
+            ring::InferVarTypes(*defn, rel_types, &env_types));
+
+        DBT_ASSIGN_OR_RETURN(
+            Trigger * trig,
+            trigger_for(schema->name(),
+                        sign > 0 ? EventKind::kInsert : EventKind::kDelete));
+
+        TraceRow row;
+        row.level = level;
+        row.event = ev.Label();
+        row.target = map_name;
+        row.query = display;
+
+        std::string code;
+        for (DeltaUnit& unit : units) {
+          std::vector<std::string> used;
+          DBT_ASSIGN_OR_RETURN(
+              ExprPtr rhs,
+              materialize(unit.rhs, level + 1, env_types, &used,
+                          &row.new_maps, &worklist));
+          Statement st;
+          st.kind = Statement::Kind::kDelta;
+          st.target = map_name;
+          st.target_keys = unit.keys;
+          st.rhs = rhs;
+          // Which target keys can neither the event nor the RHS bind?
+          std::set<std::string> bindable(params.begin(), params.end());
+          for (const std::string& v : rhs->OutVars()) bindable.insert(v);
+          for (size_t k = 0; k < st.target_keys.size(); ++k) {
+            if (!bindable.count(st.target_keys[k])) {
+              st.lhs_iterate.push_back(k);
+            }
+          }
+          if (!st.lhs_iterate.empty()) {
+            registry[idx].needs_init = true;
+          }
+          for (const std::string& u : used) row.maps_used.push_back(u);
+          if (!code.empty()) code += "; ";
+          code += st.ToString();
+          trig->statements.push_back(std::move(st));
+        }
+        if (units.empty()) code = "(no effect)";
+        row.delta_code = code;
+        program.trace.push_back(std::move(row));
+      }
+    }
+  }
+
+  // ---- assemble ----
+  for (const RegMap& rm : registry) {
+    MapDecl decl;
+    decl.name = rm.name;
+    for (size_t i = 0; i < rm.key_types.size(); ++i) {
+      decl.key_names.push_back(StrFormat("k%zu", i));
+    }
+    decl.key_types = rm.key_types;
+    decl.value_type = rm.value_type;
+    decl.definition = rm.canon.defn;
+    decl.needs_init = rm.needs_init;
+    decl.level = rm.level;
+    program.maps.push_back(std::move(decl));
+  }
+  for (MapDecl& d : extreme_decls) program.maps.push_back(std::move(d));
+  for (auto& entry : triggers) program.triggers.push_back(entry.second);
+
+  return program;
+}
+
+Result<Program> CompileQuery(const Catalog& catalog, const std::string& name,
+                             const std::string& sql) {
+  Compiler c(catalog);
+  DBT_RETURN_IF_ERROR(c.AddQuery(name, sql));
+  return c.Compile();
+}
+
+}  // namespace dbtoaster::compiler

@@ -1,0 +1,64 @@
+// The recursive compilation driver (the paper's §3 algorithm).
+//
+// For every registered query:
+//   1. translate SQL to ring expressions (translate.h);
+//   2. register each aggregate as a level-1 map;
+//   3. repeatedly: for every map M and every event ±R over a relation in
+//      M's definition, derive Δ±R(M) (delta.h), simplify it (simplify.h),
+//      materialise the remaining AggSum/relation factors as new maps
+//      (deduplicated structurally — "map sharing"), and emit a trigger
+//      statement M[keys] += rhs;
+//   4. until no new maps appear (definitions without relation atoms have
+//      constant-time deltas).
+//
+// Queries containing scalar subqueries take the hybrid path: inner
+// aggregates are compiled incrementally as above, while the outer aggregate
+// is re-evaluated per event over the maintained maps (a := statement) —
+// still asymptotically cheaper than base-table re-evaluation.
+#ifndef DBTOASTER_COMPILER_COMPILE_H_
+#define DBTOASTER_COMPILER_COMPILE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/compiler/translate.h"
+
+namespace dbtoaster::compiler {
+
+/// Compiles one or more standing queries against a shared catalog into a
+/// single trigger Program (maps are shared across queries).
+class Compiler {
+ public:
+  explicit Compiler(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+  /// Register a standing query. `name` must be unique; it names the view.
+  Status AddQuery(const std::string& name, const std::string& sql);
+  Status AddQuery(const std::string& name, const sql::SelectStmt& stmt);
+
+  /// Run recursive compilation over all registered queries.
+  Result<Program> Compile();
+
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  Catalog catalog_;
+  struct Pending {
+    std::string name;
+    std::unique_ptr<TranslatedQuery> translated;
+  };
+  std::vector<Pending> queries_;
+  int var_counter_ = 0;
+};
+
+/// Convenience: compile a single query in one call.
+Result<Program> CompileQuery(const Catalog& catalog, const std::string& name,
+                             const std::string& sql);
+
+}  // namespace dbtoaster::compiler
+
+#endif  // DBTOASTER_COMPILER_COMPILE_H_

@@ -1,0 +1,81 @@
+#include "src/compiler/delta.h"
+
+#include <cassert>
+
+namespace dbtoaster::compiler {
+
+using ring::Expr;
+using ring::ExprPtr;
+
+namespace {
+
+/// Delta of a product f1 · f2 · ... · fn via the binary rule applied
+/// recursively; zero sub-deltas prune the expansion, so for self-join-free
+/// monomials this yields exactly one surviving term.
+ExprPtr DeltaProd(const std::vector<ExprPtr>& factors, size_t from,
+                  const DeltaEvent& event) {
+  if (from + 1 == factors.size()) return Delta(factors[from], event);
+  ExprPtr head = factors[from];
+  ExprPtr dhead = Delta(head, event);
+  std::vector<ExprPtr> tail(factors.begin() + from + 1, factors.end());
+  ExprPtr dtail = DeltaProd(factors, from + 1, event);
+  ExprPtr rest = Expr::Prod(std::vector<ExprPtr>(tail));
+
+  std::vector<ExprPtr> addends;
+  if (!dhead->IsZero()) {
+    addends.push_back(Expr::Prod({dhead, rest}));
+  }
+  if (!dtail->IsZero()) {
+    addends.push_back(Expr::Prod({head, dtail}));
+  }
+  if (!dhead->IsZero() && !dtail->IsZero()) {
+    addends.push_back(Expr::Prod({dhead, dtail}));
+  }
+  return Expr::Sum(std::move(addends));
+}
+
+}  // namespace
+
+ExprPtr Delta(const ExprPtr& e, const DeltaEvent& event) {
+  switch (e->kind) {
+    case ring::ExprKind::kConst:
+    case ring::ExprKind::kValTerm:
+    case ring::ExprKind::kCmp:
+    case ring::ExprKind::kLift:
+      return Expr::Zero();
+    case ring::ExprKind::kMapRef:
+      // Materialized maps are maintained by their own triggers; within the
+      // delta-compiled fragment they never appear in definitions (hybrid
+      // reeval statements are not delta-compiled), so their delta here is 0.
+      return Expr::Zero();
+    case ring::ExprKind::kRel: {
+      if (e->name != event.relation) return Expr::Zero();
+      assert(e->args.size() == event.params.size() &&
+             "event arity mismatch against relation atom");
+      std::vector<ExprPtr> lifts;
+      lifts.reserve(e->args.size() + 1);
+      if (event.sign < 0) lifts.push_back(Expr::Const(Value(int64_t{-1})));
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        lifts.push_back(
+            Expr::Lift(e->args[i], ring::Term::Var(event.params[i])));
+      }
+      return Expr::Prod(std::move(lifts));
+    }
+    case ring::ExprKind::kNeg:
+      return Expr::Neg(Delta(e->children[0], event));
+    case ring::ExprKind::kSum: {
+      std::vector<ExprPtr> ds;
+      ds.reserve(e->children.size());
+      for (const ExprPtr& c : e->children) ds.push_back(Delta(c, event));
+      return Expr::Sum(std::move(ds));
+    }
+    case ring::ExprKind::kProd:
+      return DeltaProd(e->children, 0, event);
+    case ring::ExprKind::kAggSum:
+      return Expr::AggSum(e->group_vars, Delta(e->children[0], event));
+  }
+  assert(false);
+  return Expr::Zero();
+}
+
+}  // namespace dbtoaster::compiler

@@ -1,0 +1,40 @@
+// Delta derivation: the core rewrite of the paper.
+//
+// Given an event ±R(p1..pk), the delta of a ring expression is computed by:
+//   ΔR(x1..xk)      = sign · (x1 := p1) · ... · (xk := pk)
+//   Δ(other rel)    = 0
+//   Δ(e1 + e2)      = Δe1 + Δe2
+//   Δ(e1 · e2)      = Δe1·e2 + e1·Δe2 + Δe1·Δe2
+//   Δ(AggSum(g, e)) = AggSum(g, Δe)
+//   Δ(const/term/cmp/lift/map) = 0
+// The (xi := pi) lifts are subsequently eliminated by lift unification in
+// simplify.h, which is what makes each recursion level asymptotically
+// simpler (one fewer scan/join), as described in §1 of the paper.
+#ifndef DBTOASTER_COMPILER_DELTA_H_
+#define DBTOASTER_COMPILER_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ring/expr.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::compiler {
+
+/// The event a delta is taken with respect to.
+struct DeltaEvent {
+  std::string relation;
+  int sign = +1;                    ///< +1 insert, -1 delete
+  std::vector<std::string> params;  ///< one fresh variable per column
+
+  std::string Label() const {      ///< "+R" / "-R"
+    return (sign > 0 ? "+" : "-") + relation;
+  }
+};
+
+/// Compute the delta of `e` with respect to `event`.
+ring::ExprPtr Delta(const ring::ExprPtr& e, const DeltaEvent& event);
+
+}  // namespace dbtoaster::compiler
+
+#endif  // DBTOASTER_COMPILER_DELTA_H_

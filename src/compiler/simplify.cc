@@ -1,0 +1,398 @@
+#include "src/compiler/simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::compiler {
+
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+std::string Monomial::ToString() const {
+  std::string s = coeff.ToString();
+  for (const ExprPtr& f : factors) s += " * " + f->ToString();
+  return s;
+}
+
+namespace {
+
+/// Expand a value term into Σ coeff · Π atomic-term-factors.
+/// Atomic factors: variables, map reads, divisions (kept opaque).
+void ExpandTerm(const TermPtr& t,
+                std::vector<std::pair<Value, std::vector<TermPtr>>>* out) {
+  switch (t->kind) {
+    case Term::Kind::kConst:
+      out->push_back({t->constant, {}});
+      return;
+    case Term::Kind::kVar:
+    case Term::Kind::kMapRead:
+    case Term::Kind::kDiv:
+      out->push_back({Value(int64_t{1}), {t}});
+      return;
+    case Term::Kind::kAdd:
+    case Term::Kind::kSub: {
+      std::vector<std::pair<Value, std::vector<TermPtr>>> l, r;
+      ExpandTerm(t->lhs, &l);
+      ExpandTerm(t->rhs, &r);
+      for (auto& p : l) out->push_back(std::move(p));
+      for (auto& p : r) {
+        if (t->kind == Term::Kind::kSub) p.first = Value::Neg(p.first);
+        out->push_back(std::move(p));
+      }
+      return;
+    }
+    case Term::Kind::kMul: {
+      std::vector<std::pair<Value, std::vector<TermPtr>>> l, r;
+      ExpandTerm(t->lhs, &l);
+      ExpandTerm(t->rhs, &r);
+      for (const auto& [cl, fl] : l) {
+        for (const auto& [cr, fr] : r) {
+          std::vector<TermPtr> fs = fl;
+          fs.insert(fs.end(), fr.begin(), fr.end());
+          out->push_back({Value::Mul(cl, cr), std::move(fs)});
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Monomial> CrossProduct(const std::vector<Monomial>& a,
+                                   const std::vector<Monomial>& b) {
+  std::vector<Monomial> out;
+  out.reserve(a.size() * b.size());
+  for (const Monomial& x : a) {
+    for (const Monomial& y : b) {
+      Monomial m;
+      m.coeff = Value::Mul(x.coeff, y.coeff);
+      if (m.coeff.is_numeric() && m.coeff.IsZero()) continue;
+      m.factors = x.factors;
+      m.factors.insert(m.factors.end(), y.factors.begin(), y.factors.end());
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Monomial> ExpandToMonomials(const ExprPtr& e) {
+  switch (e->kind) {
+    case ring::ExprKind::kConst: {
+      if (e->constant.is_numeric() && e->constant.IsZero()) return {};
+      Monomial m;
+      m.coeff = e->constant;
+      return {m};
+    }
+    case ring::ExprKind::kValTerm: {
+      std::vector<std::pair<Value, std::vector<TermPtr>>> parts;
+      ExpandTerm(e->term, &parts);
+      std::vector<Monomial> out;
+      for (auto& [coeff, term_factors] : parts) {
+        if (coeff.is_numeric() && coeff.IsZero()) continue;
+        Monomial m;
+        m.coeff = coeff;
+        for (const TermPtr& tf : term_factors) {
+          m.factors.push_back(Expr::ValTerm(tf));
+        }
+        out.push_back(std::move(m));
+      }
+      return out;
+    }
+    case ring::ExprKind::kCmp:
+    case ring::ExprKind::kLift:
+    case ring::ExprKind::kRel:
+    case ring::ExprKind::kMapRef: {
+      Monomial m;
+      m.factors.push_back(e);
+      return {m};
+    }
+    case ring::ExprKind::kNeg: {
+      std::vector<Monomial> out = ExpandToMonomials(e->children[0]);
+      for (Monomial& m : out) m.coeff = Value::Neg(m.coeff);
+      return out;
+    }
+    case ring::ExprKind::kSum: {
+      std::vector<Monomial> out;
+      for (const ExprPtr& c : e->children) {
+        std::vector<Monomial> cs = ExpandToMonomials(c);
+        out.insert(out.end(), std::make_move_iterator(cs.begin()),
+                   std::make_move_iterator(cs.end()));
+      }
+      return out;
+    }
+    case ring::ExprKind::kProd: {
+      std::vector<Monomial> acc;
+      acc.push_back(Monomial{});
+      for (const ExprPtr& c : e->children) {
+        acc = CrossProduct(acc, ExpandToMonomials(c));
+      }
+      return acc;
+    }
+    case ring::ExprKind::kAggSum: {
+      // Distribute over the child's monomials: AggSum(g, Σ m) = Σ AggSum(g,m).
+      std::vector<Monomial> inner = ExpandToMonomials(e->children[0]);
+      std::vector<Monomial> out;
+      for (Monomial& m : inner) {
+        // Pull the coefficient out of the AggSum.
+        Monomial wrapped;
+        wrapped.coeff = m.coeff;
+        m.coeff = Value(int64_t{1});
+        ExprPtr body = MonomialsToExpr({m});
+        // Trivial grouping: nothing to sum out.
+        std::set<std::string> outv = body->OutVars();
+        std::set<std::string> gv(e->group_vars.begin(), e->group_vars.end());
+        bool trivial = true;
+        for (const std::string& v : outv) {
+          if (!gv.count(v)) {
+            trivial = false;
+            break;
+          }
+        }
+        if (trivial) {
+          Monomial flat;
+          flat.coeff = wrapped.coeff;
+          flat.factors = m.factors;
+          out.push_back(std::move(flat));
+        } else {
+          wrapped.factors.push_back(Expr::AggSum(e->group_vars, body));
+          out.push_back(std::move(wrapped));
+        }
+      }
+      return out;
+    }
+  }
+  assert(false);
+  return {};
+}
+
+ExprPtr MonomialsToExpr(const std::vector<Monomial>& ms) {
+  std::vector<ExprPtr> addends;
+  addends.reserve(ms.size());
+  for (const Monomial& m : ms) {
+    std::vector<ExprPtr> fs;
+    fs.reserve(m.factors.size() + 1);
+    bool coeff_is_one = m.coeff.is_int() && m.coeff.AsInt() == 1;
+    if (!coeff_is_one) fs.push_back(Expr::Const(m.coeff));
+    fs.insert(fs.end(), m.factors.begin(), m.factors.end());
+    addends.push_back(Expr::Prod(std::move(fs)));
+  }
+  return Expr::Sum(std::move(addends));
+}
+
+Status UnifyLifts(Monomial* m, std::vector<std::string>* keys,
+                  const std::set<std::string>& params) {
+  bool progress = true;
+  std::set<size_t> kept;  // lifts we decided to keep (bound-var filters etc.)
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < m->factors.size(); ++i) {
+      // Take a strong copy: the factor slot is rewritten below and the old
+      // node may be destroyed, so references into it must not outlive that.
+      ExprPtr f = m->factors[i];
+      if (f->kind != ring::ExprKind::kLift || kept.count(i)) continue;
+      const std::string x = f->var;
+      // (x := x) == 1: arises when query variables share the event
+      // parameters' names (the paper's a/b/c/d convention).
+      if (f->term->kind == Term::Kind::kVar && f->term->var == x) {
+        m->factors.erase(m->factors.begin() + i);
+        kept.clear();
+        progress = true;
+        break;
+      }
+      if (params.count(x)) {
+        // Target already event-bound: the lift acts as an equality filter
+        // (self-join deltas); keep it.
+        kept.insert(i);
+        continue;
+      }
+      if (f->term->kind == Term::Kind::kVar) {
+        const std::string t = f->term->var;
+        m->factors.erase(m->factors.begin() + i);
+        if (t != x) {
+          std::map<std::string, std::string> ren{{x, t}};
+          for (ExprPtr& g : m->factors) g = g->Rename(ren);
+          for (std::string& k : *keys) {
+            if (k == x) k = t;
+          }
+        }
+        // Indices in `kept` shift; conservatively restart the scan.
+        kept.clear();
+        progress = true;
+        break;
+      }
+      if (f->term->kind == Term::Kind::kConst) {
+        bool in_atom_args = false;
+        bool in_keys =
+            std::find(keys->begin(), keys->end(), x) != keys->end();
+        for (const ExprPtr& g : m->factors) {
+          if ((g->kind == ring::ExprKind::kRel ||
+               g->kind == ring::ExprKind::kMapRef) &&
+              std::find(g->args.begin(), g->args.end(), x) != g->args.end()) {
+            in_atom_args = true;
+            break;
+          }
+        }
+        if (in_atom_args || in_keys) {
+          kept.insert(i);  // the lift stays to bind x at evaluation time
+          continue;
+        }
+        std::map<std::string, TermPtr> subst{{x, f->term}};
+        for (ExprPtr& g : m->factors) {
+          switch (g->kind) {
+            case ring::ExprKind::kValTerm:
+              g = Expr::ValTerm(g->term->Substitute(subst));
+              break;
+            case ring::ExprKind::kCmp:
+              g = Expr::Cmp(g->cmp_op, g->cmp_lhs->Substitute(subst),
+                            g->cmp_rhs->Substitute(subst));
+              break;
+            case ring::ExprKind::kLift:
+              g = Expr::Lift(g->var, g->term->Substitute(subst));
+              break;
+            default:
+              break;
+          }
+        }
+        m->factors.erase(m->factors.begin() + i);
+        kept.clear();
+        progress = true;
+        break;
+      }
+      // Complex lift definition: keep (evaluator binds it when its term's
+      // inputs are available).
+      kept.insert(i);
+    }
+    // A substitution may have turned a Cmp into a constant 0/1; fold.
+    for (size_t i = 0; i < m->factors.size();) {
+      const ExprPtr& f = m->factors[i];
+      if (f->kind == ring::ExprKind::kConst) {
+        m->coeff = Value::Mul(m->coeff, f->constant);
+        m->factors.erase(m->factors.begin() + i);
+        kept.clear();
+      } else {
+        ++i;
+      }
+    }
+    if (m->coeff.is_numeric() && m->coeff.IsZero()) {
+      m->factors.clear();
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExprPtr> Factorize(const Monomial& m,
+                          const std::vector<std::string>& keys,
+                          const std::set<std::string>& params) {
+  std::set<std::string> interface(params.begin(), params.end());
+  interface.insert(keys.begin(), keys.end());
+
+  const size_t n = m.factors.size();
+  // Union-find over factors.
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  // Variables summed out by this statement.
+  std::set<std::string> summed;
+  for (const ExprPtr& f : m.factors) {
+    for (const std::string& v : f->OutVars()) {
+      if (!interface.count(v)) summed.insert(v);
+    }
+  }
+  // Connect factors through shared summed variables (via inputs or outputs).
+  std::map<std::string, std::vector<size_t>> var_to_factors;
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& v : m.factors[i]->AllVars()) {
+      if (summed.count(v)) var_to_factors[v].push_back(i);
+    }
+  }
+  for (const auto& [v, fs] : var_to_factors) {
+    for (size_t i = 1; i < fs.size(); ++i) unite(fs[0], fs[i]);
+  }
+
+  std::map<size_t, std::vector<ExprPtr>> groups;
+  for (size_t i = 0; i < n; ++i) groups[find(i)].push_back(m.factors[i]);
+
+  std::vector<ExprPtr> out_factors;
+  bool coeff_is_one = m.coeff.is_int() && m.coeff.AsInt() == 1;
+  if (!coeff_is_one) out_factors.push_back(Expr::Const(m.coeff));
+
+  for (auto& [root, fs] : groups) {
+    // Does this component touch any summed variable?
+    std::set<std::string> comp_summed;
+    std::set<std::string> comp_out;
+    bool has_atom = false;
+    for (const ExprPtr& f : fs) {
+      for (const std::string& v : f->AllVars()) {
+        if (summed.count(v)) comp_summed.insert(v);
+      }
+      for (const std::string& v : f->OutVars()) comp_out.insert(v);
+      if (f->kind == ring::ExprKind::kRel ||
+          f->kind == ring::ExprKind::kMapRef ||
+          f->kind == ring::ExprKind::kAggSum) {
+        has_atom = true;
+      }
+    }
+    if (comp_summed.empty()) {
+      // Independent of the summation: pull the factors out unchanged.
+      for (ExprPtr& f : fs) out_factors.push_back(std::move(f));
+      continue;
+    }
+    if (!has_atom) {
+      return Status::Internal(
+          "unbound summed variable in delta monomial: " + m.ToString());
+    }
+    std::vector<std::string> keep;
+    for (const std::string& v : comp_out) {
+      if (interface.count(v)) keep.push_back(v);
+    }
+    out_factors.push_back(Expr::AggSum(keep, Expr::Prod(std::move(fs))));
+  }
+  return Expr::Prod(std::move(out_factors));
+}
+
+Result<std::vector<DeltaUnit>> SimplifyDelta(
+    const ExprPtr& delta, const std::set<std::string>& params) {
+  if (delta->IsZero()) return std::vector<DeltaUnit>{};
+  if (delta->kind != ring::ExprKind::kAggSum) {
+    return Status::Internal("delta must be AggSum-rooted: " +
+                            delta->ToString());
+  }
+  const std::vector<std::string>& keys = delta->group_vars;
+  std::vector<Monomial> monomials = ExpandToMonomials(delta->children[0]);
+  std::vector<DeltaUnit> units;
+  for (Monomial& m : monomials) {
+    std::vector<std::string> unit_keys = keys;
+    DBT_RETURN_IF_ERROR(UnifyLifts(&m, &unit_keys, params));
+    if (m.coeff.is_numeric() && m.coeff.IsZero()) continue;
+    DBT_ASSIGN_OR_RETURN(ExprPtr rhs, Factorize(m, unit_keys, params));
+    if (rhs->IsZero()) continue;
+    units.push_back(DeltaUnit{std::move(unit_keys), std::move(rhs)});
+  }
+  return units;
+}
+
+ExprPtr NormalizeDefinition(const ExprPtr& defn) {
+  if (defn->kind != ring::ExprKind::kAggSum) {
+    return MonomialsToExpr(ExpandToMonomials(defn));
+  }
+  return Expr::AggSum(defn->group_vars,
+                      MonomialsToExpr(ExpandToMonomials(defn->children[0])));
+}
+
+}  // namespace dbtoaster::compiler

@@ -1,0 +1,79 @@
+// The map-algebra simplification rules (§3): polynomial expansion, lift
+// unification (equality propagation of event parameters), and AggSum
+// factorisation over connected components of the summed-variable graph.
+//
+// The paper describes ~70 rewrite rules; this module implements the core
+// rule families that drive them:
+//   * ring normalisation  (flattening, 0/1 elimination, constant folding —
+//     partly built into the ring constructors)
+//   * polynomial expansion of products over sums, including value terms
+//     (a*(b+c) splits monomials; a*b splits value factors)
+//   * lift unification    ((x := p) · e  ==>  e[x/p])
+//   * AggSum distribution over sums and trivial-group elimination
+//   * AggSum factorisation into independent components (join elimination:
+//     this is what turns ΔS (R ⋈ S ⋈ T) into qA[b] · qD[c])
+#ifndef DBTOASTER_COMPILER_SIMPLIFY_H_
+#define DBTOASTER_COMPILER_SIMPLIFY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ring/expr.h"
+
+namespace dbtoaster::compiler {
+
+/// One monomial of an expanded polynomial: coeff * f1 * ... * fn.
+struct Monomial {
+  Value coeff = Value(int64_t{1});
+  std::vector<ring::ExprPtr> factors;  ///< non-constant atoms
+
+  std::string ToString() const;
+};
+
+/// Expand `e` into a sum of flat monomials. Negation folds into
+/// coefficients; value terms are expanded multiplicatively and additively
+/// (ValTerm(a*d) becomes two value factors; ValTerm(x+y) splits monomials).
+/// Nested AggSums are distributed over sums but kept as atomic factors.
+std::vector<Monomial> ExpandToMonomials(const ring::ExprPtr& e);
+
+/// Rebuild an expression from monomials.
+ring::ExprPtr MonomialsToExpr(const std::vector<Monomial>& ms);
+
+/// Lift unification over one monomial. Lifts (x := t) with substitutable
+/// targets are removed by renaming/substituting x throughout the monomial
+/// and the target key list `keys` (group variables may be renamed to event
+/// parameters — this is how update targets become parameter-keyed).
+/// `params` are event parameters (never substituted away).
+Status UnifyLifts(Monomial* m, std::vector<std::string>* keys,
+                  const std::set<std::string>& params);
+
+/// AggSum factorisation: split a monomial into independent components with
+/// respect to its summed variables (those in neither `keys` nor `params`).
+/// Components containing relation/map atoms become AggSum factors (future
+/// maps); factors without summed variables are pulled out unchanged.
+/// Returns the factorised right-hand side product.
+Result<ring::ExprPtr> Factorize(const Monomial& m,
+                                const std::vector<std::string>& keys,
+                                const std::set<std::string>& params);
+
+/// One simplified delta in statement form: `target[keys] += rhs`.
+struct DeltaUnit {
+  std::vector<std::string> keys;
+  ring::ExprPtr rhs;
+};
+
+/// Full pipeline for a delta of a map definition AggSum(keys, body):
+/// expansion, per-monomial lift unification, factorisation. One DeltaUnit
+/// per surviving monomial.
+Result<std::vector<DeltaUnit>> SimplifyDelta(
+    const ring::ExprPtr& delta, const std::set<std::string>& params);
+
+/// Normalise a map definition body into polynomial form (used before
+/// canonicalisation so structurally equal definitions share maps).
+ring::ExprPtr NormalizeDefinition(const ring::ExprPtr& defn);
+
+}  // namespace dbtoaster::compiler
+
+#endif  // DBTOASTER_COMPILER_SIMPLIFY_H_

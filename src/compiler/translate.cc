@@ -1,0 +1,691 @@
+#include "src/compiler/translate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::compiler {
+
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+using sql::BinOp;
+
+namespace {
+
+void SplitConjuncts(const sql::Expr& e, std::vector<const sql::Expr*>* out) {
+  if (e.kind == sql::Expr::Kind::kBinary && e.op == BinOp::kAnd) {
+    SplitConjuncts(*e.lhs, out);
+    SplitConjuncts(*e.rhs, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Union-find over variable names.
+class VarUnionFind {
+ public:
+  void Add(const std::string& v) { parent_.emplace(v, v); }
+  std::string Find(const std::string& v) {
+    Add(v);
+    std::string root = v;
+    while (parent_[root] != root) root = parent_[root];
+    // Path compression.
+    std::string cur = v;
+    while (parent_[cur] != root) {
+      std::string next = parent_[cur];
+      parent_[cur] = root;
+      cur = next;
+    }
+    return root;
+  }
+  void Union(const std::string& a, const std::string& b) {
+    parent_[Find(a)] = Find(b);
+  }
+  std::map<std::string, std::vector<std::string>> Classes() {
+    std::map<std::string, std::vector<std::string>> out;
+    for (const auto& [v, p] : parent_) out[Find(v)].push_back(v);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+class Translator {
+ public:
+  Translator(const Catalog& catalog, int* counter)
+      : catalog_(catalog), counter_(counter) {}
+
+  struct ScopeTable {
+    std::string alias;
+    const Schema* schema;
+    std::vector<std::string> vars;  ///< one per column
+  };
+  struct Scope {
+    std::vector<ScopeTable> tables;
+  };
+
+  Result<std::unique_ptr<TranslatedQuery>> Run(
+      const sql::SelectStmt& stmt, const std::string& name,
+      std::vector<Scope*> outer, std::set<std::string>* free_outer_used);
+
+ private:
+  struct ResolvedVar {
+    std::string var;
+    Type type;
+    std::string column;  ///< original column name (for prettifying)
+    int depth;
+  };
+
+  std::string FreshName(const std::string& base) {
+    if (used_names_.insert(base).second) return base;
+    for (;;) {
+      std::string cand = StrFormat("%s_%d", base.c_str(), (*counter_)++);
+      if (used_names_.insert(cand).second) return cand;
+    }
+  }
+
+  Result<ResolvedVar> ResolveColumn(const sql::Expr& e,
+                                    const std::vector<Scope*>& scopes) {
+    assert(e.kind == sql::Expr::Kind::kColumnRef);
+    for (size_t depth = 0; depth < scopes.size(); ++depth) {
+      const Scope* scope = scopes[depth];
+      const ScopeTable* found = nullptr;
+      size_t col = 0;
+      for (const ScopeTable& t : scope->tables) {
+        if (!e.qualifier.empty() && ToUpper(t.alias) != ToUpper(e.qualifier)) {
+          continue;
+        }
+        auto c = t.schema->FindColumn(e.column);
+        if (!c.has_value()) continue;
+        if (found != nullptr) {
+          return Status::InvalidArgument("ambiguous column reference: " +
+                                         e.ToString());
+        }
+        found = &t;
+        col = *c;
+      }
+      if (found != nullptr) {
+        return ResolvedVar{found->vars[col], found->schema->column_type(col),
+                           found->schema->column_name(col),
+                           static_cast<int>(depth)};
+      }
+    }
+    return Status::NotFound("unresolved column: " + e.ToString());
+  }
+
+  // -- term translation ----------------------------------------------------
+
+  Result<TermPtr> TranslateTerm(const sql::Expr& e,
+                                const std::vector<Scope*>& scopes,
+                                TranslatedQuery* out,
+                                std::set<std::string>* free_outer,
+                                bool allow_subqueries) {
+    switch (e.kind) {
+      case sql::Expr::Kind::kLiteral:
+        return Term::Const(e.literal);
+      case sql::Expr::Kind::kColumnRef: {
+        DBT_ASSIGN_OR_RETURN(ResolvedVar rv, ResolveColumn(e, scopes));
+        out->var_types[rv.var] = rv.type;
+        if (rv.depth > 0) free_outer->insert(rv.var);
+        return Term::Var(rv.var);
+      }
+      case sql::Expr::Kind::kUnaryMinus: {
+        DBT_ASSIGN_OR_RETURN(
+            TermPtr t, TranslateTerm(*e.lhs, scopes, out, free_outer,
+                                     allow_subqueries));
+        return Term::Mul(Term::Int(-1), t);
+      }
+      case sql::Expr::Kind::kBinary: {
+        if (!sql::IsArithmetic(e.op)) {
+          return Status::NotSupported(
+              "boolean expression used as a value: " + e.ToString());
+        }
+        DBT_ASSIGN_OR_RETURN(
+            TermPtr l, TranslateTerm(*e.lhs, scopes, out, free_outer,
+                                     allow_subqueries));
+        DBT_ASSIGN_OR_RETURN(
+            TermPtr r, TranslateTerm(*e.rhs, scopes, out, free_outer,
+                                     allow_subqueries));
+        switch (e.op) {
+          case BinOp::kAdd: return Term::Add(l, r);
+          case BinOp::kSub: return Term::Sub(l, r);
+          case BinOp::kMul: return Term::Mul(l, r);
+          case BinOp::kDiv: return Term::Div(l, r);
+          default: break;
+        }
+        return Status::Internal("unreachable arithmetic op");
+      }
+      case sql::Expr::Kind::kSubquery: {
+        if (!allow_subqueries) {
+          return Status::NotSupported(
+              "scalar subqueries are supported in WHERE predicates only: " +
+              e.ToString());
+        }
+        return HoistSubquery(*e.subquery, scopes, out, free_outer);
+      }
+      case sql::Expr::Kind::kAggregate:
+        return Status::NotSupported(
+            "aggregates may only appear in the SELECT list: " + e.ToString());
+      case sql::Expr::Kind::kNot:
+        return Status::NotSupported("NOT used as a value: " + e.ToString());
+    }
+    return Status::Internal("unhandled expression kind in term translation");
+  }
+
+  Result<TermPtr> HoistSubquery(const sql::SelectStmt& sub,
+                                const std::vector<Scope*>& scopes,
+                                TranslatedQuery* out,
+                                std::set<std::string>* free_outer) {
+    size_t idx = out->subqueries.size();
+    std::string sub_name = StrFormat("%s_sub%zu", out->name.c_str(), idx);
+    std::set<std::string> inner_free;
+    DBT_ASSIGN_OR_RETURN(
+        std::unique_ptr<TranslatedQuery> inner,
+        Run(sub, sub_name, scopes, &inner_free));
+    if (!inner->group_vars.empty()) {
+      return Status::NotSupported(
+          "scalar subqueries must not use GROUP BY: " + sub.ToString());
+    }
+    if (inner->columns.size() != 1 ||
+        inner->columns[0].kind != ViewColumn::Kind::kTerm) {
+      return Status::NotSupported(
+          "scalar subqueries must compute a single (non-MIN/MAX) aggregate "
+          "value: " +
+          sub.ToString());
+    }
+    if (inner->hybrid) {
+      return Status::NotSupported(
+          "nested subqueries inside subqueries are not supported: " +
+          sub.ToString());
+    }
+    // Correlation variables: outer variables the inner query references.
+    // Those belonging to scopes above *this* query propagate further out.
+    std::vector<std::string> corr;
+    for (const std::string& v : inner_free) {
+      corr.push_back(v);
+      bool is_local = out->var_types.count(v) > 0 && !free_outer->count(v);
+      // Determine locality precisely: v is local iff it names a column of
+      // this query's own scope (depth 0).
+      bool local = false;
+      for (const ScopeTable& t : scopes[0]->tables) {
+        if (std::find(t.vars.begin(), t.vars.end(), v) != t.vars.end()) {
+          local = true;
+          break;
+        }
+      }
+      (void)is_local;
+      if (!local) free_outer->insert(v);
+    }
+    std::sort(corr.begin(), corr.end());
+
+    // Re-key the inner aggregates by the correlation variables.
+    for (TranslatedAggregate& agg : inner->aggregates) {
+      if (agg.expr != nullptr) {
+        assert(agg.expr->kind == ring::ExprKind::kAggSum);
+        agg.expr = Expr::AggSum(corr, agg.expr->children[0]);
+      }
+    }
+    inner->group_vars = corr;
+    for (const std::string& v : corr) {
+      inner->key_column_names.push_back(v);
+      auto it = out->var_types.find(v);
+      inner->key_types.push_back(it != out->var_types.end() ? it->second
+                                                            : Type::kDouble);
+      // The inner query needs the corr var types too.
+      if (it != out->var_types.end()) inner->var_types[v] = it->second;
+    }
+
+    // Build the reference term: the inner item with its aggregate
+    // placeholders re-keyed by the correlation variables.
+    std::map<std::string, TermPtr> repl;
+    std::vector<TermPtr> key_terms;
+    for (const std::string& v : corr) key_terms.push_back(Term::Var(v));
+    for (size_t i = 0; i < inner->aggregates.size(); ++i) {
+      std::string ph = StrFormat("$%s_agg%zu", sub_name.c_str(), i);
+      repl[ph] = Term::MapRead(ph, key_terms);
+    }
+    TermPtr ref = inner->columns[0].value->ReplaceMapReads(repl);
+
+    for (const std::string& r : inner->relations) out->relations.insert(r);
+    TranslatedSubquery ts;
+    ts.inner = std::move(inner);
+    ts.corr_vars = corr;
+    ts.placeholder = StrFormat("$%s", sub_name.c_str());
+    out->subqueries.push_back(std::move(ts));
+    out->hybrid = true;
+    return ref;
+  }
+
+  // -- predicate translation -----------------------------------------------
+
+  Result<ExprPtr> PredToRing(const sql::Expr& e,
+                             const std::vector<Scope*>& scopes,
+                             TranslatedQuery* out,
+                             std::set<std::string>* free_outer) {
+    switch (e.kind) {
+      case sql::Expr::Kind::kBinary: {
+        if (e.op == BinOp::kAnd) {
+          DBT_ASSIGN_OR_RETURN(ExprPtr l,
+                               PredToRing(*e.lhs, scopes, out, free_outer));
+          DBT_ASSIGN_OR_RETURN(ExprPtr r,
+                               PredToRing(*e.rhs, scopes, out, free_outer));
+          return Expr::Prod({l, r});
+        }
+        if (e.op == BinOp::kOr) {
+          DBT_ASSIGN_OR_RETURN(ExprPtr l,
+                               PredToRing(*e.lhs, scopes, out, free_outer));
+          DBT_ASSIGN_OR_RETURN(ExprPtr r,
+                               PredToRing(*e.rhs, scopes, out, free_outer));
+          // A OR B  ==  A + B - A*B  over 0/1 indicators.
+          return Expr::Sum({l, r, Expr::Neg(Expr::Prod({l, r}))});
+        }
+        if (sql::IsComparison(e.op)) {
+          DBT_ASSIGN_OR_RETURN(
+              TermPtr l, TranslateTerm(*e.lhs, scopes, out, free_outer,
+                                       /*allow_subqueries=*/true));
+          DBT_ASSIGN_OR_RETURN(
+              TermPtr r, TranslateTerm(*e.rhs, scopes, out, free_outer,
+                                       /*allow_subqueries=*/true));
+          return Expr::Cmp(e.op, l, r);
+        }
+        return Status::NotSupported("unsupported predicate: " + e.ToString());
+      }
+      case sql::Expr::Kind::kNot: {
+        DBT_ASSIGN_OR_RETURN(ExprPtr a,
+                             PredToRing(*e.lhs, scopes, out, free_outer));
+        return Expr::Sum({Expr::One(), Expr::Neg(a)});
+      }
+      default:
+        return Status::NotSupported("unsupported predicate: " + e.ToString());
+    }
+  }
+
+  const Catalog& catalog_;
+  int* counter_;
+  std::set<std::string> used_names_;
+};
+
+Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
+    const sql::SelectStmt& stmt, const std::string& name,
+    std::vector<Scope*> outer, std::set<std::string>* free_outer_used) {
+  auto out = std::make_unique<TranslatedQuery>();
+  out->name = name;
+  out->sql = stmt.ToString();
+
+  // 1. Scope: one fresh variable per (table alias, column).
+  Scope scope;
+  if (stmt.from.empty()) {
+    return Status::NotSupported("standing queries must have a FROM clause");
+  }
+  for (const sql::TableRef& ref : stmt.from) {
+    const Schema* schema = catalog_.FindRelation(ref.table);
+    if (schema == nullptr) {
+      return Status::NotFound("unknown relation: " + ref.table);
+    }
+    for (const ScopeTable& t : scope.tables) {
+      if (ToUpper(t.alias) == ToUpper(ref.alias)) {
+        return Status::InvalidArgument("duplicate table alias: " + ref.alias);
+      }
+    }
+    ScopeTable st;
+    st.alias = ref.alias;
+    st.schema = schema;
+    for (size_t c = 0; c < schema->num_columns(); ++c) {
+      st.vars.push_back(FreshName(ToLower(ref.alias) + "_" +
+                                  ToLower(schema->column_name(c))));
+    }
+    out->relations.insert(schema->name());
+    scope.tables.push_back(std::move(st));
+  }
+  std::vector<Scope*> scopes;
+  scopes.push_back(&scope);
+  scopes.insert(scopes.end(), outer.begin(), outer.end());
+
+  // 2. WHERE conjuncts: local column equalities unify variables; the rest
+  //    become indicator predicates.
+  std::vector<const sql::Expr*> conjuncts;
+  if (stmt.where != nullptr) SplitConjuncts(*stmt.where, &conjuncts);
+
+  VarUnionFind uf;
+  std::map<std::string, std::string> var_column;  // var -> column name
+  for (const ScopeTable& t : scope.tables) {
+    for (size_t c = 0; c < t.vars.size(); ++c) {
+      uf.Add(t.vars[c]);
+      var_column[t.vars[c]] = ToLower(t.schema->column_name(c));
+      out->var_types[t.vars[c]] = t.schema->column_type(c);
+    }
+  }
+  std::vector<const sql::Expr*> predicates;
+  for (const sql::Expr* c : conjuncts) {
+    bool unified = false;
+    if (c->kind == sql::Expr::Kind::kBinary && c->op == BinOp::kEq &&
+        c->lhs->kind == sql::Expr::Kind::kColumnRef &&
+        c->rhs->kind == sql::Expr::Kind::kColumnRef) {
+      auto l = ResolveColumn(*c->lhs, scopes);
+      auto r = ResolveColumn(*c->rhs, scopes);
+      if (l.ok() && r.ok() && l.value().depth == 0 && r.value().depth == 0) {
+        if (!IsNumeric(l.value().type) == IsNumeric(r.value().type)) {
+          return Status::TypeError("join between incompatible column types: " +
+                                   c->ToString());
+        }
+        uf.Union(l.value().var, r.value().var);
+        unified = true;
+      }
+    }
+    if (!unified) predicates.push_back(c);
+  }
+
+  // 3. Canonical + prettified names for unified classes. A class shortens to
+  //    the bare column name when every member shares it and no other class
+  //    wants the same short name (this reproduces the paper's a/b/c/d naming).
+  auto classes = uf.Classes();
+  std::map<std::string, int> short_name_claims;
+  for (const auto& [root, members] : classes) {
+    std::string col = var_column.count(members[0]) ? var_column.at(members[0])
+                                                   : std::string();
+    bool uniform = !col.empty();
+    for (const std::string& m : members) {
+      if (!var_column.count(m) || var_column.at(m) != col) uniform = false;
+    }
+    if (uniform) short_name_claims[col]++;
+  }
+  std::map<std::string, std::string> rename;
+  for (const auto& [root, members] : classes) {
+    std::string col = var_column.count(members[0]) ? var_column.at(members[0])
+                                                   : std::string();
+    bool uniform = !col.empty();
+    for (const std::string& m : members) {
+      if (!var_column.count(m) || var_column.at(m) != col) uniform = false;
+    }
+    std::string target = root;
+    if (uniform && short_name_claims[col] == 1 &&
+        used_names_.insert(col).second) {
+      target = col;
+    }
+    for (const std::string& m : members) {
+      if (m != target) rename[m] = target;
+    }
+    if (target != root) {
+      // Keep types for the new name.
+      out->var_types[target] = out->var_types[root];
+    }
+  }
+  for (ScopeTable& t : scope.tables) {
+    for (std::string& v : t.vars) {
+      auto it = rename.find(v);
+      if (it != rename.end()) {
+        out->var_types[it->second] = out->var_types[v];
+        v = it->second;
+      }
+    }
+  }
+
+  // 4. Predicates to ring indicators.
+  std::vector<ExprPtr> pred_exprs;
+  for (const sql::Expr* p : predicates) {
+    DBT_ASSIGN_OR_RETURN(ExprPtr e,
+                         PredToRing(*p, scopes, out.get(), free_outer_used));
+    pred_exprs.push_back(std::move(e));
+  }
+
+  // 5. GROUP BY columns.
+  for (const auto& g : stmt.group_by) {
+    DBT_ASSIGN_OR_RETURN(ResolvedVar rv, ResolveColumn(*g, scopes));
+    if (rv.depth != 0) {
+      return Status::NotSupported("GROUP BY must use this query's columns");
+    }
+    out->group_vars.push_back(rv.var);
+    out->key_column_names.push_back(rv.column);
+    out->key_types.push_back(rv.type);
+  }
+
+  // 6. Relation atoms.
+  std::vector<ExprPtr> rel_atoms;
+  for (const ScopeTable& t : scope.tables) {
+    rel_atoms.push_back(Expr::Rel(t.schema->name(), t.vars));
+  }
+
+  // 7. SELECT items: aggregates and output columns.
+  auto make_body = [&](TermPtr value) {
+    std::vector<ExprPtr> fs = rel_atoms;
+    fs.insert(fs.end(), pred_exprs.begin(), pred_exprs.end());
+    if (value != nullptr) fs.push_back(Expr::ValTerm(value));
+    return Expr::Prod(std::move(fs));
+  };
+
+  // Translates one item expression into a view-column term, creating
+  // aggregate entries on demand.
+  std::function<Result<TermPtr>(const sql::Expr&)> item_term =
+      [&](const sql::Expr& e) -> Result<TermPtr> {
+    switch (e.kind) {
+      case sql::Expr::Kind::kLiteral:
+        return Term::Const(e.literal);
+      case sql::Expr::Kind::kColumnRef: {
+        DBT_ASSIGN_OR_RETURN(ResolvedVar rv, ResolveColumn(e, scopes));
+        if (std::find(out->group_vars.begin(), out->group_vars.end(),
+                      rv.var) == out->group_vars.end()) {
+          return Status::InvalidArgument(
+              "SELECT column is neither aggregated nor in GROUP BY: " +
+              e.ToString());
+        }
+        return Term::Var(rv.var);
+      }
+      case sql::Expr::Kind::kUnaryMinus: {
+        DBT_ASSIGN_OR_RETURN(TermPtr t, item_term(*e.lhs));
+        return Term::Mul(Term::Int(-1), t);
+      }
+      case sql::Expr::Kind::kBinary: {
+        if (!sql::IsArithmetic(e.op)) {
+          return Status::NotSupported(
+              "boolean SELECT items are not supported: " + e.ToString());
+        }
+        DBT_ASSIGN_OR_RETURN(TermPtr l, item_term(*e.lhs));
+        DBT_ASSIGN_OR_RETURN(TermPtr r, item_term(*e.rhs));
+        switch (e.op) {
+          case BinOp::kAdd: return Term::Add(l, r);
+          case BinOp::kSub: return Term::Sub(l, r);
+          case BinOp::kMul: return Term::Mul(l, r);
+          case BinOp::kDiv: return Term::Div(l, r);
+          default: break;
+        }
+        return Status::Internal("unreachable");
+      }
+      case sql::Expr::Kind::kAggregate: {
+        if (e.agg == sql::AggKind::kMin || e.agg == sql::AggKind::kMax) {
+          return Status::NotSupported(
+              "MIN/MAX must be a whole SELECT item (no arithmetic around "
+              "them): " +
+              e.ToString());
+        }
+        // SUM / COUNT / AVG over the ring.
+        auto add_agg = [&](sql::AggKind kind,
+                           TermPtr arg) -> Result<TermPtr> {
+          std::string label = std::string(sql::AggKindName(kind)) + "(" +
+                              (arg ? arg->ToString() : "*") + ")";
+          size_t idx = out->aggregates.size();
+          for (size_t i = 0; i < out->aggregates.size(); ++i) {
+            if (out->aggregates[i].label == label) {
+              idx = i;
+              break;
+            }
+          }
+          if (idx == out->aggregates.size()) {
+            TranslatedAggregate ta;
+            ta.label = label;
+            ta.kind = kind;
+            if (kind == sql::AggKind::kCount) {
+              ta.value_type = Type::kInt;
+              ta.expr = Expr::AggSum(out->group_vars, make_body(nullptr));
+            } else {
+              DBT_ASSIGN_OR_RETURN(Type at, arg->TypeOf(out->var_types));
+              if (!IsNumeric(at)) {
+                return Status::NotSupported("SUM over non-numeric argument: " +
+                                            label);
+              }
+              ta.value_type = at == Type::kDouble ? Type::kDouble : Type::kInt;
+              ta.expr = Expr::AggSum(out->group_vars, make_body(arg));
+            }
+            out->aggregates.push_back(std::move(ta));
+          }
+          std::vector<TermPtr> key_terms;
+          for (const std::string& v : out->group_vars) {
+            key_terms.push_back(Term::Var(v));
+          }
+          return Term::MapRead(
+              StrFormat("$%s_agg%zu", out->name.c_str(), idx),
+              std::move(key_terms));
+        };
+        TermPtr arg;
+        if (e.agg_arg != nullptr) {
+          size_t subs_before = out->subqueries.size();
+          DBT_ASSIGN_OR_RETURN(
+              arg, TranslateTerm(*e.agg_arg, scopes, out.get(),
+                                 free_outer_used, /*allow_subqueries=*/false));
+          if (out->subqueries.size() != subs_before) {
+            return Status::NotSupported(
+                "subqueries inside aggregate arguments are not supported");
+          }
+        } else if (e.agg != sql::AggKind::kCount) {
+          return Status::InvalidArgument("only COUNT may omit its argument");
+        }
+        switch (e.agg) {
+          case sql::AggKind::kSum:
+            return add_agg(sql::AggKind::kSum, arg);
+          case sql::AggKind::kCount:
+            return add_agg(sql::AggKind::kCount, nullptr);
+          case sql::AggKind::kAvg: {
+            DBT_ASSIGN_OR_RETURN(TermPtr s, add_agg(sql::AggKind::kSum, arg));
+            DBT_ASSIGN_OR_RETURN(TermPtr c,
+                                 add_agg(sql::AggKind::kCount, nullptr));
+            return Term::Div(s, c);
+          }
+          default:
+            return Status::Internal("unreachable aggregate kind");
+        }
+      }
+      case sql::Expr::Kind::kSubquery:
+        return Status::NotSupported(
+            "subqueries in the SELECT list are not supported");
+      case sql::Expr::Kind::kNot:
+        return Status::NotSupported("boolean SELECT items are not supported");
+    }
+    return Status::Internal("unhandled item expression");
+  };
+
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const sql::SelectItem& item = stmt.items[i];
+    std::string col_name = item.alias;
+    if (col_name.empty()) {
+      col_name = item.expr->kind == sql::Expr::Kind::kColumnRef
+                     ? item.expr->column
+                     : StrFormat("col%zu", i);
+    }
+    // MIN/MAX as a whole item: the ordered-multiset path.
+    if (item.expr->kind == sql::Expr::Kind::kAggregate &&
+        (item.expr->agg == sql::AggKind::kMin ||
+         item.expr->agg == sql::AggKind::kMax)) {
+      if (scope.tables.size() != 1) {
+        return Status::NotSupported(
+            "MIN/MAX views are supported over a single relation only "
+            "(deletions require an ordered multiset per group): " +
+            item.expr->ToString());
+      }
+      if (out->hybrid) {
+        return Status::NotSupported(
+            "MIN/MAX cannot be combined with subqueries");
+      }
+      if (item.expr->agg_arg == nullptr) {
+        return Status::InvalidArgument("MIN/MAX requires an argument");
+      }
+      DBT_ASSIGN_OR_RETURN(
+          TermPtr arg, TranslateTerm(*item.expr->agg_arg, scopes, out.get(),
+                                     free_outer_used,
+                                     /*allow_subqueries=*/false));
+      DBT_ASSIGN_OR_RETURN(Type at, arg->TypeOf(out->var_types));
+      TranslatedAggregate ta;
+      ta.label = std::string(sql::AggKindName(item.expr->agg)) + "(" +
+                 arg->ToString() + ")";
+      ta.kind = item.expr->agg;
+      ta.value_type = at;
+      ta.is_extreme = true;
+      ta.extreme_relation = scope.tables[0].schema->name();
+      ta.extreme_rel_vars = scope.tables[0].vars;
+      ta.extreme_value = arg;
+      if (!pred_exprs.empty()) {
+        std::vector<ExprPtr> g = pred_exprs;
+        ta.extreme_guard = Expr::Prod(std::move(g));
+      }
+      size_t agg_idx = out->aggregates.size();
+      out->aggregates.push_back(std::move(ta));
+
+      ViewColumn vc;
+      vc.kind = ViewColumn::Kind::kExtremeRead;
+      vc.name = col_name;
+      vc.extreme_map = StrFormat("$%s_agg%zu", out->name.c_str(), agg_idx);
+      vc.type = at;
+      out->columns.push_back(std::move(vc));
+      continue;
+    }
+
+    DBT_ASSIGN_OR_RETURN(TermPtr t, item_term(*item.expr));
+    ViewColumn vc;
+    vc.kind = ViewColumn::Kind::kTerm;
+    vc.name = col_name;
+    vc.value = t;
+    ring::VarTypes tt = out->var_types;
+    for (size_t a = 0; a < out->aggregates.size(); ++a) {
+      tt[StrFormat("@$%s_agg%zu", out->name.c_str(), a)] =
+          out->aggregates[a].value_type;
+    }
+    auto ty = t->TypeOf(tt);
+    vc.type = ty.ok() ? ty.value() : Type::kDouble;
+    out->columns.push_back(std::move(vc));
+  }
+
+  if (out->aggregates.empty() && out->group_vars.empty()) {
+    return Status::NotSupported(
+        "standing queries must aggregate or group (plain projections are "
+        "served by the snapshot interface)");
+  }
+
+  if (!out->group_vars.empty()) {
+    out->domain_expr = Expr::AggSum(out->group_vars, make_body(nullptr));
+  }
+
+  // Guard rails for extreme aggregates: guards must not read subquery maps.
+  for (const TranslatedAggregate& a : out->aggregates) {
+    if (a.is_extreme && a.extreme_guard != nullptr) {
+      std::set<std::string> reads;
+      a.extreme_guard->CollectMapRefs(&reads);
+      if (!reads.empty()) {
+        return Status::NotSupported(
+            "MIN/MAX cannot be combined with subqueries");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TranslatedQuery>> Translate(const sql::SelectStmt& stmt,
+                                                   const Catalog& catalog,
+                                                   const std::string& name,
+                                                   int* var_counter) {
+  Translator tr(catalog, var_counter);
+  std::set<std::string> free_outer;
+  DBT_ASSIGN_OR_RETURN(std::unique_ptr<TranslatedQuery> q,
+                       tr.Run(stmt, name, {}, &free_outer));
+  if (!free_outer.empty()) {
+    return Status::Internal("top-level query has unresolved outer variables");
+  }
+  return q;
+}
+
+}  // namespace dbtoaster::compiler

@@ -1,0 +1,90 @@
+// SQL -> ring calculus translation.
+//
+// A SELECT statement becomes one ring expression per aggregate:
+//   AggSum(group vars, Rel_1 · ... · Rel_n · indicators · {value term})
+// Top-level equality conjuncts between columns unify variables (this is what
+// gives joins their shared-variable form); remaining predicates become 0/1
+// indicator expressions (OR via inclusion–exclusion, NOT via 1 - e).
+// Scalar subqueries become placeholder map reads ("$sub<i>.<agg>") keyed by
+// their correlation variables; the compile driver materialises them.
+#ifndef DBTOASTER_COMPILER_TRANSLATE_H_
+#define DBTOASTER_COMPILER_TRANSLATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/ring/expr.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster::compiler {
+
+/// One aggregate of a translated query.
+struct TranslatedAggregate {
+  std::string label;            ///< e.g. "SUM((b.price * b.volume))"
+  sql::AggKind kind = sql::AggKind::kSum;
+  Type value_type = Type::kInt;
+
+  /// Ring form: AggSum(group vars, body). Null for MIN/MAX aggregates.
+  ring::ExprPtr expr;
+
+  /// MIN/MAX (ordered-multiset) path.
+  bool is_extreme = false;
+  std::string extreme_relation;       ///< the single FROM relation
+  std::vector<std::string> extreme_rel_vars;  ///< its column variables
+  ring::TermPtr extreme_value;        ///< aggregated value over those vars
+  ring::ExprPtr extreme_guard;        ///< 0/1 indicator (may be null)
+};
+
+struct TranslatedQuery;
+
+/// A scalar subquery hoisted out of a predicate.
+struct TranslatedSubquery {
+  std::unique_ptr<TranslatedQuery> inner;
+  std::vector<std::string> corr_vars;  ///< outer variables it depends on
+  std::string placeholder;             ///< "$<query>_sub<i>"
+};
+
+/// Result of translating one SELECT statement.
+struct TranslatedQuery {
+  std::string name;
+  std::string sql;
+
+  std::vector<std::string> group_vars;  ///< ring variables of the group keys
+  std::vector<std::string> key_column_names;
+  std::vector<Type> key_types;
+
+  std::vector<TranslatedAggregate> aggregates;
+
+  /// View output columns; aggregate reads use placeholder map names
+  /// "$<query>_agg<i>" resolved by the compile driver.
+  std::vector<ViewColumn> columns;
+
+  std::vector<TranslatedSubquery> subqueries;
+  bool hybrid = false;                 ///< true iff subqueries are present
+
+  /// For grouped queries: the COUNT query over the same joins/filters whose
+  /// live keys enumerate the view's groups (the domain map definition).
+  ring::ExprPtr domain_expr;
+
+  /// All base relations this query (incl. subqueries) depends on.
+  std::set<std::string> relations;
+
+  /// Variable types inferred during translation (query vars + corr vars).
+  ring::VarTypes var_types;
+};
+
+/// Translate `stmt` against `catalog`. `name` seeds placeholder/map naming.
+/// `var_counter` keeps generated variables unique across a whole program.
+Result<std::unique_ptr<TranslatedQuery>> Translate(const sql::SelectStmt& stmt,
+                                                   const Catalog& catalog,
+                                                   const std::string& name,
+                                                   int* var_counter);
+
+}  // namespace dbtoaster::compiler
+
+#endif  // DBTOASTER_COMPILER_TRANSLATE_H_

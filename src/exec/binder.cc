@@ -1,0 +1,388 @@
+#include "src/exec/binder.h"
+
+#include <cassert>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::exec {
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+
+/// Binds scalar expressions within one SELECT scope.
+class Binder {
+ public:
+  Binder(const Catalog& catalog, BoundSelect* target,
+         std::vector<const BoundSelect*> scopes)
+      : catalog_(catalog), target_(target), scopes_(std::move(scopes)) {}
+
+  Status BindFrom(const sql::SelectStmt& stmt) {
+    size_t offset = 0;
+    for (const sql::TableRef& ref : stmt.from) {
+      const Schema* schema = catalog_.FindRelation(ref.table);
+      if (schema == nullptr) {
+        return Status::NotFound("unknown relation: " + ref.table);
+      }
+      for (const BoundTable& existing : target_->tables) {
+        if (ToUpper(existing.alias) == ToUpper(ref.alias)) {
+          return Status::InvalidArgument("duplicate table alias: " +
+                                         ref.alias);
+        }
+      }
+      target_->tables.push_back(
+          BoundTable{ref.alias, schema->name(), schema, offset});
+      offset += schema->num_columns();
+    }
+    target_->wide_width = offset;
+    return Status::OK();
+  }
+
+  /// Resolve a column reference; searches this scope, then outer scopes.
+  Result<std::unique_ptr<ScalarExpr>> ResolveColumn(const Expr& e) {
+    assert(e.kind == Expr::Kind::kColumnRef);
+    // Try each scope from innermost out.
+    std::vector<const BoundSelect*> all;
+    all.push_back(target_);
+    for (const BoundSelect* s : scopes_) all.push_back(s);
+    for (size_t depth = 0; depth < all.size(); ++depth) {
+      const BoundSelect* scope = all[depth];
+      const BoundTable* found_table = nullptr;
+      size_t found_col = 0;
+      for (const BoundTable& t : scope->tables) {
+        if (!e.qualifier.empty() &&
+            ToUpper(t.alias) != ToUpper(e.qualifier)) {
+          continue;
+        }
+        auto col = t.schema->FindColumn(e.column);
+        if (!col.has_value()) continue;
+        if (found_table != nullptr) {
+          return Status::InvalidArgument(
+              StrFormat("ambiguous column reference '%s'",
+                        e.ToString().c_str()));
+        }
+        found_table = &t;
+        found_col = *col;
+      }
+      if (found_table != nullptr) {
+        Type type = found_table->schema->column_type(found_col);
+        std::string name = found_table->alias + "." +
+                           found_table->schema->column_name(found_col);
+        return ScalarExpr::Column(static_cast<int>(depth),
+                                  found_table->flat_offset + found_col, type,
+                                  std::move(name));
+      }
+    }
+    return Status::NotFound(
+        StrFormat("unresolved column '%s'", e.ToString().c_str()));
+  }
+
+  /// Bind an expression. `allow_aggregates`: true in SELECT-item position.
+  Result<std::unique_ptr<ScalarExpr>> BindExpr(const Expr& e,
+                                               bool allow_aggregates) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return ScalarExpr::Const(e.literal);
+      case Expr::Kind::kColumnRef:
+        return ResolveColumn(e);
+      case Expr::Kind::kUnaryMinus: {
+        DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> sub,
+                             BindExpr(*e.lhs, allow_aggregates));
+        if (!IsNumeric(sub->type)) {
+          return Status::TypeError("unary minus on non-numeric operand: " +
+                                   e.ToString());
+        }
+        auto out = std::make_unique<ScalarExpr>();
+        out->kind = ScalarExpr::Kind::kUnaryMinus;
+        out->type = sub->type == Type::kDouble ? Type::kDouble : Type::kInt;
+        out->lhs = std::move(sub);
+        return out;
+      }
+      case Expr::Kind::kNot: {
+        DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> sub,
+                             BindExpr(*e.lhs, allow_aggregates));
+        auto out = std::make_unique<ScalarExpr>();
+        out->kind = ScalarExpr::Kind::kNot;
+        out->type = Type::kInt;
+        out->lhs = std::move(sub);
+        return out;
+      }
+      case Expr::Kind::kBinary: {
+        DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> l,
+                             BindExpr(*e.lhs, allow_aggregates));
+        DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> r,
+                             BindExpr(*e.rhs, allow_aggregates));
+        Type type;
+        if (sql::IsArithmetic(e.op)) {
+          if (!IsNumeric(l->type) || !IsNumeric(r->type)) {
+            return Status::TypeError("arithmetic on non-numeric operands: " +
+                                     e.ToString());
+          }
+          type = e.op == BinOp::kDiv ? Type::kDouble
+                                     : PromoteNumeric(l->type, r->type);
+        } else if (sql::IsComparison(e.op)) {
+          bool ls = l->type == Type::kString, rs = r->type == Type::kString;
+          if (ls != rs) {
+            return Status::TypeError(
+                "comparison between string and numeric operands: " +
+                e.ToString());
+          }
+          type = Type::kInt;
+        } else {  // AND / OR
+          type = Type::kInt;
+        }
+        return ScalarExpr::Binary(e.op, type, std::move(l), std::move(r));
+      }
+      case Expr::Kind::kAggregate: {
+        if (!allow_aggregates) {
+          return Status::NotSupported(
+              "aggregates are only supported in the SELECT list: " +
+              e.ToString());
+        }
+        std::unique_ptr<ScalarExpr> arg;
+        Type result_type = Type::kInt;
+        if (e.agg_arg != nullptr) {
+          // Aggregate arguments may not nest aggregates.
+          DBT_ASSIGN_OR_RETURN(arg, BindExpr(*e.agg_arg, false));
+          if (e.agg != sql::AggKind::kCount && !IsNumeric(arg->type)) {
+            return Status::NotSupported(
+                std::string(sql::AggKindName(e.agg)) +
+                " over non-numeric argument: " + e.ToString());
+          }
+        } else if (e.agg != sql::AggKind::kCount) {
+          return Status::InvalidArgument(
+              "only COUNT may omit its argument: " + e.ToString());
+        }
+        switch (e.agg) {
+          case sql::AggKind::kSum:
+            result_type = arg->type == Type::kDouble ? Type::kDouble
+                                                     : Type::kInt;
+            break;
+          case sql::AggKind::kCount:
+            result_type = Type::kInt;
+            break;
+          case sql::AggKind::kAvg:
+            result_type = Type::kDouble;
+            break;
+          case sql::AggKind::kMin:
+          case sql::AggKind::kMax:
+            result_type = arg->type;
+            break;
+        }
+        std::string label = std::string(sql::AggKindName(e.agg)) + "(" +
+                            (arg ? arg->ToString() : "*") + ")";
+        // Deduplicate structurally identical aggregates.
+        size_t index = target_->aggregates.size();
+        for (size_t i = 0; i < target_->aggregates.size(); ++i) {
+          if (target_->aggregates[i].kind == e.agg &&
+              target_->aggregates[i].label == label) {
+            index = i;
+            break;
+          }
+        }
+        if (index == target_->aggregates.size()) {
+          target_->aggregates.push_back(
+              AggSpec{e.agg, std::move(arg), result_type, label});
+        }
+        auto out = std::make_unique<ScalarExpr>();
+        out->kind = ScalarExpr::Kind::kAggRef;
+        out->type = result_type;
+        out->agg_index = index;
+        out->debug_name = label;
+        return out;
+      }
+      case Expr::Kind::kSubquery: {
+        std::vector<const BoundSelect*> inner_scopes;
+        inner_scopes.push_back(target_);
+        for (const BoundSelect* s : scopes_) inner_scopes.push_back(s);
+        DBT_ASSIGN_OR_RETURN(std::shared_ptr<BoundSelect> sub,
+                             Bind(*e.subquery, catalog_, inner_scopes));
+        if (!sub->is_aggregate || sub->items.size() != 1 ||
+            !sub->group_by.empty()) {
+          return Status::NotSupported(
+              "scalar subqueries must be single-value aggregate queries "
+              "without GROUP BY: " +
+              e.subquery->ToString());
+        }
+        auto out = std::make_unique<ScalarExpr>();
+        out->kind = ScalarExpr::Kind::kSubquery;
+        out->type = sub->items[0].expr->type;
+        out->subquery = std::move(sub);
+        return out;
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+ private:
+  const Catalog& catalog_;
+  BoundSelect* target_;
+  std::vector<const BoundSelect*> scopes_;
+};
+
+/// Split an expression on top-level ANDs into conjuncts.
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == Expr::Kind::kBinary && e.op == BinOp::kAnd) {
+    SplitConjuncts(*e.lhs, out);
+    SplitConjuncts(*e.rhs, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Does a bound expression reference the current scope's group-by columns
+/// only (outside aggregate references)? Used to validate SELECT items.
+bool UsesOnlyGroupColumns(const ScalarExpr& e,
+                          const std::vector<std::unique_ptr<ScalarExpr>>& gb,
+                          std::vector<size_t>* rewrites) {
+  switch (e.kind) {
+    case ScalarExpr::Kind::kConst:
+    case ScalarExpr::Kind::kAggRef:
+      return true;
+    case ScalarExpr::Kind::kColumn: {
+      if (e.scope_up > 0) return true;  // outer correlation: always available
+      for (size_t i = 0; i < gb.size(); ++i) {
+        if (gb[i]->kind == ScalarExpr::Kind::kColumn &&
+            gb[i]->offset == e.offset) {
+          rewrites->push_back(i);
+          return true;
+        }
+      }
+      return false;
+    }
+    case ScalarExpr::Kind::kSubquery:
+      return true;  // subquery references resolve through their own scopes
+    default:
+      if (e.lhs && !UsesOnlyGroupColumns(*e.lhs, gb, rewrites)) return false;
+      if (e.rhs && !UsesOnlyGroupColumns(*e.rhs, gb, rewrites)) return false;
+      return true;
+  }
+}
+
+/// Rewrite scope-0 column refs in an item of an aggregate query to index the
+/// group-key row (scopes[0] during finalization).
+void RewriteToGroupKey(ScalarExpr* e,
+                       const std::vector<std::unique_ptr<ScalarExpr>>& gb) {
+  if (e->kind == ScalarExpr::Kind::kColumn && e->scope_up == 0) {
+    for (size_t i = 0; i < gb.size(); ++i) {
+      if (gb[i]->kind == ScalarExpr::Kind::kColumn &&
+          gb[i]->offset == e->offset) {
+        e->offset = i;
+        return;
+      }
+    }
+    assert(false && "item column not in GROUP BY (validated earlier)");
+  }
+  if (e->lhs) RewriteToGroupKey(e->lhs.get(), gb);
+  if (e->rhs) RewriteToGroupKey(e->rhs.get(), gb);
+  // Subquery internals reference their own scope chain; the group-key
+  // rewrite applies only at finalization depth and correlated references
+  // inside subqueries point at the *wide* row, which the executor also
+  // provides during finalization (see executor.cc).
+}
+
+bool ContainsAggRef(const ScalarExpr& e) {
+  if (e.kind == ScalarExpr::Kind::kAggRef) return true;
+  if (e.lhs && ContainsAggRef(*e.lhs)) return true;
+  if (e.rhs && ContainsAggRef(*e.rhs)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string BoundSelect::ToString() const {
+  std::string s = "BoundSelect{tables=[";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i) s += ", ";
+    s += tables[i].alias + ":" + tables[i].table;
+  }
+  s += "], where=[";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i) s += " AND ";
+    s += conjuncts[i]->ToString();
+  }
+  s += "], group_by=[";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    if (i) s += ", ";
+    s += group_by[i]->ToString();
+  }
+  s += "], aggs=[";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i) s += ", ";
+    s += aggregates[i].label;
+  }
+  s += "]}";
+  return s;
+}
+
+Result<std::shared_ptr<BoundSelect>> Bind(
+    const sql::SelectStmt& stmt, const Catalog& catalog,
+    const std::vector<const BoundSelect*>& outer) {
+  auto bound = std::make_shared<BoundSelect>();
+  bound->sql_text = stmt.ToString();
+  Binder binder(catalog, bound.get(), outer);
+  DBT_RETURN_IF_ERROR(binder.BindFrom(stmt));
+
+  if (stmt.where != nullptr) {
+    std::vector<const Expr*> parts;
+    SplitConjuncts(*stmt.where, &parts);
+    for (const Expr* part : parts) {
+      DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> bound_pred,
+                           binder.BindExpr(*part, /*allow_aggregates=*/false));
+      bound->conjuncts.push_back(std::move(bound_pred));
+    }
+  }
+
+  for (const auto& g : stmt.group_by) {
+    DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> col,
+                         binder.BindExpr(*g, /*allow_aggregates=*/false));
+    if (col->kind != ScalarExpr::Kind::kColumn || col->scope_up != 0) {
+      return Status::NotSupported("GROUP BY must name columns of this query");
+    }
+    bound->group_by.push_back(std::move(col));
+  }
+
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty SELECT list");
+  }
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> e,
+                         binder.BindExpr(*stmt.items[i].expr,
+                                         /*allow_aggregates=*/true));
+    std::string name = stmt.items[i].alias;
+    if (name.empty()) {
+      if (stmt.items[i].expr->kind == Expr::Kind::kColumnRef) {
+        name = stmt.items[i].expr->column;
+      } else {
+        name = StrFormat("col%zu", i);
+      }
+    }
+    bound->column_names.push_back(name);
+    bound->items.push_back(BoundItem{std::move(e), name});
+  }
+
+  bound->is_aggregate = !bound->aggregates.empty() || !bound->group_by.empty();
+
+  if (bound->is_aggregate) {
+    // Validate + rewrite items: non-aggregate column uses must be group keys.
+    for (BoundItem& item : bound->items) {
+      std::vector<size_t> rewrites;
+      if (!UsesOnlyGroupColumns(*item.expr, bound->group_by, &rewrites)) {
+        return Status::InvalidArgument(
+            "SELECT item references a column that is neither aggregated nor "
+            "in GROUP BY: " +
+            item.expr->ToString());
+      }
+      RewriteToGroupKey(item.expr.get(), bound->group_by);
+    }
+  } else {
+    for (BoundItem& item : bound->items) {
+      if (ContainsAggRef(*item.expr)) {
+        return Status::Internal("aggregate reference in non-aggregate query");
+      }
+    }
+  }
+  return bound;
+}
+
+}  // namespace dbtoaster::exec

@@ -1,0 +1,77 @@
+// Binder: resolves and type-checks a sql::SelectStmt against a Catalog,
+// producing a BoundSelect ready for execution by the Volcano-style executor.
+#ifndef DBTOASTER_EXEC_BINDER_H_
+#define DBTOASTER_EXEC_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/exec/scalar.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster::exec {
+
+/// One FROM-clause table with its slice of the wide (joined) row.
+struct BoundTable {
+  std::string alias;
+  std::string table;       ///< base relation name (catalog key)
+  const Schema* schema;
+  size_t flat_offset;      ///< first column's offset in the wide row
+};
+
+/// One aggregate computation (SUM/COUNT/AVG/MIN/MAX over a bound argument).
+struct AggSpec {
+  sql::AggKind kind;
+  std::unique_ptr<ScalarExpr> arg;  ///< null for COUNT(*)
+  Type result_type;
+  std::string label;                ///< e.g. "SUM(b.price * b.volume)"
+};
+
+/// One output column.
+struct BoundItem {
+  std::unique_ptr<ScalarExpr> expr;  ///< may contain kAggRef nodes
+  std::string name;
+};
+
+/// Fully bound SELECT. For aggregate queries, `items` are evaluated after
+/// grouping with scopes[0] = the group-key row and ctx.aggregates set; for
+/// plain queries they are evaluated per joined row.
+struct BoundSelect {
+  std::vector<BoundTable> tables;
+  size_t wide_width = 0;
+
+  /// WHERE conjuncts (split on AND).
+  std::vector<std::unique_ptr<ScalarExpr>> conjuncts;
+
+  /// Grouping expressions (always columns in the supported fragment),
+  /// evaluated over the wide row.
+  std::vector<std::unique_ptr<ScalarExpr>> group_by;
+
+  std::vector<AggSpec> aggregates;
+  std::vector<BoundItem> items;
+  std::vector<std::string> column_names;
+
+  bool is_aggregate = false;
+
+  /// Original statement text (for diagnostics / codegen banners).
+  std::string sql_text;
+
+  /// Executor-owned physical plan, built lazily on first Run and reused.
+  /// Opaque here to keep the binder independent of plan internals.
+  mutable std::shared_ptr<void> exec_plan;
+
+  std::string ToString() const;
+};
+
+/// Bind `stmt` against `catalog`. `outer` is the enclosing scope chain for
+/// correlated subqueries (innermost first); top-level callers pass {}.
+Result<std::shared_ptr<BoundSelect>> Bind(
+    const sql::SelectStmt& stmt, const Catalog& catalog,
+    const std::vector<const BoundSelect*>& outer = {});
+
+}  // namespace dbtoaster::exec
+
+#endif  // DBTOASTER_EXEC_BINDER_H_

@@ -1,0 +1,467 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/str.h"
+#include "src/sql/parser.h"
+
+namespace dbtoaster::exec {
+namespace {
+
+using sql::BinOp;
+
+/// Typed zero for aggregate results over empty inputs.
+Value TypedZero(Type t) {
+  return t == Type::kDouble ? Value(0.0) : Value(int64_t{0});
+}
+
+/// Which tables (indices into BoundSelect::tables) does `e` touch at scope 0?
+void CollectTables(const ScalarExpr& e, const BoundSelect& q,
+                   std::vector<bool>* used, bool* has_subquery) {
+  if (e.kind == ScalarExpr::Kind::kSubquery) {
+    *has_subquery = true;
+    return;  // correlated refs inside need the full wide row anyway
+  }
+  if (e.kind == ScalarExpr::Kind::kColumn && e.scope_up == 0) {
+    for (size_t t = 0; t < q.tables.size(); ++t) {
+      size_t lo = q.tables[t].flat_offset;
+      size_t hi = lo + q.tables[t].schema->num_columns();
+      if (e.offset >= lo && e.offset < hi) (*used)[t] = true;
+    }
+  }
+  if (e.lhs) CollectTables(*e.lhs, q, used, has_subquery);
+  if (e.rhs) CollectTables(*e.rhs, q, used, has_subquery);
+}
+
+struct ConjunctInfo {
+  const ScalarExpr* expr;
+  std::vector<bool> tables;  ///< tables referenced at scope 0
+  bool has_subquery = false;
+  int arity = 0;             ///< number of referenced tables
+};
+
+/// An equi-join edge t_a.col_a = t_b.col_b.
+struct JoinEdge {
+  size_t table_a, offset_a;
+  size_t table_b, offset_b;
+  const ScalarExpr* expr;
+};
+
+/// Execution plan for one BoundSelect, built once and reused.
+struct Plan {
+  std::vector<ConjunctInfo> conjuncts;
+  std::vector<JoinEdge> edges;
+  std::vector<size_t> join_order;      ///< permutation of table indices
+  // conjunct assignment:
+  std::vector<const ScalarExpr*> table_filters_flat;  // per join step
+  std::vector<std::vector<const ScalarExpr*>> step_filters;  // after step i
+  std::vector<const ScalarExpr*> residual;  ///< subquery/complex conjuncts
+};
+
+size_t TableOfOffset(const BoundSelect& q, size_t offset) {
+  for (size_t t = 0; t < q.tables.size(); ++t) {
+    size_t lo = q.tables[t].flat_offset;
+    size_t hi = lo + q.tables[t].schema->num_columns();
+    if (offset >= lo && offset < hi) return t;
+  }
+  assert(false && "offset outside wide row");
+  return 0;
+}
+
+Plan BuildPlan(const BoundSelect& q) {
+  Plan plan;
+  for (const auto& c : q.conjuncts) {
+    ConjunctInfo info;
+    info.expr = c.get();
+    info.tables.assign(q.tables.size(), false);
+    CollectTables(*c, q, &info.tables, &info.has_subquery);
+    info.arity = static_cast<int>(
+        std::count(info.tables.begin(), info.tables.end(), true));
+    plan.conjuncts.push_back(std::move(info));
+  }
+  // Identify equi-join edges: column = column across two distinct tables,
+  // subquery-free.
+  for (ConjunctInfo& info : plan.conjuncts) {
+    const ScalarExpr* e = info.expr;
+    if (info.has_subquery || info.arity != 2) continue;
+    if (e->kind != ScalarExpr::Kind::kBinary || e->op != BinOp::kEq) continue;
+    const ScalarExpr* l = e->lhs.get();
+    const ScalarExpr* r = e->rhs.get();
+    if (l->kind != ScalarExpr::Kind::kColumn || l->scope_up != 0) continue;
+    if (r->kind != ScalarExpr::Kind::kColumn || r->scope_up != 0) continue;
+    size_t ta = TableOfOffset(q, l->offset);
+    size_t tb = TableOfOffset(q, r->offset);
+    if (ta == tb) continue;
+    plan.edges.push_back(JoinEdge{ta, l->offset, tb, r->offset, e});
+  }
+  // Greedy join order: start at table 0, prefer connected tables.
+  std::vector<bool> placed(q.tables.size(), false);
+  if (!q.tables.empty()) {
+    plan.join_order.push_back(0);
+    placed[0] = true;
+  }
+  while (plan.join_order.size() < q.tables.size()) {
+    size_t next = q.tables.size();
+    for (const JoinEdge& edge : plan.edges) {
+      if (placed[edge.table_a] && !placed[edge.table_b]) {
+        next = edge.table_b;
+        break;
+      }
+      if (placed[edge.table_b] && !placed[edge.table_a]) {
+        next = edge.table_a;
+        break;
+      }
+    }
+    if (next == q.tables.size()) {
+      for (size_t t = 0; t < q.tables.size(); ++t) {
+        if (!placed[t]) {
+          next = t;
+          break;
+        }
+      }
+    }
+    plan.join_order.push_back(next);
+    placed[next] = true;
+  }
+  // Assign conjuncts to the earliest join step after which all their tables
+  // are placed; subquery conjuncts go to the residual stage.
+  std::vector<size_t> step_of_table(q.tables.size(), 0);
+  for (size_t step = 0; step < plan.join_order.size(); ++step) {
+    step_of_table[plan.join_order[step]] = step;
+  }
+  plan.step_filters.resize(std::max<size_t>(1, plan.join_order.size()));
+  std::vector<bool> edge_conjunct(q.conjuncts.size(), false);
+  for (size_t i = 0; i < plan.conjuncts.size(); ++i) {
+    for (const JoinEdge& edge : plan.edges) {
+      if (edge.expr == plan.conjuncts[i].expr) edge_conjunct[i] = true;
+    }
+  }
+  for (size_t i = 0; i < plan.conjuncts.size(); ++i) {
+    const ConjunctInfo& info = plan.conjuncts[i];
+    if (info.has_subquery) {
+      plan.residual.push_back(info.expr);
+      continue;
+    }
+    // Equi-join edges are enforced by hash probing at their join step.
+    if (edge_conjunct[i]) continue;
+    size_t last_step = 0;
+    for (size_t t = 0; t < info.tables.size(); ++t) {
+      if (info.tables[t]) last_step = std::max(last_step, step_of_table[t]);
+    }
+    plan.step_filters[last_step].push_back(info.expr);
+  }
+  return plan;
+}
+
+/// Plan is built lazily per BoundSelect and stored on it so the cache's
+/// lifetime is tied to the query object (no global pointer-keyed cache).
+Plan& CachedPlan(const BoundSelect& q) {
+  if (q.exec_plan == nullptr) {
+    q.exec_plan = std::make_shared<Plan>(BuildPlan(q));
+  }
+  return *static_cast<Plan*>(q.exec_plan.get());
+}
+
+/// min/max accumulation uses an ordered multiset so the oracle semantics
+/// match the runtime's OrderedAggMap under deletions.
+struct GroupAccum {
+  std::vector<Value> sums;          // SUM / AVG numerator (per agg)
+  std::vector<int64_t> counts;      // COUNT / AVG denominator
+  std::vector<std::map<Value, int64_t>> extremes;  // MIN / MAX multisets
+};
+
+}  // namespace
+
+std::vector<std::pair<Row, int64_t>> QueryResult::SortedRows() const {
+  std::vector<std::pair<Row, int64_t>> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    const Row& x = a.first;
+    const Row& y = b.first;
+    for (size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+      int c = Value::Compare(x[i], y[i]);
+      if (c != 0) return c < 0;
+    }
+    return x.size() < y.size();
+  });
+  return sorted;
+}
+
+Result<Value> QueryResult::ScalarValue() const {
+  if (rows.size() != 1 || rows[0].first.size() != 1) {
+    return Status::InvalidArgument(StrFormat(
+        "expected a 1x1 result, got %zu rows", rows.size()));
+  }
+  return rows[0].first[0];
+}
+
+std::string QueryResult::ToString() const {
+  std::string s = Join(column_names, ", ") + "\n";
+  for (const auto& [row, mult] : SortedRows()) {
+    s += RowToString(row);
+    if (mult != 1) s += StrFormat(" x%lld", static_cast<long long>(mult));
+    s += "\n";
+  }
+  return s;
+}
+
+Result<QueryResult> Executor::Run(const BoundSelect& q,
+                                  const std::vector<const Row*>& outer) {
+  Plan& plan = CachedPlan(q);
+
+  // Resolve the tables up front.
+  std::vector<const Table*> tables;
+  for (const BoundTable& bt : q.tables) {
+    const Table* t = db_->FindTable(bt.table);
+    if (t == nullptr) {
+      return Status::NotFound("relation not in database: " + bt.table);
+    }
+    tables.push_back(t);
+  }
+
+  auto subquery_eval = [this](const BoundSelect& sub, const EvalContext& ctx) {
+    // Correlated evaluation: the subquery sees the enclosing rows.
+    std::vector<const Row*> outer_rows(ctx.scopes.begin(), ctx.scopes.end());
+    auto res = const_cast<Executor*>(this)->RunScalar(sub, outer_rows);
+    // Scalar subquery failures are binder-prevented; treat any residual
+    // failure as typed zero to keep evaluation total.
+    return res.ok() ? res.value() : Value(int64_t{0});
+  };
+
+  auto eval = [&](const ScalarExpr& e, const Row& wide) {
+    EvalContext ctx;
+    ctx.scopes.push_back(&wide);
+    for (const Row* r : outer) ctx.scopes.push_back(r);
+    return e.Eval(ctx, subquery_eval);
+  };
+
+  // --- join pipeline over (wide row, multiplicity) ---
+  std::vector<std::pair<Row, int64_t>> current;
+  if (q.tables.empty()) {
+    return Status::NotSupported("queries must have a FROM clause");
+  }
+  {
+    size_t t0 = plan.join_order[0];
+    const BoundTable& bt = q.tables[t0];
+    for (const auto& [row, mult] : tables[t0]->rows()) {
+      Row wide(q.wide_width);
+      std::copy(row.begin(), row.end(), wide.begin() + bt.flat_offset);
+      bool pass = true;
+      for (const ScalarExpr* f : plan.step_filters[0]) {
+        if (eval(*f, wide).IsZero()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) current.emplace_back(std::move(wide), mult);
+    }
+  }
+  std::vector<bool> placed(q.tables.size(), false);
+  placed[plan.join_order[0]] = true;
+  for (size_t step = 1; step < plan.join_order.size(); ++step) {
+    size_t tn = plan.join_order[step];
+    const BoundTable& bt = q.tables[tn];
+    // Hash keys: all edges connecting tn to placed tables.
+    std::vector<size_t> new_offsets, old_offsets;
+    for (const JoinEdge& edge : plan.edges) {
+      size_t ta = edge.table_a, tb = edge.table_b;
+      if (ta == tn && placed[tb]) {
+        new_offsets.push_back(edge.offset_a);
+        old_offsets.push_back(edge.offset_b);
+      } else if (tb == tn && placed[ta]) {
+        new_offsets.push_back(edge.offset_b);
+        old_offsets.push_back(edge.offset_a);
+      }
+    }
+    // Build hash table over the new table keyed by its join columns.
+    std::unordered_map<Row, std::vector<std::pair<const Row*, int64_t>>,
+                       RowHash, RowEq>
+        build;
+    for (const auto& [row, mult] : tables[tn]->rows()) {
+      Row key;
+      key.reserve(new_offsets.size());
+      for (size_t off : new_offsets) key.push_back(row[off - bt.flat_offset]);
+      build[key].emplace_back(&row, mult);
+    }
+    std::vector<std::pair<Row, int64_t>> next;
+    for (auto& [wide, mult] : current) {
+      Row key;
+      key.reserve(old_offsets.size());
+      for (size_t off : old_offsets) key.push_back(wide[off]);
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const auto& [row_ptr, row_mult] : it->second) {
+        Row combined = wide;
+        std::copy(row_ptr->begin(), row_ptr->end(),
+                  combined.begin() + bt.flat_offset);
+        bool pass = true;
+        for (const ScalarExpr* f : plan.step_filters[step]) {
+          if (eval(*f, combined).IsZero()) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) next.emplace_back(std::move(combined), mult * row_mult);
+      }
+    }
+    current = std::move(next);
+    placed[tn] = true;
+  }
+  // Residual predicates (subqueries, cross-scope conditions).
+  if (!plan.residual.empty()) {
+    std::vector<std::pair<Row, int64_t>> filtered;
+    filtered.reserve(current.size());
+    for (auto& [wide, mult] : current) {
+      bool pass = true;
+      for (const ScalarExpr* f : plan.residual) {
+        if (eval(*f, wide).IsZero()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) filtered.emplace_back(std::move(wide), mult);
+    }
+    current = std::move(filtered);
+  }
+
+  QueryResult result;
+  result.column_names = q.column_names;
+
+  if (!q.is_aggregate) {
+    for (auto& [wide, mult] : current) {
+      Row out;
+      out.reserve(q.items.size());
+      for (const BoundItem& item : q.items) {
+        out.push_back(eval(*item.expr, wide));
+      }
+      result.rows.emplace_back(std::move(out), mult);
+    }
+    return result;
+  }
+
+  // --- aggregation ---
+  std::unordered_map<Row, GroupAccum, RowHash, RowEq> groups;
+  for (auto& [wide, mult] : current) {
+    Row key;
+    key.reserve(q.group_by.size());
+    for (const auto& g : q.group_by) key.push_back(eval(*g, wide));
+    auto [it, inserted] = groups.try_emplace(key);
+    GroupAccum& acc = it->second;
+    if (inserted) {
+      acc.sums.resize(q.aggregates.size());
+      acc.counts.assign(q.aggregates.size(), 0);
+      acc.extremes.resize(q.aggregates.size());
+      for (size_t a = 0; a < q.aggregates.size(); ++a) {
+        acc.sums[a] = TypedZero(q.aggregates[a].result_type);
+      }
+    }
+    for (size_t a = 0; a < q.aggregates.size(); ++a) {
+      const AggSpec& spec = q.aggregates[a];
+      switch (spec.kind) {
+        case sql::AggKind::kCount:
+          // No NULLs in this data model: COUNT(expr) == COUNT(*).
+          acc.counts[a] += mult;
+          break;
+        case sql::AggKind::kSum:
+        case sql::AggKind::kAvg: {
+          Value v = eval(*spec.arg, wide);
+          Value weighted = Value::Mul(v, Value(mult));
+          acc.sums[a] = Value::Add(acc.sums[a], weighted);
+          acc.counts[a] += mult;
+          break;
+        }
+        case sql::AggKind::kMin:
+        case sql::AggKind::kMax: {
+          Value v = eval(*spec.arg, wide);
+          auto& ms = acc.extremes[a];
+          ms[v] += mult;
+          if (ms[v] == 0) ms.erase(v);
+          break;
+        }
+      }
+    }
+  }
+
+  // Global aggregates over empty input still emit one all-zero row, matching
+  // the incremental engines' map semantics (missing key == 0).
+  if (groups.empty() && q.group_by.empty()) {
+    GroupAccum acc;
+    acc.sums.resize(q.aggregates.size());
+    acc.counts.assign(q.aggregates.size(), 0);
+    acc.extremes.resize(q.aggregates.size());
+    for (size_t a = 0; a < q.aggregates.size(); ++a) {
+      acc.sums[a] = TypedZero(q.aggregates[a].result_type);
+    }
+    groups.emplace(Row{}, std::move(acc));
+  }
+
+  for (auto& [key, acc] : groups) {
+    // Finalize aggregate values.
+    Row agg_values(q.aggregates.size());
+    for (size_t a = 0; a < q.aggregates.size(); ++a) {
+      const AggSpec& spec = q.aggregates[a];
+      switch (spec.kind) {
+        case sql::AggKind::kCount:
+          agg_values[a] = Value(acc.counts[a]);
+          break;
+        case sql::AggKind::kSum:
+          agg_values[a] = acc.sums[a];
+          break;
+        case sql::AggKind::kAvg:
+          agg_values[a] = acc.counts[a] == 0
+                              ? Value(0.0)
+                              : Value::Div(acc.sums[a], Value(acc.counts[a]));
+          break;
+        case sql::AggKind::kMin:
+        case sql::AggKind::kMax: {
+          const auto& ms = acc.extremes[a];
+          if (ms.empty()) {
+            agg_values[a] = TypedZero(spec.result_type);
+          } else {
+            agg_values[a] = spec.kind == sql::AggKind::kMin
+                                ? ms.begin()->first
+                                : ms.rbegin()->first;
+          }
+          break;
+        }
+      }
+    }
+    EvalContext ctx;
+    ctx.scopes.push_back(&key);
+    for (const Row* r : outer) ctx.scopes.push_back(r);
+    ctx.aggregates = &agg_values;
+    Row out;
+    out.reserve(q.items.size());
+    for (const BoundItem& item : q.items) {
+      out.push_back(item.expr->Eval(ctx, subquery_eval));
+    }
+    result.rows.emplace_back(std::move(out), 1);
+  }
+  return result;
+}
+
+Result<Value> Executor::RunScalar(const BoundSelect& q,
+                                  const std::vector<const Row*>& outer) {
+  DBT_ASSIGN_OR_RETURN(QueryResult r, Run(q, outer));
+  if (r.rows.empty()) {
+    return Value(int64_t{0});
+  }
+  if (r.rows.size() != 1 || r.rows[0].first.size() != 1) {
+    return Status::Internal("scalar subquery produced a non-scalar result");
+  }
+  return r.rows[0].first[0];
+}
+
+Result<QueryResult> Executor::Query(const std::string& sql, const Catalog& cat,
+                                    const Database& db) {
+  DBT_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                       sql::ParseSelect(sql));
+  DBT_ASSIGN_OR_RETURN(std::shared_ptr<BoundSelect> bound, Bind(*stmt, cat));
+  Executor ex(&db);
+  return ex.Run(*bound);
+}
+
+}  // namespace dbtoaster::exec

@@ -1,0 +1,66 @@
+// Interpreted query execution over Database tables.
+//
+// This is the classical "query plan interpreter" architecture the paper
+// compares against: plans are built once per query (greedy equi-join
+// ordering, pushed-down single-table filters, hash joins, hash aggregation)
+// and interpreted per evaluation. It serves three roles in this repository:
+//   1. the full re-evaluation baseline (ReevalEngine),
+//   2. the correctness oracle for the delta compiler's property tests,
+//   3. the evaluator for map initialisers (init-on-first-access).
+#ifndef DBTOASTER_EXEC_EXECUTOR_H_
+#define DBTOASTER_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/exec/binder.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::exec {
+
+/// Result of a query: named columns plus (row, multiplicity) entries.
+/// Aggregate queries emit multiplicity-1 rows (one per group).
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<std::pair<Row, int64_t>> rows;
+
+  /// Rows sorted lexicographically — stable representation for comparisons.
+  std::vector<std::pair<Row, int64_t>> SortedRows() const;
+
+  /// For single-row single-column results (global aggregates).
+  Result<Value> ScalarValue() const;
+
+  std::string ToString() const;
+};
+
+/// Executes bound queries against a database. Stateless apart from the
+/// database pointer; safe to reuse across queries and evaluations.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Evaluate a bound query. `outer_scopes` supplies wide rows of enclosing
+  /// queries for correlated subqueries (innermost first); top-level callers
+  /// pass nothing.
+  Result<QueryResult> Run(const BoundSelect& query,
+                          const std::vector<const Row*>& outer_scopes = {});
+
+  /// Evaluate a scalar subquery to a single value (typed zero when empty).
+  Result<Value> RunScalar(const BoundSelect& query,
+                          const std::vector<const Row*>& outer_scopes);
+
+  /// Parse + bind + run in one step (convenience for tests and the ad-hoc
+  /// snapshot interface).
+  static Result<QueryResult> Query(const std::string& sql, const Catalog& cat,
+                                   const Database& db);
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace dbtoaster::exec
+
+#endif  // DBTOASTER_EXEC_EXECUTOR_H_

@@ -1,0 +1,134 @@
+#include "src/exec/scalar.h"
+
+#include <cassert>
+#include <functional>
+
+namespace dbtoaster::exec {
+
+Value ScalarExpr::Eval(
+    const EvalContext& ctx,
+    const std::function<Value(const BoundSelect&, const EvalContext&)>&
+        subquery_eval) const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant;
+    case Kind::kColumn: {
+      assert(scope_up >= 0 &&
+             static_cast<size_t>(scope_up) < ctx.scopes.size());
+      const Row* row = ctx.scopes[static_cast<size_t>(scope_up)];
+      assert(row != nullptr && offset < row->size());
+      return (*row)[offset];
+    }
+    case Kind::kAggRef:
+      assert(ctx.aggregates != nullptr && agg_index < ctx.aggregates->size());
+      return (*ctx.aggregates)[agg_index];
+    case Kind::kUnaryMinus:
+      return Value::Neg(lhs->Eval(ctx, subquery_eval));
+    case Kind::kNot: {
+      Value v = lhs->Eval(ctx, subquery_eval);
+      return Value(v.IsZero() ? int64_t{1} : int64_t{0});
+    }
+    case Kind::kSubquery:
+      return subquery_eval(*subquery, ctx);
+    case Kind::kBinary: {
+      using sql::BinOp;
+      // Short-circuit logical ops.
+      if (op == BinOp::kAnd) {
+        Value l = lhs->Eval(ctx, subquery_eval);
+        if (l.IsZero()) return Value(int64_t{0});
+        Value r = rhs->Eval(ctx, subquery_eval);
+        return Value(r.IsZero() ? int64_t{0} : int64_t{1});
+      }
+      if (op == BinOp::kOr) {
+        Value l = lhs->Eval(ctx, subquery_eval);
+        if (!l.IsZero()) return Value(int64_t{1});
+        Value r = rhs->Eval(ctx, subquery_eval);
+        return Value(r.IsZero() ? int64_t{0} : int64_t{1});
+      }
+      Value l = lhs->Eval(ctx, subquery_eval);
+      Value r = rhs->Eval(ctx, subquery_eval);
+      switch (op) {
+        case BinOp::kAdd: return Value::Add(l, r);
+        case BinOp::kSub: return Value::Sub(l, r);
+        case BinOp::kMul: return Value::Mul(l, r);
+        case BinOp::kDiv: return Value::Div(l, r);
+        case BinOp::kEq: return Value(l == r);
+        case BinOp::kNeq: return Value(l != r);
+        case BinOp::kLt: return Value(l < r);
+        case BinOp::kLe: return Value(l <= r);
+        case BinOp::kGt: return Value(l > r);
+        case BinOp::kGe: return Value(l >= r);
+        default:
+          assert(false && "unhandled binary op");
+          return Value();
+      }
+    }
+  }
+  assert(false && "unhandled scalar kind");
+  return Value();
+}
+
+bool ScalarExpr::IsSubqueryFree() const {
+  if (kind == Kind::kSubquery) return false;
+  if (lhs && !lhs->IsSubqueryFree()) return false;
+  if (rhs && !rhs->IsSubqueryFree()) return false;
+  return true;
+}
+
+std::string ScalarExpr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kColumn:
+      if (scope_up > 0) {
+        return debug_name + "^" + std::to_string(scope_up);
+      }
+      return debug_name;
+    case Kind::kAggRef:
+      return "agg#" + std::to_string(agg_index);
+    case Kind::kUnaryMinus:
+      return "(-" + lhs->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->ToString() + ")";
+    case Kind::kSubquery:
+      return "(<subquery>)";
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + sql::BinOpName(op) + " " +
+             rhs->ToString() + ")";
+  }
+  return "?";
+}
+
+std::unique_ptr<ScalarExpr> ScalarExpr::Const(Value v) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->kind = Kind::kConst;
+  e->type = v.is_string() ? Type::kString
+                          : (v.is_double() ? Type::kDouble : Type::kInt);
+  e->constant = std::move(v);
+  return e;
+}
+
+std::unique_ptr<ScalarExpr> ScalarExpr::Column(int scope_up, size_t offset,
+                                               Type type, std::string name) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->kind = Kind::kColumn;
+  e->scope_up = scope_up;
+  e->offset = offset;
+  e->type = type;
+  e->debug_name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<ScalarExpr> ScalarExpr::Binary(sql::BinOp op, Type type,
+                                               std::unique_ptr<ScalarExpr> l,
+                                               std::unique_ptr<ScalarExpr> r) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->type = type;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+}  // namespace dbtoaster::exec

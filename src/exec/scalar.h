@@ -1,0 +1,81 @@
+// Typed, bound scalar expressions evaluated by the relational executor.
+//
+// The binder (binder.h) compiles sql::Expr trees into ScalarExpr trees with
+// column references resolved to (scope depth, flat offset) pairs, so that
+// evaluation is interpretation over indices rather than name lookup — this is
+// the "query plan interpreter" architecture the paper's compiled code is
+// benchmarked against, implemented honestly.
+#ifndef DBTOASTER_EXEC_SCALAR_H_
+#define DBTOASTER_EXEC_SCALAR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster::exec {
+
+struct BoundSelect;  // binder.h
+
+/// Evaluation context: one wide row per query-nesting level.
+/// scopes[0] is the innermost (current) query's joined row.
+struct EvalContext {
+  std::vector<const Row*> scopes;
+
+  /// Values of the current group's aggregates (set during final projection
+  /// of an aggregate query; indexed by ScalarExpr::agg_index).
+  const Row* aggregates = nullptr;
+};
+
+/// Bound scalar expression.
+struct ScalarExpr {
+  enum class Kind : uint8_t {
+    kConst,
+    kColumn,     ///< scopes[scope_up][offset]
+    kBinary,
+    kUnaryMinus,
+    kNot,
+    kAggRef,     ///< aggregates[agg_index] (only valid post-aggregation)
+    kSubquery,   ///< scalar subquery, evaluated via Subquery callback
+  };
+
+  Kind kind;
+  Type type = Type::kInt;
+
+  Value constant;                     // kConst
+  int scope_up = 0;                   // kColumn: how many scopes up
+  size_t offset = 0;                  // kColumn: flat offset in the wide row
+  std::string debug_name;             // kColumn: "alias.COL" for printing
+  sql::BinOp op = sql::BinOp::kAdd;   // kBinary
+  std::unique_ptr<ScalarExpr> lhs;    // kBinary / kUnaryMinus / kNot
+  std::unique_ptr<ScalarExpr> rhs;    // kBinary
+  size_t agg_index = 0;               // kAggRef
+  std::shared_ptr<BoundSelect> subquery;  // kSubquery (shared: plans cache it)
+
+  /// Evaluate against `ctx`. `subquery_eval` is invoked for kSubquery nodes;
+  /// it must return the scalar value of the subquery under the given context.
+  /// Deterministic and total (div-by-zero yields 0.0, see Value::Div).
+  Value Eval(const EvalContext& ctx,
+             const std::function<Value(const BoundSelect&, const EvalContext&)>&
+                 subquery_eval) const;
+
+  /// True if no kSubquery node appears in the tree.
+  bool IsSubqueryFree() const;
+
+  std::string ToString() const;
+
+  static std::unique_ptr<ScalarExpr> Const(Value v);
+  static std::unique_ptr<ScalarExpr> Column(int scope_up, size_t offset,
+                                            Type type, std::string name);
+  static std::unique_ptr<ScalarExpr> Binary(sql::BinOp op, Type type,
+                                            std::unique_ptr<ScalarExpr> l,
+                                            std::unique_ptr<ScalarExpr> r);
+};
+
+}  // namespace dbtoaster::exec
+
+#endif  // DBTOASTER_EXEC_SCALAR_H_

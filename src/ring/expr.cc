@@ -1,0 +1,505 @@
+#include "src/ring/expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::ring {
+
+std::set<std::string> Expr::OutVars() const {
+  std::set<std::string> out;
+  switch (kind) {
+    case ExprKind::kConst:
+    case ExprKind::kValTerm:
+    case ExprKind::kCmp:
+      break;
+    case ExprKind::kLift:
+      out.insert(var);
+      break;
+    case ExprKind::kRel:
+    case ExprKind::kMapRef:
+      out.insert(args.begin(), args.end());
+      break;
+    case ExprKind::kNeg:
+      return children[0]->OutVars();
+    case ExprKind::kAggSum:
+      out.insert(group_vars.begin(), group_vars.end());
+      break;
+    case ExprKind::kSum: {
+      // The schema of a sum is the union of branch schemas; branches that do
+      // not bind a variable contribute it only when the environment does.
+      for (const ExprPtr& c : children) {
+        auto cv = c->OutVars();
+        out.insert(cv.begin(), cv.end());
+      }
+      break;
+    }
+    case ExprKind::kProd: {
+      for (const ExprPtr& c : children) {
+        auto cv = c->OutVars();
+        out.insert(cv.begin(), cv.end());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::set<std::string> Expr::InVars() const {
+  std::set<std::string> in;
+  switch (kind) {
+    case ExprKind::kConst:
+      break;
+    case ExprKind::kValTerm:
+      return term->Vars();
+    case ExprKind::kCmp: {
+      auto l = cmp_lhs->Vars();
+      auto r = cmp_rhs->Vars();
+      in.insert(l.begin(), l.end());
+      in.insert(r.begin(), r.end());
+      break;
+    }
+    case ExprKind::kLift:
+      return term->Vars();
+    case ExprKind::kRel:
+    case ExprKind::kMapRef:
+      break;
+    case ExprKind::kNeg:
+      return children[0]->InVars();
+    case ExprKind::kAggSum: {
+      in = children[0]->InVars();
+      // Group vars that the child cannot bind must come from outside.
+      auto out = children[0]->OutVars();
+      for (const std::string& g : group_vars) {
+        if (!out.count(g)) in.insert(g);
+      }
+      break;
+    }
+    case ExprKind::kSum: {
+      for (const ExprPtr& c : children) {
+        auto ci = c->InVars();
+        in.insert(ci.begin(), ci.end());
+      }
+      break;
+    }
+    case ExprKind::kProd: {
+      std::set<std::string> bound;
+      // A product satisfies a factor's inputs with any other factor's
+      // outputs (the evaluator orders factors accordingly).
+      for (const ExprPtr& c : children) {
+        auto co = c->OutVars();
+        bound.insert(co.begin(), co.end());
+      }
+      for (const ExprPtr& c : children) {
+        for (const std::string& v : c->InVars()) {
+          if (!bound.count(v)) in.insert(v);
+        }
+      }
+      break;
+    }
+  }
+  return in;
+}
+
+std::set<std::string> Expr::AllVars() const {
+  std::set<std::string> all = OutVars();
+  auto in = InVars();
+  all.insert(in.begin(), in.end());
+  return all;
+}
+
+void Expr::CollectRels(std::set<std::string>* out) const {
+  if (kind == ExprKind::kRel) {
+    out->insert(name);
+    return;
+  }
+  for (const ExprPtr& c : children) c->CollectRels(out);
+}
+
+bool Expr::HasRelAtoms() const {
+  std::set<std::string> rels;
+  CollectRels(&rels);
+  return !rels.empty();
+}
+
+void Expr::CollectMapRefs(std::set<std::string>* out) const {
+  if (kind == ExprKind::kMapRef) out->insert(name);
+  if (term) term->CollectMapReads(out);
+  if (cmp_lhs) cmp_lhs->CollectMapReads(out);
+  if (cmp_rhs) cmp_rhs->CollectMapReads(out);
+  for (const ExprPtr& c : children) c->CollectMapRefs(out);
+}
+
+namespace {
+std::vector<std::string> RenameVarList(
+    const std::vector<std::string>& vars,
+    const std::map<std::string, std::string>& subst) {
+  std::vector<std::string> out;
+  out.reserve(vars.size());
+  for (const std::string& v : vars) {
+    auto it = subst.find(v);
+    out.push_back(it == subst.end() ? v : it->second);
+  }
+  return out;
+}
+}  // namespace
+
+ExprPtr Expr::Rename(const std::map<std::string, std::string>& subst) const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return Const(constant);
+    case ExprKind::kValTerm:
+      return ValTerm(term->Rename(subst));
+    case ExprKind::kCmp:
+      return Cmp(cmp_op, cmp_lhs->Rename(subst), cmp_rhs->Rename(subst));
+    case ExprKind::kLift: {
+      auto it = subst.find(var);
+      return Lift(it == subst.end() ? var : it->second, term->Rename(subst));
+    }
+    case ExprKind::kRel:
+      return Rel(name, RenameVarList(args, subst));
+    case ExprKind::kMapRef:
+      return MapRef(name, RenameVarList(args, subst));
+    case ExprKind::kNeg:
+      return Neg(children[0]->Rename(subst));
+    case ExprKind::kAggSum:
+      return AggSum(RenameVarList(group_vars, subst),
+                    children[0]->Rename(subst));
+    case ExprKind::kSum: {
+      std::vector<ExprPtr> cs;
+      cs.reserve(children.size());
+      for (const ExprPtr& c : children) cs.push_back(c->Rename(subst));
+      return Sum(std::move(cs));
+    }
+    case ExprKind::kProd: {
+      std::vector<ExprPtr> cs;
+      cs.reserve(children.size());
+      for (const ExprPtr& c : children) cs.push_back(c->Rename(subst));
+      return Prod(std::move(cs));
+    }
+  }
+  assert(false);
+  return nullptr;
+}
+
+ExprPtr Expr::ReplaceMapReads(
+    const std::map<std::string, TermPtr>& replacements) const {
+  switch (kind) {
+    case ExprKind::kConst:
+    case ExprKind::kRel:
+    case ExprKind::kMapRef: {
+      auto e = std::make_shared<Expr>(*this);
+      return e;
+    }
+    case ExprKind::kValTerm:
+      return ValTerm(term->ReplaceMapReads(replacements));
+    case ExprKind::kCmp:
+      return Cmp(cmp_op, cmp_lhs->ReplaceMapReads(replacements),
+                 cmp_rhs->ReplaceMapReads(replacements));
+    case ExprKind::kLift:
+      return Lift(var, term->ReplaceMapReads(replacements));
+    case ExprKind::kNeg:
+      return Neg(children[0]->ReplaceMapReads(replacements));
+    case ExprKind::kAggSum:
+      return AggSum(group_vars, children[0]->ReplaceMapReads(replacements));
+    case ExprKind::kSum:
+    case ExprKind::kProd: {
+      std::vector<ExprPtr> cs;
+      cs.reserve(children.size());
+      for (const ExprPtr& c : children) {
+        cs.push_back(c->ReplaceMapReads(replacements));
+      }
+      return kind == ExprKind::kSum ? Sum(std::move(cs))
+                                    : Prod(std::move(cs));
+    }
+  }
+  assert(false);
+  return nullptr;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return constant.ToString();
+    case ExprKind::kValTerm:
+      return "{" + term->ToString() + "}";
+    case ExprKind::kCmp:
+      return "[" + cmp_lhs->ToString() + " " + sql::BinOpName(cmp_op) + " " +
+             cmp_rhs->ToString() + "]";
+    case ExprKind::kLift:
+      return "(" + var + " := " + term->ToString() + ")";
+    case ExprKind::kRel:
+    case ExprKind::kMapRef: {
+      std::string s = name + (kind == ExprKind::kRel ? "(" : "[");
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i];
+      }
+      s += kind == ExprKind::kRel ? ")" : "]";
+      return s;
+    }
+    case ExprKind::kNeg:
+      return "-(" + children[0]->ToString() + ")";
+    case ExprKind::kAggSum: {
+      std::string s = "AggSum([" + Join({group_vars.begin(), group_vars.end()}, ", ") + "], ";
+      s += children[0]->ToString();
+      s += ")";
+      return s;
+    }
+    case ExprKind::kSum: {
+      std::string s = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += " + ";
+        s += children[i]->ToString();
+      }
+      s += ")";
+      return s;
+    }
+    case ExprKind::kProd: {
+      std::string s = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += " * ";
+        s += children[i]->ToString();
+      }
+      s += ")";
+      return s;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ValTerm(TermPtr t) {
+  if (t->IsConst()) return Const(t->constant);
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kValTerm;
+  e->term = std::move(t);
+  return e;
+}
+
+ExprPtr Expr::Cmp(sql::BinOp op, TermPtr l, TermPtr r) {
+  assert(sql::IsComparison(op));
+  if (l->IsConst() && r->IsConst()) {
+    bool truth = false;
+    const Value& a = l->constant;
+    const Value& b = r->constant;
+    switch (op) {
+      case sql::BinOp::kEq: truth = a == b; break;
+      case sql::BinOp::kNeq: truth = a != b; break;
+      case sql::BinOp::kLt: truth = a < b; break;
+      case sql::BinOp::kLe: truth = a <= b; break;
+      case sql::BinOp::kGt: truth = a > b; break;
+      case sql::BinOp::kGe: truth = a >= b; break;
+      default: break;
+    }
+    return truth ? One() : Zero();
+  }
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCmp;
+  e->cmp_op = op;
+  e->cmp_lhs = std::move(l);
+  e->cmp_rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Lift(std::string var, TermPtr t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLift;
+  e->var = std::move(var);
+  e->term = std::move(t);
+  return e;
+}
+
+ExprPtr Expr::Rel(std::string name, std::vector<std::string> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kRel;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::MapRef(std::string name, std::vector<std::string> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kMapRef;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Sum(std::vector<ExprPtr> children) {
+  std::vector<ExprPtr> flat;
+  for (ExprPtr& c : children) {
+    if (c->IsZero()) continue;
+    if (c->kind == ExprKind::kSum) {
+      flat.insert(flat.end(), c->children.begin(), c->children.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return Zero();
+  if (flat.size() == 1) return flat[0];
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSum;
+  e->children = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Prod(std::vector<ExprPtr> children) {
+  std::vector<ExprPtr> flat;
+  Value const_part(int64_t{1});
+  bool any_const = false;
+  for (ExprPtr& c : children) {
+    if (c->IsZero()) return Zero();
+    if (c->kind == ExprKind::kConst) {
+      const_part = Value::Mul(const_part, c->constant);
+      any_const = true;
+      continue;
+    }
+    if (c->kind == ExprKind::kProd) {
+      for (const ExprPtr& g : c->children) {
+        if (g->kind == ExprKind::kConst) {
+          const_part = Value::Mul(const_part, g->constant);
+          any_const = true;
+        } else {
+          flat.push_back(g);
+        }
+      }
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (any_const && const_part.is_numeric() && const_part.IsZero()) {
+    return Zero();
+  }
+  bool const_is_one = const_part.is_int() && const_part.AsInt() == 1;
+  if (!const_is_one) {
+    flat.insert(flat.begin(), Const(const_part));
+  }
+  if (flat.empty()) return One();
+  if (flat.size() == 1) return flat[0];
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kProd;
+  e->children = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Neg(ExprPtr e) {
+  if (e->kind == ExprKind::kConst) return Const(Value::Neg(e->constant));
+  if (e->kind == ExprKind::kNeg) return e->children[0];
+  auto out = std::make_shared<Expr>();
+  out->kind = ExprKind::kNeg;
+  out->children.push_back(std::move(e));
+  return out;
+}
+
+ExprPtr Expr::AggSum(std::vector<std::string> group_vars, ExprPtr e) {
+  if (e->IsZero()) return Zero();
+  auto out = std::make_shared<Expr>();
+  out->kind = ExprKind::kAggSum;
+  out->group_vars = std::move(group_vars);
+  out->children.push_back(std::move(e));
+  return out;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kConst:
+      return a.constant == b.constant &&
+             a.constant.is_string() == b.constant.is_string();
+    case ExprKind::kValTerm:
+      return TermEquals(*a.term, *b.term);
+    case ExprKind::kCmp:
+      return a.cmp_op == b.cmp_op && TermEquals(*a.cmp_lhs, *b.cmp_lhs) &&
+             TermEquals(*a.cmp_rhs, *b.cmp_rhs);
+    case ExprKind::kLift:
+      return a.var == b.var && TermEquals(*a.term, *b.term);
+    case ExprKind::kRel:
+    case ExprKind::kMapRef:
+      return a.name == b.name && a.args == b.args;
+    case ExprKind::kAggSum:
+      if (a.group_vars != b.group_vars) return false;
+      return ExprEquals(*a.children[0], *b.children[0]);
+    case ExprKind::kNeg:
+      return ExprEquals(*a.children[0], *b.children[0]);
+    case ExprKind::kSum:
+    case ExprKind::kProd: {
+      if (a.children.size() != b.children.size()) return false;
+      for (size_t i = 0; i < a.children.size(); ++i) {
+        if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void CollectAtoms(const Expr& e, std::vector<const Expr*>* rels,
+                  std::vector<const Expr*>* lifts) {
+  if (e.kind == ExprKind::kRel) {
+    rels->push_back(&e);
+  } else if (e.kind == ExprKind::kLift) {
+    lifts->push_back(&e);
+  }
+  for (const ExprPtr& c : e.children) CollectAtoms(*c, rels, lifts);
+}
+
+}  // namespace
+
+Status InferVarTypes(
+    const Expr& e,
+    const std::map<std::string, std::vector<Type>>& rel_types,
+    VarTypes* types) {
+  std::vector<const Expr*> rels, lifts;
+  CollectAtoms(e, &rels, &lifts);
+  // Pass 1: relation atoms fix the types of their argument variables.
+  for (const Expr* rel : rels) {
+    auto it = rel_types.find(rel->name);
+    if (it == rel_types.end()) {
+      return Status::NotFound("unknown relation in expression: " + rel->name);
+    }
+    if (it->second.size() != rel->args.size()) {
+      return Status::Internal("relation atom arity mismatch: " +
+                              rel->ToString());
+    }
+    for (size_t i = 0; i < rel->args.size(); ++i) {
+      auto [pos, inserted] = types->emplace(rel->args[i], it->second[i]);
+      if (!inserted && pos->second != it->second[i]) {
+        // Int/date aliasing is fine; anything else is a conflict.
+        bool compat = IsNumeric(pos->second) == IsNumeric(it->second[i]);
+        if (!compat) {
+          return Status::TypeError("conflicting types for variable " +
+                                   rel->args[i]);
+        }
+      }
+    }
+  }
+  // Pass 2: lifts type their target from their term; terms may depend on
+  // other lifts, so iterate to a fixpoint. Lifts whose terms reference
+  // variables never typed are left out (the variable is unused downstream or
+  // a later type query reports it precisely).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Expr* lift : lifts) {
+      if (types->count(lift->var)) continue;
+      auto t = lift->term->TypeOf(*types);
+      if (t.ok()) {
+        types->emplace(lift->var, t.value());
+        progress = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbtoaster::ring

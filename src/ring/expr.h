@@ -1,0 +1,134 @@
+// The ring calculus (map algebra) at the core of DBToaster's compiler.
+//
+// An expression denotes a generalized multiset relation: a function from
+// assignments of its *output variables* to ring values (int64/double), given
+// bindings for its *input variables*. Aggregate queries, their deltas, map
+// definitions and trigger right-hand sides are all expressions of this
+// calculus:
+//
+//   Const(c)          -- weight c; no variables
+//   ValTerm(t)        -- value factor t (arithmetic over variables)
+//   Cmp(t1 op t2)     -- 0/1 predicate factor
+//   Lift(x, t)        -- (x := t): binds x to t's value (or filters if bound)
+//   Rel(R, [x...])    -- base relation atom; value = multiplicity; binds x...
+//   MapRef(M, [x...]) -- materialized map atom; value = stored aggregate;
+//                        binds unbound keys by slice iteration
+//   Sum(e...)         -- ring addition (bag union)
+//   Prod(e...)        -- ring multiplication (natural join on shared vars)
+//   Neg(e)            -- ring negation
+//   AggSum([g...], e) -- sums out all output vars of e not in g
+//
+// The delta of a query is again an expression of this calculus; recursive
+// compilation (src/compiler) repeatedly takes deltas and extracts maps until
+// the right-hand sides are constant-time.
+#ifndef DBTOASTER_RING_EXPR_H_
+#define DBTOASTER_RING_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/ring/term.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster::ring {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+  kConst,
+  kValTerm,
+  kCmp,
+  kLift,
+  kRel,
+  kMapRef,
+  kSum,
+  kProd,
+  kNeg,
+  kAggSum,
+};
+
+struct Expr {
+  ExprKind kind;
+
+  Value constant;                  // kConst
+  TermPtr term;                    // kValTerm, kLift definition
+  sql::BinOp cmp_op = sql::BinOp::kEq;  // kCmp
+  TermPtr cmp_lhs, cmp_rhs;        // kCmp
+  std::string var;                 // kLift target variable
+  std::string name;                // kRel relation / kMapRef map name
+  std::vector<std::string> args;   // kRel / kMapRef argument variables
+  std::vector<ExprPtr> children;   // kSum/kProd members; [0] for kNeg/kAggSum
+  std::vector<std::string> group_vars;  // kAggSum
+
+  // -- analysis ------------------------------------------------------------
+
+  /// Output variables: those this expression can bind.
+  std::set<std::string> OutVars() const;
+
+  /// Input variables: those that must be bound by the environment.
+  std::set<std::string> InVars() const;
+
+  /// All variables (inputs and outputs).
+  std::set<std::string> AllVars() const;
+
+  /// Relation atom names appearing anywhere (incl. inside AggSum).
+  void CollectRels(std::set<std::string>* out) const;
+  bool HasRelAtoms() const;
+
+  /// Map names referenced (MapRef atoms and term-level map reads).
+  void CollectMapRefs(std::set<std::string>* out) const;
+
+  /// Rename variables throughout (inputs, outputs, group vars).
+  ExprPtr Rename(const std::map<std::string, std::string>& subst) const;
+
+  /// Rewrite map-read terms throughout the expression (kCmp/kValTerm/kLift
+  /// terms): placeholder map name -> replacement term.
+  ExprPtr ReplaceMapReads(
+      const std::map<std::string, TermPtr>& replacements) const;
+
+  std::string ToString() const;
+
+  // -- constructors (with local constant folding) ---------------------------
+  static ExprPtr Const(Value v);
+  static ExprPtr One() { return Const(Value(int64_t{1})); }
+  static ExprPtr Zero() { return Const(Value(int64_t{0})); }
+  static ExprPtr ValTerm(TermPtr t);
+  static ExprPtr Cmp(sql::BinOp op, TermPtr l, TermPtr r);
+  static ExprPtr Lift(std::string var, TermPtr t);
+  static ExprPtr Rel(std::string name, std::vector<std::string> args);
+  static ExprPtr MapRef(std::string name, std::vector<std::string> args);
+  static ExprPtr Sum(std::vector<ExprPtr> children);
+  static ExprPtr Prod(std::vector<ExprPtr> children);
+  static ExprPtr Neg(ExprPtr e);
+  static ExprPtr AggSum(std::vector<std::string> group_vars, ExprPtr e);
+
+  bool IsZero() const {
+    return kind == ExprKind::kConst && constant.is_numeric() &&
+           constant.IsZero();
+  }
+  bool IsOne() const {
+    return kind == ExprKind::kConst && constant.is_int() &&
+           constant.AsInt() == 1;
+  }
+};
+
+/// Structural equality (no renaming).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// Infer types of all variables bound by Rel atoms and Lifts, given relation
+/// schemas through `rel_types` (relation name -> column types) and any
+/// already-known variable types in `types` (e.g. event parameters).
+/// Returns an error on conflicting inferences.
+Status InferVarTypes(
+    const Expr& e,
+    const std::map<std::string, std::vector<Type>>& rel_types,
+    VarTypes* types);
+
+}  // namespace dbtoaster::ring
+
+#endif  // DBTOASTER_RING_EXPR_H_

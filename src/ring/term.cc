@@ -1,0 +1,286 @@
+#include "src/ring/term.h"
+
+#include <cassert>
+
+namespace dbtoaster::ring {
+
+void Term::CollectVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out->insert(var);
+      return;
+    case Kind::kMapRead:
+      for (const TermPtr& a : args) a->CollectVars(out);
+      return;
+    default:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+  }
+}
+
+std::set<std::string> Term::Vars() const {
+  std::set<std::string> out;
+  CollectVars(&out);
+  return out;
+}
+
+void Term::CollectMapReads(std::set<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+    case Kind::kVar:
+      return;
+    case Kind::kMapRead:
+      out->insert(map_name);
+      for (const TermPtr& a : args) a->CollectMapReads(out);
+      return;
+    default:
+      lhs->CollectMapReads(out);
+      rhs->CollectMapReads(out);
+  }
+}
+
+Result<Type> Term::TypeOf(const VarTypes& types) const {
+  switch (kind) {
+    case Kind::kConst:
+      if (constant.is_string()) return Type::kString;
+      return constant.is_double() ? Type::kDouble : Type::kInt;
+    case Kind::kVar: {
+      auto it = types.find(var);
+      if (it == types.end()) {
+        return Status::Internal("untyped variable in term: " + var);
+      }
+      return it->second;
+    }
+    case Kind::kMapRead:
+      // Map value types are tracked by the program; reads are numeric.
+      // The compiler records precise types in MapDecl; for term typing we
+      // conservatively return kDouble unless told otherwise via `types`
+      // carrying an entry "@<map>".
+      {
+        auto it = types.find("@" + map_name);
+        if (it != types.end()) return it->second;
+        return Type::kDouble;
+      }
+    case Kind::kDiv:
+      return Type::kDouble;
+    default: {
+      DBT_ASSIGN_OR_RETURN(Type l, lhs->TypeOf(types));
+      DBT_ASSIGN_OR_RETURN(Type r, rhs->TypeOf(types));
+      if (!IsNumeric(l) || !IsNumeric(r)) {
+        return Status::TypeError("arithmetic over non-numeric term: " +
+                                 ToString());
+      }
+      return PromoteNumeric(l, r);
+    }
+  }
+}
+
+TermPtr Term::Rename(const std::map<std::string, std::string>& subst) const {
+  switch (kind) {
+    case Kind::kConst:
+      return Const(constant);
+    case Kind::kVar: {
+      auto it = subst.find(var);
+      return Var(it == subst.end() ? var : it->second);
+    }
+    case Kind::kMapRead: {
+      std::vector<TermPtr> new_args;
+      new_args.reserve(args.size());
+      for (const TermPtr& a : args) new_args.push_back(a->Rename(subst));
+      return MapRead(map_name, std::move(new_args));
+    }
+    default: {
+      TermPtr l = lhs->Rename(subst);
+      TermPtr r = rhs->Rename(subst);
+      auto t = std::make_shared<Term>();
+      t->kind = kind;
+      t->lhs = std::move(l);
+      t->rhs = std::move(r);
+      return t;
+    }
+  }
+}
+
+TermPtr Term::Substitute(const std::map<std::string, TermPtr>& subst) const {
+  switch (kind) {
+    case Kind::kConst:
+      return Const(constant);
+    case Kind::kVar: {
+      auto it = subst.find(var);
+      return it == subst.end() ? Var(var) : it->second;
+    }
+    case Kind::kMapRead: {
+      std::vector<TermPtr> new_args;
+      new_args.reserve(args.size());
+      for (const TermPtr& a : args) new_args.push_back(a->Substitute(subst));
+      return MapRead(map_name, std::move(new_args));
+    }
+    default: {
+      TermPtr l = lhs->Substitute(subst);
+      TermPtr r = rhs->Substitute(subst);
+      auto t = std::make_shared<Term>();
+      t->kind = kind;
+      t->lhs = std::move(l);
+      t->rhs = std::move(r);
+      return t;
+    }
+  }
+}
+
+TermPtr Term::RenameMaps(
+    const std::map<std::string, std::string>& names) const {
+  switch (kind) {
+    case Kind::kConst:
+      return Const(constant);
+    case Kind::kVar:
+      return Var(var);
+    case Kind::kMapRead: {
+      std::vector<TermPtr> new_args;
+      new_args.reserve(args.size());
+      for (const TermPtr& a : args) new_args.push_back(a->RenameMaps(names));
+      auto it = names.find(map_name);
+      return MapRead(it == names.end() ? map_name : it->second,
+                     std::move(new_args));
+    }
+    default: {
+      auto t = std::make_shared<Term>();
+      t->kind = kind;
+      t->lhs = lhs->RenameMaps(names);
+      t->rhs = rhs->RenameMaps(names);
+      return t;
+    }
+  }
+}
+
+TermPtr Term::ReplaceMapReads(
+    const std::map<std::string, TermPtr>& replacements) const {
+  switch (kind) {
+    case Kind::kConst:
+      return Const(constant);
+    case Kind::kVar:
+      return Var(var);
+    case Kind::kMapRead: {
+      auto it = replacements.find(map_name);
+      if (it != replacements.end()) return it->second;
+      std::vector<TermPtr> new_args;
+      new_args.reserve(args.size());
+      for (const TermPtr& a : args) {
+        new_args.push_back(a->ReplaceMapReads(replacements));
+      }
+      return MapRead(map_name, std::move(new_args));
+    }
+    default: {
+      auto t = std::make_shared<Term>();
+      t->kind = kind;
+      t->lhs = lhs->ReplaceMapReads(replacements);
+      t->rhs = rhs->ReplaceMapReads(replacements);
+      return t;
+    }
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return var;
+    case Kind::kAdd:
+      return "(" + lhs->ToString() + " + " + rhs->ToString() + ")";
+    case Kind::kSub:
+      return "(" + lhs->ToString() + " - " + rhs->ToString() + ")";
+    case Kind::kMul:
+      return "(" + lhs->ToString() + " * " + rhs->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + lhs->ToString() + " / " + rhs->ToString() + ")";
+    case Kind::kMapRead: {
+      std::string s = map_name + "[";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "?";
+}
+
+TermPtr Term::Const(Value v) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kConst;
+  t->constant = std::move(v);
+  return t;
+}
+
+TermPtr Term::Var(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kVar;
+  t->var = std::move(name);
+  return t;
+}
+
+namespace {
+TermPtr MakeBinary(Term::Kind k, TermPtr l, TermPtr r) {
+  auto t = std::make_shared<Term>();
+  t->kind = k;
+  t->lhs = std::move(l);
+  t->rhs = std::move(r);
+  return t;
+}
+}  // namespace
+
+TermPtr Term::Add(TermPtr l, TermPtr r) {
+  if (l->IsConst() && r->IsConst()) {
+    return Const(Value::Add(l->constant, r->constant));
+  }
+  return MakeBinary(Kind::kAdd, std::move(l), std::move(r));
+}
+TermPtr Term::Sub(TermPtr l, TermPtr r) {
+  if (l->IsConst() && r->IsConst()) {
+    return Const(Value::Sub(l->constant, r->constant));
+  }
+  return MakeBinary(Kind::kSub, std::move(l), std::move(r));
+}
+TermPtr Term::Mul(TermPtr l, TermPtr r) {
+  if (l->IsConst() && r->IsConst()) {
+    return Const(Value::Mul(l->constant, r->constant));
+  }
+  return MakeBinary(Kind::kMul, std::move(l), std::move(r));
+}
+TermPtr Term::Div(TermPtr l, TermPtr r) {
+  return MakeBinary(Kind::kDiv, std::move(l), std::move(r));
+}
+
+TermPtr Term::MapRead(std::string map_name, std::vector<TermPtr> args) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kMapRead;
+  t->map_name = std::move(map_name);
+  t->args = std::move(args);
+  return t;
+}
+
+bool TermEquals(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Term::Kind::kConst:
+      return a.constant == b.constant &&
+             a.constant.is_string() == b.constant.is_string();
+    case Term::Kind::kVar:
+      return a.var == b.var;
+    case Term::Kind::kMapRead:
+      if (a.map_name != b.map_name || a.args.size() != b.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (!TermEquals(*a.args[i], *b.args[i])) return false;
+      }
+      return true;
+    default:
+      return TermEquals(*a.lhs, *b.lhs) && TermEquals(*a.rhs, *b.rhs);
+  }
+}
+
+}  // namespace dbtoaster::ring

@@ -1,0 +1,90 @@
+// Value-level terms of the map algebra: arithmetic over variables, constants
+// and map reads. Terms appear inside ring expressions as multiplicative
+// value factors (ValTerm), comparison operands (Cmp) and lift definitions
+// (Lift), and as the result-view's output expressions.
+#ifndef DBTOASTER_RING_TERM_H_
+#define DBTOASTER_RING_TERM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace dbtoaster::ring {
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+/// Variable typing environment (variable name -> column type).
+using VarTypes = std::map<std::string, Type>;
+
+/// Immutable value-level term.
+struct Term {
+  enum class Kind : uint8_t {
+    kConst,
+    kVar,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMapRead,  ///< read map `map_name` at key (args...); 0 when absent
+  };
+
+  Kind kind;
+  Value constant;                 // kConst
+  std::string var;                // kVar
+  TermPtr lhs, rhs;               // kAdd..kDiv
+  std::string map_name;           // kMapRead
+  std::vector<TermPtr> args;      // kMapRead key terms
+
+  /// All variables mentioned (including inside map-read keys).
+  void CollectVars(std::set<std::string>* out) const;
+  std::set<std::string> Vars() const;
+
+  /// All map names read (transitively).
+  void CollectMapReads(std::set<std::string>* out) const;
+
+  /// Result type under `types`; numeric promotion as in SQL.
+  Result<Type> TypeOf(const VarTypes& types) const;
+
+  /// Substitute variables by other variables (renaming).
+  TermPtr Rename(const std::map<std::string, std::string>& subst) const;
+
+  /// Substitute variables by terms (used by lift unification).
+  TermPtr Substitute(const std::map<std::string, TermPtr>& subst) const;
+
+  /// Rename map names in kMapRead nodes; entries may also replace the key
+  /// argument list (used to resolve subquery placeholders).
+  TermPtr RenameMaps(const std::map<std::string, std::string>& names) const;
+
+  /// Replace kMapRead nodes wholesale: placeholder name -> replacement term
+  /// builder result. Used when a placeholder read needs different keys.
+  TermPtr ReplaceMapReads(
+      const std::map<std::string, TermPtr>& replacements) const;
+
+  std::string ToString() const;
+
+  bool IsConst() const { return kind == Kind::kConst; }
+  bool IsVar() const { return kind == Kind::kVar; }
+
+  // -- constructors --------------------------------------------------------
+  static TermPtr Const(Value v);
+  static TermPtr Int(int64_t v) { return Const(Value(v)); }
+  static TermPtr Var(std::string name);
+  static TermPtr Add(TermPtr l, TermPtr r);
+  static TermPtr Sub(TermPtr l, TermPtr r);
+  static TermPtr Mul(TermPtr l, TermPtr r);
+  static TermPtr Div(TermPtr l, TermPtr r);
+  static TermPtr MapRead(std::string map_name, std::vector<TermPtr> args);
+};
+
+/// Structural equality.
+bool TermEquals(const Term& a, const Term& b);
+
+}  // namespace dbtoaster::ring
+
+#endif  // DBTOASTER_RING_TERM_H_

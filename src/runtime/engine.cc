@@ -1,0 +1,440 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::runtime {
+
+using compiler::MapDecl;
+using compiler::Statement;
+
+namespace {
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+std::string ProfileStats::ToString() const {
+  std::string s = StrFormat("events processed: %llu (total %.3f ms)\n",
+                            static_cast<unsigned long long>(events),
+                            static_cast<double>(event_nanos) / 1e6);
+  for (const auto& [rendering, st] : by_statement) {
+    s += StrFormat("  %8llu exec  %10llu updates  %10.3f ms   %s\n",
+                   static_cast<unsigned long long>(st.executions),
+                   static_cast<unsigned long long>(st.updates),
+                   static_cast<double>(st.nanos) / 1e6, rendering.c_str());
+  }
+  return s;
+}
+
+Engine::Engine(compiler::Program program)
+    : program_(std::move(program)), db_(program_.catalog), eval_(this) {
+  for (const MapDecl& decl : program_.maps) {
+    decls_[decl.name] = &decl;
+    if (decl.is_extreme) {
+      extremes_.emplace(decl.name, ExtremeMap(decl.name, decl.key_names.size(),
+                                              decl.value_type));
+    } else {
+      maps_.emplace(decl.name, ValueMap(decl.name, decl.key_names.size(),
+                                        decl.value_type));
+    }
+  }
+}
+
+const ValueMap* Engine::value_map(const std::string& name) const {
+  auto it = maps_.find(name);
+  return it == maps_.end() ? nullptr : &it->second;
+}
+
+const ExtremeMap* Engine::extreme_map(const std::string& name) const {
+  auto it = extremes_.find(name);
+  return it == extremes_.end() ? nullptr : &it->second;
+}
+
+size_t Engine::MapMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, m] : maps_) bytes += m.MemoryBytes();
+  for (const auto& [name, m] : extremes_) bytes += m.MemoryBytes();
+  return bytes;
+}
+
+size_t Engine::TotalMapEntries() const {
+  size_t n = 0;
+  for (const auto& [name, m] : maps_) n += m.size();
+  for (const auto& [name, m] : extremes_) n += m.size();
+  return n;
+}
+
+Result<Value> Engine::ReadMap(const std::string& map, const Row& key,
+                              bool store_init) {
+  auto it = maps_.find(map);
+  if (it == maps_.end()) {
+    return Status::NotFound("unknown map: " + map);
+  }
+  ValueMap& vm = it->second;
+  if (vm.Contains(key)) return vm.Get(key);
+  const MapDecl* decl = decls_.at(map);
+  if (!decl->needs_init || decl->definition == nullptr || in_init_) {
+    return vm.TypedZero();
+  }
+  // Init-on-first-access: evaluate the definition over the base tables with
+  // the canonical keys bound to the requested key.
+  in_init_ = true;
+  Bindings env;
+  for (size_t i = 0; i < decl->key_names.size(); ++i) {
+    env[decl->key_names[i]] = key[i];
+  }
+  auto value = eval_.EvalScalar(decl->definition, env, /*store_init=*/false);
+  in_init_ = false;
+  if (!value.ok()) return value.status();
+  Value v = value.value();
+  if (vm.value_type() == Type::kDouble && v.is_int()) {
+    v = Value(v.AsDouble());
+  }
+  if (store_init) {
+    ApplyMapSet(&vm, key, v);
+  }
+  return v;
+}
+
+const ValueMap* Engine::FindMap(const std::string& map) const {
+  return value_map(map);
+}
+
+void Engine::ApplyMapAdd(ValueMap* target, const Row& key,
+                         const Value& delta) {
+  target->Add(key, delta);
+  auto it = slice_indexes_.find(target->name());
+  if (it != slice_indexes_.end()) {
+    for (SliceIndex& idx : it->second) idx.Insert(key);
+  }
+}
+
+void Engine::ApplyMapSet(ValueMap* target, const Row& key, Value value) {
+  target->Set(key, std::move(value));
+  auto it = slice_indexes_.find(target->name());
+  if (it != slice_indexes_.end()) {
+    for (SliceIndex& idx : it->second) idx.Insert(key);
+  }
+}
+
+const std::unordered_set<Row, RowHash, RowEq>* Engine::LookupMapSlice(
+    const std::string& map, const std::vector<size_t>& positions,
+    const Row& key) {
+  auto mit = maps_.find(map);
+  if (mit == maps_.end()) return nullptr;
+  auto& indexes = slice_indexes_[map];
+  SliceIndex* idx = nullptr;
+  for (SliceIndex& existing : indexes) {
+    if (existing.positions == positions) {
+      idx = &existing;
+      break;
+    }
+  }
+  if (idx == nullptr) {
+    // Build lazily from the current live entries.
+    indexes.push_back(SliceIndex{positions, {}});
+    idx = &indexes.back();
+    for (const auto& [full_key, value] : mit->second.entries()) {
+      idx->Insert(full_key);
+    }
+  }
+  auto bit = idx->buckets.find(key);
+  if (bit == idx->buckets.end()) {
+    static const std::unordered_set<Row, RowHash, RowEq> kEmpty;
+    return &kEmpty;
+  }
+  return &bit->second;
+}
+
+const Table* Engine::FindRelation(const std::string& rel) const {
+  return db_.FindTable(rel);
+}
+
+Status Engine::RunDeltaStatement(
+    const Statement& stmt, const Bindings& env,
+    std::vector<std::tuple<ValueMap*, Row, Value>>* pending) {
+  auto it = maps_.find(stmt.target);
+  if (it == maps_.end()) {
+    return Status::Internal("delta statement on unknown map: " + stmt.target);
+  }
+  ValueMap* target = &it->second;
+
+  // LHS-driven iteration: bind the un-derivable target keys from the live
+  // key set of the target map.
+  std::vector<Bindings> envs;
+  if (stmt.lhs_iterate.empty()) {
+    envs.push_back(env);
+  } else {
+    std::set<Row, bool (*)(const Row&, const Row&)> distinct(
+        +[](const Row& a, const Row& b) {
+          if (a.size() != b.size()) return a.size() < b.size();
+          for (size_t i = 0; i < a.size(); ++i) {
+            int c = Value::Compare(a[i], b[i]);
+            if (c != 0) return c < 0;
+          }
+          return false;
+        });
+    for (const auto& [key, value] : target->entries()) {
+      Row sub;
+      sub.reserve(stmt.lhs_iterate.size());
+      for (size_t pos : stmt.lhs_iterate) sub.push_back(key[pos]);
+      distinct.insert(std::move(sub));
+    }
+    for (const Row& sub : distinct) {
+      Bindings e2 = env;
+      for (size_t i = 0; i < stmt.lhs_iterate.size(); ++i) {
+        e2[stmt.target_keys[stmt.lhs_iterate[i]]] = sub[i];
+      }
+      envs.push_back(std::move(e2));
+    }
+  }
+
+  size_t updates = 0;
+  for (const Bindings& e2 : envs) {
+    DBT_ASSIGN_OR_RETURN(Keyed result,
+                         eval_.Eval(stmt.rhs, e2, /*store_init=*/false));
+    for (auto& [row, value] : result.entries) {
+      // Build the target key from the environment and the result row.
+      Row key;
+      key.reserve(stmt.target_keys.size());
+      bool ok = true;
+      for (const std::string& kv : stmt.target_keys) {
+        auto eit = e2.find(kv);
+        if (eit != e2.end()) {
+          key.push_back(eit->second);
+          continue;
+        }
+        auto pos = std::find(result.vars.begin(), result.vars.end(), kv);
+        if (pos == result.vars.end()) {
+          ok = false;
+          break;
+        }
+        key.push_back(row[static_cast<size_t>(pos - result.vars.begin())]);
+      }
+      if (!ok) {
+        return Status::Internal("statement cannot bind target key: " +
+                                stmt.ToString());
+      }
+      pending->emplace_back(target, std::move(key), std::move(value));
+      ++updates;
+    }
+  }
+  if (trace_ != nullptr) trace_->OnStatement(stmt, updates);
+  return Status::OK();
+}
+
+Status Engine::RunReevalStatement(const Statement& stmt, const Bindings& env) {
+  auto it = maps_.find(stmt.target);
+  if (it == maps_.end()) {
+    return Status::Internal("reeval statement on unknown map: " + stmt.target);
+  }
+  ValueMap* target = &it->second;
+  DBT_ASSIGN_OR_RETURN(Keyed result,
+                       eval_.Eval(stmt.rhs, env, /*store_init=*/true));
+  target->Clear();
+  slice_indexes_.erase(stmt.target);  // rebuilt lazily on next slice access
+  if (result.vars.empty()) {
+    Value sum = target->TypedZero();
+    for (const auto& [row, v] : result.entries) sum = Value::Add(sum, v);
+    ApplyMapSet(target, {}, sum);
+    if (trace_ != nullptr) trace_->OnStatement(stmt, 1);
+    return Status::OK();
+  }
+  for (auto& [row, v] : result.entries) ApplyMapAdd(target, row, v);
+  if (trace_ != nullptr) trace_->OnStatement(stmt, result.entries.size());
+  return Status::OK();
+}
+
+Status Engine::RunExtremeStatement(const Statement& stmt,
+                                   const Bindings& env) {
+  auto it = extremes_.find(stmt.target);
+  if (it == extremes_.end()) {
+    return Status::Internal("extreme statement on unknown map: " +
+                            stmt.target);
+  }
+  ExtremeMap* target = &it->second;
+  if (stmt.extreme_guard != nullptr) {
+    DBT_ASSIGN_OR_RETURN(Value g, eval_.EvalScalar(stmt.extreme_guard, env,
+                                                   /*store_init=*/false));
+    if (g.IsZero()) {
+      if (trace_ != nullptr) trace_->OnStatement(stmt, 0);
+      return Status::OK();
+    }
+  }
+  Row key;
+  key.reserve(stmt.target_keys.size());
+  for (const std::string& kv : stmt.target_keys) {
+    auto eit = env.find(kv);
+    if (eit == env.end()) {
+      return Status::Internal("unbound extreme key variable: " + kv);
+    }
+    key.push_back(eit->second);
+  }
+  DBT_ASSIGN_OR_RETURN(Value v, eval_.EvalTerm(stmt.extreme_value, env,
+                                               /*store_init=*/false));
+  if (stmt.extreme_sign > 0) {
+    target->Add(key, v);
+  } else {
+    target->Remove(key, v);
+  }
+  if (trace_ != nullptr) trace_->OnStatement(stmt, 1);
+  return Status::OK();
+}
+
+Status Engine::OnEvent(const Event& event) {
+  uint64_t start = NowNanos();
+  if (trace_ != nullptr) trace_->OnEvent(event);
+
+  const compiler::Trigger* trigger =
+      program_.FindTrigger(event.relation, event.kind);
+
+  Bindings env;
+  if (trigger != nullptr) {
+    if (trigger->params.size() != event.tuple.size()) {
+      return Status::InvalidArgument(
+          StrFormat("event arity %zu does not match trigger %s",
+                    event.tuple.size(), trigger->Signature().c_str()));
+    }
+    for (size_t i = 0; i < trigger->params.size(); ++i) {
+      env[trigger->params[i]] = event.tuple[i];
+    }
+  }
+
+  // Phase 1: evaluate all delta statements against the pre-state.
+  std::vector<std::tuple<ValueMap*, Row, Value>> pending;
+  if (trigger != nullptr) {
+    for (const Statement& stmt : trigger->statements) {
+      if (stmt.kind != Statement::Kind::kDelta) continue;
+      uint64_t t0 = NowNanos();
+      size_t before = pending.size();
+      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending));
+      auto& st = profile_.by_statement[stmt.ToString()];
+      st.rendering = stmt.ToString();
+      st.executions++;
+      st.updates += pending.size() - before;
+      st.nanos += NowNanos() - t0;
+    }
+  }
+
+  // Phase 2: apply the event to the base tables, then the map deltas.
+  DBT_RETURN_IF_ERROR(db_.Apply(event));
+  for (auto& [target, key, value] : pending) {
+    if (trace_ != nullptr) {
+      Value old_value = target->Get(key);
+      ApplyMapAdd(target, key, value);
+      trace_->OnMapUpdate(target->name(), key, old_value, target->Get(key));
+    } else {
+      ApplyMapAdd(target, key, value);
+    }
+  }
+
+  if (trigger != nullptr) {
+    // Phase 2b: extreme (MIN/MAX multiset) statements over the post-state.
+    for (const Statement& stmt : trigger->statements) {
+      if (stmt.kind != Statement::Kind::kExtreme) continue;
+      uint64_t t0 = NowNanos();
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+      auto& st = profile_.by_statement[stmt.ToString()];
+      st.rendering = stmt.ToString();
+      st.executions++;
+      st.nanos += NowNanos() - t0;
+    }
+    // Phase 3: hybrid re-evaluation statements over the post-state. They
+    // depend only on the maintained maps and base tables, never on the event
+    // parameters — an empty environment also prevents accidental capture of
+    // query variables that share a name with trigger parameters.
+    Bindings empty_env;
+    for (const Statement& stmt : trigger->statements) {
+      if (stmt.kind != Statement::Kind::kReeval) continue;
+      uint64_t t0 = NowNanos();
+      DBT_RETURN_IF_ERROR(RunReevalStatement(stmt, empty_env));
+      auto& st = profile_.by_statement[stmt.ToString()];
+      st.rendering = stmt.ToString();
+      st.executions++;
+      st.nanos += NowNanos() - t0;
+    }
+  }
+
+  profile_.events++;
+  profile_.event_nanos += NowNanos() - start;
+  return Status::OK();
+}
+
+Result<exec::QueryResult> Engine::View(const std::string& view_name) {
+  const compiler::ViewSpec* view = program_.FindView(view_name);
+  if (view == nullptr) {
+    return Status::NotFound("unknown view: " + view_name);
+  }
+  exec::QueryResult out;
+  // The view's columns are exactly the query's SELECT items (group keys
+  // appear here iff the query selected them), matching SQL output schema.
+  for (const compiler::ViewColumn& c : view->columns) {
+    out.column_names.push_back(c.name);
+  }
+
+  auto emit_row = [&](const Bindings& env, const Row& key) -> Status {
+    Row row;
+    row.reserve(view->columns.size());
+    for (const compiler::ViewColumn& c : view->columns) {
+      if (c.kind == compiler::ViewColumn::Kind::kTerm) {
+        DBT_ASSIGN_OR_RETURN(Value v,
+                             eval_.EvalTerm(c.value, env, /*store_init=*/true));
+        row.push_back(std::move(v));
+      } else {
+        const ExtremeMap* em = extreme_map(c.extreme_map);
+        if (em == nullptr) {
+          return Status::Internal("missing extreme map: " + c.extreme_map);
+        }
+        const compiler::MapDecl* decl = decls_.at(c.extreme_map);
+        auto v = decl->extreme_kind == sql::AggKind::kMin ? em->Min(key)
+                                                          : em->Max(key);
+        row.push_back(v.has_value()
+                          ? *v
+                          : (c.type == Type::kDouble ? Value(0.0)
+                                                     : Value(int64_t{0})));
+      }
+    }
+    out.rows.emplace_back(std::move(row), 1);
+    return Status::OK();
+  };
+
+  if (view->key_vars.empty()) {
+    Bindings env;
+    DBT_RETURN_IF_ERROR(emit_row(env, {}));
+    return out;
+  }
+  const ValueMap* domain = value_map(view->domain_map);
+  if (domain == nullptr) {
+    return Status::Internal("missing domain map for view: " + view_name);
+  }
+  for (const auto& [key, count] : domain->entries()) {
+    if (count.is_numeric() && count.IsZero()) continue;
+    Bindings env;
+    for (size_t i = 0; i < view->key_vars.size(); ++i) {
+      env[view->key_vars[i]] = key[i];
+    }
+    DBT_RETURN_IF_ERROR(emit_row(env, key));
+  }
+  return out;
+}
+
+Result<Value> Engine::ViewScalar(const std::string& view_name) {
+  DBT_ASSIGN_OR_RETURN(exec::QueryResult r, View(view_name));
+  if (r.rows.size() != 1 || r.rows[0].first.size() != 1) {
+    return Status::InvalidArgument("view is not single-valued: " + view_name);
+  }
+  return r.rows[0].first[0];
+}
+
+Result<exec::QueryResult> Engine::AdhocQuery(const std::string& sql) {
+  return exec::Executor::Query(sql, program_.catalog, db_);
+}
+
+}  // namespace dbtoaster::runtime

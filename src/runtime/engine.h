@@ -1,0 +1,144 @@
+// The DBToaster runtime engine: executes a compiled trigger Program over an
+// update stream, maintaining the in-memory aggregate maps and exposing
+// continuously-fresh view results, a read-only snapshot interface, a
+// profiler, and a step debugger (the paper's §2 system model).
+#ifndef DBTOASTER_RUNTIME_ENGINE_H_
+#define DBTOASTER_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/exec/executor.h"
+#include "src/runtime/ring_eval.h"
+#include "src/runtime/value_map.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::runtime {
+
+/// Observer interface for the debugger/tracer: receives every event,
+/// statement execution and map update. Implementations must not mutate the
+/// engine.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const Event& event) {}
+  virtual void OnStatement(const compiler::Statement& stmt,
+                           size_t updates_applied) {}
+  virtual void OnMapUpdate(const std::string& map, const Row& key,
+                           const Value& old_value, const Value& new_value) {}
+};
+
+/// Per-statement and per-map execution statistics (the paper's profiler,
+/// used by bench_map_profile).
+struct ProfileStats {
+  struct StatementStats {
+    std::string rendering;
+    uint64_t executions = 0;
+    uint64_t updates = 0;
+    uint64_t nanos = 0;
+  };
+  std::map<std::string, StatementStats> by_statement;  // keyed by rendering
+  uint64_t events = 0;
+  uint64_t event_nanos = 0;
+
+  std::string ToString() const;
+};
+
+class Engine : public MapStore {
+ public:
+  explicit Engine(compiler::Program program);
+
+  /// Process one delta. Updates base tables, aggregate maps and views.
+  Status OnEvent(const Event& event);
+
+  Status OnInsert(const std::string& relation, Row tuple) {
+    return OnEvent(Event::Insert(relation, std::move(tuple)));
+  }
+  Status OnDelete(const std::string& relation, Row tuple) {
+    return OnEvent(Event::Delete(relation, std::move(tuple)));
+  }
+
+  /// Current content of a registered view (fresh as of the last event).
+  Result<exec::QueryResult> View(const std::string& view_name);
+
+  /// Single-valued convenience for global aggregate views.
+  Result<Value> ViewScalar(const std::string& view_name);
+
+  /// Read-only snapshot interface: ad-hoc SQL over the base-table snapshot.
+  Result<exec::QueryResult> AdhocQuery(const std::string& sql);
+
+  const compiler::Program& program() const { return program_; }
+  Database& database() { return db_; }
+  const Database& database() const { return db_; }
+
+  /// Map access (read-only) for tooling and tests.
+  const ValueMap* value_map(const std::string& name) const;
+  const ExtremeMap* extreme_map(const std::string& name) const;
+
+  /// Total retained bytes across aggregate maps (excl. base tables).
+  size_t MapMemoryBytes() const;
+  size_t TotalMapEntries() const;
+
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  const ProfileStats& profile() const { return profile_; }
+  void ResetProfile() { profile_ = ProfileStats(); }
+
+  // MapStore:
+  Result<Value> ReadMap(const std::string& map, const Row& key,
+                        bool store_init) override;
+  const ValueMap* FindMap(const std::string& map) const override;
+  const Table* FindRelation(const std::string& rel) const override;
+  const std::unordered_set<Row, RowHash, RowEq>* LookupMapSlice(
+      const std::string& map, const std::vector<size_t>& positions,
+      const Row& key) override;
+
+ private:
+  /// Secondary slice index: prefix key -> full keys (possibly stale; values
+  /// are re-read at use). Built lazily on the first slice access with a
+  /// given position pattern and maintained on every map mutation.
+  struct SliceIndex {
+    std::vector<size_t> positions;
+    std::unordered_map<Row, std::unordered_set<Row, RowHash, RowEq>, RowHash,
+                       RowEq>
+        buckets;
+
+    void Insert(const Row& full_key) {
+      Row prefix;
+      prefix.reserve(positions.size());
+      for (size_t p : positions) prefix.push_back(full_key[p]);
+      buckets[prefix].insert(full_key);
+    }
+  };
+
+  /// Apply a map mutation, keeping slice indexes in sync.
+  void ApplyMapAdd(ValueMap* target, const Row& key, const Value& delta);
+  void ApplyMapSet(ValueMap* target, const Row& key, Value value);
+  Status RunDeltaStatement(const compiler::Statement& stmt,
+                           const Bindings& env,
+                           std::vector<std::tuple<ValueMap*, Row, Value>>*
+                               pending);
+  Status RunReevalStatement(const compiler::Statement& stmt,
+                            const Bindings& env);
+  Status RunExtremeStatement(const compiler::Statement& stmt,
+                             const Bindings& env);
+
+  compiler::Program program_;
+  Database db_;
+  std::map<std::string, ValueMap> maps_;
+  std::map<std::string, std::vector<SliceIndex>> slice_indexes_;
+  std::map<std::string, ExtremeMap> extremes_;
+  std::map<std::string, const compiler::MapDecl*> decls_;
+  RingEvaluator eval_;
+  TraceSink* trace_ = nullptr;
+  ProfileStats profile_;
+  bool in_init_ = false;  ///< re-entrancy guard for init-on-access
+};
+
+}  // namespace dbtoaster::runtime
+
+#endif  // DBTOASTER_RUNTIME_ENGINE_H_

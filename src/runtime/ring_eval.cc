@@ -1,0 +1,466 @@
+#include "src/runtime/ring_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::runtime {
+
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+namespace {
+
+bool IsZeroValue(const Value& v) { return v.is_numeric() && v.IsZero(); }
+
+Value CompareValues(sql::BinOp op, const Value& l, const Value& r) {
+  bool truth = false;
+  switch (op) {
+    case sql::BinOp::kEq: truth = l == r; break;
+    case sql::BinOp::kNeq: truth = l != r; break;
+    case sql::BinOp::kLt: truth = l < r; break;
+    case sql::BinOp::kLe: truth = l <= r; break;
+    case sql::BinOp::kGt: truth = l > r; break;
+    case sql::BinOp::kGe: truth = l >= r; break;
+    default:
+      assert(false && "non-comparison op");
+  }
+  return Value(truth ? int64_t{1} : int64_t{0});
+}
+
+}  // namespace
+
+std::string Keyed::ToString() const {
+  std::string s = "[" + Join(vars, ", ") + "] {";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i) s += ", ";
+    s += RowToString(entries[i].first) + " -> " +
+         entries[i].second.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+Result<Value> RingEvaluator::EvalTerm(const TermPtr& t, const Bindings& env,
+                                      bool store_init) {
+  switch (t->kind) {
+    case Term::Kind::kConst:
+      return t->constant;
+    case Term::Kind::kVar: {
+      auto it = env.find(t->var);
+      if (it == env.end()) {
+        return Status::Internal("unbound variable in term: " + t->var);
+      }
+      return it->second;
+    }
+    case Term::Kind::kMapRead: {
+      Row key;
+      key.reserve(t->args.size());
+      for (const TermPtr& a : t->args) {
+        DBT_ASSIGN_OR_RETURN(Value v, EvalTerm(a, env, store_init));
+        key.push_back(std::move(v));
+      }
+      return store_->ReadMap(t->map_name, key, store_init);
+    }
+    default: {
+      DBT_ASSIGN_OR_RETURN(Value l, EvalTerm(t->lhs, env, store_init));
+      DBT_ASSIGN_OR_RETURN(Value r, EvalTerm(t->rhs, env, store_init));
+      switch (t->kind) {
+        case Term::Kind::kAdd: return Value::Add(l, r);
+        case Term::Kind::kSub: return Value::Sub(l, r);
+        case Term::Kind::kMul: return Value::Mul(l, r);
+        case Term::Kind::kDiv: return Value::Div(l, r);
+        default:
+          return Status::Internal("unhandled term kind");
+      }
+    }
+  }
+}
+
+Result<Keyed> RingEvaluator::Eval(const ExprPtr& e, const Bindings& env,
+                                  bool store_init) {
+  switch (e->kind) {
+    case ring::ExprKind::kConst: {
+      Keyed out;
+      if (!IsZeroValue(e->constant)) out.entries.push_back({{}, e->constant});
+      return out;
+    }
+    case ring::ExprKind::kValTerm: {
+      DBT_ASSIGN_OR_RETURN(Value v, EvalTerm(e->term, env, store_init));
+      Keyed out;
+      if (!IsZeroValue(v)) out.entries.push_back({{}, v});
+      return out;
+    }
+    case ring::ExprKind::kCmp: {
+      DBT_ASSIGN_OR_RETURN(Value l, EvalTerm(e->cmp_lhs, env, store_init));
+      DBT_ASSIGN_OR_RETURN(Value r, EvalTerm(e->cmp_rhs, env, store_init));
+      Keyed out;
+      Value v = CompareValues(e->cmp_op, l, r);
+      if (!IsZeroValue(v)) out.entries.push_back({{}, v});
+      return out;
+    }
+    case ring::ExprKind::kLift: {
+      DBT_ASSIGN_OR_RETURN(Value v, EvalTerm(e->term, env, store_init));
+      auto it = env.find(e->var);
+      Keyed out;
+      if (it != env.end()) {
+        // Bound target: equality filter.
+        if (it->second == v) out.entries.push_back({{}, Value(int64_t{1})});
+        return out;
+      }
+      out.vars.push_back(e->var);
+      out.entries.push_back({{std::move(v)}, Value(int64_t{1})});
+      return out;
+    }
+    case ring::ExprKind::kRel: {
+      const Table* table = store_->FindRelation(e->name);
+      if (table == nullptr) {
+        return Status::NotFound("unknown relation at runtime: " + e->name);
+      }
+      // Determine bound positions; detect intra-atom duplicates.
+      std::vector<const Value*> bound(e->args.size(), nullptr);
+      std::vector<int> first_pos(e->args.size(), -1);
+      Keyed out;
+      std::vector<size_t> unbound_pos;
+      std::map<std::string, size_t> seen_var;
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        auto it = env.find(e->args[i]);
+        if (it != env.end()) {
+          bound[i] = &it->second;
+          continue;
+        }
+        auto sv = seen_var.find(e->args[i]);
+        if (sv != seen_var.end()) {
+          first_pos[i] = static_cast<int>(sv->second);
+          continue;
+        }
+        seen_var[e->args[i]] = i;
+        unbound_pos.push_back(i);
+        out.vars.push_back(e->args[i]);
+      }
+      // Fully bound and no duplicates: direct multiplicity lookup.
+      if (unbound_pos.empty() &&
+          std::all_of(first_pos.begin(), first_pos.end(),
+                      [](int p) { return p < 0; })) {
+        Row key;
+        key.reserve(e->args.size());
+        for (size_t i = 0; i < e->args.size(); ++i) key.push_back(*bound[i]);
+        int64_t mult = table->Multiplicity(key);
+        if (mult != 0) out.entries.push_back({{}, Value(mult)});
+        return out;
+      }
+      // Partially bound: prefer an index lookup when the store offers one.
+      const Multiset* rows = &table->rows();
+      std::vector<size_t> bpos;
+      Row bkey;
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        if (bound[i] != nullptr) {
+          bpos.push_back(i);
+          bkey.push_back(*bound[i]);
+        }
+      }
+      const Multiset* indexed =
+          bpos.empty() ? nullptr : store_->LookupRelIndex(e->name, bpos, bkey);
+      if (indexed != nullptr) rows = indexed;
+      for (const auto& [row, mult] : *rows) {
+        bool ok = true;
+        for (size_t i = 0; i < e->args.size() && ok; ++i) {
+          if (bound[i] != nullptr) {
+            ok = row[i] == *bound[i];
+          } else if (first_pos[i] >= 0) {
+            ok = row[i] == row[static_cast<size_t>(first_pos[i])];
+          }
+        }
+        if (!ok) continue;
+        Row key;
+        key.reserve(unbound_pos.size());
+        for (size_t p : unbound_pos) key.push_back(row[p]);
+        out.entries.push_back({std::move(key), Value(mult)});
+      }
+      return out;
+    }
+    case ring::ExprKind::kMapRef: {
+      // Like kRel but values come from the aggregate map.
+      std::vector<const Value*> bound(e->args.size(), nullptr);
+      std::vector<int> first_pos(e->args.size(), -1);
+      Keyed out;
+      std::vector<size_t> unbound_pos;
+      std::map<std::string, size_t> seen_var;
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        auto it = env.find(e->args[i]);
+        if (it != env.end()) {
+          bound[i] = &it->second;
+          continue;
+        }
+        auto sv = seen_var.find(e->args[i]);
+        if (sv != seen_var.end()) {
+          first_pos[i] = static_cast<int>(sv->second);
+          continue;
+        }
+        seen_var[e->args[i]] = i;
+        unbound_pos.push_back(i);
+        out.vars.push_back(e->args[i]);
+      }
+      if (unbound_pos.empty() &&
+          std::all_of(first_pos.begin(), first_pos.end(),
+                      [](int p) { return p < 0; })) {
+        Row key;
+        key.reserve(e->args.size());
+        for (size_t i = 0; i < e->args.size(); ++i) key.push_back(*bound[i]);
+        DBT_ASSIGN_OR_RETURN(Value v,
+                             store_->ReadMap(e->name, key, store_init));
+        if (!IsZeroValue(v)) out.entries.push_back({{}, std::move(v)});
+        return out;
+      }
+      const ValueMap* vm = store_->FindMap(e->name);
+      if (vm == nullptr) {
+        return Status::NotFound("unknown map at runtime: " + e->name);
+      }
+      // Prefer a slice index for the bound positions (the generated code's
+      // secondary indexes; the interpreter gets the same structure from the
+      // engine). Index entries may be stale — values are re-read.
+      std::vector<size_t> bpos;
+      Row bkey;
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        if (bound[i] != nullptr) {
+          bpos.push_back(i);
+          bkey.push_back(*bound[i]);
+        }
+      }
+      if (!bpos.empty()) {
+        const auto* slice = store_->LookupMapSlice(e->name, bpos, bkey);
+        if (slice != nullptr) {
+          for (const Row& row : *slice) {
+            Value value = vm->Get(row);
+            if (value.is_numeric() && value.IsZero()) continue;  // stale
+            bool ok = true;
+            for (size_t i = 0; i < e->args.size() && ok; ++i) {
+              if (first_pos[i] >= 0) {
+                ok = row[i] == row[static_cast<size_t>(first_pos[i])];
+              }
+            }
+            if (!ok) continue;
+            Row key;
+            key.reserve(unbound_pos.size());
+            for (size_t p : unbound_pos) key.push_back(row[p]);
+            out.entries.push_back({std::move(key), std::move(value)});
+          }
+          return out;
+        }
+      }
+      for (const auto& [row, value] : vm->entries()) {
+        bool ok = true;
+        for (size_t i = 0; i < e->args.size() && ok; ++i) {
+          if (bound[i] != nullptr) {
+            ok = row[i] == *bound[i];
+          } else if (first_pos[i] >= 0) {
+            ok = row[i] == row[static_cast<size_t>(first_pos[i])];
+          }
+        }
+        if (!ok) continue;
+        Row key;
+        key.reserve(unbound_pos.size());
+        for (size_t p : unbound_pos) key.push_back(row[p]);
+        out.entries.push_back({std::move(key), value});
+      }
+      return out;
+    }
+    case ring::ExprKind::kNeg: {
+      DBT_ASSIGN_OR_RETURN(Keyed k, Eval(e->children[0], env, store_init));
+      for (auto& [row, v] : k.entries) v = Value::Neg(v);
+      return k;
+    }
+    case ring::ExprKind::kSum: {
+      // All children must agree on their unbound variable sets.
+      Keyed out;
+      bool first = true;
+      for (const ExprPtr& c : e->children) {
+        DBT_ASSIGN_OR_RETURN(Keyed k, Eval(c, env, store_init));
+        if (first) {
+          out.vars = k.vars;
+          first = false;
+        }
+        if (k.vars == out.vars) {
+          for (auto& entry : k.entries) out.entries.push_back(std::move(entry));
+          continue;
+        }
+        // Variable sets may differ in order; reorder columns.
+        std::set<std::string> a(k.vars.begin(), k.vars.end());
+        std::set<std::string> b(out.vars.begin(), out.vars.end());
+        if (a != b) {
+          return Status::Internal(
+              "heterogeneous sum branches at runtime: [" +
+              Join(k.vars, ",") + "] vs [" + Join(out.vars, ",") + "]");
+        }
+        std::vector<size_t> perm;
+        for (const std::string& v : out.vars) {
+          perm.push_back(static_cast<size_t>(
+              std::find(k.vars.begin(), k.vars.end(), v) - k.vars.begin()));
+        }
+        for (auto& [row, val] : k.entries) {
+          Row reordered;
+          reordered.reserve(row.size());
+          for (size_t p : perm) reordered.push_back(row[p]);
+          out.entries.push_back({std::move(reordered), std::move(val)});
+        }
+      }
+      return out;
+    }
+    case ring::ExprKind::kProd:
+      return EvalProd(e->children, env, store_init);
+    case ring::ExprKind::kAggSum: {
+      DBT_ASSIGN_OR_RETURN(Keyed inner,
+                           Eval(e->children[0], env, store_init));
+      Keyed out;
+      // Group variables bound by the environment are constants here; only
+      // unbound ones key the result.
+      std::vector<int> src;  // position in inner.vars, or -1 (env-bound)
+      std::vector<const Value*> env_vals;
+      for (const std::string& g : e->group_vars) {
+        auto pos = std::find(inner.vars.begin(), inner.vars.end(), g);
+        if (pos != inner.vars.end()) {
+          out.vars.push_back(g);
+          src.push_back(static_cast<int>(pos - inner.vars.begin()));
+        } else {
+          auto it = env.find(g);
+          if (it == env.end()) {
+            return Status::Internal("unbound group variable at runtime: " + g);
+          }
+          // Env-bound: constant across all entries; skip from the key.
+        }
+      }
+      std::unordered_map<Row, Value, RowHash, RowEq> groups;
+      for (auto& [row, val] : inner.entries) {
+        Row key;
+        key.reserve(src.size());
+        for (int p : src) key.push_back(row[static_cast<size_t>(p)]);
+        auto [it, inserted] = groups.emplace(std::move(key), val);
+        if (!inserted) it->second = Value::Add(it->second, val);
+      }
+      out.entries.reserve(groups.size());
+      for (auto& [key, val] : groups) {
+        if (IsZeroValue(val)) continue;
+        out.entries.push_back({key, std::move(val)});
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind at runtime");
+}
+
+Result<Keyed> RingEvaluator::EvalProd(const std::vector<ExprPtr>& factors,
+                                      const Bindings& env, bool store_init) {
+  // Greedy factor ordering: repeatedly pick the cheapest evaluable factor.
+  std::set<std::string> bound;
+  for (const auto& [k, v] : env) bound.insert(k);
+
+  std::vector<bool> placed(factors.size(), false);
+  std::vector<size_t> order;
+  for (size_t step = 0; step < factors.size(); ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < factors.size(); ++i) {
+      if (placed[i]) continue;
+      const ExprPtr& f = factors[i];
+      bool inputs_ok = true;
+      for (const std::string& v : f->InVars()) {
+        if (!bound.count(v)) {
+          inputs_ok = false;
+          break;
+        }
+      }
+      if (!inputs_ok) continue;
+      bool outputs_bound = true;
+      for (const std::string& v : f->OutVars()) {
+        if (!bound.count(v)) {
+          outputs_bound = false;
+          break;
+        }
+      }
+      // Scores: filters/lookups (all vars bound) first, then binders
+      // (lifts), then keyed atoms, then scans.
+      int score;
+      if (outputs_bound) {
+        score = 100;  // pure filter or lookup
+      } else if (f->kind == ring::ExprKind::kLift) {
+        score = 90;
+      } else if (f->kind == ring::ExprKind::kMapRef ||
+                 f->kind == ring::ExprKind::kRel) {
+        // Prefer more-bound atoms (fewer unbound args => smaller slice).
+        int bound_args = 0;
+        for (const std::string& v : f->args) {
+          if (bound.count(v)) ++bound_args;
+        }
+        score = 50 + bound_args;
+      } else {
+        score = 40;  // AggSum or others that bind
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      return Status::Internal(
+          "no evaluable factor (unbound inputs) in product");
+    }
+    placed[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+    for (const std::string& v : factors[static_cast<size_t>(best)]->OutVars()) {
+      bound.insert(v);
+    }
+  }
+
+  Keyed acc;
+  acc.entries.push_back({{}, Value(int64_t{1})});
+  Bindings scratch = env;
+  for (size_t fi : order) {
+    const ExprPtr& f = factors[fi];
+    Keyed next;
+    // The accumulated variables stay; the factor appends its unbound vars.
+    for (auto& [row, val] : acc.entries) {
+      // Bind accumulated values.
+      for (size_t i = 0; i < acc.vars.size(); ++i) {
+        scratch[acc.vars[i]] = row[i];
+      }
+      DBT_ASSIGN_OR_RETURN(Keyed sub, Eval(f, scratch, store_init));
+      if (next.vars.empty() && !sub.vars.empty()) {
+        next.vars = acc.vars;
+        next.vars.insert(next.vars.end(), sub.vars.begin(), sub.vars.end());
+      }
+      for (auto& [srow, sval] : sub.entries) {
+        Value combined = Value::Mul(val, sval);
+        if (IsZeroValue(combined)) continue;
+        Row nrow = row;
+        nrow.insert(nrow.end(), srow.begin(), srow.end());
+        next.entries.push_back({std::move(nrow), std::move(combined)});
+      }
+      // Restore scratch bindings for the next accumulated row (values are
+      // overwritten on each iteration; no removal needed since vars are
+      // identical across rows).
+    }
+    if (next.vars.empty()) next.vars = acc.vars;
+    // Remove bindings of accumulated vars from scratch for correctness of
+    // future iterations (vars persist across factors, so keep them).
+    acc = std::move(next);
+    if (acc.entries.empty()) break;
+  }
+  return acc;
+}
+
+Result<Value> RingEvaluator::EvalScalar(const ExprPtr& e, const Bindings& env,
+                                        bool store_init) {
+  DBT_ASSIGN_OR_RETURN(Keyed k, Eval(e, env, store_init));
+  if (!k.vars.empty()) {
+    return Status::Internal("EvalScalar on expression with unbound outputs");
+  }
+  Value sum(int64_t{0});
+  for (const auto& [row, v] : k.entries) sum = Value::Add(sum, v);
+  return sum;
+}
+
+}  // namespace dbtoaster::runtime

@@ -1,0 +1,101 @@
+// Ring-expression evaluator: the interpreter for trigger right-hand sides,
+// map initialisers, hybrid re-evaluation statements and view column terms.
+//
+// An expression is evaluated under an environment of bound variables to a
+// keyed multiset: entries over the expression's unbound output variables,
+// each carrying a ring value. Products are evaluated as generalized joins
+// with a greedy factor ordering (bound atoms become lookups, unbound atoms
+// become scans/slices, lifts bind, comparisons filter).
+#ifndef DBTOASTER_RUNTIME_RING_EVAL_H_
+#define DBTOASTER_RUNTIME_RING_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/ring/expr.h"
+#include "src/runtime/value_map.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::runtime {
+
+/// Variable environment.
+using Bindings = std::unordered_map<std::string, Value>;
+
+/// Read access to maps and base relations during evaluation. Implemented by
+/// the Engine (with init-on-first-access) and by tests directly.
+class MapStore {
+ public:
+  virtual ~MapStore() = default;
+
+  /// Value of map[key]; missing keys yield the map's typed zero, or its
+  /// evaluated initialiser for init-on-access maps. `store_init` controls
+  /// whether a computed initialiser may be cached into the map (true only
+  /// in post-state phases).
+  virtual Result<Value> ReadMap(const std::string& map, const Row& key,
+                                bool store_init) = 0;
+
+  /// The live map for slice iteration; null if unknown.
+  virtual const ValueMap* FindMap(const std::string& map) const = 0;
+
+  /// Base relation multiset for Rel atoms; null if unknown.
+  virtual const Table* FindRelation(const std::string& rel) const = 0;
+
+  /// Optional secondary-index hook: the sub-multiset of `rel` whose columns
+  /// at `positions` equal `key`, or null when no index is available (the
+  /// evaluator then scans). Engines that maintain base-table indexes (the
+  /// IVM-1 baseline) override this.
+  virtual const Multiset* LookupRelIndex(const std::string& rel,
+                                         const std::vector<size_t>& positions,
+                                         const Row& key) {
+    return nullptr;
+  }
+
+  /// Optional map slice index: the set of full keys of `map` whose positions
+  /// `positions` equal `key`. May contain stale keys for erased entries
+  /// (callers re-check values); null when unavailable (evaluator scans).
+  virtual const std::unordered_set<Row, RowHash, RowEq>* LookupMapSlice(
+      const std::string& map, const std::vector<size_t>& positions,
+      const Row& key) {
+    return nullptr;
+  }
+};
+
+/// Evaluation result: entries over `vars` (possibly with duplicate keys;
+/// callers aggregate as needed).
+struct Keyed {
+  std::vector<std::string> vars;
+  std::vector<std::pair<Row, Value>> entries;
+
+  std::string ToString() const;
+};
+
+class RingEvaluator {
+ public:
+  explicit RingEvaluator(MapStore* store) : store_(store) {}
+
+  /// Evaluate `e` under `env`. `store_init` is forwarded to map reads.
+  Result<Keyed> Eval(const ring::ExprPtr& e, const Bindings& env,
+                     bool store_init);
+
+  /// Evaluate a fully-bound expression to a single value (entries summed).
+  Result<Value> EvalScalar(const ring::ExprPtr& e, const Bindings& env,
+                           bool store_init);
+
+  /// Evaluate a value term (variables + map reads).
+  Result<Value> EvalTerm(const ring::TermPtr& t, const Bindings& env,
+                         bool store_init);
+
+ private:
+  Result<Keyed> EvalProd(const std::vector<ring::ExprPtr>& factors,
+                         const Bindings& env, bool store_init);
+
+  MapStore* store_;
+};
+
+}  // namespace dbtoaster::runtime
+
+#endif  // DBTOASTER_RUNTIME_RING_EVAL_H_

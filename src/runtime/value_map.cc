@@ -1,0 +1,83 @@
+#include "src/runtime/value_map.h"
+
+namespace dbtoaster::runtime {
+
+Value ValueMap::Get(const Row& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return TypedZero();
+  return it->second;
+}
+
+void ValueMap::Add(const Row& key, const Value& delta) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (delta.is_numeric() && delta.IsZero()) return;
+    Value v = value_type_ == Type::kDouble ? Value(delta.AsDouble()) : delta;
+    entries_.emplace(key, std::move(v));
+    return;
+  }
+  it->second = Value::Add(it->second, delta);
+  if (it->second.is_int() && it->second.AsInt() == 0) entries_.erase(it);
+}
+
+void ValueMap::Set(const Row& key, Value value) {
+  if (value.is_int() && value.AsInt() == 0) {
+    entries_.erase(key);
+    return;
+  }
+  entries_[key] = std::move(value);
+}
+
+size_t ValueMap::MemoryBytes() const {
+  size_t bytes = sizeof(ValueMap);
+  for (const auto& [key, value] : entries_) {
+    bytes += key.capacity() * sizeof(Value) + sizeof(Value) + 16;
+    for (const Value& v : key) {
+      if (v.is_string()) bytes += v.AsString().capacity();
+    }
+    if (value.is_string()) bytes += value.AsString().capacity();
+  }
+  return bytes;
+}
+
+void ExtremeMap::Add(const Row& key, const Value& v) {
+  groups_[key][v] += 1;
+}
+
+void ExtremeMap::Remove(const Row& key, const Value& v) {
+  auto git = groups_.find(key);
+  if (git == groups_.end()) return;
+  auto vit = git->second.find(v);
+  if (vit == git->second.end()) return;
+  if (--vit->second <= 0) git->second.erase(vit);
+  if (git->second.empty()) groups_.erase(git);
+}
+
+std::optional<Value> ExtremeMap::Min(const Row& key) const {
+  auto git = groups_.find(key);
+  if (git == groups_.end() || git->second.empty()) return std::nullopt;
+  return git->second.begin()->first;
+}
+
+std::optional<Value> ExtremeMap::Max(const Row& key) const {
+  auto git = groups_.find(key);
+  if (git == groups_.end() || git->second.empty()) return std::nullopt;
+  return git->second.rbegin()->first;
+}
+
+size_t ExtremeMap::size() const {
+  size_t n = 0;
+  for (const auto& [key, ms] : groups_) n += ms.size();
+  return n;
+}
+
+size_t ExtremeMap::MemoryBytes() const {
+  size_t bytes = sizeof(ExtremeMap);
+  for (const auto& [key, ms] : groups_) {
+    bytes += key.capacity() * sizeof(Value) + 16;
+    bytes += ms.size() * (sizeof(Value) + sizeof(int64_t) + 48);
+  }
+  return bytes;
+}
+
+}  // namespace dbtoaster::runtime

@@ -1,0 +1,109 @@
+// In-memory aggregate map structures maintained by the runtime: the
+// key->value hash maps backing compiled views, and ordered multisets for
+// MIN/MAX groups (correct under deletions).
+#ifndef DBTOASTER_RUNTIME_VALUE_MAP_H_
+#define DBTOASTER_RUNTIME_VALUE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/value.h"
+
+namespace dbtoaster::runtime {
+
+/// Hash map from composite key to aggregate value.
+///
+/// Integer-typed maps erase entries that reach exactly 0, keeping the live
+/// key set equal to the support of the aggregate (this drives group-domain
+/// enumeration). Double-typed maps keep entries (floating-point cancellation
+/// is not exact); domain decisions always consult integer COUNT maps.
+class ValueMap {
+ public:
+  ValueMap() = default;
+  ValueMap(std::string name, size_t key_arity, Type value_type)
+      : name_(std::move(name)),
+        key_arity_(key_arity),
+        value_type_(value_type) {}
+
+  const std::string& name() const { return name_; }
+  size_t key_arity() const { return key_arity_; }
+  Type value_type() const { return value_type_; }
+
+  /// Value at `key`, or a typed zero when absent.
+  Value Get(const Row& key) const;
+
+  bool Contains(const Row& key) const { return entries_.count(key) > 0; }
+
+  /// entry += delta (entries reaching int 0 are erased).
+  void Add(const Row& key, const Value& delta);
+
+  /// entry := value.
+  void Set(const Row& key, Value value);
+
+  void Erase(const Row& key) { entries_.erase(key); }
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+
+  const std::unordered_map<Row, Value, RowHash, RowEq>& entries() const {
+    return entries_;
+  }
+
+  Value TypedZero() const {
+    return value_type_ == Type::kDouble ? Value(0.0) : Value(int64_t{0});
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  size_t key_arity_ = 0;
+  Type value_type_ = Type::kInt;
+  std::unordered_map<Row, Value, RowHash, RowEq> entries_;
+};
+
+/// Per-key ordered multiset, supporting MIN/MAX maintenance under inserts
+/// and deletes (the classic counterexample to pure delta processing).
+class ExtremeMap {
+ public:
+  ExtremeMap() = default;
+  ExtremeMap(std::string name, size_t key_arity, Type value_type)
+      : name_(std::move(name)),
+        key_arity_(key_arity),
+        value_type_(value_type) {}
+
+  const std::string& name() const { return name_; }
+  size_t key_arity() const { return key_arity_; }
+  Type value_type() const { return value_type_; }
+
+  void Add(const Row& key, const Value& v);
+  void Remove(const Row& key, const Value& v);
+
+  /// Smallest / largest live value for `key`.
+  std::optional<Value> Min(const Row& key) const;
+  std::optional<Value> Max(const Row& key) const;
+
+  size_t NumGroups() const { return groups_.size(); }
+  size_t size() const;
+  void Clear() { groups_.clear(); }
+
+  const std::unordered_map<Row, std::map<Value, int64_t>, RowHash, RowEq>&
+  groups() const {
+    return groups_;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  size_t key_arity_ = 0;
+  Type value_type_ = Type::kInt;
+  std::unordered_map<Row, std::map<Value, int64_t>, RowHash, RowEq> groups_;
+};
+
+}  // namespace dbtoaster::runtime
+
+#endif  // DBTOASTER_RUNTIME_VALUE_MAP_H_

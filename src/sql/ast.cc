@@ -1,0 +1,227 @@
+#include "src/sql/ast.h"
+
+#include <cassert>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::sql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kEq: return "=";
+    case BinOp::kNeq: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNeq:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return BinOp::kEq;
+    case BinOp::kNeq: return BinOp::kNeq;
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default:
+      assert(false && "FlipComparison on non-comparison");
+      return op;
+  }
+}
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kSum: return "SUM";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kUnaryMinus:
+      return "(-" + lhs->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->ToString() + ")";
+    case Kind::kAggregate:
+      return std::string(AggKindName(agg)) + "(" +
+             (agg_arg ? agg_arg->ToString() : "*") + ")";
+    case Kind::kSubquery:
+      return "(" + subquery->ToString() + ")";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->op = op;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  e->agg = agg;
+  if (agg_arg) e->agg_arg = agg_arg->Clone();
+  if (subquery) e->subquery = subquery->Clone();
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string qualifier,
+                                       std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeUnaryMinus(std::unique_ptr<Expr> sub) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnaryMinus;
+  e->lhs = std::move(sub);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeNot(std::unique_ptr<Expr> sub) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(sub);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeAggregate(AggKind k,
+                                          std::unique_ptr<Expr> arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg = k;
+  e->agg_arg = std::move(arg);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeSubquery(std::unique_ptr<SelectStmt> q) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kSubquery;
+  e->subquery = std::move(q);
+  return e;
+}
+
+std::string TableRef::ToString() const {
+  if (alias == table) return table;
+  return table + " " + alias;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem it;
+  it.expr = expr->Clone();
+  it.alias = alias;
+  return it;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) s += ", ";
+    s += items[i].expr->ToString();
+    if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+  }
+  s += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) s += ", ";
+    s += from[i].ToString();
+  }
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) s += ", ";
+      s += group_by[i]->ToString();
+    }
+  }
+  return s;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto q = std::make_unique<SelectStmt>();
+  for (const auto& it : items) q->items.push_back(it.Clone());
+  q->from = from;
+  if (where) q->where = where->Clone();
+  for (const auto& g : group_by) q->group_by.push_back(g->Clone());
+  return q;
+}
+
+std::string CreateTableStmt::ToString() const {
+  std::string s = "CREATE TABLE " + name + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) s += ", ";
+    s += columns[i].first;
+    s += " ";
+    s += TypeName(columns[i].second);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace dbtoaster::sql

@@ -1,0 +1,139 @@
+// Abstract syntax tree for the supported SQL fragment.
+//
+// The fragment (the paper's data/query model, §2):
+//   CREATE TABLE name (col type, ...);
+//   SELECT [expr [AS alias], ...]
+//   FROM   table [alias], ...
+//   [WHERE pred]
+//   [GROUP BY col, ...]
+// with aggregates SUM/COUNT/AVG/MIN/MAX, arithmetic (+ - * /), comparisons
+// (= <> < <= > >=), AND/OR/NOT, and scalar subqueries (possibly correlated)
+// usable inside arithmetic and comparisons.
+#ifndef DBTOASTER_SQL_AST_H_
+#define DBTOASTER_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace dbtoaster::sql {
+
+struct SelectStmt;
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinOpName(BinOp op);
+bool IsComparison(BinOp op);
+bool IsArithmetic(BinOp op);
+/// Mirror a comparison across its operands (a < b  ==>  b > a).
+BinOp FlipComparison(BinOp op);
+
+enum class AggKind : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+const char* AggKindName(AggKind k);
+
+/// Scalar expression node.
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,    ///< constant Value
+    kColumnRef,  ///< [qualifier.]column
+    kBinary,     ///< lhs op rhs
+    kUnaryMinus, ///< -operand
+    kNot,        ///< NOT operand
+    kAggregate,  ///< SUM(arg) etc.; arg null for COUNT(*)
+    kSubquery,   ///< scalar subquery (SELECT ...)
+  };
+
+  Kind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string column;
+
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;   // also operand of kUnaryMinus / kNot (in lhs)
+
+  // kAggregate
+  AggKind agg = AggKind::kSum;
+  std::unique_ptr<Expr> agg_arg;  ///< null for COUNT(*)
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  /// SQL-ish rendering for diagnostics and golden tests.
+  std::string ToString() const;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  // -- constructors --------------------------------------------------------
+  static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeColumn(std::string qualifier,
+                                          std::string column);
+  static std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> MakeUnaryMinus(std::unique_ptr<Expr> e);
+  static std::unique_ptr<Expr> MakeNot(std::unique_ptr<Expr> e);
+  static std::unique_ptr<Expr> MakeAggregate(AggKind k,
+                                             std::unique_ptr<Expr> arg);
+  static std::unique_ptr<Expr> MakeSubquery(std::unique_ptr<SelectStmt> q);
+};
+
+/// FROM-clause entry: `table [alias]`.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< equals `table` when no alias given
+
+  std::string ToString() const;
+};
+
+/// One SELECT-list item: `expr [AS name]`.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  ///< empty when not named
+
+  SelectItem Clone() const;
+};
+
+/// A SELECT statement (also used for subqueries).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;            ///< null when absent
+  std::vector<std::unique_ptr<Expr>> group_by;  ///< column refs
+
+  std::string ToString() const;
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+/// CREATE TABLE statement.
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::pair<std::string, Type>> columns;
+
+  std::string ToString() const;
+};
+
+/// A parsed script: any number of CREATE TABLEs and SELECTs, in order.
+struct Script {
+  std::vector<CreateTableStmt> tables;
+  struct NamedQuery {
+    std::string name;  ///< auto-assigned q0, q1, ... unless annotated
+    std::unique_ptr<SelectStmt> select;
+  };
+  std::vector<NamedQuery> queries;
+};
+
+}  // namespace dbtoaster::sql
+
+#endif  // DBTOASTER_SQL_AST_H_

@@ -1,0 +1,226 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::sql {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kDoubleLit: return "decimal literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdent) return "identifier '" + text + "'";
+  if (kind == TokenKind::kIntLit || kind == TokenKind::kDoubleLit ||
+      kind == TokenKind::kStringLit) {
+    return std::string(TokenKindName(kind)) + " '" + text + "'";
+  }
+  return TokenKindName(kind);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < text.size() && text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  auto make = [&](TokenKind kind, std::string t) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(t);
+    tok.line = line;
+    tok.column = col;
+    return tok;
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment: -- ... \n
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      Token tok = make(TokenKind::kIdent, "");
+      while (i < text.size() && IsIdentCont(text[i])) advance(1);
+      tok.text = std::string(text.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      Token tok = make(TokenKind::kIntLit, "");
+      bool is_double = false;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        advance(1);
+      }
+      if (i < text.size() && text[i] == '.') {
+        is_double = true;
+        advance(1);
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          advance(1);
+        }
+      }
+      if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+        is_double = true;
+        advance(1);
+        if (i < text.size() && (text[i] == '+' || text[i] == '-')) advance(1);
+        if (i >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[i]))) {
+          return Status::ParseError(
+              StrFormat("malformed exponent at line %d", line));
+        }
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          advance(1);
+        }
+      }
+      tok.text = std::string(text.substr(start, i - start));
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLit;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      Token tok = make(TokenKind::kStringLit, "");
+      advance(1);
+      std::string body;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            body += '\'';
+            advance(2);
+            continue;
+          }
+          advance(1);
+          closed = true;
+          break;
+        }
+        body += text[i];
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at line %d", tok.line));
+      }
+      tok.text = std::move(body);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    auto single = [&](TokenKind k) {
+      tokens.push_back(make(k, std::string(1, c)));
+      advance(1);
+    };
+    switch (c) {
+      case '(': single(TokenKind::kLParen); break;
+      case ')': single(TokenKind::kRParen); break;
+      case ',': single(TokenKind::kComma); break;
+      case ';': single(TokenKind::kSemicolon); break;
+      case '.': single(TokenKind::kDot); break;
+      case '*': single(TokenKind::kStar); break;
+      case '+': single(TokenKind::kPlus); break;
+      case '-': single(TokenKind::kMinus); break;
+      case '/': single(TokenKind::kSlash); break;
+      case '=': single(TokenKind::kEq); break;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kNeq, "!="));
+          advance(2);
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected character '!' at line %d:%d", line, col));
+        }
+        break;
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kLe, "<="));
+          advance(2);
+        } else if (i + 1 < text.size() && text[i + 1] == '>') {
+          tokens.push_back(make(TokenKind::kNeq, "<>"));
+          advance(2);
+        } else {
+          single(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kGe, ">="));
+          advance(2);
+        } else {
+          single(TokenKind::kGt);
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at line %d:%d", c, line, col));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dbtoaster::sql

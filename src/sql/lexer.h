@@ -1,0 +1,22 @@
+// Hand-written SQL lexer. Produces the token stream consumed by Parser.
+#ifndef DBTOASTER_SQL_LEXER_H_
+#define DBTOASTER_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/token.h"
+
+namespace dbtoaster::sql {
+
+/// Tokenize `text`. Supports: identifiers (letters, digits, '_', '#'),
+/// integer and decimal literals, 'string' literals with '' escapes,
+/// `--` line comments, and the operator/punctuation set in TokenKind.
+/// The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace dbtoaster::sql
+
+#endif  // DBTOASTER_SQL_LEXER_H_

@@ -1,0 +1,410 @@
+#include "src/sql/parser.h"
+
+#include <cassert>
+
+#include "src/common/str.h"
+#include "src/sql/lexer.h"
+
+namespace dbtoaster::sql {
+namespace {
+
+// Keywords recognised by the parser (SQL is case-insensitive).
+bool IsKeyword(const Token& t, const char* kw) {
+  return t.kind == TokenKind::kIdent && ToUpper(t.text) == kw;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool Match(TokenKind k) {
+    if (Peek().kind == k) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchKeyword(const char* kw) {
+    if (IsKeyword(Peek(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (Peek().kind != k) {
+      return Err(StrFormat("expected %s but found %s", what,
+                           Peek().Describe().c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) {
+      return Err(StrFormat("expected keyword %s but found %s", kw,
+                           Peek().Describe().c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s (at line %d:%d)", msg.c_str(), Peek().line,
+                  Peek().column));
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  // ---- grammar ----------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> Select() {
+    DBT_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    // select list
+    do {
+      SelectItem item;
+      DBT_ASSIGN_OR_RETURN(item.expr, Expression());
+      if (MatchKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+
+    DBT_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    do {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected table name in FROM");
+      }
+      TableRef ref;
+      ref.table = Advance().text;
+      ref.alias = ref.table;
+      if (MatchKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Match(TokenKind::kComma));
+
+    if (MatchKeyword("WHERE")) {
+      DBT_ASSIGN_OR_RETURN(stmt->where, Expression());
+    }
+    if (MatchKeyword("GROUP")) {
+      DBT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        std::unique_ptr<Expr> col;
+        DBT_ASSIGN_OR_RETURN(col, Primary());
+        if (col->kind != Expr::Kind::kColumnRef) {
+          return Err("GROUP BY supports column references only");
+        }
+        stmt->group_by.push_back(std::move(col));
+      } while (Match(TokenKind::kComma));
+    }
+    return stmt;
+  }
+
+  Result<CreateTableStmt> CreateTable() {
+    DBT_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    DBT_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    if (Peek().kind != TokenKind::kIdent) return Err("expected table name");
+    stmt.name = Advance().text;
+    DBT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    do {
+      if (Peek().kind != TokenKind::kIdent) return Err("expected column name");
+      std::string col = Advance().text;
+      if (Peek().kind != TokenKind::kIdent) return Err("expected column type");
+      std::string ty = ToUpper(Advance().text);
+      Type type;
+      if (ty == "INT" || ty == "INTEGER" || ty == "BIGINT" || ty == "LONG") {
+        type = Type::kInt;
+      } else if (ty == "DOUBLE" || ty == "FLOAT" || ty == "REAL" ||
+                 ty == "DECIMAL" || ty == "NUMERIC") {
+        type = Type::kDouble;
+        // Optional precision: DECIMAL(10,2)
+        if (Match(TokenKind::kLParen)) {
+          while (Peek().kind != TokenKind::kRParen && !AtEnd()) Advance();
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        }
+      } else if (ty == "STRING" || ty == "VARCHAR" || ty == "CHAR" ||
+                 ty == "TEXT") {
+        type = Type::kString;
+        if (Match(TokenKind::kLParen)) {
+          while (Peek().kind != TokenKind::kRParen && !AtEnd()) Advance();
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        }
+      } else if (ty == "DATE") {
+        type = Type::kDate;
+      } else {
+        return Err(StrFormat("unknown column type '%s'", ty.c_str()));
+      }
+      stmt.columns.emplace_back(std::move(col), type);
+    } while (Match(TokenKind::kComma));
+    DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return stmt;
+  }
+
+  // Precedence: OR < AND < NOT < comparison < add/sub < mul/div < unary.
+  Result<std::unique_ptr<Expr>> Expression() { return OrExpr(); }
+
+ private:
+  static bool IsReserved(const Token& t) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY",  "AS",  "AND",
+        "OR",     "NOT",  "SUM",   "COUNT", "AVG", "MIN", "MAX",
+        "CREATE", "TABLE", "ON", "JOIN", "INNER"};
+    if (t.kind != TokenKind::kIdent) return false;
+    std::string up = ToUpper(t.text);
+    for (const char* r : kReserved) {
+      if (up == r) return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Expr>> OrExpr() {
+    std::unique_ptr<Expr> lhs;
+    DBT_ASSIGN_OR_RETURN(lhs, AndExpr());
+    while (MatchKeyword("OR")) {
+      std::unique_ptr<Expr> rhs;
+      DBT_ASSIGN_OR_RETURN(rhs, AndExpr());
+      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> AndExpr() {
+    std::unique_ptr<Expr> lhs;
+    DBT_ASSIGN_OR_RETURN(lhs, NotExpr());
+    while (MatchKeyword("AND")) {
+      std::unique_ptr<Expr> rhs;
+      DBT_ASSIGN_OR_RETURN(rhs, NotExpr());
+      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> NotExpr() {
+    if (MatchKeyword("NOT")) {
+      std::unique_ptr<Expr> sub;
+      DBT_ASSIGN_OR_RETURN(sub, NotExpr());
+      return Expr::MakeNot(std::move(sub));
+    }
+    return Comparison();
+  }
+
+  Result<std::unique_ptr<Expr>> Comparison() {
+    std::unique_ptr<Expr> lhs;
+    DBT_ASSIGN_OR_RETURN(lhs, Additive());
+    BinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinOp::kEq; break;
+      case TokenKind::kNeq: op = BinOp::kNeq; break;
+      case TokenKind::kLt: op = BinOp::kLt; break;
+      case TokenKind::kLe: op = BinOp::kLe; break;
+      case TokenKind::kGt: op = BinOp::kGt; break;
+      case TokenKind::kGe: op = BinOp::kGe; break;
+      default:
+        return lhs;
+    }
+    Advance();
+    std::unique_ptr<Expr> rhs;
+    DBT_ASSIGN_OR_RETURN(rhs, Additive());
+    return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<std::unique_ptr<Expr>> Additive() {
+    std::unique_ptr<Expr> lhs;
+    DBT_ASSIGN_OR_RETURN(lhs, Multiplicative());
+    for (;;) {
+      BinOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      std::unique_ptr<Expr> rhs;
+      DBT_ASSIGN_OR_RETURN(rhs, Multiplicative());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> Multiplicative() {
+    std::unique_ptr<Expr> lhs;
+    DBT_ASSIGN_OR_RETURN(lhs, Unary());
+    for (;;) {
+      BinOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinOp::kDiv;
+      } else {
+        return lhs;
+      }
+      Advance();
+      std::unique_ptr<Expr> rhs;
+      DBT_ASSIGN_OR_RETURN(rhs, Unary());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> Unary() {
+    if (Match(TokenKind::kMinus)) {
+      std::unique_ptr<Expr> sub;
+      DBT_ASSIGN_OR_RETURN(sub, Unary());
+      // Fold -literal immediately (keeps printed trees tidy).
+      if (sub->kind == Expr::Kind::kLiteral && sub->literal.is_numeric()) {
+        return Expr::MakeLiteral(Value::Neg(sub->literal));
+      }
+      return Expr::MakeUnaryMinus(std::move(sub));
+    }
+    if (Match(TokenKind::kPlus)) return Unary();
+    return Primary();
+  }
+
+  Result<std::unique_ptr<Expr>> Primary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLit: {
+        int64_t v = t.int_value;
+        Advance();
+        return Expr::MakeLiteral(Value(v));
+      }
+      case TokenKind::kDoubleLit: {
+        double v = t.double_value;
+        Advance();
+        return Expr::MakeLiteral(Value(v));
+      }
+      case TokenKind::kStringLit: {
+        std::string v = t.text;
+        Advance();
+        return Expr::MakeLiteral(Value(std::move(v)));
+      }
+      case TokenKind::kLParen: {
+        // Either a parenthesised expression or a scalar subquery.
+        if (IsKeyword(Peek(1), "SELECT")) {
+          Advance();  // (
+          std::unique_ptr<SelectStmt> sub;
+          DBT_ASSIGN_OR_RETURN(sub, Select());
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return Expr::MakeSubquery(std::move(sub));
+        }
+        Advance();  // (
+        std::unique_ptr<Expr> inner;
+        DBT_ASSIGN_OR_RETURN(inner, Expression());
+        DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        std::string up = ToUpper(t.text);
+        if (up == "SUM" || up == "COUNT" || up == "AVG" || up == "MIN" ||
+            up == "MAX") {
+          AggKind kind = up == "SUM"     ? AggKind::kSum
+                         : up == "COUNT" ? AggKind::kCount
+                         : up == "AVG"   ? AggKind::kAvg
+                         : up == "MIN"   ? AggKind::kMin
+                                         : AggKind::kMax;
+          Advance();
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after aggregate"));
+          std::unique_ptr<Expr> arg;
+          if (kind == AggKind::kCount && Peek().kind == TokenKind::kStar) {
+            Advance();
+          } else {
+            DBT_ASSIGN_OR_RETURN(arg, Expression());
+          }
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return Expr::MakeAggregate(kind, std::move(arg));
+        }
+        // Column reference: ident or ident.ident
+        std::string first = Advance().text;
+        if (Match(TokenKind::kDot)) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected column name after '.'");
+          }
+          std::string col = Advance().text;
+          return Expr::MakeColumn(std::move(first), std::move(col));
+        }
+        return Expr::MakeColumn("", std::move(first));
+      }
+      default:
+        return Err(StrFormat("expected expression but found %s",
+                             t.Describe().c_str()));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view text) {
+  DBT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  std::unique_ptr<SelectStmt> stmt;
+  DBT_ASSIGN_OR_RETURN(stmt, p.Select());
+  p.Match(TokenKind::kSemicolon);
+  if (!p.AtEnd()) {
+    return p.Err("trailing input after SELECT statement");
+  }
+  return stmt;
+}
+
+Result<CreateTableStmt> ParseCreateTable(std::string_view text) {
+  DBT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  CreateTableStmt stmt;
+  DBT_ASSIGN_OR_RETURN(stmt, p.CreateTable());
+  p.Match(TokenKind::kSemicolon);
+  if (!p.AtEnd()) {
+    return p.Err("trailing input after CREATE TABLE statement");
+  }
+  return stmt;
+}
+
+Result<Script> ParseScript(std::string_view text) {
+  DBT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  Script script;
+  int qid = 0;
+  while (!p.AtEnd()) {
+    if (p.Match(TokenKind::kSemicolon)) continue;
+    if (IsKeyword(p.Peek(), "CREATE")) {
+      CreateTableStmt stmt;
+      DBT_ASSIGN_OR_RETURN(stmt, p.CreateTable());
+      script.tables.push_back(std::move(stmt));
+    } else if (IsKeyword(p.Peek(), "SELECT")) {
+      Script::NamedQuery q;
+      q.name = StrFormat("q%d", qid++);
+      DBT_ASSIGN_OR_RETURN(q.select, p.Select());
+      script.queries.push_back(std::move(q));
+    } else {
+      return p.Err("expected CREATE TABLE or SELECT");
+    }
+  }
+  return script;
+}
+
+}  // namespace dbtoaster::sql

@@ -1,0 +1,25 @@
+// Recursive-descent parser for the supported SQL fragment.
+#ifndef DBTOASTER_SQL_PARSER_H_
+#define DBTOASTER_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+
+namespace dbtoaster::sql {
+
+/// Parse a single SELECT statement (optionally ';'-terminated).
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view text);
+
+/// Parse a single CREATE TABLE statement (optionally ';'-terminated).
+Result<CreateTableStmt> ParseCreateTable(std::string_view text);
+
+/// Parse a script of ';'-separated CREATE TABLE and SELECT statements.
+/// Queries are named q0, q1, ... in order of appearance.
+Result<Script> ParseScript(std::string_view text);
+
+}  // namespace dbtoaster::sql
+
+#endif  // DBTOASTER_SQL_PARSER_H_

@@ -1,0 +1,48 @@
+// Token model for the SQL lexer.
+#ifndef DBTOASTER_SQL_TOKEN_H_
+#define DBTOASTER_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dbtoaster::sql {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,      ///< identifier or keyword (keywords resolved by the parser)
+  kIntLit,
+  kDoubleLit,
+  kStringLit,  ///< 'quoted', quotes stripped, '' escape supported
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,         ///< =
+  kNeq,        ///< <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< raw text (identifier spelling, literal body)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;          ///< 1-based position for error messages
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace dbtoaster::sql
+
+#endif  // DBTOASTER_SQL_TOKEN_H_

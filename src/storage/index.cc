@@ -1,0 +1,43 @@
+#include "src/storage/index.h"
+
+namespace dbtoaster {
+
+Row HashIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void HashIndex::Apply(const Row& row, int64_t mult) {
+  if (mult == 0) return;
+  Row key = ExtractKey(row);
+  auto& bucket = buckets_[key];
+  auto it = bucket.find(row);
+  if (it == bucket.end()) {
+    bucket.emplace(row, mult);
+  } else {
+    it->second += mult;
+    if (it->second == 0) bucket.erase(it);
+  }
+  if (bucket.empty()) buckets_.erase(key);
+}
+
+const std::unordered_map<Row, int64_t, RowHash, RowEq>* HashIndex::Lookup(
+    const Row& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+size_t HashIndex::MemoryBytes() const {
+  size_t bytes = sizeof(HashIndex);
+  for (const auto& [key, bucket] : buckets_) {
+    bytes += key.capacity() * sizeof(Value) + 16;
+    for (const auto& [row, mult] : bucket) {
+      bytes += row.capacity() * sizeof(Value) + sizeof(int64_t) + 16;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace dbtoaster

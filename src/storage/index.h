@@ -1,0 +1,46 @@
+// Hash index over a column subset of a Table's multiset, maintained
+// incrementally. Used by the first-order IVM baseline to evaluate delta
+// queries with index lookups instead of scans.
+#ifndef DBTOASTER_STORAGE_INDEX_H_
+#define DBTOASTER_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace dbtoaster {
+
+/// Secondary hash index: key columns -> multiset of full rows.
+class HashIndex {
+ public:
+  /// `key_columns` are positions into the indexed relation's rows.
+  explicit HashIndex(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Mirror a base-table change into the index.
+  void Apply(const Row& row, int64_t mult);
+
+  /// All (row, multiplicity) entries matching `key`, or nullptr.
+  const std::unordered_map<Row, int64_t, RowHash, RowEq>* Lookup(
+      const Row& key) const;
+
+  Row ExtractKey(const Row& row) const;
+
+  size_t NumKeys() const { return buckets_.size(); }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Row, std::unordered_map<Row, int64_t, RowHash, RowEq>,
+                     RowHash, RowEq>
+      buckets_;
+};
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_STORAGE_INDEX_H_

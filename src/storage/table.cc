@@ -1,0 +1,97 @@
+#include "src/storage/table.h"
+
+#include "src/common/str.h"
+
+namespace dbtoaster {
+
+void Table::Apply(const Row& row, int64_t mult) {
+  if (mult == 0) return;
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    rows_.emplace(row, mult);
+    return;
+  }
+  it->second += mult;
+  if (it->second == 0) rows_.erase(it);
+}
+
+int64_t Table::Multiplicity(const Row& row) const {
+  auto it = rows_.find(row);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+int64_t Table::Cardinality() const {
+  int64_t total = 0;
+  for (const auto& [row, mult] : rows_) total += mult;
+  return total;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const auto& [row, mult] : rows_) {
+    bytes += sizeof(int64_t) + sizeof(Row) + row.capacity() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.is_string()) bytes += v.AsString().capacity();
+    }
+    bytes += 16;  // hash-table node overhead estimate
+  }
+  return bytes;
+}
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kInsert:
+      return "insert";
+    case EventKind::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+std::string Event::ToString() const {
+  return StrFormat("%s %s%s", EventKindName(kind), relation.c_str(),
+                   RowToString(tuple).c_str());
+}
+
+Database::Database(const Catalog& catalog) : catalog_(catalog) {
+  for (const Schema& s : catalog_.relations()) {
+    by_name_[ToUpper(s.name())] = tables_.size();
+    tables_.emplace_back(s);
+  }
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = by_name_.find(ToUpper(name));
+  return it == by_name_.end() ? nullptr : &tables_[it->second];
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = by_name_.find(ToUpper(name));
+  return it == by_name_.end() ? nullptr : &tables_[it->second];
+}
+
+Status Database::Apply(const Event& event) {
+  Table* t = FindTable(event.relation);
+  if (t == nullptr) {
+    return Status::NotFound("unknown relation in event: " + event.relation);
+  }
+  if (event.tuple.size() != t->schema().num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "event arity %zu does not match schema %s", event.tuple.size(),
+        t->schema().ToString().c_str()));
+  }
+  t->Apply(event.tuple, event.kind == EventKind::kInsert ? 1 : -1);
+  return Status::OK();
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Table& t : tables_) bytes += t.MemoryBytes();
+  return bytes;
+}
+
+void Database::Clear() {
+  for (Table& t : tables_) t.Clear();
+}
+
+}  // namespace dbtoaster

@@ -1,0 +1,109 @@
+// In-memory storage for base relations.
+//
+// The paper's data model (§2): a database is a set of relations, each subject
+// to an arbitrary sequence of inserts, updates and deletes, with arbitrary
+// tuple lifetimes. We therefore store relations as generalized multisets:
+// a hash map from tuple to multiplicity. Updates are modelled as
+// delete+insert pairs, exactly as in the paper.
+#ifndef DBTOASTER_STORAGE_TABLE_H_
+#define DBTOASTER_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace dbtoaster {
+
+/// A multiset of rows: tuple -> multiplicity (> 0).
+using Multiset = std::unordered_map<Row, int64_t, RowHash, RowEq>;
+
+/// One stored relation: schema + multiset contents.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Add `mult` copies of `row` (mult may be negative for deletion).
+  /// Entries reaching multiplicity 0 are erased. Multiplicities may go
+  /// negative transiently if a delete precedes its insert; this mirrors the
+  /// ring semantics and keeps the engine total.
+  void Apply(const Row& row, int64_t mult);
+
+  void Insert(const Row& row) { Apply(row, 1); }
+  void Delete(const Row& row) { Apply(row, -1); }
+
+  int64_t Multiplicity(const Row& row) const;
+
+  /// Number of distinct rows.
+  size_t NumDistinct() const { return rows_.size(); }
+
+  /// Total multiplicity (sum over entries).
+  int64_t Cardinality() const;
+
+  const Multiset& rows() const { return rows_; }
+
+  void Clear() { rows_.clear(); }
+
+  /// Rough retained-bytes estimate (used by the memory bench).
+  size_t MemoryBytes() const;
+
+ private:
+  Schema schema_;
+  Multiset rows_;
+};
+
+/// Stream event kinds supported by the data model.
+enum class EventKind : uint8_t { kInsert, kDelete };
+
+const char* EventKindName(EventKind k);
+
+/// One delta on a base relation.
+struct Event {
+  EventKind kind;
+  std::string relation;
+  Row tuple;
+
+  std::string ToString() const;
+
+  static Event Insert(std::string relation, Row tuple) {
+    return Event{EventKind::kInsert, std::move(relation), std::move(tuple)};
+  }
+  static Event Delete(std::string relation, Row tuple) {
+    return Event{EventKind::kDelete, std::move(relation), std::move(tuple)};
+  }
+};
+
+/// A named collection of tables; the "main-memory database snapshot" of the
+/// paper's architecture diagram.
+class Database {
+ public:
+  explicit Database(const Catalog& catalog);
+
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Apply one event; fails if the relation is unknown or the tuple arity
+  /// does not match the schema.
+  Status Apply(const Event& event);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  size_t MemoryBytes() const;
+
+  void Clear();
+
+ private:
+  Catalog catalog_;
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, size_t> by_name_;  // upper-cased
+};
+
+}  // namespace dbtoaster
+
+#endif  // DBTOASTER_STORAGE_TABLE_H_

@@ -1,0 +1,106 @@
+#include "src/workload/orderbook.h"
+
+#include <algorithm>
+
+namespace dbtoaster::workload {
+
+Catalog OrderBookCatalog() {
+  Catalog cat;
+  std::vector<std::pair<std::string, Type>> cols = {
+      {"ID", Type::kInt},
+      {"BROKER_ID", Type::kInt},
+      {"PRICE", Type::kInt},
+      {"VOLUME", Type::kInt},
+  };
+  (void)cat.AddRelation(Schema("BIDS", cols));
+  (void)cat.AddRelation(Schema("ASKS", cols));
+  return cat;
+}
+
+std::string VwapQuery() {
+  // sum of price*volume over the bids whose deeper book (orders at higher
+  // prices) holds less than 25% of total bid volume — the paper's VWAP
+  // metric for the SOBI strategy.
+  return "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 where "
+         "(select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE) * 4 "
+         "< (select sum(b3.VOLUME) from BIDS b3)";
+}
+
+std::string SobiBidLeg() {
+  return "select sum(PRICE * VOLUME), sum(VOLUME) from BIDS";
+}
+
+std::string SobiAskLeg() {
+  return "select sum(PRICE * VOLUME), sum(VOLUME) from ASKS";
+}
+
+std::string MarketMakerQuery() {
+  return "select b.BROKER_ID, sum(a.VOLUME - b.VOLUME) "
+         "from BIDS b, ASKS a where b.BROKER_ID = a.BROKER_ID "
+         "group by b.BROKER_ID";
+}
+
+std::string BestBidQuery() { return "select max(PRICE) from BIDS"; }
+std::string BestAskQuery() { return "select min(PRICE) from ASKS"; }
+
+OrderBookGenerator::OrderBookGenerator(OrderBookConfig config)
+    : config_(config), rng_(config.seed), mid_(config.initial_price) {}
+
+Row OrderBookGenerator::ToRow(const Order& o) const {
+  return Row{Value(o.id), Value(o.broker), Value(o.price), Value(o.volume)};
+}
+
+size_t OrderBookGenerator::EmitAdd(bool bid, std::vector<Event>* out) {
+  Order o;
+  o.id = next_id_++;
+  o.broker = rng_.Range(0, config_.num_brokers - 1);
+  int64_t offset = rng_.Range(0, config_.tick_spread);
+  o.price = bid ? mid_ - offset : mid_ + offset;
+  o.volume = rng_.Range(1, config_.max_volume);
+  (bid ? bids_ : asks_).push_back(o);
+  out->push_back(Event::Insert(bid ? "BIDS" : "ASKS", ToRow(o)));
+  return 1;
+}
+
+size_t OrderBookGenerator::Next(std::vector<Event>* out) {
+  // Price random walk.
+  mid_ += rng_.Range(-2, 2);
+  bool bid = rng_.Chance(0.5);
+  std::vector<Order>& side = bid ? bids_ : asks_;
+  const char* rel = bid ? "BIDS" : "ASKS";
+
+  double roll = rng_.NextDouble();
+  // Soft cap: when the book is large, bias strongly toward withdrawals so
+  // the state stays bounded (the paper's "self-managing" property).
+  double p_withdraw = config_.p_withdraw;
+  if (side.size() > config_.book_soft_cap) p_withdraw = 0.75;
+
+  if (!side.empty() && roll < p_withdraw) {
+    size_t pick = rng_.Uniform(side.size());
+    out->push_back(Event::Delete(rel, ToRow(side[pick])));
+    side.erase(side.begin() + static_cast<long>(pick));
+    return 1;
+  }
+  if (!side.empty() && roll < p_withdraw + config_.p_modify) {
+    // Modify = delete + insert with a new price/volume (same id/broker).
+    size_t pick = rng_.Uniform(side.size());
+    Order o = side[pick];
+    out->push_back(Event::Delete(rel, ToRow(o)));
+    int64_t offset = rng_.Range(0, config_.tick_spread);
+    o.price = bid ? mid_ - offset : mid_ + offset;
+    o.volume = rng_.Range(1, config_.max_volume);
+    side[pick] = o;
+    out->push_back(Event::Insert(rel, ToRow(o)));
+    return 2;
+  }
+  return EmitAdd(bid, out);
+}
+
+std::vector<Event> OrderBookGenerator::Generate(size_t n) {
+  std::vector<Event> out;
+  out.reserve(n + 1);
+  while (out.size() < n) Next(&out);
+  return out;
+}
+
+}  // namespace dbtoaster::workload

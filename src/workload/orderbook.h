@@ -1,0 +1,89 @@
+// Synthetic NASDAQ-TotalView-style limit order book stream (§4: "Processing
+// order books in equities trading").
+//
+// Investors continually add, modify and withdraw limit orders; the paper
+// models the bid/ask books as relations under high-volume deltas whose state
+// stays bounded in practice but cannot be expressed as windows. The
+// generator reproduces those dynamics deterministically: a price random
+// walk, configurable add/modify/withdraw mix, and a book-size soft cap
+// (self-managing state).
+#ifndef DBTOASTER_WORKLOAD_ORDERBOOK_H_
+#define DBTOASTER_WORKLOAD_ORDERBOOK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/rng.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::workload {
+
+/// Order book schemas: BIDS(ID, BROKER_ID, PRICE, VOLUME) and ASKS(...).
+/// Prices are integer ticks; volumes integer lots (exact arithmetic keeps
+/// the correctness oracle byte-identical).
+Catalog OrderBookCatalog();
+
+/// The paper's finance standing queries.
+///
+/// VWAP: the volume-weighted average price query over the bid book — the
+/// orders making up the top quarter of total volume (nested, correlated
+/// aggregates; DBToaster's hybrid compilation path).
+std::string VwapQuery();
+
+/// SOBI legs: price-volume sums per book side; the static order book
+/// imbalance signal is computed from the two view values.
+std::string SobiBidLeg();
+std::string SobiAskLeg();
+
+/// Market-maker detection: brokers active on both sides, with their net
+/// posted volume (flat equi-join with GROUP BY).
+std::string MarketMakerQuery();
+
+/// Best bid / best ask (MIN/MAX ordered-multiset path).
+std::string BestBidQuery();
+std::string BestAskQuery();
+
+struct OrderBookConfig {
+  uint64_t seed = 42;
+  int num_brokers = 10;
+  int64_t initial_price = 10000;  ///< ticks
+  int64_t tick_spread = 50;       ///< max distance from mid for new orders
+  int64_t max_volume = 500;
+  size_t book_soft_cap = 2000;    ///< per side; beyond it deletes dominate
+  double p_modify = 0.25;         ///< modify = delete + insert
+  double p_withdraw = 0.25;       ///< withdraw/execute = delete
+};
+
+/// Deterministic order book stream generator.
+class OrderBookGenerator {
+ public:
+  explicit OrderBookGenerator(OrderBookConfig config = {});
+
+  /// Appends the events for one order action (1 event for add/withdraw,
+  /// 2 for modify) to `out`. Returns the number of events appended.
+  size_t Next(std::vector<Event>* out);
+
+  /// Convenience: a stream of at least `n` events.
+  std::vector<Event> Generate(size_t n);
+
+  size_t live_bids() const { return bids_.size(); }
+  size_t live_asks() const { return asks_.size(); }
+
+ private:
+  struct Order {
+    int64_t id, broker, price, volume;
+  };
+  Row ToRow(const Order& o) const;
+  size_t EmitAdd(bool bid, std::vector<Event>* out);
+
+  OrderBookConfig config_;
+  Rng rng_;
+  int64_t next_id_ = 1;
+  int64_t mid_;
+  std::vector<Order> bids_, asks_;
+};
+
+}  // namespace dbtoaster::workload
+
+#endif  // DBTOASTER_WORKLOAD_ORDERBOOK_H_

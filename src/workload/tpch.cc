@@ -1,0 +1,102 @@
+#include "src/workload/tpch.h"
+
+namespace dbtoaster::workload {
+
+Catalog TpchCatalog() {
+  Catalog cat;
+  (void)cat.AddRelation(Schema("CUSTOMER", {{"CUSTKEY", Type::kInt},
+                                            {"NATION", Type::kInt},
+                                            {"REGION", Type::kInt}}));
+  (void)cat.AddRelation(Schema("SUPPLIER", {{"SUPPKEY", Type::kInt},
+                                            {"NATION", Type::kInt},
+                                            {"REGION", Type::kInt}}));
+  (void)cat.AddRelation(
+      Schema("PART", {{"PARTKEY", Type::kInt}, {"MFGR", Type::kInt}}));
+  (void)cat.AddRelation(Schema("ORDERS", {{"ORDERKEY", Type::kInt},
+                                          {"CUSTKEY", Type::kInt},
+                                          {"OYEAR", Type::kInt}}));
+  (void)cat.AddRelation(Schema("LINEITEM", {{"ORDERKEY", Type::kInt},
+                                            {"PARTKEY", Type::kInt},
+                                            {"SUPPKEY", Type::kInt},
+                                            {"QUANTITY", Type::kInt},
+                                            {"EXTENDEDPRICE", Type::kInt},
+                                            {"SUPPLYCOST", Type::kInt}}));
+  return cat;
+}
+
+std::string SsbQ41Query() {
+  return "select O.OYEAR, C.NATION, sum(L.EXTENDEDPRICE - L.SUPPLYCOST) "
+         "from LINEITEM L, ORDERS O, CUSTOMER C, SUPPLIER S, PART P "
+         "where L.ORDERKEY = O.ORDERKEY and O.CUSTKEY = C.CUSTKEY "
+         "and L.SUPPKEY = S.SUPPKEY and L.PARTKEY = P.PARTKEY "
+         "and C.REGION = 1 and S.REGION = 1 "
+         "and (P.MFGR = 1 or P.MFGR = 2) "
+         "group by O.OYEAR, C.NATION";
+}
+
+std::string RevenueByYearQuery() {
+  return "select O.OYEAR, sum(L.EXTENDEDPRICE * L.QUANTITY) "
+         "from LINEITEM L, ORDERS O where L.ORDERKEY = O.ORDERKEY "
+         "group by O.OYEAR";
+}
+
+TpchGenerator::TpchGenerator(TpchConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<Event> TpchGenerator::DimensionLoad() {
+  std::vector<Event> out;
+  for (int c = 1; c <= config_.num_customers; ++c) {
+    int64_t nation = rng_.Range(0, config_.num_nations - 1);
+    out.push_back(Event::Insert(
+        "CUSTOMER", {Value(int64_t{c}), Value(nation),
+                     Value(nation % config_.num_regions)}));
+  }
+  for (int s = 1; s <= config_.num_suppliers; ++s) {
+    int64_t nation = rng_.Range(0, config_.num_nations - 1);
+    out.push_back(Event::Insert(
+        "SUPPLIER", {Value(int64_t{s}), Value(nation),
+                     Value(nation % config_.num_regions)}));
+  }
+  for (int p = 1; p <= config_.num_parts; ++p) {
+    out.push_back(Event::Insert(
+        "PART",
+        {Value(int64_t{p}), Value(rng_.Range(1, config_.num_mfgrs))}));
+  }
+  return out;
+}
+
+size_t TpchGenerator::NextOrder(std::vector<Event>* out) {
+  size_t start = out->size();
+  int64_t orderkey = next_orderkey_++;
+  int64_t custkey = rng_.Range(1, config_.num_customers);
+  int64_t year = rng_.Range(config_.years_from, config_.years_to);
+  out->push_back(
+      Event::Insert("ORDERS", {Value(orderkey), Value(custkey), Value(year)}));
+  int lines = static_cast<int>(rng_.Range(1, config_.lines_per_order_max));
+  for (int l = 0; l < lines; ++l) {
+    Row li{Value(orderkey),
+           Value(rng_.Range(1, config_.num_parts)),
+           Value(rng_.Range(1, config_.num_suppliers)),
+           Value(rng_.Range(1, 50)),
+           Value(rng_.Range(100, 10000)),
+           Value(rng_.Range(50, 5000))};
+    out->push_back(Event::Insert("LINEITEM", li));
+    if (rng_.Chance(config_.p_correction)) {
+      // Correction: the loaded fact row is amended (delete + reinsert with a
+      // fixed price) — the update pattern that forces general deletes.
+      out->push_back(Event::Delete("LINEITEM", li));
+      li[4] = Value(rng_.Range(100, 10000));
+      out->push_back(Event::Insert("LINEITEM", li));
+    }
+  }
+  return out->size() - start;
+}
+
+std::vector<Event> TpchGenerator::Generate(size_t n) {
+  std::vector<Event> out = DimensionLoad();
+  size_t dims = out.size();
+  while (out.size() - dims < n) NextOrder(&out);
+  return out;
+}
+
+}  // namespace dbtoaster::workload

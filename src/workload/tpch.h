@@ -1,0 +1,84 @@
+// TPC-H-shaped data generator and the star-schema (SSB) warehouse-loading
+// workload (§4: "Data warehouse loading").
+//
+// The paper emulates data integration by transforming a TPC-H dataset into
+// the Star Schema Benchmark's star schema and evaluating SSB query 4.1 on
+// the result, processing loading and analysis jointly. We reproduce that:
+// the generator emits a deterministic TPC-H-shaped update stream (dimension
+// loads, then fact inserts with occasional corrections as delete+insert),
+// and the standing query is SSB Q4.1 expressed directly over the normalized
+// tables — compiling integration (the 5-way join) and aggregation together,
+// which is exactly the paper's "avoid materializing large intermediate
+// results" argument.
+#ifndef DBTOASTER_WORKLOAD_TPCH_H_
+#define DBTOASTER_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/rng.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::workload {
+
+/// Normalized (TPC-H-shaped) schemas:
+///   CUSTOMER(CUSTKEY, NATION, REGION)
+///   SUPPLIER(SUPPKEY, NATION, REGION)
+///   PART(PARTKEY, MFGR)
+///   ORDERS(ORDERKEY, CUSTKEY, OYEAR)
+///   LINEITEM(ORDERKEY, PARTKEY, SUPPKEY, QUANTITY, EXTENDEDPRICE,
+///            SUPPLYCOST)
+Catalog TpchCatalog();
+
+/// SSB Q4.1 ("profit by year and customer nation") over the normalized
+/// schema — the data-integration join and the aggregation in one query:
+///   select O.OYEAR, C.NATION, sum(L.EXTENDEDPRICE - L.SUPPLYCOST)
+///   from LINEITEM L, ORDERS O, CUSTOMER C, SUPPLIER S, PART P
+///   where joins... and C.REGION = 1 and S.REGION = 1
+///     and (P.MFGR = 1 or P.MFGR = 2)
+///   group by O.OYEAR, C.NATION
+std::string SsbQ41Query();
+
+/// A smaller 2-way loading probe (lineitem revenue by order year).
+std::string RevenueByYearQuery();
+
+struct TpchConfig {
+  uint64_t seed = 7;
+  int num_customers = 200;
+  int num_suppliers = 50;
+  int num_parts = 100;
+  int num_regions = 5;
+  int num_nations = 25;
+  int num_mfgrs = 5;
+  int years_from = 1992;
+  int years_to = 1998;
+  int lines_per_order_max = 7;
+  double p_correction = 0.05;  ///< fact corrections: delete + reinsert
+};
+
+/// Deterministic warehouse-loading stream: all dimension inserts first, then
+/// order/lineitem inserts with occasional corrections.
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(TpchConfig config = {});
+
+  /// Dimension-load events (CUSTOMER, SUPPLIER, PART).
+  std::vector<Event> DimensionLoad();
+
+  /// Appends events for one order (1 ORDERS insert + k LINEITEM inserts,
+  /// possibly with corrections). Returns number of events appended.
+  size_t NextOrder(std::vector<Event>* out);
+
+  /// Convenience: dimension load + enough orders for >= n fact events.
+  std::vector<Event> Generate(size_t n);
+
+ private:
+  TpchConfig config_;
+  Rng rng_;
+  int64_t next_orderkey_ = 1;
+};
+
+}  // namespace dbtoaster::workload
+
+#endif  // DBTOASTER_WORKLOAD_TPCH_H_

@@ -1,0 +1,106 @@
+// Unit tests for the common kernel: Status/Result, Value semantics, hashing,
+// string helpers, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/str.h"
+#include "src/common/value.h"
+
+namespace dbtoaster {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::NotFound("x"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_GT(Value(2.5), Value(2));
+  // Equal values must hash equally (2 == 2.0).
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+}
+
+TEST(Value, StringsCompareSeparately) {
+  EXPECT_EQ(Value("abc"), Value(std::string("abc")));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_NE(Value("1"), Value(1));  // numerics sort before strings
+}
+
+TEST(Value, Arithmetic) {
+  EXPECT_EQ(Value::Add(Value(2), Value(3)), Value(5));
+  EXPECT_TRUE(Value::Add(Value(2), Value(0.5)).is_double());
+  EXPECT_EQ(Value::Mul(Value(4), Value(-3)), Value(-12));
+  EXPECT_EQ(Value::Div(Value(1), Value(0)), Value(0.0));  // SQL-style
+  EXPECT_EQ(Value::Neg(Value(7)), Value(-7));
+}
+
+TEST(Value, ToStringShowsType) {
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value(3.0).ToString(), "3.0");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+}
+
+TEST(Row, HashAndEquality) {
+  RowHash h;
+  RowEq eq;
+  Row a{Value(1), Value("x")};
+  Row b{Value(1), Value("x")};
+  Row c{Value(1), Value("y")};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_FALSE(eq(a, c));
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Str, Helpers) {
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  EXPECT_NE(a.Next(), c.Next());
+
+  Rng r(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) mean += r.NextDouble();
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace dbtoaster

@@ -1,0 +1,189 @@
+// Compiler-driver tests: translation details (variable prettifying, OR via
+// inclusion–exclusion, AVG decomposition, domain maps), map sharing across
+// queries, recursion levels, and the NotSupported boundary of the fragment.
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/compiler/compile.h"
+#include "src/compiler/translate.h"
+#include "src/sql/parser.h"
+
+namespace dbtoaster::compiler {
+namespace {
+
+Catalog RST() {
+  Catalog cat;
+  (void)cat.AddRelation(Schema("R", {{"A", Type::kInt}, {"B", Type::kInt}}));
+  (void)cat.AddRelation(Schema("S", {{"B", Type::kInt}, {"C", Type::kInt}}));
+  (void)cat.AddRelation(Schema("T", {{"C", Type::kInt}, {"D", Type::kInt}}));
+  return cat;
+}
+
+Result<std::unique_ptr<TranslatedQuery>> Tx(const Catalog& cat,
+                                            const std::string& sql) {
+  auto stmt = sql::ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  int counter = 0;
+  return Translate(*stmt.value(), cat, "q", &counter);
+}
+
+TEST(Translate, PrettifiesJoinVariablesLikeThePaper) {
+  auto tq = Tx(RST(),
+               "select sum(R.A * T.D) from R, S, T "
+               "where R.B = S.B and S.C = T.C");
+  ASSERT_TRUE(tq.ok()) << tq.status().ToString();
+  // Unified join variables shorten to bare column names: a, b, c, d.
+  std::string s = tq.value()->aggregates[0].expr->ToString();
+  EXPECT_NE(s.find("R(a, b)"), std::string::npos) << s;
+  EXPECT_NE(s.find("S(b, c)"), std::string::npos) << s;
+  EXPECT_NE(s.find("T(c, d)"), std::string::npos) << s;
+}
+
+TEST(Translate, AmbiguousShortNamesStayQualified) {
+  // No join predicate: R.B and S.B must remain distinct variables.
+  auto tq = Tx(RST(), "select sum(R.A) from R, S");
+  ASSERT_TRUE(tq.ok());
+  std::string s = tq.value()->aggregates[0].expr->ToString();
+  EXPECT_EQ(s.find("S(b,"), std::string::npos) << s;
+}
+
+TEST(Translate, OrBecomesInclusionExclusion) {
+  auto tq = Tx(RST(), "select count(*) from R where B = 1 or B = 2");
+  ASSERT_TRUE(tq.ok());
+  std::string s = tq.value()->aggregates[0].expr->ToString();
+  // a + b - a*b over indicators.
+  EXPECT_NE(s.find("[b = 1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("[b = 2]"), std::string::npos) << s;
+  EXPECT_NE(s.find("-("), std::string::npos) << s;
+}
+
+TEST(Translate, AvgDecomposesIntoSumAndCount) {
+  auto tq = Tx(RST(), "select avg(A) from R");
+  ASSERT_TRUE(tq.ok());
+  ASSERT_EQ(tq.value()->aggregates.size(), 2u);  // SUM + COUNT
+  EXPECT_EQ(tq.value()->aggregates[0].kind, sql::AggKind::kSum);
+  EXPECT_EQ(tq.value()->aggregates[1].kind, sql::AggKind::kCount);
+  // The view column divides the two reads.
+  EXPECT_EQ(tq.value()->columns[0].value->kind, ring::Term::Kind::kDiv);
+}
+
+TEST(Translate, SharedAggregatesAreDeduplicated) {
+  auto tq = Tx(RST(), "select sum(A), avg(A), count(*) from R");
+  ASSERT_TRUE(tq.ok());
+  // sum(A) and count(*) are each registered once despite avg() needing both.
+  EXPECT_EQ(tq.value()->aggregates.size(), 2u);
+}
+
+TEST(Translate, GroupedQueriesGetDomainExpr) {
+  auto tq = Tx(RST(), "select B, sum(A) from R group by B");
+  ASSERT_TRUE(tq.ok());
+  ASSERT_NE(tq.value()->domain_expr, nullptr);
+  EXPECT_EQ(tq.value()->domain_expr->group_vars.size(), 1u);
+}
+
+TEST(Translate, FragmentBoundaries) {
+  Catalog cat = RST();
+  EXPECT_EQ(Tx(cat, "select A, B from R").status().code(),
+            StatusCode::kInvalidArgument);  // bare columns w/o GROUP BY
+  EXPECT_EQ(Tx(cat, "select min(R.A) from R, S").status().code(),
+            StatusCode::kNotSupported);  // MIN over a join
+  EXPECT_EQ(
+      Tx(cat, "select sum(A) + min(B) from R").status().code(),
+      StatusCode::kNotSupported);  // MIN inside arithmetic
+  EXPECT_EQ(Tx(cat,
+               "select (select count(*) from S) from R")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);  // subquery in SELECT list
+  EXPECT_EQ(Tx(cat,
+               "select sum((select count(*) from S)) from R")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);  // subquery in aggregate argument
+}
+
+TEST(Compile, GroupedHybridIsRejectedWithClearMessage) {
+  Catalog cat = RST();
+  auto program = CompileQuery(
+      cat, "q",
+      "select B, sum(A) from R where A < (select count(*) from S) "
+      "group by B");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(program.status().message().find("GROUP"), std::string::npos);
+}
+
+TEST(Compile, MapSharingAcrossQueries) {
+  // Two queries over the same join share auxiliary maps when compiled
+  // together (§3: "map sharing opportunities across event handler
+  // functions").
+  Catalog cat = RST();
+  Compiler together(cat);
+  ASSERT_TRUE(together
+                  .AddQuery("q1",
+                            "select sum(R.A) from R, S where R.B = S.B")
+                  .ok());
+  ASSERT_TRUE(together
+                  .AddQuery("q2",
+                            "select count(*) from R, S where R.B = S.B")
+                  .ok());
+  auto shared = together.Compile();
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+
+  auto solo1 = CompileQuery(cat, "q1",
+                            "select sum(R.A) from R, S where R.B = S.B");
+  auto solo2 = CompileQuery(cat, "q2",
+                            "select count(*) from R, S where R.B = S.B");
+  ASSERT_TRUE(solo1.ok());
+  ASSERT_TRUE(solo2.ok());
+  EXPECT_LT(shared.value().maps.size(),
+            solo1.value().maps.size() + solo2.value().maps.size());
+}
+
+TEST(Compile, RecursionLevelsAreMonotone) {
+  auto program = CompileQuery(
+      RST(), "q",
+      "select sum(R.A * T.D) from R, S, T where R.B = S.B and S.C = T.C");
+  ASSERT_TRUE(program.ok());
+  for (const MapDecl& m : program.value().maps) {
+    EXPECT_GE(m.level, 1);
+    EXPECT_LE(m.level, 3);
+  }
+}
+
+TEST(Compile, SelfJoinProducesCrossTerms) {
+  auto program = CompileQuery(
+      RST(), "q",
+      "select sum(r1.A * r2.A) from R r1, R r2 where r1.B = r2.B");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // The insert trigger carries the dR*R, R*dR and dR*dR contributions.
+  const Trigger* t = program.value().FindTrigger("R", EventKind::kInsert);
+  ASSERT_NE(t, nullptr);
+  EXPECT_GE(t->statements.size(), 3u) << t->ToString();
+}
+
+TEST(Compile, TriggerCoverageMatchesQueryRelations) {
+  auto program = CompileQuery(
+      RST(), "q", "select sum(R.A) from R, S where R.B = S.B");
+  ASSERT_TRUE(program.ok());
+  // Triggers exist exactly for the referenced relations, both signs.
+  EXPECT_NE(program.value().FindTrigger("R", EventKind::kInsert), nullptr);
+  EXPECT_NE(program.value().FindTrigger("S", EventKind::kDelete), nullptr);
+  EXPECT_EQ(program.value().FindTrigger("T", EventKind::kInsert), nullptr);
+}
+
+TEST(Compile, DuplicateQueryNameRejected) {
+  Compiler c(RST());
+  ASSERT_TRUE(c.AddQuery("q", "select sum(A) from R").ok());
+  EXPECT_EQ(c.AddQuery("q", "select count(*) from R").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Compile, UnknownRelationSurfacesEarly) {
+  Compiler c(RST());
+  EXPECT_EQ(c.AddQuery("q", "select sum(X) from NOPE").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dbtoaster::compiler

@@ -1,0 +1,168 @@
+// Runtime engine tests: snapshot (two-phase) statement semantics, the
+// debugger/tracer callbacks, the profiler, view/Scalar APIs, the ad-hoc
+// snapshot interface, and init-on-access behaviour.
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/compiler/compile.h"
+#include "src/runtime/engine.h"
+
+namespace dbtoaster::runtime {
+namespace {
+
+Catalog RS() {
+  Catalog cat;
+  (void)cat.AddRelation(Schema("R", {{"A", Type::kInt}, {"B", Type::kInt}}));
+  (void)cat.AddRelation(Schema("S", {{"B", Type::kInt}, {"C", Type::kInt}}));
+  return cat;
+}
+
+Engine MakeEngine(const Catalog& cat, const std::string& sql) {
+  auto program = compiler::CompileQuery(cat, "q", sql);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return Engine(std::move(program).value());
+}
+
+TEST(Engine, SnapshotSemanticsForSelfJoin) {
+  // q = sum over R x R of r1.A*r2.A with r1.B = r2.B. On inserting (a,b)
+  // the delta must use the PRE-state for the cross terms; the engine's
+  // two-phase execution guarantees it. Verify against hand computation.
+  Catalog cat = RS();
+  Engine e = MakeEngine(
+      cat, "select sum(r1.A * r2.A) from R r1, R r2 where r1.B = r2.B");
+  ASSERT_TRUE(e.OnInsert("R", {Value(2), Value(1)}).ok());
+  // R = {(2,1)}: q = 2*2 = 4.
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(4));
+  ASSERT_TRUE(e.OnInsert("R", {Value(3), Value(1)}).ok());
+  // q = (2+3)^2 = 25.
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(25));
+  ASSERT_TRUE(e.OnDelete("R", {Value(2), Value(1)}).ok());
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(9));
+}
+
+TEST(Engine, EventValidation) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(cat, "select sum(A) from R");
+  EXPECT_EQ(e.OnInsert("R", {Value(1)}).code(),
+            StatusCode::kInvalidArgument);  // arity
+  // Events on relations the program ignores still update the snapshot.
+  EXPECT_TRUE(e.OnInsert("S", {Value(1), Value(2)}).ok());
+  EXPECT_EQ(e.database().FindTable("S")->Cardinality(), 1);
+}
+
+TEST(Engine, ViewScalarRequiresSingleValue) {
+  Catalog cat = RS();
+  Engine grouped = MakeEngine(cat, "select B, sum(A) from R group by B");
+  (void)grouped.OnInsert("R", {Value(1), Value(2)});
+  EXPECT_FALSE(grouped.ViewScalar("q").ok());
+  EXPECT_FALSE(grouped.View("nope").ok());
+}
+
+TEST(Engine, GroupedViewDropsEmptyGroups) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(cat, "select B, sum(A) from R group by B");
+  (void)e.OnInsert("R", {Value(5), Value(1)});
+  (void)e.OnInsert("R", {Value(7), Value(2)});
+  EXPECT_EQ(e.View("q").value().rows.size(), 2u);
+  (void)e.OnDelete("R", {Value(5), Value(1)});
+  EXPECT_EQ(e.View("q").value().rows.size(), 1u);  // group 1 disappeared
+}
+
+TEST(Engine, AdhocSnapshotQueries) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(cat, "select sum(A) from R");
+  (void)e.OnInsert("R", {Value(1), Value(10)});
+  (void)e.OnInsert("R", {Value(2), Value(20)});
+  (void)e.OnInsert("S", {Value(10), Value(7)});
+  auto r = e.AdhocQuery(
+      "select sum(R.A) from R, S where R.B = S.B");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows[0].first[0], Value(1));
+  EXPECT_FALSE(e.AdhocQuery("select broken from").ok());
+}
+
+class RecordingSink : public TraceSink {
+ public:
+  void OnEvent(const Event& event) override { events++; }
+  void OnStatement(const compiler::Statement& stmt,
+                   size_t updates_applied) override {
+    statements++;
+    updates += updates_applied;
+  }
+  void OnMapUpdate(const std::string& map, const Row& key,
+                   const Value& old_value, const Value& new_value) override {
+    map_updates++;
+    EXPECT_NE(old_value, new_value);
+  }
+  int events = 0, statements = 0, map_updates = 0;
+  size_t updates = 0;
+};
+
+TEST(Engine, DebuggerSeesEveryStatementAndMapCell) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(
+      cat, "select sum(R.A * S.C) from R, S where R.B = S.B");
+  RecordingSink sink;
+  e.set_trace_sink(&sink);
+  (void)e.OnInsert("R", {Value(2), Value(1)});
+  (void)e.OnInsert("S", {Value(1), Value(5)});
+  EXPECT_EQ(sink.events, 2);
+  EXPECT_GT(sink.statements, 0);
+  EXPECT_GT(sink.map_updates, 0);
+}
+
+TEST(Engine, ProfilerAccumulates) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(cat, "select sum(A) from R");
+  for (int i = 0; i < 10; ++i) {
+    (void)e.OnInsert("R", {Value(i + 1), Value(i % 2)});
+  }
+  EXPECT_EQ(e.profile().events, 10u);
+  ASSERT_FALSE(e.profile().by_statement.empty());
+  size_t total_updates = 0;
+  for (const auto& [k, st] : e.profile().by_statement) {
+    total_updates += st.updates;
+  }
+  EXPECT_EQ(total_updates, 10u);  // one q update per insert (all non-zero)
+  e.ResetProfile();
+  EXPECT_EQ(e.profile().events, 0u);
+}
+
+TEST(Engine, InitOnAccessStoresPostStateReads) {
+  // VWAP-shaped range map: reads of missing keys evaluate the definition
+  // over the snapshot and are cached on post-state reads, after which
+  // incremental maintenance keeps them fresh.
+  Catalog cat;
+  (void)cat.AddRelation(
+      Schema("BIDS", {{"PRICE", Type::kInt}, {"VOLUME", Type::kInt}}));
+  auto program = compiler::CompileQuery(
+      cat, "q",
+      "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 where "
+      "(select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE) < 5");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Engine e(std::move(program).value());
+  (void)e.OnInsert("BIDS", {Value(10), Value(3)});
+  (void)e.OnInsert("BIDS", {Value(20), Value(4)});
+  // deeper volume for price 10 is 4 -> included iff 4 < 5; for price 20 is
+  // 0 -> included. q = 10*3 + 20*4 = 110.
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(110));
+  (void)e.OnInsert("BIDS", {Value(30), Value(2)});
+  // deeper(10)=6 (out), deeper(20)=2 (in), deeper(30)=0 (in): 80+60=140.
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(140));
+  (void)e.OnDelete("BIDS", {Value(30), Value(2)});
+  EXPECT_EQ(e.ViewScalar("q").value(), Value(110));
+}
+
+TEST(Engine, MemoryAccountersAreMonotoneUnderInserts) {
+  Catalog cat = RS();
+  Engine e = MakeEngine(cat, "select B, sum(A) from R group by B");
+  size_t prev = e.MapMemoryBytes();
+  for (int i = 0; i < 50; ++i) {
+    (void)e.OnInsert("R", {Value(i), Value(i)});
+  }
+  EXPECT_GT(e.MapMemoryBytes(), prev);
+  EXPECT_GT(e.TotalMapEntries(), 50u);  // sum map + domain map entries
+}
+
+}  // namespace
+}  // namespace dbtoaster::runtime

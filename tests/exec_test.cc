@@ -1,0 +1,163 @@
+// Unit tests for the interpreted executor (the oracle): operators, planner
+// behaviour, aggregation semantics, subqueries, and binder diagnostics.
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.h"
+#include "src/sql/parser.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster::exec {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog cat;
+  (void)cat.AddRelation(Schema(
+      "R", {{"A", Type::kInt}, {"B", Type::kInt}}));
+  (void)cat.AddRelation(Schema(
+      "S", {{"B", Type::kInt}, {"C", Type::kInt}}));
+  (void)cat.AddRelation(Schema(
+      "E", {{"NAME", Type::kString}, {"DEPT", Type::kString},
+            {"SALARY", Type::kDouble}}));
+  return cat;
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : cat_(TestCatalog()), db_(cat_) {
+    Ins("R", {Value(1), Value(10)});
+    Ins("R", {Value(2), Value(10)});
+    Ins("R", {Value(3), Value(20)});
+    Ins("S", {Value(10), Value(100)});
+    Ins("S", {Value(20), Value(200)});
+    Ins("S", {Value(30), Value(300)});
+    Ins("E", {Value("ann"), Value("eng"), Value(100.0)});
+    Ins("E", {Value("bob"), Value("eng"), Value(80.0)});
+    Ins("E", {Value("cat"), Value("ops"), Value(90.0)});
+  }
+  void Ins(const std::string& rel, Row row) {
+    ASSERT_TRUE(db_.Apply(Event::Insert(rel, std::move(row))).ok());
+  }
+  QueryResult Run(const std::string& sql) {
+    auto r = Executor::Query(sql, cat_, db_);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+  Catalog cat_;
+  Database db_;
+};
+
+TEST_F(ExecTest, GlobalAggregates) {
+  auto r = Run("select sum(A), count(*), avg(A), min(A), max(A) from R");
+  ASSERT_EQ(r.rows.size(), 1u);
+  const Row& row = r.rows[0].first;
+  EXPECT_EQ(row[0], Value(6));
+  EXPECT_EQ(row[1], Value(3));
+  EXPECT_EQ(row[2], Value(2.0));
+  EXPECT_EQ(row[3], Value(1));
+  EXPECT_EQ(row[4], Value(3));
+}
+
+TEST_F(ExecTest, EmptyInputYieldsZeroRow) {
+  Database empty(cat_);
+  auto r = Executor::Query("select sum(A), count(*) from R", cat_, empty);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0].first[0], Value(0));
+}
+
+TEST_F(ExecTest, GroupBy) {
+  auto r = Run("select B, sum(A) from R group by B");
+  auto rows = r.SortedRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, (Row{Value(10), Value(3)}));
+  EXPECT_EQ(rows[1].first, (Row{Value(20), Value(3)}));
+}
+
+TEST_F(ExecTest, HashJoin) {
+  auto r = Run("select sum(R.A * S.C) from R, S where R.B = S.B");
+  // (1+2)*100 + 3*200 = 900.
+  EXPECT_EQ(r.rows[0].first[0], Value(900));
+}
+
+TEST_F(ExecTest, CrossJoin) {
+  auto r = Run("select count(*) from R, S");
+  EXPECT_EQ(r.rows[0].first[0], Value(9));
+}
+
+TEST_F(ExecTest, StringPredicates) {
+  auto r = Run("select count(*), sum(SALARY) from E where DEPT = 'eng'");
+  EXPECT_EQ(r.rows[0].first[0], Value(2));
+  EXPECT_EQ(r.rows[0].first[1], Value(180.0));
+}
+
+TEST_F(ExecTest, StringGroupBy) {
+  auto r = Run("select DEPT, max(SALARY) from E group by DEPT");
+  auto rows = r.SortedRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first[0], Value("eng"));
+  EXPECT_EQ(rows[0].first[1], Value(100.0));
+}
+
+TEST_F(ExecTest, MultiplicityAwareAggregation) {
+  Ins("R", {Value(1), Value(10)});  // duplicate row: multiplicity 2
+  auto r = Run("select sum(A), count(*) from R");
+  EXPECT_EQ(r.rows[0].first[0], Value(7));
+  EXPECT_EQ(r.rows[0].first[1], Value(4));
+}
+
+TEST_F(ExecTest, ScalarSubquery) {
+  auto r = Run("select sum(A) from R where B < (select max(B) from R)");
+  EXPECT_EQ(r.rows[0].first[0], Value(3));  // rows with B=10
+}
+
+TEST_F(ExecTest, CorrelatedSubquery) {
+  // For each R row: count of S rows with S.B = R.B (correlated).
+  auto r = Run(
+      "select sum(A) from R r where "
+      "(select count(*) from S s where s.B = r.B) > 0");
+  EXPECT_EQ(r.rows[0].first[0], Value(6));  // all rows have a match
+}
+
+TEST_F(ExecTest, PlainProjection) {
+  auto r = Run("select A, B from R where B = 10");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecTest, SelfJoinWithAliases) {
+  auto r = Run(
+      "select count(*) from R r1, R r2 where r1.B = r2.B");
+  EXPECT_EQ(r.rows[0].first[0], Value(5));  // 2x2 + 1x1
+}
+
+TEST_F(ExecTest, BinderErrors) {
+  auto unknown_table = Executor::Query("select sum(A) from Z", cat_, db_);
+  EXPECT_EQ(unknown_table.status().code(), StatusCode::kNotFound);
+
+  auto unknown_col = Executor::Query("select sum(Z) from R", cat_, db_);
+  EXPECT_EQ(unknown_col.status().code(), StatusCode::kNotFound);
+
+  auto ambiguous =
+      Executor::Query("select sum(B) from R, S", cat_, db_);
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+
+  auto type_err = Executor::Query(
+      "select sum(NAME) from E", cat_, db_);
+  EXPECT_EQ(type_err.status().code(), StatusCode::kNotSupported);
+
+  auto mixed_cmp = Executor::Query(
+      "select count(*) from E where NAME = 3", cat_, db_);
+  EXPECT_EQ(mixed_cmp.status().code(), StatusCode::kTypeError);
+
+  auto non_grouped = Executor::Query(
+      "select A, sum(B) from R", cat_, db_);
+  EXPECT_EQ(non_grouped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecTest, DeletionsFlowThroughMultisets) {
+  ASSERT_TRUE(db_.Apply(Event::Delete("R", {Value(2), Value(10)})).ok());
+  auto r = Run("select sum(A) from R");
+  EXPECT_EQ(r.rows[0].first[0], Value(4));
+}
+
+}  // namespace
+}  // namespace dbtoaster::exec

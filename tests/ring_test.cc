@@ -1,0 +1,146 @@
+// Unit tests for the ring calculus: variable analysis, constructors'
+// normalisations, renaming, structural equality, and the delta rules.
+#include <gtest/gtest.h>
+
+#include "src/compiler/delta.h"
+#include "src/ring/expr.h"
+
+namespace dbtoaster::ring {
+namespace {
+
+using compiler::Delta;
+using compiler::DeltaEvent;
+
+TEST(Term, VarsAndTypes) {
+  TermPtr t = Term::Mul(Term::Var("x"), Term::Add(Term::Var("y"), Term::Int(1)));
+  EXPECT_EQ(t->Vars(), (std::set<std::string>{"x", "y"}));
+  VarTypes types{{"x", Type::kInt}, {"y", Type::kDouble}};
+  auto ty = t->TypeOf(types);
+  ASSERT_TRUE(ty.ok());
+  EXPECT_EQ(ty.value(), Type::kDouble);
+  // Division is always double.
+  auto d = Term::Div(Term::Var("x"), Term::Var("x"))->TypeOf(types);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), Type::kDouble);
+}
+
+TEST(Term, ConstantFolding) {
+  EXPECT_EQ(Term::Add(Term::Int(2), Term::Int(3))->constant, Value(5));
+  EXPECT_EQ(Term::Mul(Term::Int(2), Term::Int(3))->constant, Value(6));
+}
+
+TEST(Term, RenameAndSubstitute) {
+  TermPtr t = Term::Mul(Term::Var("x"), Term::Var("y"));
+  TermPtr r = t->Rename({{"x", "z"}});
+  EXPECT_EQ(r->ToString(), "(z * y)");
+  TermPtr s = t->Substitute({{"x", Term::Int(5)}});
+  EXPECT_EQ(s->ToString(), "(5 * y)");
+}
+
+TEST(Expr, OutAndInVars) {
+  // R(a,b) * (x := b+1) * [x > c] * {a}
+  ExprPtr e = Expr::Prod({
+      Expr::Rel("R", {"a", "b"}),
+      Expr::Lift("x", Term::Add(Term::Var("b"), Term::Int(1))),
+      Expr::Cmp(sql::BinOp::kGt, Term::Var("x"), Term::Var("c")),
+      Expr::ValTerm(Term::Var("a")),
+  });
+  EXPECT_EQ(e->OutVars(), (std::set<std::string>{"a", "b", "x"}));
+  // c is needed from outside; a, b, x are produced internally.
+  EXPECT_EQ(e->InVars(), (std::set<std::string>{"c"}));
+}
+
+TEST(Expr, AggSumVars) {
+  ExprPtr e = Expr::AggSum(
+      {"g"}, Expr::Prod({Expr::Rel("R", {"g", "v"}),
+                         Expr::ValTerm(Term::Var("v"))}));
+  EXPECT_EQ(e->OutVars(), (std::set<std::string>{"g"}));
+  EXPECT_TRUE(e->InVars().empty());
+  // A group var the child cannot bind is an input (correlation parameter).
+  ExprPtr corr = Expr::AggSum(
+      {"p"}, Expr::Prod({Expr::Rel("R", {"a", "b"}),
+                         Expr::Cmp(sql::BinOp::kGt, Term::Var("a"),
+                                   Term::Var("p"))}));
+  EXPECT_EQ(corr->InVars(), (std::set<std::string>{"p"}));
+}
+
+TEST(Expr, ConstructorsNormalize) {
+  EXPECT_TRUE(Expr::Prod({Expr::One(), Expr::Zero()})->IsZero());
+  EXPECT_TRUE(Expr::Sum({})->IsZero());
+  EXPECT_TRUE(Expr::Prod({})->IsOne());
+  // Nested sums/products flatten.
+  ExprPtr e = Expr::Sum({Expr::Sum({Expr::ValTerm(Term::Var("x")),
+                                    Expr::ValTerm(Term::Var("y"))}),
+                         Expr::ValTerm(Term::Var("z"))});
+  EXPECT_EQ(e->children.size(), 3u);
+  // Constant comparisons fold.
+  EXPECT_TRUE(Expr::Cmp(sql::BinOp::kLt, Term::Int(1), Term::Int(2))->IsOne());
+  EXPECT_TRUE(Expr::Cmp(sql::BinOp::kGt, Term::Int(1), Term::Int(2))->IsZero());
+  // Double negation cancels.
+  ExprPtr r = Expr::Rel("R", {"x"});
+  EXPECT_TRUE(ExprEquals(*Expr::Neg(Expr::Neg(r)), *r));
+}
+
+TEST(Expr, RenameAppliesEverywhere) {
+  ExprPtr e = Expr::AggSum(
+      {"b"}, Expr::Prod({Expr::Rel("S", {"b", "c"}),
+                         Expr::ValTerm(Term::Var("c"))}));
+  ExprPtr r = e->Rename({{"b", "k0"}, {"c", "k1"}});
+  EXPECT_EQ(r->group_vars, std::vector<std::string>{"k0"});
+  EXPECT_EQ(r->ToString(), "AggSum([k0], (S(k0, k1) * {k1}))");
+}
+
+TEST(Delta, RelAtomBecomesLifts) {
+  ExprPtr e = Expr::Rel("R", {"x", "y"});
+  DeltaEvent ev{"R", +1, {"p", "q"}};
+  ExprPtr d = Delta(e, ev);
+  EXPECT_EQ(d->ToString(), "((x := p) * (y := q))");
+  DeltaEvent del{"R", -1, {"p", "q"}};
+  ExprPtr dd = Delta(e, del);
+  EXPECT_EQ(dd->ToString(), "(-1 * (x := p) * (y := q))");
+}
+
+TEST(Delta, OtherRelIsZero) {
+  ExprPtr e = Expr::Rel("S", {"x"});
+  EXPECT_TRUE(Delta(e, DeltaEvent{"R", +1, {"p"}})->IsZero());
+  EXPECT_TRUE(Delta(Expr::ValTerm(Term::Var("x")),
+                    DeltaEvent{"R", +1, {"p"}})
+                  ->IsZero());
+}
+
+TEST(Delta, ProductRule) {
+  // d(R * S) = dR*S + R*dS + dR*dS; with distinct relations only one delta
+  // survives per event.
+  ExprPtr e = Expr::Prod({Expr::Rel("R", {"x"}), Expr::Rel("S", {"x"})});
+  ExprPtr d = Delta(e, DeltaEvent{"R", +1, {"p"}});
+  EXPECT_EQ(d->ToString(), "((x := p) * S(x))");
+  // Self-join: all three terms survive.
+  ExprPtr self = Expr::Prod({Expr::Rel("R", {"x"}), Expr::Rel("R", {"y"})});
+  ExprPtr ds = Delta(self, DeltaEvent{"R", +1, {"p"}});
+  ASSERT_EQ(ds->kind, ExprKind::kSum);
+  EXPECT_EQ(ds->children.size(), 3u);
+}
+
+TEST(Delta, PushesThroughSumAndAggSum) {
+  ExprPtr e = Expr::AggSum(
+      {"g"}, Expr::Sum({Expr::Rel("R", {"g"}), Expr::Rel("S", {"g"})}));
+  ExprPtr d = Delta(e, DeltaEvent{"S", +1, {"p"}});
+  ASSERT_EQ(d->kind, ExprKind::kAggSum);
+  EXPECT_EQ(d->children[0]->ToString(), "(g := p)");
+}
+
+TEST(InferVarTypes, FromRelAtomsAndLifts) {
+  std::map<std::string, std::vector<Type>> rels{
+      {"R", {Type::kInt, Type::kDouble}}};
+  ExprPtr e = Expr::Prod({Expr::Rel("R", {"a", "b"}),
+                          Expr::Lift("x", Term::Mul(Term::Var("a"),
+                                                    Term::Var("b")))});
+  VarTypes types;
+  ASSERT_TRUE(InferVarTypes(*e, rels, &types).ok());
+  EXPECT_EQ(types.at("a"), Type::kInt);
+  EXPECT_EQ(types.at("b"), Type::kDouble);
+  EXPECT_EQ(types.at("x"), Type::kDouble);
+}
+
+}  // namespace
+}  // namespace dbtoaster::ring

@@ -1,0 +1,179 @@
+// Unit tests for the map-algebra simplification rules: polynomial
+// expansion, lift unification, and AggSum factorisation — one test per rule
+// family, mirroring §3's rewrite steps.
+#include <gtest/gtest.h>
+
+#include "src/compiler/delta.h"
+#include "src/compiler/simplify.h"
+
+namespace dbtoaster::compiler {
+namespace {
+
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+
+TEST(Expansion, DistributesProductsOverSums) {
+  // (A + B) * C -> AC + BC
+  ExprPtr e = Expr::Prod({
+      Expr::Sum({Expr::Rel("A", {"x"}), Expr::Rel("B", {"x"})}),
+      Expr::Rel("C", {"x"}),
+  });
+  auto ms = ExpandToMonomials(e);
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_EQ(ms[0].factors.size(), 2u);
+  EXPECT_EQ(ms[1].factors.size(), 2u);
+}
+
+TEST(Expansion, SplitsValueTermsMultiplicativelyAndAdditively) {
+  // {a * d} -> two value factors; {x + y} -> two monomials (the SSB
+  // sum(price - cost) shape).
+  auto ms1 = ExpandToMonomials(
+      Expr::ValTerm(Term::Mul(Term::Var("a"), Term::Var("d"))));
+  ASSERT_EQ(ms1.size(), 1u);
+  EXPECT_EQ(ms1[0].factors.size(), 2u);
+
+  auto ms2 = ExpandToMonomials(
+      Expr::ValTerm(Term::Sub(Term::Var("x"), Term::Var("y"))));
+  ASSERT_EQ(ms2.size(), 2u);
+  EXPECT_EQ(ms2[1].coeff, Value(-1));
+}
+
+TEST(Expansion, FoldsNegationIntoCoefficients) {
+  auto ms = ExpandToMonomials(Expr::Neg(Expr::Rel("R", {"x"})));
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].coeff, Value(-1));
+}
+
+TEST(Expansion, DropsZeroMonomials) {
+  auto ms = ExpandToMonomials(
+      Expr::Sum({Expr::Zero(), Expr::Prod({Expr::Zero(), Expr::Rel("R", {"x"})})}));
+  EXPECT_TRUE(ms.empty());
+}
+
+TEST(UnifyLifts, SubstitutesParametersThroughMonomial) {
+  // (x := p) * S(x, c) * {x}  ==>  S(p, c) * {p}
+  Monomial m;
+  m.factors = {Expr::Lift("x", Term::Var("p")), Expr::Rel("S", {"x", "c"}),
+               Expr::ValTerm(Term::Var("x"))};
+  std::vector<std::string> keys;
+  ASSERT_TRUE(UnifyLifts(&m, &keys, {"p"}).ok());
+  ASSERT_EQ(m.factors.size(), 2u);
+  EXPECT_EQ(m.factors[0]->ToString(), "S(p, c)");
+  EXPECT_EQ(m.factors[1]->ToString(), "{p}");
+}
+
+TEST(UnifyLifts, RenamesGroupKeysToParameters) {
+  // Target key k0 renamed by (k0 := b): the statement targets M[b].
+  Monomial m;
+  m.factors = {Expr::Lift("k0", Term::Var("b"))};
+  std::vector<std::string> keys{"k0"};
+  ASSERT_TRUE(UnifyLifts(&m, &keys, {"b"}).ok());
+  EXPECT_TRUE(m.factors.empty());
+  EXPECT_EQ(keys, std::vector<std::string>{"b"});
+}
+
+TEST(UnifyLifts, KeepsSelfJoinEqualityFilters) {
+  // Lift onto an already-bound parameter stays as an equality filter
+  // (dR * dR cross terms of self-joins).
+  Monomial m;
+  m.factors = {Expr::Lift("p", Term::Var("q"))};
+  std::vector<std::string> keys;
+  ASSERT_TRUE(UnifyLifts(&m, &keys, {"p", "q"}).ok());
+  ASSERT_EQ(m.factors.size(), 1u);
+  EXPECT_EQ(m.factors[0]->kind, ring::ExprKind::kLift);
+}
+
+TEST(Factorize, SplitsIndependentComponents) {
+  // After unifying ΔS in R⋈S⋈T: R(a, b) {a}  and  T(c, d) {d} are
+  // independent given params {b, c} — the paper's qA[b] * qD[c] step.
+  Monomial m;
+  m.factors = {
+      Expr::Rel("R", {"a", "b"}), Expr::ValTerm(Term::Var("a")),
+      Expr::Rel("T", {"c", "d"}), Expr::ValTerm(Term::Var("d"))};
+  auto rhs = Factorize(m, {}, {"b", "c"});
+  ASSERT_TRUE(rhs.ok()) << rhs.status().ToString();
+  ASSERT_EQ(rhs.value()->kind, ring::ExprKind::kProd);
+  int aggsums = 0;
+  for (const auto& f : rhs.value()->children) {
+    if (f->kind == ring::ExprKind::kAggSum) ++aggsums;
+  }
+  EXPECT_EQ(aggsums, 2);  // join eliminated: two independent AggSum factors
+}
+
+TEST(Factorize, PullsParamOnlyFactorsOut) {
+  // {p} has no summed vars: it stays a direct factor of the statement.
+  Monomial m;
+  m.factors = {Expr::ValTerm(Term::Var("p")), Expr::Rel("S", {"b", "c"}),
+               Expr::ValTerm(Term::Var("c"))};
+  auto rhs = Factorize(m, {"b"}, {"p"});
+  ASSERT_TRUE(rhs.ok());
+  bool has_bare_valterm = false;
+  for (const auto& f : rhs.value()->children) {
+    if (f->kind == ring::ExprKind::kValTerm) has_bare_valterm = true;
+  }
+  EXPECT_TRUE(has_bare_valterm) << rhs.value()->ToString();
+}
+
+TEST(Factorize, ReportsUnboundSummedVariables) {
+  // A summed variable produced only by a non-atom factor (a residual lift
+  // with no relation/map in its component) is a compilation error, not a
+  // silent wrong answer.
+  Monomial m;
+  m.factors = {Expr::Lift("z", Term::Add(Term::Var("p"), Term::Int(1))),
+               Expr::ValTerm(Term::Var("z"))};
+  auto rhs = Factorize(m, {}, {"p"});
+  ASSERT_FALSE(rhs.ok());
+  EXPECT_EQ(rhs.status().code(), StatusCode::kInternal);
+}
+
+TEST(SimplifyDelta, Fig2InsertS) {
+  // Δ+S of AggSum([], R(a,b) S(b,c) T(c,d) {a}{d}) must become the
+  // parameter-keyed product of two independent maps (no join!).
+  ExprPtr q = Expr::AggSum(
+      {}, Expr::Prod({Expr::Rel("R", {"a", "b"}), Expr::Rel("S", {"b", "c"}),
+                      Expr::Rel("T", {"c", "d"}),
+                      Expr::ValTerm(Term::Var("a")),
+                      Expr::ValTerm(Term::Var("d"))}));
+  DeltaEvent ev{"S", +1, {"b", "c"}};
+  auto units = SimplifyDelta(Delta(q, ev), {"b", "c"});
+  ASSERT_TRUE(units.ok()) << units.status().ToString();
+  ASSERT_EQ(units.value().size(), 1u);
+  const DeltaUnit& u = units.value()[0];
+  EXPECT_TRUE(u.keys.empty());
+  // Two independent AggSum components (qA[b] and qD[c]).
+  ASSERT_EQ(u.rhs->kind, ring::ExprKind::kProd);
+  EXPECT_EQ(u.rhs->children.size(), 2u) << u.rhs->ToString();
+}
+
+TEST(SimplifyDelta, TerminalCountDelta) {
+  // Δ+S of the q1[b,c] count map is the constant 1 at key (b, c).
+  ExprPtr q1 = Expr::AggSum({"k0", "k1"}, Expr::Rel("S", {"k0", "k1"}));
+  DeltaEvent ev{"S", +1, {"b", "c"}};
+  auto units = SimplifyDelta(Delta(q1, ev), {"b", "c"});
+  ASSERT_TRUE(units.ok());
+  ASSERT_EQ(units.value().size(), 1u);
+  EXPECT_EQ(units.value()[0].keys, (std::vector<std::string>{"b", "c"}));
+  EXPECT_TRUE(units.value()[0].rhs->IsOne());
+}
+
+TEST(SimplifyDelta, RangePredicateKeepsParameterFree) {
+  // The VWAP inner map: delta leaves the comparison over the unbound key —
+  // the LHS-iteration case.
+  ExprPtr n = Expr::AggSum(
+      {"p"}, Expr::Prod({Expr::Rel("B", {"q", "v"}),
+                         Expr::Cmp(sql::BinOp::kGt, Term::Var("q"),
+                                   Term::Var("p")),
+                         Expr::ValTerm(Term::Var("v"))}));
+  DeltaEvent ev{"B", +1, {"q", "v"}};
+  auto units = SimplifyDelta(Delta(n, ev), {"q", "v"});
+  ASSERT_TRUE(units.ok());
+  ASSERT_EQ(units.value().size(), 1u);
+  const DeltaUnit& u = units.value()[0];
+  EXPECT_EQ(u.keys, std::vector<std::string>{"p"});
+  // p is not bindable from the RHS.
+  EXPECT_FALSE(u.rhs->OutVars().count("p"));
+}
+
+}  // namespace
+}  // namespace dbtoaster::compiler

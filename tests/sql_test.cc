@@ -1,0 +1,159 @@
+// Lexer and parser unit tests, including failure paths with actionable
+// error messages.
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace dbtoaster::sql {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  auto toks = Lex("SELECT a1.x, 3.5e2, 'it''s' <> <= >= < > = != -- cmt\n;");
+  ASSERT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : toks.value()) kinds.push_back(t.kind);
+  std::vector<TokenKind> want = {
+      TokenKind::kIdent, TokenKind::kIdent, TokenKind::kDot,
+      TokenKind::kIdent, TokenKind::kComma, TokenKind::kDoubleLit,
+      TokenKind::kComma, TokenKind::kStringLit, TokenKind::kNeq,
+      TokenKind::kLe,    TokenKind::kGe,    TokenKind::kLt,
+      TokenKind::kGt,    TokenKind::kEq,    TokenKind::kNeq,
+      TokenKind::kSemicolon, TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(Lexer, StringEscapeAndValues) {
+  auto toks = Lex("'it''s' 42 2.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].text, "it's");
+  EXPECT_EQ(toks.value()[1].int_value, 42);
+  EXPECT_DOUBLE_EQ(toks.value()[2].double_value, 2.5);
+}
+
+TEST(Lexer, ReportsPositions) {
+  auto toks = Lex("a\n  @");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Lexer, UnterminatedString) {
+  auto toks = Lex("'abc");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, SimpleAggregate) {
+  auto stmt = ParseSelect("select sum(a) from R");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->items.size(), 1u);
+  EXPECT_EQ(stmt.value()->items[0].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(stmt.value()->from.size(), 1u);
+}
+
+TEST(Parser, FullQueryRoundTrips) {
+  const char* sql =
+      "SELECT b.X, SUM((b.Y * 2)) AS total FROM T1 b, T2 c WHERE "
+      "((b.X = c.X) AND (c.Z > 3)) GROUP BY b.X";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->ToString(), sql);
+}
+
+TEST(Parser, Precedence) {
+  auto stmt = ParseSelect("select sum(a + b * c) from R");
+  ASSERT_TRUE(stmt.ok());
+  // a + (b * c), not (a + b) * c.
+  EXPECT_EQ(stmt.value()->items[0].expr->ToString(),
+            "SUM((a + (b * c)))");
+}
+
+TEST(Parser, OrBindsLooserThanAnd) {
+  auto stmt = ParseSelect("select count(*) from R where a=1 and b=2 or c=3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->where->op, BinOp::kOr);
+}
+
+TEST(Parser, ScalarSubquery) {
+  auto stmt = ParseSelect(
+      "select sum(a) from R where b < (select count(*) from S)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt.value()->where->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(stmt.value()->where->rhs->kind, Expr::Kind::kSubquery);
+}
+
+TEST(Parser, TableAliases) {
+  auto stmt = ParseSelect("select sum(b1.x) from B b1, B as b2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->from[0].alias, "b1");
+  EXPECT_EQ(stmt.value()->from[1].alias, "b2");
+}
+
+TEST(Parser, UnaryMinusFoldsLiterals) {
+  auto stmt = ParseSelect("select sum(-3 * a) from R");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->items[0].expr->ToString(), "SUM((-3 * a))");
+}
+
+TEST(Parser, ErrorsAreActionable) {
+  auto r1 = ParseSelect("select from R");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kParseError);
+
+  auto r2 = ParseSelect("select sum(a) R");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("FROM"), std::string::npos);
+
+  auto r3 = ParseSelect("select sum(a) from R where");
+  ASSERT_FALSE(r3.ok());
+
+  auto r4 = ParseSelect("select sum(a) from R group by sum(b)");
+  ASSERT_FALSE(r4.ok());
+  EXPECT_NE(r4.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST(Parser, CreateTable) {
+  auto stmt = ParseCreateTable(
+      "create table T(a int, b double, c varchar(20), d date, e decimal(10,2))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt.value().columns.size(), 5u);
+  EXPECT_EQ(stmt.value().columns[0].second, Type::kInt);
+  EXPECT_EQ(stmt.value().columns[1].second, Type::kDouble);
+  EXPECT_EQ(stmt.value().columns[2].second, Type::kString);
+  EXPECT_EQ(stmt.value().columns[3].second, Type::kDate);
+  EXPECT_EQ(stmt.value().columns[4].second, Type::kDouble);
+}
+
+TEST(Parser, UnknownColumnType) {
+  auto stmt = ParseCreateTable("create table T(a blob)");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("BLOB"), std::string::npos);
+}
+
+TEST(Parser, Script) {
+  auto script = ParseScript(
+      "create table R(a int); create table S(b int);"
+      "select sum(a) from R; select count(*) from S;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script.value().tables.size(), 2u);
+  ASSERT_EQ(script.value().queries.size(), 2u);
+  EXPECT_EQ(script.value().queries[0].name, "q0");
+  EXPECT_EQ(script.value().queries[1].name, "q1");
+}
+
+TEST(Parser, CountStar) {
+  auto stmt = ParseSelect("select count(*) from R");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->items[0].expr->agg_arg, nullptr);
+}
+
+TEST(Parser, KeywordsCaseInsensitive) {
+  // Parsing is purely syntactic; semantic checks live in the binder.
+  auto stmt = ParseSelect("SeLeCt SuM(a) FrOm R wHeRe b = 1 GrOuP bY a");
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto stmt2 = ParseSelect("SeLeCt a, SuM(b) FrOm R GrOuP bY a");
+  EXPECT_TRUE(stmt2.ok()) << stmt2.status().ToString();
+}
+
+}  // namespace
+}  // namespace dbtoaster::sql

@@ -1,0 +1,131 @@
+// Unit tests for storage (multiset tables, hash indexes) and the runtime map
+// structures (ValueMap erase-on-zero, ExtremeMap multiset semantics).
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/runtime/value_map.h"
+#include "src/storage/index.h"
+#include "src/storage/table.h"
+
+namespace dbtoaster {
+namespace {
+
+TEST(Catalog, RegistrationAndLookup) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Schema("R", {{"A", Type::kInt}})).ok());
+  EXPECT_TRUE(cat.FindRelation("r") != nullptr);  // case-insensitive
+  EXPECT_EQ(cat.FindRelation("R")->num_columns(), 1u);
+  EXPECT_FALSE(cat.AddRelation(Schema("r", {{"X", Type::kInt}})).ok());
+  EXPECT_FALSE(
+      cat.AddRelation(Schema("S", {{"A", Type::kInt}, {"a", Type::kInt}}))
+          .ok());
+}
+
+TEST(Table, MultisetSemantics) {
+  Table t(Schema("R", {{"A", Type::kInt}}));
+  Row r{Value(1)};
+  t.Insert(r);
+  t.Insert(r);
+  EXPECT_EQ(t.Multiplicity(r), 2);
+  EXPECT_EQ(t.NumDistinct(), 1u);
+  EXPECT_EQ(t.Cardinality(), 2);
+  t.Delete(r);
+  EXPECT_EQ(t.Multiplicity(r), 1);
+  t.Delete(r);
+  EXPECT_EQ(t.Multiplicity(r), 0);
+  EXPECT_EQ(t.NumDistinct(), 0u);  // erased at zero
+  // Deletes before inserts go negative (ring semantics, total engine).
+  t.Delete(r);
+  EXPECT_EQ(t.Multiplicity(r), -1);
+  t.Insert(r);
+  EXPECT_EQ(t.Multiplicity(r), 0);
+}
+
+TEST(Database, AppliesAndValidatesEvents) {
+  Catalog cat;
+  (void)cat.AddRelation(Schema("R", {{"A", Type::kInt}, {"B", Type::kInt}}));
+  Database db(cat);
+  EXPECT_TRUE(db.Apply(Event::Insert("R", {Value(1), Value(2)})).ok());
+  EXPECT_EQ(db.Apply(Event::Insert("Z", {Value(1)})).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.Apply(Event::Insert("R", {Value(1)})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HashIndex, MaintainsBuckets) {
+  HashIndex idx({1});  // index on column 1
+  idx.Apply({Value(1), Value(10)}, 1);
+  idx.Apply({Value(2), Value(10)}, 1);
+  idx.Apply({Value(3), Value(20)}, 1);
+  const auto* bucket = idx.Lookup({Value(10)});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u);
+  idx.Apply({Value(1), Value(10)}, -1);
+  bucket = idx.Lookup({Value(10)});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 1u);
+  idx.Apply({Value(3), Value(20)}, -1);
+  EXPECT_EQ(idx.Lookup({Value(20)}), nullptr);  // empty bucket removed
+}
+
+TEST(ValueMap, EraseOnIntegerZero) {
+  runtime::ValueMap m("m", 1, Type::kInt);
+  Row k{Value(7)};
+  m.Add(k, Value(3));
+  m.Add(k, Value(-3));
+  EXPECT_EQ(m.size(), 0u);  // support tracking
+  EXPECT_EQ(m.Get(k), Value(0));
+  m.Add(k, Value(0));
+  EXPECT_EQ(m.size(), 0u);  // zero deltas do not materialise keys
+}
+
+TEST(ValueMap, DoubleTypedZero) {
+  runtime::ValueMap m("m", 0, Type::kDouble);
+  EXPECT_EQ(m.Get({}), Value(0.0));
+  EXPECT_TRUE(m.Get({}).is_double());
+  m.Add({}, Value(2));  // int delta promoted into a double-typed map
+  EXPECT_TRUE(m.Get({}).is_double());
+}
+
+TEST(ValueMap, SetAndClear) {
+  runtime::ValueMap m("m", 1, Type::kInt);
+  m.Set({Value(1)}, Value(5));
+  m.Set({Value(2)}, Value(6));
+  EXPECT_EQ(m.size(), 2u);
+  m.Set({Value(1)}, Value(0));  // set-to-zero erases
+  EXPECT_EQ(m.size(), 1u);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ExtremeMap, MinMaxUnderDeletes) {
+  runtime::ExtremeMap m("x", 0, Type::kInt);
+  m.Add({}, Value(5));
+  m.Add({}, Value(3));
+  m.Add({}, Value(9));
+  m.Add({}, Value(3));  // duplicate
+  EXPECT_EQ(*m.Min({}), Value(3));
+  EXPECT_EQ(*m.Max({}), Value(9));
+  m.Remove({}, Value(3));
+  EXPECT_EQ(*m.Min({}), Value(3));  // one copy left
+  m.Remove({}, Value(3));
+  EXPECT_EQ(*m.Min({}), Value(5));
+  m.Remove({}, Value(9));
+  EXPECT_EQ(*m.Max({}), Value(5));
+  m.Remove({}, Value(5));
+  EXPECT_FALSE(m.Min({}).has_value());  // group gone
+  m.Remove({}, Value(42));              // removing absent values is a no-op
+  EXPECT_EQ(m.NumGroups(), 0u);
+}
+
+TEST(ExtremeMap, PerGroupIsolation) {
+  runtime::ExtremeMap m("x", 1, Type::kInt);
+  m.Add({Value(1)}, Value(10));
+  m.Add({Value(2)}, Value(20));
+  EXPECT_EQ(*m.Max({Value(1)}), Value(10));
+  EXPECT_EQ(*m.Max({Value(2)}), Value(20));
+  EXPECT_FALSE(m.Max({Value(3)}).has_value());
+}
+
+}  // namespace
+}  // namespace dbtoaster

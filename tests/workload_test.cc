@@ -1,0 +1,164 @@
+// End-to-end tests of the paper's two application workloads: the finance
+// queries on the synthetic order-book stream, and SSB Q4.1 on the warehouse
+// loading stream — each cross-checked against the re-evaluation oracle.
+#include <gtest/gtest.h>
+
+#include "src/baseline/reeval_engine.h"
+#include "src/compiler/compile.h"
+#include "src/runtime/engine.h"
+#include "src/workload/orderbook.h"
+#include "src/workload/tpch.h"
+
+namespace dbtoaster {
+namespace {
+
+std::string Canon(const exec::QueryResult& r) {
+  std::string s;
+  for (const auto& [row, mult] : r.SortedRows()) {
+    s += "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) s += ",";
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.9g", row[i].AsDouble());
+      s += buf;
+    }
+    s += ")";
+  }
+  return s;
+}
+
+TEST(OrderBookWorkload, GeneratorProducesConsistentBook) {
+  workload::OrderBookConfig cfg;
+  cfg.seed = 11;
+  cfg.book_soft_cap = 100;
+  workload::OrderBookGenerator gen(cfg);
+  Catalog cat = workload::OrderBookCatalog();
+  Database db(cat);
+  auto events = gen.Generate(3000);
+  for (const Event& ev : events) ASSERT_TRUE(db.Apply(ev).ok());
+  // Every live row has multiplicity exactly one (ids unique), and the book
+  // stayed bounded.
+  for (const char* rel : {"BIDS", "ASKS"}) {
+    const Table* t = db.FindTable(rel);
+    ASSERT_NE(t, nullptr);
+    for (const auto& [row, mult] : t->rows()) {
+      EXPECT_EQ(mult, 1) << RowToString(row);
+    }
+    EXPECT_LT(t->NumDistinct(), 2000u);
+  }
+  EXPECT_EQ(db.FindTable("BIDS")->Cardinality(),
+            static_cast<int64_t>(gen.live_bids()));
+}
+
+struct FinanceCase {
+  const char* name;
+  std::string query;
+};
+
+class FinanceQueries : public ::testing::TestWithParam<int> {};
+
+TEST_P(FinanceQueries, MatchOracleOnOrderBookStream) {
+  std::vector<FinanceCase> cases = {
+      {"vwap", workload::VwapQuery()},
+      {"sobi_bids", workload::SobiBidLeg()},
+      {"sobi_asks", workload::SobiAskLeg()},
+      {"market_maker", workload::MarketMakerQuery()},
+      {"best_bid", workload::BestBidQuery()},
+      {"best_ask", workload::BestAskQuery()},
+  };
+  const FinanceCase& c = cases[static_cast<size_t>(GetParam())];
+
+  Catalog cat = workload::OrderBookCatalog();
+  auto program = compiler::CompileQuery(cat, "q", c.query);
+  ASSERT_TRUE(program.ok()) << c.name << ": " << program.status().ToString();
+  runtime::Engine engine(std::move(program).value());
+
+  baseline::ReevalEngine oracle(cat, /*eager=*/false);
+  ASSERT_TRUE(oracle.AddQuery("q", c.query).ok());
+
+  workload::OrderBookConfig cfg;
+  cfg.seed = 5;
+  cfg.num_brokers = 4;
+  cfg.tick_spread = 10;
+  cfg.book_soft_cap = 60;
+  workload::OrderBookGenerator gen(cfg);
+  auto events = gen.Generate(400);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(engine.OnEvent(events[i]).ok()) << i;
+    ASSERT_TRUE(oracle.OnEvent(events[i]).ok());
+    // Check every 7th event (plus the last) to keep runtime reasonable
+    // while still exercising mid-stream states.
+    if (i % 7 != 0 && i + 1 != events.size()) continue;
+    auto got = engine.View("q");
+    auto want = oracle.View("q");
+    ASSERT_TRUE(got.ok()) << c.name << ": " << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(Canon(got.value()), Canon(want.value()))
+        << c.name << " diverged at event " << i << " ("
+        << events[i].ToString() << ")";
+  }
+}
+
+std::string FinanceCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"vwap",         "sobi_bids", "sobi_asks",
+                                "market_maker", "best_bid",  "best_ask"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FinanceQueries, ::testing::Range(0, 6),
+                         FinanceCaseName);
+
+TEST(WarehouseWorkload, SsbQ41MatchesOracle) {
+  Catalog cat = workload::TpchCatalog();
+  auto program = compiler::CompileQuery(cat, "q41", workload::SsbQ41Query());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  runtime::Engine engine(std::move(program).value());
+
+  baseline::ReevalEngine oracle(cat, /*eager=*/false);
+  ASSERT_TRUE(oracle.AddQuery("q41", workload::SsbQ41Query()).ok());
+
+  workload::TpchConfig cfg;
+  cfg.seed = 3;
+  cfg.num_customers = 40;
+  cfg.num_suppliers = 10;
+  cfg.num_parts = 20;
+  workload::TpchGenerator gen(cfg);
+  auto events = gen.Generate(600);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(engine.OnEvent(events[i]).ok()) << i;
+    ASSERT_TRUE(oracle.OnEvent(events[i]).ok());
+    if (i % 23 != 0 && i + 1 != events.size()) continue;
+    auto got = engine.View("q41");
+    auto want = oracle.View("q41");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(Canon(got.value()), Canon(want.value()))
+        << "diverged at event " << i << " (" << events[i].ToString() << ")";
+  }
+}
+
+TEST(WarehouseWorkload, RevenueByYearMatchesOracle) {
+  Catalog cat = workload::TpchCatalog();
+  auto program =
+      compiler::CompileQuery(cat, "rev", workload::RevenueByYearQuery());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  runtime::Engine engine(std::move(program).value());
+
+  baseline::ReevalEngine oracle(cat, /*eager=*/false);
+  ASSERT_TRUE(oracle.AddQuery("rev", workload::RevenueByYearQuery()).ok());
+
+  workload::TpchGenerator gen;
+  auto events = gen.Generate(400);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(engine.OnEvent(events[i]).ok());
+    ASSERT_TRUE(oracle.OnEvent(events[i]).ok());
+  }
+  auto got = engine.View("rev");
+  auto want = oracle.View("rev");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(Canon(got.value()), Canon(want.value()));
+}
+
+}  // namespace
+}  // namespace dbtoaster
