@@ -1,6 +1,8 @@
 // §4.2 profiling: "the compile time including both the C++ generation and
 // the subsequent compilation to a native binary", the generated code size,
 // and the number of maps/statements per query.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -9,6 +11,13 @@
 #include "src/codegen/cpp_gen.h"
 #include "src/workload/orderbook.h"
 #include "src/workload/tpch.h"
+
+// Where dbtoaster_runtime.h lives, for the shelled-out native compile. CMake
+// supplies the real path; the fallback keeps a standalone
+// `c++ bench/bench_compile_time.cc` from the repo root compiling.
+#ifndef DBT_RUNTIME_INCLUDE_DIR
+#define DBT_RUNTIME_INCLUDE_DIR "src/codegen"
+#endif
 
 namespace dbtoaster::bench {
 namespace {
@@ -63,7 +72,8 @@ void Run() {
     for (char ch : code.value()) loc += ch == '\n';
 
     // Native compilation (the paper's JIT step, done ahead of time here).
-    std::string dir = "/tmp/dbt_compile_bench";
+    std::string dir =
+        "/tmp/dbt_compile_bench_" + std::to_string(::getpid());
     (void)system(("mkdir -p " + dir).c_str());
     {
       std::ofstream f(dir + "/gen.hpp");
@@ -74,12 +84,17 @@ void Run() {
     }
     double t3 = NowSeconds();
     std::string cmd = "c++ -std=c++20 -O2 -I" + dir + " -I" +
-                      std::string(DBT_RUNTIME_DIR) + " " + dir +
+                      std::string(DBT_RUNTIME_INCLUDE_DIR) + " " + dir +
                       "/main.cc -o " + dir + "/gen_bin 2>/dev/null";
     int rc = system(cmd.c_str());
     double t4 = NowSeconds();
+    if (rc != 0) {
+      std::printf("%-14s native compile FAILED (cmd: %s)\n", c.name,
+                  cmd.c_str());
+      continue;
+    }
     long binary_bytes = 0;
-    if (rc == 0) {
+    {
       std::ifstream bin(dir + "/gen_bin", std::ios::ate | std::ios::binary);
       binary_bytes = static_cast<long>(bin.tellg());
     }

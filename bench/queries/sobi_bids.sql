@@ -1,0 +1,5 @@
+-- SOBI bid-side leg (§4): running notional and volume totals over BIDS.
+-- Schema matches src/workload/orderbook.cc (OrderBookCatalog).
+create table BIDS(ID int, BROKER_ID int, PRICE int, VOLUME int);
+
+select sum(PRICE * VOLUME), sum(VOLUME) from BIDS;

@@ -1,0 +1,52 @@
+# Build-time SQL-to-C++ codegen through the freshly built dbtc compiler.
+#
+#   dbtc_generate(<name> <script.sql>)
+#     Registers a custom command that runs
+#       dbtc <script.sql> -o <build>/generated/bench/gen/<name>.hpp --name <name>_Program
+#     so consumers can `#include "bench/gen/<name>.hpp"` and use
+#     `dbtoaster_gen::<name>_Program`.
+#
+#   dbtc_codegen_finalize()
+#     Call once after all dbtc_generate() calls; creates the aggregate
+#     `dbtc_gen` target that drives every registered generation.
+#
+#   dbtc_attach_generated(<target>)
+#     Makes <target> depend on the generated headers and adds the generated
+#     include root plus the runtime-header dir to its include path.
+
+set(DBT_GEN_DIR "${CMAKE_BINARY_DIR}/generated")
+
+# Where the generated-code support header (dbtoaster_runtime.h) lives.
+# Owned here so codegen consumers and the tests/benches that shell out to
+# the system compiler agree on one path.
+set(DBT_RUNTIME_INCLUDE_DIR "${CMAKE_SOURCE_DIR}/src/codegen")
+
+define_property(GLOBAL PROPERTY DBT_GEN_OUTPUTS
+  BRIEF_DOCS "All dbtc-generated header paths"
+  FULL_DOCS "Accumulated OUTPUT paths of dbtc_generate() custom commands")
+set_property(GLOBAL PROPERTY DBT_GEN_OUTPUTS "")
+
+function(dbtc_generate name script)
+  set(out "${DBT_GEN_DIR}/bench/gen/${name}.hpp")
+  add_custom_command(
+    OUTPUT "${out}"
+    COMMAND ${CMAKE_COMMAND} -E make_directory "${DBT_GEN_DIR}/bench/gen"
+    COMMAND dbtc "${CMAKE_SOURCE_DIR}/${script}" -o "${out}"
+            --name "${name}_Program"
+    DEPENDS dbtc "${CMAKE_SOURCE_DIR}/${script}"
+    COMMENT "dbtc: ${script} -> bench/gen/${name}.hpp"
+    VERBATIM)
+  set_property(GLOBAL APPEND PROPERTY DBT_GEN_OUTPUTS "${out}")
+endfunction()
+
+function(dbtc_codegen_finalize)
+  get_property(outputs GLOBAL PROPERTY DBT_GEN_OUTPUTS)
+  add_custom_target(dbtc_gen DEPENDS ${outputs})
+endfunction()
+
+function(dbtc_attach_generated target)
+  add_dependencies(${target} dbtc_gen)
+  target_include_directories(${target} PRIVATE
+    "${DBT_GEN_DIR}"
+    "${DBT_RUNTIME_INCLUDE_DIR}")
+endfunction()
