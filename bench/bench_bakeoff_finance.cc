@@ -9,9 +9,15 @@
 //   toaster-i — DBToaster's recursive compilation, trigger interpreter
 //   toaster-c — DBToaster's generated C++ (dbtc, compiled into this binary)
 //
+// All four run behind the unified StreamEngine API (the compiled programs
+// through the dbt::StreamProgram string-dispatch shim).
+//
 // Expected shape (the paper claims 1–3 orders of magnitude): toaster-c >>
 // toaster-i > ivm1 >> reeval; VWAP is n/a for ivm1 (nested aggregates) and
 // reeval collapses on it.
+#include <functional>
+#include <memory>
+
 #include "bench/bench_common.h"
 #include "bench/gen/vwap.hpp"
 #include "bench/gen/sobi_bids.hpp"
@@ -25,8 +31,7 @@ namespace {
 struct QuerySpec {
   std::string name;
   std::string sql;
-  std::function<std::pair<size_t, double>(const std::vector<Event>&, double)>
-      compiled_run;
+  std::function<std::unique_ptr<dbt::StreamProgram>()> compiled;
 };
 
 void Run() {
@@ -37,84 +42,29 @@ void Run() {
 
   std::vector<QuerySpec> queries = {
       {"vwap", workload::VwapQuery(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::vwap_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::vwap_Program>(); }},
       {"sobi_bids", workload::SobiBidLeg(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::sobi_bids_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::sobi_bids_Program>(); }},
       {"market_maker", workload::MarketMakerQuery(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::mm_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::mm_Program>(); }},
       {"best_bid", workload::BestBidQuery(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::best_bid_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::best_bid_Program>(); }},
   };
 
   PrintHeader("finance bakeoff (order book stream)");
   for (const QuerySpec& q : queries) {
-    // reeval
-    {
-      baseline::ReevalEngine engine(catalog, /*eager=*/true);
-      RunResult r{.engine = "reeval", .query = q.name};
-      if (engine.AddQuery("q", q.sql).ok()) {
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
+    std::unique_ptr<dbt::StreamProgram> program = q.compiled();
+    for (BakeoffEntry& entry :
+         MakeBakeoffEngines(catalog, q.sql, program.get())) {
+      RunResult r{.engine = entry.name, .query = q.name};
+      if (entry.engine != nullptr) {
+        auto [n, s] = TimedEngineRun(events, kBudget, entry.engine.get());
         r.events = n;
         r.seconds = s;
-        r.state_bytes = engine.StateBytes();
+        r.state_bytes = entry.engine->StateBytes();
       } else {
         r.supported = false;
       }
-      PrintRow(r);
-    }
-    // ivm1
-    {
-      baseline::Ivm1Engine engine(catalog);
-      RunResult r{.engine = "ivm1", .query = q.name};
-      if (engine.AddQuery("q", q.sql).ok()) {
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
-        r.events = n;
-        r.seconds = s;
-        r.state_bytes = engine.StateBytes();
-      } else {
-        r.supported = false;
-      }
-      PrintRow(r);
-    }
-    // toaster interpreted
-    {
-      auto program = compiler::CompileQuery(catalog, "q", q.sql);
-      RunResult r{.engine = "toaster-i", .query = q.name};
-      if (program.ok()) {
-        runtime::Engine engine(std::move(program).value());
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
-        r.events = n;
-        r.seconds = s;
-        r.state_bytes = engine.MapMemoryBytes();
-      } else {
-        r.supported = false;
-      }
-      PrintRow(r);
-    }
-    // toaster compiled
-    {
-      RunResult r{.engine = "toaster-c", .query = q.name};
-      auto [n, s] = q.compiled_run(events, kBudget);
-      r.events = n;
-      r.seconds = s;
       PrintRow(r);
     }
   }

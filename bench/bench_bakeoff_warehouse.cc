@@ -3,7 +3,11 @@
 // Reproduces the paper's combined loading + analysis experiment: the TPC-H-
 // shaped update stream flows through SSB Q4.1 (the data-integration 5-way
 // join and the aggregation compiled together) and a simpler revenue rollup,
-// across the four engine architectures.
+// across the four engine architectures — all behind the unified
+// StreamEngine API.
+#include <functional>
+#include <memory>
+
 #include "bench/bench_common.h"
 #include "bench/gen/q41.hpp"
 #include "bench/gen/revenue.hpp"
@@ -21,76 +25,29 @@ void Run() {
   struct QuerySpec {
     std::string name;
     std::string sql;
-    std::function<std::pair<size_t, double>(const std::vector<Event>&,
-                                            double)>
-        compiled_run;
+    std::function<std::unique_ptr<dbt::StreamProgram>()> compiled;
   };
   std::vector<QuerySpec> queries = {
       {"ssb_q41", workload::SsbQ41Query(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::q41_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::q41_Program>(); }},
       {"revenue", workload::RevenueByYearQuery(),
-       [](const std::vector<Event>& ev, double b) {
-         dbtoaster_gen::revenue_Program p;
-         return TimedCompiledRun(ev, b, &p);
-       }},
+       [] { return std::make_unique<dbtoaster_gen::revenue_Program>(); }},
   };
 
   PrintHeader("warehouse bakeoff (TPC-H -> SSB loading stream)");
   for (const QuerySpec& q : queries) {
-    {
-      baseline::ReevalEngine engine(catalog, /*eager=*/true);
-      RunResult r{.engine = "reeval", .query = q.name};
-      if (engine.AddQuery("q", q.sql).ok()) {
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
+    std::unique_ptr<dbt::StreamProgram> program = q.compiled();
+    for (BakeoffEntry& entry :
+         MakeBakeoffEngines(catalog, q.sql, program.get())) {
+      RunResult r{.engine = entry.name, .query = q.name};
+      if (entry.engine != nullptr) {
+        auto [n, s] = TimedEngineRun(events, kBudget, entry.engine.get());
         r.events = n;
         r.seconds = s;
-        r.state_bytes = engine.StateBytes();
+        r.state_bytes = entry.engine->StateBytes();
       } else {
         r.supported = false;
       }
-      PrintRow(r);
-    }
-    {
-      baseline::Ivm1Engine engine(catalog);
-      RunResult r{.engine = "ivm1", .query = q.name};
-      if (engine.AddQuery("q", q.sql).ok()) {
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
-        r.events = n;
-        r.seconds = s;
-        r.state_bytes = engine.StateBytes();
-      } else {
-        r.supported = false;
-      }
-      PrintRow(r);
-    }
-    {
-      auto program = compiler::CompileQuery(catalog, "q", q.sql);
-      RunResult r{.engine = "toaster-i", .query = q.name};
-      if (program.ok()) {
-        runtime::Engine engine(std::move(program).value());
-        auto [n, s] = TimedRun(events, kBudget, [&](const Event& ev) {
-          (void)engine.OnEvent(ev);
-        });
-        r.events = n;
-        r.seconds = s;
-        r.state_bytes = engine.MapMemoryBytes();
-      } else {
-        r.supported = false;
-      }
-      PrintRow(r);
-    }
-    {
-      RunResult r{.engine = "toaster-c", .query = q.name};
-      auto [n, s] = q.compiled_run(events, kBudget);
-      r.events = n;
-      r.seconds = s;
       PrintRow(r);
     }
   }

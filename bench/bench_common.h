@@ -1,19 +1,22 @@
-// Shared helpers for the bakeoff benchmark binaries: engine adapters,
-// time-budgeted runs and table printing.
+// Shared helpers for the bakeoff benchmark binaries: the standard engine
+// lineup behind the unified StreamEngine API, time-budgeted event/batch
+// runs and table printing.
 #ifndef DBTOASTER_BENCH_BENCH_COMMON_H_
 #define DBTOASTER_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baseline/ivm1_engine.h"
 #include "src/baseline/reeval_engine.h"
-#include "src/codegen/dbtoaster_runtime.h"
 #include "src/compiler/compile.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/stream_engine.h"
 #include "src/storage/table.h"
 
 namespace dbtoaster::bench {
@@ -55,31 +58,87 @@ std::pair<size_t, double> TimedRun(const std::vector<Event>& events,
   return {i, NowSeconds() - start};
 }
 
-/// Convert a storage event tuple to the generated-code value vector.
-inline std::vector<dbt::Value> ToDbtValues(const Row& row) {
-  std::vector<dbt::Value> out;
-  out.reserve(row.size());
-  for (const Value& v : row) {
-    if (v.is_string()) {
-      out.emplace_back(v.AsString());
-    } else if (v.is_double()) {
-      out.emplace_back(v.AsDouble());
-    } else {
-      out.emplace_back(v.AsInt());
-    }
-  }
-  return out;
+/// Drive any StreamEngine one event at a time.
+inline std::pair<size_t, double> TimedEngineRun(
+    const std::vector<Event>& events, double budget_s,
+    runtime::StreamEngine* engine) {
+  return TimedRun(events, budget_s,
+                  [&](const Event& ev) { (void)engine->OnEvent(ev); });
 }
 
-/// Drive a dbtc-generated Program with storage events.
-template <typename GeneratedProgram>
-std::pair<size_t, double> TimedCompiledRun(const std::vector<Event>& events,
-                                           double budget_s,
-                                           GeneratedProgram* program) {
-  return TimedRun(events, budget_s, [&](const Event& ev) {
-    program->on_event(ev.relation, ev.kind == EventKind::kInsert,
-                      ToDbtValues(ev.tuple));
-  });
+/// Drive any StreamEngine in batches of `batch_size` events. Batch assembly
+/// is inside the measured loop (it is part of the ingestion cost); the
+/// clock is checked every >= 64 events regardless of batch size so small
+/// batches aren't timer-bound.
+inline std::pair<size_t, double> TimedBatchRun(
+    const std::vector<Event>& events, double budget_s, size_t batch_size,
+    runtime::StreamEngine* engine) {
+  double start = NowSeconds();
+  size_t i = 0, next_check = 63;
+  while (i < events.size()) {
+    runtime::EventBatch batch;
+    size_t end = std::min(events.size(), i + batch_size);
+    for (; i < end; ++i) {
+      batch.Add(events[i].kind, events[i].relation, events[i].tuple);
+    }
+    (void)engine->ApplyBatch(std::move(batch));
+    if (i > next_check) {
+      if (NowSeconds() - start > budget_s) break;
+      next_check = i + 63;
+    }
+  }
+  return {i, NowSeconds() - start};
+}
+
+/// One engine of the standard bakeoff lineup; `engine` is null when the
+/// architecture class cannot support the query (printed as "n/a").
+struct BakeoffEntry {
+  std::string name;
+  std::unique_ptr<runtime::StreamEngine> engine;
+};
+
+/// Build one engine of the standard lineup by name ("reeval", "ivm1",
+/// "toaster-i", "toaster-c"); null when the architecture class cannot
+/// support the query. `compiled` is required only for "toaster-c".
+inline std::unique_ptr<runtime::StreamEngine> MakeBakeoffEngine(
+    const std::string& name, const Catalog& catalog, const std::string& sql,
+    dbt::StreamProgram* compiled = nullptr) {
+  if (name == "reeval") {
+    auto e = std::make_unique<baseline::ReevalEngine>(catalog, /*eager=*/true);
+    if (!e->AddQuery("q", sql).ok()) return nullptr;
+    return e;
+  }
+  if (name == "ivm1") {
+    auto e = std::make_unique<baseline::Ivm1Engine>(catalog);
+    if (!e->AddQuery("q", sql).ok()) return nullptr;
+    return e;
+  }
+  if (name == "toaster-i") {
+    auto program = compiler::CompileQuery(catalog, "q", sql);
+    if (!program.ok()) return nullptr;
+    return std::make_unique<runtime::Engine>(std::move(program).value());
+  }
+  if (name == "toaster-c" && compiled != nullptr) {
+    return std::make_unique<runtime::CompiledProgramEngine>(compiled);
+  }
+  return nullptr;
+}
+
+/// The four architecture classes of the §4.2 bakeoff, all behind the same
+/// StreamEngine interface. `compiled` (a dbtc-generated program) may be
+/// null to omit the toaster-c row.
+inline std::vector<BakeoffEntry> MakeBakeoffEngines(
+    const Catalog& catalog, const std::string& sql,
+    dbt::StreamProgram* compiled = nullptr) {
+  std::vector<BakeoffEntry> out;
+  for (const char* name : {"reeval", "ivm1", "toaster-i"}) {
+    out.push_back({name, MakeBakeoffEngine(name, catalog, sql)});
+  }
+  if (compiled != nullptr) {
+    out.push_back(
+        {"toaster-c", MakeBakeoffEngine("toaster-c", catalog, sql, compiled)});
+  }
+  return out;
 }
 
 inline void PrintHeader(const char* title) {

@@ -62,6 +62,18 @@ int main() {
   (void)engine.OnDelete("R", {Value(5), Value(10)});
   show("delete R(5,10):");   // back to 14
 
+  // The same engine through the unified streaming API: one ApplyBatch call
+  // ingests a whole vector of deltas, grouped per (relation, op). Baselines
+  // and dbtc-generated programs implement the identical interface.
+  std::printf("== batched ingestion (StreamEngine API) ==\n");
+  runtime::StreamEngine& stream = engine;
+  runtime::EventBatch batch;
+  batch.AddInsert("R", {Value(1), Value(10)});
+  batch.AddInsert("R", {Value(4), Value(10)});
+  batch.AddDelete("R", {Value(2), Value(10)});
+  (void)stream.ApplyBatch(std::move(batch));
+  show("batch {+R(1),+R(4),-R(2)}:");  // 14 + 7 + 28 - 14 = 35
+
   if (code.ok()) {
     std::printf("\n== generated C++ (dbtc output, excerpt) ==\n");
     const std::string& src = code.value();

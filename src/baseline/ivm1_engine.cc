@@ -96,62 +96,102 @@ Status Ivm1Engine::CompileDeltas(RegisteredQuery* rq, size_t slot,
   return Status::OK();
 }
 
-Status Ivm1Engine::OnEvent(const Event& event) {
-  const Schema* schema = catalog_.FindRelation(event.relation);
+Status Ivm1Engine::ApplyGroup(const std::string& relation, EventKind kind,
+                              const Row* tuples, size_t count) {
+  if (count == 0) return Status::OK();
+  const Schema* schema = catalog_.FindRelation(relation);
   if (schema == nullptr) {
-    return Status::NotFound("unknown relation: " + event.relation);
+    return Status::NotFound("unknown relation: " + relation);
   }
-  int sign = event.kind == EventKind::kInsert ? +1 : -1;
+  int sign = kind == EventKind::kInsert ? +1 : -1;
 
-  runtime::Bindings env;
+  // Hoist the per-event lookups out of the group loop: parameter names and
+  // the (relation, sign) delta buckets are shared by every tuple. The delta
+  // queries themselves still run one event at a time — first-order deltas
+  // read the base tables (including the triggering relation), so events
+  // within a group carry a sequential dependency.
+  std::vector<std::string> params;
+  params.reserve(schema->num_columns());
   for (size_t c = 0; c < schema->num_columns(); ++c) {
-    env[ParamName(schema->column_name(c))] = event.tuple[c];
+    params.push_back(ParamName(schema->column_name(c)));
+  }
+  struct Bucket {
+    RegisteredQuery* rq;
+    const std::vector<std::pair<size_t, DeltaStatement>>* stmts;
+  };
+  std::vector<Bucket> buckets;
+  for (auto& [name, rq] : queries_) {
+    auto it = rq.deltas.find({schema->name(), sign});
+    if (it != rq.deltas.end()) buckets.push_back({&rq, &it->second});
   }
 
-  // Evaluate all delta statements against the pre-state.
   struct PendingUpdate {
     runtime::ValueMap* target;
     Row key;
     Value delta;
   };
   std::vector<PendingUpdate> pending;
-  for (auto& [name, rq] : queries_) {
-    auto it = rq.deltas.find({schema->name(), sign});
-    if (it == rq.deltas.end()) continue;
-    for (auto& [slot, stmt] : it->second) {
-      runtime::ValueMap* target =
-          slot == kDomainSlot ? &rq.domain_map : &rq.result_maps[slot];
-      DBT_ASSIGN_OR_RETURN(runtime::Keyed result,
-                           eval_->Eval(stmt.rhs, env, /*store_init=*/false));
-      for (auto& [row, value] : result.entries) {
-        Row key;
-        key.reserve(stmt.keys.size());
-        for (const std::string& kv : stmt.keys) {
-          auto eit = env.find(kv);
-          if (eit != env.end()) {
-            key.push_back(eit->second);
-            continue;
+  runtime::Bindings env;
+  for (size_t e = 0; e < count; ++e) {
+    const Row& tuple = tuples[e];
+    if (tuple.size() != schema->num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("event arity %zu does not match schema %s", tuple.size(),
+                    schema->ToString().c_str()));
+    }
+    for (size_t c = 0; c < params.size(); ++c) env[params[c]] = tuple[c];
+
+    // Evaluate all delta statements against the pre-state.
+    pending.clear();
+    for (const Bucket& bucket : buckets) {
+      for (const auto& [slot, stmt] : *bucket.stmts) {
+        runtime::ValueMap* target = slot == kDomainSlot
+                                        ? &bucket.rq->domain_map
+                                        : &bucket.rq->result_maps[slot];
+        DBT_ASSIGN_OR_RETURN(runtime::Keyed result,
+                             eval_->Eval(stmt.rhs, env, /*store_init=*/false));
+        for (auto& [row, value] : result.entries) {
+          Row key;
+          key.reserve(stmt.keys.size());
+          for (const std::string& kv : stmt.keys) {
+            auto eit = env.find(kv);
+            if (eit != env.end()) {
+              key.push_back(eit->second);
+              continue;
+            }
+            auto pos = std::find(result.vars.begin(), result.vars.end(), kv);
+            if (pos == result.vars.end()) {
+              return Status::Internal("ivm1 cannot bind group key: " + kv);
+            }
+            key.push_back(row[static_cast<size_t>(pos - result.vars.begin())]);
           }
-          auto pos = std::find(result.vars.begin(), result.vars.end(), kv);
-          if (pos == result.vars.end()) {
-            return Status::Internal("ivm1 cannot bind group key: " + kv);
-          }
-          key.push_back(row[static_cast<size_t>(pos - result.vars.begin())]);
+          pending.push_back({target, std::move(key), std::move(value)});
         }
-        pending.push_back({target, std::move(key), std::move(value)});
       }
     }
-  }
 
-  // Apply the event to base tables + indexes, then the deltas.
-  DBT_RETURN_IF_ERROR(db_.Apply(event));
-  auto iit = indexes_.find(schema->name());
-  if (iit != indexes_.end()) {
-    for (auto& [positions, index] : iit->second) {
-      index.Apply(event.tuple, sign);
+    // Apply the event to base tables + indexes, then the deltas.
+    DBT_RETURN_IF_ERROR(db_.Apply(kind, relation, tuple));
+    auto iit = indexes_.find(schema->name());
+    if (iit != indexes_.end()) {
+      for (auto& [positions, index] : iit->second) {
+        index.Apply(tuple, sign);
+      }
     }
+    for (PendingUpdate& p : pending) p.target->Add(p.key, p.delta);
   }
-  for (PendingUpdate& p : pending) p.target->Add(p.key, p.delta);
+  return Status::OK();
+}
+
+Status Ivm1Engine::OnEvent(const Event& event) {
+  return ApplyGroup(event.relation, event.kind, &event.tuple, 1);
+}
+
+Status Ivm1Engine::ApplyBatch(runtime::EventBatch&& batch) {
+  for (const runtime::EventBatch::Group& g : batch.groups()) {
+    DBT_RETURN_IF_ERROR(
+        ApplyGroup(g.relation, g.kind, g.tuples.data(), g.tuples.size()));
+  }
   return Status::OK();
 }
 

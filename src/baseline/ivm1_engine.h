@@ -16,17 +16,17 @@
 #include <string>
 #include <vector>
 
-#include "src/baseline/view_engine.h"
 #include "src/catalog/catalog.h"
 #include "src/compiler/program.h"
 #include "src/compiler/translate.h"
 #include "src/runtime/ring_eval.h"
+#include "src/runtime/stream_engine.h"
 #include "src/runtime/value_map.h"
 #include "src/storage/index.h"
 
 namespace dbtoaster::baseline {
 
-class Ivm1Engine : public ViewEngine, public runtime::MapStore {
+class Ivm1Engine : public runtime::StreamEngine, public runtime::MapStore {
  public:
   explicit Ivm1Engine(const Catalog& catalog);
 
@@ -37,6 +37,7 @@ class Ivm1Engine : public ViewEngine, public runtime::MapStore {
   Status AddQuery(const std::string& name, const std::string& sql);
 
   std::string Name() const override { return "ivm1"; }
+  Status ApplyBatch(runtime::EventBatch&& batch) override;
   Status OnEvent(const Event& event) override;
   Result<exec::QueryResult> View(const std::string& name) override;
   size_t StateBytes() const override;
@@ -77,6 +78,11 @@ class Ivm1Engine : public ViewEngine, public runtime::MapStore {
   Status CompileDeltas(RegisteredQuery* rq, size_t slot,
                        const std::vector<std::string>& group_vars,
                        const ring::ExprPtr& defn);
+
+  /// Process one (relation, op) group, hoisting the per-event dispatch
+  /// (schema, parameter names, delta buckets) out of the tuple loop.
+  Status ApplyGroup(const std::string& relation, EventKind kind,
+                    const Row* tuples, size_t count);
 };
 
 }  // namespace dbtoaster::baseline

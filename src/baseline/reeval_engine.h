@@ -2,7 +2,9 @@
 // conventional DBMSes (PostgreSQL / HSQLDB / commercial DBMS 'A' in the
 // paper's bakeoff), implemented honestly on our in-memory substrate — every
 // event updates the base tables and the standing query is re-run through the
-// Volcano executor on read (or per event in eager mode).
+// Volcano executor on read (or per event in eager mode). A batch refreshes
+// the views once after all its table updates, like a DBMS applying a
+// transaction's statements before firing the view refresh.
 #ifndef DBTOASTER_BASELINE_REEVAL_ENGINE_H_
 #define DBTOASTER_BASELINE_REEVAL_ENGINE_H_
 
@@ -10,13 +12,13 @@
 #include <memory>
 #include <string>
 
-#include "src/baseline/view_engine.h"
 #include "src/catalog/catalog.h"
 #include "src/exec/binder.h"
+#include "src/runtime/stream_engine.h"
 
 namespace dbtoaster::baseline {
 
-class ReevalEngine : public ViewEngine {
+class ReevalEngine : public runtime::StreamEngine {
  public:
   /// `eager`: re-evaluate all queries on every event (what a trigger-driven
   /// DBMS view refresh does; this is the bakeoff configuration). Non-eager
@@ -26,6 +28,7 @@ class ReevalEngine : public ViewEngine {
   Status AddQuery(const std::string& name, const std::string& sql);
 
   std::string Name() const override { return "reeval"; }
+  Status ApplyBatch(runtime::EventBatch&& batch) override;
   Status OnEvent(const Event& event) override;
   Result<exec::QueryResult> View(const std::string& name) override;
   size_t StateBytes() const override;
@@ -33,6 +36,9 @@ class ReevalEngine : public ViewEngine {
   Database& database() { return db_; }
 
  private:
+  /// Eager mode: refresh all registered views from the current tables.
+  Status RefreshViews();
+
   Catalog catalog_;
   Database db_;
   bool eager_;

@@ -562,7 +562,18 @@ class Generator {
   Status EmitMaps(std::string* out);
   Status EmitInitFunctions(std::string* out);
   Status EmitViews(std::string* out);
+  Status EmitViewShim(std::string* out);
+  Status EmitBatchHandlers(std::string* out);
   Status EmitDispatcher(std::string* out);
+
+  /// Key tuple type of a relation's schema.
+  std::string RelKeyType(const Schema* schema) const {
+    std::vector<Type> kt;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      kt.push_back(schema->column_type(i));
+    }
+    return KeyType(kt);
+  }
 
   /// Key types of a storage member ("mN_" aggregate map or "rel_R_" base
   /// multiset) plus its value C++ type.
@@ -871,14 +882,51 @@ Status Generator::EmitViews(std::string* out) {
   return Status::OK();
 }
 
-Status Generator::EmitDispatcher(std::string* out) {
-  Line(out,
-       "bool on_event(const std::string& relation, bool is_insert, const "
-       "std::vector<dbt::Value>& t) {");
-  ++indent_;
+/// Per-relation fused batch handlers: one typed entry point per relation
+/// amortizes dispatch over a whole vector of signed deltas (the batched
+/// trigger shape; inserts and deletes share the loop).
+Status Generator::EmitBatchHandlers(std::string* out) {
   for (const std::string& rel : rels_) {
     const Schema* schema = RelSchema(rel);
+    std::string key_type = RelKeyType(schema);
+    bool has_insert = p_.FindTrigger(rel, EventKind::kInsert) != nullptr;
+    bool has_delete = p_.FindTrigger(rel, EventKind::kDelete) != nullptr;
     std::vector<std::string> args;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      args.push_back(StrFormat("std::get<%zu>(d.first)", i));
+    }
+    Line(out, StrFormat(
+                  "size_t on_batch_%s(const std::vector<std::pair<%s, "
+                  "int64_t>>& deltas) {",
+                  rel.c_str(), key_type.c_str()));
+    ++indent_;
+    Line(out, "size_t handled = 0;");
+    Line(out, "for (const auto& d : deltas) {");
+    ++indent_;
+    if (has_insert) {
+      Line(out, StrFormat("if (d.second > 0) { on_insert_%s(%s); ++handled; "
+                          "continue; }",
+                          rel.c_str(), Join(args, ", ").c_str()));
+    }
+    if (has_delete) {
+      Line(out, StrFormat("if (d.second < 0) { on_delete_%s(%s); ++handled; "
+                          "continue; }",
+                          rel.c_str(), Join(args, ", ").c_str()));
+    }
+    --indent_;
+    Line(out, "}");
+    Line(out, "return handled;");
+    --indent_;
+    Line(out, "}");
+  }
+  return Status::OK();
+}
+
+Status Generator::EmitDispatcher(std::string* out) {
+  std::map<std::string, std::vector<std::string>> conv_args;
+  for (const std::string& rel : rels_) {
+    const Schema* schema = RelSchema(rel);
+    std::vector<std::string>& args = conv_args[rel];
     for (size_t i = 0; i < schema->num_columns(); ++i) {
       switch (schema->column_type(i)) {
         case Type::kDouble:
@@ -892,17 +940,24 @@ Status Generator::EmitDispatcher(std::string* out) {
           break;
       }
     }
+  }
+
+  Line(out,
+       "bool on_event(const std::string& relation, bool is_insert, const "
+       "std::vector<dbt::Value>& t) override {");
+  ++indent_;
+  for (const std::string& rel : rels_) {
     Line(out, StrFormat("if (relation == \"%s\") {", rel.c_str()));
     ++indent_;
     bool has_insert = p_.FindTrigger(rel, EventKind::kInsert) != nullptr;
     bool has_delete = p_.FindTrigger(rel, EventKind::kDelete) != nullptr;
     if (has_insert) {
       Line(out, StrFormat("if (is_insert) { on_insert_%s(%s); return true; }",
-                          rel.c_str(), Join(args, ", ").c_str()));
+                          rel.c_str(), Join(conv_args[rel], ", ").c_str()));
     }
     if (has_delete) {
       Line(out, StrFormat("if (!is_insert) { on_delete_%s(%s); return true; }",
-                          rel.c_str(), Join(args, ", ").c_str()));
+                          rel.c_str(), Join(conv_args[rel], ", ").c_str()));
     }
     Line(out, "return false;");
     --indent_;
@@ -912,14 +967,139 @@ Status Generator::EmitDispatcher(std::string* out) {
   --indent_;
   Line(out, "}");
 
+  // Group-wise batch dispatch: one relation comparison and one tuple
+  // conversion pass per (relation, op) group, then the fused handler.
+  Line(out, "size_t on_batch(const dbt::EventBatch& batch) override {");
+  ++indent_;
+  Line(out, "size_t handled = 0;");
+  Line(out, "for (const auto& g : batch.groups()) {");
+  ++indent_;
+  for (const std::string& rel : rels_) {
+    const Schema* schema = RelSchema(rel);
+    Line(out, StrFormat("if (g.relation == \"%s\") {", rel.c_str()));
+    ++indent_;
+    Line(out, StrFormat("std::vector<std::pair<%s, int64_t>> typed;",
+                        RelKeyType(schema).c_str()));
+    Line(out, "typed.reserve(g.tuples.size());");
+    Line(out, "const int64_t sign = g.is_insert ? 1 : -1;");
+    std::vector<std::string> conv;
+    for (size_t i = 0; i < schema->num_columns(); ++i) {
+      switch (schema->column_type(i)) {
+        case Type::kDouble:
+          conv.push_back(StrFormat("dbt::AsDouble(t[%zu])", i));
+          break;
+        case Type::kString:
+          conv.push_back(StrFormat("dbt::AsString(t[%zu])", i));
+          break;
+        default:
+          conv.push_back(StrFormat("dbt::AsInt(t[%zu])", i));
+          break;
+      }
+    }
+    Line(out, "for (const auto& t : g.tuples) {");
+    ++indent_;
+    Line(out, StrFormat("typed.emplace_back(std::make_tuple(%s), sign);",
+                        Join(conv, ", ").c_str()));
+    --indent_;
+    Line(out, "}");
+    Line(out, StrFormat("handled += on_batch_%s(typed);", rel.c_str()));
+    Line(out, "continue;");
+    --indent_;
+    Line(out, "}");
+  }
+  --indent_;
+  Line(out, "}");
+  Line(out, "return handled;");
+  --indent_;
+  Line(out, "}");
+
   // Memory accounting for the bakeoff's memory bench.
-  Line(out, "size_t total_map_entries() const {");
+  Line(out, "size_t total_map_entries() const override {");
   ++indent_;
   Line(out, "size_t n = 0;");
   for (const MapDecl& m : p_.maps) {
     Line(out, StrFormat("n += %s_.size();", m.name.c_str()));
   }
   Line(out, "return n;");
+  --indent_;
+  Line(out, "}");
+
+  // Rough retained-bytes estimate (per-entry node overhead guessed; string
+  // payloads not chased).
+  Line(out, "size_t state_bytes() const override {");
+  ++indent_;
+  Line(out, "size_t bytes = 0;");
+  for (const std::string& rel : rels_) {
+    Line(out, StrFormat(
+                  "bytes += rel_%s_.size() * (sizeof(%s) + sizeof(int64_t) "
+                  "+ 32);",
+                  rel.c_str(), RelKeyType(RelSchema(rel)).c_str()));
+  }
+  for (const MapDecl& m : p_.maps) {
+    if (m.is_extreme) {
+      Line(out, StrFormat("bytes += %s_.size() * 64;", m.name.c_str()));
+    } else {
+      Line(out, StrFormat(
+                    "bytes += %s_.size() * (sizeof(%s) + sizeof(%s) + 32);",
+                    m.name.c_str(), KeyType(m.key_types).c_str(),
+                    CppType(m.value_type)));
+    }
+  }
+  Line(out, "return bytes;");
+  --indent_;
+  Line(out, "}");
+  return Status::OK();
+}
+
+/// Dynamic view accessors: the generated program is drivable and readable
+/// through dbt::StreamProgram without knowing the typed row shapes.
+Status Generator::EmitViewShim(std::string* out) {
+  std::vector<std::string> names;
+  for (const compiler::ViewSpec& v : p_.views) {
+    names.push_back(EscapeString(v.name));
+  }
+  Line(out, "std::vector<std::string> view_names() const override {");
+  ++indent_;
+  Line(out, StrFormat("return {%s};", Join(names, ", ").c_str()));
+  --indent_;
+  Line(out, "}");
+
+  Line(out,
+       "std::vector<std::string> view_column_names(const std::string& view) "
+       "const override {");
+  ++indent_;
+  for (const compiler::ViewSpec& v : p_.views) {
+    std::vector<std::string> cols;
+    for (const auto& c : v.columns) cols.push_back(EscapeString(c.name));
+    Line(out, StrFormat("if (view == %s) return {%s};",
+                        EscapeString(v.name).c_str(),
+                        Join(cols, ", ").c_str()));
+  }
+  Line(out, "return {};");
+  --indent_;
+  Line(out, "}");
+
+  Line(out,
+       "std::vector<std::vector<dbt::Value>> view_rows(const std::string& "
+       "view) override {");
+  ++indent_;
+  Line(out, "std::vector<std::vector<dbt::Value>> out;");
+  for (const compiler::ViewSpec& v : p_.views) {
+    Line(out, StrFormat("if (view == %s) {", EscapeString(v.name).c_str()));
+    ++indent_;
+    Line(out, StrFormat("for (const auto& r : view_%s()) {", v.name.c_str()));
+    ++indent_;
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < v.columns.size(); ++i) {
+      cells.push_back(StrFormat("dbt::Value{std::get<%zu>(r)}", i));
+    }
+    Line(out, StrFormat("out.push_back({%s});", Join(cells, ", ").c_str()));
+    --indent_;
+    Line(out, "}");
+    --indent_;
+    Line(out, "}");
+  }
+  Line(out, "return out;");
   --indent_;
   Line(out, "}");
   return Status::OK();
@@ -936,6 +1116,10 @@ Result<std::string> Generator::Run() {
     Line(&body, "");
   }
   DBT_RETURN_IF_ERROR(EmitViews(&body));
+  Line(&body, "");
+  DBT_RETURN_IF_ERROR(EmitViewShim(&body));
+  Line(&body, "");
+  DBT_RETURN_IF_ERROR(EmitBatchHandlers(&body));
   Line(&body, "");
   DBT_RETURN_IF_ERROR(EmitDispatcher(&body));
   Line(&body, "");
@@ -1017,7 +1201,7 @@ Result<std::string> Generator::Run() {
   out += "inline std::string dbt_detail_to_string(const std::string& v) { "
          "return v; }\n";
   out += "#endif  // DBT_GEN_DETAIL_HELPERS_\n\n";
-  out += "struct " + opts_.class_name + " {\n";
+  out += "struct " + opts_.class_name + " : public dbt::StreamProgram {\n";
   out += body;
   out += "};\n\n}  // namespace " + opts_.name_space + "\n";
   return out;

@@ -2,11 +2,15 @@
 //
 // Usage:
 //   dbtc <script.sql> [-o out.hpp] [--name ClassName] [--trace] [--program]
+//   dbtc --version
 //
 // The script contains CREATE TABLE statements followed by one or more
 // SELECT queries (named q0, q1, ... in order). Output is a self-contained
 // C++ header (see cpp_gen.h). --trace prints the Figure-2-style recursive
 // compilation table; --program prints the trigger-program listing.
+//
+// Exit codes: 0 success, 1 input/compile error (diagnostics carry
+// line:column positions), 2 usage error.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,11 +24,21 @@
 
 namespace {
 
+constexpr const char kVersion[] = "0.2.0";
+
 int Usage() {
   std::fprintf(stderr,
                "usage: dbtc <script.sql> [-o out.hpp] [--name ClassName] "
-               "[--trace] [--program]\n");
+               "[--trace] [--program]\n"
+               "       dbtc --version\n");
   return 2;
+}
+
+/// Report an input-related diagnostic as "dbtc: <file>: <message>"; parse
+/// errors already carry their "(at line L:C)" position.
+int InputError(const std::string& input, const std::string& message) {
+  std::fprintf(stderr, "dbtc: %s: %s\n", input.c_str(), message.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -36,63 +50,67 @@ int main(int argc, char** argv) {
   bool show_trace = false, show_program = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
-      output = argv[++i];
-    } else if (arg == "--name" && i + 1 < argc) {
-      class_name = argv[++i];
+    if (arg == "--version") {
+      std::printf("dbtc %s\n", kVersion);
+      return 0;
+    } else if (arg == "-o" || arg == "--name") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dbtc: option '%s' requires an argument\n",
+                     arg.c_str());
+        return Usage();
+      }
+      (arg == "-o" ? output : class_name) = argv[++i];
     } else if (arg == "--trace") {
       show_trace = true;
     } else if (arg == "--program") {
       show_program = true;
     } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dbtc: unknown option '%s'\n", arg.c_str());
       return Usage();
     } else if (input.empty()) {
       input = arg;
     } else {
+      std::fprintf(stderr, "dbtc: unexpected argument '%s'\n", arg.c_str());
       return Usage();
     }
   }
-  if (input.empty()) return Usage();
+  if (input.empty()) {
+    std::fprintf(stderr, "dbtc: no input script\n");
+    return Usage();
+  }
 
   std::ifstream in(input);
   if (!in) {
-    std::fprintf(stderr, "dbtc: cannot open %s\n", input.c_str());
-    return 1;
+    return InputError(input, "cannot open file");
   }
   std::stringstream buf;
   buf << in.rdbuf();
 
   auto script = sql::ParseScript(buf.str());
   if (!script.ok()) {
-    std::fprintf(stderr, "dbtc: %s\n", script.status().ToString().c_str());
-    return 1;
+    return InputError(input, script.status().ToString());
   }
   Catalog catalog;
   for (const auto& t : script.value().tables) {
     Status s = catalog.AddRelation(t);
     if (!s.ok()) {
-      std::fprintf(stderr, "dbtc: %s\n", s.ToString().c_str());
-      return 1;
+      return InputError(input, s.ToString());
     }
   }
   if (script.value().queries.empty()) {
-    std::fprintf(stderr, "dbtc: script contains no SELECT queries\n");
-    return 1;
+    return InputError(input, "script contains no SELECT queries");
   }
 
   compiler::Compiler compiler(catalog);
   for (const auto& q : script.value().queries) {
     Status s = compiler.AddQuery(q.name, *q.select);
     if (!s.ok()) {
-      std::fprintf(stderr, "dbtc: query %s: %s\n", q.name.c_str(),
-                   s.ToString().c_str());
-      return 1;
+      return InputError(input, "query " + q.name + ": " + s.ToString());
     }
   }
   auto program = compiler.Compile();
   if (!program.ok()) {
-    std::fprintf(stderr, "dbtc: %s\n", program.status().ToString().c_str());
-    return 1;
+    return InputError(input, program.status().ToString());
   }
 
   if (show_trace) {

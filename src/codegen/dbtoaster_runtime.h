@@ -154,34 +154,136 @@ class SliceIndex {
 };
 
 /// Ordered multiset per group: MIN/MAX maintenance under deletions.
+///
+/// Counts may go negative transiently when a batch reorders a delete ahead
+/// of its insert (the ring semantics of the base tables); min/max skip
+/// non-positive counts, and counts returning to zero are erased.
 template <typename K, typename V>
 class ExtremeMap {
  public:
-  void add(const K& k, const V& v) { data_[k][v] += 1; }
-  void remove(const K& k, const V& v) {
-    auto git = data_.find(k);
-    if (git == data_.end()) return;
-    auto vit = git->second.find(v);
-    if (vit == git->second.end()) return;
-    if (--vit->second <= 0) git->second.erase(vit);
-    if (git->second.empty()) data_.erase(git);
-  }
+  void add(const K& k, const V& v) { Bump(k, v, +1); }
+  void remove(const K& k, const V& v) { Bump(k, v, -1); }
   bool min(const K& k, V* out) const {
     auto git = data_.find(k);
-    if (git == data_.end() || git->second.empty()) return false;
-    *out = git->second.begin()->first;
-    return true;
+    if (git == data_.end()) return false;
+    for (const auto& [value, count] : git->second) {
+      if (count > 0) {
+        *out = value;
+        return true;
+      }
+    }
+    return false;
   }
   bool max(const K& k, V* out) const {
     auto git = data_.find(k);
-    if (git == data_.end() || git->second.empty()) return false;
-    *out = git->second.rbegin()->first;
-    return true;
+    if (git == data_.end()) return false;
+    for (auto it = git->second.rbegin(); it != git->second.rend(); ++it) {
+      if (it->second > 0) {
+        *out = it->first;
+        return true;
+      }
+    }
+    return false;
   }
   size_t size() const { return data_.size(); }
 
  private:
+  void Bump(const K& k, const V& v, int64_t delta) {
+    auto& group = data_[k];
+    auto [it, inserted] = group.try_emplace(v, delta);
+    if (!inserted && (it->second += delta) == 0) group.erase(it);
+    if (group.empty()) data_.erase(k);
+  }
+
   std::unordered_map<K, std::map<V, int64_t>, TupleHash> data_;
+};
+
+/// One batch of deltas at the dynamic boundary, grouped per (relation, op)
+/// in first-encounter order. Mirrors runtime::EventBatch without depending
+/// on it (this header stays self-contained).
+class EventBatch {
+ public:
+  struct Group {
+    std::string relation;
+    bool is_insert = true;
+    std::vector<std::vector<Value>> tuples;
+  };
+
+  void add(const std::string& relation, bool is_insert,
+           std::vector<Value> tuple) {
+    if (!groups_.empty() && groups_.back().is_insert == is_insert &&
+        groups_.back().relation == relation) {
+      groups_.back().tuples.push_back(std::move(tuple));
+      ++events_;
+      return;
+    }
+    for (Group& g : groups_) {
+      if (g.is_insert == is_insert && g.relation == relation) {
+        g.tuples.push_back(std::move(tuple));
+        ++events_;
+        return;
+      }
+    }
+    groups_.push_back(Group{relation, is_insert, {std::move(tuple)}});
+    ++events_;
+  }
+
+  const std::vector<Group>& groups() const { return groups_; }
+  size_t size() const { return events_; }
+  bool empty() const { return events_ == 0; }
+  void clear() {
+    groups_.clear();
+    events_ = 0;
+  }
+
+ private:
+  std::vector<Group> groups_;
+  size_t events_ = 0;
+};
+
+/// Abstract driver interface implemented by every dbtc-generated program:
+/// the string-dispatch shim that makes generated code drivable through the
+/// same engine-agnostic surface as the interpreted engines (see
+/// runtime::CompiledProgramEngine). The typed per-relation handlers remain
+/// the fast path for embedded use.
+class StreamProgram {
+ public:
+  virtual ~StreamProgram() = default;
+
+  /// Dispatch one delta; false when the program has no trigger for it.
+  virtual bool on_event(const std::string& relation, bool is_insert,
+                        const std::vector<Value>& tuple) = 0;
+
+  /// Dispatch one batch group-wise; returns the number of events handled.
+  /// Generated programs override with fused per-relation batch handlers
+  /// (one relation dispatch and one tuple conversion pass per group).
+  virtual size_t on_batch(const EventBatch& batch) {
+    size_t handled = 0;
+    for (const auto& g : batch.groups()) {
+      for (const auto& t : g.tuples) {
+        if (on_event(g.relation, g.is_insert, t)) ++handled;
+      }
+    }
+    return handled;
+  }
+
+  /// Registered view names, in declaration order.
+  virtual std::vector<std::string> view_names() const = 0;
+
+  /// Output column names of `view` (empty for unknown views).
+  virtual std::vector<std::string> view_column_names(
+      const std::string& view) const = 0;
+
+  /// Materialized rows of `view` at the dynamic boundary (empty for unknown
+  /// views); the typed view_<name>() accessors avoid the conversion.
+  virtual std::vector<std::vector<Value>> view_rows(
+      const std::string& view) = 0;
+
+  /// Total live entries across aggregate maps.
+  virtual size_t total_map_entries() const = 0;
+
+  /// Rough retained-bytes estimate of the maintained state.
+  virtual size_t state_bytes() const = 0;
 };
 
 }  // namespace dbt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <set>
 
 #include "src/common/str.h"
 
@@ -10,6 +11,7 @@ namespace dbtoaster::runtime {
 
 using compiler::MapDecl;
 using compiler::Statement;
+using compiler::Trigger;
 
 namespace {
 uint64_t NowNanos() {
@@ -45,6 +47,140 @@ Engine::Engine(compiler::Program program)
                                         decl.value_type));
     }
   }
+  BuildTriggerInfo();
+}
+
+void Engine::BuildTriggerInfo() {
+  // Transitive read footprint of each map's definition: reading an
+  // init-on-access map evaluates its definition against the base tables,
+  // which may read further relations and maps (themselves init-on-access).
+  std::map<std::string, std::set<std::string>> def_rels, def_maps;
+  for (const MapDecl& m : program_.maps) {
+    auto& rels = def_rels[m.name];
+    auto& maps = def_maps[m.name];
+    if (m.definition != nullptr) {
+      m.definition->CollectRels(&rels);
+      m.definition->CollectMapRefs(&maps);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const MapDecl& m : program_.maps) {
+      auto& rels = def_rels[m.name];
+      auto& maps = def_maps[m.name];
+      size_t r0 = rels.size(), m0 = maps.size();
+      std::vector<std::string> deps(maps.begin(), maps.end());
+      for (const std::string& dep : deps) {
+        auto rit = def_rels.find(dep);
+        if (rit != def_rels.end()) {
+          rels.insert(rit->second.begin(), rit->second.end());
+        }
+        auto mit = def_maps.find(dep);
+        if (mit != def_maps.end()) {
+          maps.insert(mit->second.begin(), mit->second.end());
+        }
+      }
+      changed = changed || rels.size() != r0 || maps.size() != m0;
+    }
+  }
+
+  /// Everything `e` may read, including through init-on-access cascades.
+  auto expand_reads = [&](const ring::ExprPtr& e, std::set<std::string>* rels,
+                          std::set<std::string>* maps) {
+    if (e == nullptr) return;
+    e->CollectRels(rels);
+    std::set<std::string> direct;
+    e->CollectMapRefs(&direct);
+    for (const std::string& m : direct) {
+      maps->insert(m);
+      auto rit = def_rels.find(m);
+      if (rit != def_rels.end()) {
+        rels->insert(rit->second.begin(), rit->second.end());
+      }
+      auto mit = def_maps.find(m);
+      if (mit != def_maps.end()) {
+        maps->insert(mit->second.begin(), mit->second.end());
+      }
+    }
+  };
+
+  // Maps read by any statement or initializer: a re-evaluation statement
+  // whose target nobody reads may run once per batch instead of per event
+  // (views read it only after the batch has flushed).
+  std::set<std::string> read_anywhere;
+  for (const auto& [name, maps] : def_maps) {
+    read_anywhere.insert(maps.begin(), maps.end());
+  }
+  for (const Trigger& t : program_.triggers) {
+    for (const Statement& st : t.statements) {
+      if (st.rhs != nullptr) st.rhs->CollectMapRefs(&read_anywhere);
+      if (st.extreme_guard != nullptr) {
+        st.extreme_guard->CollectMapRefs(&read_anywhere);
+      }
+      if (st.extreme_value != nullptr) {
+        st.extreme_value->CollectMapReads(&read_anywhere);
+      }
+    }
+  }
+
+  for (const Trigger& t : program_.triggers) {
+    TriggerInfo info;
+    info.trigger = &t;
+    info.renderings.reserve(t.statements.size());
+    info.reeval_deferrable.assign(t.statements.size(), false);
+    std::set<std::string> delta_targets;
+    for (const Statement& st : t.statements) {
+      info.renderings.push_back(st.ToString());
+      if (st.kind == Statement::Kind::kDelta) delta_targets.insert(st.target);
+    }
+    bool vectorizable = true;
+    for (size_t si = 0; si < t.statements.size(); ++si) {
+      const Statement& st = t.statements[si];
+      switch (st.kind) {
+        case Statement::Kind::kDelta: {
+          if (!st.lhs_iterate.empty()) {
+            vectorizable = false;  // iterates the live keys it also writes
+            break;
+          }
+          std::set<std::string> rels, maps;
+          expand_reads(st.rhs, &rels, &maps);
+          if (rels.count(t.relation) > 0) vectorizable = false;
+          for (const std::string& m : maps) {
+            if (delta_targets.count(m) > 0) {
+              vectorizable = false;
+              break;
+            }
+          }
+          break;
+        }
+        case Statement::Kind::kExtreme: {
+          // Vectorizable only when guard and value depend on the event
+          // parameters alone (which compile.cc guarantees today; verified
+          // here so future compilation changes degrade safely).
+          std::set<std::string> rels, maps;
+          expand_reads(st.extreme_guard, &rels, &maps);
+          if (st.extreme_value != nullptr) {
+            st.extreme_value->CollectMapReads(&maps);
+          }
+          if (!rels.empty() || !maps.empty()) vectorizable = false;
+          break;
+        }
+        case Statement::Kind::kReeval: {
+          info.reeval_deferrable[si] = read_anywhere.count(st.target) == 0;
+          if (!info.reeval_deferrable[si]) vectorizable = false;
+          break;
+        }
+      }
+    }
+    info.vectorizable = vectorizable;
+    trigger_info_[{t.relation, static_cast<int>(t.event)}] = std::move(info);
+  }
+}
+
+const Engine::TriggerInfo* Engine::FindTriggerInfo(const std::string& relation,
+                                                   EventKind kind) const {
+  auto it = trigger_info_.find({relation, static_cast<int>(kind)});
+  return it == trigger_info_.end() ? nullptr : &it->second;
 }
 
 const ValueMap* Engine::value_map(const std::string& name) const {
@@ -70,6 +206,8 @@ size_t Engine::TotalMapEntries() const {
   for (const auto& [name, m] : extremes_) n += m.size();
   return n;
 }
+
+size_t Engine::StateBytes() const { return MapMemoryBytes() + db_.MemoryBytes(); }
 
 Result<Value> Engine::ReadMap(const std::string& map, const Row& key,
                               bool store_init) {
@@ -288,83 +426,235 @@ Status Engine::RunExtremeStatement(const Statement& stmt,
   return Status::OK();
 }
 
-Status Engine::OnEvent(const Event& event) {
-  uint64_t start = NowNanos();
-  if (trace_ != nullptr) trace_->OnEvent(event);
+void Engine::Defer(const Statement* stmt, const std::string* rendering,
+                   DeferredReevals* deferred) {
+  // Dedup by target: the compiler emits one kReeval statement per
+  // (relation, op) trigger for the same hybrid target, all with identical
+  // RHS — one refresh per batch covers them all.
+  for (const auto& [s, r] : *deferred) {
+    if (s->target == stmt->target) return;
+  }
+  deferred->emplace_back(stmt, rendering);
+}
 
-  const compiler::Trigger* trigger =
-      program_.FindTrigger(event.relation, event.kind);
+Status Engine::FlushDeferredReevals(DeferredReevals* deferred) {
+  Bindings empty_env;
+  uint64_t start = NowNanos();
+  for (const auto& [stmt, rendering] : *deferred) {
+    uint64_t t0 = NowNanos();
+    DBT_RETURN_IF_ERROR(RunReevalStatement(*stmt, empty_env));
+    auto& st = profile_.by_statement[*rendering];
+    st.rendering = *rendering;
+    st.executions++;
+    st.nanos += NowNanos() - t0;
+  }
+  if (!deferred->empty()) profile_.event_nanos += NowNanos() - start;
+  deferred->clear();
+  return Status::OK();
+}
+
+Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
+                                    const std::string& relation,
+                                    const Row* tuples, size_t count,
+                                    DeferredReevals* deferred) {
+  const Trigger& trigger = *info.trigger;
+
+  // Resolve the profiler slots once per group; std::map nodes are stable.
+  std::vector<ProfileStats::StatementStats*> stats(trigger.statements.size());
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    ProfileStats::StatementStats& st =
+        profile_.by_statement[info.renderings[si]];
+    st.rendering = info.renderings[si];
+    stats[si] = &st;
+  }
 
   Bindings env;
-  if (trigger != nullptr) {
-    if (trigger->params.size() != event.tuple.size()) {
+  for (size_t e = 0; e < count; ++e) {
+    const Row& tuple = tuples[e];
+    if (trace_ != nullptr) trace_->OnEvent(Event{kind, relation, tuple});
+    if (trigger.params.size() != tuple.size()) {
       return Status::InvalidArgument(
-          StrFormat("event arity %zu does not match trigger %s",
-                    event.tuple.size(), trigger->Signature().c_str()));
+          StrFormat("event arity %zu does not match trigger %s", tuple.size(),
+                    trigger.Signature().c_str()));
     }
-    for (size_t i = 0; i < trigger->params.size(); ++i) {
-      env[trigger->params[i]] = event.tuple[i];
+    for (size_t i = 0; i < trigger.params.size(); ++i) {
+      env[trigger.params[i]] = tuple[i];
     }
-  }
 
-  // Phase 1: evaluate all delta statements against the pre-state.
-  std::vector<std::tuple<ValueMap*, Row, Value>> pending;
-  if (trigger != nullptr) {
-    for (const Statement& stmt : trigger->statements) {
+    // Phase 1: evaluate all delta statements against the pre-state.
+    pending_.clear();
+    for (size_t si = 0; si < trigger.statements.size(); ++si) {
+      const Statement& stmt = trigger.statements[si];
       if (stmt.kind != Statement::Kind::kDelta) continue;
       uint64_t t0 = NowNanos();
-      size_t before = pending.size();
-      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending));
-      auto& st = profile_.by_statement[stmt.ToString()];
-      st.rendering = stmt.ToString();
-      st.executions++;
-      st.updates += pending.size() - before;
-      st.nanos += NowNanos() - t0;
+      size_t before = pending_.size();
+      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending_));
+      stats[si]->executions++;
+      stats[si]->updates += pending_.size() - before;
+      stats[si]->nanos += NowNanos() - t0;
     }
-  }
 
-  // Phase 2: apply the event to the base tables, then the map deltas.
-  DBT_RETURN_IF_ERROR(db_.Apply(event));
-  for (auto& [target, key, value] : pending) {
-    if (trace_ != nullptr) {
-      Value old_value = target->Get(key);
-      ApplyMapAdd(target, key, value);
-      trace_->OnMapUpdate(target->name(), key, old_value, target->Get(key));
-    } else {
-      ApplyMapAdd(target, key, value);
+    // Phase 2: apply the event to the base tables, then the map deltas.
+    DBT_RETURN_IF_ERROR(db_.Apply(kind, relation, tuple));
+    for (auto& [target, key, value] : pending_) {
+      if (trace_ != nullptr) {
+        Value old_value = target->Get(key);
+        ApplyMapAdd(target, key, value);
+        trace_->OnMapUpdate(target->name(), key, old_value, target->Get(key));
+      } else {
+        ApplyMapAdd(target, key, value);
+      }
     }
-  }
 
-  if (trigger != nullptr) {
     // Phase 2b: extreme (MIN/MAX multiset) statements over the post-state.
-    for (const Statement& stmt : trigger->statements) {
+    for (size_t si = 0; si < trigger.statements.size(); ++si) {
+      const Statement& stmt = trigger.statements[si];
       if (stmt.kind != Statement::Kind::kExtreme) continue;
       uint64_t t0 = NowNanos();
       DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
-      auto& st = profile_.by_statement[stmt.ToString()];
-      st.rendering = stmt.ToString();
-      st.executions++;
-      st.nanos += NowNanos() - t0;
+      stats[si]->executions++;
+      stats[si]->nanos += NowNanos() - t0;
     }
+
     // Phase 3: hybrid re-evaluation statements over the post-state. They
-    // depend only on the maintained maps and base tables, never on the event
-    // parameters — an empty environment also prevents accidental capture of
-    // query variables that share a name with trigger parameters.
+    // depend only on the maintained maps and base tables, never on the
+    // event parameters — an empty environment also prevents accidental
+    // capture of query variables that share a name with trigger parameters.
+    // Statements whose target nothing reads are deferred to the batch end.
     Bindings empty_env;
-    for (const Statement& stmt : trigger->statements) {
+    for (size_t si = 0; si < trigger.statements.size(); ++si) {
+      const Statement& stmt = trigger.statements[si];
       if (stmt.kind != Statement::Kind::kReeval) continue;
+      if (info.reeval_deferrable[si] && trace_ == nullptr) {
+        Defer(&stmt, &info.renderings[si], deferred);
+        continue;
+      }
       uint64_t t0 = NowNanos();
       DBT_RETURN_IF_ERROR(RunReevalStatement(stmt, empty_env));
-      auto& st = profile_.by_statement[stmt.ToString()];
-      st.rendering = stmt.ToString();
-      st.executions++;
-      st.nanos += NowNanos() - t0;
+      stats[si]->executions++;
+      stats[si]->nanos += NowNanos() - t0;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
+                                    const Row* tuples, size_t count,
+                                    DeferredReevals* deferred) {
+  const Trigger& trigger = *info.trigger;
+  const EventKind kind = trigger.event;
+  for (size_t e = 0; e < count; ++e) {
+    if (trigger.params.size() != tuples[e].size()) {
+      return Status::InvalidArgument(StrFormat(
+          "event arity %zu does not match trigger %s", tuples[e].size(),
+          trigger.Signature().c_str()));
     }
   }
 
-  profile_.events++;
+  std::vector<ProfileStats::StatementStats*> stats(trigger.statements.size());
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    ProfileStats::StatementStats& st =
+        profile_.by_statement[info.renderings[si]];
+    st.rendering = info.renderings[si];
+    stats[si] = &st;
+  }
+
+  // Phase 1: each delta statement runs once over the vector of bindings,
+  // all against the group pre-state (safe per the TriggerInfo analysis).
+  pending_.clear();
+  Bindings env;
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const Statement& stmt = trigger.statements[si];
+    if (stmt.kind != Statement::Kind::kDelta) continue;
+    uint64_t t0 = NowNanos();
+    size_t before = pending_.size();
+    for (size_t e = 0; e < count; ++e) {
+      for (size_t i = 0; i < trigger.params.size(); ++i) {
+        env[trigger.params[i]] = tuples[e][i];
+      }
+      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending_));
+    }
+    stats[si]->executions += count;
+    stats[si]->updates += pending_.size() - before;
+    stats[si]->nanos += NowNanos() - t0;
+  }
+
+  // Phase 2: flush the whole group — base tables first, then the map
+  // deltas (additive, so application order within the group is free).
+  for (size_t e = 0; e < count; ++e) {
+    DBT_RETURN_IF_ERROR(db_.Apply(kind, trigger.relation, tuples[e]));
+  }
+  for (auto& [target, key, value] : pending_) ApplyMapAdd(target, key, value);
+
+  // Phase 2b: extreme statements (parameter-only, order-independent).
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const Statement& stmt = trigger.statements[si];
+    if (stmt.kind != Statement::Kind::kExtreme) continue;
+    uint64_t t0 = NowNanos();
+    for (size_t e = 0; e < count; ++e) {
+      for (size_t i = 0; i < trigger.params.size(); ++i) {
+        env[trigger.params[i]] = tuples[e][i];
+      }
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+    }
+    stats[si]->executions += count;
+    stats[si]->nanos += NowNanos() - t0;
+  }
+
+  // Phase 3: re-evaluation statements are all deferrable here (that is part
+  // of being vectorizable); they run once at the end of the batch.
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const Statement& stmt = trigger.statements[si];
+    if (stmt.kind != Statement::Kind::kReeval) continue;
+    Defer(&stmt, &info.renderings[si], deferred);
+  }
+  return Status::OK();
+}
+
+Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
+                          const Row* tuples, size_t count,
+                          DeferredReevals* deferred) {
+  if (count == 0) return Status::OK();
+  uint64_t start = NowNanos();
+  const TriggerInfo* info = FindTriggerInfo(relation, kind);
+
+  Status status = Status::OK();
+  if (info == nullptr) {
+    // No trigger for this (relation, op): the event still updates the
+    // base-table snapshot.
+    for (size_t e = 0; e < count; ++e) {
+      if (trace_ != nullptr) trace_->OnEvent(Event{kind, relation, tuples[e]});
+      status = db_.Apply(kind, relation, tuples[e]);
+      if (!status.ok()) break;
+    }
+  } else if (trace_ == nullptr && info->vectorizable && count > 1) {
+    status = ApplyGroupVectorized(*info, tuples, count, deferred);
+  } else {
+    status = ApplyGroupSequential(*info, kind, relation, tuples, count,
+                                  deferred);
+  }
+
+  if (!status.ok()) return status;
+  profile_.events += count;
   profile_.event_nanos += NowNanos() - start;
   return Status::OK();
+}
+
+Status Engine::ApplyBatch(EventBatch&& batch) {
+  DeferredReevals deferred;
+  for (const EventBatch::Group& g : batch.groups()) {
+    DBT_RETURN_IF_ERROR(
+        ApplyGroup(g.relation, g.kind, g.tuples.data(), g.tuples.size(),
+                   &deferred));
+  }
+  return FlushDeferredReevals(&deferred);
+}
+
+Status Engine::OnEvent(const Event& event) {
+  DeferredReevals deferred;
+  DBT_RETURN_IF_ERROR(
+      ApplyGroup(event.relation, event.kind, &event.tuple, 1, &deferred));
+  return FlushDeferredReevals(&deferred);
 }
 
 Result<exec::QueryResult> Engine::View(const std::string& view_name) {
@@ -423,14 +713,6 @@ Result<exec::QueryResult> Engine::View(const std::string& view_name) {
     DBT_RETURN_IF_ERROR(emit_row(env, key));
   }
   return out;
-}
-
-Result<Value> Engine::ViewScalar(const std::string& view_name) {
-  DBT_ASSIGN_OR_RETURN(exec::QueryResult r, View(view_name));
-  if (r.rows.size() != 1 || r.rows[0].first.size() != 1) {
-    return Status::InvalidArgument("view is not single-valued: " + view_name);
-  }
-  return r.rows[0].first[0];
 }
 
 Result<exec::QueryResult> Engine::AdhocQuery(const std::string& sql) {

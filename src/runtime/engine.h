@@ -2,6 +2,12 @@
 // update stream, maintaining the in-memory aggregate maps and exposing
 // continuously-fresh view results, a read-only snapshot interface, a
 // profiler, and a step debugger (the paper's §2 system model).
+//
+// Implements the unified StreamEngine surface: ApplyBatch groups events by
+// (relation, op) and — when the trigger's statements permit — runs each
+// delta statement once over the whole vector of bindings against the batch
+// pre-state, flushing base-table updates and map/slice-index mutations per
+// batch instead of per event.
 #ifndef DBTOASTER_RUNTIME_ENGINE_H_
 #define DBTOASTER_RUNTIME_ENGINE_H_
 
@@ -15,6 +21,7 @@
 #include "src/compiler/program.h"
 #include "src/exec/executor.h"
 #include "src/runtime/ring_eval.h"
+#include "src/runtime/stream_engine.h"
 #include "src/runtime/value_map.h"
 #include "src/storage/table.h"
 
@@ -22,7 +29,8 @@ namespace dbtoaster::runtime {
 
 /// Observer interface for the debugger/tracer: receives every event,
 /// statement execution and map update. Implementations must not mutate the
-/// engine.
+/// engine. A registered sink forces per-event (non-vectorized) batch
+/// processing so callbacks keep their one-event granularity.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -49,25 +57,20 @@ struct ProfileStats {
   std::string ToString() const;
 };
 
-class Engine : public MapStore {
+class Engine : public StreamEngine, public MapStore {
  public:
   explicit Engine(compiler::Program program);
 
-  /// Process one delta. Updates base tables, aggregate maps and views.
-  Status OnEvent(const Event& event);
+  std::string Name() const override { return "toaster-i"; }
 
-  Status OnInsert(const std::string& relation, Row tuple) {
-    return OnEvent(Event::Insert(relation, std::move(tuple)));
-  }
-  Status OnDelete(const std::string& relation, Row tuple) {
-    return OnEvent(Event::Delete(relation, std::move(tuple)));
-  }
+  /// Process one batch of deltas (see stream_engine.h for semantics).
+  Status ApplyBatch(EventBatch&& batch) override;
+
+  /// Process one delta. Updates base tables, aggregate maps and views.
+  Status OnEvent(const Event& event) override;
 
   /// Current content of a registered view (fresh as of the last event).
-  Result<exec::QueryResult> View(const std::string& view_name);
-
-  /// Single-valued convenience for global aggregate views.
-  Result<Value> ViewScalar(const std::string& view_name);
+  Result<exec::QueryResult> View(const std::string& view_name) override;
 
   /// Read-only snapshot interface: ad-hoc SQL over the base-table snapshot.
   Result<exec::QueryResult> AdhocQuery(const std::string& sql);
@@ -84,8 +87,12 @@ class Engine : public MapStore {
   size_t MapMemoryBytes() const;
   size_t TotalMapEntries() const;
 
+  /// Aggregate maps plus the base-table snapshot.
+  size_t StateBytes() const override;
+
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   const ProfileStats& profile() const { return profile_; }
+  std::string Profile() const override { return profile_.ToString(); }
   void ResetProfile() { profile_ = ProfileStats(); }
 
   // MapStore:
@@ -115,6 +122,31 @@ class Engine : public MapStore {
     }
   };
 
+  /// Batch-time analysis of one trigger, computed once at construction.
+  struct TriggerInfo {
+    const compiler::Trigger* trigger = nullptr;
+    /// Statement renderings (stmt.ToString()), cached so the profiler does
+    /// not re-render on every event.
+    std::vector<std::string> renderings;
+    /// True when phase 1 may evaluate all of a group's bindings against the
+    /// group pre-state and flush afterwards: no delta statement reads the
+    /// triggering relation, a map this trigger writes, or iterates its
+    /// target's live keys; extreme statements are parameter-only; all
+    /// re-evaluation statements are deferrable.
+    bool vectorizable = false;
+    /// Per statement: re-evaluation statements whose target no statement or
+    /// initializer reads may run once per batch instead of once per event.
+    std::vector<bool> reeval_deferrable;
+  };
+
+  /// Re-evaluation statements postponed to the end of the current batch.
+  using DeferredReevals = std::vector<std::pair<const compiler::Statement*,
+                                                const std::string*>>;
+
+  const TriggerInfo* FindTriggerInfo(const std::string& relation,
+                                     EventKind kind) const;
+  void BuildTriggerInfo();
+
   /// Apply a map mutation, keeping slice indexes in sync.
   void ApplyMapAdd(ValueMap* target, const Row& key, const Value& delta);
   void ApplyMapSet(ValueMap* target, const Row& key, Value value);
@@ -127,15 +159,31 @@ class Engine : public MapStore {
   Status RunExtremeStatement(const compiler::Statement& stmt,
                              const Bindings& env);
 
+  /// Process one (relation, op) group of `count` tuples; deferrable
+  /// re-evaluation statements are appended to `deferred` instead of run.
+  Status ApplyGroup(const std::string& relation, EventKind kind,
+                    const Row* tuples, size_t count,
+                    DeferredReevals* deferred);
+  Status ApplyGroupVectorized(const TriggerInfo& info, const Row* tuples,
+                              size_t count, DeferredReevals* deferred);
+  Status ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
+                              const std::string& relation, const Row* tuples,
+                              size_t count, DeferredReevals* deferred);
+  Status FlushDeferredReevals(DeferredReevals* deferred);
+  void Defer(const compiler::Statement* stmt, const std::string* rendering,
+             DeferredReevals* deferred);
+
   compiler::Program program_;
   Database db_;
   std::map<std::string, ValueMap> maps_;
   std::map<std::string, std::vector<SliceIndex>> slice_indexes_;
   std::map<std::string, ExtremeMap> extremes_;
   std::map<std::string, const compiler::MapDecl*> decls_;
+  std::map<std::pair<std::string, int>, TriggerInfo> trigger_info_;
   RingEvaluator eval_;
   TraceSink* trace_ = nullptr;
   ProfileStats profile_;
+  std::vector<std::tuple<ValueMap*, Row, Value>> pending_;  ///< scratch
   bool in_init_ = false;  ///< re-entrancy guard for init-on-access
 };
 

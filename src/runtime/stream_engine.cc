@@ -1,0 +1,113 @@
+#include "src/runtime/stream_engine.h"
+
+#include "src/codegen/dbtoaster_runtime.h"
+
+namespace dbtoaster::runtime {
+
+EventBatch EventBatch::Of(const Event& event) {
+  EventBatch batch;
+  batch.groups_.push_back(Group{event.relation, event.kind, {event.tuple}});
+  batch.events_ = 1;
+  return batch;
+}
+
+void EventBatch::Add(EventKind kind, const std::string& relation, Row tuple) {
+  // Streams run long (relation, op) bursts; check the most recent group
+  // first, then fall back to a scan (the group count is bounded by
+  // 2 * #relations).
+  if (!groups_.empty() && groups_.back().kind == kind &&
+      groups_.back().relation == relation) {
+    groups_.back().tuples.push_back(std::move(tuple));
+    ++events_;
+    return;
+  }
+  for (Group& g : groups_) {
+    if (g.kind == kind && g.relation == relation) {
+      g.tuples.push_back(std::move(tuple));
+      ++events_;
+      return;
+    }
+  }
+  groups_.push_back(Group{relation, kind, {std::move(tuple)}});
+  ++events_;
+}
+
+Result<Value> StreamEngine::ViewScalar(const std::string& name) {
+  DBT_ASSIGN_OR_RETURN(exec::QueryResult r, View(name));
+  if (r.rows.size() != 1 || r.rows[0].first.size() != 1) {
+    return Status::InvalidArgument("view is not single-valued: " + name);
+  }
+  return r.rows[0].first[0];
+}
+
+namespace {
+
+/// Convert a storage row to the generated-code value vector.
+std::vector<dbt::Value> ToDbtValues(const Row& row) {
+  std::vector<dbt::Value> out;
+  out.reserve(row.size());
+  for (const Value& v : row) {
+    if (v.is_string()) {
+      out.emplace_back(v.AsString());
+    } else if (v.is_double()) {
+      out.emplace_back(v.AsDouble());
+    } else {
+      out.emplace_back(v.AsInt());
+    }
+  }
+  return out;
+}
+
+Value FromDbtValue(const dbt::Value& v) {
+  if (std::holds_alternative<std::string>(v)) {
+    return Value(std::get<std::string>(v));
+  }
+  if (std::holds_alternative<double>(v)) return Value(std::get<double>(v));
+  return Value(std::get<int64_t>(v));
+}
+
+}  // namespace
+
+size_t CompiledProgramEngine::StateBytes() const {
+  return program_->state_bytes();
+}
+
+Status CompiledProgramEngine::ApplyBatch(EventBatch&& batch) {
+  dbt::EventBatch out;
+  for (EventBatch::Group& g : batch.groups()) {
+    for (Row& tuple : g.tuples) {
+      out.add(g.relation, g.kind == EventKind::kInsert, ToDbtValues(tuple));
+    }
+  }
+  program_->on_batch(out);
+  return Status::OK();
+}
+
+Status CompiledProgramEngine::OnEvent(const Event& event) {
+  program_->on_event(event.relation, event.kind == EventKind::kInsert,
+                     ToDbtValues(event.tuple));
+  return Status::OK();
+}
+
+Result<exec::QueryResult> CompiledProgramEngine::View(
+    const std::string& name) {
+  bool known = false;
+  for (const std::string& v : program_->view_names()) {
+    if (v == name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) return Status::NotFound("unknown view: " + name);
+  exec::QueryResult out;
+  out.column_names = program_->view_column_names(name);
+  for (std::vector<dbt::Value>& row : program_->view_rows(name)) {
+    Row r;
+    r.reserve(row.size());
+    for (const dbt::Value& v : row) r.push_back(FromDbtValue(v));
+    out.rows.emplace_back(std::move(r), 1);
+  }
+  return out;
+}
+
+}  // namespace dbtoaster::runtime

@@ -1,0 +1,140 @@
+// The unified engine surface of the paper's §2 system model: every consumer
+// of an update stream — the trigger interpreter (runtime::Engine), the
+// bakeoff baselines (re-evaluation, first-order IVM) and dbtc-generated
+// programs — is a standing-query engine fed deltas. StreamEngine is that
+// contract; EventBatch is its vectorized unit of ingestion, grouping deltas
+// per (relation, op) so engines can amortize dispatch, trigger lookup and
+// index maintenance over whole vectors of bindings.
+//
+// Batch semantics: ApplyBatch(b) is equivalent to sequentially replaying
+// b's events grouped by (relation, op) in first-encounter group order. For
+// well-formed streams (a delete targets a tuple that is live at batch
+// start, or inserted earlier in the same batch) the final views equal those
+// of one-at-a-time replay in the original order: views are functions of the
+// final database state, which is order-independent under multiset
+// semantics, and MIN/MAX multisets tolerate transient negative counts
+// (see ExtremeMap).
+#ifndef DBTOASTER_RUNTIME_STREAM_ENGINE_H_
+#define DBTOASTER_RUNTIME_STREAM_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/executor.h"
+#include "src/storage/table.h"
+
+namespace dbt {
+class StreamProgram;  // src/codegen/dbtoaster_runtime.h (self-contained)
+}  // namespace dbt
+
+namespace dbtoaster::runtime {
+
+/// One batch of deltas, grouped per (relation, op): the columnar-ish unit
+/// all engines ingest. Groups keep first-encounter order.
+class EventBatch {
+ public:
+  struct Group {
+    std::string relation;
+    EventKind kind = EventKind::kInsert;
+    std::vector<Row> tuples;
+  };
+
+  EventBatch() = default;
+
+  /// A one-element batch (the OnEvent convenience path).
+  static EventBatch Of(const Event& event);
+
+  /// Append one delta, coalescing into an existing (relation, op) group.
+  void Add(EventKind kind, const std::string& relation, Row tuple);
+  void Add(Event event) {
+    Add(event.kind, event.relation, std::move(event.tuple));
+  }
+  void AddInsert(const std::string& relation, Row tuple) {
+    Add(EventKind::kInsert, relation, std::move(tuple));
+  }
+  void AddDelete(const std::string& relation, Row tuple) {
+    Add(EventKind::kDelete, relation, std::move(tuple));
+  }
+
+  const std::vector<Group>& groups() const { return groups_; }
+  std::vector<Group>& groups() { return groups_; }
+
+  /// Total number of events across groups.
+  size_t size() const { return events_; }
+  bool empty() const { return events_ == 0; }
+  void Clear() {
+    groups_.clear();
+    events_ = 0;
+  }
+
+ private:
+  std::vector<Group> groups_;
+  size_t events_ = 0;
+};
+
+/// A continuously-maintained standing-query engine fed delta batches.
+class StreamEngine {
+ public:
+  virtual ~StreamEngine() = default;
+
+  /// Short label for bench tables ("reeval", "ivm1", "toaster-i", ...).
+  virtual std::string Name() const = 0;
+
+  /// Ingest one batch of deltas (see the file comment for semantics).
+  virtual Status ApplyBatch(EventBatch&& batch) = 0;
+
+  /// One-element convenience; engines may override with a leaner path.
+  virtual Status OnEvent(const Event& event) {
+    return ApplyBatch(EventBatch::Of(event));
+  }
+
+  Status OnInsert(const std::string& relation, Row tuple) {
+    return OnEvent(Event::Insert(relation, std::move(tuple)));
+  }
+  Status OnDelete(const std::string& relation, Row tuple) {
+    return OnEvent(Event::Delete(relation, std::move(tuple)));
+  }
+
+  /// Current content of the registered view `name` (fresh as of the last
+  /// batch).
+  virtual Result<exec::QueryResult> View(const std::string& name) = 0;
+
+  /// Single-valued convenience for global aggregate views.
+  virtual Result<Value> ViewScalar(const std::string& name);
+
+  /// Retained bytes attributable to the engine's state (tables, indexes,
+  /// maps), for the memory bench.
+  virtual size_t StateBytes() const = 0;
+
+  /// Human-readable execution statistics; empty when the engine keeps none.
+  virtual std::string Profile() const { return std::string(); }
+};
+
+/// Drives a dbtc-generated program (any dbt::StreamProgram) through the
+/// same interface as the interpreted engines, via the generated program's
+/// string-dispatch shim. Events not handled by the program (no trigger for
+/// that relation/op) are counted but otherwise ignored, matching the
+/// generated dispatcher's behaviour.
+class CompiledProgramEngine final : public StreamEngine {
+ public:
+  explicit CompiledProgramEngine(dbt::StreamProgram* program,
+                                 std::string name = "toaster-c")
+      : program_(program), name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+  Status ApplyBatch(EventBatch&& batch) override;
+  Status OnEvent(const Event& event) override;
+  Result<exec::QueryResult> View(const std::string& name) override;
+  size_t StateBytes() const override;
+
+  dbt::StreamProgram* program() { return program_; }
+
+ private:
+  dbt::StreamProgram* program_;
+  std::string name_;
+};
+
+}  // namespace dbtoaster::runtime
+
+#endif  // DBTOASTER_RUNTIME_STREAM_ENGINE_H_

@@ -67,6 +67,11 @@ class ValueMap {
 
 /// Per-key ordered multiset, supporting MIN/MAX maintenance under inserts
 /// and deletes (the classic counterexample to pure delta processing).
+///
+/// Counts are total: removing a value that is not (yet) present records a
+/// negative count, so a batch that reorders a delete ahead of its insert
+/// still converges (the base-table ring semantics). Min/Max and size() see
+/// only values with positive counts; counts returning to zero are erased.
 class ExtremeMap {
  public:
   ExtremeMap() = default;
@@ -98,6 +103,8 @@ class ExtremeMap {
   size_t MemoryBytes() const;
 
  private:
+  void Bump(const Row& key, const Value& v, int64_t delta);
+
   std::string name_;
   size_t key_arity_ = 0;
   Type value_type_ = Type::kInt;

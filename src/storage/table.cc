@@ -70,17 +70,18 @@ const Table* Database::FindTable(const std::string& name) const {
   return it == by_name_.end() ? nullptr : &tables_[it->second];
 }
 
-Status Database::Apply(const Event& event) {
-  Table* t = FindTable(event.relation);
+Status Database::Apply(EventKind kind, const std::string& relation,
+                       const Row& tuple) {
+  Table* t = FindTable(relation);
   if (t == nullptr) {
-    return Status::NotFound("unknown relation in event: " + event.relation);
+    return Status::NotFound("unknown relation in event: " + relation);
   }
-  if (event.tuple.size() != t->schema().num_columns()) {
-    return Status::InvalidArgument(StrFormat(
-        "event arity %zu does not match schema %s", event.tuple.size(),
-        t->schema().ToString().c_str()));
+  if (tuple.size() != t->schema().num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("event arity %zu does not match schema %s", tuple.size(),
+                  t->schema().ToString().c_str()));
   }
-  t->Apply(event.tuple, event.kind == EventKind::kInsert ? 1 : -1);
+  t->Apply(tuple, kind == EventKind::kInsert ? 1 : -1);
   return Status::OK();
 }
 

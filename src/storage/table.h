@@ -90,7 +90,13 @@ class Database {
 
   /// Apply one event; fails if the relation is unknown or the tuple arity
   /// does not match the schema.
-  Status Apply(const Event& event);
+  Status Apply(const Event& event) {
+    return Apply(event.kind, event.relation, event.tuple);
+  }
+
+  /// Same, without requiring an Event to be materialized (the batched
+  /// ingestion path applies whole vectors of tuples per relation).
+  Status Apply(EventKind kind, const std::string& relation, const Row& tuple);
 
   const Catalog& catalog() const { return catalog_; }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sys/wait.h>
 
 #include "src/baseline/reeval_engine.h"
 #include "src/catalog/catalog.h"
@@ -126,9 +127,59 @@ TEST(DbtcCli, TraceAndProgramModes) {
   auto [rc3, code] = run("");
   EXPECT_EQ(rc3, 0);
   EXPECT_NE(code.find("struct Program"), std::string::npos);
+  // The generated program implements the unified batch-driver interface.
+  EXPECT_NE(code.find(": public dbt::StreamProgram"), std::string::npos);
+  EXPECT_NE(code.find("size_t on_batch(const dbt::EventBatch& batch)"),
+            std::string::npos);
   // Error paths exit non-zero with a message.
   std::string bad = std::string(DBTC_BINARY) + " /nonexistent.sql 2>&1";
   EXPECT_NE(system(bad.c_str()), 0);
+}
+
+TEST(DbtcCli, DiagnosticsAndVersion) {
+  if (std::string(DBTC_BINARY).empty()) {
+    GTEST_SKIP() << "dbtc path not configured";
+  }
+  std::string dir = ::testing::TempDir() + "/dbtc_cli_diag";
+  ASSERT_EQ(system(("mkdir -p " + dir).c_str()), 0);
+  auto run = [&](const std::string& args) {
+    std::string cmd = std::string(DBTC_BINARY) + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    std::string out;
+    char buf[4096];
+    while (fgets(buf, sizeof(buf), pipe)) out += buf;
+    int rc = pclose(pipe);
+    return std::make_pair(WEXITSTATUS(rc), out);
+  };
+
+  // --version reports and exits cleanly.
+  auto [rc_v, version] = run("--version");
+  EXPECT_EQ(rc_v, 0);
+  EXPECT_NE(version.find("dbtc "), std::string::npos);
+
+  // Unknown options are named, with usage and exit code 2 — not a bare
+  // usage line.
+  auto [rc_u, unknown] = run("--frobnicate");
+  EXPECT_EQ(rc_u, 2);
+  EXPECT_NE(unknown.find("--frobnicate"), std::string::npos);
+  EXPECT_NE(unknown.find("usage:"), std::string::npos);
+
+  // Parse errors carry file and line:column and exit non-zero.
+  {
+    FILE* f = fopen((dir + "/bad.sql").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("create table R(A int, B int);\nselect B frm R;\n", f);
+    fclose(f);
+  }
+  auto [rc_p, parse] = run(dir + "/bad.sql");
+  EXPECT_EQ(rc_p, 1);
+  EXPECT_NE(parse.find("bad.sql"), std::string::npos);
+  EXPECT_NE(parse.find("line 2:"), std::string::npos);
+
+  // Missing input: usage, exit 2.
+  auto [rc_m, missing] = run("");
+  EXPECT_EQ(rc_m, 2);
+  EXPECT_NE(missing.find("usage:"), std::string::npos);
 }
 
 }  // namespace
