@@ -1,100 +1,307 @@
-// Micro-benchmarks (google-benchmark) of the runtime primitives that
-// dominate compiled delta processing: aggregate-map point updates, lookups,
-// slice scans, and ordered-multiset (MIN/MAX) maintenance.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the runtime primitive that dominates compiled delta
+// processing: aggregate-map point operations. Sweeps the backing container
+// {std::unordered_map, std::map, dbt::FlatMap} over the kernels
+// {insert, hit-lookup, miss-lookup, add-to-zero-erase} and key domains,
+// prints a table, and emits machine-readable BENCH_map_ops.json so the
+// perf trajectory is tracked across PRs. A few interpreted-layer
+// (runtime::ValueMap, dynamic row keys) rows ride along for context.
+//
+// Usage: bench_map_ops [--quick] [--out <path>]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
 
-#include "src/codegen/dbtoaster_runtime.h"
+#include "bench/bench_common.h"
+#include "src/codegen/dbt_flat_map.h"
 #include "src/common/rng.h"
 #include "src/runtime/value_map.h"
 
+namespace dbtoaster::bench {
 namespace {
 
-using dbtoaster::Rng;
+using Key = std::tuple<int64_t>;
 
-void BM_ValueMapAdd(benchmark::State& state) {
-  dbtoaster::runtime::ValueMap map("m", 1, dbtoaster::Type::kInt);
-  Rng rng(1);
-  const int64_t domain = state.range(0);
-  for (auto _ : state) {
-    map.Add({dbtoaster::Value(rng.Range(0, domain))}, dbtoaster::Value(1));
+// Sink defeating dead-code elimination without a benchmark library.
+volatile uint64_t g_sink = 0;
+
+// ---------------------------------------------------------------------------
+// Container adapters: one uniform surface (insert / find / add-with-erase)
+// over the three backing stores under test.
+// ---------------------------------------------------------------------------
+
+struct FlatAdapter {
+  static constexpr const char* kName = "dbt::FlatMap";
+  dbt::FlatMap<Key, int64_t, dbt::TupleHash> m;
+
+  void Insert(const Key& k, int64_t v) {
+    auto [i, inserted] = m.try_emplace(k, v);
+    if (!inserted) m.value_at(i) = v;
   }
-  state.SetItemsProcessed(state.iterations());
+  const int64_t* Find(const Key& k) const { return m.find(k); }
+  void AddEraseOnZero(const Key& k, int64_t d) {
+    auto [i, inserted] = m.try_emplace(k, d);
+    if (inserted) return;
+    int64_t& v = m.value_at(i);
+    v += d;
+    if (v == 0) m.erase_at(i);
+  }
+  size_t Size() const { return m.size(); }
+};
+
+struct UnorderedAdapter {
+  static constexpr const char* kName = "std::unordered_map";
+  std::unordered_map<Key, int64_t, dbt::TupleHash> m;
+
+  void Insert(const Key& k, int64_t v) { m[k] = v; }
+  const int64_t* Find(const Key& k) const {
+    auto it = m.find(k);
+    return it == m.end() ? nullptr : &it->second;
+  }
+  void AddEraseOnZero(const Key& k, int64_t d) {
+    auto [it, inserted] = m.try_emplace(k, d);
+    if (inserted) return;
+    it->second += d;
+    if (it->second == 0) m.erase(it);
+  }
+  size_t Size() const { return m.size(); }
+};
+
+struct OrderedAdapter {
+  static constexpr const char* kName = "std::map";
+  std::map<Key, int64_t> m;
+
+  void Insert(const Key& k, int64_t v) { m[k] = v; }
+  const int64_t* Find(const Key& k) const {
+    auto it = m.find(k);
+    return it == m.end() ? nullptr : &it->second;
+  }
+  void AddEraseOnZero(const Key& k, int64_t d) {
+    auto [it, inserted] = m.try_emplace(k, d);
+    if (inserted) return;
+    it->second += d;
+    if (it->second == 0) m.erase(it);
+  }
+  size_t Size() const { return m.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  std::string container;
+  std::string kernel;
+  int64_t domain = 0;
+  size_t ops = 0;
+  double seconds = 0;
+
+  double NsPerOp() const { return ops ? seconds * 1e9 / ops : 0; }
+  double OpsPerSec() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+std::vector<Cell> g_cells;
+
+void Report(const char* container, const char* kernel, int64_t domain,
+            size_t ops, double seconds) {
+  g_cells.push_back(Cell{container, kernel, domain, ops, seconds});
+  std::printf("%-20s %-18s %8lld %12zu ops %9.1f ns/op %12.0f ops/s\n",
+              container, kernel, static_cast<long long>(domain), ops,
+              g_cells.back().NsPerOp(), g_cells.back().OpsPerSec());
+  std::fflush(stdout);
 }
-BENCHMARK(BM_ValueMapAdd)->Arg(64)->Arg(4096)->Arg(262144);
 
-void BM_ValueMapGet(benchmark::State& state) {
-  dbtoaster::runtime::ValueMap map("m", 1, dbtoaster::Type::kInt);
-  Rng rng(2);
-  const int64_t domain = state.range(0);
-  for (int64_t i = 0; i < domain; ++i) {
-    map.Set({dbtoaster::Value(i)}, dbtoaster::Value(i));
+template <typename Adapter>
+void RunKernels(int64_t domain, size_t total_ops) {
+  Rng rng(42);
+  std::vector<Key> keys;
+  keys.reserve(static_cast<size_t>(domain));
+  for (int64_t i = 0; i < domain; ++i) keys.emplace_back(i);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        map.Get({dbtoaster::Value(rng.Range(0, domain - 1))}));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ValueMapGet)->Arg(64)->Arg(4096)->Arg(262144);
 
-// The generated code's typed tuple map vs the interpreter's dynamic rows:
-// quantifies the interpretation overhead the paper eliminates.
-void BM_GeneratedMapAdd(benchmark::State& state) {
-  dbt::Map<std::tuple<int64_t>, int64_t> map;
-  Rng rng(3);
-  const int64_t domain = state.range(0);
-  for (auto _ : state) {
-    map.add(std::make_tuple(rng.Range(0, domain)), 1);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GeneratedMapAdd)->Arg(64)->Arg(4096)->Arg(262144);
-
-void BM_GeneratedMapGet(benchmark::State& state) {
-  dbt::Map<std::tuple<int64_t>, int64_t> map;
-  Rng rng(4);
-  const int64_t domain = state.range(0);
-  for (int64_t i = 0; i < domain; ++i) map.set(std::make_tuple(i), i);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        map.get(std::make_tuple(rng.Range(0, domain - 1))));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GeneratedMapGet)->Arg(64)->Arg(4096)->Arg(262144);
-
-void BM_GeneratedMapSlice(benchmark::State& state) {
-  dbt::Map<std::tuple<int64_t, int64_t>, int64_t> map;
-  Rng rng(5);
-  const int64_t groups = state.range(0);
-  for (int64_t i = 0; i < groups * 16; ++i) {
-    map.set(std::make_tuple(i % groups, i), 1);
-  }
-  for (auto _ : state) {
-    int64_t want = rng.Range(0, groups - 1);
-    int64_t acc = 0;
-    for (const auto& e : map.entries()) {
-      if (std::get<0>(e.first) != want) continue;
-      acc += e.second;
+  // insert: fill a fresh table with `domain` distinct keys, several rounds.
+  {
+    const size_t rounds =
+        std::max<size_t>(1, total_ops / static_cast<size_t>(domain));
+    double t0 = NowSeconds();
+    uint64_t sink = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      Adapter a;
+      for (const Key& k : keys) a.Insert(k, std::get<0>(k) + 1);
+      sink += a.Size();
     }
-    benchmark::DoNotOptimize(acc);
+    g_sink += sink;
+    Report(Adapter::kName, "insert", domain,
+           rounds * static_cast<size_t>(domain), NowSeconds() - t0);
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GeneratedMapSlice)->Arg(16)->Arg(256);
 
-void BM_ExtremeMapAddRemove(benchmark::State& state) {
-  dbtoaster::runtime::ExtremeMap map("x", 0, dbtoaster::Type::kInt);
-  Rng rng(6);
-  for (auto _ : state) {
-    dbtoaster::Value v(rng.Range(0, 100000));
-    map.Add({}, v);
-    if (rng.Chance(0.5)) map.Remove({}, v);
+  Adapter filled;
+  for (const Key& k : keys) filled.Insert(k, std::get<0>(k) + 1);
+
+  // hit-lookup / miss-lookup over the prefilled table.
+  for (bool hit : {true, false}) {
+    std::vector<Key> probes;
+    probes.reserve(total_ops);
+    for (size_t i = 0; i < total_ops; ++i) {
+      int64_t k = rng.Range(0, domain - 1);
+      probes.emplace_back(hit ? k : k + domain);
+    }
+    double t0 = NowSeconds();
+    uint64_t sink = 0;
+    for (const Key& k : probes) {
+      const int64_t* v = filled.Find(k);
+      if (v != nullptr) sink += static_cast<uint64_t>(*v);
+    }
+    double dt = NowSeconds() - t0;
+    g_sink += sink;
+    Report(Adapter::kName, hit ? "hit-lookup" : "miss-lookup", domain,
+           total_ops, dt);
   }
-  state.SetItemsProcessed(state.iterations());
+
+  // add-to-zero-erase: the trigger-update shape — +1 then -1 on the same
+  // key inserts and then backward-shift-erases an entry per pair.
+  {
+    std::vector<Key> probes;
+    probes.reserve(total_ops / 2);
+    for (size_t i = 0; i < total_ops / 2; ++i) {
+      probes.emplace_back(rng.Range(0, domain - 1) + 2 * domain);
+    }
+    double t0 = NowSeconds();
+    for (const Key& k : probes) {
+      filled.AddEraseOnZero(k, +1);
+      filled.AddEraseOnZero(k, -1);
+    }
+    double dt = NowSeconds() - t0;
+    g_sink += filled.Size();
+    Report(Adapter::kName, "add-to-zero-erase", domain,
+           (total_ops / 2) * 2, dt);
+  }
 }
-BENCHMARK(BM_ExtremeMapAddRemove);
+
+// Interpreted-layer context rows: dynamic Row keys through runtime::ValueMap.
+void RunValueMapKernels(int64_t domain, size_t total_ops) {
+  Rng rng(7);
+  {
+    const size_t rounds =
+        std::max<size_t>(1, total_ops / static_cast<size_t>(domain));
+    double t0 = NowSeconds();
+    uint64_t sink = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      runtime::ValueMap m("m", 1, Type::kInt);
+      for (int64_t i = 0; i < domain; ++i) {
+        m.Set({Value(i)}, Value(i + 1));
+      }
+      sink += m.size();
+    }
+    g_sink += sink;
+    Report("runtime::ValueMap", "insert", domain,
+           rounds * static_cast<size_t>(domain), NowSeconds() - t0);
+  }
+  {
+    runtime::ValueMap m("m", 1, Type::kInt);
+    for (int64_t i = 0; i < domain; ++i) m.Set({Value(i)}, Value(i + 1));
+    double t0 = NowSeconds();
+    uint64_t sink = 0;
+    for (size_t i = 0; i < total_ops; ++i) {
+      sink += static_cast<uint64_t>(
+          m.Get({Value(rng.Range(0, domain - 1))}).AsInt());
+    }
+    double dt = NowSeconds() - t0;
+    g_sink += sink;
+    Report("runtime::ValueMap", "hit-lookup", domain, total_ops, dt);
+  }
+}
+
+bool WriteJson(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << "[\n";
+  for (size_t i = 0; i < g_cells.size(); ++i) {
+    const Cell& c = g_cells[i];
+    f << "  {\"container\": \"" << c.container << "\", \"kernel\": \""
+      << c.kernel << "\", \"domain\": " << c.domain
+      << ", \"ops\": " << c.ops << ", \"seconds\": " << c.seconds
+      << ", \"ns_per_op\": " << c.NsPerOp()
+      << ", \"ops_per_sec\": " << c.OpsPerSec() << "}"
+      << (i + 1 < g_cells.size() ? "," : "") << "\n";
+  }
+  f << "]\n";
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu cells)\n", path.c_str(), g_cells.size());
+  return true;
+}
+
+/// FlatMap-vs-unordered speedup on the kernels the acceptance bar names.
+void PrintSpeedups() {
+  auto find = [&](const char* cont, const char* kern,
+                  int64_t domain) -> const Cell* {
+    for (const Cell& c : g_cells) {
+      if (c.container == cont && c.kernel == kern && c.domain == domain) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  std::printf("\nFlatMap speedup vs std::unordered_map:\n");
+  for (const Cell& c : g_cells) {
+    if (c.container != FlatAdapter::kName) continue;
+    const Cell* base = find(UnorderedAdapter::kName, c.kernel.c_str(),
+                            c.domain);
+    if (base == nullptr || c.OpsPerSec() == 0) continue;
+    std::printf("  %-18s %8lld : %5.2fx\n", c.kernel.c_str(),
+                static_cast<long long>(c.domain),
+                c.OpsPerSec() / base->OpsPerSec());
+  }
+}
+
+bool Run(bool quick, const std::string& out_path) {
+  const size_t total_ops = quick ? 200'000 : 4'000'000;
+  const std::vector<int64_t> domains =
+      quick ? std::vector<int64_t>{4096}
+            : std::vector<int64_t>{64, 4096, 262144};
+
+  std::printf("== map-ops sweep (%s) ==\n", quick ? "quick" : "full");
+  std::printf("%-20s %-18s %8s %16s %15s %14s\n", "container", "kernel",
+              "domain", "ops", "ns/op", "ops/s");
+  for (int64_t domain : domains) {
+    RunKernels<UnorderedAdapter>(domain, total_ops);
+    RunKernels<OrderedAdapter>(domain, quick ? total_ops / 4 : total_ops / 2);
+    RunKernels<FlatAdapter>(domain, total_ops);
+    RunValueMapKernels(domain, quick ? total_ops / 4 : total_ops / 2);
+  }
+  PrintSpeedups();
+  return WriteJson(out_path);
+}
 
 }  // namespace
+}  // namespace dbtoaster::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_map_ops.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return dbtoaster::bench::Run(quick, out_path) ? 0 : 1;
+}

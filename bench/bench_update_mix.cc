@@ -9,6 +9,7 @@
 // profiler bookkeeping over vectors of deltas. Every engine class ingests
 // the same stream through the same interface at batch sizes {1, 16, 256,
 // 4096}; the interpreted engine must beat its own batch=1 rate at 4096.
+#include <cstring>
 #include <memory>
 
 #include "bench/bench_common.h"
@@ -18,7 +19,7 @@
 namespace dbtoaster::bench {
 namespace {
 
-void RunMixSweep() {
+void RunMixSweep(bool quick) {
   Catalog catalog = workload::OrderBookCatalog();
   std::printf("== throughput vs update mix (market-maker query) ==\n");
   std::printf("%8s %8s %8s | %14s %14s\n", "add%", "modify%", "withdraw%",
@@ -32,16 +33,16 @@ void RunMixSweep() {
     cfg.p_modify = mix.modify;
     cfg.p_withdraw = mix.withdraw;
     workload::OrderBookGenerator gen(cfg);
-    std::vector<Event> events = gen.Generate(150000);
+    std::vector<Event> events = gen.Generate(quick ? 20000 : 150000);
 
     auto program =
         compiler::CompileQuery(catalog, "q", workload::MarketMakerQuery());
     runtime::Engine interpreted(std::move(program).value());
-    auto [n1, s1] = TimedEngineRun(events, 1.5, &interpreted);
+    auto [n1, s1] = TimedEngineRun(events, quick ? 0.2 : 1.5, &interpreted);
 
     dbtoaster_gen::mm_Program generated;
     runtime::CompiledProgramEngine compiled(&generated);
-    auto [n2, s2] = TimedEngineRun(events, 1.5, &compiled);
+    auto [n2, s2] = TimedEngineRun(events, quick ? 0.2 : 1.5, &compiled);
 
     std::printf("%8.0f %8.0f %8.0f | %14.0f %14.0f\n",
                 (1.0 - mix.modify - mix.withdraw) * 100, mix.modify * 100,
@@ -52,15 +53,15 @@ void RunMixSweep() {
       "same\nas inserts under delta processing.\n");
 }
 
-void RunBatchSweep() {
+void RunBatchSweep(bool quick) {
   Catalog catalog = workload::OrderBookCatalog();
   workload::OrderBookConfig cfg;
   cfg.p_modify = 0.2;
   cfg.p_withdraw = 0.1;
   workload::OrderBookGenerator gen(cfg);
-  std::vector<Event> events = gen.Generate(400000);
+  std::vector<Event> events = gen.Generate(quick ? 40000 : 400000);
   const std::string sql = workload::MarketMakerQuery();
-  const double kBudget = 1.0;  // seconds per (engine, batch size) cell
+  const double kBudget = quick ? 0.15 : 1.0;  // s per (engine, batch) cell
   const size_t kBatchSizes[] = {1, 16, 256, 4096};
 
   std::printf(
@@ -101,8 +102,19 @@ void RunBatchSweep() {
 }  // namespace
 }  // namespace dbtoaster::bench
 
-int main() {
-  dbtoaster::bench::RunMixSweep();
-  dbtoaster::bench::RunBatchSweep();
+int main(int argc, char** argv) {
+  // --quick: small stream + tight budgets, for the CI perf-smoke step
+  // (asserts the benches still build and run, not timing thresholds).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  dbtoaster::bench::RunMixSweep(quick);
+  dbtoaster::bench::RunBatchSweep(quick);
   return 0;
 }

@@ -1024,26 +1024,19 @@ Status Generator::EmitDispatcher(std::string* out) {
   --indent_;
   Line(out, "}");
 
-  // Rough retained-bytes estimate (per-entry node overhead guessed; string
-  // payloads not chased).
+  // True retained bytes: each container reports its slab-resident footprint
+  // (probe arrays, recycled chunks) plus spilled string payloads.
   Line(out, "size_t state_bytes() const override {");
   ++indent_;
   Line(out, "size_t bytes = 0;");
   for (const std::string& rel : rels_) {
-    Line(out, StrFormat(
-                  "bytes += rel_%s_.size() * (sizeof(%s) + sizeof(int64_t) "
-                  "+ 32);",
-                  rel.c_str(), RelKeyType(RelSchema(rel)).c_str()));
+    Line(out, StrFormat("bytes += rel_%s_.bytes();", rel.c_str()));
   }
   for (const MapDecl& m : p_.maps) {
-    if (m.is_extreme) {
-      Line(out, StrFormat("bytes += %s_.size() * 64;", m.name.c_str()));
-    } else {
-      Line(out, StrFormat(
-                    "bytes += %s_.size() * (sizeof(%s) + sizeof(%s) + 32);",
-                    m.name.c_str(), KeyType(m.key_types).c_str(),
-                    CppType(m.value_type)));
-    }
+    Line(out, StrFormat("bytes += %s_.bytes();", m.name.c_str()));
+  }
+  for (size_t i = 0; i < index_reqs_.size(); ++i) {
+    Line(out, StrFormat("bytes += idx%zu_.bytes();", i));
   }
   Line(out, "return bytes;");
   --indent_;
@@ -1145,12 +1138,13 @@ Result<std::string> Generator::Run() {
                           }()
                               .c_str()));
   }
-  Line(&body, "// --- mutation wrappers (map + index maintenance) ---");
+  Line(&body, "// --- mutation wrappers (map + eager index maintenance) ---");
   auto emit_wrappers = [&](const std::string& store,
                            const std::vector<Type>& key_types,
                            const std::string& value_type) {
     std::string key_type = KeyType(key_types);
     std::string inserts;
+    std::string erases;
     for (size_t i = 0; i < index_reqs_.size(); ++i) {
       const IndexReq& req = index_reqs_[i];
       if (req.store != store) continue;
@@ -1160,13 +1154,34 @@ Result<std::string> Generator::Run() {
       }
       inserts += StrFormat(" idx%zu_.insert(std::make_tuple(%s), k);", i,
                            Join(gets, ", ").c_str());
+      erases += StrFormat(" idx%zu_.erase(std::make_tuple(%s), k);", i,
+                          Join(gets, ", ").c_str());
     }
-    Line(&body, StrFormat("void upd_%s(const %s& k, %s d) { %s.add(k, d);%s }",
-                          store.c_str(), key_type.c_str(), value_type.c_str(),
-                          store.c_str(), inserts.c_str()));
-    Line(&body, StrFormat("void st_%s(const %s& k, %s v) { %s.set(k, v);%s }",
-                          store.c_str(), key_type.c_str(), value_type.c_str(),
-                          store.c_str(), inserts.c_str()));
+    if (inserts.empty()) {
+      Line(&body,
+           StrFormat("void upd_%s(const %s& k, %s d) { %s.add(k, d); }",
+                     store.c_str(), key_type.c_str(), value_type.c_str(),
+                     store.c_str()));
+      Line(&body,
+           StrFormat("void st_%s(const %s& k, %s v) { %s.set(k, v); }",
+                     store.c_str(), key_type.c_str(), value_type.c_str(),
+                     store.c_str()));
+      return;
+    }
+    // Indexed stores: the Upd result drives the slice-index maintenance, so
+    // a key erased by the map (count back to zero) leaves no stale entry.
+    Line(&body,
+         StrFormat("void upd_%s(const %s& k, %s d) { const dbt::Upd r = "
+                   "%s.add(k, d); if (r == dbt::Upd::kLive) {%s } else if (r "
+                   "== dbt::Upd::kErased) {%s } }",
+                   store.c_str(), key_type.c_str(), value_type.c_str(),
+                   store.c_str(), inserts.c_str(), erases.c_str()));
+    Line(&body,
+         StrFormat("void st_%s(const %s& k, %s v) { const dbt::Upd r = "
+                   "%s.set(k, v); if (r == dbt::Upd::kLive) {%s } else {%s } "
+                   "}",
+                   store.c_str(), key_type.c_str(), value_type.c_str(),
+                   store.c_str(), inserts.c_str(), erases.c_str()));
   };
   for (const std::string& rel : rels_) {
     const Schema* schema = RelSchema(rel);

@@ -11,10 +11,11 @@
 #include <map>
 #include <string>
 #include <tuple>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
 #include <variant>
 #include <vector>
+
+#include "dbt_flat_map.h"
 
 namespace dbt {
 
@@ -47,126 +48,128 @@ inline double SafeDiv(double num, double den) {
   return den == 0.0 ? 0.0 : num / den;
 }
 
-namespace internal {
-
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-inline size_t HashScalar(int64_t v) {
-  return Mix64(static_cast<uint64_t>(v));
-}
-inline size_t HashScalar(double v) {
-  if (v == static_cast<int64_t>(v)) {
-    return Mix64(static_cast<uint64_t>(static_cast<int64_t>(v)));
-  }
-  uint64_t bits;
-  __builtin_memcpy(&bits, &v, sizeof(bits));
-  return Mix64(bits);
-}
-inline size_t HashScalar(const std::string& v) {
-  return std::hash<std::string>()(v);
-}
-
-template <typename Tuple, size_t... I>
-size_t HashTupleImpl(const Tuple& t, std::index_sequence<I...>) {
-  size_t h = 0x9e3779b97f4a7c15ULL;
-  ((h ^= HashScalar(std::get<I>(t)) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-         (h >> 2)),
-   ...);
-  return h;
-}
-
-}  // namespace internal
-
-/// Hash functor for std::tuple keys.
-struct TupleHash {
-  template <typename... Ts>
-  size_t operator()(const std::tuple<Ts...>& t) const {
-    return internal::HashTupleImpl(
-        t, std::make_index_sequence<sizeof...(Ts)>());
-  }
+/// Outcome of a map mutation, consumed by the generated upd_/st_ wrappers
+/// to maintain secondary slice indexes eagerly (no stale growth).
+enum class Upd : uint8_t {
+  kUnchanged = 0,  ///< no-op (zero delta): index state already correct
+  kLive = 1,       ///< entry exists after the update
+  kErased = 2,     ///< entry was removed (or set to zero)
 };
 
 /// Aggregate map: composite key -> value; integer entries reaching zero are
-/// erased so the live key set tracks the aggregate's support.
+/// erased so the live key set tracks the aggregate's support. Backed by the
+/// robin-hood FlatMap with pooled storage (see dbt_flat_map.h).
 template <typename K, typename V>
 class Map {
  public:
-  using Store = std::unordered_map<K, V, TupleHash>;
+  using Store = FlatMap<K, V, TupleHash>;
 
   V get(const K& k) const {
-    auto it = data_.find(k);
-    return it == data_.end() ? V{} : it->second;
+    const V* v = data_.find(k);
+    return v == nullptr ? V{} : *v;
   }
-  bool contains(const K& k) const { return data_.find(k) != data_.end(); }
+  bool contains(const K& k) const { return data_.contains(k); }
 
-  void add(const K& k, V delta) {
-    if (delta == V{}) return;
-    auto [it, inserted] = data_.try_emplace(k, delta);
-    if (inserted) return;
-    it->second += delta;
+  Upd add(const K& k, V delta) {
+    if (delta == V{}) return Upd::kUnchanged;
+    auto [i, inserted] = data_.try_emplace(k, delta);
+    if (inserted) return Upd::kLive;
+    V& val = data_.value_at(i);
+    val += delta;
     if constexpr (std::is_integral_v<V>) {
-      if (it->second == V{}) data_.erase(it);
+      if (val == V{}) {
+        data_.erase_at(i);
+        return Upd::kErased;
+      }
     }
+    return Upd::kLive;
   }
 
-  void set(const K& k, V v) {
+  Upd set(const K& k, V v) {
     if (v == V{}) {
       data_.erase(k);
-      return;
+      return Upd::kErased;
     }
-    data_[k] = v;
+    auto [i, inserted] = data_.try_emplace(k, v);
+    if (!inserted) data_.value_at(i) = std::move(v);
+    return Upd::kLive;
   }
 
   void clear() { data_.clear(); }
   size_t size() const { return data_.size(); }
   const Store& entries() const { return data_; }
 
+  /// True slab-resident footprint plus spilled string payloads.
+  size_t bytes() const {
+    size_t n = sizeof(*this) + data_.pool_bytes();
+    for (const auto& e : data_) n += ExternalBytes(e.first);
+    return n;
+  }
+
  private:
   Store data_;
 };
 
-/// Secondary slice index: prefix tuple -> set of full keys. Entries may be
-/// stale after map erasure; readers re-check the map value (a zero read
-/// contributes nothing). This reproduces the nested-map access paths of the
-/// paper's generated code (q_1_bc[b][c]).
+/// Secondary slice index: prefix tuple -> set of full keys, maintained
+/// eagerly by the generated mutation wrappers (full keys are erased when
+/// the owning Map erases a zeroed entry). All key-sets draw from the
+/// index's slab, so retired probe arrays are recycled across prefixes.
+/// Readers still re-check the map value (a zero read contributes nothing):
+/// hybrid re-evaluation statements clear maps without going through the
+/// wrappers. This reproduces the nested-map access paths of the paper's
+/// generated code (q_1_bc[b][c]).
 template <typename P, typename K>
 class SliceIndex {
  public:
-  using KeySet = std::unordered_set<K, TupleHash>;
+  using KeySet = FlatSet<K, TupleHash>;
+
+  SliceIndex() : slab_(new Slab), data_(slab_.get()) {}
 
   void insert(const P& prefix, const K& full_key) {
-    data_[prefix].insert(full_key);
+    auto [i, inserted] =
+        data_.try_emplace_with(prefix, [&] { return KeySet(slab_.get()); });
+    data_.value_at(i).insert(full_key);
   }
-  const KeySet* lookup(const P& prefix) const {
-    auto it = data_.find(prefix);
-    return it == data_.end() ? nullptr : &it->second;
+  void erase(const P& prefix, const K& full_key) {
+    KeySet* set = data_.find(prefix);
+    if (set == nullptr) return;
+    set->erase(full_key);
+    if (set->empty()) data_.erase(prefix);
   }
+  const KeySet* lookup(const P& prefix) const { return data_.find(prefix); }
   void clear() { data_.clear(); }
   size_t size() const { return data_.size(); }
 
+  size_t bytes() const {
+    size_t n = sizeof(*this) + sizeof(Slab) + slab_->reserved_bytes();
+    for (const auto& e : data_) {
+      n += ExternalBytes(e.first);
+      for (const K& k : e.second) n += ExternalBytes(k);
+    }
+    return n;
+  }
+
  private:
-  std::unordered_map<P, KeySet, TupleHash> data_;
+  std::unique_ptr<Slab> slab_;  // stable address shared with the key-sets
+  FlatMap<P, KeySet, TupleHash> data_;
 };
 
 /// Ordered multiset per group: MIN/MAX maintenance under deletions.
 ///
 /// Counts may go negative transiently when a batch reorders a delete ahead
 /// of its insert (the ring semantics of the base tables); min/max skip
-/// non-positive counts, and counts returning to zero are erased.
+/// non-positive counts, and counts returning to zero are erased. Each group
+/// tracks its live (positive-count) value count, so groups holding only
+/// debts answer min/max without scanning.
 template <typename K, typename V>
 class ExtremeMap {
  public:
   void add(const K& k, const V& v) { Bump(k, v, +1); }
   void remove(const K& k, const V& v) { Bump(k, v, -1); }
   bool min(const K& k, V* out) const {
-    auto git = data_.find(k);
-    if (git == data_.end()) return false;
-    for (const auto& [value, count] : git->second) {
+    const Group* g = data_.find(k);
+    if (g == nullptr || g->live == 0) return false;
+    for (const auto& [value, count] : g->counts) {
       if (count > 0) {
         *out = value;
         return true;
@@ -175,9 +178,9 @@ class ExtremeMap {
     return false;
   }
   bool max(const K& k, V* out) const {
-    auto git = data_.find(k);
-    if (git == data_.end()) return false;
-    for (auto it = git->second.rbegin(); it != git->second.rend(); ++it) {
+    const Group* g = data_.find(k);
+    if (g == nullptr || g->live == 0) return false;
+    for (auto it = g->counts.rbegin(); it != g->counts.rend(); ++it) {
       if (it->second > 0) {
         *out = it->first;
         return true;
@@ -187,15 +190,34 @@ class ExtremeMap {
   }
   size_t size() const { return data_.size(); }
 
- private:
-  void Bump(const K& k, const V& v, int64_t delta) {
-    auto& group = data_[k];
-    auto [it, inserted] = group.try_emplace(v, delta);
-    if (!inserted && (it->second += delta) == 0) group.erase(it);
-    if (group.empty()) data_.erase(k);
+  size_t bytes() const {
+    size_t n = sizeof(*this) + data_.pool_bytes();
+    for (const auto& e : data_) {
+      n += ExternalBytes(e.first);
+      // std::map node: value, count, three pointers + color, rounded up.
+      n += e.second.counts.size() * (sizeof(V) + sizeof(int64_t) + 40);
+    }
+    return n;
   }
 
-  std::unordered_map<K, std::map<V, int64_t>, TupleHash> data_;
+ private:
+  struct Group {
+    std::map<V, int64_t> counts;
+    int64_t live = 0;  ///< number of values with a positive count
+  };
+
+  void Bump(const K& k, const V& v, int64_t delta) {
+    auto [i, inserted] = data_.try_emplace(k);
+    Group& g = data_.value_at(i);
+    auto [it, vnew] = g.counts.try_emplace(v, 0);
+    const int64_t before = it->second;
+    const int64_t after = (it->second += delta);
+    g.live += static_cast<int64_t>(after > 0) - static_cast<int64_t>(before > 0);
+    if (after == 0) g.counts.erase(it);
+    if (g.counts.empty()) data_.erase_at(i);
+  }
+
+  FlatMap<K, Group, TupleHash> data_;
 };
 
 /// One batch of deltas at the dynamic boundary, grouped per (relation, op)

@@ -1,24 +1,21 @@
 // Hash utilities shared by map keys, interning tables and test helpers.
+//
+// The actual implementations live in src/codegen/dbt_flat_map.h — the
+// standalone collection core shipped with dbtc-generated sources — and are
+// re-exported here so the interpreted runtime and the generated code agree
+// on every finalized hash (rows and key tuples fold identically, integral
+// doubles collide with their int64 twin in both layers).
 #ifndef DBTOASTER_COMMON_HASH_H_
 #define DBTOASTER_COMMON_HASH_H_
 
-#include <cstddef>
-#include <cstdint>
+#include "src/codegen/dbt_flat_map.h"
 
 namespace dbtoaster {
 
-/// 64-bit mix (splitmix64 finalizer); good avalanche for integer keys.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-/// Combine two hashes (boost-style, with a 64-bit constant).
-inline size_t HashCombine(size_t seed, size_t h) {
-  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
-}
+using dbt::HashCombine;
+using dbt::HashScalar;
+using dbt::kHashSeed;
+using dbt::Mix64;
 
 }  // namespace dbtoaster
 

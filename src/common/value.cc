@@ -127,20 +127,13 @@ Value Value::Neg(const Value& a) {
 }
 
 size_t Value::Hash() const {
-  if (is_int()) return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
-  if (is_double()) {
-    double d = std::get<double>(v_);
-    // Hash integral doubles identically to the equal int (2 == 2.0 must
-    // imply equal hashes because Compare treats them as equal).
-    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
-      return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
-    }
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    __builtin_memcpy(&bits, &d, sizeof(bits));
-    return Mix64(bits);
-  }
-  return std::hash<std::string>()(std::get<std::string>(v_));
+  // Shared scalar hashing (src/codegen/dbt_flat_map.h): integral doubles
+  // hash identically to the equal int (2 == 2.0 must imply equal hashes
+  // because Compare treats them as equal), and the same finalized values
+  // appear in the compiled path's tuple keys.
+  if (is_int()) return HashScalar(std::get<int64_t>(v_));
+  if (is_double()) return HashScalar(std::get<double>(v_));
+  return HashScalar(std::get<std::string>(v_));
 }
 
 std::string RowToString(const Row& row) {

@@ -108,7 +108,9 @@ std::string RowToString(const Row& row);
 
 struct RowHash {
   size_t operator()(const Row& r) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
+    // Same seed and fold as the compiled path's TupleHash: a Row and the
+    // equivalent typed tuple produce identical finalized hashes.
+    size_t h = kHashSeed;
     for (const Value& v : r) h = HashCombine(h, v.Hash());
     return h;
   }

@@ -3,9 +3,8 @@
 namespace dbtoaster::runtime {
 
 Value ValueMap::Get(const Row& key) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return TypedZero();
-  return it->second;
+  const Value* v = entries_.find(key);
+  return v == nullptr ? TypedZero() : *v;
 }
 
 void ValueMap::Add(const Row& key, const Value& delta) {
@@ -14,14 +13,15 @@ void ValueMap::Add(const Row& key, const Value& delta) {
   if (delta.is_numeric() && delta.IsZero()) return;
   // Single find-or-insert probe: updates are the hot path of every trigger
   // execution (bench_map_ops measures this directly).
-  auto [it, inserted] = entries_.try_emplace(key);
+  auto [i, inserted] = entries_.try_emplace(key);
   if (inserted) {
-    it->second =
+    entries_.value_at(i) =
         value_type_ == Type::kDouble ? Value(delta.AsDouble()) : delta;
     return;
   }
-  it->second = Value::Add(it->second, delta);
-  if (it->second.is_int() && it->second.AsInt() == 0) entries_.erase(it);
+  Value& val = entries_.value_at(i);
+  val = Value::Add(val, delta);
+  if (val.is_int() && val.AsInt() == 0) entries_.erase_at(i);
 }
 
 void ValueMap::Set(const Row& key, Value value) {
@@ -29,13 +29,17 @@ void ValueMap::Set(const Row& key, Value value) {
     entries_.erase(key);
     return;
   }
-  entries_.insert_or_assign(key, std::move(value));
+  auto [i, inserted] =
+      entries_.try_emplace_with(key, [&] { return std::move(value); });
+  if (!inserted) entries_.value_at(i) = std::move(value);
 }
 
 size_t ValueMap::MemoryBytes() const {
-  size_t bytes = sizeof(ValueMap);
+  // Slab-resident footprint (probe arrays, recycled chunks) plus the heap
+  // payloads reachable from the entries: row storage and spilled strings.
+  size_t bytes = sizeof(ValueMap) + entries_.pool_bytes();
   for (const auto& [key, value] : entries_) {
-    bytes += key.capacity() * sizeof(Value) + sizeof(Value) + 16;
+    bytes += key.capacity() * sizeof(Value);
     for (const Value& v : key) {
       if (v.is_string()) bytes += v.AsString().capacity();
     }
@@ -49,45 +53,42 @@ void ExtremeMap::Add(const Row& key, const Value& v) { Bump(key, v, +1); }
 void ExtremeMap::Remove(const Row& key, const Value& v) { Bump(key, v, -1); }
 
 void ExtremeMap::Bump(const Row& key, const Value& v, int64_t delta) {
-  auto& group = groups_[key];
-  auto [it, inserted] = group.try_emplace(v, delta);
-  if (!inserted && (it->second += delta) == 0) group.erase(it);
-  if (group.empty()) groups_.erase(key);
+  auto [i, inserted] = groups_.try_emplace(key);
+  Group& g = groups_.value_at(i);
+  auto [it, vnew] = g.counts.try_emplace(v, 0);
+  const int64_t before = it->second;
+  const int64_t after = (it->second += delta);
+  const int64_t live_delta =
+      static_cast<int64_t>(after > 0) - static_cast<int64_t>(before > 0);
+  g.live += live_delta;
+  total_live_ += live_delta;
+  if (after == 0) g.counts.erase(it);
+  if (g.counts.empty()) groups_.erase_at(i);
 }
 
 std::optional<Value> ExtremeMap::Min(const Row& key) const {
-  auto git = groups_.find(key);
-  if (git == groups_.end()) return std::nullopt;
-  for (const auto& [value, count] : git->second) {
+  const Group* g = groups_.find(key);
+  if (g == nullptr || g->live == 0) return std::nullopt;
+  for (const auto& [value, count] : g->counts) {
     if (count > 0) return value;
   }
   return std::nullopt;
 }
 
 std::optional<Value> ExtremeMap::Max(const Row& key) const {
-  auto git = groups_.find(key);
-  if (git == groups_.end()) return std::nullopt;
-  for (auto it = git->second.rbegin(); it != git->second.rend(); ++it) {
+  const Group* g = groups_.find(key);
+  if (g == nullptr || g->live == 0) return std::nullopt;
+  for (auto it = g->counts.rbegin(); it != g->counts.rend(); ++it) {
     if (it->second > 0) return it->first;
   }
   return std::nullopt;
 }
 
-size_t ExtremeMap::size() const {
-  size_t n = 0;
-  for (const auto& [key, ms] : groups_) {
-    for (const auto& [value, count] : ms) {
-      if (count > 0) ++n;
-    }
-  }
-  return n;
-}
-
 size_t ExtremeMap::MemoryBytes() const {
-  size_t bytes = sizeof(ExtremeMap);
-  for (const auto& [key, ms] : groups_) {
-    bytes += key.capacity() * sizeof(Value) + 16;
-    bytes += ms.size() * (sizeof(Value) + sizeof(int64_t) + 48);
+  size_t bytes = sizeof(ExtremeMap) + groups_.pool_bytes();
+  for (const auto& [key, g] : groups_) {
+    bytes += key.capacity() * sizeof(Value);
+    bytes += g.counts.size() * (sizeof(Value) + sizeof(int64_t) + 40);
   }
   return bytes;
 }

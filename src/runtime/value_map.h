@@ -1,6 +1,8 @@
 // In-memory aggregate map structures maintained by the runtime: the
 // key->value hash maps backing compiled views, and ordered multisets for
-// MIN/MAX groups (correct under deletions).
+// MIN/MAX groups (correct under deletions). Both are backed by the shared
+// open-addressing core (dbt::FlatMap, src/codegen/dbt_flat_map.h) — the
+// same table the compiled path uses, with pooled slot storage.
 #ifndef DBTOASTER_RUNTIME_VALUE_MAP_H_
 #define DBTOASTER_RUNTIME_VALUE_MAP_H_
 
@@ -8,11 +10,14 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
+#include "src/codegen/dbt_flat_map.h"
 #include "src/common/value.h"
 
 namespace dbtoaster::runtime {
+
+/// Open-addressing map from dynamic row keys to aggregate values.
+using FlatValueMap = dbt::FlatMap<Row, Value, RowHash, RowEq>;
 
 /// Hash map from composite key to aggregate value.
 ///
@@ -35,7 +40,7 @@ class ValueMap {
   /// Value at `key`, or a typed zero when absent.
   Value Get(const Row& key) const;
 
-  bool Contains(const Row& key) const { return entries_.count(key) > 0; }
+  bool Contains(const Row& key) const { return entries_.contains(key); }
 
   /// entry += delta (entries reaching int 0 are erased).
   void Add(const Row& key, const Value& delta);
@@ -48,9 +53,8 @@ class ValueMap {
 
   size_t size() const { return entries_.size(); }
 
-  const std::unordered_map<Row, Value, RowHash, RowEq>& entries() const {
-    return entries_;
-  }
+  /// Iterable view of live (key, value) entries.
+  const FlatValueMap& entries() const { return entries_; }
 
   Value TypedZero() const {
     return value_type_ == Type::kDouble ? Value(0.0) : Value(int64_t{0});
@@ -62,7 +66,7 @@ class ValueMap {
   std::string name_;
   size_t key_arity_ = 0;
   Type value_type_ = Type::kInt;
-  std::unordered_map<Row, Value, RowHash, RowEq> entries_;
+  FlatValueMap entries_;
 };
 
 /// Per-key ordered multiset, supporting MIN/MAX maintenance under inserts
@@ -72,8 +76,17 @@ class ValueMap {
 /// negative count, so a batch that reorders a delete ahead of its insert
 /// still converges (the base-table ring semantics). Min/Max and size() see
 /// only values with positive counts; counts returning to zero are erased.
+/// Each group tracks its live-value count, so debt-only groups answer
+/// Min/Max without scanning and size() is O(1).
 class ExtremeMap {
  public:
+  /// One group's ordered value multiset plus its live (positive) count.
+  struct Group {
+    std::map<Value, int64_t> counts;
+    int64_t live = 0;
+  };
+  using GroupMap = dbt::FlatMap<Row, Group, RowHash, RowEq>;
+
   ExtremeMap() = default;
   ExtremeMap(std::string name, size_t key_arity, Type value_type)
       : name_(std::move(name)),
@@ -92,13 +105,14 @@ class ExtremeMap {
   std::optional<Value> Max(const Row& key) const;
 
   size_t NumGroups() const { return groups_.size(); }
-  size_t size() const;
-  void Clear() { groups_.clear(); }
-
-  const std::unordered_map<Row, std::map<Value, int64_t>, RowHash, RowEq>&
-  groups() const {
-    return groups_;
+  /// Total number of live (positive-count) values across groups.
+  size_t size() const { return static_cast<size_t>(total_live_); }
+  void Clear() {
+    groups_.clear();
+    total_live_ = 0;
   }
+
+  const GroupMap& groups() const { return groups_; }
 
   size_t MemoryBytes() const;
 
@@ -108,7 +122,8 @@ class ExtremeMap {
   std::string name_;
   size_t key_arity_ = 0;
   Type value_type_ = Type::kInt;
-  std::unordered_map<Row, std::map<Value, int64_t>, RowHash, RowEq> groups_;
+  int64_t total_live_ = 0;
+  GroupMap groups_;
 };
 
 }  // namespace dbtoaster::runtime

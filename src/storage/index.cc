@@ -12,29 +12,29 @@ Row HashIndex::ExtractKey(const Row& row) const {
 void HashIndex::Apply(const Row& row, int64_t mult) {
   if (mult == 0) return;
   Row key = ExtractKey(row);
-  auto& bucket = buckets_[key];
-  auto it = bucket.find(row);
-  if (it == bucket.end()) {
-    bucket.emplace(row, mult);
-  } else {
-    it->second += mult;
-    if (it->second == 0) bucket.erase(it);
+  auto [bi, binserted] =
+      buckets_.try_emplace_with(key, [&] { return Multiset(slab_.get()); });
+  Multiset& bucket = buckets_.value_at(bi);
+  auto [ri, rinserted] = bucket.try_emplace(row, mult);
+  if (!rinserted) {
+    int64_t& m = bucket.value_at(ri);
+    m += mult;
+    if (m == 0) bucket.erase_at(ri);
   }
-  if (bucket.empty()) buckets_.erase(key);
+  if (bucket.empty()) buckets_.erase_at(bi);
 }
 
-const std::unordered_map<Row, int64_t, RowHash, RowEq>* HashIndex::Lookup(
-    const Row& key) const {
-  auto it = buckets_.find(key);
-  return it == buckets_.end() ? nullptr : &it->second;
+const Multiset* HashIndex::Lookup(const Row& key) const {
+  return buckets_.find(key);
 }
 
 size_t HashIndex::MemoryBytes() const {
-  size_t bytes = sizeof(HashIndex);
+  size_t bytes =
+      sizeof(HashIndex) + sizeof(dbt::Slab) + slab_->reserved_bytes();
   for (const auto& [key, bucket] : buckets_) {
-    bytes += key.capacity() * sizeof(Value) + 16;
+    bytes += key.capacity() * sizeof(Value);
     for (const auto& [row, mult] : bucket) {
-      bytes += row.capacity() * sizeof(Value) + sizeof(int64_t) + 16;
+      bytes += row.capacity() * sizeof(Value);
     }
   }
   return bytes;

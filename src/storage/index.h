@@ -5,19 +5,23 @@
 #define DBTOASTER_STORAGE_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
-#include "src/common/value.h"
+#include "src/storage/table.h"
 
 namespace dbtoaster {
 
-/// Secondary hash index: key columns -> multiset of full rows.
+/// Secondary hash index: key columns -> multiset of full rows. Both levels
+/// are open-addressing tables; the per-key multisets draw from the index's
+/// shared slab so retired probe arrays are recycled across buckets.
 class HashIndex {
  public:
   /// `key_columns` are positions into the indexed relation's rows.
   explicit HashIndex(std::vector<size_t> key_columns)
-      : key_columns_(std::move(key_columns)) {}
+      : key_columns_(std::move(key_columns)),
+        slab_(new dbt::Slab),
+        buckets_(slab_.get()) {}
 
   const std::vector<size_t>& key_columns() const { return key_columns_; }
 
@@ -25,8 +29,7 @@ class HashIndex {
   void Apply(const Row& row, int64_t mult);
 
   /// All (row, multiplicity) entries matching `key`, or nullptr.
-  const std::unordered_map<Row, int64_t, RowHash, RowEq>* Lookup(
-      const Row& key) const;
+  const Multiset* Lookup(const Row& key) const;
 
   Row ExtractKey(const Row& row) const;
 
@@ -36,9 +39,8 @@ class HashIndex {
 
  private:
   std::vector<size_t> key_columns_;
-  std::unordered_map<Row, std::unordered_map<Row, int64_t, RowHash, RowEq>,
-                     RowHash, RowEq>
-      buckets_;
+  std::unique_ptr<dbt::Slab> slab_;  // stable address shared with buckets
+  dbt::FlatMap<Row, Multiset, RowHash, RowEq> buckets_;
 };
 
 }  // namespace dbtoaster

@@ -6,18 +6,16 @@ namespace dbtoaster {
 
 void Table::Apply(const Row& row, int64_t mult) {
   if (mult == 0) return;
-  auto it = rows_.find(row);
-  if (it == rows_.end()) {
-    rows_.emplace(row, mult);
-    return;
-  }
-  it->second += mult;
-  if (it->second == 0) rows_.erase(it);
+  auto [i, inserted] = rows_.try_emplace(row, mult);
+  if (inserted) return;
+  int64_t& m = rows_.value_at(i);
+  m += mult;
+  if (m == 0) rows_.erase_at(i);
 }
 
 int64_t Table::Multiplicity(const Row& row) const {
-  auto it = rows_.find(row);
-  return it == rows_.end() ? 0 : it->second;
+  const int64_t* m = rows_.find(row);
+  return m == nullptr ? 0 : *m;
 }
 
 int64_t Table::Cardinality() const {
@@ -27,13 +25,13 @@ int64_t Table::Cardinality() const {
 }
 
 size_t Table::MemoryBytes() const {
-  size_t bytes = sizeof(Table);
+  // Slab-resident probe/slot arrays plus per-row heap payloads.
+  size_t bytes = sizeof(Table) + rows_.pool_bytes();
   for (const auto& [row, mult] : rows_) {
-    bytes += sizeof(int64_t) + sizeof(Row) + row.capacity() * sizeof(Value);
+    bytes += row.capacity() * sizeof(Value);
     for (const Value& v : row) {
       if (v.is_string()) bytes += v.AsString().capacity();
     }
-    bytes += 16;  // hash-table node overhead estimate
   }
   return bytes;
 }

@@ -14,13 +14,15 @@
 #include <vector>
 
 #include "src/catalog/catalog.h"
+#include "src/codegen/dbt_flat_map.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
 
 namespace dbtoaster {
 
-/// A multiset of rows: tuple -> multiplicity (> 0).
-using Multiset = std::unordered_map<Row, int64_t, RowHash, RowEq>;
+/// A multiset of rows: tuple -> multiplicity (> 0), stored in the shared
+/// open-addressing table (pooled slots, tombstone-free deletion).
+using Multiset = dbt::FlatMap<Row, int64_t, RowHash, RowEq>;
 
 /// One stored relation: schema + multiset contents.
 class Table {

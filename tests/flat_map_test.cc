@@ -1,0 +1,367 @@
+// Randomized property suite for the open-addressing map core
+// (src/codegen/dbt_flat_map.h): FlatMap/FlatSet hammered against
+// std::unordered_map/std::set reference models through interleaved
+// add/set/erase/clear, across rehash boundaries, backward-shift deletion
+// chains, string keys under the pool allocator, and the zero-erasure
+// semantics of dbt::Map / runtime::ValueMap built on top.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/codegen/dbt_flat_map.h"
+#include "src/codegen/dbtoaster_runtime.h"
+#include "src/common/rng.h"
+#include "src/common/value.h"
+#include "src/runtime/value_map.h"
+
+namespace dbtoaster {
+namespace {
+
+using IntKey = std::tuple<int64_t>;
+using StrKey = std::tuple<std::string, int64_t>;
+
+// ---------------------------------------------------------------------------
+// Model equivalence helpers.
+// ---------------------------------------------------------------------------
+
+template <typename Flat, typename Ref>
+void ExpectSameContents(const Flat& flat, const Ref& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  size_t seen = 0;
+  for (const auto& e : flat) {
+    auto it = ref.find(e.first);
+    ASSERT_TRUE(it != ref.end());
+    EXPECT_EQ(e.second, it->second);
+    ++seen;
+  }
+  EXPECT_EQ(seen, ref.size());
+  for (const auto& [k, v] : ref) {
+    const auto* got = flat.find(k);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(FlatMap, RandomizedAgainstUnorderedMapIntKeys) {
+  Rng rng(101);
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> flat;
+  std::unordered_map<IntKey, int64_t, dbt::TupleHash> ref;
+
+  for (int round = 0; round < 40000; ++round) {
+    // Narrow key domain => plenty of hits, erases and probe-chain overlap.
+    IntKey k{rng.Range(0, 200)};
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      int64_t v = rng.Range(-3, 3);
+      auto [i, inserted] = flat.try_emplace(k, v);
+      if (!inserted) flat.value_at(i) = v;
+      ref[k] = v;
+    } else if (dice < 0.75) {
+      EXPECT_EQ(flat.erase(k), ref.erase(k) > 0);
+    } else if (dice < 0.9975) {
+      const int64_t* got = flat.find(k);
+      auto it = ref.find(k);
+      ASSERT_EQ(got != nullptr, it != ref.end());
+      if (got != nullptr) EXPECT_EQ(*got, it->second);
+      EXPECT_EQ(flat.contains(k), it != ref.end());
+    } else {
+      flat.clear();
+      ref.clear();
+    }
+    if (round % 5000 == 0) ExpectSameContents(flat, ref);
+  }
+  ExpectSameContents(flat, ref);
+}
+
+TEST(FlatMap, RehashBoundariesPreserveContents) {
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> flat;
+  std::unordered_map<IntKey, int64_t, dbt::TupleHash> ref;
+  // Push through many doublings, checking at each power-of-two boundary.
+  for (int64_t i = 0; i < 5000; ++i) {
+    flat.try_emplace(IntKey{i}, i * 7);
+    ref[IntKey{i}] = i * 7;
+    if ((i & (i + 1)) == 0) ExpectSameContents(flat, ref);
+  }
+  ExpectSameContents(flat, ref);
+  // Then drain fully through backward-shift deletion.
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(flat.erase(IntKey{i}));
+  }
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.find(IntKey{123}), nullptr);
+}
+
+TEST(FlatMap, BackwardShiftDeletionKeepsChainsReachable) {
+  // Colliding-by-construction workload: a tiny table with dense keys forces
+  // long probe chains; erasing from the middle must keep the tail findable.
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> flat;
+  for (int64_t i = 0; i < 64; ++i) flat.try_emplace(IntKey{i}, i);
+  Rng rng(202);
+  std::set<int64_t> live;
+  for (int64_t i = 0; i < 64; ++i) live.insert(i);
+  while (!live.empty()) {
+    auto it = live.begin();
+    std::advance(it, static_cast<long>(rng.Uniform(live.size())));
+    ASSERT_TRUE(flat.erase(IntKey{*it}));
+    live.erase(it);
+    for (int64_t k : live) {
+      const int64_t* v = flat.find(IntKey{k});
+      ASSERT_NE(v, nullptr) << "lost key " << k;
+      EXPECT_EQ(*v, k);
+    }
+  }
+  EXPECT_TRUE(flat.empty());
+}
+
+TEST(FlatMap, StringKeysUnderPoolAllocator) {
+  Rng rng(303);
+  dbt::FlatMap<StrKey, int64_t, dbt::TupleHash> flat;
+  std::map<StrKey, int64_t> ref;
+  auto make_key = [&](int64_t i) {
+    // Mix SSO-sized and spilled strings.
+    std::string s = "k" + std::to_string(i % 97);
+    if (i % 3 == 0) s += std::string(40, 'x');
+    return StrKey{s, i % 11};
+  };
+  for (int round = 0; round < 20000; ++round) {
+    StrKey k = make_key(rng.Range(0, 500));
+    if (rng.Chance(0.6)) {
+      int64_t v = rng.Range(1, 100);
+      auto [i, inserted] = flat.try_emplace(k, v);
+      if (!inserted) flat.value_at(i) = v;
+      ref[k] = v;
+    } else {
+      EXPECT_EQ(flat.erase(k), ref.erase(k) > 0);
+    }
+  }
+  ExpectSameContents(flat, ref);
+  EXPECT_GT(flat.pool_bytes(), 0u);
+}
+
+TEST(FlatSet, RandomizedAgainstSet) {
+  Rng rng(404);
+  dbt::Slab slab;
+  dbt::FlatSet<IntKey, dbt::TupleHash> fs(&slab);
+  std::set<IntKey> ref;
+  for (int round = 0; round < 20000; ++round) {
+    IntKey k{rng.Range(0, 300)};
+    if (rng.Chance(0.55)) {
+      EXPECT_EQ(fs.insert(k), ref.insert(k).second);
+    } else {
+      EXPECT_EQ(fs.erase(k), ref.erase(k) > 0);
+    }
+    EXPECT_EQ(fs.contains(k), ref.count(k) > 0);
+  }
+  ASSERT_EQ(fs.size(), ref.size());
+  for (const IntKey& k : fs) EXPECT_TRUE(ref.count(k) > 0);
+  EXPECT_GT(slab.reserved_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// dbt::Map semantics (zero erasure, Upd results) on the flat core.
+// ---------------------------------------------------------------------------
+
+TEST(DbtMap, ZeroErasureMatchesReferenceCounts) {
+  Rng rng(505);
+  dbt::Map<IntKey, int64_t> m;
+  std::unordered_map<IntKey, int64_t, dbt::TupleHash> ref;
+  for (int round = 0; round < 30000; ++round) {
+    IntKey k{rng.Range(0, 150)};
+    int64_t d = rng.Range(-2, 2);
+    dbt::Upd r = m.add(k, d);
+    if (d == 0) {
+      EXPECT_EQ(r, dbt::Upd::kUnchanged);
+    } else {
+      auto [it, inserted] = ref.try_emplace(k, 0);
+      it->second += d;
+      if (it->second == 0) {
+        ref.erase(it);
+        EXPECT_EQ(r, dbt::Upd::kErased);
+      } else {
+        EXPECT_EQ(r, dbt::Upd::kLive);
+      }
+    }
+    EXPECT_EQ(m.get(k), ref.count(k) ? ref[k] : 0);
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& e : m.entries()) {
+    ASSERT_TRUE(ref.count(e.first));
+    EXPECT_NE(e.second, 0) << "zero entry retained";
+    EXPECT_EQ(e.second, ref[e.first]);
+  }
+}
+
+TEST(DbtMap, SetZeroErasesAndReportsUpd) {
+  dbt::Map<IntKey, int64_t> m;
+  EXPECT_EQ(m.set(IntKey{1}, 5), dbt::Upd::kLive);
+  EXPECT_EQ(m.get(IntKey{1}), 5);
+  EXPECT_EQ(m.set(IntKey{1}, 0), dbt::Upd::kErased);
+  EXPECT_FALSE(m.contains(IntKey{1}));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(DbtSliceIndex, EagerEraseLeavesNoStaleKeys) {
+  using Prefix = std::tuple<int64_t>;
+  using Full = std::tuple<int64_t, int64_t>;
+  dbt::SliceIndex<Prefix, Full> idx;
+  idx.insert(Prefix{1}, Full{1, 10});
+  idx.insert(Prefix{1}, Full{1, 11});
+  idx.insert(Prefix{1}, Full{1, 10});  // duplicate insert dedups
+  idx.insert(Prefix{2}, Full{2, 20});
+  ASSERT_NE(idx.lookup(Prefix{1}), nullptr);
+  EXPECT_EQ(idx.lookup(Prefix{1})->size(), 2u);
+
+  idx.erase(Prefix{1}, Full{1, 10});
+  ASSERT_NE(idx.lookup(Prefix{1}), nullptr);
+  EXPECT_EQ(idx.lookup(Prefix{1})->size(), 1u);
+  EXPECT_FALSE(idx.lookup(Prefix{1})->contains(Full{1, 10}));
+
+  // Erasing the last full key removes the prefix entirely.
+  idx.erase(Prefix{1}, Full{1, 11});
+  EXPECT_EQ(idx.lookup(Prefix{1}), nullptr);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_GT(idx.bytes(), 0u);
+}
+
+TEST(DbtExtremeMap, LiveCountAnswersDebtGroupsWithoutValues) {
+  dbt::ExtremeMap<IntKey, int64_t> m;
+  int64_t out = 0;
+  // A pure debt (delete before insert) must report "no live value".
+  m.remove(IntKey{1}, 42);
+  EXPECT_FALSE(m.min(IntKey{1}, &out));
+  EXPECT_FALSE(m.max(IntKey{1}, &out));
+  // The matching insert cancels the debt entirely.
+  m.add(IntKey{1}, 42);
+  EXPECT_FALSE(m.min(IntKey{1}, &out));
+  EXPECT_EQ(m.size(), 0u);
+
+  m.add(IntKey{2}, 5);
+  m.add(IntKey{2}, 9);
+  m.remove(IntKey{2}, 7);  // debt on 7 hides it from min/max
+  ASSERT_TRUE(m.min(IntKey{2}, &out));
+  EXPECT_EQ(out, 5);
+  ASSERT_TRUE(m.max(IntKey{2}, &out));
+  EXPECT_EQ(out, 9);
+  m.remove(IntKey{2}, 5);
+  ASSERT_TRUE(m.min(IntKey{2}, &out));
+  EXPECT_EQ(out, 9);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreted layer: FlatValueMap-backed ValueMap with dynamic row keys.
+// ---------------------------------------------------------------------------
+
+TEST(FlatValueMap, RandomizedValueMapAgainstReference) {
+  Rng rng(606);
+  runtime::ValueMap m("m", 2, Type::kInt);
+  std::map<std::pair<int64_t, int64_t>, int64_t> ref;
+  for (int round = 0; round < 30000; ++round) {
+    int64_t a = rng.Range(0, 40);
+    int64_t b = rng.Range(0, 40);
+    Row key{Value(a), Value(b)};
+    int64_t d = rng.Range(-2, 2);
+    if (rng.Chance(0.85)) {
+      m.Add(key, Value(d));
+      if (d != 0) {
+        auto& slot = ref[{a, b}];
+        slot += d;
+        if (slot == 0) ref.erase({a, b});
+      }
+    } else {
+      int64_t v = rng.Range(0, 5);
+      m.Set(key, Value(v));
+      if (v == 0) {
+        ref.erase({a, b});
+      } else {
+        ref[{a, b}] = v;
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  for (const auto& [key, value] : m.entries()) {
+    auto it = ref.find({key[0].AsInt(), key[1].AsInt()});
+    ASSERT_TRUE(it != ref.end());
+    EXPECT_EQ(value.AsInt(), it->second);
+  }
+}
+
+TEST(FlatValueMap, NumericKeyEquivalenceAcrossIntAndDouble) {
+  runtime::ValueMap m("m", 1, Type::kInt);
+  m.Set({Value(int64_t{2})}, Value(7));
+  // 2.0 == 2 under Value::Compare, so it must hit the same entry.
+  EXPECT_EQ(m.Get({Value(2.0)}).AsInt(), 7);
+  m.Add({Value(2.0)}, Value(-7));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(RuntimeExtremeMap, LiveCountsAndO1Size) {
+  runtime::ExtremeMap m("x", 1, Type::kInt);
+  Row g{Value(1)};
+  m.Remove(g, Value(10));  // debt
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.Min(g).has_value());
+  m.Add(g, Value(3));
+  m.Add(g, Value(8));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Min(g)->AsInt(), 3);
+  EXPECT_EQ(m.Max(g)->AsInt(), 8);
+  m.Add(g, Value(10));  // cancels the debt; still not live
+  EXPECT_EQ(m.size(), 2u);
+  m.Remove(g, Value(3));
+  EXPECT_EQ(m.Min(g)->AsInt(), 8);
+  EXPECT_EQ(m.size(), 1u);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.NumGroups(), 0u);
+}
+
+TEST(Slab, RecyclesChunksAndReleasesDedicatedBlocks) {
+  dbt::Slab slab;
+  void* a = slab.Allocate(100);  // 128-byte class
+  ASSERT_NE(a, nullptr);
+  const size_t live_after_a = slab.live_bytes();
+  slab.Deallocate(a, 100);
+  EXPECT_LT(slab.live_bytes(), live_after_a);
+  void* b = slab.Allocate(100);
+  EXPECT_EQ(a, b) << "freed chunk not recycled";
+  slab.Deallocate(b, 100);
+
+  // Large allocations get dedicated blocks, returned eagerly.
+  const size_t reserved_before = slab.reserved_bytes();
+  void* big = slab.Allocate(1 << 20);
+  EXPECT_GE(slab.reserved_bytes(), reserved_before + (1u << 20));
+  slab.Deallocate(big, 1 << 20);
+  EXPECT_EQ(slab.reserved_bytes(), reserved_before);
+}
+
+TEST(FlatMap, CopyAndMoveSemantics) {
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> a;
+  for (int64_t i = 0; i < 100; ++i) a.try_emplace(IntKey{i}, i * 3);
+
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> copy(a);
+  ASSERT_EQ(copy.size(), 100u);
+  copy.erase(IntKey{5});
+  EXPECT_EQ(copy.size(), 99u);
+  EXPECT_NE(a.find(IntKey{5}), nullptr) << "copy aliases source";
+
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> moved(std::move(a));
+  ASSERT_EQ(moved.size(), 100u);
+  EXPECT_EQ(*moved.find(IntKey{42}), 126);
+
+  dbt::FlatMap<IntKey, int64_t, dbt::TupleHash> assigned;
+  assigned.try_emplace(IntKey{-1}, 1);
+  assigned = copy;
+  EXPECT_EQ(assigned.size(), 99u);
+  EXPECT_EQ(assigned.find(IntKey{-1}), nullptr);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 100u);
+  EXPECT_EQ(*assigned.find(IntKey{5}), 15);
+}
+
+}  // namespace
+}  // namespace dbtoaster
