@@ -83,7 +83,7 @@ void Run() {
            "int main() { dbtoaster_gen::Program p; (void)p; return 0; }\n";
     }
     double t3 = NowSeconds();
-    std::string cmd = "c++ -std=c++20 -O2 -I" + dir + " -I" +
+    std::string cmd = "c++ -std=c++20 -O2 -pthread -I" + dir + " -I" +
                       std::string(DBT_RUNTIME_INCLUDE_DIR) + " " + dir +
                       "/main.cc -o " + dir + "/gen_bin 2>/dev/null";
     int rc = system(cmd.c_str());

@@ -9,8 +9,21 @@
 // profiler bookkeeping over vectors of deltas. Every engine class ingests
 // the same stream through the same interface at batch sizes {1, 16, 256,
 // 4096}; the interpreted engine must beat its own batch=1 rate at 4096.
+//
+// Axis 3 — threads: the hash-sharded parallel ApplyBatch layer. The thread
+// axis {1, 2, 4, 8} crosses the batch axis; per the determinism contract
+// the views are identical at every point, only the rate moves. Speedup
+// needs both a shardable query (market-maker partitions on BROKER_ID) and
+// batches large enough to cross the shard cutoff — batch=1 rows are the
+// control that cannot parallelize.
+//
+// Machine-readable results land in BENCH_update_mix.json (the recorded
+// perf trajectory; CI uploads it as an artifact).
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/gen/mm.hpp"
@@ -18,6 +31,21 @@
 
 namespace dbtoaster::bench {
 namespace {
+
+struct Cell {
+  std::string sweep;   // "batch" | "threads"
+  std::string engine;
+  size_t batch = 0;
+  size_t threads = 1;
+  size_t events = 0;
+  double seconds = 0;
+
+  double Rate() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+  }
+};
+
+std::vector<Cell> g_cells;
 
 void RunMixSweep(bool quick) {
   Catalog catalog = workload::OrderBookCatalog();
@@ -88,6 +116,7 @@ void RunBatchSweep(bool quick) {
       double rate = s > 0 ? static_cast<double>(n) / s : 0;
       if (bs == 1) rate_1 = rate;
       rate_max = rate;
+      g_cells.push_back(Cell{"batch", name, bs, 1, n, s});
       std::printf(" %18.0f", rate);
     }
     std::printf(" %9.2fx\n", rate_1 > 0 ? rate_max / rate_1 : 0.0);
@@ -99,6 +128,84 @@ void RunBatchSweep(bool quick) {
       "per event).\n");
 }
 
+void RunThreadSweep(bool quick) {
+  Catalog catalog = workload::OrderBookCatalog();
+  workload::OrderBookConfig cfg;
+  cfg.p_modify = 0.2;
+  cfg.p_withdraw = 0.1;
+  workload::OrderBookGenerator gen(cfg);
+  std::vector<Event> events = gen.Generate(quick ? 40000 : 400000);
+  const std::string sql = workload::MarketMakerQuery();
+  const double kBudget = quick ? 0.1 : 0.6;  // s per (engine, batch, T) cell
+  const size_t kBatchSizes[] = {1, 256, 4096};
+  const size_t kThreads[] = {1, 2, 4, 8};
+
+  std::printf(
+      "\n== events/sec vs threads x batch (market-maker query, "
+      "hash-sharded ApplyBatch) ==\n");
+  std::printf("%-12s %-6s", "engine", "batch");
+  for (size_t t : kThreads) std::printf(" %12s=%-2zu", "threads", t);
+  std::printf(" %10s\n", "8t/1t");
+  std::printf("%s\n", std::string(90, '-').c_str());
+
+  for (const char* name : {"toaster-i", "ivm1", "reeval", "toaster-c"}) {
+    for (size_t bs : kBatchSizes) {
+      std::printf("%-12s %-6zu", name, bs);
+      double rate_1 = 0, rate_last = 0;
+      for (size_t threads : kThreads) {
+        runtime::shard_pool().set_threads(threads);
+        dbtoaster_gen::mm_Program generated;
+        std::unique_ptr<runtime::StreamEngine> engine =
+            MakeBakeoffEngine(name, catalog, sql, &generated);
+        if (engine == nullptr) {
+          std::printf(" %15s", "n/a");
+          continue;
+        }
+        auto [n, s] = TimedBatchRun(events, kBudget, bs, engine.get());
+        double rate = s > 0 ? static_cast<double>(n) / s : 0;
+        if (threads == 1) rate_1 = rate;
+        rate_last = rate;
+        g_cells.push_back(Cell{"threads", name, bs, threads, n, s});
+        std::printf(" %15.0f", rate);
+      }
+      std::printf(" %9.2fx\n", rate_1 > 0 ? rate_last / rate_1 : 0.0);
+    }
+  }
+  runtime::shard_pool().set_threads(1);
+  std::printf(
+      "\nshape check: the sharded engines (toaster-c, and toaster-i's "
+      "parallel\ndelta phase) scale with threads at batch>=256 on "
+      "multi-core hosts;\nbatch=1 rows are the no-parallelism control. "
+      "Views are identical at\nevery cell (tests/shard_test.cc enforces "
+      "it). On a single-core host\nthe 8t/1t column records the "
+      "oversubscription overhead instead.\n");
+}
+
+bool WriteJson(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << "[\n";
+  for (size_t i = 0; i < g_cells.size(); ++i) {
+    const Cell& c = g_cells[i];
+    f << "  {\"sweep\": \"" << c.sweep << "\", \"engine\": \"" << c.engine
+      << "\", \"batch\": " << c.batch << ", \"threads\": " << c.threads
+      << ", \"events\": " << c.events << ", \"seconds\": " << c.seconds
+      << ", \"events_per_sec\": " << c.Rate() << "}"
+      << (i + 1 < g_cells.size() ? "," : "") << "\n";
+  }
+  f << "]\n";
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s (%zu cells)\n", path.c_str(), g_cells.size());
+  return true;
+}
+
 }  // namespace
 }  // namespace dbtoaster::bench
 
@@ -106,15 +213,19 @@ int main(int argc, char** argv) {
   // --quick: small stream + tight budgets, for the CI perf-smoke step
   // (asserts the benches still build and run, not timing thresholds).
   bool quick = false;
+  std::string out_path = "BENCH_update_mix.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
       return 2;
     }
   }
   dbtoaster::bench::RunMixSweep(quick);
   dbtoaster::bench::RunBatchSweep(quick);
-  return 0;
+  dbtoaster::bench::RunThreadSweep(quick);
+  return dbtoaster::bench::WriteJson(out_path) ? 0 : 1;
 }

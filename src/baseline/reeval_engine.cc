@@ -21,6 +21,36 @@ Status ReevalEngine::AddQuery(const std::string& name,
 }
 
 Status ReevalEngine::RefreshViews() {
+  // Multiple standing queries refresh concurrently on the shared worker
+  // pool: each query owns its BoundSelect (and its lazily built plan), all
+  // of them only read the tables, and every result lands in its own
+  // pre-created slot — so the refresh is embarrassingly parallel and its
+  // outcome is independent of the thread count.
+  if (queries_.size() > 1 && runtime::shard_pool().threads() > 1) {
+    struct Task {
+      const exec::BoundSelect* bound;
+      exec::QueryResult* slot;
+      Status status;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(queries_.size());
+    for (const auto& [name, bound] : queries_) {
+      tasks.push_back(Task{bound.get(), &last_results_[name], Status::OK()});
+    }
+    runtime::shard_pool().RunShards(tasks.size(), [&](size_t i) {
+      exec::Executor ex(&db_);
+      auto r = ex.Run(*tasks[i].bound);
+      if (r.ok()) {
+        *tasks[i].slot = std::move(r).value();
+      } else {
+        tasks[i].status = r.status();
+      }
+    });
+    for (const Task& t : tasks) {
+      DBT_RETURN_IF_ERROR(t.status);
+    }
+    return Status::OK();
+  }
   exec::Executor ex(&db_);
   for (const auto& [name, bound] : queries_) {
     DBT_ASSIGN_OR_RETURN(exec::QueryResult r, ex.Run(*bound));

@@ -66,6 +66,7 @@ class Generator {
     // Base relation maps: any relation whose trigger exists or that appears
     // in a statement RHS / init definition.
     for (const Trigger& t : p_.triggers) rels_.insert(t.relation);
+    AnalyzeShardPlan();
   }
 
   Result<std::string> Run();
@@ -374,6 +375,11 @@ class Generator {
             bexprs.push_back(bound_expr[i]);
           }
         }
+        // The shard plan admits point accesses only; a slice or scan here
+        // would read across partitions while workers mutate them.
+        if (plan_.ok) {
+          return Status::Internal("codegen: non-point access under shard plan");
+        }
         if (!bpos.empty()) {
           DBT_ASSIGN_OR_RETURN(StoreInfo info, StoreOf(f));
           std::string idx_name = RequestIndex(map_expr, bpos, info.key_types);
@@ -622,16 +628,236 @@ class Generator {
     return StrFormat("idx%zu_", index_reqs_.size() - 1);
   }
 
+  // ---- shard plan ----------------------------------------------------------
+  //
+  // A program is shardable when a partition attribute can be chosen for
+  // every streamed relation such that each trigger's entire execution —
+  // every map read, every map write, the base-table update — touches only
+  // keys that carry the triggering event's attribute value. Events can then
+  // be hash-partitioned on that value into dbt::kNumShards fixed logical
+  // shards and replayed concurrently, each shard owning its own partition
+  // of every store (dbt::Sharded) with no locks and no shared allocator.
+  //
+  // The analysis is conservative: delta statements only (no hybrid
+  // re-evaluation, no MIN/MAX multisets, no LHS iteration), no
+  // init-on-access maps, and every map/relation atom fully bound by event
+  // parameters (point accesses only — a slice or scan would cross shards).
+
+  /// One point access to a store: the variable name routed at each key
+  /// position ("" when the key term is not a plain event parameter).
+  struct ShardAccess {
+    std::string store;              ///< member name ("q0_", "rel_BIDS_")
+    std::vector<std::string> args;  ///< per key position
+    std::string relation;           ///< triggering relation
+  };
+
+  struct ShardPlanInfo {
+    bool ok = false;
+    std::map<std::string, std::string> rel_var;  ///< relation -> param name
+    std::map<std::string, size_t> rel_pos;       ///< relation -> param index
+    std::map<std::string, size_t> route;         ///< store member -> key pos
+  };
+
+  size_t RouteOf(const std::string& store) const {
+    auto it = plan_.route.find(store);
+    return it == plan_.route.end() ? 0 : it->second;
+  }
+
+  bool CollectTermAccesses(const TermPtr& t,
+                           const std::set<std::string>& params,
+                           const std::string& relation,
+                           std::vector<ShardAccess>* out) {
+    switch (t->kind) {
+      case Term::Kind::kConst:
+      case Term::Kind::kVar:
+        return true;
+      case Term::Kind::kMapRead: {
+        const MapDecl* decl =
+            decls_.count(t->map_name) ? decls_.at(t->map_name) : nullptr;
+        if (decl == nullptr || decl->needs_init || decl->is_extreme) {
+          return false;
+        }
+        ShardAccess access{decl->name + "_", {}, relation};
+        for (const TermPtr& a : t->args) {
+          if (!CollectTermAccesses(a, params, relation, out)) return false;
+          access.args.push_back(
+              a->kind == Term::Kind::kVar && params.count(a->var) ? a->var
+                                                                  : "");
+        }
+        out->push_back(std::move(access));
+        return true;
+      }
+      default:
+        return (t->lhs == nullptr ||
+                CollectTermAccesses(t->lhs, params, relation, out)) &&
+               (t->rhs == nullptr ||
+                CollectTermAccesses(t->rhs, params, relation, out));
+    }
+  }
+
+  bool CollectExprAccesses(const ExprPtr& e,
+                           const std::set<std::string>& params,
+                           const std::string& relation,
+                           std::vector<ShardAccess>* out) {
+    switch (e->kind) {
+      case ring::ExprKind::kConst:
+        return true;
+      case ring::ExprKind::kValTerm:
+      case ring::ExprKind::kLift:
+        return CollectTermAccesses(e->term, params, relation, out);
+      case ring::ExprKind::kCmp:
+        return CollectTermAccesses(e->cmp_lhs, params, relation, out) &&
+               CollectTermAccesses(e->cmp_rhs, params, relation, out);
+      case ring::ExprKind::kRel:
+      case ring::ExprKind::kMapRef: {
+        std::string store;
+        if (e->kind == ring::ExprKind::kRel) {
+          store = RelMapName(e->name);
+        } else {
+          const MapDecl* decl =
+              decls_.count(e->name) ? decls_.at(e->name) : nullptr;
+          if (decl == nullptr || decl->needs_init || decl->is_extreme) {
+            return false;
+          }
+          store = decl->name + "_";
+        }
+        ShardAccess access{store, {}, relation};
+        for (const std::string& a : e->args) {
+          if (!params.count(a)) return false;  // unbound arg: a slice/scan
+          access.args.push_back(a);
+        }
+        out->push_back(std::move(access));
+        return true;
+      }
+      default:
+        for (const ExprPtr& c : e->children) {
+          if (!CollectExprAccesses(c, params, relation, out)) return false;
+        }
+        return true;
+    }
+  }
+
+  void AnalyzeShardPlan() {
+    if (p_.triggers.empty()) return;
+    for (const MapDecl& m : p_.maps) {
+      if (m.needs_init) return;  // initializers scan base tables on read
+    }
+    std::vector<ShardAccess> accesses;
+    for (const Trigger& t : p_.triggers) {
+      std::set<std::string> params(t.params.begin(), t.params.end());
+      // The base-table update: full event tuple, all positions are params.
+      accesses.push_back(
+          ShardAccess{RelMapName(t.relation), t.params, t.relation});
+      for (const Statement& st : t.statements) {
+        if (st.kind != Statement::Kind::kDelta || !st.lhs_iterate.empty()) {
+          return;
+        }
+        for (const std::string& k : st.target_keys) {
+          if (!params.count(k)) return;
+        }
+        accesses.push_back(
+            ShardAccess{st.target + "_", st.target_keys, t.relation});
+        if (!CollectExprAccesses(st.rhs, params, t.relation, &accesses)) {
+          return;
+        }
+      }
+    }
+
+    // Candidate partition params per relation: those present in every
+    // access made by that relation's triggers.
+    std::vector<std::string> rels(rels_.begin(), rels_.end());
+    std::map<std::string, std::vector<std::string>> cands;
+    for (const std::string& rel : rels) {
+      const Trigger* any = nullptr;
+      for (const Trigger& t : p_.triggers) {
+        if (t.relation == rel) any = &t;
+      }
+      for (const std::string& pv : any->params) {
+        bool in_all = true;
+        for (const ShardAccess& a : accesses) {
+          if (a.relation != rel) continue;
+          if (std::find(a.args.begin(), a.args.end(), pv) == a.args.end()) {
+            in_all = false;
+            break;
+          }
+        }
+        if (in_all) cands[rel].push_back(pv);
+      }
+      if (cands[rel].empty()) return;
+    }
+
+    // Pick one partition param per relation such that every store admits a
+    // single routed key position consistent across all of its accesses.
+    std::map<std::string, std::string> chosen;
+    std::map<std::string, size_t> route;
+    std::function<bool(size_t)> assign = [&](size_t i) -> bool {
+      if (i == rels.size()) {
+        route.clear();
+        std::map<std::string, std::vector<const ShardAccess*>> by_store;
+        for (const ShardAccess& a : accesses) {
+          by_store[a.store].push_back(&a);
+        }
+        for (const auto& [store, list] : by_store) {
+          const size_t arity = list.front()->args.size();
+          bool found = false;
+          for (size_t j = 0; j < arity && !found; ++j) {
+            bool all_match = true;
+            for (const ShardAccess* a : list) {
+              if (j >= a->args.size() || a->args[j] != chosen[a->relation]) {
+                all_match = false;
+                break;
+              }
+            }
+            if (all_match) {
+              route[store] = j;
+              found = true;
+            }
+          }
+          if (!found) return false;
+        }
+        return true;
+      }
+      for (const std::string& v : cands[rels[i]]) {
+        chosen[rels[i]] = v;
+        if (assign(i + 1)) return true;
+      }
+      return false;
+    };
+    if (!assign(0)) return;
+
+    plan_.ok = true;
+    plan_.rel_var = chosen;
+    plan_.route = std::move(route);
+    for (const std::string& rel : rels) {
+      const Trigger* any = nullptr;
+      for (const Trigger& t : p_.triggers) {
+        if (t.relation == rel) any = &t;
+      }
+      for (size_t i = 0; i < any->params.size(); ++i) {
+        if (any->params[i] == chosen[rel]) plan_.rel_pos[rel] = i;
+      }
+    }
+  }
+
   const Program& p_;
   GenOptions opts_;
   std::map<std::string, const MapDecl*> decls_;
   std::set<std::string> rels_;
+  ShardPlanInfo plan_;
   std::vector<IndexReq> index_reqs_;
   int temp_ = 0;
   int indent_ = 1;
 };
 
 Status Generator::EmitMaps(std::string* out) {
+  if (plan_.ok) {
+    Line(out, "// --- shard plan: hash-partitioned state, "
+              "dbt::kNumShards logical shards ---");
+    for (const auto& [rel, var] : plan_.rel_var) {
+      Line(out, StrFormat("//   %s events partition on %s (param %zu)",
+                          rel.c_str(), var.c_str(), plan_.rel_pos.at(rel)));
+    }
+  }
   Line(out, "// --- base relation multiset maps (database snapshot) ---");
   for (const std::string& rel : rels_) {
     const Schema* schema = RelSchema(rel);
@@ -639,8 +865,14 @@ Status Generator::EmitMaps(std::string* out) {
     for (size_t i = 0; i < schema->num_columns(); ++i) {
       kt.push_back(schema->column_type(i));
     }
-    Line(out, StrFormat("dbt::Map<%s, int64_t> %s;",
-                        KeyType(kt).c_str(), RelMapName(rel).c_str()));
+    if (plan_.ok) {
+      Line(out, StrFormat("dbt::Sharded<dbt::Map<%s, int64_t>, %zu> %s;",
+                          KeyType(kt).c_str(),
+                          RouteOf(RelMapName(rel)), RelMapName(rel).c_str()));
+    } else {
+      Line(out, StrFormat("dbt::Map<%s, int64_t> %s;",
+                          KeyType(kt).c_str(), RelMapName(rel).c_str()));
+    }
   }
   Line(out, "// --- aggregate maps ---");
   for (const MapDecl& m : p_.maps) {
@@ -649,6 +881,11 @@ Status Generator::EmitMaps(std::string* out) {
                           KeyType(m.key_types).c_str(),
                           CppType(m.value_type), m.name.c_str(),
                           sql::AggKindName(m.extreme_kind)));
+    } else if (plan_.ok) {
+      Line(out, StrFormat("dbt::Sharded<dbt::Map<%s, %s>, %zu> %s_;",
+                          KeyType(m.key_types).c_str(),
+                          CppType(m.value_type), RouteOf(m.name + "_"),
+                          m.name.c_str()));
     } else {
       Line(out, StrFormat("dbt::Map<%s, %s> %s_;",
                           KeyType(m.key_types).c_str(),
@@ -859,8 +1096,16 @@ Status Generator::EmitViews(std::string* out) {
       env.store_flag = "true";
       DBT_RETURN_IF_ERROR(emit_columns(env, "std::tuple<>{}"));
     } else {
-      Line(out, StrFormat("for (const auto& dk : %s_.entries()) {",
-                          view.domain_map.c_str()));
+      if (plan_.ok) {
+        // Sharded domain: walk the partitions in fixed logical order, so
+        // materialization is identical at every thread count.
+        Line(out, "for (size_t shard = 0; shard < dbt::kNumShards; ++shard)");
+        Line(out, StrFormat("for (const auto& dk : %s_.part(shard).entries()) {",
+                            view.domain_map.c_str()));
+      } else {
+        Line(out, StrFormat("for (const auto& dk : %s_.entries()) {",
+                            view.domain_map.c_str()));
+      }
       ++indent_;
       Line(out, "if (dk.second == 0) continue;");
       Env env;
@@ -884,7 +1129,12 @@ Status Generator::EmitViews(std::string* out) {
 
 /// Per-relation fused batch handlers: one typed entry point per relation
 /// amortizes dispatch over a whole vector of signed deltas (the batched
-/// trigger shape; inserts and deletes share the loop).
+/// trigger shape; inserts and deletes share the loop). Under a shard plan,
+/// large groups are hash-partitioned on the relation's partition attribute
+/// into the fixed logical shards and replayed on the worker pool; shard
+/// isolation (every store partitioned on the same attribute) makes this
+/// equal to the event-ordered replay, and the fixed shard count makes it
+/// identical at every thread count.
 Status Generator::EmitBatchHandlers(std::string* out) {
   for (const std::string& rel : rels_) {
     const Schema* schema = RelSchema(rel);
@@ -895,24 +1145,59 @@ Status Generator::EmitBatchHandlers(std::string* out) {
     for (size_t i = 0; i < schema->num_columns(); ++i) {
       args.push_back(StrFormat("std::get<%zu>(d.first)", i));
     }
+    auto emit_dispatch = [&](const char* count_var) {
+      if (has_insert) {
+        Line(out, StrFormat("if (d.second > 0) { on_insert_%s(%s); ++%s; "
+                            "continue; }",
+                            rel.c_str(), Join(args, ", ").c_str(), count_var));
+      }
+      if (has_delete) {
+        Line(out, StrFormat("if (d.second < 0) { on_delete_%s(%s); ++%s; "
+                            "continue; }",
+                            rel.c_str(), Join(args, ", ").c_str(), count_var));
+      }
+    };
     Line(out, StrFormat(
                   "size_t on_batch_%s(const std::vector<std::pair<%s, "
                   "int64_t>>& deltas) {",
                   rel.c_str(), key_type.c_str()));
     ++indent_;
     Line(out, "size_t handled = 0;");
+    if (plan_.ok) {
+      Line(out, "if (deltas.size() >= dbt::kShardBatchCutoff) {");
+      ++indent_;
+      Line(out, "std::vector<uint32_t> shard_idx[dbt::kNumShards];");
+      Line(out, "for (uint32_t i = 0; i < deltas.size(); ++i) {");
+      ++indent_;
+      Line(out, StrFormat(
+                    "shard_idx[dbt::ShardOf(std::get<%zu>(deltas[i].first))]"
+                    ".push_back(i);",
+                    plan_.rel_pos.at(rel)));
+      --indent_;
+      Line(out, "}");
+      Line(out, "size_t shard_handled[dbt::kNumShards] = {};");
+      Line(out, "dbt::shard_pool().RunShards(dbt::kNumShards, "
+                "[&](size_t shard) {");
+      ++indent_;
+      Line(out, "size_t n = 0;");
+      Line(out, "for (uint32_t i : shard_idx[shard]) {");
+      ++indent_;
+      Line(out, "const auto& d = deltas[i];");
+      emit_dispatch("n");
+      --indent_;
+      Line(out, "}");
+      Line(out, "shard_handled[shard] = n;");
+      --indent_;
+      Line(out, "});");
+      Line(out, "for (size_t shard = 0; shard < dbt::kNumShards; ++shard) "
+                "handled += shard_handled[shard];");
+      Line(out, "return handled;");
+      --indent_;
+      Line(out, "}");
+    }
     Line(out, "for (const auto& d : deltas) {");
     ++indent_;
-    if (has_insert) {
-      Line(out, StrFormat("if (d.second > 0) { on_insert_%s(%s); ++handled; "
-                          "continue; }",
-                          rel.c_str(), Join(args, ", ").c_str()));
-    }
-    if (has_delete) {
-      Line(out, StrFormat("if (d.second < 0) { on_delete_%s(%s); ++handled; "
-                          "continue; }",
-                          rel.c_str(), Join(args, ", ").c_str()));
-    }
+    emit_dispatch("handled");
     --indent_;
     Line(out, "}");
     Line(out, "return handled;");

@@ -57,10 +57,12 @@ inline size_t HashScalar(int64_t v) {
   return Mix64(static_cast<uint64_t>(v));
 }
 /// Integral doubles hash like the equal int64 (2 == 2.0 must collide for
-/// the dynamically-typed row keys of the interpreted layer). The range
-/// guard keeps the conversion defined for huge magnitudes.
+/// the dynamically-typed row keys of the interpreted layer). The guard is
+/// exactly int64's range — [-2^63, 2^63), both bounds representable — so
+/// every double that exact numeric comparison can equate with an int64
+/// takes the integer hash, and the conversion below stays defined.
 inline size_t HashScalar(double v) {
-  if (v >= -9.2e18 && v <= 9.2e18) {
+  if (v >= -9223372036854775808.0 && v < 9223372036854775808.0) {
     const int64_t i = static_cast<int64_t>(v);
     if (static_cast<double>(i) == v) return Mix64(static_cast<uint64_t>(i));
   }
@@ -86,6 +88,28 @@ size_t HashTupleImpl(const Tuple& t, std::index_sequence<I...>) {
   return h;
 }
 }  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Shard routing: the logical partition count is a fixed constant (NOT the
+// thread count), so a sharded execution's per-partition event subsequences —
+// and therefore its map contents — are identical at every thread count.
+// Routing consumes bits 48..50 of the finalized scalar hash: the low bits
+// pick the home bucket inside a partition and the top byte is the probe
+// fragment, so all three uses stay decorrelated.
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kNumShards = 8;
+
+inline size_t ShardOfHash(size_t h) {
+  return (static_cast<uint64_t>(h) >> 48) & (kNumShards - 1);
+}
+
+/// Shard of a routing scalar (int64/double/string), via the shared
+/// finalized hash so both map layers route identically.
+template <typename T>
+size_t ShardOf(const T& v) {
+  return ShardOfHash(HashScalar(v));
+}
 
 /// Hash functor for std::tuple keys; same fold as the interpreted layer's
 /// RowHash so both layers see identical finalized hashes.
@@ -412,7 +436,10 @@ class FlatTable {
   }
 
   /// Backward-shift deletion: slide the displaced tail of the probe chain
-  /// one slot back instead of leaving a tombstone.
+  /// one slot back instead of leaving a tombstone. When occupancy drops
+  /// below 1/8 the arrays are rebuilt at half capacity (hysteresis against
+  /// the 3/4 grow threshold), so scans over long-lived maps stay O(live)
+  /// instead of O(historical peak) — the interpreted slice-scan fix.
   void EraseIndex(size_t i) {
     while (true) {
       const size_t n = (i + 1) & mask_;
@@ -425,10 +452,20 @@ class FlatTable {
     info_[i] = 0;
     slots_[i] = Entry{};  // release payloads (strings, nested sets)
     --size_;
+    if (slots_.size() > kMinCapacity && size_ * 8 < slots_.size()) {
+      Resize(slots_.size() / 2);
+    }
   }
 
   void Clear() {
     if (size_ == 0) return;
+    // Large tables release their arrays into the slab (recycled by the next
+    // growth chain) so a clear-and-refill pattern — hybrid re-evaluation
+    // statements — does not strand peak-sized probe arrays.
+    if (slots_.size() > 64) {
+      FreeArrays();
+      return;
+    }
     for (size_t i = 0; i < slots_.size(); ++i) {
       if (info_[i] != 0) {
         info_[i] = 0;
@@ -515,8 +552,9 @@ class FlatTable {
     ForceGrow();
   }
 
-  void ForceGrow() {
-    const size_t new_cap = slots_.size() * 2;
+  void ForceGrow() { Resize(slots_.size() * 2); }
+
+  void Resize(size_t new_cap) {
     InfoVec old_info = std::move(info_);
     SlotVec old_slots = std::move(slots_);
     info_ = InfoVec(new_cap, 0, PoolAlloc<uint32_t>(slab_));
@@ -668,6 +706,65 @@ class FlatSet {
 
  private:
   Table table_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded: a thin partitioned front over any map-like store.
+// ---------------------------------------------------------------------------
+
+/// kNumShards independent partitions of `M`, routed by the finalized hash
+/// of tuple-key component `kRoutePos` (the shard attribute chosen by the
+/// compiler's shard plan). Each partition owns its own slab, so concurrent
+/// workers pinned to distinct partitions share no allocator state and take
+/// no locks on the hot path. Point operations route; iteration walks
+/// part(0) .. part(kNumShards - 1) in fixed order, so materialized views
+/// are identical at every thread count. size()/bytes() sum partitions.
+template <typename M, size_t kRoutePos>
+class Sharded {
+ public:
+  static constexpr size_t kParts = kNumShards;
+
+  template <typename K>
+  static size_t shard_of(const K& k) {
+    return ShardOf(std::get<kRoutePos>(k));
+  }
+
+  M& part(size_t s) { return parts_[s]; }
+  const M& part(size_t s) const { return parts_[s]; }
+
+  template <typename K>
+  auto get(const K& k) const {
+    return parts_[shard_of(k)].get(k);
+  }
+  template <typename K>
+  bool contains(const K& k) const {
+    return parts_[shard_of(k)].contains(k);
+  }
+  template <typename K, typename V>
+  auto add(const K& k, V delta) {
+    return parts_[shard_of(k)].add(k, std::move(delta));
+  }
+  template <typename K, typename V>
+  auto set(const K& k, V v) {
+    return parts_[shard_of(k)].set(k, std::move(v));
+  }
+
+  void clear() {
+    for (M& p : parts_) p.clear();
+  }
+  size_t size() const {
+    size_t n = 0;
+    for (const M& p : parts_) n += p.size();
+    return n;
+  }
+  size_t bytes() const {
+    size_t n = sizeof(*this) - kParts * sizeof(M);
+    for (const M& p : parts_) n += p.bytes();
+    return n;
+  }
+
+ private:
+  M parts_[kParts];
 };
 
 }  // namespace dbt

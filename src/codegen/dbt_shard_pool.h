@@ -1,0 +1,159 @@
+// The process-wide worker pool driving hash-sharded parallel ApplyBatch in
+// every engine: dbtc-generated programs' on_batch_<R> handlers, the
+// interpreted engine's parallel delta phase and the re-evaluation
+// baseline's multi-view refresh all share this one pool. Self-contained on
+// purpose (std only): it ships next to dbt_flat_map.h / dbtoaster_runtime.h
+// so generated sources compile with just this directory on the include
+// path, and the interpreted runtime includes it without pulling in the
+// full codegen runtime.
+#ifndef DBTOASTER_CODEGEN_DBT_SHARD_POOL_H_
+#define DBTOASTER_CODEGEN_DBT_SHARD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbt {
+
+/// Minimum group size before a batch handler bothers to shard: below this,
+/// partitioning overhead beats any parallel win and the event-ordered loop
+/// is used instead.
+inline constexpr size_t kShardBatchCutoff = 64;
+
+/// Persistent worker pool. `RunShards(n, fn)` runs fn(0) .. fn(n-1), shard
+/// s on worker s % threads(); each worker processes its shards in
+/// increasing order, and the call returns after all shards finish (the
+/// merge barrier). With threads() <= 1 everything runs inline on the
+/// caller — the same shard order, which is what makes thread count
+/// invisible to results.
+class ShardPool {
+ public:
+  static ShardPool& Instance() {
+    static ShardPool pool;
+    return pool;
+  }
+
+  size_t threads() const { return threads_.load(std::memory_order_relaxed); }
+
+  /// Set the worker count (clamped to [1, 256]). Existing workers are torn
+  /// down; the pool respawns lazily on the next parallel RunShards.
+  void set_threads(size_t n) {
+    if (n < 1) n = 1;
+    if (n > 256) n = 256;
+    StopWorkers();
+    threads_.store(n, std::memory_order_relaxed);
+  }
+
+  void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
+    const size_t T = threads();
+    // Inline when sequential, trivial, or re-entered from inside a shard
+    // callback (a nested parallel region would corrupt the single job
+    // slot and deadlock the outer barrier).
+    if (T <= 1 || num_shards <= 1 || in_shard_region_) {
+      for (size_t s = 0; s < num_shards; ++s) fn(s);
+      return;
+    }
+    const size_t active = T < num_shards ? T : num_shards;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      EnsureWorkers(lk);
+      job_fn_ = &fn;
+      job_shards_ = num_shards;
+      job_active_ = active;
+      done_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    }
+    // The caller is worker 0; its stripe also counts as inside the region,
+    // so a nested RunShards from fn degrades to inline instead of touching
+    // the live job slot.
+    in_shard_region_ = true;
+    for (size_t s = 0; s < num_shards; s += active) fn(s);
+    in_shard_region_ = false;
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_ == workers_.size(); });
+    job_fn_ = nullptr;
+  }
+
+  ~ShardPool() { StopWorkers(); }
+
+ private:
+  ShardPool() {
+    if (const char* env = std::getenv("DBT_THREADS")) {
+      const long n = std::atol(env);
+      if (n > 0) set_threads(static_cast<size_t>(n));
+    }
+  }
+
+  void EnsureWorkers(std::unique_lock<std::mutex>&) {
+    const size_t want = threads() - 1;
+    if (workers_.size() == want) return;
+    for (size_t i = workers_.size(); i < want; ++i) {
+      workers_.emplace_back([this, idx = i + 1] { WorkerLoop(idx); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (workers_.empty()) return;
+      stop_ = true;
+      cv_.notify_all();
+    }
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+  }
+
+  void WorkerLoop(size_t idx) {
+    in_shard_region_ = true;
+    uint64_t seen = 0;
+    while (true) {
+      const std::function<void(size_t)>* fn = nullptr;
+      size_t num_shards = 0, active = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        fn = job_fn_;
+        num_shards = job_shards_;
+        active = job_active_;
+      }
+      if (idx < active) {
+        for (size_t s = idx; s < num_shards; s += active) (*fn)(s);
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_ == workers_.size()) done_cv_.notify_all();
+    }
+  }
+
+  std::atomic<size_t> threads_{1};
+  std::mutex mu_;
+  std::condition_variable cv_;        ///< workers wait for a new generation
+  std::condition_variable done_cv_;   ///< caller waits for completion
+  std::vector<std::thread> workers_;  ///< worker ids 1 .. threads() - 1
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_shards_ = 0;
+  size_t job_active_ = 0;
+  size_t done_ = 0;
+  uint64_t gen_ = 0;
+  bool stop_ = false;
+  /// True while this thread is executing a shard callback (worker threads
+  /// permanently; the submitting thread during its own stripe).
+  static thread_local bool in_shard_region_;
+};
+
+inline thread_local bool ShardPool::in_shard_region_ = false;
+
+inline ShardPool& shard_pool() { return ShardPool::Instance(); }
+
+}  // namespace dbt
+
+#endif  // DBTOASTER_CODEGEN_DBT_SHARD_POOL_H_

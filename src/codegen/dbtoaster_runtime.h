@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dbt_flat_map.h"
+#include "dbt_shard_pool.h"
 
 namespace dbt {
 

@@ -73,6 +73,32 @@ std::string Value::ToString() const {
   return "'" + std::get<std::string>(v_) + "'";
 }
 
+namespace {
+
+/// Exact comparison of an int64 against a double. Converting the int to
+/// double (the pre-existing shortcut) rounds above 2^53, equating values
+/// that hash differently — and the lossy relation is not even transitive —
+/// so the comparison must stay in exact arithmetic instead.
+int CompareIntDouble(int64_t i, double d) {
+  if (std::isnan(d)) return -1;  // NaN sorts after every number
+  // Outside int64's range the sign of d decides (the bounds are exact
+  // powers of two, representable as doubles).
+  if (d >= 9223372036854775808.0) return -1;   // d >= 2^63 > any int64
+  if (d < -9223372036854775808.0) return 1;    // d < -2^63 <= any int64
+  // |d| < 2^63: truncation is exact-representable both ways. Below 2^53
+  // every integer is a double; at or above, doubles are already integral,
+  // so trunc(d) == d and the fractional tie-break is zero.
+  const int64_t di = static_cast<int64_t>(d);
+  if (i < di) return -1;
+  if (i > di) return 1;
+  const double frac = d - static_cast<double>(di);  // exact
+  if (frac > 0) return -1;
+  if (frac < 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
 int Value::Compare(const Value& a, const Value& b) {
   const bool as = a.is_string(), bs = b.is_string();
   if (as != bs) return as ? 1 : -1;  // numerics before strings
@@ -89,7 +115,14 @@ int Value::Compare(const Value& a, const Value& b) {
     if (x > y) return 1;
     return 0;
   }
+  if (a.is_int()) return CompareIntDouble(std::get<int64_t>(a.v_), b.AsDouble());
+  if (b.is_int()) return -CompareIntDouble(std::get<int64_t>(b.v_), a.AsDouble());
   double x = a.AsDouble(), y = b.AsDouble();
+  // NaN sorts after every number and equals itself — consistent with the
+  // mixed int/double path above, keeping Compare a total order (strict
+  // weak ordering for the sorts and sets built on it).
+  const bool xn = std::isnan(x), yn = std::isnan(y);
+  if (xn || yn) return xn == yn ? 0 : (xn ? 1 : -1);
   if (x < y) return -1;
   if (x > y) return 1;
   return 0;

@@ -26,6 +26,10 @@ std::string ProfileStats::ToString() const {
   std::string s = StrFormat("events processed: %llu (total %.3f ms)\n",
                             static_cast<unsigned long long>(events),
                             static_cast<double>(event_nanos) / 1e6);
+  if (sharded_groups > 0) {
+    s += StrFormat("  sharded groups: %llu\n",
+                   static_cast<unsigned long long>(sharded_groups));
+  }
   for (const auto& [rendering, st] : by_statement) {
     s += StrFormat("  %8llu exec  %10llu updates  %10.3f ms   %s\n",
                    static_cast<unsigned long long>(st.executions),
@@ -134,10 +138,13 @@ void Engine::BuildTriggerInfo() {
       if (st.kind == Statement::Kind::kDelta) delta_targets.insert(st.target);
     }
     bool vectorizable = true;
+    bool reads_init_map = false;
+    size_t num_delta = 0;
     for (size_t si = 0; si < t.statements.size(); ++si) {
       const Statement& st = t.statements[si];
       switch (st.kind) {
         case Statement::Kind::kDelta: {
+          ++num_delta;
           if (!st.lhs_iterate.empty()) {
             vectorizable = false;  // iterates the live keys it also writes
             break;
@@ -149,6 +156,12 @@ void Engine::BuildTriggerInfo() {
             if (delta_targets.count(m) > 0) {
               vectorizable = false;
               break;
+            }
+          }
+          for (const std::string& m : maps) {
+            auto dit = decls_.find(m);
+            if (dit != decls_.end() && dit->second->needs_init) {
+              reads_init_map = true;  // ReadMap may evaluate an initializer
             }
           }
           break;
@@ -173,6 +186,42 @@ void Engine::BuildTriggerInfo() {
       }
     }
     info.vectorizable = vectorizable;
+    // Parallel-safe: the delta phase against the pre-state is pure (no
+    // init-on-access evaluation), so shards of the binding vector can run
+    // on concurrent workers. The partition key is the param subset present
+    // in every delta target key — bindings sharing it write the same map
+    // keys, so routing by it preserves per-key application order exactly.
+    info.parallel_safe = vectorizable && !reads_init_map && num_delta > 0;
+    if (info.parallel_safe) {
+      for (size_t p = 0; p < t.params.size(); ++p) {
+        bool in_every_target = true;
+        for (const Statement& st : t.statements) {
+          if (st.kind != Statement::Kind::kDelta) continue;
+          if (std::find(st.target_keys.begin(), st.target_keys.end(),
+                        t.params[p]) == st.target_keys.end()) {
+            in_every_target = false;
+            break;
+          }
+        }
+        if (in_every_target) info.partition_cols.push_back(p);
+      }
+      // Without a partition key in the target, same-key updates from
+      // different shards merge in shard order rather than event order.
+      // Integer sums commute exactly; double sums do not (addition is not
+      // associative), so a double-valued target would drift from
+      // one-at-a-time replay in the low bits. Keep those sequential.
+      if (info.partition_cols.empty()) {
+        for (const Statement& st : t.statements) {
+          if (st.kind != Statement::Kind::kDelta) continue;
+          auto dit = decls_.find(st.target);
+          if (dit != decls_.end() &&
+              dit->second->value_type == Type::kDouble) {
+            info.parallel_safe = false;
+            break;
+          }
+        }
+      }
+    }
     trigger_info_[{t.relation, static_cast<int>(t.event)}] = std::move(info);
   }
 }
@@ -262,11 +311,54 @@ void Engine::ApplyMapSet(ValueMap* target, const Row& key, Value value) {
   }
 }
 
+namespace {
+const std::unordered_set<Row, RowHash, RowEq>* SliceBuckets(
+    const std::unordered_map<Row, std::unordered_set<Row, RowHash, RowEq>,
+                             RowHash, RowEq>& buckets,
+    const Row& key) {
+  auto bit = buckets.find(key);
+  if (bit == buckets.end()) {
+    static const std::unordered_set<Row, RowHash, RowEq> kEmpty;
+    return &kEmpty;
+  }
+  return &bit->second;
+}
+}  // namespace
+
 const std::unordered_set<Row, RowHash, RowEq>* Engine::LookupMapSlice(
     const std::string& map, const std::vector<size_t>& positions,
     const Row& key) {
   auto mit = maps_.find(map);
   if (mit == maps_.end()) return nullptr;
+  if (parallel_region_) {
+    // Shard workers: lookups share the lock; a missing index upgrades to
+    // exclusive and builds once. Returned bucket sets live in stable
+    // unordered_map nodes, so they survive later index additions.
+    {
+      std::shared_lock<std::shared_mutex> read_lock(slice_mu_);
+      auto it = slice_indexes_.find(map);
+      if (it != slice_indexes_.end()) {
+        for (SliceIndex& existing : it->second) {
+          if (existing.positions == positions) {
+            return SliceBuckets(existing.buckets, key);
+          }
+        }
+      }
+    }
+    std::unique_lock<std::shared_mutex> write_lock(slice_mu_);
+    auto& indexes = slice_indexes_[map];
+    for (SliceIndex& existing : indexes) {
+      if (existing.positions == positions) {
+        return SliceBuckets(existing.buckets, key);
+      }
+    }
+    indexes.push_back(SliceIndex{positions, {}});
+    SliceIndex* idx = &indexes.back();
+    for (const auto& [full_key, value] : mit->second.entries()) {
+      idx->Insert(full_key);
+    }
+    return SliceBuckets(idx->buckets, key);
+  }
   auto& indexes = slice_indexes_[map];
   SliceIndex* idx = nullptr;
   for (SliceIndex& existing : indexes) {
@@ -283,12 +375,7 @@ const std::unordered_set<Row, RowHash, RowEq>* Engine::LookupMapSlice(
       idx->Insert(full_key);
     }
   }
-  auto bit = idx->buckets.find(key);
-  if (bit == idx->buckets.end()) {
-    static const std::unordered_set<Row, RowHash, RowEq> kEmpty;
-    return &kEmpty;
-  }
-  return &bit->second;
+  return SliceBuckets(idx->buckets, key);
 }
 
 const Table* Engine::FindRelation(const std::string& rel) const {
@@ -453,13 +540,21 @@ Status Engine::FlushDeferredReevals(DeferredReevals* deferred) {
   return Status::OK();
 }
 
-Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
-                                    const std::string& relation,
-                                    const Row* tuples, size_t count,
-                                    DeferredReevals* deferred) {
-  const Trigger& trigger = *info.trigger;
+Status Engine::CheckGroupArity(const Trigger& trigger, const Row* tuples,
+                               size_t count) const {
+  for (size_t e = 0; e < count; ++e) {
+    if (trigger.params.size() != tuples[e].size()) {
+      return Status::InvalidArgument(StrFormat(
+          "event arity %zu does not match trigger %s", tuples[e].size(),
+          trigger.Signature().c_str()));
+    }
+  }
+  return Status::OK();
+}
 
-  // Resolve the profiler slots once per group; std::map nodes are stable.
+std::vector<ProfileStats::StatementStats*> Engine::ResolveStats(
+    const TriggerInfo& info) {
+  const Trigger& trigger = *info.trigger;
   std::vector<ProfileStats::StatementStats*> stats(trigger.statements.size());
   for (size_t si = 0; si < trigger.statements.size(); ++si) {
     ProfileStats::StatementStats& st =
@@ -467,6 +562,15 @@ Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
     st.rendering = info.renderings[si];
     stats[si] = &st;
   }
+  return stats;
+}
+
+Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
+                                    const std::string& relation,
+                                    const Row* tuples, size_t count,
+                                    DeferredReevals* deferred) {
+  const Trigger& trigger = *info.trigger;
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
 
   Bindings env;
   for (size_t e = 0; e < count; ++e) {
@@ -543,21 +647,8 @@ Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
                                     DeferredReevals* deferred) {
   const Trigger& trigger = *info.trigger;
   const EventKind kind = trigger.event;
-  for (size_t e = 0; e < count; ++e) {
-    if (trigger.params.size() != tuples[e].size()) {
-      return Status::InvalidArgument(StrFormat(
-          "event arity %zu does not match trigger %s", tuples[e].size(),
-          trigger.Signature().c_str()));
-    }
-  }
-
-  std::vector<ProfileStats::StatementStats*> stats(trigger.statements.size());
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    ProfileStats::StatementStats& st =
-        profile_.by_statement[info.renderings[si]];
-    st.rendering = info.renderings[si];
-    stats[si] = &st;
-  }
+  DBT_RETURN_IF_ERROR(CheckGroupArity(trigger, tuples, count));
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
 
   // Phase 1: each delta statement runs once over the vector of bindings,
   // all against the group pre-state (safe per the TriggerInfo analysis).
@@ -611,6 +702,113 @@ Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
   return Status::OK();
 }
 
+Status Engine::ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
+                                 size_t count, DeferredReevals* deferred) {
+  const Trigger& trigger = *info.trigger;
+  const EventKind kind = trigger.event;
+  DBT_RETURN_IF_ERROR(CheckGroupArity(trigger, tuples, count));
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
+
+  std::vector<size_t> delta_stmts;
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    if (trigger.statements[si].kind == Statement::Kind::kDelta) {
+      delta_stmts.push_back(si);
+    }
+  }
+
+  profile_.sharded_groups++;
+  const ShardPlan plan =
+      ShardPlan::Partition(tuples, count, info.partition_cols);
+
+  // Phase 1 fan-out: each worker evaluates its shards' bindings against the
+  // shared pre-state (reads only; parallel_safe guarantees no initializer
+  // evaluation) into private per-statement pending vectors.
+  struct ShardOut {
+    std::vector<std::vector<std::tuple<ValueMap*, Row, Value>>> pending;
+    std::vector<uint64_t> nanos;
+    Status status = Status::OK();
+  };
+  std::array<ShardOut, kNumShards> outs;
+  for (ShardOut& out : outs) {
+    out.pending.resize(delta_stmts.size());
+    out.nanos.assign(delta_stmts.size(), 0);
+  }
+
+  parallel_region_ = true;
+  shard_pool().RunShards(kNumShards, [&](size_t s) {
+    ShardOut& out = outs[s];
+    Bindings env;
+    for (uint32_t i : plan.shards[s]) {
+      const Row& tuple = tuples[i];
+      for (size_t p = 0; p < trigger.params.size(); ++p) {
+        env[trigger.params[p]] = tuple[p];
+      }
+      for (size_t d = 0; d < delta_stmts.size(); ++d) {
+        const Statement& stmt = trigger.statements[delta_stmts[d]];
+        const uint64_t t0 = NowNanos();
+        Status st = RunDeltaStatement(stmt, env, &out.pending[d]);
+        out.nanos[d] += NowNanos() - t0;
+        if (!st.ok()) {
+          out.status = std::move(st);
+          return;
+        }
+      }
+    }
+  });
+  parallel_region_ = false;
+  for (const ShardOut& out : outs) {
+    if (!out.status.ok()) return out.status;
+  }
+
+  for (size_t d = 0; d < delta_stmts.size(); ++d) {
+    ProfileStats::StatementStats* st = stats[delta_stmts[d]];
+    st->executions += count;
+    for (const ShardOut& out : outs) {
+      st->updates += out.pending[d].size();
+      st->nanos += out.nanos[d];  // CPU time, summed across workers
+    }
+  }
+
+  // Merge: base tables in group order, then pendings statement-major in
+  // logical-shard order — fixed by the plan, so the application sequence
+  // (and therefore every map, byte for byte) is identical at any thread
+  // count, including the inline threads=1 run.
+  for (size_t e = 0; e < count; ++e) {
+    DBT_RETURN_IF_ERROR(db_.Apply(kind, trigger.relation, tuples[e]));
+  }
+  for (size_t d = 0; d < delta_stmts.size(); ++d) {
+    for (ShardOut& out : outs) {
+      for (auto& [target, key, value] : out.pending[d]) {
+        ApplyMapAdd(target, key, value);
+      }
+    }
+  }
+
+  // Phase 2b: extreme statements (parameter-only), in group order.
+  Bindings env;
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const Statement& stmt = trigger.statements[si];
+    if (stmt.kind != Statement::Kind::kExtreme) continue;
+    uint64_t t0 = NowNanos();
+    for (size_t e = 0; e < count; ++e) {
+      for (size_t p = 0; p < trigger.params.size(); ++p) {
+        env[trigger.params[p]] = tuples[e][p];
+      }
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+    }
+    stats[si]->executions += count;
+    stats[si]->nanos += NowNanos() - t0;
+  }
+
+  // Phase 3: deferrable re-evaluations, once at batch end.
+  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const Statement& stmt = trigger.statements[si];
+    if (stmt.kind != Statement::Kind::kReeval) continue;
+    Defer(&stmt, &info.renderings[si], deferred);
+  }
+  return Status::OK();
+}
+
 Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
                           const Row* tuples, size_t count,
                           DeferredReevals* deferred) {
@@ -628,7 +826,14 @@ Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
       if (!status.ok()) break;
     }
   } else if (trace_ == nullptr && info->vectorizable && count > 1) {
-    status = ApplyGroupVectorized(*info, tuples, count, deferred);
+    // The sharded path is chosen by group size alone — never by the pool's
+    // thread count — so a batch sequence produces identical state at every
+    // thread count (threads=1 runs the same shard order inline).
+    if (info->parallel_safe && count >= dbt::kShardBatchCutoff) {
+      status = ApplyGroupSharded(*info, tuples, count, deferred);
+    } else {
+      status = ApplyGroupVectorized(*info, tuples, count, deferred);
+    }
   } else {
     status = ApplyGroupSequential(*info, kind, relation, tuples, count,
                                   deferred);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,8 @@ struct ProfileStats {
   std::map<std::string, StatementStats> by_statement;  // keyed by rendering
   uint64_t events = 0;
   uint64_t event_nanos = 0;
+  /// Groups whose delta phase ran on the shard pool (parallel ApplyBatch).
+  uint64_t sharded_groups = 0;
 
   std::string ToString() const;
 };
@@ -137,6 +140,13 @@ class Engine : public StreamEngine, public MapStore {
     /// Per statement: re-evaluation statements whose target no statement or
     /// initializer reads may run once per batch instead of once per event.
     std::vector<bool> reeval_deferrable;
+    /// Vectorizable AND the delta phase reads no init-on-access map: phase 1
+    /// is then a pure function of the pre-state and may evaluate shards of
+    /// the binding vector on concurrent workers.
+    bool parallel_safe = false;
+    /// Event-parameter positions appearing in every delta statement's target
+    /// key (the trigger's partition key); empty = hash the whole tuple.
+    std::vector<size_t> partition_cols;
   };
 
   /// Re-evaluation statements postponed to the end of the current batch.
@@ -146,6 +156,15 @@ class Engine : public StreamEngine, public MapStore {
   const TriggerInfo* FindTriggerInfo(const std::string& relation,
                                      EventKind kind) const;
   void BuildTriggerInfo();
+
+  /// Whole-group arity validation (the batch paths check up front; the
+  /// sequential path validates per event so trace callbacks keep order).
+  Status CheckGroupArity(const compiler::Trigger& trigger, const Row* tuples,
+                         size_t count) const;
+  /// Resolve each statement's profiler slot once per group (std::map nodes
+  /// are stable, so the pointers stay valid for the group's lifetime).
+  std::vector<ProfileStats::StatementStats*> ResolveStats(
+      const TriggerInfo& info);
 
   /// Apply a map mutation, keeping slice indexes in sync.
   void ApplyMapAdd(ValueMap* target, const Row& key, const Value& delta);
@@ -166,6 +185,13 @@ class Engine : public StreamEngine, public MapStore {
                     DeferredReevals* deferred);
   Status ApplyGroupVectorized(const TriggerInfo& info, const Row* tuples,
                               size_t count, DeferredReevals* deferred);
+  /// Vectorized processing with the delta phase fanned out over the shard
+  /// pool: tuples are partitioned by target-key hash into the fixed logical
+  /// shards, each worker evaluates its shards' bindings against the batch
+  /// pre-state into private pending vectors, and the merge applies them in
+  /// shard order — the same order at every thread count.
+  Status ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
+                           size_t count, DeferredReevals* deferred);
   Status ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
                               const std::string& relation, const Row* tuples,
                               size_t count, DeferredReevals* deferred);
@@ -185,6 +211,13 @@ class Engine : public StreamEngine, public MapStore {
   ProfileStats profile_;
   std::vector<std::tuple<ValueMap*, Row, Value>> pending_;  ///< scratch
   bool in_init_ = false;  ///< re-entrancy guard for init-on-access
+
+  /// True while shard workers are evaluating phase 1: lazy slice-index
+  /// builds then serialize on slice_mu_ (the only mutation a parallel-safe
+  /// delta evaluation can reach). Toggled exclusively on the driver thread,
+  /// outside the parallel region.
+  bool parallel_region_ = false;
+  std::shared_mutex slice_mu_;
 };
 
 }  // namespace dbtoaster::runtime

@@ -17,9 +17,12 @@
 #ifndef DBTOASTER_RUNTIME_STREAM_ENGINE_H_
 #define DBTOASTER_RUNTIME_STREAM_ENGINE_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
+#include "src/codegen/dbt_flat_map.h"
+#include "src/codegen/dbt_shard_pool.h"
 #include "src/common/status.h"
 #include "src/exec/executor.h"
 #include "src/storage/table.h"
@@ -29,6 +32,26 @@ class StreamProgram;  // src/codegen/dbtoaster_runtime.h (self-contained)
 }  // namespace dbt
 
 namespace dbtoaster::runtime {
+
+/// The process-wide worker pool and logical shard count, shared by the
+/// interpreted engine, the baselines and dbtc-generated programs (see
+/// dbt::ShardPool). Thread count is a pool property, not an engine one:
+/// every engine reads it at batch time.
+using ShardPool = dbt::ShardPool;
+inline ShardPool& shard_pool() { return dbt::shard_pool(); }
+inline constexpr size_t kNumShards = dbt::kNumShards;
+
+/// Partition of one (relation, op) group's tuples into the fixed logical
+/// shards, by finalized hash of the partition columns (or of the whole
+/// tuple when no partition-key subset was derivable). Tuple order within a
+/// shard preserves group order, so per-shard replay is deterministic and
+/// independent of the worker count.
+struct ShardPlan {
+  std::array<std::vector<uint32_t>, kNumShards> shards;
+
+  static ShardPlan Partition(const Row* tuples, size_t count,
+                             const std::vector<size_t>& partition_cols);
+};
 
 /// One batch of deltas, grouped per (relation, op): the columnar-ish unit
 /// all engines ingest. Groups keep first-encounter order.

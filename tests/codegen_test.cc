@@ -179,7 +179,9 @@ TEST_P(CodegenIntegration, GeneratedBinaryMatchesInterpreter) {
     std::ofstream f(dir + "/harness.cc");
     f << kHarness;
   }
-  out = RunCommand("c++ -std=c++20 -O1 -I" + dir + " -I" +
+  // -pthread: generated sharded programs reference the worker pool (inert
+  // at the default single thread, but the symbols must link).
+  out = RunCommand("c++ -std=c++20 -O1 -pthread -I" + dir + " -I" +
                        std::string(DBT_RUNTIME_INCLUDE_DIR) + " " + dir +
                        "/harness.cc -o " + dir + "/harness",
                    &rc);

@@ -2,6 +2,7 @@
 // string helpers, deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "src/common/rng.h"
@@ -100,6 +101,62 @@ TEST(Rng, DeterministicAndUniform) {
   for (int i = 0; i < 10000; ++i) mean += r.NextDouble();
   mean /= 10000;
   EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+// Exact cross-type numeric comparison at the double-precision boundary:
+// int64 2^53 + 1 is not representable as a double, so the old AsDouble()
+// shortcut equated it with 2^53 (while their hashes differed — a broken
+// map-key equivalence). Comparison must be exact, and equal cross-type
+// values must still hash identically.
+TEST(ValueCompare, ExactAtDoublePrecisionBoundary) {
+  const int64_t p53 = int64_t{1} << 53;  // 9007199254740992
+  EXPECT_EQ(Value::Compare(Value(p53), Value(static_cast<double>(p53))), 0);
+  EXPECT_GT(Value::Compare(Value(p53 + 1), Value(static_cast<double>(p53))),
+            0);
+  EXPECT_LT(Value::Compare(Value(static_cast<double>(p53)), Value(p53 + 1)),
+            0);
+  EXPECT_LT(Value::Compare(Value(p53 - 1), Value(static_cast<double>(p53))),
+            0);
+  // Transitivity at the boundary: 2^53 < 2^53 + 1 < 2^53 + 2 (the double
+  // between them equals only its exact twin).
+  const double d53p2 = static_cast<double>(p53 + 2);  // representable
+  EXPECT_EQ(Value::Compare(Value(p53 + 2), Value(d53p2)), 0);
+  EXPECT_GT(Value::Compare(Value(p53 + 3), Value(d53p2)), 0);
+
+  // Values that compare equal across types hash identically.
+  EXPECT_EQ(Value(p53).Hash(), Value(static_cast<double>(p53)).Hash());
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+  // ... and unequal boundary neighbours may now coexist as distinct keys.
+  EXPECT_NE(Value(p53 + 1), Value(static_cast<double>(p53)));
+}
+
+TEST(ValueCompare, ExactOutsideInt64Range) {
+  const double two63 = 9223372036854775808.0;  // 2^63
+  EXPECT_LT(Value::Compare(Value(INT64_MAX), Value(two63)), 0);
+  EXPECT_GT(Value::Compare(Value(two63), Value(INT64_MAX)), 0);
+  EXPECT_GT(Value::Compare(Value(INT64_MIN), Value(-two63 * 2)), 0);
+  // -2^63 is exactly representable and in range: equal across types, and
+  // equal values hash identically even at the extreme edge.
+  EXPECT_EQ(Value::Compare(Value(INT64_MIN), Value(-two63)), 0);
+  EXPECT_EQ(Value(INT64_MIN).Hash(), Value(-two63).Hash());
+  // Fractions near an integer compare by the exact fractional part.
+  EXPECT_LT(Value::Compare(Value(int64_t{5}), Value(5.5)), 0);
+  EXPECT_GT(Value::Compare(Value(int64_t{6}), Value(5.5)), 0);
+}
+
+// NaN (reachable through SQL division) must order consistently in both the
+// mixed int/double and double/double paths — after every number, equal to
+// itself — so comparators built on Compare keep strict weak ordering.
+TEST(ValueCompare, NanOrdersAfterEveryNumberConsistently) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_LT(Value::Compare(Value(int64_t{1}), Value(nan)), 0);
+  EXPECT_GT(Value::Compare(Value(nan), Value(int64_t{1})), 0);
+  EXPECT_LT(Value::Compare(Value(1.0), Value(nan)), 0);
+  EXPECT_GT(Value::Compare(Value(nan), Value(1.0)), 0);
+  EXPECT_EQ(Value::Compare(Value(nan), Value(nan)), 0);
+  // Transitivity probe across the representations of 1: int 1 == 1.0, and
+  // both sort before NaN.
+  EXPECT_EQ(Value::Compare(Value(int64_t{1}), Value(1.0)), 0);
 }
 
 }  // namespace
