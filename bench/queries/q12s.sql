@@ -1,0 +1,18 @@
+-- TPC-H Q12-shaped (shipping modes and order priority): IN-list over a
+-- string column, CASE WHEN aggregates, EXTRACT over a date, grouped by a
+-- string key.
+create table ORDERS(ORDERKEY int, ORDERPRIORITY string);
+create table LINEITEM(ORDERKEY int, SHIPMODE string, RECEIPTDATE date);
+
+select L.SHIPMODE,
+       sum(case when O.ORDERPRIORITY = '1-URGENT'
+                  or O.ORDERPRIORITY = '2-HIGH' then 1 else 0 end)
+         as HIGH_LINE_COUNT,
+       sum(case when O.ORDERPRIORITY <> '1-URGENT'
+                 and O.ORDERPRIORITY <> '2-HIGH' then 1 else 0 end)
+         as LOW_LINE_COUNT
+  from ORDERS O, LINEITEM L
+  where O.ORDERKEY = L.ORDERKEY
+    and L.SHIPMODE in ('MAIL', 'SHIP')
+    and EXTRACT(YEAR FROM L.RECEIPTDATE) = 1994
+  group by L.SHIPMODE;

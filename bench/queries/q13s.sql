@@ -1,0 +1,13 @@
+-- TPC-H Q13-shaped (customer distribution): LEFT OUTER JOIN with a NOT LIKE
+-- predicate inside the ON clause, COUNT(*) counting unmatched customers,
+-- and a HAVING guard over the materialized group map.
+create table CUSTOMER(CUSTKEY int, NATIONKEY int);
+create table ORDERS(ORDERKEY int, CUSTKEY int, COMMENT string);
+
+select C.NATIONKEY, count(*) as CUSTDIST
+  from CUSTOMER C
+  left outer join ORDERS O
+    on C.CUSTKEY = O.CUSTKEY
+   and O.COMMENT not like '%special%requests%'
+  group by C.NATIONKEY
+  having count(*) > 2;

@@ -1,0 +1,11 @@
+-- TPC-H Q6-shaped (forecasting revenue change): global aggregate under a
+-- DATE range built with INTERVAL arithmetic, BETWEEN, and a numeric band.
+create table LINEITEM(ORDERKEY int, QUANTITY int, EXTENDEDPRICE double,
+                      DISCOUNT double, SHIPDATE date);
+
+select sum(L.EXTENDEDPRICE * L.DISCOUNT) as REVENUE
+  from LINEITEM L
+  where L.SHIPDATE >= DATE '1994-01-01'
+    and L.SHIPDATE < DATE '1994-01-01' + INTERVAL '1' YEAR
+    and L.DISCOUNT between 0.05 and 0.07
+    and L.QUANTITY < 24;

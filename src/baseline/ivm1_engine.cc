@@ -38,6 +38,11 @@ Status Ivm1Engine::AddQuery(const std::string& name, const std::string& sql) {
     return Status::NotSupported(
         "first-order IVM cannot maintain nested aggregates");
   }
+  if (tq->left_join != nullptr) {
+    return Status::NotSupported(
+        "first-order IVM cannot maintain the outer-join unmatched branch "
+        "(its delta reads a maintained match-count map)");
+  }
   for (const auto& agg : tq->aggregates) {
     if (agg.is_extreme) {
       return Status::NotSupported(
@@ -225,9 +230,22 @@ Result<exec::QueryResult> Ivm1Engine::View(const std::string& name) {
     return Status::OK();
   };
 
+  // HAVING: view-time guard over this engine's result maps.
+  ring::ExprPtr having =
+      tq.having != nullptr ? tq.having->RenameMaps(names) : nullptr;
+  auto passes_having = [&](const runtime::Bindings& env) -> Result<bool> {
+    if (having == nullptr) return true;
+    DBT_ASSIGN_OR_RETURN(
+        Value v, eval_->EvalScalar(having, env, /*store_init=*/false));
+    return !(v.is_numeric() && v.IsZero());
+  };
+
   if (tq.group_vars.empty()) {
     runtime::Bindings env;
-    DBT_RETURN_IF_ERROR(emit(env));
+    DBT_ASSIGN_OR_RETURN(bool pass, passes_having(env));
+    if (pass) {
+      DBT_RETURN_IF_ERROR(emit(env));
+    }
     return out;
   }
   for (const auto& [key, count] : rq.domain_map.entries()) {
@@ -236,6 +254,8 @@ Result<exec::QueryResult> Ivm1Engine::View(const std::string& name) {
     for (size_t i = 0; i < tq.group_vars.size(); ++i) {
       env[tq.group_vars[i]] = key[i];
     }
+    DBT_ASSIGN_OR_RETURN(bool pass, passes_having(env));
+    if (!pass) continue;
     DBT_RETURN_IF_ERROR(emit(env));
   }
   return out;

@@ -144,6 +144,16 @@ class Generator {
         return "dbt::SafeDiv(static_cast<double>(" + l +
                "), static_cast<double>(" + r + "))";
       }
+      case Term::Kind::kFunc1: {
+        DBT_ASSIGN_OR_RETURN(std::string a, TermCpp(t->lhs, env));
+        const char* fn = "dbt::ExtractYear";
+        switch (t->func) {
+          case sql::FuncKind::kExtractYear: fn = "dbt::ExtractYear"; break;
+          case sql::FuncKind::kExtractMonth: fn = "dbt::ExtractMonth"; break;
+          case sql::FuncKind::kExtractDay: fn = "dbt::ExtractDay"; break;
+        }
+        return StrFormat("%s(static_cast<int64_t>(%s))", fn, a.c_str());
+      }
     }
     return Status::Internal("codegen: unhandled term kind");
   }
@@ -273,8 +283,15 @@ class Generator {
       case ring::ExprKind::kCmp: {
         DBT_ASSIGN_OR_RETURN(std::string l, TermCpp(f->cmp_lhs, env));
         DBT_ASSIGN_OR_RETURN(std::string r, TermCpp(f->cmp_rhs, env));
-        Line(out, StrFormat("if (%s %s %s) {", l.c_str(), CmpOp(f->cmp_op),
-                            r.c_str()));
+        if (f->cmp_op == sql::BinOp::kLike ||
+            f->cmp_op == sql::BinOp::kNotLike) {
+          Line(out, StrFormat("if (%sdbt::Like(%s, %s)) {",
+                              f->cmp_op == sql::BinOp::kNotLike ? "!" : "",
+                              l.c_str(), r.c_str()));
+        } else {
+          Line(out, StrFormat("if (%s %s %s) {", l.c_str(), CmpOp(f->cmp_op),
+                              r.c_str()));
+        }
         ++indent_;
         DBT_RETURN_IF_ERROR(
             EmitProd(factors, idx + 1, env, std::move(values), out, sink));
@@ -1091,10 +1108,35 @@ Status Generator::EmitViews(std::string* out) {
       return Status::OK();
     };
 
+    // HAVING: accumulate the guard indicator; zero suppresses the row.
+    auto emit_having_guard = [&](const Env& env) -> Result<std::string> {
+      if (view.having == nullptr) return std::string();
+      std::string acc = Fresh("hv");
+      Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
+      Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+        // The guard is a 0/1 indicator polynomial (OR contributes negative
+        // correction terms), so contributions sum — they do not saturate.
+        Line(out, StrFormat("%s += static_cast<int64_t>(%s);", acc.c_str(),
+                            value.c_str()));
+        return Status::OK();
+      };
+      DBT_RETURN_IF_ERROR(EmitContribs(view.having, env, out, sink));
+      return acc;
+    };
+
     if (view.key_vars.empty()) {
       Env env;
       env.store_flag = "true";
+      DBT_ASSIGN_OR_RETURN(std::string guard, emit_having_guard(env));
+      if (!guard.empty()) {
+        Line(out, StrFormat("if (%s != 0) {", guard.c_str()));
+        ++indent_;
+      }
       DBT_RETURN_IF_ERROR(emit_columns(env, "std::tuple<>{}"));
+      if (!guard.empty()) {
+        --indent_;
+        Line(out, "}");
+      }
     } else {
       if (plan_.ok) {
         // Sharded domain: walk the partitions in fixed logical order, so
@@ -1115,6 +1157,10 @@ Status Generator::EmitViews(std::string* out) {
         Line(out, StrFormat("const auto %s = std::get<%zu>(dk.first);",
                             name.c_str(), i));
         env.vars[view.key_vars[i]] = name;
+      }
+      DBT_ASSIGN_OR_RETURN(std::string guard, emit_having_guard(env));
+      if (!guard.empty()) {
+        Line(out, StrFormat("if (%s == 0) continue;", guard.c_str()));
       }
       DBT_RETURN_IF_ERROR(emit_columns(env, "dk.first"));
       --indent_;

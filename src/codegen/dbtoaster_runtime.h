@@ -49,6 +49,59 @@ inline double SafeDiv(double num, double den) {
   return den == 0.0 ? 0.0 : num / den;
 }
 
+/// SQL LIKE: '%' matches any run, '_' any single character. Matches the
+/// interpreter's dbtoaster::LikeMatch exactly (no escape character).
+inline bool Like(const std::string& s, const std::string& pattern) {
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() && (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+/// Civil-calendar EXTRACT over days-since-epoch dates (Howard Hinnant's
+/// civil_from_days; identical to the interpreter's DaysToCivil).
+inline void CivilFromDays(int64_t days, int64_t* y, int64_t* m, int64_t* d) {
+  const int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2 ? 1 : 0);
+}
+inline int64_t ExtractYear(int64_t days) {
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y;
+}
+inline int64_t ExtractMonth(int64_t days) {
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return m;
+}
+inline int64_t ExtractDay(int64_t days) {
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return d;
+}
+
 /// Outcome of a map mutation, consumed by the generated upd_/st_ wrappers
 /// to maintain secondary slice indexes eagerly (no stale growth).
 enum class Upd : uint8_t {

@@ -66,4 +66,28 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool LikeMatch(std::string_view s, std::string_view pattern) {
+  // Iterative two-pointer matcher with single-level '%' backtracking (the
+  // classic wildcard algorithm; linear in |s|*segments, no recursion).
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string_view::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
 }  // namespace dbtoaster

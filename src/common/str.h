@@ -29,6 +29,11 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// SQL LIKE pattern match: '%' matches any run (including empty), '_' any
+/// single character, everything else literally. Case-sensitive, no escape
+/// character (out of the supported fragment).
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
 }  // namespace dbtoaster
 
 #endif  // DBTOASTER_COMMON_STR_H_

@@ -1,5 +1,6 @@
 #include "src/common/value.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -167,6 +168,87 @@ size_t Value::Hash() const {
   if (is_int()) return HashScalar(std::get<int64_t>(v_));
   if (is_double()) return HashScalar(std::get<double>(v_));
   return HashScalar(std::get<std::string>(v_));
+}
+
+// Howard Hinnant's days_from_civil / civil_from_days (public-domain
+// algorithms), exact over the proleptic Gregorian calendar.
+int64_t CivilToDays(int year, int month, int day) {
+  const int64_t y = year - (month <= 2 ? 1 : 0);
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                               // [0, 399]
+  const int64_t doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;    // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;       // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+void DaysToCivil(int64_t days, int* year, int* month, int* day) {
+  const int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                            // [0,146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;       // [0, 399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);     // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                          // [0, 11]
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2 ? 1 : 0));
+}
+
+namespace {
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+}  // namespace
+
+bool ParseDateLiteral(const std::string& text, int64_t* days) {
+  // Strict YYYY-MM-DD shape (4-2-2 digits).
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (text[i] < '0' || text[i] > '9') return false;
+  }
+  const int y = (text[0] - '0') * 1000 + (text[1] - '0') * 100 +
+                (text[2] - '0') * 10 + (text[3] - '0');
+  const int m = (text[5] - '0') * 10 + (text[6] - '0');
+  const int d = (text[8] - '0') * 10 + (text[9] - '0');
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) return false;
+  *days = CivilToDays(y, m, d);
+  return true;
+}
+
+int64_t ExtractYear(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return y;
+}
+
+int64_t ExtractMonth(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return m;
+}
+
+int64_t ExtractDay(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return d;
+}
+
+int64_t AddInterval(int64_t days, int64_t n, const std::string& unit) {
+  if (unit == "DAY") return days + n;
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  int64_t months = (unit == "YEAR" ? n * 12 : n) + (y * 12 + (m - 1));
+  int64_t ny = months >= 0 ? months / 12 : (months - 11) / 12;
+  int nm = static_cast<int>(months - ny * 12) + 1;
+  int nd = std::min(d, DaysInMonth(static_cast<int>(ny), nm));
+  return CivilToDays(static_cast<int>(ny), nm, nd);
 }
 
 std::string RowToString(const Row& row) {

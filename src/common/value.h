@@ -101,6 +101,33 @@ class Value {
   std::variant<int64_t, double, std::string> v_;
 };
 
+// ---- calendar dates ---------------------------------------------------
+//
+// Dates are stored as days since 1970-01-01 in plain int64 Values (the
+// catalog keeps kDate as a distinct logical type). The civil-calendar
+// conversions below are exact over the proleptic Gregorian calendar.
+
+/// Days since epoch for a civil date (y-m-d). No range validation beyond
+/// what the caller provides.
+int64_t CivilToDays(int year, int month, int day);
+
+/// Inverse of CivilToDays.
+void DaysToCivil(int64_t days, int* year, int* month, int* day);
+
+/// Parse an ISO 'YYYY-MM-DD' date literal body into days since epoch.
+/// Returns false on malformed input (wrong shape or out-of-range fields).
+bool ParseDateLiteral(const std::string& text, int64_t* days);
+
+/// EXTRACT fields over days-since-epoch dates.
+int64_t ExtractYear(int64_t days);
+int64_t ExtractMonth(int64_t days);
+int64_t ExtractDay(int64_t days);
+
+/// DATE +/- INTERVAL arithmetic: add n years/months/days (unit is one of
+/// "YEAR", "MONTH", "DAY"; callers pass uppercase). Month/year addition
+/// clamps the day-of-month to the target month's length (SQL behavior).
+int64_t AddInterval(int64_t days, int64_t n, const std::string& unit);
+
 /// A row of values (tuple). Also used as a composite map key.
 using Row = std::vector<Value>;
 

@@ -409,6 +409,203 @@ Result<Program> Compiler::Compile() {
   std::deque<size_t> worklist;  // indices into registry
   std::vector<MapDecl> extreme_decls;
 
+  // LEFT JOIN lowering: the result map of each aggregate (and the domain)
+  // is maintained as  matched (inner join)  +  unmatched (left rows whose
+  // match count is zero). Three map families cooperate:
+  //   cnt[j]    = Σ right · (right ON preds)        (match count per key)
+  //   W[g, j]   = Σ left atoms · left preds · value (left-side aggregate)
+  //   T[g]      = matched[g] + Σ_j W[g, j] · [cnt[j] = 0]
+  // T's statements: generic deltas of both branches for left/right events
+  // (the [cnt = 0] factor is constant under left events), plus hand-built
+  // corrections on right events for rows whose count crosses zero — all
+  // phase-1 delta statements, so every read sees the pre-event state.
+  auto lower_left_join = [&](TranslatedQuery& tq,
+                             const std::string& target_name,
+                             const ExprPtr& matched_expr,
+                             const ExprPtr& w_body, Type value_type,
+                             const std::string& cnt_name,
+                             const std::map<std::string, std::string>&
+                                 to_params) -> Status {
+    const TranslatedLeftJoin& lj = *tq.left_join;
+
+    std::vector<TermPtr> jvar_terms, jparam_terms;
+    for (const std::string& v : lj.join_vars) {
+      jvar_terms.push_back(Term::Var(v));
+      jparam_terms.push_back(Term::Var(to_params.at(v)));
+    }
+    ExprPtr cnt_zero =
+        Expr::Cmp(sql::BinOp::kEq, Term::MapRead(cnt_name, jvar_terms),
+                  Term::Int(0));
+    ExprPtr unmatched_expr =
+        Expr::AggSum(tq.group_vars, Expr::Prod({w_body, cnt_zero}));
+
+    MapDecl decl;
+    decl.name = target_name;
+    for (size_t k = 0; k < tq.group_vars.size(); ++k) {
+      decl.key_names.push_back(StrFormat("k%zu", k));
+    }
+    decl.key_types = tq.key_types;
+    decl.value_type = value_type;
+    decl.level = 1;
+    decl.definition = Expr::AggSum(
+        tq.group_vars,
+        Expr::Sum({matched_expr->children[0], Expr::Prod({w_body, cnt_zero})}));
+    extreme_decls.push_back(std::move(decl));
+    map_value_types["@" + target_name] = value_type;
+
+    auto compile_branch_deltas = [&](const ExprPtr& defn) -> Status {
+      std::set<std::string> rels;
+      defn->CollectRels(&rels);
+      for (const std::string& rel : rels) {
+        const Schema* schema = catalog_.FindRelation(rel);
+        if (schema == nullptr) {
+          return Status::NotFound("unknown relation: " + rel);
+        }
+        for (int sign : {+1, -1}) {
+          DeltaEvent ev;
+          ev.relation = schema->name();
+          ev.sign = sign;
+          for (size_t c = 0; c < schema->num_columns(); ++c) {
+            ev.params.push_back(ParamName(schema->column_name(c)));
+          }
+          ExprPtr delta = Delta(defn, ev);
+          std::set<std::string> params(ev.params.begin(), ev.params.end());
+          DBT_ASSIGN_OR_RETURN(std::vector<DeltaUnit> units,
+                               SimplifyDelta(delta, params));
+          ring::VarTypes env_types = map_value_types;
+          for (const auto& [k, v] : tq.var_types) env_types.emplace(k, v);
+          for (size_t c = 0; c < schema->num_columns(); ++c) {
+            env_types[ev.params[c]] = schema->column_type(c);
+          }
+          DBT_ASSIGN_OR_RETURN(
+              Trigger * trig,
+              trigger_for(schema->name(), sign > 0 ? EventKind::kInsert
+                                                   : EventKind::kDelete));
+          TraceRow row;
+          row.level = 1;
+          row.event = ev.Label();
+          row.target = target_name;
+          row.query = defn->ToString();
+          std::string code;
+          for (DeltaUnit& unit : units) {
+            std::vector<std::string> used;
+            DBT_ASSIGN_OR_RETURN(
+                ExprPtr rhs,
+                materialize(unit.rhs, 2, env_types, &used, &row.new_maps,
+                            &worklist));
+            // Guard: derived maps must not close over the match-count map —
+            // they would go stale on right-side events (their definitions
+            // are only delta-compiled against their own relations).
+            for (const auto& [nm, display] : row.new_maps) {
+              std::set<std::string> refs;
+              registry[by_name.at(nm)].canon.defn->CollectMapRefs(&refs);
+              if (refs.count(cnt_name)) {
+                return Status::NotSupported(
+                    "unsupported LEFT JOIN shape: the unmatched branch "
+                    "would materialise a view over the match-count map "
+                    "(multi-relation left side with unbound join keys)");
+              }
+            }
+            Statement st;
+            st.kind = Statement::Kind::kDelta;
+            st.target = target_name;
+            st.target_keys = unit.keys;
+            st.rhs = rhs;
+            std::set<std::string> bindable(params.begin(), params.end());
+            for (const std::string& v : rhs->OutVars()) bindable.insert(v);
+            for (size_t k = 0; k < st.target_keys.size(); ++k) {
+              if (!bindable.count(st.target_keys[k])) {
+                return Status::NotSupported(
+                    "unsupported LEFT JOIN shape: a group key is not "
+                    "bindable from the event");
+              }
+            }
+            for (const std::string& u : used) row.maps_used.push_back(u);
+            if (!code.empty()) code += "; ";
+            code += st.ToString();
+            trig->statements.push_back(std::move(st));
+          }
+          if (units.empty()) code = "(no effect)";
+          row.delta_code = code;
+          program.trace.push_back(std::move(row));
+        }
+      }
+      return Status::OK();
+    };
+    DBT_RETURN_IF_ERROR(compile_branch_deltas(matched_expr));
+    DBT_RETURN_IF_ERROR(compile_branch_deltas(unmatched_expr));
+
+    // W map keyed by (group vars ∪ join vars); right events slice it on the
+    // event's join key.
+    std::vector<std::string> wkeys = tq.group_vars;
+    std::vector<Type> wtypes = tq.key_types;
+    for (const std::string& v : lj.join_vars) {
+      if (std::find(wkeys.begin(), wkeys.end(), v) == wkeys.end()) {
+        wkeys.push_back(v);
+        auto it = tq.var_types.find(v);
+        if (it == tq.var_types.end()) {
+          return Status::Internal("untyped join variable: " + v);
+        }
+        wtypes.push_back(it->second);
+      }
+    }
+    bool wcreated = false;
+    std::string w_name;
+    DBT_ASSIGN_OR_RETURN(
+        w_name, register_map(wkeys, wtypes, w_body, 2,
+                             target_name + "_w", &wcreated));
+    if (wcreated) worklist.push_back(by_name[w_name]);
+
+    std::vector<std::string> wargs, tkeys;
+    for (const std::string& k : wkeys) {
+      auto it = to_params.find(k);
+      wargs.push_back(it == to_params.end() ? k : it->second);
+    }
+    for (const std::string& g : tq.group_vars) {
+      auto it = to_params.find(g);
+      tkeys.push_back(it == to_params.end() ? g : it->second);
+    }
+    TermPtr cnt_read_params = Term::MapRead(cnt_name, jparam_terms);
+    for (int sign : {+1, -1}) {
+      DBT_ASSIGN_OR_RETURN(
+          Trigger * trig,
+          trigger_for(lj.right_relation,
+                      sign > 0 ? EventKind::kInsert : EventKind::kDelete));
+      std::vector<ExprPtr> fs;
+      for (const ExprPtr& p : lj.right_preds) {
+        fs.push_back(p->Rename(to_params));
+      }
+      // Exact telescoping form ΔU = ([cnt_post = 0] - [cnt_pre = 0]) · W
+      // with cnt_post = cnt_pre ± 1. Batched replay serialises a batch's
+      // events per (relation, op) group, which may reorder a delete ahead
+      // of its same-batch insert and drive the count transiently negative;
+      // the telescoped indicator difference sums to the right total under
+      // every such serialisation (a plain [cnt_pre = 0] threshold does not).
+      fs.push_back(Expr::Sum(
+          {Expr::Cmp(sql::BinOp::kEq, cnt_read_params,
+                     Term::Int(sign > 0 ? -1 : 1)),
+           Expr::Neg(Expr::Cmp(sql::BinOp::kEq, cnt_read_params,
+                               Term::Int(0)))}));
+      fs.push_back(Expr::MapRef(w_name, wargs));
+      ExprPtr rhs = Expr::Prod(std::move(fs));
+      Statement st;
+      st.kind = Statement::Kind::kDelta;
+      st.target = target_name;
+      st.target_keys = tkeys;
+      st.rhs = rhs;
+      TraceRow row;
+      row.level = 1;
+      row.event = (sign > 0 ? "+" : "-") + lj.right_relation;
+      row.target = target_name;
+      row.query = "unmatched-branch zero crossing";
+      row.delta_code = st.ToString();
+      row.maps_used = {cnt_name, w_name};
+      program.trace.push_back(std::move(row));
+      trig->statements.push_back(std::move(st));
+    }
+    return Status::OK();
+  };
+
   for (Pending& pq : queries_) {
     TranslatedQuery& tq = *pq.translated;
     ViewSpec view;
@@ -453,6 +650,71 @@ Result<Program> Compiler::Compile() {
         std::string ph = StrFormat("$%s_agg%zu", in.name.c_str(), a);
         placeholder_names[ph] = name;
       }
+    }
+
+    // --- LEFT JOIN queries: matched + unmatched lowering per slot ---
+    if (tq.left_join != nullptr) {
+      const TranslatedLeftJoin& lj = *tq.left_join;
+      std::vector<Type> jtypes;
+      for (const std::string& v : lj.join_vars) {
+        auto it = tq.var_types.find(v);
+        if (it == tq.var_types.end()) {
+          return Status::Internal("untyped join variable: " + v);
+        }
+        jtypes.push_back(it->second);
+      }
+      bool created = false;
+      std::string cnt_name;
+      DBT_ASSIGN_OR_RETURN(
+          cnt_name, register_map(lj.join_vars, jtypes, lj.cnt_body,
+                                 /*level=*/1, tq.name + "_ljc", &created));
+      if (created) worklist.push_back(by_name[cnt_name]);
+
+      const Schema* rschema = catalog_.FindRelation(lj.right_relation);
+      if (rschema == nullptr) {
+        return Status::NotFound("unknown relation: " + lj.right_relation);
+      }
+      std::map<std::string, std::string> to_params;
+      for (size_t c = 0; c < rschema->num_columns(); ++c) {
+        to_params.emplace(lj.right_vars[c],
+                          ParamName(rschema->column_name(c)));
+      }
+
+      for (size_t a = 0; a < tq.aggregates.size(); ++a) {
+        TranslatedAggregate& agg = tq.aggregates[a];
+        if (agg.is_extreme || agg.unmatched_body == nullptr) {
+          return Status::Internal(
+              "left-join aggregate without an unmatched branch");
+        }
+        std::string name =
+            tq.aggregates.size() == 1 ? tq.name
+                                      : StrFormat("%s_a%zu", tq.name.c_str(), a);
+        DBT_RETURN_IF_ERROR(lower_left_join(tq, name, agg.expr,
+                                            agg.unmatched_body,
+                                            agg.value_type, cnt_name,
+                                            to_params));
+        placeholder_names[StrFormat("$%s_agg%zu", tq.name.c_str(), a)] = name;
+      }
+      if (!tq.group_vars.empty()) {
+        std::string dom = StrFormat("%s_dom", tq.name.c_str());
+        DBT_RETURN_IF_ERROR(lower_left_join(tq, dom, tq.domain_expr,
+                                            lj.unmatched_domain_body,
+                                            Type::kInt, cnt_name, to_params));
+        view.domain_map = dom;
+      }
+      if (tq.having != nullptr) {
+        view.having = tq.having->RenameMaps(placeholder_names);
+      }
+      for (const ViewColumn& c : tq.columns) {
+        ViewColumn out = c;
+        if (out.kind != ViewColumn::Kind::kTerm) {
+          return Status::Internal("extreme column in a left-join view");
+        }
+        out.value = out.value->RenameMaps(placeholder_names);
+        view.columns.push_back(std::move(out));
+      }
+      program.views.push_back(std::move(view));
+      continue;
     }
 
     // --- aggregates ---
@@ -609,6 +871,11 @@ Result<Program> Compiler::Compile() {
                        StrFormat("%s_dom", tq.name.c_str()), &created));
       if (created) worklist.push_back(by_name[dom]);
       view.domain_map = dom;
+    }
+
+    // --- HAVING guard: resolve aggregate placeholders ---
+    if (tq.having != nullptr) {
+      view.having = tq.having->RenameMaps(placeholder_names);
     }
 
     // --- view columns: resolve placeholders ---

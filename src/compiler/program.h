@@ -107,6 +107,11 @@ struct ViewSpec {
   /// same join/filter). Empty for global (non-grouped) views.
   std::string domain_map;
 
+  /// HAVING guard: 0/1 ring expression over the key variables and resolved
+  /// aggregate-map reads, evaluated per group when the view is read. Null
+  /// when the query has no HAVING clause.
+  ring::ExprPtr having;
+
   /// True when the query used the hybrid (subquery) compilation path.
   bool hybrid = false;
 };

@@ -33,6 +33,7 @@ void ExpandTerm(const TermPtr& t,
     case Term::Kind::kVar:
     case Term::Kind::kMapRead:
     case Term::Kind::kDiv:
+    case Term::Kind::kFunc1:
       out->push_back({Value(int64_t{1}), {t}});
       return;
     case Term::Kind::kAdd:

@@ -80,6 +80,7 @@ class Translator {
     Type type;
     std::string column;  ///< original column name (for prettifying)
     int depth;
+    const ScopeTable* table = nullptr;  ///< owning scope table
   };
 
   std::string FreshName(const std::string& base) {
@@ -113,7 +114,7 @@ class Translator {
       if (found != nullptr) {
         return ResolvedVar{found->vars[col], found->schema->column_type(col),
                            found->schema->column_name(col),
-                           static_cast<int>(depth)};
+                           static_cast<int>(depth), found};
       }
     }
     return Status::NotFound("unresolved column: " + e.ToString());
@@ -169,9 +170,19 @@ class Translator {
         }
         return HoistSubquery(*e.subquery, scopes, out, free_outer);
       }
+      case sql::Expr::Kind::kFunc: {
+        DBT_ASSIGN_OR_RETURN(
+            TermPtr arg, TranslateTerm(*e.lhs, scopes, out, free_outer,
+                                       allow_subqueries));
+        return Term::Func1(e.func, arg);
+      }
       case sql::Expr::Kind::kAggregate:
         return Status::NotSupported(
             "aggregates may only appear in the SELECT list: " + e.ToString());
+      case sql::Expr::Kind::kCase:
+        return Status::NotSupported(
+            "CASE is supported as a whole aggregate argument only: " +
+            e.ToString());
       case sql::Expr::Kind::kNot:
         return Status::NotSupported("NOT used as a value: " + e.ToString());
     }
@@ -292,6 +303,25 @@ class Translator {
           DBT_ASSIGN_OR_RETURN(
               TermPtr r, TranslateTerm(*e.rhs, scopes, out, free_outer,
                                        /*allow_subqueries=*/true));
+          // Type discipline: strings compare with strings only, and LIKE
+          // requires string operands. Placeholder map reads type as numeric,
+          // which is what they hold.
+          auto lt = l->TypeOf(out->var_types);
+          auto rt = r->TypeOf(out->var_types);
+          if (lt.ok() && rt.ok()) {
+            const bool ls = lt.value() == Type::kString;
+            const bool rs = rt.value() == Type::kString;
+            if (e.op == BinOp::kLike || e.op == BinOp::kNotLike) {
+              if (!ls || !rs) {
+                return Status::TypeError(
+                    "LIKE requires string operands: " + e.ToString());
+              }
+            } else if (ls != rs) {
+              return Status::TypeError(
+                  "comparison between string and numeric operands: " +
+                  e.ToString());
+            }
+          }
           return Expr::Cmp(e.op, l, r);
         }
         return Status::NotSupported("unsupported predicate: " + e.ToString());
@@ -318,15 +348,30 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
   out->name = name;
   out->sql = stmt.ToString();
 
-  // 1. Scope: one fresh variable per (table alias, column).
+  // 1. Scope: one fresh variable per (table alias, column). LEFT JOIN: at
+  //    most one, and it must be the last FROM entry (the supported shape of
+  //    the outer-join rewrite).
   Scope scope;
   if (stmt.from.empty()) {
     return Status::NotSupported("standing queries must have a FROM clause");
   }
-  for (const sql::TableRef& ref : stmt.from) {
+  int left_idx = -1;
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const sql::TableRef& ref = stmt.from[i];
     const Schema* schema = catalog_.FindRelation(ref.table);
     if (schema == nullptr) {
       return Status::NotFound("unknown relation: " + ref.table);
+    }
+    if (ref.join == sql::TableRef::Join::kLeft) {
+      if (left_idx >= 0) {
+        return Status::NotSupported(
+            "at most one LEFT JOIN per query is supported");
+      }
+      if (i + 1 != stmt.from.size()) {
+        return Status::NotSupported(
+            "LEFT JOIN must be the last FROM entry");
+      }
+      left_idx = static_cast<int>(i);
     }
     for (const ScopeTable& t : scope.tables) {
       if (ToUpper(t.alias) == ToUpper(ref.alias)) {
@@ -343,14 +388,90 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
     out->relations.insert(schema->name());
     scope.tables.push_back(std::move(st));
   }
+  if (left_idx >= 0) {
+    // The unmatched branch derives deltas assuming left and right sides
+    // change independently; a self-outer-join breaks that.
+    const Schema* right_schema = scope.tables[left_idx].schema;
+    for (int i = 0; i < left_idx; ++i) {
+      if (scope.tables[i].schema->name() == right_schema->name()) {
+        return Status::NotSupported(
+            "LEFT JOIN of a relation with itself is not supported");
+      }
+    }
+  }
   std::vector<Scope*> scopes;
   scopes.push_back(&scope);
   scopes.insert(scopes.end(), outer.begin(), outer.end());
 
-  // 2. WHERE conjuncts: local column equalities unify variables; the rest
-  //    become indicator predicates.
+  const ScopeTable* right_table =
+      left_idx >= 0 ? &scope.tables[left_idx] : nullptr;
+  // Does `e` reference a column of `t` (at this query's depth)?
+  std::function<bool(const sql::Expr&, const ScopeTable&)> refs_table =
+      [&](const sql::Expr& e, const ScopeTable& t) -> bool {
+    if (e.kind == sql::Expr::Kind::kColumnRef) {
+      auto rv = ResolveColumn(e, scopes);
+      return rv.ok() && rv.value().depth == 0 && rv.value().table == &t;
+    }
+    if (e.kind == sql::Expr::Kind::kSubquery) return true;  // conservative
+    if (e.lhs && refs_table(*e.lhs, t)) return true;
+    if (e.rhs && refs_table(*e.rhs, t)) return true;
+    if (e.agg_arg && refs_table(*e.agg_arg, t)) return true;
+    for (const sql::Expr::CaseBranch& b : e.case_branches) {
+      if (refs_table(*b.when, t) || refs_table(*b.then, t)) return true;
+    }
+    if (e.case_else && refs_table(*e.case_else, t)) return true;
+    return false;
+  };
+
+  // 2. WHERE conjuncts (plus inner-JOIN ON conditions, which have identical
+  //    semantics): local column equalities unify variables; the rest become
+  //    indicator predicates. The LEFT JOIN's ON conjuncts are kept apart —
+  //    they define the match, not a filter.
   std::vector<const sql::Expr*> conjuncts;
   if (stmt.where != nullptr) SplitConjuncts(*stmt.where, &conjuncts);
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (stmt.from[i].join == sql::TableRef::Join::kInner) {
+      SplitConjuncts(*stmt.from[i].on, &conjuncts);
+    }
+  }
+  std::vector<const sql::Expr*> on_conjuncts;
+  if (left_idx >= 0) SplitConjuncts(*stmt.from[left_idx].on, &on_conjuncts);
+
+  // Subqueries anywhere in a LEFT JOIN query's predicates are rejected
+  // outright: treating them as "references the right side" would silently
+  // degrade the join to an inner join and drop unmatched rows SQL keeps.
+  if (left_idx >= 0) {
+    std::function<bool(const sql::Expr&)> has_subquery =
+        [&](const sql::Expr& e) -> bool {
+      if (e.kind == sql::Expr::Kind::kSubquery) return true;
+      if (e.lhs && has_subquery(*e.lhs)) return true;
+      if (e.rhs && has_subquery(*e.rhs)) return true;
+      if (e.agg_arg && has_subquery(*e.agg_arg)) return true;
+      for (const sql::Expr::CaseBranch& b : e.case_branches) {
+        if (has_subquery(*b.when) || has_subquery(*b.then)) return true;
+      }
+      return e.case_else && has_subquery(*e.case_else);
+    };
+    for (const sql::Expr* c : conjuncts) {
+      if (has_subquery(*c)) {
+        return Status::NotSupported(
+            "LEFT JOIN cannot be combined with subqueries");
+      }
+    }
+  }
+
+  // SQL NULL semantics make the unmatched branch vanish when any WHERE
+  // conjunct touches the right side (a comparison with NULL is never true):
+  // the LEFT JOIN then degenerates to an inner join.
+  bool unmatched_possible = left_idx >= 0;
+  if (unmatched_possible) {
+    for (const sql::Expr* c : conjuncts) {
+      if (refs_table(*c, *right_table)) {
+        unmatched_possible = false;
+        break;
+      }
+    }
+  }
 
   VarUnionFind uf;
   std::map<std::string, std::string> var_column;  // var -> column name
@@ -379,6 +500,61 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
       }
     }
     if (!unified) predicates.push_back(c);
+  }
+
+  // LEFT JOIN ON conjuncts: left = right column equalities unify (they are
+  // the join keys of the match-count map); the rest must be right-side-only
+  // predicates (they restrict which right rows count as matches).
+  std::vector<const sql::Expr*> on_predicates;
+  for (const sql::Expr* c : on_conjuncts) {
+    bool unified = false;
+    if (c->kind == sql::Expr::Kind::kBinary && c->op == BinOp::kEq &&
+        c->lhs->kind == sql::Expr::Kind::kColumnRef &&
+        c->rhs->kind == sql::Expr::Kind::kColumnRef) {
+      auto l = ResolveColumn(*c->lhs, scopes);
+      auto r = ResolveColumn(*c->rhs, scopes);
+      if (l.ok() && r.ok() && l.value().depth == 0 && r.value().depth == 0) {
+        const bool lr = l.value().table == right_table;
+        const bool rr = r.value().table == right_table;
+        if (!lr && !rr) {
+          return Status::NotSupported(
+              "LEFT JOIN ON condition over left-side columns only: " +
+              c->ToString());
+        }
+        if (!IsNumeric(l.value().type) == IsNumeric(r.value().type)) {
+          return Status::TypeError("join between incompatible column types: " +
+                                   c->ToString());
+        }
+        uf.Union(l.value().var, r.value().var);
+        unified = true;
+      }
+    }
+    if (!unified) {
+      if (refs_table(*c, *right_table)) {
+        // Must reference the right side ONLY (checked per-table below once
+        // variables are final); left references inside a non-equality ON
+        // conjunct are out of the supported fragment.
+        bool refs_left = false;
+        for (const ScopeTable& t : scope.tables) {
+          if (&t != right_table && refs_table(*c, t)) {
+            refs_left = true;
+            break;
+          }
+        }
+        if (refs_left) {
+          return Status::NotSupported(
+              "LEFT JOIN ON supports left = right equalities plus "
+              "right-side predicates: " +
+              c->ToString());
+        }
+        on_predicates.push_back(c);
+      } else {
+        return Status::NotSupported(
+            "LEFT JOIN ON supports left = right equalities plus right-side "
+            "predicates: " +
+            c->ToString());
+      }
+    }
   }
 
   // 3. Canonical + prettified names for unified classes. A class shortens to
@@ -434,11 +610,58 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
     pred_exprs.push_back(std::move(e));
   }
 
+  // 4b. LEFT JOIN bookkeeping: join variables (shared between the sides
+  // after unification) and the translated right-side ON predicates.
+  std::set<std::string> left_var_set, right_only;
+  std::vector<std::string> join_vars;
+  std::vector<ExprPtr> on_pred_exprs;
+  if (left_idx >= 0) {
+    std::set<std::string> right_var_set;
+    for (const ScopeTable& t : scope.tables) {
+      if (&t == right_table) continue;
+      left_var_set.insert(t.vars.begin(), t.vars.end());
+    }
+    std::set<std::string> seen;
+    for (const std::string& v : right_table->vars) {
+      right_var_set.insert(v);
+      if (left_var_set.count(v)) {
+        if (seen.insert(v).second) join_vars.push_back(v);
+      } else {
+        right_only.insert(v);
+      }
+    }
+    for (const sql::Expr* p : on_predicates) {
+      DBT_ASSIGN_OR_RETURN(ExprPtr e,
+                           PredToRing(*p, scopes, out.get(), free_outer_used));
+      for (const std::string& v : e->AllVars()) {
+        if (!right_var_set.count(v)) {
+          return Status::NotSupported(
+              "LEFT JOIN ON predicate must use right-side columns only: " +
+              p->ToString());
+        }
+      }
+      on_pred_exprs.push_back(std::move(e));
+    }
+    if (unmatched_possible && join_vars.empty()) {
+      return Status::NotSupported(
+          "LEFT JOIN requires at least one left = right column equality in "
+          "ON");
+    }
+  }
+
   // 5. GROUP BY columns.
   for (const auto& g : stmt.group_by) {
     DBT_ASSIGN_OR_RETURN(ResolvedVar rv, ResolveColumn(*g, scopes));
     if (rv.depth != 0) {
       return Status::NotSupported("GROUP BY must use this query's columns");
+    }
+    // Syntactic check (not the unified variable): grouping by O.K when O is
+    // left-joined must put unmatched rows under a NULL key even if K is
+    // equated with a left column, so it stays out of the fragment.
+    if (unmatched_possible && rv.table == right_table) {
+      return Status::NotSupported(
+          "GROUP BY over the left-joined relation's columns is not "
+          "supported (unmatched rows would group under NULL)");
     }
     out->group_vars.push_back(rv.var);
     out->key_column_names.push_back(rv.column);
@@ -447,17 +670,36 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
 
   // 6. Relation atoms.
   std::vector<ExprPtr> rel_atoms;
+  std::vector<ExprPtr> left_atoms;  ///< all but the left-joined relation
   for (const ScopeTable& t : scope.tables) {
     rel_atoms.push_back(Expr::Rel(t.schema->name(), t.vars));
+    if (&t != right_table) {
+      left_atoms.push_back(rel_atoms.back());
+    }
   }
 
-  // 7. SELECT items: aggregates and output columns.
-  auto make_body = [&](TermPtr value) {
+  // 7. SELECT items: aggregates and output columns. A body is the join of
+  // all atoms with every predicate (ON predicates included — for the inner
+  // part of a LEFT JOIN they restrict matches), an optional extra guard
+  // (CASE branch condition) and an optional value term.
+  auto make_body = [&](ExprPtr guard, TermPtr value) {
     std::vector<ExprPtr> fs = rel_atoms;
     fs.insert(fs.end(), pred_exprs.begin(), pred_exprs.end());
+    fs.insert(fs.end(), on_pred_exprs.begin(), on_pred_exprs.end());
+    if (guard != nullptr) fs.push_back(guard);
     if (value != nullptr) fs.push_back(Expr::ValTerm(value));
     return Expr::Prod(std::move(fs));
   };
+  // The unmatched (left-only) counterpart: left atoms and WHERE predicates
+  // only; the compile driver multiplies in the [cnt = 0] indicator.
+  auto make_left_body = [&](ExprPtr guard, TermPtr value) {
+    std::vector<ExprPtr> fs = left_atoms;
+    fs.insert(fs.end(), pred_exprs.begin(), pred_exprs.end());
+    if (guard != nullptr) fs.push_back(guard);
+    if (value != nullptr) fs.push_back(Expr::ValTerm(value));
+    return Expr::Prod(std::move(fs));
+  };
+  const bool left_live = left_idx >= 0 && unmatched_possible;
 
   // Translates one item expression into a view-column term, creating
   // aggregate entries on demand.
@@ -503,11 +745,15 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
               "them): " +
               e.ToString());
         }
-        // SUM / COUNT / AVG over the ring.
-        auto add_agg = [&](sql::AggKind kind,
-                           TermPtr arg) -> Result<TermPtr> {
-          std::string label = std::string(sql::AggKindName(kind)) + "(" +
-                              (arg ? arg->ToString() : "*") + ")";
+        // SUM / COUNT / AVG over the ring. An argument is a list of guarded
+        // branches (one unguarded branch normally; one per WHEN for CASE).
+        struct AggBranch {
+          ExprPtr guard;  // null = unguarded
+          TermPtr value;
+        };
+        auto add_agg = [&](sql::AggKind kind, const std::string& label,
+                           const std::vector<AggBranch>& branches,
+                           Type value_type) -> Result<TermPtr> {
           size_t idx = out->aggregates.size();
           for (size_t i = 0; i < out->aggregates.size(); ++i) {
             if (out->aggregates[i].label == label) {
@@ -519,17 +765,21 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
             TranslatedAggregate ta;
             ta.label = label;
             ta.kind = kind;
-            if (kind == sql::AggKind::kCount) {
-              ta.value_type = Type::kInt;
-              ta.expr = Expr::AggSum(out->group_vars, make_body(nullptr));
+            ta.value_type = value_type;
+            std::vector<ExprPtr> addends, left_addends;
+            if (branches.empty()) {
+              addends.push_back(make_body(nullptr, nullptr));
+              left_addends.push_back(make_left_body(nullptr, nullptr));
             } else {
-              DBT_ASSIGN_OR_RETURN(Type at, arg->TypeOf(out->var_types));
-              if (!IsNumeric(at)) {
-                return Status::NotSupported("SUM over non-numeric argument: " +
-                                            label);
+              for (const AggBranch& b : branches) {
+                addends.push_back(make_body(b.guard, b.value));
+                left_addends.push_back(make_left_body(b.guard, b.value));
               }
-              ta.value_type = at == Type::kDouble ? Type::kDouble : Type::kInt;
-              ta.expr = Expr::AggSum(out->group_vars, make_body(arg));
+            }
+            ta.expr =
+                Expr::AggSum(out->group_vars, Expr::Sum(std::move(addends)));
+            if (left_live) {
+              ta.unmatched_body = Expr::Sum(std::move(left_addends));
             }
             out->aggregates.push_back(std::move(ta));
           }
@@ -541,28 +791,100 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
               StrFormat("$%s_agg%zu", out->name.c_str(), idx),
               std::move(key_terms));
         };
-        TermPtr arg;
+
+        std::vector<AggBranch> branches;
+        Type arg_type = Type::kInt;
+        std::string arg_label = "*";
         if (e.agg_arg != nullptr) {
+          if (left_live && refs_table(*e.agg_arg, *right_table)) {
+            return Status::NotSupported(
+                "aggregates over the left-joined relation's columns are not "
+                "supported (unmatched rows contribute NULL): " +
+                e.ToString());
+          }
           size_t subs_before = out->subqueries.size();
-          DBT_ASSIGN_OR_RETURN(
-              arg, TranslateTerm(*e.agg_arg, scopes, out.get(),
-                                 free_outer_used, /*allow_subqueries=*/false));
+          if (e.agg_arg->kind == sql::Expr::Kind::kCase) {
+            // SUM(CASE WHEN p THEN a ... ELSE z END): one guarded branch per
+            // WHEN (with the preceding conditions negated) plus the ELSE.
+            const sql::Expr& c = *e.agg_arg;
+            std::vector<ExprPtr> nots;  // accumulated (1 - w_j)
+            for (const sql::Expr::CaseBranch& b : c.case_branches) {
+              DBT_ASSIGN_OR_RETURN(
+                  ExprPtr w, PredToRing(*b.when, scopes, out.get(),
+                                        free_outer_used));
+              AggBranch br;
+              std::vector<ExprPtr> gs = nots;
+              gs.push_back(w);
+              br.guard = Expr::Prod(std::move(gs));
+              DBT_ASSIGN_OR_RETURN(
+                  br.value, TranslateTerm(*b.then, scopes, out.get(),
+                                          free_outer_used,
+                                          /*allow_subqueries=*/false));
+              branches.push_back(std::move(br));
+              nots.push_back(Expr::Sum({Expr::One(), Expr::Neg(w)}));
+            }
+            AggBranch else_br;
+            else_br.guard = Expr::Prod(std::move(nots));
+            if (c.case_else != nullptr) {
+              DBT_ASSIGN_OR_RETURN(
+                  else_br.value, TranslateTerm(*c.case_else, scopes,
+                                               out.get(), free_outer_used,
+                                               /*allow_subqueries=*/false));
+            } else {
+              else_br.value = Term::Int(0);
+            }
+            branches.push_back(std::move(else_br));
+            arg_label = c.ToString();
+          } else {
+            AggBranch br;
+            DBT_ASSIGN_OR_RETURN(
+                br.value, TranslateTerm(*e.agg_arg, scopes, out.get(),
+                                        free_outer_used,
+                                        /*allow_subqueries=*/false));
+            arg_label = br.value->ToString();
+            branches.push_back(std::move(br));
+          }
           if (out->subqueries.size() != subs_before) {
             return Status::NotSupported(
                 "subqueries inside aggregate arguments are not supported");
           }
+          for (const AggBranch& b : branches) {
+            DBT_ASSIGN_OR_RETURN(Type bt, b.value->TypeOf(out->var_types));
+            if (!IsNumeric(bt)) {
+              return Status::NotSupported(
+                  "aggregates over non-numeric arguments: " + e.ToString());
+            }
+            arg_type = PromoteNumeric(arg_type, bt);
+          }
         } else if (e.agg != sql::AggKind::kCount) {
           return Status::InvalidArgument("only COUNT may omit its argument");
         }
+
+        auto label_for = [&](sql::AggKind k, const std::string& body) {
+          return std::string(sql::AggKindName(k)) + "(" + body + ")";
+        };
         switch (e.agg) {
           case sql::AggKind::kSum:
-            return add_agg(sql::AggKind::kSum, arg);
+            return add_agg(sql::AggKind::kSum,
+                           label_for(sql::AggKind::kSum, arg_label), branches,
+                           arg_type == Type::kDouble ? Type::kDouble
+                                                     : Type::kInt);
           case sql::AggKind::kCount:
-            return add_agg(sql::AggKind::kCount, nullptr);
+            // No NULLs in the data model: COUNT(expr) == COUNT(*).
+            return add_agg(sql::AggKind::kCount,
+                           label_for(sql::AggKind::kCount, "*"), {},
+                           Type::kInt);
           case sql::AggKind::kAvg: {
-            DBT_ASSIGN_OR_RETURN(TermPtr s, add_agg(sql::AggKind::kSum, arg));
-            DBT_ASSIGN_OR_RETURN(TermPtr c,
-                                 add_agg(sql::AggKind::kCount, nullptr));
+            DBT_ASSIGN_OR_RETURN(
+                TermPtr s,
+                add_agg(sql::AggKind::kSum,
+                        label_for(sql::AggKind::kSum, arg_label), branches,
+                        arg_type == Type::kDouble ? Type::kDouble
+                                                  : Type::kInt));
+            DBT_ASSIGN_OR_RETURN(
+                TermPtr c, add_agg(sql::AggKind::kCount,
+                                   label_for(sql::AggKind::kCount, "*"), {},
+                                   Type::kInt));
             return Term::Div(s, c);
           }
           default:
@@ -572,6 +894,14 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
       case sql::Expr::Kind::kSubquery:
         return Status::NotSupported(
             "subqueries in the SELECT list are not supported");
+      case sql::Expr::Kind::kFunc: {
+        DBT_ASSIGN_OR_RETURN(TermPtr t, item_term(*e.lhs));
+        return Term::Func1(e.func, t);
+      }
+      case sql::Expr::Kind::kCase:
+        return Status::NotSupported(
+            "CASE is supported as a whole aggregate argument only: " +
+            e.ToString());
       case sql::Expr::Kind::kNot:
         return Status::NotSupported("boolean SELECT items are not supported");
     }
@@ -648,6 +978,67 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
     out->columns.push_back(std::move(vc));
   }
 
+  // HAVING: a post-aggregation guard over the group keys and aggregate
+  // values. Aggregates referenced only here are still materialised (the
+  // guard reads their maps), via the same item_term machinery.
+  if (stmt.having != nullptr) {
+    std::function<Result<ExprPtr>(const sql::Expr&)> having_pred =
+        [&](const sql::Expr& e) -> Result<ExprPtr> {
+      switch (e.kind) {
+        case sql::Expr::Kind::kBinary: {
+          if (e.op == BinOp::kAnd) {
+            DBT_ASSIGN_OR_RETURN(ExprPtr l, having_pred(*e.lhs));
+            DBT_ASSIGN_OR_RETURN(ExprPtr r, having_pred(*e.rhs));
+            return Expr::Prod({l, r});
+          }
+          if (e.op == BinOp::kOr) {
+            DBT_ASSIGN_OR_RETURN(ExprPtr l, having_pred(*e.lhs));
+            DBT_ASSIGN_OR_RETURN(ExprPtr r, having_pred(*e.rhs));
+            return Expr::Sum({l, r, Expr::Neg(Expr::Prod({l, r}))});
+          }
+          if (sql::IsComparison(e.op)) {
+            DBT_ASSIGN_OR_RETURN(TermPtr l, item_term(*e.lhs));
+            DBT_ASSIGN_OR_RETURN(TermPtr r, item_term(*e.rhs));
+            // Same type discipline as WHERE predicates (aggregate reads
+            // type through their "@$..." placeholder entries).
+            ring::VarTypes tt = out->var_types;
+            for (size_t a = 0; a < out->aggregates.size(); ++a) {
+              tt[StrFormat("@$%s_agg%zu", out->name.c_str(), a)] =
+                  out->aggregates[a].value_type;
+            }
+            auto lt = l->TypeOf(tt);
+            auto rt = r->TypeOf(tt);
+            if (lt.ok() && rt.ok()) {
+              const bool ls = lt.value() == Type::kString;
+              const bool rs = rt.value() == Type::kString;
+              if (e.op == BinOp::kLike || e.op == BinOp::kNotLike) {
+                if (!ls || !rs) {
+                  return Status::TypeError(
+                      "LIKE requires string operands: " + e.ToString());
+                }
+              } else if (ls != rs) {
+                return Status::TypeError(
+                    "comparison between string and numeric operands: " +
+                    e.ToString());
+              }
+            }
+            return Expr::Cmp(e.op, l, r);
+          }
+          return Status::NotSupported("unsupported HAVING predicate: " +
+                                      e.ToString());
+        }
+        case sql::Expr::Kind::kNot: {
+          DBT_ASSIGN_OR_RETURN(ExprPtr a, having_pred(*e.lhs));
+          return Expr::Sum({Expr::One(), Expr::Neg(a)});
+        }
+        default:
+          return Status::NotSupported("unsupported HAVING predicate: " +
+                                      e.ToString());
+      }
+    };
+    DBT_ASSIGN_OR_RETURN(out->having, having_pred(*stmt.having));
+  }
+
   if (out->aggregates.empty() && out->group_vars.empty()) {
     return Status::NotSupported(
         "standing queries must aggregate or group (plain projections are "
@@ -655,7 +1046,29 @@ Result<std::unique_ptr<TranslatedQuery>> Translator::Run(
   }
 
   if (!out->group_vars.empty()) {
-    out->domain_expr = Expr::AggSum(out->group_vars, make_body(nullptr));
+    out->domain_expr =
+        Expr::AggSum(out->group_vars, make_body(nullptr, nullptr));
+  }
+
+  // LEFT JOIN lowering inputs for the compile driver.
+  if (left_live) {
+    if (out->hybrid) {
+      return Status::NotSupported(
+          "LEFT JOIN cannot be combined with subqueries");
+    }
+    auto lj = std::make_unique<TranslatedLeftJoin>();
+    lj->right_relation = right_table->schema->name();
+    lj->right_vars = right_table->vars;
+    lj->join_vars = join_vars;
+    lj->right_preds = on_pred_exprs;
+    std::vector<ExprPtr> cnt_factors;
+    cnt_factors.push_back(
+        Expr::Rel(right_table->schema->name(), right_table->vars));
+    cnt_factors.insert(cnt_factors.end(), on_pred_exprs.begin(),
+                       on_pred_exprs.end());
+    lj->cnt_body = Expr::Prod(std::move(cnt_factors));
+    lj->unmatched_domain_body = make_left_body(nullptr, nullptr);
+    out->left_join = std::move(lj);
   }
 
   // Guard rails for extreme aggregates: guards must not read subquery maps.

@@ -30,7 +30,14 @@ struct TranslatedAggregate {
   Type value_type = Type::kInt;
 
   /// Ring form: AggSum(group vars, body). Null for MIN/MAX aggregates.
+  /// For LEFT JOIN queries this is the *matched* (inner-join) part.
   ring::ExprPtr expr;
+
+  /// LEFT JOIN queries: body of the per-(group, join-key) left-side
+  /// aggregate W (left atoms · left predicates · value), used by the
+  /// compile driver for the negated-domain (unmatched) branch. Null when
+  /// the query has no LEFT JOIN.
+  ring::ExprPtr unmatched_body;
 
   /// MIN/MAX (ordered-multiset) path.
   bool is_extreme = false;
@@ -47,6 +54,21 @@ struct TranslatedSubquery {
   std::unique_ptr<TranslatedQuery> inner;
   std::vector<std::string> corr_vars;  ///< outer variables it depends on
   std::string placeholder;             ///< "$<query>_sub<i>"
+};
+
+/// LEFT [OUTER] JOIN description: the pieces of the standard
+/// outer-join-to-union rewrite
+///   A ⟕ B  =  (A ⋈ B)  ∪  (A where no matching B) × {B-columns := NULL}
+/// expressed over the calculus. The compile driver maintains a per-join-key
+/// match-count map cnt[j] = Σ B·(right preds) and derives the unmatched
+/// branch as W[g, j] · [cnt[j] = 0], where W is the left-side aggregate.
+struct TranslatedLeftJoin {
+  std::string right_relation;               ///< the left-joined relation
+  std::vector<std::string> right_vars;      ///< its column vars (post-rename)
+  std::vector<std::string> join_vars;       ///< vars shared with the left side
+  std::vector<ring::ExprPtr> right_preds;   ///< ON preds over right vars only
+  ring::ExprPtr cnt_body;                   ///< Rel(right) · right_preds
+  ring::ExprPtr unmatched_domain_body;      ///< left atoms · left preds
 };
 
 /// Result of translating one SELECT statement.
@@ -66,6 +88,15 @@ struct TranslatedQuery {
 
   std::vector<TranslatedSubquery> subqueries;
   bool hybrid = false;                 ///< true iff subqueries are present
+
+  /// Present iff the query has a LEFT JOIN whose unmatched branch is live
+  /// (WHERE predicates over right-side columns degrade it to an inner join).
+  std::unique_ptr<TranslatedLeftJoin> left_join;
+
+  /// HAVING guard: a 0/1 ring expression over the group variables and
+  /// aggregate placeholder reads ("$<query>_agg<i>"), applied when the view
+  /// is read. Null when absent.
+  ring::ExprPtr having;
 
   /// For grouped queries: the COUNT query over the same joins/filters whose
   /// live keys enumerate the view's groups (the domain map definition).

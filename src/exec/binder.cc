@@ -107,6 +107,63 @@ class Binder {
         out->lhs = std::move(sub);
         return out;
       }
+      case Expr::Kind::kFunc: {
+        DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> sub,
+                             BindExpr(*e.lhs, allow_aggregates));
+        if (!IsNumeric(sub->type)) {
+          return Status::TypeError("EXTRACT over non-date operand: " +
+                                   e.ToString());
+        }
+        auto out = std::make_unique<ScalarExpr>();
+        out->kind = ScalarExpr::Kind::kFunc;
+        out->func = e.func;
+        out->type = Type::kInt;
+        out->lhs = std::move(sub);
+        return out;
+      }
+      case Expr::Kind::kCase: {
+        // Desugar over 0/1 indicators:
+        //   CASE WHEN p1 THEN v1 ... ELSE z END
+        //     == p1·v1 + (¬p1)·(p2·v2 + ... + (¬pn)·z)
+        // Branch values must be numeric (string-valued CASE is out of the
+        // fragment).
+        std::unique_ptr<ScalarExpr> acc;
+        if (e.case_else != nullptr) {
+          DBT_ASSIGN_OR_RETURN(acc, BindExpr(*e.case_else, allow_aggregates));
+        } else {
+          acc = ScalarExpr::Const(Value(int64_t{0}));
+        }
+        if (!IsNumeric(acc->type)) {
+          return Status::TypeError(
+              "CASE branches must be numeric: " + e.ToString());
+        }
+        for (size_t i = e.case_branches.size(); i-- > 0;) {
+          const sql::Expr::CaseBranch& b = e.case_branches[i];
+          DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> when,
+                               BindExpr(*b.when, allow_aggregates));
+          DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> then,
+                               BindExpr(*b.then, allow_aggregates));
+          if (!IsNumeric(then->type)) {
+            return Status::TypeError(
+                "CASE branches must be numeric: " + e.ToString());
+          }
+          Type t = PromoteNumeric(then->type, acc->type);
+          // Re-bind the condition for the negated factor (ScalarExprs are
+          // single-owner trees).
+          auto not_when = std::make_unique<ScalarExpr>();
+          not_when->kind = ScalarExpr::Kind::kNot;
+          not_when->type = Type::kInt;
+          DBT_ASSIGN_OR_RETURN(not_when->lhs,
+                               BindExpr(*b.when, allow_aggregates));
+          auto pos = ScalarExpr::Binary(sql::BinOp::kMul, t, std::move(when),
+                                        std::move(then));
+          auto neg = ScalarExpr::Binary(sql::BinOp::kMul, t,
+                                        std::move(not_when), std::move(acc));
+          acc = ScalarExpr::Binary(sql::BinOp::kAdd, t, std::move(pos),
+                                   std::move(neg));
+        }
+        return acc;
+      }
       case Expr::Kind::kBinary: {
         DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> l,
                              BindExpr(*e.lhs, allow_aggregates));
@@ -122,7 +179,12 @@ class Binder {
                                      : PromoteNumeric(l->type, r->type);
         } else if (sql::IsComparison(e.op)) {
           bool ls = l->type == Type::kString, rs = r->type == Type::kString;
-          if (ls != rs) {
+          if (e.op == BinOp::kLike || e.op == BinOp::kNotLike) {
+            if (!ls || !rs) {
+              return Status::TypeError("LIKE requires string operands: " +
+                                       e.ToString());
+            }
+          } else if (ls != rs) {
             return Status::TypeError(
                 "comparison between string and numeric operands: " +
                 e.ToString());
@@ -315,6 +377,22 @@ std::string BoundSelect::ToString() const {
   return s;
 }
 
+namespace {
+
+/// Does a bound expression reference any scope-0 column of table `t`?
+bool RefsTableRange(const ScalarExpr& e, size_t lo, size_t hi) {
+  if (e.kind == ScalarExpr::Kind::kSubquery) return true;  // conservative
+  if (e.kind == ScalarExpr::Kind::kColumn && e.scope_up == 0 &&
+      e.offset >= lo && e.offset < hi) {
+    return true;
+  }
+  if (e.lhs && RefsTableRange(*e.lhs, lo, hi)) return true;
+  if (e.rhs && RefsTableRange(*e.rhs, lo, hi)) return true;
+  return false;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<BoundSelect>> Bind(
     const sql::SelectStmt& stmt, const Catalog& catalog,
     const std::vector<const BoundSelect*>& outer) {
@@ -322,6 +400,25 @@ Result<std::shared_ptr<BoundSelect>> Bind(
   bound->sql_text = stmt.ToString();
   Binder binder(catalog, bound.get(), outer);
   DBT_RETURN_IF_ERROR(binder.BindFrom(stmt));
+
+  int left_idx = -1;
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (stmt.from[i].join == sql::TableRef::Join::kLeft) {
+      if (left_idx >= 0) {
+        return Status::NotSupported(
+            "at most one LEFT JOIN per query is supported");
+      }
+      if (i + 1 != stmt.from.size()) {
+        return Status::NotSupported("LEFT JOIN must be the last FROM entry");
+      }
+      left_idx = static_cast<int>(i);
+    }
+  }
+  size_t right_lo = 0, right_hi = 0;
+  if (left_idx >= 0) {
+    right_lo = bound->tables[left_idx].flat_offset;
+    right_hi = right_lo + bound->tables[left_idx].schema->num_columns();
+  }
 
   if (stmt.where != nullptr) {
     std::vector<const Expr*> parts;
@@ -332,12 +429,68 @@ Result<std::shared_ptr<BoundSelect>> Bind(
       bound->conjuncts.push_back(std::move(bound_pred));
     }
   }
+  // Inner-JOIN ON conditions join the WHERE conjuncts (same semantics).
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (stmt.from[i].join != sql::TableRef::Join::kInner) continue;
+    std::vector<const Expr*> parts;
+    SplitConjuncts(*stmt.from[i].on, &parts);
+    for (const Expr* part : parts) {
+      DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> bound_pred,
+                           binder.BindExpr(*part, /*allow_aggregates=*/false));
+      bound->conjuncts.push_back(std::move(bound_pred));
+    }
+  }
+  if (left_idx >= 0) {
+    // SQL NULL semantics: a WHERE conjunct over the right side filters out
+    // unmatched rows, so the LEFT JOIN degenerates to an inner join.
+    bool degenerate = false;
+    for (const auto& c : bound->conjuncts) {
+      if (RefsTableRange(*c, right_lo, right_hi)) {
+        degenerate = true;
+        break;
+      }
+    }
+    std::vector<const Expr*> parts;
+    SplitConjuncts(*stmt.from[left_idx].on, &parts);
+    for (const Expr* part : parts) {
+      DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> bound_pred,
+                           binder.BindExpr(*part, /*allow_aggregates=*/false));
+      if (degenerate) {
+        bound->conjuncts.push_back(std::move(bound_pred));
+      } else {
+        bound->left_on.push_back(std::move(bound_pred));
+      }
+    }
+    // Subqueries anywhere in a LEFT JOIN query's predicates (WHERE,
+    // inner-JOIN ON, or the LEFT ON clause itself) are out of the fragment,
+    // mirroring the translator so both pipelines reject identically rather
+    // than silently degrading the join.
+    for (const auto& c : bound->conjuncts) {
+      if (!c->IsSubqueryFree()) {
+        return Status::NotSupported(
+            "LEFT JOIN cannot be combined with subqueries");
+      }
+    }
+    for (const auto& c : bound->left_on) {
+      if (!c->IsSubqueryFree()) {
+        return Status::NotSupported(
+            "LEFT JOIN cannot be combined with subqueries");
+      }
+    }
+    if (!degenerate) bound->left_table = left_idx;
+  }
 
   for (const auto& g : stmt.group_by) {
     DBT_ASSIGN_OR_RETURN(std::unique_ptr<ScalarExpr> col,
                          binder.BindExpr(*g, /*allow_aggregates=*/false));
     if (col->kind != ScalarExpr::Kind::kColumn || col->scope_up != 0) {
       return Status::NotSupported("GROUP BY must name columns of this query");
+    }
+    if (bound->left_table >= 0 &&
+        RefsTableRange(*col, right_lo, right_hi)) {
+      return Status::NotSupported(
+          "GROUP BY over the left-joined relation's columns is not "
+          "supported (unmatched rows would group under NULL)");
     }
     bound->group_by.push_back(std::move(col));
   }
@@ -361,7 +514,26 @@ Result<std::shared_ptr<BoundSelect>> Bind(
     bound->items.push_back(BoundItem{std::move(e), name});
   }
 
+  if (stmt.having != nullptr) {
+    DBT_ASSIGN_OR_RETURN(bound->having,
+                         binder.BindExpr(*stmt.having,
+                                         /*allow_aggregates=*/true));
+  }
+
   bound->is_aggregate = !bound->aggregates.empty() || !bound->group_by.empty();
+
+  if (bound->left_table >= 0) {
+    // Unmatched rows carry no right-side values; aggregate arguments over
+    // them would need NULL semantics, which the data model omits.
+    for (const AggSpec& spec : bound->aggregates) {
+      if (spec.arg != nullptr &&
+          RefsTableRange(*spec.arg, right_lo, right_hi)) {
+        return Status::NotSupported(
+            "aggregates over the left-joined relation's columns are not "
+            "supported (unmatched rows contribute NULL): " + spec.label);
+      }
+    }
+  }
 
   if (bound->is_aggregate) {
     // Validate + rewrite items: non-aggregate column uses must be group keys.
@@ -375,7 +547,21 @@ Result<std::shared_ptr<BoundSelect>> Bind(
       }
       RewriteToGroupKey(item.expr.get(), bound->group_by);
     }
+    if (bound->having != nullptr) {
+      std::vector<size_t> rewrites;
+      if (!UsesOnlyGroupColumns(*bound->having, bound->group_by, &rewrites)) {
+        return Status::InvalidArgument(
+            "HAVING references a column that is neither aggregated nor in "
+            "GROUP BY: " +
+            bound->having->ToString());
+      }
+      RewriteToGroupKey(bound->having.get(), bound->group_by);
+    }
   } else {
+    if (bound->having != nullptr) {
+      return Status::NotSupported(
+          "HAVING requires aggregation or GROUP BY");
+    }
     for (BoundItem& item : bound->items) {
       if (ContainsAggRef(*item.expr)) {
         return Status::Internal("aggregate reference in non-aggregate query");

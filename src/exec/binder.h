@@ -54,6 +54,18 @@ struct BoundSelect {
   std::vector<BoundItem> items;
   std::vector<std::string> column_names;
 
+  /// HAVING guard (may contain kAggRef nodes); evaluated per group after
+  /// aggregation. Null when absent.
+  std::unique_ptr<ScalarExpr> having;
+
+  /// LEFT [OUTER] JOIN: index of the left-joined table (always the last
+  /// FROM entry), or -1. Its ON conjuncts live in `left_on`; they reference
+  /// the wide row. When a WHERE conjunct touches the right side the join
+  /// degenerates to an inner join at bind time (left_table stays -1 and the
+  /// ON conjuncts merge into `conjuncts`).
+  int left_table = -1;
+  std::vector<std::unique_ptr<ScalarExpr>> left_on;
+
   bool is_aggregate = false;
 
   /// Original statement text (for diagnostics / codegen banners).

@@ -74,6 +74,10 @@ size_t TableOfOffset(const BoundSelect& q, size_t offset) {
 
 Plan BuildPlan(const BoundSelect& q) {
   Plan plan;
+  // A LEFT JOIN's right table (always the last FROM entry) stays out of the
+  // reorderable inner pipeline; its dedicated probe step runs afterwards.
+  const size_t plan_tables =
+      q.left_table >= 0 ? q.tables.size() - 1 : q.tables.size();
   for (const auto& c : q.conjuncts) {
     ConjunctInfo info;
     info.expr = c.get();
@@ -100,12 +104,12 @@ Plan BuildPlan(const BoundSelect& q) {
   }
   // Greedy join order: start at table 0, prefer connected tables.
   std::vector<bool> placed(q.tables.size(), false);
-  if (!q.tables.empty()) {
+  if (plan_tables > 0) {
     plan.join_order.push_back(0);
     placed[0] = true;
   }
-  while (plan.join_order.size() < q.tables.size()) {
-    size_t next = q.tables.size();
+  while (plan.join_order.size() < plan_tables) {
+    size_t next = plan_tables;
     for (const JoinEdge& edge : plan.edges) {
       if (placed[edge.table_a] && !placed[edge.table_b]) {
         next = edge.table_b;
@@ -116,8 +120,8 @@ Plan BuildPlan(const BoundSelect& q) {
         break;
       }
     }
-    if (next == q.tables.size()) {
-      for (size_t t = 0; t < q.tables.size(); ++t) {
+    if (next == plan_tables) {
+      for (size_t t = 0; t < plan_tables; ++t) {
         if (!placed[t]) {
           next = t;
           break;
@@ -310,6 +314,39 @@ Result<QueryResult> Executor::Run(const BoundSelect& q,
     current = std::move(next);
     placed[tn] = true;
   }
+  // LEFT JOIN probe: match each inner-pipeline row against the right table
+  // through the ON conjuncts; rows with no match are emitted once with the
+  // right slice left at defaults (binder guarantees nothing reads it).
+  if (q.left_table >= 0) {
+    const BoundTable& bt = q.tables[static_cast<size_t>(q.left_table)];
+    const Table* right = tables[static_cast<size_t>(q.left_table)];
+    std::vector<std::pair<Row, int64_t>> next;
+    for (auto& [wide, mult] : current) {
+      int64_t matched = 0;
+      // The ON conjuncts are evaluated over the combined wide row; right
+      // tables are small relative to the stream in this fragment, so a scan
+      // per probe keeps the oracle simple and obviously correct.
+      for (const auto& [row, row_mult] : right->rows()) {
+        Row combined = wide;
+        std::copy(row.begin(), row.end(), combined.begin() + bt.flat_offset);
+        bool pass = true;
+        for (const auto& f : q.left_on) {
+          if (eval(*f, combined).IsZero()) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        matched += row_mult;
+        next.emplace_back(std::move(combined), mult * row_mult);
+      }
+      if (matched == 0) {
+        next.emplace_back(wide, mult);
+      }
+    }
+    current = std::move(next);
+  }
+
   // Residual predicates (subqueries, cross-scope conditions).
   if (!plan.residual.empty()) {
     std::vector<std::pair<Row, int64_t>> filtered;
@@ -433,6 +470,11 @@ Result<QueryResult> Executor::Run(const BoundSelect& q,
     ctx.scopes.push_back(&key);
     for (const Row* r : outer) ctx.scopes.push_back(r);
     ctx.aggregates = &agg_values;
+    // HAVING: post-aggregation guard.
+    if (q.having != nullptr &&
+        q.having->Eval(ctx, subquery_eval).IsZero()) {
+      continue;
+    }
     Row out;
     out.reserve(q.items.size());
     for (const BoundItem& item : q.items) {

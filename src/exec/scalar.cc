@@ -3,6 +3,8 @@
 #include <cassert>
 #include <functional>
 
+#include "src/common/str.h"
+
 namespace dbtoaster::exec {
 
 Value ScalarExpr::Eval(
@@ -30,6 +32,16 @@ Value ScalarExpr::Eval(
     }
     case Kind::kSubquery:
       return subquery_eval(*subquery, ctx);
+    case Kind::kFunc: {
+      Value a = lhs->Eval(ctx, subquery_eval);
+      const int64_t days = a.is_numeric() ? a.AsInt() : 0;
+      switch (func) {
+        case sql::FuncKind::kExtractYear: return Value(ExtractYear(days));
+        case sql::FuncKind::kExtractMonth: return Value(ExtractMonth(days));
+        case sql::FuncKind::kExtractDay: return Value(ExtractDay(days));
+      }
+      return Value(int64_t{0});
+    }
     case Kind::kBinary: {
       using sql::BinOp;
       // Short-circuit logical ops.
@@ -58,6 +70,12 @@ Value ScalarExpr::Eval(
         case BinOp::kLe: return Value(l <= r);
         case BinOp::kGt: return Value(l > r);
         case BinOp::kGe: return Value(l >= r);
+        case BinOp::kLike:
+          return Value(l.is_string() && r.is_string() &&
+                       LikeMatch(l.AsString(), r.AsString()));
+        case BinOp::kNotLike:
+          return Value(l.is_string() && r.is_string() &&
+                       !LikeMatch(l.AsString(), r.AsString()));
         default:
           assert(false && "unhandled binary op");
           return Value();
@@ -92,6 +110,8 @@ std::string ScalarExpr::ToString() const {
       return "(NOT " + lhs->ToString() + ")";
     case Kind::kSubquery:
       return "(<subquery>)";
+    case Kind::kFunc:
+      return std::string(sql::FuncKindName(func)) + lhs->ToString() + ")";
     case Kind::kBinary:
       return "(" + lhs->ToString() + " " + sql::BinOpName(op) + " " +
              rhs->ToString() + ")";

@@ -41,10 +41,12 @@ struct ScalarExpr {
     kNot,
     kAggRef,     ///< aggregates[agg_index] (only valid post-aggregation)
     kSubquery,   ///< scalar subquery, evaluated via Subquery callback
+    kFunc,       ///< built-in scalar function (EXTRACT); argument in lhs
   };
 
   Kind kind;
   Type type = Type::kInt;
+  sql::FuncKind func = sql::FuncKind::kExtractYear;  // kFunc
 
   Value constant;                     // kConst
   int scope_up = 0;                   // kColumn: how many scopes up

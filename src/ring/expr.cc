@@ -218,6 +218,39 @@ ExprPtr Expr::ReplaceMapReads(
   return nullptr;
 }
 
+ExprPtr Expr::RenameMaps(
+    const std::map<std::string, std::string>& names) const {
+  switch (kind) {
+    case ExprKind::kConst:
+    case ExprKind::kRel:
+      return std::make_shared<Expr>(*this);
+    case ExprKind::kMapRef: {
+      auto it = names.find(name);
+      return MapRef(it == names.end() ? name : it->second, args);
+    }
+    case ExprKind::kValTerm:
+      return ValTerm(term->RenameMaps(names));
+    case ExprKind::kCmp:
+      return Cmp(cmp_op, cmp_lhs->RenameMaps(names),
+                 cmp_rhs->RenameMaps(names));
+    case ExprKind::kLift:
+      return Lift(var, term->RenameMaps(names));
+    case ExprKind::kNeg:
+      return Neg(children[0]->RenameMaps(names));
+    case ExprKind::kAggSum:
+      return AggSum(group_vars, children[0]->RenameMaps(names));
+    case ExprKind::kSum:
+    case ExprKind::kProd: {
+      std::vector<ExprPtr> cs;
+      cs.reserve(children.size());
+      for (const ExprPtr& c : children) cs.push_back(c->RenameMaps(names));
+      return kind == ExprKind::kSum ? Sum(std::move(cs)) : Prod(std::move(cs));
+    }
+  }
+  assert(false);
+  return nullptr;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kConst:
@@ -297,6 +330,14 @@ ExprPtr Expr::Cmp(sql::BinOp op, TermPtr l, TermPtr r) {
       case sql::BinOp::kLe: truth = a <= b; break;
       case sql::BinOp::kGt: truth = a > b; break;
       case sql::BinOp::kGe: truth = a >= b; break;
+      case sql::BinOp::kLike:
+        truth = a.is_string() && b.is_string() &&
+                LikeMatch(a.AsString(), b.AsString());
+        break;
+      case sql::BinOp::kNotLike:
+        truth = a.is_string() && b.is_string() &&
+                !LikeMatch(a.AsString(), b.AsString());
+        break;
       default: break;
     }
     return truth ? One() : Zero();

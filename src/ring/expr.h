@@ -91,6 +91,10 @@ struct Expr {
   ExprPtr ReplaceMapReads(
       const std::map<std::string, TermPtr>& replacements) const;
 
+  /// Rename map names throughout: MapRef atoms and term-level map reads.
+  /// Used to resolve "$<query>_agg<i>" placeholders to registered maps.
+  ExprPtr RenameMaps(const std::map<std::string, std::string>& names) const;
+
   std::string ToString() const;
 
   // -- constructors (with local constant folding) ---------------------------

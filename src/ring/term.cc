@@ -14,6 +14,9 @@ void Term::CollectVars(std::set<std::string>* out) const {
     case Kind::kMapRead:
       for (const TermPtr& a : args) a->CollectVars(out);
       return;
+    case Kind::kFunc1:
+      lhs->CollectVars(out);
+      return;
     default:
       lhs->CollectVars(out);
       rhs->CollectVars(out);
@@ -34,6 +37,9 @@ void Term::CollectMapReads(std::set<std::string>* out) const {
     case Kind::kMapRead:
       out->insert(map_name);
       for (const TermPtr& a : args) a->CollectMapReads(out);
+      return;
+    case Kind::kFunc1:
+      lhs->CollectMapReads(out);
       return;
     default:
       lhs->CollectMapReads(out);
@@ -65,6 +71,14 @@ Result<Type> Term::TypeOf(const VarTypes& types) const {
       }
     case Kind::kDiv:
       return Type::kDouble;
+    case Kind::kFunc1: {
+      DBT_ASSIGN_OR_RETURN(Type a, lhs->TypeOf(types));
+      if (!IsNumeric(a)) {
+        return Status::TypeError("EXTRACT over non-date operand: " +
+                                 ToString());
+      }
+      return Type::kInt;
+    }
     default: {
       DBT_ASSIGN_OR_RETURN(Type l, lhs->TypeOf(types));
       DBT_ASSIGN_OR_RETURN(Type r, rhs->TypeOf(types));
@@ -91,6 +105,8 @@ TermPtr Term::Rename(const std::map<std::string, std::string>& subst) const {
       for (const TermPtr& a : args) new_args.push_back(a->Rename(subst));
       return MapRead(map_name, std::move(new_args));
     }
+    case Kind::kFunc1:
+      return Func1(func, lhs->Rename(subst));
     default: {
       TermPtr l = lhs->Rename(subst);
       TermPtr r = rhs->Rename(subst);
@@ -117,6 +133,8 @@ TermPtr Term::Substitute(const std::map<std::string, TermPtr>& subst) const {
       for (const TermPtr& a : args) new_args.push_back(a->Substitute(subst));
       return MapRead(map_name, std::move(new_args));
     }
+    case Kind::kFunc1:
+      return Func1(func, lhs->Substitute(subst));
     default: {
       TermPtr l = lhs->Substitute(subst);
       TermPtr r = rhs->Substitute(subst);
@@ -144,6 +162,8 @@ TermPtr Term::RenameMaps(
       return MapRead(it == names.end() ? map_name : it->second,
                      std::move(new_args));
     }
+    case Kind::kFunc1:
+      return Func1(func, lhs->RenameMaps(names));
     default: {
       auto t = std::make_shared<Term>();
       t->kind = kind;
@@ -171,6 +191,8 @@ TermPtr Term::ReplaceMapReads(
       }
       return MapRead(map_name, std::move(new_args));
     }
+    case Kind::kFunc1:
+      return Func1(func, lhs->ReplaceMapReads(replacements));
     default: {
       auto t = std::make_shared<Term>();
       t->kind = kind;
@@ -204,6 +226,8 @@ std::string Term::ToString() const {
       s += "]";
       return s;
     }
+    case Kind::kFunc1:
+      return std::string(sql::FuncKindName(func)) + lhs->ToString() + ")";
   }
   return "?";
 }
@@ -254,6 +278,27 @@ TermPtr Term::Div(TermPtr l, TermPtr r) {
   return MakeBinary(Kind::kDiv, std::move(l), std::move(r));
 }
 
+Value EvalFunc1(sql::FuncKind func, const Value& arg) {
+  const int64_t days = arg.AsInt();
+  switch (func) {
+    case sql::FuncKind::kExtractYear: return Value(ExtractYear(days));
+    case sql::FuncKind::kExtractMonth: return Value(ExtractMonth(days));
+    case sql::FuncKind::kExtractDay: return Value(ExtractDay(days));
+  }
+  return Value(int64_t{0});
+}
+
+TermPtr Term::Func1(sql::FuncKind func, TermPtr arg) {
+  if (arg->IsConst() && arg->constant.is_numeric()) {
+    return Const(EvalFunc1(func, arg->constant));
+  }
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kFunc1;
+  t->func = func;
+  t->lhs = std::move(arg);
+  return t;
+}
+
 TermPtr Term::MapRead(std::string map_name, std::vector<TermPtr> args) {
   auto t = std::make_shared<Term>();
   t->kind = Kind::kMapRead;
@@ -278,6 +323,8 @@ bool TermEquals(const Term& a, const Term& b) {
         if (!TermEquals(*a.args[i], *b.args[i])) return false;
       }
       return true;
+    case Term::Kind::kFunc1:
+      return a.func == b.func && TermEquals(*a.lhs, *b.lhs);
     default:
       return TermEquals(*a.lhs, *b.lhs) && TermEquals(*a.rhs, *b.rhs);
   }

@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/sql/ast.h"
 
 namespace dbtoaster::ring {
 
@@ -32,14 +33,16 @@ struct Term {
     kMul,
     kDiv,
     kMapRead,  ///< read map `map_name` at key (args...); 0 when absent
+    kFunc1,    ///< built-in unary scalar function over `lhs` (EXTRACT)
   };
 
   Kind kind;
   Value constant;                 // kConst
   std::string var;                // kVar
-  TermPtr lhs, rhs;               // kAdd..kDiv
+  TermPtr lhs, rhs;               // kAdd..kDiv; kFunc1 argument in lhs
   std::string map_name;           // kMapRead
   std::vector<TermPtr> args;      // kMapRead key terms
+  sql::FuncKind func = sql::FuncKind::kExtractYear;  // kFunc1
 
   /// All variables mentioned (including inside map-read keys).
   void CollectVars(std::set<std::string>* out) const;
@@ -80,7 +83,11 @@ struct Term {
   static TermPtr Mul(TermPtr l, TermPtr r);
   static TermPtr Div(TermPtr l, TermPtr r);
   static TermPtr MapRead(std::string map_name, std::vector<TermPtr> args);
+  static TermPtr Func1(sql::FuncKind func, TermPtr arg);
 };
+
+/// Evaluate a built-in unary function over a concrete value.
+Value EvalFunc1(sql::FuncKind func, const Value& arg);
 
 /// Structural equality.
 bool TermEquals(const Term& a, const Term& b);

@@ -900,9 +900,20 @@ Result<exec::QueryResult> Engine::View(const std::string& view_name) {
     return Status::OK();
   };
 
+  // HAVING: post-aggregation guard over the materialized group maps.
+  auto passes_having = [&](const Bindings& env) -> Result<bool> {
+    if (view->having == nullptr) return true;
+    DBT_ASSIGN_OR_RETURN(
+        Value v, eval_.EvalScalar(view->having, env, /*store_init=*/true));
+    return !(v.is_numeric() && v.IsZero());
+  };
+
   if (view->key_vars.empty()) {
     Bindings env;
-    DBT_RETURN_IF_ERROR(emit_row(env, {}));
+    DBT_ASSIGN_OR_RETURN(bool pass, passes_having(env));
+    if (pass) {
+      DBT_RETURN_IF_ERROR(emit_row(env, {}));
+    }
     return out;
   }
   const ValueMap* domain = value_map(view->domain_map);
@@ -915,6 +926,8 @@ Result<exec::QueryResult> Engine::View(const std::string& view_name) {
     for (size_t i = 0; i < view->key_vars.size(); ++i) {
       env[view->key_vars[i]] = key[i];
     }
+    DBT_ASSIGN_OR_RETURN(bool pass, passes_having(env));
+    if (!pass) continue;
     DBT_RETURN_IF_ERROR(emit_row(env, key));
   }
   return out;

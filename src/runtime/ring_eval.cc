@@ -26,6 +26,14 @@ Value CompareValues(sql::BinOp op, const Value& l, const Value& r) {
     case sql::BinOp::kLe: truth = l <= r; break;
     case sql::BinOp::kGt: truth = l > r; break;
     case sql::BinOp::kGe: truth = l >= r; break;
+    case sql::BinOp::kLike:
+      truth = l.is_string() && r.is_string() &&
+              LikeMatch(l.AsString(), r.AsString());
+      break;
+    case sql::BinOp::kNotLike:
+      truth = l.is_string() && r.is_string() &&
+              !LikeMatch(l.AsString(), r.AsString());
+      break;
     default:
       assert(false && "non-comparison op");
   }
@@ -65,6 +73,13 @@ Result<Value> RingEvaluator::EvalTerm(const TermPtr& t, const Bindings& env,
         key.push_back(std::move(v));
       }
       return store_->ReadMap(t->map_name, key, store_init);
+    }
+    case Term::Kind::kFunc1: {
+      DBT_ASSIGN_OR_RETURN(Value a, EvalTerm(t->lhs, env, store_init));
+      if (!a.is_numeric()) {
+        return Status::TypeError("EXTRACT over non-date value");
+      }
+      return ring::EvalFunc1(t->func, a);
     }
     default: {
       DBT_ASSIGN_OR_RETURN(Value l, EvalTerm(t->lhs, env, store_init));
@@ -288,6 +303,14 @@ Result<Keyed> RingEvaluator::Eval(const ExprPtr& e, const Bindings& env,
           for (auto& entry : k.entries) out.entries.push_back(std::move(entry));
           continue;
         }
+        // An empty branch may have lost its variable schema (empty scans
+        // short-circuit the product evaluator); it contributes nothing.
+        if (k.entries.empty()) continue;
+        if (out.entries.empty() && out.vars.empty()) {
+          out.vars = k.vars;
+          for (auto& entry : k.entries) out.entries.push_back(std::move(entry));
+          continue;
+        }
         // Variable sets may differ in order; reorder columns.
         std::set<std::string> a(k.vars.begin(), k.vars.end());
         std::set<std::string> b(out.vars.begin(), out.vars.end());
@@ -316,6 +339,19 @@ Result<Keyed> RingEvaluator::Eval(const ExprPtr& e, const Bindings& env,
       DBT_ASSIGN_OR_RETURN(Keyed inner,
                            Eval(e->children[0], env, store_init));
       Keyed out;
+      // An empty inner result may have lost its variable schema (empty
+      // scans short-circuit the product evaluator): reconstruct the output
+      // schema from the group list so enclosing sums stay well-formed.
+      if (inner.entries.empty()) {
+        for (const std::string& g : e->group_vars) {
+          if (std::find(inner.vars.begin(), inner.vars.end(), g) !=
+                  inner.vars.end() ||
+              env.find(g) == env.end()) {
+            out.vars.push_back(g);
+          }
+        }
+        return out;
+      }
       // Group variables bound by the environment are constants here; only
       // unbound ones key the result.
       std::vector<int> src;  // position in inner.vars, or -1 (env-bound)

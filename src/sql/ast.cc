@@ -20,6 +20,8 @@ const char* BinOpName(BinOp op) {
     case BinOp::kGe: return ">=";
     case BinOp::kAnd: return "AND";
     case BinOp::kOr: return "OR";
+    case BinOp::kLike: return "LIKE";
+    case BinOp::kNotLike: return "NOT LIKE";
   }
   return "?";
 }
@@ -32,6 +34,8 @@ bool IsComparison(BinOp op) {
     case BinOp::kLe:
     case BinOp::kGt:
     case BinOp::kGe:
+    case BinOp::kLike:
+    case BinOp::kNotLike:
       return true;
     default:
       return false;
@@ -64,6 +68,15 @@ BinOp FlipComparison(BinOp op) {
   }
 }
 
+const char* FuncKindName(FuncKind k) {
+  switch (k) {
+    case FuncKind::kExtractYear: return "EXTRACT(YEAR FROM ";
+    case FuncKind::kExtractMonth: return "EXTRACT(MONTH FROM ";
+    case FuncKind::kExtractDay: return "EXTRACT(DAY FROM ";
+  }
+  return "?";
+}
+
 const char* AggKindName(AggKind k) {
   switch (k) {
     case AggKind::kSum: return "SUM";
@@ -93,6 +106,17 @@ std::string Expr::ToString() const {
              (agg_arg ? agg_arg->ToString() : "*") + ")";
     case Kind::kSubquery:
       return "(" + subquery->ToString() + ")";
+    case Kind::kCase: {
+      std::string s = "CASE";
+      for (const CaseBranch& b : case_branches) {
+        s += " WHEN " + b.when->ToString() + " THEN " + b.then->ToString();
+      }
+      if (case_else) s += " ELSE " + case_else->ToString();
+      s += " END";
+      return s;
+    }
+    case Kind::kFunc:
+      return std::string(FuncKindName(func)) + lhs->ToString() + ")";
   }
   return "?";
 }
@@ -109,6 +133,11 @@ std::unique_ptr<Expr> Expr::Clone() const {
   e->agg = agg;
   if (agg_arg) e->agg_arg = agg_arg->Clone();
   if (subquery) e->subquery = subquery->Clone();
+  for (const CaseBranch& b : case_branches) {
+    e->case_branches.push_back(CaseBranch{b.when->Clone(), b.then->Clone()});
+  }
+  if (case_else) e->case_else = case_else->Clone();
+  e->func = func;
   return e;
 }
 
@@ -168,9 +197,41 @@ std::unique_ptr<Expr> Expr::MakeSubquery(std::unique_ptr<SelectStmt> q) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::MakeCase(std::vector<CaseBranch> branches,
+                                     std::unique_ptr<Expr> else_expr) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCase;
+  e->case_branches = std::move(branches);
+  e->case_else = std::move(else_expr);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeFunc(FuncKind k, std::unique_ptr<Expr> arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunc;
+  e->func = k;
+  e->lhs = std::move(arg);
+  return e;
+}
+
+TableRef TableRef::Clone() const {
+  TableRef t;
+  t.table = table;
+  t.alias = alias;
+  t.join = join;
+  if (on) t.on = on->Clone();
+  return t;
+}
+
 std::string TableRef::ToString() const {
-  if (alias == table) return table;
-  return table + " " + alias;
+  std::string s = alias == table ? table : table + " " + alias;
+  if (join == Join::kInner) {
+    return "JOIN " + s + " ON " + on->ToString();
+  }
+  if (join == Join::kLeft) {
+    return "LEFT JOIN " + s + " ON " + on->ToString();
+  }
+  return s;
 }
 
 SelectItem SelectItem::Clone() const {
@@ -189,7 +250,7 @@ std::string SelectStmt::ToString() const {
   }
   s += " FROM ";
   for (size_t i = 0; i < from.size(); ++i) {
-    if (i) s += ", ";
+    if (i) s += from[i].join == TableRef::Join::kCross ? ", " : " ";
     s += from[i].ToString();
   }
   if (where) s += " WHERE " + where->ToString();
@@ -200,15 +261,17 @@ std::string SelectStmt::ToString() const {
       s += group_by[i]->ToString();
     }
   }
+  if (having) s += " HAVING " + having->ToString();
   return s;
 }
 
 std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
   auto q = std::make_unique<SelectStmt>();
   for (const auto& it : items) q->items.push_back(it.Clone());
-  q->from = from;
+  for (const auto& t : from) q->from.push_back(t.Clone());
   if (where) q->where = where->Clone();
   for (const auto& g : group_by) q->group_by.push_back(g->Clone());
+  if (having) q->having = having->Clone();
   return q;
 }
 

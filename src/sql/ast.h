@@ -26,6 +26,7 @@ enum class BinOp : uint8_t {
   kAdd, kSub, kMul, kDiv,
   kEq, kNeq, kLt, kLe, kGt, kGe,
   kAnd, kOr,
+  kLike, kNotLike,  ///< string pattern predicates (lhs LIKE rhs)
 };
 
 const char* BinOpName(BinOp op);
@@ -37,6 +38,10 @@ BinOp FlipComparison(BinOp op);
 enum class AggKind : uint8_t { kSum, kCount, kAvg, kMin, kMax };
 const char* AggKindName(AggKind k);
 
+/// Built-in scalar functions (currently the EXTRACT family over dates).
+enum class FuncKind : uint8_t { kExtractYear, kExtractMonth, kExtractDay };
+const char* FuncKindName(FuncKind k);
+
 /// Scalar expression node.
 struct Expr {
   enum class Kind : uint8_t {
@@ -47,6 +52,14 @@ struct Expr {
     kNot,        ///< NOT operand
     kAggregate,  ///< SUM(arg) etc.; arg null for COUNT(*)
     kSubquery,   ///< scalar subquery (SELECT ...)
+    kCase,       ///< CASE WHEN ... THEN ... [ELSE ...] END
+    kFunc,       ///< built-in scalar function (EXTRACT); arg in lhs
+  };
+
+  /// One CASE branch.
+  struct CaseBranch {
+    std::unique_ptr<Expr> when;
+    std::unique_ptr<Expr> then;
   };
 
   Kind kind;
@@ -70,6 +83,13 @@ struct Expr {
   // kSubquery
   std::unique_ptr<SelectStmt> subquery;
 
+  // kCase
+  std::vector<CaseBranch> case_branches;
+  std::unique_ptr<Expr> case_else;  ///< null means ELSE 0
+
+  // kFunc (argument in lhs)
+  FuncKind func = FuncKind::kExtractYear;
+
   /// SQL-ish rendering for diagnostics and golden tests.
   std::string ToString() const;
 
@@ -87,13 +107,26 @@ struct Expr {
   static std::unique_ptr<Expr> MakeAggregate(AggKind k,
                                              std::unique_ptr<Expr> arg);
   static std::unique_ptr<Expr> MakeSubquery(std::unique_ptr<SelectStmt> q);
+  static std::unique_ptr<Expr> MakeCase(std::vector<CaseBranch> branches,
+                                        std::unique_ptr<Expr> else_expr);
+  static std::unique_ptr<Expr> MakeFunc(FuncKind k, std::unique_ptr<Expr> arg);
 };
 
-/// FROM-clause entry: `table [alias]`.
+/// FROM-clause entry: `table [alias]`, optionally joined to the preceding
+/// entries with an explicit JOIN ... ON clause.
 struct TableRef {
+  enum class Join : uint8_t {
+    kCross,  ///< comma-separated (or the first FROM entry)
+    kInner,  ///< [INNER] JOIN ... ON cond
+    kLeft,   ///< LEFT [OUTER] JOIN ... ON cond
+  };
+
   std::string table;
   std::string alias;  ///< equals `table` when no alias given
+  Join join = Join::kCross;
+  std::unique_ptr<Expr> on;  ///< null iff join == kCross
 
+  TableRef Clone() const;
   std::string ToString() const;
 };
 
@@ -111,6 +144,7 @@ struct SelectStmt {
   std::vector<TableRef> from;
   std::unique_ptr<Expr> where;            ///< null when absent
   std::vector<std::unique_ptr<Expr>> group_by;  ///< column refs
+  std::unique_ptr<Expr> having;           ///< null when absent
 
   std::string ToString() const;
   std::unique_ptr<SelectStmt> Clone() const;

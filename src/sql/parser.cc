@@ -1,6 +1,7 @@
 #include "src/sql/parser.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "src/common/str.h"
 #include "src/sql/lexer.h"
@@ -89,21 +90,27 @@ class Parser {
 
     DBT_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     do {
-      if (Peek().kind != TokenKind::kIdent) {
-        return Err("expected table name in FROM");
-      }
-      TableRef ref;
-      ref.table = Advance().text;
-      ref.alias = ref.table;
-      if (MatchKeyword("AS")) {
-        if (Peek().kind != TokenKind::kIdent) {
-          return Err("expected alias after AS");
-        }
-        ref.alias = Advance().text;
-      } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
-        ref.alias = Advance().text;
-      }
+      DBT_ASSIGN_OR_RETURN(TableRef ref, TableName(TableRef::Join::kCross));
       stmt->from.push_back(std::move(ref));
+      // Explicit JOIN chain: [INNER] JOIN t ON cond | LEFT [OUTER] JOIN ...
+      for (;;) {
+        TableRef::Join join;
+        if (MatchKeyword("LEFT")) {
+          MatchKeyword("OUTER");
+          DBT_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          join = TableRef::Join::kLeft;
+        } else if (IsKeyword(Peek(), "INNER") || IsKeyword(Peek(), "JOIN")) {
+          MatchKeyword("INNER");
+          DBT_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          join = TableRef::Join::kInner;
+        } else {
+          break;
+        }
+        DBT_ASSIGN_OR_RETURN(TableRef joined, TableName(join));
+        DBT_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        DBT_ASSIGN_OR_RETURN(joined.on, Expression());
+        stmt->from.push_back(std::move(joined));
+      }
     } while (Match(TokenKind::kComma));
 
     if (MatchKeyword("WHERE")) {
@@ -120,7 +127,29 @@ class Parser {
         stmt->group_by.push_back(std::move(col));
       } while (Match(TokenKind::kComma));
     }
+    if (MatchKeyword("HAVING")) {
+      DBT_ASSIGN_OR_RETURN(stmt->having, Expression());
+    }
     return stmt;
+  }
+
+  Result<TableRef> TableName(TableRef::Join join) {
+    if (Peek().kind != TokenKind::kIdent || IsReserved(Peek())) {
+      return Err("expected table name in FROM");
+    }
+    TableRef ref;
+    ref.table = Advance().text;
+    ref.alias = ref.table;
+    ref.join = join;
+    if (MatchKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
   }
 
   Result<CreateTableStmt> CreateTable() {
@@ -170,9 +199,11 @@ class Parser {
  private:
   static bool IsReserved(const Token& t) {
     static const char* kReserved[] = {
-        "SELECT", "FROM", "WHERE", "GROUP", "BY",  "AS",  "AND",
-        "OR",     "NOT",  "SUM",   "COUNT", "AVG", "MIN", "MAX",
-        "CREATE", "TABLE", "ON", "JOIN", "INNER"};
+        "SELECT", "FROM",  "WHERE",   "GROUP",   "BY",      "AS",   "AND",
+        "OR",     "NOT",   "SUM",     "COUNT",   "AVG",     "MIN",  "MAX",
+        "CREATE", "TABLE", "ON",      "JOIN",    "INNER",   "LEFT", "OUTER",
+        "HAVING", "LIKE",  "IN",      "BETWEEN", "CASE",    "WHEN", "THEN",
+        "ELSE",   "END",   "EXTRACT", "DATE",    "INTERVAL"};
     if (t.kind != TokenKind::kIdent) return false;
     std::string up = ToUpper(t.text);
     for (const char* r : kReserved) {
@@ -215,6 +246,60 @@ class Parser {
   Result<std::unique_ptr<Expr>> Comparison() {
     std::unique_ptr<Expr> lhs;
     DBT_ASSIGN_OR_RETURN(lhs, Additive());
+
+    // Negated predicate forms: `x NOT LIKE p`, `x NOT IN (...)`,
+    // `x NOT BETWEEN a AND b`.
+    bool negated = false;
+    if (IsKeyword(Peek(), "NOT") &&
+        (IsKeyword(Peek(1), "LIKE") || IsKeyword(Peek(1), "IN") ||
+         IsKeyword(Peek(1), "BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("LIKE")) {
+      std::unique_ptr<Expr> pattern;
+      DBT_ASSIGN_OR_RETURN(pattern, Additive());
+      return Expr::MakeBinary(negated ? BinOp::kNotLike : BinOp::kLike,
+                              std::move(lhs), std::move(pattern));
+    }
+    if (MatchKeyword("IN")) {
+      DBT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after IN"));
+      if (Peek().kind == TokenKind::kRParen) {
+        return Err("IN list must not be empty");
+      }
+      // Desugar to a disjunction of equalities (values are scalar
+      // expressions; duplicates are harmless under OR).
+      std::unique_ptr<Expr> disjunction;
+      do {
+        std::unique_ptr<Expr> value;
+        DBT_ASSIGN_OR_RETURN(value, Expression());
+        auto eq = Expr::MakeBinary(BinOp::kEq, lhs->Clone(), std::move(value));
+        disjunction = disjunction == nullptr
+                          ? std::move(eq)
+                          : Expr::MakeBinary(BinOp::kOr,
+                                             std::move(disjunction),
+                                             std::move(eq));
+      } while (Match(TokenKind::kComma));
+      DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' closing IN list"));
+      if (negated) return Expr::MakeNot(std::move(disjunction));
+      return disjunction;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      std::unique_ptr<Expr> lo, hi;
+      DBT_ASSIGN_OR_RETURN(lo, Additive());
+      DBT_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DBT_ASSIGN_OR_RETURN(hi, Additive());
+      auto ge = Expr::MakeBinary(BinOp::kGe, lhs->Clone(), std::move(lo));
+      auto le = Expr::MakeBinary(BinOp::kLe, std::move(lhs), std::move(hi));
+      auto both =
+          Expr::MakeBinary(BinOp::kAnd, std::move(ge), std::move(le));
+      if (negated) return Expr::MakeNot(std::move(both));
+      return both;
+    }
+    if (negated) {
+      return Err("expected LIKE, IN or BETWEEN after NOT");
+    }
+
     BinOp op;
     switch (Peek().kind) {
       case TokenKind::kEq: op = BinOp::kEq; break;
@@ -245,10 +330,57 @@ class Parser {
         return lhs;
       }
       Advance();
+      if (IsKeyword(Peek(), "INTERVAL")) {
+        // DATE 'lit' +/- INTERVAL 'n' YEAR|MONTH|DAY: folded to a literal at
+        // parse time (interval arithmetic over columns is out of fragment).
+        DBT_ASSIGN_OR_RETURN(lhs,
+                             FoldInterval(std::move(lhs), op == BinOp::kSub));
+        continue;
+      }
       std::unique_ptr<Expr> rhs;
       DBT_ASSIGN_OR_RETURN(rhs, Multiplicative());
       lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
     }
+  }
+
+  Result<std::unique_ptr<Expr>> FoldInterval(std::unique_ptr<Expr> lhs,
+                                             bool subtract) {
+    DBT_RETURN_IF_ERROR(ExpectKeyword("INTERVAL"));
+    if (lhs->kind != Expr::Kind::kLiteral || !lhs->literal.is_int()) {
+      return Err(
+          "INTERVAL arithmetic is supported on DATE literals only (fold "
+          "into a constant)");
+    }
+    if (Peek().kind != TokenKind::kStringLit && Peek().kind != TokenKind::kIntLit) {
+      return Err("expected interval magnitude like '1' after INTERVAL");
+    }
+    int64_t n = 0;
+    if (Peek().kind == TokenKind::kStringLit) {
+      const std::string& body = Peek().text;
+      // Optional leading sign, then digits only — partial strtoll parses
+      // ('1-2', '-') must not slip through as truncated magnitudes.
+      const size_t digits_from = body.size() > 0 && body[0] == '-' ? 1 : 0;
+      if (body.size() == digits_from ||
+          body.find_first_not_of("0123456789", digits_from) !=
+              std::string::npos) {
+        return Err("malformed INTERVAL magnitude '" + body + "'");
+      }
+      n = std::strtoll(body.c_str(), nullptr, 10);
+    } else {
+      n = Peek().int_value;
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected interval unit YEAR, MONTH or DAY");
+    }
+    std::string unit = ToUpper(Advance().text);
+    if (unit != "YEAR" && unit != "MONTH" && unit != "DAY") {
+      return Err("unsupported interval unit '" + unit +
+                 "' (expected YEAR, MONTH or DAY)");
+    }
+    int64_t days =
+        AddInterval(lhs->literal.AsInt(), subtract ? -n : n, unit);
+    return Expr::MakeLiteral(Value(days));
   }
 
   Result<std::unique_ptr<Expr>> Multiplicative() {
@@ -319,6 +451,61 @@ class Parser {
       }
       case TokenKind::kIdent: {
         std::string up = ToUpper(t.text);
+        if (up == "DATE" && Peek(1).kind == TokenKind::kStringLit) {
+          // DATE 'YYYY-MM-DD' literal (stored as days since epoch).
+          Advance();  // DATE
+          int64_t days = 0;
+          if (!ParseDateLiteral(Peek().text, &days)) {
+            return Err("malformed date literal '" + Peek().text +
+                       "' (expected 'YYYY-MM-DD')");
+          }
+          Advance();  // the literal
+          return Expr::MakeLiteral(Value(days));
+        }
+        if (up == "CASE") {
+          Advance();
+          std::vector<Expr::CaseBranch> branches;
+          while (MatchKeyword("WHEN")) {
+            Expr::CaseBranch b;
+            DBT_ASSIGN_OR_RETURN(b.when, Expression());
+            DBT_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+            DBT_ASSIGN_OR_RETURN(b.then, Expression());
+            branches.push_back(std::move(b));
+          }
+          if (branches.empty()) {
+            return Err("CASE requires at least one WHEN branch");
+          }
+          std::unique_ptr<Expr> else_expr;
+          if (MatchKeyword("ELSE")) {
+            DBT_ASSIGN_OR_RETURN(else_expr, Expression());
+          }
+          DBT_RETURN_IF_ERROR(ExpectKeyword("END"));
+          return Expr::MakeCase(std::move(branches), std::move(else_expr));
+        }
+        if (up == "EXTRACT") {
+          Advance();
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after EXTRACT"));
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected EXTRACT field YEAR, MONTH or DAY");
+          }
+          std::string field = ToUpper(Advance().text);
+          FuncKind fk;
+          if (field == "YEAR") {
+            fk = FuncKind::kExtractYear;
+          } else if (field == "MONTH") {
+            fk = FuncKind::kExtractMonth;
+          } else if (field == "DAY") {
+            fk = FuncKind::kExtractDay;
+          } else {
+            return Err("unsupported EXTRACT field '" + field +
+                       "' (expected YEAR, MONTH or DAY)");
+          }
+          DBT_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+          std::unique_ptr<Expr> arg;
+          DBT_ASSIGN_OR_RETURN(arg, Expression());
+          DBT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return Expr::MakeFunc(fk, std::move(arg));
+        }
         if (up == "SUM" || up == "COUNT" || up == "AVG" || up == "MIN" ||
             up == "MAX") {
           AggKind kind = up == "SUM"     ? AggKind::kSum

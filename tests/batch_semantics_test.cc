@@ -338,5 +338,90 @@ TEST(DbtStreamProgram, DefaultOnBatchDispatchesGroupwise) {
   EXPECT_EQ(shim.StateBytes(), 0u);
 }
 
+
+// ---------------------------------------------------------------------------
+// NULL/empty-group semantics at the HAVING / LEFT JOIN boundary: a group
+// whose row count returns to zero must vanish from the view — even when the
+// HAVING guard references its aggregates (the guard must never resurrect a
+// dead group), and even when the group only ever existed through the
+// unmatched branch of a LEFT JOIN.
+// ---------------------------------------------------------------------------
+TEST(BatchSemantics, InsertThenDeleteVanishesUnderHavingAndLeftJoin) {
+  Catalog cat = MakeCatalog(
+      "create table R(K int, TAG string, V int, D date);"
+      "create table S(K int, W int);");
+  struct Case {
+    const char* label;
+    const char* sql;
+  };
+  const Case kCases[] = {
+      // HAVING guard that is TRUE on all-zero aggregates: only the domain
+      // may decide liveness.
+      {"having_true_on_zero",
+       "select R.K, count(*) from R group by R.K having count(*) < 10000"},
+      {"having_sum",
+       "select R.K, sum(R.V) from R group by R.K having sum(R.V) > 1"},
+      // Unmatched-branch-only groups (S stays empty).
+      {"left_join",
+       "select R.K, count(*) from R left join S on R.K = S.K group by R.K"},
+      {"left_join_having",
+       "select R.K, count(*) from R left join S on R.K = S.K group by R.K "
+       "having count(*) < 10000"},
+      // New predicate constructs in the WHERE clause.
+      {"like_case",
+       "select R.TAG, sum(case when R.V > 2 then R.V else 0 end) from R "
+       "where R.TAG like '%a%' or R.D >= DATE '1994-01-01' group by R.TAG"},
+  };
+  Rng rng(2024);
+  for (const Case& c : kCases) {
+    for (size_t batch_size : {size_t{1}, size_t{5}, size_t{96}}) {
+      auto program = compiler::CompileQuery(cat, "q", c.sql);
+      ASSERT_TRUE(program.ok()) << c.label << ": "
+                                << program.status().ToString();
+      runtime::Engine engine(std::move(program).value());
+
+      std::vector<Event> inserts;
+      for (int i = 0; i < 200; ++i) {
+        Row r_tuple{Value(rng.Range(0, 5)),
+                    Value(std::string(rng.Chance(0.5) ? "alpha" : "BETA")),
+                    Value(rng.Range(0, 9)),
+                    Value(CivilToDays(1994, 1, 1) + rng.Range(-40, 40))};
+        inserts.push_back(Event::Insert("R", std::move(r_tuple)));
+        if (rng.Chance(0.3)) {
+          inserts.push_back(Event::Insert(
+              "S", Row{Value(rng.Range(0, 5)), Value(rng.Range(0, 9))}));
+        }
+      }
+      auto apply_all = [&](bool insert) {
+        for (size_t i = 0; i < inserts.size(); i += batch_size) {
+          EventBatch batch;
+          for (size_t j = i; j < std::min(inserts.size(), i + batch_size);
+               ++j) {
+            batch.Add(insert ? EventKind::kInsert : EventKind::kDelete,
+                      inserts[j].relation, inserts[j].tuple);
+          }
+          ASSERT_TRUE(engine.ApplyBatch(std::move(batch)).ok()) << c.label;
+        }
+      };
+      apply_all(/*insert=*/true);
+      auto mid = engine.View("q");
+      ASSERT_TRUE(mid.ok()) << c.label;
+      EXPECT_FALSE(mid.value().rows.empty()) << c.label;
+
+      apply_all(/*insert=*/false);
+      auto fin = engine.View("q");
+      ASSERT_TRUE(fin.ok()) << c.label;
+      EXPECT_TRUE(fin.value().rows.empty())
+          << c.label << " @batch " << batch_size
+          << ": groups must vanish when their count returns to zero, got\n"
+          << fin.value().ToString();
+      // The maps themselves must prune to empty as well (no zombie keys
+      // keeping state resident).
+      EXPECT_EQ(engine.TotalMapEntries(), 0u)
+          << c.label << " @batch " << batch_size;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dbtoaster

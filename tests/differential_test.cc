@@ -1,0 +1,401 @@
+// Cross-engine differential harness for the SQL fragment.
+//
+// Seeded random insert/delete streams are replayed batch-by-batch through
+// every engine class — toaster-i (recursive delta compilation, interpreted),
+// ivm1 (first-order IVM), reeval (full re-evaluation through the Volcano
+// executor) and, for the checked-in bench queries, toaster-c (dbtc-generated
+// C++) — asserting view equality after every batch. Batch sizes straddle
+// dbt::kShardBatchCutoff so both the sequential and the sharded ApplyBatch
+// paths are exercised.
+//
+// Engines that reject a query (ivm1 on LEFT JOIN, for example) are skipped
+// for that query; at least two engines must remain so every case is a real
+// differential.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/gen/best_bid.hpp"
+#include "bench/gen/mm.hpp"
+#include "bench/gen/q12s.hpp"
+#include "bench/gen/q13s.hpp"
+#include "bench/gen/q3s.hpp"
+#include "bench/gen/q41.hpp"
+#include "bench/gen/q6s.hpp"
+#include "bench/gen/revenue.hpp"
+#include "bench/gen/sobi_bids.hpp"
+#include "bench/gen/vwap.hpp"
+#include "src/baseline/ivm1_engine.h"
+#include "src/baseline/reeval_engine.h"
+#include "src/common/rng.h"
+#include "src/compiler/compile.h"
+#include "src/compiler/translate.h"
+#include "src/exec/binder.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/stream_engine.h"
+#include "src/sql/parser.h"
+
+namespace dbtoaster {
+namespace {
+
+using runtime::EventBatch;
+using runtime::StreamEngine;
+
+// ---------------------------------------------------------------------------
+// Generated-program factory for the checked-in bench queries.
+// ---------------------------------------------------------------------------
+std::unique_ptr<dbt::StreamProgram> MakeGenerated(const std::string& name) {
+  if (name == "vwap") return std::make_unique<dbtoaster_gen::vwap_Program>();
+  if (name == "sobi_bids") {
+    return std::make_unique<dbtoaster_gen::sobi_bids_Program>();
+  }
+  if (name == "mm") return std::make_unique<dbtoaster_gen::mm_Program>();
+  if (name == "best_bid") {
+    return std::make_unique<dbtoaster_gen::best_bid_Program>();
+  }
+  if (name == "q41") return std::make_unique<dbtoaster_gen::q41_Program>();
+  if (name == "revenue") {
+    return std::make_unique<dbtoaster_gen::revenue_Program>();
+  }
+  if (name == "q3s") return std::make_unique<dbtoaster_gen::q3s_Program>();
+  if (name == "q6s") return std::make_unique<dbtoaster_gen::q6s_Program>();
+  if (name == "q12s") return std::make_unique<dbtoaster_gen::q12s_Program>();
+  if (name == "q13s") return std::make_unique<dbtoaster_gen::q13s_Program>();
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Typed random tuples: small domains so joins hit, predicates stay partially
+// selective, and deletions find prior inserts.
+// ---------------------------------------------------------------------------
+Value RandomValue(Rng* rng, const std::string& column, Type type) {
+  switch (type) {
+    case Type::kInt:
+      return Value(rng->Range(0, 7));
+    case Type::kDouble: {
+      static const double kPool[] = {0.04, 0.05, 0.06, 0.07, 0.10, 1.5, 20.0};
+      return Value(kPool[rng->Uniform(std::size(kPool))]);
+    }
+    case Type::kString: {
+      // Includes the literals the queries compare against, plus strings
+      // around the LIKE pattern boundaries.
+      static const char* kPool[] = {
+          "BUILDING",        "AUTOMOBILE",
+          "MAIL",            "SHIP",
+          "RAIL",            "1-URGENT",
+          "2-HIGH",          "3-MEDIUM",
+          "no remarks",      "customer special requests noted",
+          "special requests", "requests special"};
+      return Value(std::string(kPool[rng->Uniform(std::size(kPool))]));
+    }
+    case Type::kDate: {
+      const int64_t lo = CivilToDays(1993, 6, 1);
+      const int64_t hi = CivilToDays(1995, 6, 30);
+      return Value(lo + rng->Range(0, hi - lo));
+    }
+  }
+  return Value(int64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// Row comparison with a floating-point tolerance (engines sum doubles in
+// different orders).
+// ---------------------------------------------------------------------------
+bool ValuesClose(const Value& a, const Value& b) {
+  if (a.is_string() || b.is_string()) return a == b;
+  if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+  const double x = a.AsDouble(), y = b.AsDouble();
+  const double tol = 1e-6 * std::max({1.0, std::fabs(x), std::fabs(y)});
+  return std::fabs(x - y) <= tol;
+}
+
+void ExpectSameView(const exec::QueryResult& want,
+                    const exec::QueryResult& got, const std::string& label) {
+  auto ws = want.SortedRows();
+  auto gs = got.SortedRows();
+  ASSERT_EQ(ws.size(), gs.size())
+      << label << "\nwant:\n" << want.ToString() << "got:\n" << got.ToString();
+  for (size_t i = 0; i < ws.size(); ++i) {
+    ASSERT_EQ(ws[i].first.size(), gs[i].first.size()) << label;
+    for (size_t c = 0; c < ws[i].first.size(); ++c) {
+      ASSERT_TRUE(ValuesClose(ws[i].first[c], gs[i].first[c]))
+          << label << " row " << i << " col " << c << "\nwant:\n"
+          << want.ToString() << "got:\n" << got.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The harness: build the engine lineup for (catalog, sql), replay a seeded
+// stream in batches, compare views after every batch.
+// ---------------------------------------------------------------------------
+struct EngineUnderTest {
+  std::string name;
+  std::unique_ptr<StreamEngine> engine;
+  std::string view;  ///< this engine's registered view name
+  std::unique_ptr<dbt::StreamProgram> program;  ///< toaster-c backing object
+};
+
+void RunDifferential(const Catalog& catalog, const std::string& sql,
+                     const std::string& label, uint64_t seed,
+                     const std::string& generated_name = "",
+                     size_t num_batches = 18) {
+  std::vector<EngineUnderTest> engines;
+
+  {
+    auto program = compiler::CompileQuery(catalog, "q", sql);
+    ASSERT_TRUE(program.ok()) << label << ": toaster-i compile failed: "
+                              << program.status().ToString();
+    engines.push_back(
+        {"toaster-i",
+         std::make_unique<runtime::Engine>(std::move(program).value()), "q",
+         nullptr});
+  }
+  {
+    auto e = std::make_unique<baseline::ReevalEngine>(catalog,
+                                                      /*eager=*/false);
+    ASSERT_TRUE(e->AddQuery("q", sql).ok()) << label << ": reeval rejected";
+    engines.push_back({"reeval", std::move(e), "q", nullptr});
+  }
+  {
+    auto e = std::make_unique<baseline::Ivm1Engine>(catalog);
+    if (e->AddQuery("q", sql).ok()) {
+      engines.push_back({"ivm1", std::move(e), "q", nullptr});
+    }
+  }
+  if (!generated_name.empty()) {
+    std::unique_ptr<dbt::StreamProgram> program =
+        MakeGenerated(generated_name);
+    ASSERT_NE(program, nullptr) << generated_name;
+    EngineUnderTest e;
+    e.name = "toaster-c";
+    e.engine = std::make_unique<runtime::CompiledProgramEngine>(program.get());
+    e.view = "q0";  // dbtc scripts auto-name their first query q0
+    e.program = std::move(program);
+    engines.push_back(std::move(e));
+  }
+  ASSERT_GE(engines.size(), 2u) << label;
+
+  // Seeded stream: random inserts plus deletions of live tuples. Batch
+  // sizes cycle through values straddling dbt::kShardBatchCutoff (64).
+  Rng rng(seed);
+  std::map<std::string, std::vector<Row>> live;
+  std::vector<std::string> rels;
+  for (const Schema& s : catalog.relations()) rels.push_back(s.name());
+  const size_t kBatchSizes[] = {1, 7, dbt::kShardBatchCutoff,
+                                2 * dbt::kShardBatchCutoff + 22};
+
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t batch_size = kBatchSizes[b % std::size(kBatchSizes)];
+    std::vector<EventBatch> batches(engines.size());
+    for (size_t ev = 0; ev < batch_size; ++ev) {
+      const std::string& rel = rels[rng.Uniform(rels.size())];
+      std::vector<Row>& rows = live[rel];
+      const bool do_delete = !rows.empty() && rng.Chance(0.35);
+      if (do_delete) {
+        size_t pick = rng.Uniform(rows.size());
+        Row victim = rows[pick];
+        rows.erase(rows.begin() + static_cast<long>(pick));
+        for (EventBatch& eb : batches) eb.AddDelete(rel, victim);
+      } else {
+        const Schema* schema = catalog.FindRelation(rel);
+        Row tuple;
+        for (size_t c = 0; c < schema->num_columns(); ++c) {
+          tuple.push_back(
+              RandomValue(&rng, schema->column_name(c),
+                          schema->column_type(c)));
+        }
+        rows.push_back(tuple);
+        for (EventBatch& eb : batches) eb.AddInsert(rel, tuple);
+      }
+    }
+    for (size_t e = 0; e < engines.size(); ++e) {
+      Status st = engines[e].engine->ApplyBatch(std::move(batches[e]));
+      ASSERT_TRUE(st.ok()) << label << " " << engines[e].name << ": "
+                           << st.ToString();
+    }
+
+    auto want = engines[0].engine->View(engines[0].view);
+    ASSERT_TRUE(want.ok()) << label << " " << engines[0].name << ": "
+                           << want.status().ToString();
+    for (size_t e = 1; e < engines.size(); ++e) {
+      auto got = engines[e].engine->View(engines[e].view);
+      ASSERT_TRUE(got.ok()) << label << " " << engines[e].name << ": "
+                            << got.status().ToString();
+      ExpectSameView(want.value(), got.value(),
+                     label + ": " + engines[0].name + " vs " +
+                         engines[e].name + " after batch " +
+                         std::to_string(b));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every checked-in bench query, four engines where applicable.
+// ---------------------------------------------------------------------------
+struct ScriptCase {
+  std::string name;
+  Catalog catalog;
+  std::string sql;
+};
+
+ScriptCase LoadScript(const std::string& name) {
+  ScriptCase out;
+  out.name = name;
+  const std::string path = std::string(DBT_QUERY_DIR) + "/" + name + ".sql";
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto script = sql::ParseScript(ss.str());
+  EXPECT_TRUE(script.ok()) << path << ": " << script.status().ToString();
+  for (const sql::CreateTableStmt& t : script.value().tables) {
+    EXPECT_TRUE(out.catalog.AddRelation(t).ok());
+  }
+  EXPECT_EQ(script.value().queries.size(), 1u) << path;
+  out.sql = script.value().queries[0].select->ToString();
+  return out;
+}
+
+class BenchQueryDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchQueryDifferential, FourEnginesAgreeOnSeededStreams) {
+  ScriptCase sc = LoadScript(GetParam());
+  RunDifferential(sc.catalog, sc.sql, sc.name, /*seed=*/0xd1f * 31 + 7,
+                  /*generated_name=*/sc.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchQueries, BenchQueryDifferential,
+                         ::testing::Values("vwap", "sobi_bids", "mm",
+                                           "best_bid", "q41", "revenue",
+                                           "q3s", "q6s", "q12s", "q13s"));
+
+// ---------------------------------------------------------------------------
+// New-construct micro-queries (interpreted engines; no checked-in header).
+// ---------------------------------------------------------------------------
+Catalog MicroCatalog() {
+  Catalog c;
+  EXPECT_TRUE(
+      c.AddRelation(
+           sql::ParseCreateTable(
+               "create table R(K int, TAG string, V int, D date, X double)")
+               .value())
+          .ok());
+  EXPECT_TRUE(
+      c.AddRelation(
+           sql::ParseCreateTable("create table S(K int, NOTE string, W int)")
+               .value())
+          .ok());
+  return c;
+}
+
+struct MicroCase {
+  const char* label;
+  const char* sql;
+};
+
+class MicroQueryDifferential : public ::testing::TestWithParam<MicroCase> {};
+
+TEST_P(MicroQueryDifferential, EnginesAgreeOnSeededStreams) {
+  RunDifferential(MicroCatalog(), GetParam().sql, GetParam().label,
+                  /*seed=*/0x5eed + std::string(GetParam().label).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewConstructs, MicroQueryDifferential,
+    ::testing::Values(
+        MicroCase{"like", "select sum(R.V) from R where R.TAG like 'M%'"},
+        MicroCase{"not_like",
+                  "select R.K, count(*) from R where R.TAG not like "
+                  "'%special%' group by R.K"},
+        MicroCase{"in_list",
+                  "select R.TAG, sum(R.V) from R where R.TAG in ('MAIL', "
+                  "'SHIP', 'RAIL') group by R.TAG"},
+        MicroCase{"case_when",
+                  "select R.K, sum(case when R.TAG = 'MAIL' then R.V else 0 "
+                  "end) from R group by R.K"},
+        MicroCase{"case_chain",
+                  "select sum(case when R.V < 2 then 10 when R.V < 5 then "
+                  "R.V else 0 end) from R"},
+        MicroCase{"extract_parts",
+                  "select count(*) from R where EXTRACT(MONTH FROM R.D) = 3 "
+                  "and EXTRACT(DAY FROM R.D) < 20"},
+        MicroCase{"date_range",
+                  "select R.K, sum(R.X) from R where R.D >= DATE "
+                  "'1994-01-01' and R.D < DATE '1994-01-01' + INTERVAL '6' "
+                  "MONTH group by R.K"},
+        MicroCase{"between",
+                  "select sum(R.V) from R where R.V between 2 and 5"},
+        MicroCase{"having_hidden_agg",
+                  "select R.K, sum(R.V) from R group by R.K having count(*) "
+                  "> 3"},
+        MicroCase{"having_with_min",
+                  "select R.K, min(R.V) from R group by R.K having count(*) "
+                  "> 2"},
+        MicroCase{"having_bool",
+                  "select R.TAG, count(*) from R group by R.TAG having "
+                  "(sum(R.V) > 8 or count(*) > 5) and not (count(*) = 7)"},
+        MicroCase{"string_group_eq",
+                  "select R.TAG, count(*) from R, S where R.K = S.K and "
+                  "R.TAG = S.NOTE group by R.TAG"},
+        MicroCase{"left_join_count",
+                  "select R.K, count(*) from R left outer join S on R.K = "
+                  "S.K group by R.K"},
+        MicroCase{"left_join_sum",
+                  "select R.TAG, sum(R.V) from R left join S on R.K = S.K "
+                  "and S.W > 3 group by R.TAG"},
+        MicroCase{"left_join_having",
+                  "select R.K, count(*) from R left outer join S on R.K = "
+                  "S.K and S.NOTE like '%e%' group by R.K having count(*) > "
+                  "2"},
+        MicroCase{"left_join_degenerate",
+                  "select R.K, count(*) from R left join S on R.K = S.K "
+                  "where S.W > 2 group by R.K"},
+        MicroCase{"left_join_global",
+                  "select count(*) from R left join S on R.K = S.K"}),
+    [](const ::testing::TestParamInfo<MicroCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------------
+// Fragment boundaries: shapes with NULL-dependent semantics must be
+// rejected by BOTH pipelines (never accepted with non-SQL answers by one
+// while the other rejects — the differential would otherwise go blind).
+// ---------------------------------------------------------------------------
+TEST(FragmentBoundaries, BothPipelinesRejectIdentically) {
+  Catalog cat = MicroCatalog();
+  const char* kRejected[] = {
+      // Grouping by the left-joined table's join-key column: unmatched rows
+      // would group under NULL even though the key is equated to R.K.
+      "select S.K, count(*) from R left join S on R.K = S.K group by S.K",
+      // Subqueries in a LEFT JOIN query's predicates.
+      "select count(*) from R left join S on R.K = S.K where R.V < (select "
+      "sum(S.W) from S)",
+      // Aggregates over the left-joined relation's columns.
+      "select R.K, sum(S.W) from R left join S on R.K = S.K group by R.K",
+      // Subqueries inside the LEFT JOIN's ON clause.
+      "select count(*) from R left join S on S.K = (select sum(R.V) from R)",
+      // Type-mismatched HAVING comparisons (string vs numeric, LIKE over
+      // numbers) — must not fall through to cross-type Value ordering.
+      "select R.TAG, count(*) from R group by R.TAG having R.TAG > 5",
+      "select R.K, count(*) from R group by R.K having R.K like 'x%'",
+  };
+  int var_counter = 0;
+  for (const char* q : kRejected) {
+    auto stmt = sql::ParseSelect(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    auto translated =
+        compiler::Translate(*stmt.value(), cat, "q", &var_counter);
+    EXPECT_FALSE(translated.ok()) << "translator accepted: " << q;
+    auto bound = exec::Bind(*stmt.value(), cat);
+    EXPECT_FALSE(bound.ok()) << "binder accepted: " << q;
+  }
+}
+
+}  // namespace
+}  // namespace dbtoaster

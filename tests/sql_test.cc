@@ -155,5 +155,168 @@ TEST(Parser, KeywordsCaseInsensitive) {
   EXPECT_TRUE(stmt2.ok()) << stmt2.status().ToString();
 }
 
+
+// ---------------------------------------------------------------------------
+// Grown fragment: LEFT JOIN, HAVING, LIKE, IN, BETWEEN, CASE, EXTRACT,
+// DATE/INTERVAL literals — positive round-trips plus grammar fuzzing.
+// ---------------------------------------------------------------------------
+
+TEST(Parser, LeftJoinRoundTrip) {
+  const char* sql =
+      "SELECT C.K, COUNT(*) FROM T1 C LEFT JOIN T2 O ON (C.K = O.K) "
+      "GROUP BY C.K";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt.value()->from.size(), 2u);
+  EXPECT_EQ(stmt.value()->from[1].join, TableRef::Join::kLeft);
+  ASSERT_NE(stmt.value()->from[1].on, nullptr);
+  EXPECT_EQ(stmt.value()->ToString(), sql);
+}
+
+TEST(Parser, InnerJoinOnParsesLikeWhere) {
+  auto stmt = ParseSelect(
+      "select sum(a.X) from T1 a inner join T2 b on a.K = b.K");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->from[1].join, TableRef::Join::kInner);
+  // LEFT OUTER JOIN spelled with OUTER also parses.
+  auto stmt2 = ParseSelect(
+      "select count(*) from T1 a left outer join T2 b on a.K = b.K");
+  ASSERT_TRUE(stmt2.ok()) << stmt2.status().ToString();
+  EXPECT_EQ(stmt2.value()->from[1].join, TableRef::Join::kLeft);
+}
+
+TEST(Parser, HavingRoundTrip) {
+  const char* sql =
+      "SELECT K, SUM(V) FROM R GROUP BY K HAVING (COUNT(*) > 3)";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_NE(stmt.value()->having, nullptr);
+  EXPECT_EQ(stmt.value()->ToString(), sql);
+}
+
+TEST(Parser, LikeAndNotLike) {
+  auto stmt = ParseSelect(
+      "select count(*) from R where TAG like 'M%' and NOTE not like '%x_'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_NE(stmt.value()->ToString().find("LIKE 'M%'"), std::string::npos);
+  EXPECT_NE(stmt.value()->ToString().find("NOT LIKE '%x_'"),
+            std::string::npos);
+}
+
+TEST(Parser, InListDesugarsToDisjunction) {
+  auto stmt = ParseSelect(
+      "select count(*) from R where TAG in ('A', 'B', 'C')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  // Desugars to (TAG = 'A' OR TAG = 'B') OR TAG = 'C'.
+  std::string s = stmt.value()->ToString();
+  EXPECT_NE(s.find("OR"), std::string::npos);
+  EXPECT_NE(s.find("= 'C'"), std::string::npos);
+  auto neg = ParseSelect("select count(*) from R where K not in (1, 2)");
+  ASSERT_TRUE(neg.ok()) << neg.status().ToString();
+  EXPECT_NE(neg.value()->ToString().find("NOT"), std::string::npos);
+}
+
+TEST(Parser, BetweenDesugarsToRange) {
+  auto stmt = ParseSelect(
+      "select sum(V) from R where V between 2 and 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  std::string s = stmt.value()->ToString();
+  EXPECT_NE(s.find(">= 2"), std::string::npos);
+  EXPECT_NE(s.find("<= 5"), std::string::npos);
+}
+
+TEST(Parser, CaseWhenRoundTrip) {
+  const char* sql =
+      "SELECT SUM(CASE WHEN (TAG = 'A') THEN 1 ELSE 0 END) FROM R";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->ToString(), sql);
+  const auto& agg = *stmt.value()->items[0].expr;
+  ASSERT_EQ(agg.kind, Expr::Kind::kAggregate);
+  ASSERT_EQ(agg.agg_arg->kind, Expr::Kind::kCase);
+  EXPECT_EQ(agg.agg_arg->case_branches.size(), 1u);
+}
+
+TEST(Parser, ExtractRoundTrip) {
+  const char* sql = "SELECT COUNT(*) FROM R WHERE (EXTRACT(YEAR FROM D) = 1994)";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value()->ToString(), sql);
+}
+
+TEST(Parser, DateLiteralFoldsToDays) {
+  auto stmt = ParseSelect("select count(*) from R where D >= DATE '1970-01-02'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const Expr& cmp = *stmt.value()->where;
+  ASSERT_EQ(cmp.rhs->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(cmp.rhs->literal.AsInt(), 1);  // one day after the epoch
+}
+
+TEST(Parser, IntervalArithmeticFolds) {
+  auto stmt = ParseSelect(
+      "select count(*) from R where D < DATE '1994-01-01' + INTERVAL '1' YEAR");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const Expr& cmp = *stmt.value()->where;
+  ASSERT_EQ(cmp.rhs->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(cmp.rhs->literal.AsInt(), CivilToDays(1995, 1, 1));
+  auto minus = ParseSelect(
+      "select count(*) from R where D < DATE '1994-03-31' - INTERVAL '1' MONTH");
+  ASSERT_TRUE(minus.ok()) << minus.status().ToString();
+  EXPECT_EQ(minus.value()->where->rhs->literal.AsInt(),
+            CivilToDays(1994, 2, 28));  // day clamped to month length
+}
+
+// Every malformed input must produce a diagnostic carrying a line:column
+// position — never a crash, never silent acceptance.
+TEST(Parser, GrammarFuzzNewConstructs) {
+  const char* kMalformed[] = {
+      // LEFT JOIN clause shapes.
+      "select count(*) from R left join",
+      "select count(*) from R left join S",
+      "select count(*) from R left outer S on R.K = S.K",
+      "select count(*) from R left join S on",
+      "select count(*) from R join S",
+      // HAVING shapes.
+      "select sum(V) from R group by K having",
+      "select sum(V) from R having group by K",
+      // LIKE / IN / BETWEEN shapes.
+      "select count(*) from R where TAG like",
+      "select count(*) from R where TAG not like like 'x'",
+      "select count(*) from R where TAG not 'x'",
+      "select count(*) from R where K in ()",
+      "select count(*) from R where K in (1, 2",
+      "select count(*) from R where K in 1, 2)",
+      "select count(*) from R where V between 2",
+      "select count(*) from R where V between 2 or 5",
+      // CASE shapes.
+      "select sum(case when TAG = 'A' then 1 else 0) from R",
+      "select sum(case TAG = 'A' then 1 end) from R",
+      "select sum(case when TAG = 'A' 1 end) from R",
+      "select sum(case when then 1 end) from R",
+      // EXTRACT shapes.
+      "select count(*) from R where extract(CENTURY from D) = 19",
+      "select count(*) from R where extract(YEAR D) = 1994",
+      "select count(*) from R where extract(YEAR from) = 1994",
+      "select count(*) from R where extract YEAR from D = 1994",
+      // DATE / INTERVAL literal shapes.
+      "select count(*) from R where D = DATE '1994-13-01'",
+      "select count(*) from R where D = DATE '1994-02-30'",
+      "select count(*) from R where D = DATE 'yesterday'",
+      "select count(*) from R where D = DATE '1994-1-1'",
+      "select count(*) from R where D < DATE '1994-01-01' + INTERVAL '1' WEEK",
+      "select count(*) from R where D < DATE '1994-01-01' + INTERVAL 'x' YEAR",
+      "select count(*) from R where D < DATE '1994-01-01' + INTERVAL '1-2' DAY",
+      "select count(*) from R where D < DATE '1994-01-01' + INTERVAL '-' YEAR",
+      "select count(*) from R where D < D + INTERVAL '1' YEAR",
+  };
+  for (const char* sql : kMalformed) {
+    auto stmt = ParseSelect(sql);
+    ASSERT_FALSE(stmt.ok()) << "accepted: " << sql;
+    const std::string msg = stmt.status().ToString();
+    EXPECT_NE(msg.find("line "), std::string::npos)
+        << sql << " -> " << msg;
+  }
+}
+
 }  // namespace
 }  // namespace dbtoaster::sql
