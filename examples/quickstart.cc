@@ -77,8 +77,8 @@ int main() {
   if (code.ok()) {
     std::printf("\n== generated C++ (dbtc output, excerpt) ==\n");
     const std::string& src = code.value();
-    size_t pos = src.find("void on_insert_R");
-    size_t end = src.find("void on_delete_R");
+    size_t pos = src.find("void on_R");
+    size_t end = src.find("void on_S");
     if (pos != std::string::npos && end != std::string::npos) {
       std::printf("%s...\n", src.substr(pos, end - pos).c_str());
     }

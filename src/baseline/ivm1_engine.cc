@@ -195,7 +195,7 @@ Status Ivm1Engine::OnEvent(const Event& event) {
 Status Ivm1Engine::ApplyBatch(runtime::EventBatch&& batch) {
   for (const runtime::EventBatch::Group& g : batch.groups()) {
     DBT_RETURN_IF_ERROR(
-        ApplyGroup(g.relation, g.kind, g.tuples.data(), g.tuples.size()));
+        ApplyGroup(g.relation, g.kind, g.rows_view().data(), g.rows));
   }
   return Status::OK();
 }

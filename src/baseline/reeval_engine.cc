@@ -69,8 +69,8 @@ Status ReevalEngine::ApplyBatch(runtime::EventBatch&& batch) {
   // All table updates first, then one view refresh for the whole batch:
   // this is exactly the amortization a DBMS gets from transaction batching.
   for (const runtime::EventBatch::Group& g : batch.groups()) {
-    for (const Row& tuple : g.tuples) {
-      DBT_RETURN_IF_ERROR(db_.Apply(g.kind, g.relation, tuple));
+    for (size_t i = 0; i < g.rows; ++i) {
+      DBT_RETURN_IF_ERROR(db_.Apply(g.kind, g.relation, g.RowAt(i)));
     }
   }
   if (!eager_ || batch.empty()) return Status::OK();

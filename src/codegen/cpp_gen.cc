@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/common/str.h"
+#include "src/compiler/tir.h"
 #include "src/ring/expr.h"
 
 namespace dbtoaster::codegen {
@@ -61,7 +62,7 @@ std::string ValueLiteral(const Value& v) {
 class Generator {
  public:
   Generator(const Program& program, const GenOptions& options)
-      : p_(program), opts_(options) {
+      : p_(program), opts_(options), tir_(tir::Lower(program)) {
     for (const MapDecl& m : p_.maps) decls_[m.name] = &m;
     // Base relation maps: any relation whose trigger exists or that appears
     // in a statement RHS / init definition.
@@ -172,71 +173,13 @@ class Generator {
 
   // ---- expression loops ----------------------------------------------------
 
-  /// Greedy factor ordering (mirrors the interpreter's EvalProd).
+  /// Greedy factor ordering: delegates to the typed IR's planner so both
+  /// backends loop in the same order (mirrors the interpreter's EvalProd).
   std::vector<ExprPtr> OrderFactors(const std::vector<ExprPtr>& factors,
                                     const Env& env) {
     std::set<std::string> bound;
     for (const auto& [v, cpp] : env.vars) bound.insert(v);
-    std::vector<bool> placed(factors.size(), false);
-    std::vector<ExprPtr> order;
-    for (size_t step = 0; step < factors.size(); ++step) {
-      int best = -1, best_score = -1;
-      for (size_t i = 0; i < factors.size(); ++i) {
-        if (placed[i]) continue;
-        const ExprPtr& f = factors[i];
-        bool inputs_ok = true;
-        for (const std::string& v : f->InVars()) {
-          if (!bound.count(v)) {
-            inputs_ok = false;
-            break;
-          }
-        }
-        if (!inputs_ok) continue;
-        bool outputs_bound = true;
-        for (const std::string& v : f->OutVars()) {
-          if (!bound.count(v)) {
-            outputs_bound = false;
-            break;
-          }
-        }
-        int score;
-        if (outputs_bound) {
-          score = 100;
-        } else if (f->kind == ring::ExprKind::kLift) {
-          score = 90;
-        } else if (f->kind == ring::ExprKind::kMapRef ||
-                   f->kind == ring::ExprKind::kRel) {
-          int bound_args = 0;
-          for (const std::string& v : f->args) {
-            if (bound.count(v)) ++bound_args;
-          }
-          score = 50 + bound_args;
-        } else {
-          score = 40;
-        }
-        if (score > best_score) {
-          best_score = score;
-          best = static_cast<int>(i);
-        }
-      }
-      // If nothing is placeable we fall back to declaration order; the
-      // emitter will fail with a precise message when a variable is unbound.
-      if (best < 0) {
-        for (size_t i = 0; i < factors.size(); ++i) {
-          if (!placed[i]) {
-            best = static_cast<int>(i);
-            break;
-          }
-        }
-      }
-      placed[static_cast<size_t>(best)] = true;
-      order.push_back(factors[static_cast<size_t>(best)]);
-      for (const std::string& v :
-           factors[static_cast<size_t>(best)]->OutVars()) {
-        bound.insert(v);
-      }
-    }
-    return order;
+    return tir::OrderProductFactors(factors, bound);
   }
 
   using Sink = std::function<Status(const Env&, const std::string& value)>;
@@ -581,22 +524,13 @@ class Generator {
     return Status::OK();
   }
 
-  Status EmitTrigger(const Trigger& trig, std::string* out);
+  Status EmitTrigger(const tir::Trigger& trig, std::string* out);
   Status EmitMaps(std::string* out);
   Status EmitInitFunctions(std::string* out);
   Status EmitViews(std::string* out);
   Status EmitViewShim(std::string* out);
   Status EmitBatchHandlers(std::string* out);
   Status EmitDispatcher(std::string* out);
-
-  /// Key tuple type of a relation's schema.
-  std::string RelKeyType(const Schema* schema) const {
-    std::vector<Type> kt;
-    for (size_t i = 0; i < schema->num_columns(); ++i) {
-      kt.push_back(schema->column_type(i));
-    }
-    return KeyType(kt);
-  }
 
   /// Key types of a storage member ("mN_" aggregate map or "rel_R_" base
   /// multiset) plus its value C++ type.
@@ -858,6 +792,9 @@ class Generator {
 
   const Program& p_;
   GenOptions opts_;
+  /// Typed trigger IR lowered once from p_: sign-unified triggers, typed
+  /// parameters, shared factor ordering. All trigger emission reads it.
+  tir::Module tir_;
   std::map<std::string, const MapDecl*> decls_;
   std::set<std::string> rels_;
   ShardPlanInfo plan_;
@@ -959,56 +896,74 @@ Status Generator::EmitInitFunctions(std::string* out) {
   return Status::OK();
 }
 
-Status Generator::EmitTrigger(const Trigger& trig, std::string* out) {
-  const Schema* schema = RelSchema(trig.relation);
+Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
   std::vector<std::string> params;
   Env env;
-  for (size_t i = 0; i < trig.params.size(); ++i) {
-    std::string arg = "arg_" + trig.params[i];
-    params.push_back(StrFormat("%s %s",
-                               CppType(schema->column_type(i)), arg.c_str()));
-    env.vars[trig.params[i]] = arg;
+  for (const tir::Param& p : trig.params) {
+    std::string arg = "arg_" + p.name;
+    params.push_back(StrFormat("%s %s", CppType(p.type), arg.c_str()));
+    env.vars[p.name] = arg;
   }
-  Line(out, StrFormat("void on_%s_%s(%s) {",
-                      trig.event == EventKind::kInsert ? "insert" : "delete",
-                      trig.relation.c_str(), Join(params, ", ").c_str()));
+  params.push_back("const int64_t sign");
+  env.vars[tir::kSignVar] = "sign";
+  Line(out, StrFormat("void on_%s(%s) {", trig.relation.c_str(),
+                      Join(params, ", ").c_str()));
   ++indent_;
 
+  // Statements that failed sign unification carry a one-sided mask; their
+  // emission is wrapped in a sign guard. Unified statements run for both
+  // polarities with kSignVar bound to the `sign` argument.
+  auto mask_open = [&](const tir::Stmt& s) -> bool {
+    if (s.when == tir::Stmt::When::kBoth) return false;
+    Line(out, s.when == tir::Stmt::When::kInsertOnly ? "if (sign > 0) {"
+                                                     : "if (sign < 0) {");
+    ++indent_;
+    return true;
+  };
+  auto mask_close = [&](bool opened) {
+    if (!opened) return;
+    --indent_;
+    Line(out, "}");
+  };
+
   // Phase 1: evaluate delta statements against the pre-state into pendings.
-  // pend_names is aligned with trig.statements (empty for non-delta kinds).
-  std::vector<std::string> pend_names(trig.statements.size());
-  for (size_t si = 0; si < trig.statements.size(); ++si) {
-    const Statement& stmt = trig.statements[si];
-    if (stmt.kind != Statement::Kind::kDelta) continue;
-    const MapDecl* decl = decls_.at(stmt.target);
+  // pend_names is aligned with trig.stmts (empty for non-delta kinds).
+  std::vector<std::string> pend_names(trig.stmts.size());
+  for (size_t si = 0; si < trig.stmts.size(); ++si) {
+    const tir::Stmt& s = trig.stmts[si];
+    if (s.stmt.kind != Statement::Kind::kDelta) continue;
+    const MapDecl* decl = decls_.at(s.stmt.target);
     std::string pend = StrFormat("pend%zu", si);
     pend_names[si] = pend;
     Line(out, StrFormat("std::vector<std::pair<%s, %s>> %s;",
                         KeyType(decl->key_types).c_str(),
                         CppType(decl->value_type), pend.c_str()));
-    DBT_RETURN_IF_ERROR(EmitDeltaStatement(stmt, env, pend, out));
+    bool opened = mask_open(s);
+    DBT_RETURN_IF_ERROR(EmitDeltaStatement(s.stmt, env, pend, out));
+    mask_close(opened);
   }
 
   // Phase 2: base table + pending applications.
   std::vector<std::string> args;
-  for (const std::string& p : trig.params) args.push_back("arg_" + p);
-  Line(out, StrFormat("upd_%s(std::make_tuple(%s), %s);",
+  for (const tir::Param& p : trig.params) args.push_back("arg_" + p.name);
+  Line(out, StrFormat("upd_%s(std::make_tuple(%s), sign);",
                       RelMapName(trig.relation).c_str(),
-                      Join(args, ", ").c_str(),
-                      trig.event == EventKind::kInsert ? "+1" : "-1"));
-  for (size_t si = 0; si < trig.statements.size(); ++si) {
-    const Statement& stmt = trig.statements[si];
-    if (stmt.kind != Statement::Kind::kDelta) continue;
+                      Join(args, ", ").c_str()));
+  for (size_t si = 0; si < trig.stmts.size(); ++si) {
+    const tir::Stmt& s = trig.stmts[si];
+    if (s.stmt.kind != Statement::Kind::kDelta) continue;
     Line(out, StrFormat("for (const auto& kv : %s) upd_%s_(kv.first, "
                         "kv.second);",
-                        pend_names[si].c_str(), stmt.target.c_str()));
+                        pend_names[si].c_str(), s.stmt.target.c_str()));
   }
 
   // Phase 2b: extreme statements.
-  for (const Statement& stmt : trig.statements) {
+  for (const tir::Stmt& s : trig.stmts) {
+    const Statement& stmt = s.stmt;
     if (stmt.kind != Statement::Kind::kExtreme) continue;
     Line(out, "{  // " + stmt.ToString());
     ++indent_;
+    bool opened = mask_open(s);
     std::string guard_close;
     if (stmt.extreme_guard != nullptr) {
       std::string acc = Fresh("g");
@@ -1031,24 +986,35 @@ Status Generator::EmitTrigger(const Trigger& trig, std::string* out) {
       keys.push_back(it->second);
     }
     DBT_ASSIGN_OR_RETURN(std::string value, TermCpp(stmt.extreme_value, env));
-    Line(out, StrFormat("%s_.%s(std::make_tuple(%s), %s);",
-                        stmt.target.c_str(),
-                        stmt.extreme_sign > 0 ? "add" : "remove",
-                        Join(keys, ", ").c_str(), value.c_str()));
+    if (s.extreme_runtime_sign) {
+      // Insert adds to / delete removes from the min/max multiset: the
+      // multiset op direction is the event sign itself.
+      Line(out, StrFormat("%s_.update(std::make_tuple(%s), %s, sign);",
+                          stmt.target.c_str(), Join(keys, ", ").c_str(),
+                          value.c_str()));
+    } else {
+      Line(out, StrFormat("%s_.%s(std::make_tuple(%s), %s);",
+                          stmt.target.c_str(),
+                          stmt.extreme_sign > 0 ? "add" : "remove",
+                          Join(keys, ", ").c_str(), value.c_str()));
+    }
     if (!guard_close.empty()) {
       --indent_;
       Line(out, guard_close);
     }
+    mask_close(opened);
     --indent_;
     Line(out, "}");
   }
 
   // Phase 3: hybrid re-evaluation statements (post-state; no event params).
-  for (const Statement& stmt : trig.statements) {
+  for (const tir::Stmt& s : trig.stmts) {
+    const Statement& stmt = s.stmt;
     if (stmt.kind != Statement::Kind::kReeval) continue;
     const MapDecl* decl = decls_.at(stmt.target);
     Line(out, "{  // " + stmt.ToString());
     ++indent_;
+    bool opened = mask_open(s);
     std::string acc = Fresh("acc");
     Line(out, StrFormat("%s %s{};", CppType(decl->value_type), acc.c_str()));
     Env renv;  // empty: reeval depends only on state
@@ -1064,6 +1030,7 @@ Status Generator::EmitTrigger(const Trigger& trig, std::string* out) {
     Line(out, StrFormat("%s_.clear();", stmt.target.c_str()));
     Line(out, StrFormat("%s_.set(std::tuple<>{}, %s);", stmt.target.c_str(),
                         acc.c_str()));
+    mask_close(opened);
     --indent_;
     Line(out, "}");
   }
@@ -1173,80 +1140,117 @@ Status Generator::EmitViews(std::string* out) {
   return Status::OK();
 }
 
-/// Per-relation fused batch handlers: one typed entry point per relation
-/// amortizes dispatch over a whole vector of signed deltas (the batched
-/// trigger shape; inserts and deletes share the loop). Under a shard plan,
-/// large groups are hash-partitioned on the relation's partition attribute
-/// into the fixed logical shards and replayed on the worker pool; shard
-/// isolation (every store partitioned on the same attribute) makes this
-/// equal to the event-ordered replay, and the fixed shard count makes it
-/// identical at every thread count.
+/// Per-relation fused batch handlers: one sign-parameterized entry point
+/// per relation consumes a columnar (relation, op) group directly. When the
+/// group's column layout matches the relation schema the handler scans the
+/// flat typed arrays (no per-event Value unboxing); a layout mismatch falls
+/// back to the row shim. Under a shard plan, large groups are
+/// hash-partitioned on the relation's partition attribute into the fixed
+/// logical shards and replayed on the worker pool; shard isolation (every
+/// store partitioned on the same attribute) makes this equal to the
+/// event-ordered replay, and the fixed shard count makes it identical at
+/// every thread count.
 Status Generator::EmitBatchHandlers(std::string* out) {
-  for (const std::string& rel : rels_) {
-    const Schema* schema = RelSchema(rel);
-    std::string key_type = RelKeyType(schema);
-    bool has_insert = p_.FindTrigger(rel, EventKind::kInsert) != nullptr;
-    bool has_delete = p_.FindTrigger(rel, EventKind::kDelete) != nullptr;
-    std::vector<std::string> args;
-    for (size_t i = 0; i < schema->num_columns(); ++i) {
-      args.push_back(StrFormat("std::get<%zu>(d.first)", i));
+  for (const tir::Trigger& t : tir_.triggers) {
+    const std::string& rel = t.relation;
+    const size_t ncols = t.params.size();
+    std::vector<std::string> tags(ncols), fields(ncols), elems(ncols);
+    for (size_t i = 0; i < ncols; ++i) {
+      switch (t.params[i].type) {
+        case Type::kDouble:
+          tags[i] = "kF64";
+          fields[i] = "f64";
+          elems[i] = "double";
+          break;
+        case Type::kString:
+          tags[i] = "kStr";
+          fields[i] = "str";
+          elems[i] = "std::string";
+          break;
+        default:
+          tags[i] = "kI64";
+          fields[i] = "i64";
+          elems[i] = "int64_t";
+          break;
+      }
     }
-    auto emit_dispatch = [&](const char* count_var) {
-      if (has_insert) {
-        Line(out, StrFormat("if (d.second > 0) { on_insert_%s(%s); ++%s; "
-                            "continue; }",
-                            rel.c_str(), Join(args, ", ").c_str(), count_var));
-      }
-      if (has_delete) {
-        Line(out, StrFormat("if (d.second < 0) { on_delete_%s(%s); ++%s; "
-                            "continue; }",
-                            rel.c_str(), Join(args, ", ").c_str(), count_var));
-      }
-    };
-    Line(out, StrFormat(
-                  "size_t on_batch_%s(const std::vector<std::pair<%s, "
-                  "int64_t>>& deltas) {",
-                  rel.c_str(), key_type.c_str()));
+    Line(out, StrFormat("size_t on_batch_%s(const dbt::EventBatch::Group& g, "
+                        "const int64_t sign) {",
+                        rel.c_str()));
     ++indent_;
-    Line(out, "size_t handled = 0;");
+    // A group is all-insert or all-delete; a missing trigger side skips the
+    // whole group (same events the per-event dispatcher would reject).
+    if (!t.has_insert) Line(out, "if (sign > 0) return 0;");
+    if (!t.has_delete) Line(out, "if (sign < 0) return 0;");
+    Line(out, "const size_t n = g.rows;");
+    std::string check = StrFormat("g.cols.size() == %zu", ncols);
+    for (size_t i = 0; i < ncols; ++i) {
+      check += StrFormat(" && g.cols[%zu].tag == dbt::EventColumn::Tag::%s",
+                         i, tags[i].c_str());
+    }
+    Line(out, StrFormat("if (%s) {", check.c_str()));
+    ++indent_;
+    std::string col_args;
+    for (size_t i = 0; i < ncols; ++i) {
+      Line(out, StrFormat("const %s* c%zu = g.cols[%zu].%s.data();",
+                          elems[i].c_str(), i, i, fields[i].c_str()));
+      col_args += StrFormat("c%zu[i], ", i);
+    }
     if (plan_.ok) {
-      Line(out, "if (deltas.size() >= dbt::kShardBatchCutoff) {");
+      Line(out, "if (n >= dbt::kShardBatchCutoff) {");
       ++indent_;
       Line(out, "std::vector<uint32_t> shard_idx[dbt::kNumShards];");
-      Line(out, "for (uint32_t i = 0; i < deltas.size(); ++i) {");
+      Line(out, "for (uint32_t i = 0; i < n; ++i) {");
       ++indent_;
-      Line(out, StrFormat(
-                    "shard_idx[dbt::ShardOf(std::get<%zu>(deltas[i].first))]"
-                    ".push_back(i);",
-                    plan_.rel_pos.at(rel)));
+      Line(out, StrFormat("shard_idx[dbt::ShardOf(c%zu[i])].push_back(i);",
+                          plan_.rel_pos.at(rel)));
       --indent_;
       Line(out, "}");
-      Line(out, "size_t shard_handled[dbt::kNumShards] = {};");
       Line(out, "dbt::shard_pool().RunShards(dbt::kNumShards, "
                 "[&](size_t shard) {");
       ++indent_;
-      Line(out, "size_t n = 0;");
       Line(out, "for (uint32_t i : shard_idx[shard]) {");
       ++indent_;
-      Line(out, "const auto& d = deltas[i];");
-      emit_dispatch("n");
+      Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), col_args.c_str()));
       --indent_;
       Line(out, "}");
-      Line(out, "shard_handled[shard] = n;");
       --indent_;
       Line(out, "});");
-      Line(out, "for (size_t shard = 0; shard < dbt::kNumShards; ++shard) "
-                "handled += shard_handled[shard];");
-      Line(out, "return handled;");
+      Line(out, "return n;");
       --indent_;
       Line(out, "}");
     }
-    Line(out, "for (const auto& d : deltas) {");
+    Line(out, "for (size_t i = 0; i < n; ++i) {");
     ++indent_;
-    emit_dispatch("handled");
+    Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), col_args.c_str()));
     --indent_;
     Line(out, "}");
-    Line(out, "return handled;");
+    Line(out, "return n;");
+    --indent_;
+    Line(out, "}");
+    // Row shim fallback (column tags diverged from the schema, e.g. a feed
+    // that mixed value types within one column).
+    std::string row_args;
+    for (size_t i = 0; i < ncols; ++i) {
+      switch (t.params[i].type) {
+        case Type::kDouble:
+          row_args += StrFormat("dbt::AsDouble(r[%zu]), ", i);
+          break;
+        case Type::kString:
+          row_args += StrFormat("dbt::AsString(r[%zu]), ", i);
+          break;
+        default:
+          row_args += StrFormat("dbt::AsInt(r[%zu]), ", i);
+          break;
+      }
+    }
+    Line(out, "for (size_t i = 0; i < n; ++i) {");
+    ++indent_;
+    Line(out, "const std::vector<dbt::Value> r = g.row(i);");
+    Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), row_args.c_str()));
+    --indent_;
+    Line(out, "}");
+    Line(out, "return n;");
     --indent_;
     Line(out, "}");
   }
@@ -1254,68 +1258,18 @@ Status Generator::EmitBatchHandlers(std::string* out) {
 }
 
 Status Generator::EmitDispatcher(std::string* out) {
-  std::map<std::string, std::vector<std::string>> conv_args;
-  for (const std::string& rel : rels_) {
-    const Schema* schema = RelSchema(rel);
-    std::vector<std::string>& args = conv_args[rel];
-    for (size_t i = 0; i < schema->num_columns(); ++i) {
-      switch (schema->column_type(i)) {
-        case Type::kDouble:
-          args.push_back(StrFormat("dbt::AsDouble(t[%zu])", i));
-          break;
-        case Type::kString:
-          args.push_back(StrFormat("dbt::AsString(t[%zu])", i));
-          break;
-        default:
-          args.push_back(StrFormat("dbt::AsInt(t[%zu])", i));
-          break;
-      }
-    }
-  }
-
   Line(out,
        "bool on_event(const std::string& relation, bool is_insert, const "
        "std::vector<dbt::Value>& t) override {");
   ++indent_;
-  for (const std::string& rel : rels_) {
-    Line(out, StrFormat("if (relation == \"%s\") {", rel.c_str()));
+  for (const tir::Trigger& trig : tir_.triggers) {
+    Line(out, StrFormat("if (relation == \"%s\") {", trig.relation.c_str()));
     ++indent_;
-    bool has_insert = p_.FindTrigger(rel, EventKind::kInsert) != nullptr;
-    bool has_delete = p_.FindTrigger(rel, EventKind::kDelete) != nullptr;
-    if (has_insert) {
-      Line(out, StrFormat("if (is_insert) { on_insert_%s(%s); return true; }",
-                          rel.c_str(), Join(conv_args[rel], ", ").c_str()));
-    }
-    if (has_delete) {
-      Line(out, StrFormat("if (!is_insert) { on_delete_%s(%s); return true; }",
-                          rel.c_str(), Join(conv_args[rel], ", ").c_str()));
-    }
-    Line(out, "return false;");
-    --indent_;
-    Line(out, "}");
-  }
-  Line(out, "return false;");
-  --indent_;
-  Line(out, "}");
-
-  // Group-wise batch dispatch: one relation comparison and one tuple
-  // conversion pass per (relation, op) group, then the fused handler.
-  Line(out, "size_t on_batch(const dbt::EventBatch& batch) override {");
-  ++indent_;
-  Line(out, "size_t handled = 0;");
-  Line(out, "for (const auto& g : batch.groups()) {");
-  ++indent_;
-  for (const std::string& rel : rels_) {
-    const Schema* schema = RelSchema(rel);
-    Line(out, StrFormat("if (g.relation == \"%s\") {", rel.c_str()));
-    ++indent_;
-    Line(out, StrFormat("std::vector<std::pair<%s, int64_t>> typed;",
-                        RelKeyType(schema).c_str()));
-    Line(out, "typed.reserve(g.tuples.size());");
-    Line(out, "const int64_t sign = g.is_insert ? 1 : -1;");
+    if (!trig.has_insert) Line(out, "if (is_insert) return false;");
+    if (!trig.has_delete) Line(out, "if (!is_insert) return false;");
     std::vector<std::string> conv;
-    for (size_t i = 0; i < schema->num_columns(); ++i) {
-      switch (schema->column_type(i)) {
+    for (size_t i = 0; i < trig.params.size(); ++i) {
+      switch (trig.params[i].type) {
         case Type::kDouble:
           conv.push_back(StrFormat("dbt::AsDouble(t[%zu])", i));
           break;
@@ -1327,16 +1281,29 @@ Status Generator::EmitDispatcher(std::string* out) {
           break;
       }
     }
-    Line(out, "for (const auto& t : g.tuples) {");
-    ++indent_;
-    Line(out, StrFormat("typed.emplace_back(std::make_tuple(%s), sign);",
+    conv.push_back("is_insert ? INT64_C(1) : INT64_C(-1)");
+    Line(out, StrFormat("on_%s(%s);", trig.relation.c_str(),
                         Join(conv, ", ").c_str()));
+    Line(out, "return true;");
     --indent_;
     Line(out, "}");
-    Line(out, StrFormat("handled += on_batch_%s(typed);", rel.c_str()));
-    Line(out, "continue;");
-    --indent_;
-    Line(out, "}");
+  }
+  Line(out, "return false;");
+  --indent_;
+  Line(out, "}");
+
+  // Group-wise batch dispatch: one relation comparison per (relation, op)
+  // group, then the fused columnar handler — no conversion pass.
+  Line(out, "size_t on_batch(const dbt::EventBatch& batch) override {");
+  ++indent_;
+  Line(out, "size_t handled = 0;");
+  Line(out, "for (const auto& g : batch.groups()) {");
+  ++indent_;
+  for (const tir::Trigger& trig : tir_.triggers) {
+    Line(out, StrFormat("if (g.relation == \"%s\") { handled += "
+                        "on_batch_%s(g, g.is_insert ? INT64_C(1) : "
+                        "INT64_C(-1)); continue; }",
+                        trig.relation.c_str(), trig.relation.c_str()));
   }
   --indent_;
   Line(out, "}");
@@ -1435,7 +1402,7 @@ Result<std::string> Generator::Run() {
   Line(&body, "");
   DBT_RETURN_IF_ERROR(EmitInitFunctions(&body));
   Line(&body, "");
-  for (const Trigger& trig : p_.triggers) {
+  for (const tir::Trigger& trig : tir_.triggers) {
     DBT_RETURN_IF_ERROR(EmitTrigger(trig, &body));
     Line(&body, "");
   }

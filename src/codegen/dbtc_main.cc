@@ -2,12 +2,15 @@
 //
 // Usage:
 //   dbtc <script.sql> [-o out.hpp] [--name ClassName] [--trace] [--program]
+//        [--emit-ir]
 //   dbtc --version
 //
 // The script contains CREATE TABLE statements followed by one or more
 // SELECT queries (named q0, q1, ... in order). Output is a self-contained
 // C++ header (see cpp_gen.h). --trace prints the Figure-2-style recursive
-// compilation table; --program prints the trigger-program listing.
+// compilation table; --program prints the trigger-program listing;
+// --emit-ir prints the typed trigger IR (the sign-unified mid-layer both
+// backends consume) in its stable text form and emits no C++.
 //
 // Exit codes: 0 success, 1 input/compile error (diagnostics carry
 // line:column positions), 2 usage error.
@@ -20,6 +23,7 @@
 #include "src/catalog/catalog.h"
 #include "src/codegen/cpp_gen.h"
 #include "src/compiler/compile.h"
+#include "src/compiler/tir.h"
 #include "src/sql/parser.h"
 
 namespace {
@@ -29,7 +33,7 @@ constexpr const char kVersion[] = "0.2.0";
 int Usage() {
   std::fprintf(stderr,
                "usage: dbtc <script.sql> [-o out.hpp] [--name ClassName] "
-               "[--trace] [--program]\n"
+               "[--trace] [--program] [--emit-ir]\n"
                "       dbtc --version\n");
   return 2;
 }
@@ -47,7 +51,7 @@ int main(int argc, char** argv) {
   using namespace dbtoaster;
 
   std::string input, output, class_name = "Program";
-  bool show_trace = false, show_program = false;
+  bool show_trace = false, show_program = false, emit_ir = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--version") {
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       show_trace = true;
     } else if (arg == "--program") {
       show_program = true;
+    } else if (arg == "--emit-ir") {
+      emit_ir = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dbtc: unknown option '%s'\n", arg.c_str());
       return Usage();
@@ -118,6 +124,21 @@ int main(int argc, char** argv) {
   }
   if (show_program) {
     std::printf("%s\n", program.value().ToString().c_str());
+  }
+  if (emit_ir) {
+    tir::Module module = tir::Lower(program.value());
+    const std::string text = module.ToText();
+    if (output.empty()) {
+      std::printf("%s", text.c_str());
+    } else {
+      std::ofstream out(output);
+      if (!out) {
+        std::fprintf(stderr, "dbtc: cannot write %s\n", output.c_str());
+        return 1;
+      }
+      out << text;
+    }
+    return 0;
   }
 
   codegen::GenOptions opts;

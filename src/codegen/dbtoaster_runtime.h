@@ -220,6 +220,9 @@ class ExtremeMap {
  public:
   void add(const K& k, const V& v) { Bump(k, v, +1); }
   void remove(const K& k, const V& v) { Bump(k, v, -1); }
+  /// Sign-parameterized form used by unified trigger bodies: +1 inserts the
+  /// value into the group's multiset, -1 retracts it.
+  void update(const K& k, const V& v, int64_t sign) { Bump(k, v, sign); }
   bool min(const K& k, V* out) const {
     const Group* g = data_.find(k);
     if (g == nullptr || g->live == 0) return false;
@@ -274,34 +277,97 @@ class ExtremeMap {
   FlatMap<K, Group, TupleHash> data_;
 };
 
+/// One typed column of a batch group. The tag is fixed by the first tuple
+/// appended (dates travel as int64 days, matching the engine's value
+/// model), and later tuples are coerced onto it, so a group's storage is
+/// three flat arrays at most — the layout generated on_batch_<R> handlers
+/// scan directly.
+struct EventColumn {
+  enum class Tag : uint8_t { kI64 = 0, kF64 = 1, kStr = 2 };
+
+  Tag tag = Tag::kI64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  static Tag TagOf(const Value& v) {
+    if (std::holds_alternative<double>(v)) return Tag::kF64;
+    if (std::holds_alternative<std::string>(v)) return Tag::kStr;
+    return Tag::kI64;
+  }
+
+  void push(const Value& v) {
+    switch (tag) {
+      case Tag::kI64: i64.push_back(AsInt(v)); break;
+      case Tag::kF64: f64.push_back(AsDouble(v)); break;
+      case Tag::kStr: str.push_back(AsString(v)); break;
+    }
+  }
+
+  Value get(size_t i) const {
+    switch (tag) {
+      case Tag::kF64: return Value(f64[i]);
+      case Tag::kStr: return Value(str[i]);
+      default: return Value(i64[i]);
+    }
+  }
+};
+
 /// One batch of deltas at the dynamic boundary, grouped per (relation, op)
-/// in first-encounter order. Mirrors runtime::EventBatch without depending
-/// on it (this header stays self-contained).
+/// in first-encounter order with columnar per-group storage. Mirrors
+/// runtime::EventBatch without depending on it (this header stays
+/// self-contained). The row-oriented add()/row() shim is the compatibility
+/// surface; generated handlers consume the columns natively.
 class EventBatch {
  public:
   struct Group {
     std::string relation;
     bool is_insert = true;
-    std::vector<std::vector<Value>> tuples;
+    std::vector<EventColumn> cols;
+    size_t rows = 0;
+
+    void add(const std::vector<Value>& tuple) {
+      if (cols.size() < tuple.size()) {
+        cols.resize(tuple.size());
+        for (size_t c = 0; c < tuple.size(); ++c) {
+          if (cols[c].i64.empty() && cols[c].f64.empty() &&
+              cols[c].str.empty()) {
+            cols[c].tag = EventColumn::TagOf(tuple[c]);
+          }
+        }
+      }
+      for (size_t c = 0; c < cols.size(); ++c) {
+        cols[c].push(c < tuple.size() ? tuple[c] : Value(int64_t{0}));
+      }
+      ++rows;
+    }
+
+    std::vector<Value> row(size_t i) const {
+      std::vector<Value> out;
+      out.reserve(cols.size());
+      for (const EventColumn& c : cols) out.push_back(c.get(i));
+      return out;
+    }
   };
 
   void add(const std::string& relation, bool is_insert,
-           std::vector<Value> tuple) {
-    if (!groups_.empty() && groups_.back().is_insert == is_insert &&
-        groups_.back().relation == relation) {
-      groups_.back().tuples.push_back(std::move(tuple));
-      ++events_;
-      return;
-    }
-    for (Group& g : groups_) {
-      if (g.is_insert == is_insert && g.relation == relation) {
-        g.tuples.push_back(std::move(tuple));
-        ++events_;
+           const std::vector<Value>& tuple) {
+    find_group(relation, is_insert).add(tuple);
+    ++events_;
+  }
+
+  /// Append a pre-built columnar group (the zero-conversion ingest path);
+  /// merges into an existing (relation, op) group if one exists.
+  void add_group(Group&& g) {
+    events_ += g.rows;
+    for (Group& existing : groups_) {
+      if (existing.is_insert == g.is_insert &&
+          existing.relation == g.relation) {
+        for (size_t i = 0; i < g.rows; ++i) existing.add(g.row(i));
         return;
       }
     }
-    groups_.push_back(Group{relation, is_insert, {std::move(tuple)}});
-    ++events_;
+    groups_.push_back(std::move(g));
   }
 
   const std::vector<Group>& groups() const { return groups_; }
@@ -313,6 +379,20 @@ class EventBatch {
   }
 
  private:
+  Group& find_group(const std::string& relation, bool is_insert) {
+    // Streams run long (relation, op) bursts; check the most recent group
+    // first (the group count is bounded by 2 * #relations).
+    if (!groups_.empty() && groups_.back().is_insert == is_insert &&
+        groups_.back().relation == relation) {
+      return groups_.back();
+    }
+    for (Group& g : groups_) {
+      if (g.is_insert == is_insert && g.relation == relation) return g;
+    }
+    groups_.push_back(Group{relation, is_insert, {}, 0});
+    return groups_.back();
+  }
+
   std::vector<Group> groups_;
   size_t events_ = 0;
 };
@@ -336,8 +416,8 @@ class StreamProgram {
   virtual size_t on_batch(const EventBatch& batch) {
     size_t handled = 0;
     for (const auto& g : batch.groups()) {
-      for (const auto& t : g.tuples) {
-        if (on_event(g.relation, g.is_insert, t)) ++handled;
+      for (size_t i = 0; i < g.rows; ++i) {
+        if (on_event(g.relation, g.is_insert, g.row(i))) ++handled;
       }
     }
     return handled;

@@ -1,0 +1,848 @@
+#include "src/compiler/tir.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::tir {
+
+using compiler::MapDecl;
+using compiler::Program;
+using compiler::Statement;
+using ring::Expr;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+namespace {
+
+// ---- sign unification ----------------------------------------------------
+//
+// The insert and delete triggers produced by recursive compilation differ
+// only in the sign of the event multiplicity: whole RHS negations, negated
+// leading constants, or negated comparison constants (the LEFT JOIN
+// right-relation case). Unify(a_insert, b_delete) rebuilds one expression
+// over kSignVar such that substituting +1 yields a and -1 yields b; nullptr
+// when the pair is not sign-symmetric.
+
+TermPtr SignTerm() { return Term::Var(kSignVar); }
+
+/// value = c * sign reproduces c on insert and -c on delete.
+TermPtr SignedConst(const Value& insert_value) {
+  return Term::Mul(Term::Const(insert_value), SignTerm());
+}
+
+bool NumericNegation(const Value& a, const Value& b) {
+  return a.is_numeric() && b.is_numeric() &&
+         Value::Compare(a, Value::Neg(b)) == 0;
+}
+
+TermPtr UnifyTerm(const TermPtr& a, const TermPtr& b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  if (ring::TermEquals(*a, *b)) return a;
+  if (a->kind != b->kind) return nullptr;
+  switch (a->kind) {
+    case Term::Kind::kConst:
+      if (NumericNegation(a->constant, b->constant)) {
+        return SignedConst(a->constant);
+      }
+      return nullptr;
+    case Term::Kind::kAdd:
+    case Term::Kind::kSub:
+    case Term::Kind::kMul:
+    case Term::Kind::kDiv: {
+      TermPtr l = UnifyTerm(a->lhs, b->lhs);
+      TermPtr r = UnifyTerm(a->rhs, b->rhs);
+      if (l == nullptr || r == nullptr) return nullptr;
+      switch (a->kind) {
+        case Term::Kind::kAdd: return Term::Add(l, r);
+        case Term::Kind::kSub: return Term::Sub(l, r);
+        case Term::Kind::kMul: return Term::Mul(l, r);
+        default: return Term::Div(l, r);
+      }
+    }
+    case Term::Kind::kFunc1: {
+      if (a->func != b->func) return nullptr;
+      TermPtr arg = UnifyTerm(a->lhs, b->lhs);
+      return arg == nullptr ? nullptr : Term::Func1(a->func, arg);
+    }
+    default:
+      // kVar / kMapRead: structural equality only (handled above).
+      return nullptr;
+  }
+}
+
+/// Split `e` into a numeric constant coefficient and residual factors, so
+/// that e == coeff * Prod(rest). Non-products contribute themselves; kNeg
+/// folds into the coefficient.
+void SplitCoeff(const ExprPtr& e, Value* coeff, std::vector<ExprPtr>* rest) {
+  if (e->kind == ring::ExprKind::kConst && e->constant.is_numeric()) {
+    *coeff = Value::Mul(*coeff, e->constant);
+    return;
+  }
+  if (e->kind == ring::ExprKind::kNeg) {
+    SplitCoeff(e->children[0], coeff, rest);
+    *coeff = Value::Neg(*coeff);
+    return;
+  }
+  if (e->kind == ring::ExprKind::kProd) {
+    for (const ExprPtr& c : e->children) SplitCoeff(c, coeff, rest);
+    return;
+  }
+  rest->push_back(e);
+}
+
+ExprPtr UnifyExpr(const ExprPtr& a, const ExprPtr& b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  if (ring::ExprEquals(*a, *b)) return a;
+
+  // Whole-expression negation: -x vs x (either direction).
+  if (a->kind == ring::ExprKind::kNeg && b->kind != ring::ExprKind::kNeg &&
+      ring::ExprEquals(*a->children[0], *b)) {
+    return Expr::Prod(
+        {Expr::ValTerm(Term::Mul(Term::Int(-1), SignTerm())), b});
+  }
+  if (b->kind == ring::ExprKind::kNeg && a->kind != ring::ExprKind::kNeg &&
+      ring::ExprEquals(*a, *b->children[0])) {
+    return Expr::Prod({Expr::ValTerm(SignTerm()), a});
+  }
+
+  // Constant-coefficient negation: delta rewriting renders delete-side
+  // negation as a leading Const(-1) product factor, so the two sides differ
+  // in product length or leading constant (c * X vs -c * X). Split each
+  // side into a scalar coefficient and residual factors; when the
+  // coefficients are numeric negations and the residuals unify pairwise,
+  // rebuild the product with the coefficient folded into a sign term.
+  {
+    Value ca(int64_t{1}), cb(int64_t{1});
+    std::vector<ExprPtr> ra, rb;
+    SplitCoeff(a, &ca, &ra);
+    SplitCoeff(b, &cb, &rb);
+    if (ra.size() == rb.size() && NumericNegation(ca, cb)) {
+      std::vector<ExprPtr> kids;
+      kids.push_back(Expr::ValTerm(ca.is_int() && ca.AsInt() == 1
+                                       ? SignTerm()
+                                       : SignedConst(ca)));
+      bool ok = true;
+      for (size_t i = 0; i < ra.size(); ++i) {
+        ExprPtr c = UnifyExpr(ra[i], rb[i]);
+        if (c == nullptr) {
+          ok = false;
+          break;
+        }
+        kids.push_back(std::move(c));
+      }
+      if (ok) return Expr::Prod(std::move(kids));
+    }
+  }
+
+  if (a->kind != b->kind) return nullptr;
+  switch (a->kind) {
+    case ring::ExprKind::kConst:
+      if (NumericNegation(a->constant, b->constant)) {
+        return Expr::ValTerm(SignedConst(a->constant));
+      }
+      return nullptr;
+    case ring::ExprKind::kValTerm: {
+      TermPtr t = UnifyTerm(a->term, b->term);
+      return t == nullptr ? nullptr : Expr::ValTerm(t);
+    }
+    case ring::ExprKind::kCmp: {
+      if (a->cmp_op != b->cmp_op) return nullptr;
+      TermPtr l = UnifyTerm(a->cmp_lhs, b->cmp_lhs);
+      TermPtr r = UnifyTerm(a->cmp_rhs, b->cmp_rhs);
+      if (l == nullptr || r == nullptr) return nullptr;
+      return Expr::Cmp(a->cmp_op, l, r);
+    }
+    case ring::ExprKind::kLift: {
+      if (a->var != b->var) return nullptr;
+      TermPtr t = UnifyTerm(a->term, b->term);
+      return t == nullptr ? nullptr : Expr::Lift(a->var, t);
+    }
+    case ring::ExprKind::kNeg: {
+      ExprPtr c = UnifyExpr(a->children[0], b->children[0]);
+      return c == nullptr ? nullptr : Expr::Neg(c);
+    }
+    case ring::ExprKind::kSum:
+    case ring::ExprKind::kProd: {
+      if (a->children.size() != b->children.size()) return nullptr;
+      std::vector<ExprPtr> kids;
+      kids.reserve(a->children.size());
+      for (size_t i = 0; i < a->children.size(); ++i) {
+        ExprPtr c = UnifyExpr(a->children[i], b->children[i]);
+        if (c == nullptr) return nullptr;
+        kids.push_back(std::move(c));
+      }
+      return a->kind == ring::ExprKind::kSum ? Expr::Sum(std::move(kids))
+                                             : Expr::Prod(std::move(kids));
+    }
+    case ring::ExprKind::kAggSum: {
+      if (a->group_vars != b->group_vars) return nullptr;
+      ExprPtr c = UnifyExpr(a->children[0], b->children[0]);
+      return c == nullptr ? nullptr : Expr::AggSum(a->group_vars, c);
+    }
+    default:
+      // kRel / kMapRef: structural equality only (handled above).
+      return nullptr;
+  }
+}
+
+bool ReferencesSign(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  return e->AllVars().count(kSignVar) > 0;
+}
+
+bool ReferencesSign(const TermPtr& t) {
+  if (t == nullptr) return false;
+  return t->Vars().count(kSignVar) > 0;
+}
+
+/// Same statement shell (kind, target, keys, iteration)?
+bool SameShape(const Statement& a, const Statement& b) {
+  return a.kind == b.kind && a.target == b.target &&
+         a.target_keys == b.target_keys && a.lhs_iterate == b.lhs_iterate;
+}
+
+bool GuardsEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a == nullptr || b == nullptr) return a == nullptr && b == nullptr;
+  return ring::ExprEquals(*a, *b);
+}
+
+/// Try to merge the insert/delete forms of one statement slot; returns
+/// false when they must stay as two masked statements.
+bool UnifyStatement(const Statement& ins, const Statement& del, Stmt* out) {
+  if (!SameShape(ins, del)) return false;
+  switch (ins.kind) {
+    case Statement::Kind::kDelta:
+    case Statement::Kind::kReeval: {
+      ExprPtr rhs = UnifyExpr(ins.rhs, del.rhs);
+      if (rhs == nullptr) return false;
+      out->stmt = ins;
+      out->stmt.rhs = rhs;
+      out->when = Stmt::When::kBoth;
+      out->sign_dependent = ReferencesSign(rhs);
+      return true;
+    }
+    case Statement::Kind::kExtreme: {
+      if (ins.extreme_value == nullptr || del.extreme_value == nullptr ||
+          !ring::TermEquals(*ins.extreme_value, *del.extreme_value) ||
+          !GuardsEqual(ins.extreme_guard, del.extreme_guard)) {
+        return false;
+      }
+      out->stmt = ins;
+      out->when = Stmt::When::kBoth;
+      if (ins.extreme_sign == del.extreme_sign) {
+        out->extreme_runtime_sign = false;  // same op on both events
+      } else if (ins.extreme_sign > 0 && del.extreme_sign < 0) {
+        out->extreme_runtime_sign = true;
+        out->sign_dependent = true;
+      } else {
+        return false;  // add-on-delete / remove-on-insert: not sign-shaped
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Stmt MaskedStmt(const Statement& stmt, Stmt::When when) {
+  Stmt s;
+  s.stmt = stmt;
+  s.when = when;
+  s.sign_dependent = false;
+  return s;
+}
+
+// ---- typing --------------------------------------------------------------
+
+void SeedAtomTypes(const ExprPtr& e, const Program& p, ring::VarTypes* types);
+
+void SeedAtomTypesTerm(const TermPtr& t, const Program& p,
+                       ring::VarTypes* types) {
+  if (t == nullptr) return;
+  if (t->kind == Term::Kind::kMapRead) {
+    for (const TermPtr& a : t->args) SeedAtomTypesTerm(a, p, types);
+    return;
+  }
+  SeedAtomTypesTerm(t->lhs, p, types);
+  SeedAtomTypesTerm(t->rhs, p, types);
+}
+
+void SeedAtomTypes(const ExprPtr& e, const Program& p,
+                   ring::VarTypes* types) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ring::ExprKind::kRel: {
+      const Schema* schema = p.catalog.FindRelation(e->name);
+      if (schema == nullptr) break;
+      for (size_t i = 0; i < e->args.size() && i < schema->num_columns();
+           ++i) {
+        types->emplace(e->args[i], schema->column_type(i));
+      }
+      break;
+    }
+    case ring::ExprKind::kMapRef: {
+      const MapDecl* decl = p.FindMap(e->name);
+      if (decl == nullptr) break;
+      for (size_t i = 0; i < e->args.size() && i < decl->key_types.size();
+           ++i) {
+        types->emplace(e->args[i], decl->key_types[i]);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  SeedAtomTypesTerm(e->term, p, types);
+  SeedAtomTypesTerm(e->cmp_lhs, p, types);
+  SeedAtomTypesTerm(e->cmp_rhs, p, types);
+  for (const ExprPtr& c : e->children) SeedAtomTypes(c, p, types);
+}
+
+ring::VarTypes TypeStatement(const Stmt& s, const Program& p,
+                             const std::map<std::string, std::vector<Type>>&
+                                 rel_types,
+                             const ring::VarTypes& param_types) {
+  ring::VarTypes types = param_types;
+  types[kSignVar] = Type::kInt;
+  SeedAtomTypes(s.stmt.rhs, p, &types);
+  SeedAtomTypes(s.stmt.extreme_guard, p, &types);
+  SeedAtomTypesTerm(s.stmt.extreme_value, p, &types);
+  if (s.stmt.rhs != nullptr) {
+    // Lift-bound variables: best effort — a failed inference leaves the
+    // atom-seeded environment, which every backend tolerates.
+    (void)ring::InferVarTypes(*s.stmt.rhs, rel_types, &types);
+  }
+  return types;
+}
+
+// ---- batch analysis ------------------------------------------------------
+// Ported from runtime::Engine::BuildTriggerInfo so every backend shares one
+// vectorization/sharding verdict per unified trigger.
+
+struct DefReads {
+  std::map<std::string, std::set<std::string>> rels, maps;
+};
+
+DefReads TransitiveDefReads(const Program& p) {
+  DefReads out;
+  for (const MapDecl& m : p.maps) {
+    auto& rels = out.rels[m.name];
+    auto& maps = out.maps[m.name];
+    if (m.definition != nullptr) {
+      m.definition->CollectRels(&rels);
+      m.definition->CollectMapRefs(&maps);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const MapDecl& m : p.maps) {
+      auto& rels = out.rels[m.name];
+      auto& maps = out.maps[m.name];
+      size_t r0 = rels.size(), m0 = maps.size();
+      std::vector<std::string> deps(maps.begin(), maps.end());
+      for (const std::string& dep : deps) {
+        auto rit = out.rels.find(dep);
+        if (rit != out.rels.end()) {
+          rels.insert(rit->second.begin(), rit->second.end());
+        }
+        auto mit = out.maps.find(dep);
+        if (mit != out.maps.end()) {
+          maps.insert(mit->second.begin(), mit->second.end());
+        }
+      }
+      changed = changed || rels.size() != r0 || maps.size() != m0;
+    }
+  }
+  return out;
+}
+
+/// Everything `e` may read, including through init-on-access cascades.
+void ExpandReads(const ExprPtr& e, const DefReads& def,
+                 std::set<std::string>* rels, std::set<std::string>* maps) {
+  if (e == nullptr) return;
+  e->CollectRels(rels);
+  std::set<std::string> direct;
+  e->CollectMapRefs(&direct);
+  for (const std::string& m : direct) {
+    maps->insert(m);
+    auto rit = def.rels.find(m);
+    if (rit != def.rels.end()) {
+      rels->insert(rit->second.begin(), rit->second.end());
+    }
+    auto mit = def.maps.find(m);
+    if (mit != def.maps.end()) {
+      maps->insert(mit->second.begin(), mit->second.end());
+    }
+  }
+}
+
+void AnalyzeTrigger(Trigger* t, const Program& p, const DefReads& def,
+                    const std::set<std::string>& read_anywhere) {
+  std::set<std::string> delta_targets;
+  for (const Stmt& s : t->stmts) {
+    if (s.stmt.kind == Statement::Kind::kDelta) {
+      delta_targets.insert(s.stmt.target);
+    }
+  }
+  bool vectorizable = true;
+  bool reads_init_map = false;
+  size_t num_delta = 0;
+  for (Stmt& s : t->stmts) {
+    const Statement& st = s.stmt;
+    switch (st.kind) {
+      case Statement::Kind::kDelta: {
+        ++num_delta;
+        if (!st.lhs_iterate.empty()) {
+          vectorizable = false;  // iterates the live keys it also writes
+          break;
+        }
+        std::set<std::string> rels, maps;
+        ExpandReads(st.rhs, def, &rels, &maps);
+        if (rels.count(t->relation) > 0) vectorizable = false;
+        for (const std::string& m : maps) {
+          if (delta_targets.count(m) > 0) {
+            vectorizable = false;
+            break;
+          }
+        }
+        for (const std::string& m : maps) {
+          const MapDecl* decl = p.FindMap(m);
+          if (decl != nullptr && decl->needs_init) {
+            reads_init_map = true;  // ReadMap may evaluate an initializer
+          }
+        }
+        break;
+      }
+      case Statement::Kind::kExtreme: {
+        // Vectorizable only when guard and value depend on the event
+        // parameters alone.
+        std::set<std::string> rels, maps;
+        ExpandReads(st.extreme_guard, def, &rels, &maps);
+        if (st.extreme_value != nullptr) {
+          st.extreme_value->CollectMapReads(&maps);
+        }
+        if (!rels.empty() || !maps.empty()) vectorizable = false;
+        break;
+      }
+      case Statement::Kind::kReeval: {
+        s.reeval_deferrable = read_anywhere.count(st.target) == 0;
+        if (!s.reeval_deferrable) vectorizable = false;
+        break;
+      }
+    }
+  }
+  t->vectorizable = vectorizable;
+  // Parallel-safe: the delta phase against the pre-state is pure, so shards
+  // of the binding vector can run on concurrent workers. The partition key
+  // is the param subset present in every delta target key.
+  t->parallel_safe = vectorizable && !reads_init_map && num_delta > 0;
+  if (!t->parallel_safe) return;
+  for (size_t pi = 0; pi < t->params.size(); ++pi) {
+    bool in_every_target = true;
+    for (const Stmt& s : t->stmts) {
+      if (s.stmt.kind != Statement::Kind::kDelta) continue;
+      if (std::find(s.stmt.target_keys.begin(), s.stmt.target_keys.end(),
+                    t->params[pi].name) == s.stmt.target_keys.end()) {
+        in_every_target = false;
+        break;
+      }
+    }
+    if (in_every_target) t->partition_cols.push_back(pi);
+  }
+  // Without a partition key in the target, same-key updates from different
+  // shards merge in shard order rather than event order. Integer sums
+  // commute exactly; double sums do not, so keep those sequential.
+  if (t->partition_cols.empty()) {
+    for (const Stmt& s : t->stmts) {
+      if (s.stmt.kind != Statement::Kind::kDelta) continue;
+      const MapDecl* decl = p.FindMap(s.stmt.target);
+      if (decl != nullptr && decl->value_type == Type::kDouble) {
+        t->parallel_safe = false;
+        break;
+      }
+    }
+  }
+}
+
+// ---- plan text -----------------------------------------------------------
+
+std::string AtomPattern(const ExprPtr& f, const std::set<std::string>& bound) {
+  std::vector<std::string> parts;
+  for (const std::string& a : f->args) {
+    parts.push_back(bound.count(a) ? a : "*" + a);
+  }
+  return f->name + "[" + Join(parts, ", ") + "]";
+}
+
+void PlanLines(const ExprPtr& e, std::set<std::string> bound, int indent,
+               std::string* out);
+
+void PlanFactor(const ExprPtr& f, std::set<std::string>* bound, int indent,
+                std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (f->kind) {
+    case ring::ExprKind::kConst:
+      *out += pad + "value " + f->constant.ToString() + "\n";
+      return;
+    case ring::ExprKind::kValTerm:
+      *out += pad + "value " + f->term->ToString() + "\n";
+      return;
+    case ring::ExprKind::kCmp:
+      *out += pad + "guard " + f->ToString() + "\n";
+      return;
+    case ring::ExprKind::kLift:
+      if (bound->count(f->var)) {
+        *out += pad + "guard " + f->var + " == " + f->term->ToString() + "\n";
+      } else {
+        *out += pad + "bind " + f->var + " := " + f->term->ToString() + "\n";
+        bound->insert(f->var);
+      }
+      return;
+    case ring::ExprKind::kRel:
+    case ring::ExprKind::kMapRef: {
+      bool all_bound = true;
+      bool any_bound = false;
+      for (const std::string& a : f->args) {
+        if (bound->count(a)) {
+          any_bound = true;
+        } else {
+          all_bound = false;
+        }
+      }
+      const char* op = all_bound ? "probe" : any_bound ? "slice" : "scan";
+      *out += pad + op + " " + AtomPattern(f, *bound) + "\n";
+      for (const std::string& a : f->args) bound->insert(a);
+      return;
+    }
+    case ring::ExprKind::kNeg:
+      *out += pad + "neg:\n";
+      PlanLines(f->children[0], *bound, indent + 1, out);
+      return;
+    case ring::ExprKind::kAggSum:
+      *out += pad + "agg sum [" + Join(f->group_vars, ", ") + "]:\n";
+      PlanLines(f->children[0], *bound, indent + 1, out);
+      return;
+    case ring::ExprKind::kSum:
+      *out += pad + "sum:\n";
+      PlanLines(f, *bound, indent + 1, out);
+      return;
+    case ring::ExprKind::kProd:
+      PlanLines(f, *bound, indent, out);
+      return;
+  }
+}
+
+void PlanLines(const ExprPtr& e, std::set<std::string> bound, int indent,
+               std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (e->kind) {
+    case ring::ExprKind::kSum:
+      for (const ExprPtr& c : e->children) {
+        *out += pad + "contrib:\n";
+        PlanLines(c, bound, indent + 1, out);
+      }
+      return;
+    case ring::ExprKind::kProd: {
+      for (const ExprPtr& f : OrderProductFactors(e->children, bound)) {
+        PlanFactor(f, &bound, indent, out);
+      }
+      return;
+    }
+    default:
+      PlanFactor(e, &bound, indent, out);
+      return;
+  }
+}
+
+const char* WhenName(Stmt::When w) {
+  switch (w) {
+    case Stmt::When::kBoth: return "both";
+    case Stmt::When::kInsertOnly: return "insert";
+    case Stmt::When::kDeleteOnly: return "delete";
+  }
+  return "both";
+}
+
+const char* KindName(Statement::Kind k) {
+  switch (k) {
+    case Statement::Kind::kDelta: return "delta";
+    case Statement::Kind::kExtreme: return "extreme";
+    case Statement::Kind::kReeval: return "reeval";
+  }
+  return "delta";
+}
+
+}  // namespace
+
+std::vector<ExprPtr> OrderProductFactors(const std::vector<ExprPtr>& factors,
+                                         const std::set<std::string>& bound0) {
+  std::set<std::string> bound = bound0;
+  std::vector<bool> placed(factors.size(), false);
+  std::vector<ExprPtr> order;
+  for (size_t step = 0; step < factors.size(); ++step) {
+    int best = -1, best_score = -1;
+    for (size_t i = 0; i < factors.size(); ++i) {
+      if (placed[i]) continue;
+      const ExprPtr& f = factors[i];
+      bool inputs_ok = true;
+      for (const std::string& v : f->InVars()) {
+        if (!bound.count(v)) {
+          inputs_ok = false;
+          break;
+        }
+      }
+      if (!inputs_ok) continue;
+      bool outputs_bound = true;
+      for (const std::string& v : f->OutVars()) {
+        if (!bound.count(v)) {
+          outputs_bound = false;
+          break;
+        }
+      }
+      int score;
+      if (outputs_bound) {
+        score = 100;
+      } else if (f->kind == ring::ExprKind::kLift) {
+        score = 90;
+      } else if (f->kind == ring::ExprKind::kMapRef ||
+                 f->kind == ring::ExprKind::kRel) {
+        int bound_args = 0;
+        for (const std::string& v : f->args) {
+          if (bound.count(v)) ++bound_args;
+        }
+        score = 50 + bound_args;
+      } else {
+        score = 40;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    // If nothing is placeable fall back to declaration order; the consumer
+    // fails with a precise message when a variable stays unbound.
+    if (best < 0) {
+      for (size_t i = 0; i < factors.size(); ++i) {
+        if (!placed[i]) {
+          best = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    placed[static_cast<size_t>(best)] = true;
+    order.push_back(factors[static_cast<size_t>(best)]);
+    for (const std::string& v :
+         factors[static_cast<size_t>(best)]->OutVars()) {
+      bound.insert(v);
+    }
+  }
+  return order;
+}
+
+const Trigger* Module::FindTrigger(const std::string& relation) const {
+  for (const Trigger& t : triggers) {
+    if (t.relation == relation) return &t;
+  }
+  return nullptr;
+}
+
+Module Lower(const Program& program) {
+  Module m;
+  m.program = &program;
+
+  std::map<std::string, std::vector<Type>> rel_types;
+  for (const Schema& s : program.catalog.relations()) {
+    std::vector<Type> cols;
+    for (size_t i = 0; i < s.num_columns(); ++i) {
+      cols.push_back(s.column_type(i));
+    }
+    rel_types[s.name()] = std::move(cols);
+  }
+
+  // Relations in stream order (first appearance in the trigger list).
+  std::vector<std::string> rels;
+  for (const compiler::Trigger& t : program.triggers) {
+    if (std::find(rels.begin(), rels.end(), t.relation) == rels.end()) {
+      rels.push_back(t.relation);
+    }
+  }
+
+  const DefReads def = TransitiveDefReads(program);
+  std::set<std::string> read_anywhere;
+  for (const auto& [name, maps] : def.maps) {
+    read_anywhere.insert(maps.begin(), maps.end());
+  }
+  for (const compiler::Trigger& t : program.triggers) {
+    for (const Statement& st : t.statements) {
+      if (st.rhs != nullptr) st.rhs->CollectMapRefs(&read_anywhere);
+      if (st.extreme_guard != nullptr) {
+        st.extreme_guard->CollectMapRefs(&read_anywhere);
+      }
+      if (st.extreme_value != nullptr) {
+        st.extreme_value->CollectMapReads(&read_anywhere);
+      }
+    }
+  }
+
+  for (const std::string& rel : rels) {
+    const compiler::Trigger* ins =
+        program.FindTrigger(rel, EventKind::kInsert);
+    const compiler::Trigger* del =
+        program.FindTrigger(rel, EventKind::kDelete);
+    const compiler::Trigger* any = ins != nullptr ? ins : del;
+
+    Trigger t;
+    t.relation = rel;
+    t.has_insert = ins != nullptr;
+    t.has_delete = del != nullptr;
+    ring::VarTypes param_types;
+    {
+      const Schema* schema = program.catalog.FindRelation(rel);
+      for (size_t i = 0; i < any->params.size(); ++i) {
+        Param p;
+        p.name = any->params[i];
+        p.type = schema != nullptr && i < schema->num_columns()
+                     ? schema->column_type(i)
+                     : Type::kInt;
+        param_types[p.name] = p.type;
+        t.params.push_back(std::move(p));
+      }
+      std::vector<std::string> names;
+      for (const Param& p : t.params) names.push_back(p.name);
+      t.signature = StrFormat("on_%s(%s)", rel.c_str(),
+                              Join(names, ", ").c_str());
+    }
+
+    if (ins != nullptr && del != nullptr &&
+        ins->statements.size() == del->statements.size()) {
+      // Pair slot by slot; a failed pair degrades to two masked statements
+      // at that slot (per-side order is preserved either way).
+      for (size_t i = 0; i < ins->statements.size(); ++i) {
+        Stmt unified;
+        if (UnifyStatement(ins->statements[i], del->statements[i],
+                           &unified)) {
+          t.stmts.push_back(std::move(unified));
+        } else {
+          t.stmts.push_back(
+              MaskedStmt(ins->statements[i], Stmt::When::kInsertOnly));
+          t.stmts.push_back(
+              MaskedStmt(del->statements[i], Stmt::When::kDeleteOnly));
+        }
+      }
+    } else {
+      if (ins != nullptr) {
+        for (const Statement& st : ins->statements) {
+          t.stmts.push_back(MaskedStmt(st, Stmt::When::kInsertOnly));
+        }
+      }
+      if (del != nullptr) {
+        for (const Statement& st : del->statements) {
+          t.stmts.push_back(MaskedStmt(st, Stmt::When::kDeleteOnly));
+        }
+      }
+    }
+
+    for (Stmt& s : t.stmts) {
+      s.rendering = s.stmt.ToString();
+      s.var_types = TypeStatement(s, program, rel_types, param_types);
+    }
+    AnalyzeTrigger(&t, program, def, read_anywhere);
+    m.triggers.push_back(std::move(t));
+  }
+  return m;
+}
+
+std::string Module::ToText() const {
+  const Program& p = *program;
+  std::string out;
+  out += StrFormat("tir module: %zu maps, %zu triggers, %zu views\n",
+                   p.maps.size(), triggers.size(), p.views.size());
+
+  out += "\n# maps\n";
+  for (const MapDecl& d : p.maps) {
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < d.key_names.size(); ++i) {
+      keys.push_back(d.key_names[i] + ": " +
+                     std::string(TypeName(d.key_types[i])));
+    }
+    out += StrFormat("map %s(%s) -> %s", d.name.c_str(),
+                     Join(keys, ", ").c_str(), TypeName(d.value_type));
+    if (d.is_extreme) {
+      out += d.extreme_kind == sql::AggKind::kMin ? " [min-multiset]"
+                                                  : " [max-multiset]";
+    }
+    if (d.needs_init) out += " [init-on-access]";
+    out += "\n";
+  }
+
+  for (const Trigger& t : triggers) {
+    std::vector<std::string> params;
+    for (const Param& pr : t.params) {
+      params.push_back(pr.name + ": " + std::string(TypeName(pr.type)));
+    }
+    out += StrFormat("\ntrigger on_%s(%s, sign: INT)\n", t.relation.c_str(),
+                     Join(params, ", ").c_str());
+    std::vector<std::string> flags;
+    if (t.has_insert) flags.push_back("insert");
+    if (t.has_delete) flags.push_back("delete");
+    if (t.vectorizable) flags.push_back("vectorizable");
+    if (t.parallel_safe) flags.push_back("parallel");
+    std::string part;
+    for (size_t c : t.partition_cols) {
+      if (!part.empty()) part += ",";
+      part += std::to_string(c);
+    }
+    if (!part.empty()) flags.push_back("partition=(" + part + ")");
+    out += "  flags: " + Join(flags, " ") + "\n";
+    for (const Stmt& s : t.stmts) {
+      out += StrFormat("  [%s] %s%s: %s\n", WhenName(s.when),
+                       KindName(s.stmt.kind),
+                       s.sign_dependent ? " (sign)" : "",
+                       s.rendering.c_str());
+      std::set<std::string> bound;
+      for (const Param& pr : t.params) bound.insert(pr.name);
+      bound.insert(kSignVar);
+      for (size_t pos : s.stmt.lhs_iterate) {
+        bound.insert(s.stmt.target_keys[pos]);
+      }
+      if (s.stmt.kind == Statement::Kind::kExtreme) {
+        if (s.stmt.extreme_guard != nullptr) {
+          std::string plan;
+          PlanLines(s.stmt.extreme_guard, bound, 3, &plan);
+          out += "      guard-plan:\n" + plan;
+        }
+        out += "      " +
+               std::string(s.extreme_runtime_sign
+                               ? "update"
+                               : (s.stmt.extreme_sign > 0 ? "add" : "remove")) +
+               " " + s.stmt.target + "[" +
+               Join(s.stmt.target_keys, ", ") + "] value " +
+               s.stmt.extreme_value->ToString() + "\n";
+        continue;
+      }
+      if (s.stmt.rhs != nullptr) {
+        std::string plan;
+        PlanLines(s.stmt.rhs, bound, 3, &plan);
+        out += "    plan:\n" + plan;
+      }
+    }
+  }
+
+  out += "\n# views\n";
+  for (const compiler::ViewSpec& v : p.views) {
+    std::vector<std::string> cols;
+    for (const auto& c : v.columns) {
+      cols.push_back(c.name + ": " + std::string(TypeName(c.type)));
+    }
+    out += StrFormat("view %s(%s)", v.name.c_str(), Join(cols, ", ").c_str());
+    if (!v.domain_map.empty()) out += " domain=" + v.domain_map;
+    if (v.having != nullptr) out += " [having]";
+    if (v.hybrid) out += " [hybrid]";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dbtoaster::tir

@@ -1,0 +1,138 @@
+// Typed trigger IR: the mid-layer between the ring-calculus output of
+// recursive compilation (compiler::Program) and the two backends — the C++
+// code generator (codegen::GenerateCpp) and the trigger interpreter
+// (runtime::Engine). Lowering performs, once per program:
+//
+//   * sign unification: the per-(relation, op) insert/delete trigger clones
+//     are merged into ONE trigger per relation whose statements take the
+//     event multiplicity as a scalar parameter (the reserved variable
+//     kSignVar, rendered as the `sign` argument of generated handlers).
+//     Statements that exist for only one op carry an execution mask.
+//   * typing: trigger parameters and statement variables are resolved to
+//     column types from the catalog and map declarations, so no backend
+//     re-derives types from the ring layer.
+//   * access planning: the greedy join-order used by both backends to turn
+//     a product into nested probe/slice/scan loops lives here
+//     (OrderProductFactors), as does the per-statement plan text.
+//   * batch analysis: vectorizability, parallel safety and partition
+//     columns (previously computed inside runtime::Engine) are derived per
+//     unified trigger and consumed by every backend.
+//
+// Module::ToText() is the stable dump behind `dbtc --emit-ir`.
+#ifndef DBTOASTER_COMPILER_TIR_H_
+#define DBTOASTER_COMPILER_TIR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/compiler/program.h"
+
+namespace dbtoaster::tir {
+
+/// Reserved variable carrying the event multiplicity (+1 insert, -1
+/// delete) through unified statement right-hand sides. Backends bind it to
+/// their sign parameter; it never appears in source queries (the SQL layer
+/// rejects identifiers starting with '_').
+inline constexpr const char* kSignVar = "__sign";
+
+/// One typed trigger parameter (event tuple column).
+struct Param {
+  std::string name;  ///< ring variable (schema order)
+  Type type = Type::kInt;
+};
+
+/// One unified maintenance statement.
+struct Stmt {
+  /// Which event signs execute this statement.
+  enum class When : uint8_t { kBoth, kInsertOnly, kDeleteOnly };
+
+  /// The unified statement. For sign-dependent deltas the RHS reads
+  /// kSignVar; structure otherwise matches compiler::Statement exactly, so
+  /// the interpreter's statement runners take it unchanged.
+  compiler::Statement stmt;
+
+  When when = When::kBoth;
+
+  /// True when stmt.rhs (or the extreme value/guard) references kSignVar.
+  bool sign_dependent = false;
+
+  /// kExtreme only: the multiset op direction is the event sign itself
+  /// (ExtremeMap::update(key, value, sign)) instead of stmt.extreme_sign.
+  bool extreme_runtime_sign = false;
+
+  /// True for kReeval statements whose target no other statement or map
+  /// initializer reads: they may run once per batch instead of per event.
+  bool reeval_deferrable = false;
+
+  /// Cached stmt.ToString() (profiler key / codegen comments).
+  std::string rendering;
+
+  /// Variable types over the statement body: trigger parameters, kSignVar,
+  /// and every variable bound by Rel atoms and Lifts in the RHS.
+  ring::VarTypes var_types;
+};
+
+/// One sign-parameterized trigger: everything to run for an event on
+/// `relation`, for either op.
+struct Trigger {
+  std::string relation;
+  std::vector<Param> params;
+  std::vector<Stmt> stmts;
+
+  bool has_insert = false;
+  bool has_delete = false;
+
+  /// "on_R(a, b)" — error messages and the IR dump.
+  std::string signature;
+
+  // -- batch-time analysis (consumed by both backends) ---------------------
+
+  /// True when phase 1 may evaluate a whole group of bindings against the
+  /// group pre-state and flush afterwards: no delta statement reads the
+  /// triggering relation, a map this trigger writes, or iterates its
+  /// target's live keys; extreme statements are parameter-only; all
+  /// re-evaluation statements are deferrable.
+  bool vectorizable = false;
+
+  /// Vectorizable AND the delta phase reads no init-on-access map: phase 1
+  /// is then a pure function of the pre-state and may run sharded.
+  bool parallel_safe = false;
+
+  /// Event-parameter positions appearing in every delta statement's target
+  /// key (the trigger's partition key); empty = hash the whole tuple.
+  std::vector<size_t> partition_cols;
+};
+
+/// The typed trigger program: one Trigger per streamed relation (stream
+/// order = first appearance in the source trigger list), over the maps,
+/// views and catalog of the owning compiler::Program (non-owning pointer;
+/// the Program must outlive the Module).
+struct Module {
+  const compiler::Program* program = nullptr;
+  std::vector<Trigger> triggers;
+
+  const Trigger* FindTrigger(const std::string& relation) const;
+
+  /// Stable text dump: typed map declarations, per-trigger statement list
+  /// with masks and access plans (`dbtc --emit-ir`).
+  std::string ToText() const;
+};
+
+/// Lower a compiled trigger program into the typed IR. Total: statements
+/// that fail sign unification are kept as masked per-op statements, so the
+/// result always executes identically to the input program.
+Module Lower(const compiler::Program& program);
+
+/// Greedy join order for a product's factors given already-bound variables:
+/// fully-bound factors first (cheap guards/probes), then lifts, then atoms
+/// by bound-argument count. Shared by the codegen emitter, the plan text
+/// and (transitively, via the interpreter's evaluator mirroring it) the
+/// interpreted engine.
+std::vector<ring::ExprPtr> OrderProductFactors(
+    const std::vector<ring::ExprPtr>& factors,
+    const std::set<std::string>& bound);
+
+}  // namespace dbtoaster::tir
+
+#endif  // DBTOASTER_COMPILER_TIR_H_

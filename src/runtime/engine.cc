@@ -11,7 +11,6 @@ namespace dbtoaster::runtime {
 
 using compiler::MapDecl;
 using compiler::Statement;
-using compiler::Trigger;
 
 namespace {
 uint64_t NowNanos() {
@@ -40,7 +39,10 @@ std::string ProfileStats::ToString() const {
 }
 
 Engine::Engine(compiler::Program program)
-    : program_(std::move(program)), db_(program_.catalog), eval_(this) {
+    : program_(std::move(program)),
+      tir_(tir::Lower(program_)),
+      db_(program_.catalog),
+      eval_(this) {
   for (const MapDecl& decl : program_.maps) {
     decls_[decl.name] = &decl;
     if (decl.is_extreme) {
@@ -51,185 +53,6 @@ Engine::Engine(compiler::Program program)
                                         decl.value_type));
     }
   }
-  BuildTriggerInfo();
-}
-
-void Engine::BuildTriggerInfo() {
-  // Transitive read footprint of each map's definition: reading an
-  // init-on-access map evaluates its definition against the base tables,
-  // which may read further relations and maps (themselves init-on-access).
-  std::map<std::string, std::set<std::string>> def_rels, def_maps;
-  for (const MapDecl& m : program_.maps) {
-    auto& rels = def_rels[m.name];
-    auto& maps = def_maps[m.name];
-    if (m.definition != nullptr) {
-      m.definition->CollectRels(&rels);
-      m.definition->CollectMapRefs(&maps);
-    }
-  }
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (const MapDecl& m : program_.maps) {
-      auto& rels = def_rels[m.name];
-      auto& maps = def_maps[m.name];
-      size_t r0 = rels.size(), m0 = maps.size();
-      std::vector<std::string> deps(maps.begin(), maps.end());
-      for (const std::string& dep : deps) {
-        auto rit = def_rels.find(dep);
-        if (rit != def_rels.end()) {
-          rels.insert(rit->second.begin(), rit->second.end());
-        }
-        auto mit = def_maps.find(dep);
-        if (mit != def_maps.end()) {
-          maps.insert(mit->second.begin(), mit->second.end());
-        }
-      }
-      changed = changed || rels.size() != r0 || maps.size() != m0;
-    }
-  }
-
-  /// Everything `e` may read, including through init-on-access cascades.
-  auto expand_reads = [&](const ring::ExprPtr& e, std::set<std::string>* rels,
-                          std::set<std::string>* maps) {
-    if (e == nullptr) return;
-    e->CollectRels(rels);
-    std::set<std::string> direct;
-    e->CollectMapRefs(&direct);
-    for (const std::string& m : direct) {
-      maps->insert(m);
-      auto rit = def_rels.find(m);
-      if (rit != def_rels.end()) {
-        rels->insert(rit->second.begin(), rit->second.end());
-      }
-      auto mit = def_maps.find(m);
-      if (mit != def_maps.end()) {
-        maps->insert(mit->second.begin(), mit->second.end());
-      }
-    }
-  };
-
-  // Maps read by any statement or initializer: a re-evaluation statement
-  // whose target nobody reads may run once per batch instead of per event
-  // (views read it only after the batch has flushed).
-  std::set<std::string> read_anywhere;
-  for (const auto& [name, maps] : def_maps) {
-    read_anywhere.insert(maps.begin(), maps.end());
-  }
-  for (const Trigger& t : program_.triggers) {
-    for (const Statement& st : t.statements) {
-      if (st.rhs != nullptr) st.rhs->CollectMapRefs(&read_anywhere);
-      if (st.extreme_guard != nullptr) {
-        st.extreme_guard->CollectMapRefs(&read_anywhere);
-      }
-      if (st.extreme_value != nullptr) {
-        st.extreme_value->CollectMapReads(&read_anywhere);
-      }
-    }
-  }
-
-  for (const Trigger& t : program_.triggers) {
-    TriggerInfo info;
-    info.trigger = &t;
-    info.renderings.reserve(t.statements.size());
-    info.reeval_deferrable.assign(t.statements.size(), false);
-    std::set<std::string> delta_targets;
-    for (const Statement& st : t.statements) {
-      info.renderings.push_back(st.ToString());
-      if (st.kind == Statement::Kind::kDelta) delta_targets.insert(st.target);
-    }
-    bool vectorizable = true;
-    bool reads_init_map = false;
-    size_t num_delta = 0;
-    for (size_t si = 0; si < t.statements.size(); ++si) {
-      const Statement& st = t.statements[si];
-      switch (st.kind) {
-        case Statement::Kind::kDelta: {
-          ++num_delta;
-          if (!st.lhs_iterate.empty()) {
-            vectorizable = false;  // iterates the live keys it also writes
-            break;
-          }
-          std::set<std::string> rels, maps;
-          expand_reads(st.rhs, &rels, &maps);
-          if (rels.count(t.relation) > 0) vectorizable = false;
-          for (const std::string& m : maps) {
-            if (delta_targets.count(m) > 0) {
-              vectorizable = false;
-              break;
-            }
-          }
-          for (const std::string& m : maps) {
-            auto dit = decls_.find(m);
-            if (dit != decls_.end() && dit->second->needs_init) {
-              reads_init_map = true;  // ReadMap may evaluate an initializer
-            }
-          }
-          break;
-        }
-        case Statement::Kind::kExtreme: {
-          // Vectorizable only when guard and value depend on the event
-          // parameters alone (which compile.cc guarantees today; verified
-          // here so future compilation changes degrade safely).
-          std::set<std::string> rels, maps;
-          expand_reads(st.extreme_guard, &rels, &maps);
-          if (st.extreme_value != nullptr) {
-            st.extreme_value->CollectMapReads(&maps);
-          }
-          if (!rels.empty() || !maps.empty()) vectorizable = false;
-          break;
-        }
-        case Statement::Kind::kReeval: {
-          info.reeval_deferrable[si] = read_anywhere.count(st.target) == 0;
-          if (!info.reeval_deferrable[si]) vectorizable = false;
-          break;
-        }
-      }
-    }
-    info.vectorizable = vectorizable;
-    // Parallel-safe: the delta phase against the pre-state is pure (no
-    // init-on-access evaluation), so shards of the binding vector can run
-    // on concurrent workers. The partition key is the param subset present
-    // in every delta target key — bindings sharing it write the same map
-    // keys, so routing by it preserves per-key application order exactly.
-    info.parallel_safe = vectorizable && !reads_init_map && num_delta > 0;
-    if (info.parallel_safe) {
-      for (size_t p = 0; p < t.params.size(); ++p) {
-        bool in_every_target = true;
-        for (const Statement& st : t.statements) {
-          if (st.kind != Statement::Kind::kDelta) continue;
-          if (std::find(st.target_keys.begin(), st.target_keys.end(),
-                        t.params[p]) == st.target_keys.end()) {
-            in_every_target = false;
-            break;
-          }
-        }
-        if (in_every_target) info.partition_cols.push_back(p);
-      }
-      // Without a partition key in the target, same-key updates from
-      // different shards merge in shard order rather than event order.
-      // Integer sums commute exactly; double sums do not (addition is not
-      // associative), so a double-valued target would drift from
-      // one-at-a-time replay in the low bits. Keep those sequential.
-      if (info.partition_cols.empty()) {
-        for (const Statement& st : t.statements) {
-          if (st.kind != Statement::Kind::kDelta) continue;
-          auto dit = decls_.find(st.target);
-          if (dit != decls_.end() &&
-              dit->second->value_type == Type::kDouble) {
-            info.parallel_safe = false;
-            break;
-          }
-        }
-      }
-    }
-    trigger_info_[{t.relation, static_cast<int>(t.event)}] = std::move(info);
-  }
-}
-
-const Engine::TriggerInfo* Engine::FindTriggerInfo(const std::string& relation,
-                                                   EventKind kind) const {
-  auto it = trigger_info_.find({relation, static_cast<int>(kind)});
-  return it == trigger_info_.end() ? nullptr : &it->second;
 }
 
 const ValueMap* Engine::value_map(const std::string& name) const {
@@ -478,7 +301,7 @@ Status Engine::RunReevalStatement(const Statement& stmt, const Bindings& env) {
 }
 
 Status Engine::RunExtremeStatement(const Statement& stmt,
-                                   const Bindings& env) {
+                                   const Bindings& env, int sign) {
   auto it = extremes_.find(stmt.target);
   if (it == extremes_.end()) {
     return Status::Internal("extreme statement on unknown map: " +
@@ -504,7 +327,7 @@ Status Engine::RunExtremeStatement(const Statement& stmt,
   }
   DBT_ASSIGN_OR_RETURN(Value v, eval_.EvalTerm(stmt.extreme_value, env,
                                                /*store_init=*/false));
-  if (stmt.extreme_sign > 0) {
+  if (sign > 0) {
     target->Add(key, v);
   } else {
     target->Remove(key, v);
@@ -540,66 +363,69 @@ Status Engine::FlushDeferredReevals(DeferredReevals* deferred) {
   return Status::OK();
 }
 
-Status Engine::CheckGroupArity(const Trigger& trigger, const Row* tuples,
+Status Engine::CheckGroupArity(const tir::Trigger& trigger, const Row* tuples,
                                size_t count) const {
   for (size_t e = 0; e < count; ++e) {
     if (trigger.params.size() != tuples[e].size()) {
       return Status::InvalidArgument(StrFormat(
           "event arity %zu does not match trigger %s", tuples[e].size(),
-          trigger.Signature().c_str()));
+          trigger.signature.c_str()));
     }
   }
   return Status::OK();
 }
 
 std::vector<ProfileStats::StatementStats*> Engine::ResolveStats(
-    const TriggerInfo& info) {
-  const Trigger& trigger = *info.trigger;
-  std::vector<ProfileStats::StatementStats*> stats(trigger.statements.size());
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
+    const tir::Trigger& trigger) {
+  std::vector<ProfileStats::StatementStats*> stats(trigger.stmts.size());
+  for (size_t si = 0; si < trigger.stmts.size(); ++si) {
     ProfileStats::StatementStats& st =
-        profile_.by_statement[info.renderings[si]];
-    st.rendering = info.renderings[si];
+        profile_.by_statement[trigger.stmts[si].rendering];
+    st.rendering = trigger.stmts[si].rendering;
     stats[si] = &st;
   }
   return stats;
 }
 
-Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
-                                    const std::string& relation,
-                                    const Row* tuples, size_t count,
-                                    DeferredReevals* deferred) {
-  const Trigger& trigger = *info.trigger;
-  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
+Status Engine::ApplyGroupSequential(const tir::Trigger& trigger,
+                                    EventKind kind, const Row* tuples,
+                                    size_t count, DeferredReevals* deferred) {
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(trigger);
+  const int sign = kind == EventKind::kInsert ? +1 : -1;
 
   Bindings env;
+  env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
   for (size_t e = 0; e < count; ++e) {
     const Row& tuple = tuples[e];
-    if (trace_ != nullptr) trace_->OnEvent(Event{kind, relation, tuple});
+    if (trace_ != nullptr) {
+      trace_->OnEvent(Event{kind, trigger.relation, tuple});
+    }
     if (trigger.params.size() != tuple.size()) {
       return Status::InvalidArgument(
           StrFormat("event arity %zu does not match trigger %s", tuple.size(),
-                    trigger.Signature().c_str()));
+                    trigger.signature.c_str()));
     }
     for (size_t i = 0; i < trigger.params.size(); ++i) {
-      env[trigger.params[i]] = tuple[i];
+      env[trigger.params[i].name] = tuple[i];
     }
 
     // Phase 1: evaluate all delta statements against the pre-state.
     pending_.clear();
-    for (size_t si = 0; si < trigger.statements.size(); ++si) {
-      const Statement& stmt = trigger.statements[si];
-      if (stmt.kind != Statement::Kind::kDelta) continue;
+    for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+      const tir::Stmt& s = trigger.stmts[si];
+      if (s.stmt.kind != Statement::Kind::kDelta || !StmtActive(s, kind)) {
+        continue;
+      }
       uint64_t t0 = NowNanos();
       size_t before = pending_.size();
-      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending_));
+      DBT_RETURN_IF_ERROR(RunDeltaStatement(s.stmt, env, &pending_));
       stats[si]->executions++;
       stats[si]->updates += pending_.size() - before;
       stats[si]->nanos += NowNanos() - t0;
     }
 
     // Phase 2: apply the event to the base tables, then the map deltas.
-    DBT_RETURN_IF_ERROR(db_.Apply(kind, relation, tuple));
+    DBT_RETURN_IF_ERROR(db_.Apply(kind, trigger.relation, tuple));
     for (auto& [target, key, value] : pending_) {
       if (trace_ != nullptr) {
         Value old_value = target->Get(key);
@@ -611,11 +437,14 @@ Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
     }
 
     // Phase 2b: extreme (MIN/MAX multiset) statements over the post-state.
-    for (size_t si = 0; si < trigger.statements.size(); ++si) {
-      const Statement& stmt = trigger.statements[si];
-      if (stmt.kind != Statement::Kind::kExtreme) continue;
+    for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+      const tir::Stmt& s = trigger.stmts[si];
+      if (s.stmt.kind != Statement::Kind::kExtreme || !StmtActive(s, kind)) {
+        continue;
+      }
       uint64_t t0 = NowNanos();
-      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(
+          s.stmt, env, s.extreme_runtime_sign ? sign : s.stmt.extreme_sign));
       stats[si]->executions++;
       stats[si]->nanos += NowNanos() - t0;
     }
@@ -626,15 +455,17 @@ Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
     // capture of query variables that share a name with trigger parameters.
     // Statements whose target nothing reads are deferred to the batch end.
     Bindings empty_env;
-    for (size_t si = 0; si < trigger.statements.size(); ++si) {
-      const Statement& stmt = trigger.statements[si];
-      if (stmt.kind != Statement::Kind::kReeval) continue;
-      if (info.reeval_deferrable[si] && trace_ == nullptr) {
-        Defer(&stmt, &info.renderings[si], deferred);
+    for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+      const tir::Stmt& s = trigger.stmts[si];
+      if (s.stmt.kind != Statement::Kind::kReeval || !StmtActive(s, kind)) {
+        continue;
+      }
+      if (s.reeval_deferrable && trace_ == nullptr) {
+        Defer(&s.stmt, &s.rendering, deferred);
         continue;
       }
       uint64_t t0 = NowNanos();
-      DBT_RETURN_IF_ERROR(RunReevalStatement(stmt, empty_env));
+      DBT_RETURN_IF_ERROR(RunReevalStatement(s.stmt, empty_env));
       stats[si]->executions++;
       stats[si]->nanos += NowNanos() - t0;
     }
@@ -642,28 +473,30 @@ Status Engine::ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
   return Status::OK();
 }
 
-Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
-                                    const Row* tuples, size_t count,
-                                    DeferredReevals* deferred) {
-  const Trigger& trigger = *info.trigger;
-  const EventKind kind = trigger.event;
+Status Engine::ApplyGroupVectorized(const tir::Trigger& trigger,
+                                    EventKind kind, const Row* tuples,
+                                    size_t count, DeferredReevals* deferred) {
   DBT_RETURN_IF_ERROR(CheckGroupArity(trigger, tuples, count));
-  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(trigger);
+  const int sign = kind == EventKind::kInsert ? +1 : -1;
 
   // Phase 1: each delta statement runs once over the vector of bindings,
-  // all against the group pre-state (safe per the TriggerInfo analysis).
+  // all against the group pre-state (safe per the trigger's IR analysis).
   pending_.clear();
   Bindings env;
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    const Statement& stmt = trigger.statements[si];
-    if (stmt.kind != Statement::Kind::kDelta) continue;
+  env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
+  for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+    const tir::Stmt& s = trigger.stmts[si];
+    if (s.stmt.kind != Statement::Kind::kDelta || !StmtActive(s, kind)) {
+      continue;
+    }
     uint64_t t0 = NowNanos();
     size_t before = pending_.size();
     for (size_t e = 0; e < count; ++e) {
       for (size_t i = 0; i < trigger.params.size(); ++i) {
-        env[trigger.params[i]] = tuples[e][i];
+        env[trigger.params[i].name] = tuples[e][i];
       }
-      DBT_RETURN_IF_ERROR(RunDeltaStatement(stmt, env, &pending_));
+      DBT_RETURN_IF_ERROR(RunDeltaStatement(s.stmt, env, &pending_));
     }
     stats[si]->executions += count;
     stats[si]->updates += pending_.size() - before;
@@ -678,15 +511,18 @@ Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
   for (auto& [target, key, value] : pending_) ApplyMapAdd(target, key, value);
 
   // Phase 2b: extreme statements (parameter-only, order-independent).
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    const Statement& stmt = trigger.statements[si];
-    if (stmt.kind != Statement::Kind::kExtreme) continue;
+  for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+    const tir::Stmt& s = trigger.stmts[si];
+    if (s.stmt.kind != Statement::Kind::kExtreme || !StmtActive(s, kind)) {
+      continue;
+    }
     uint64_t t0 = NowNanos();
     for (size_t e = 0; e < count; ++e) {
       for (size_t i = 0; i < trigger.params.size(); ++i) {
-        env[trigger.params[i]] = tuples[e][i];
+        env[trigger.params[i].name] = tuples[e][i];
       }
-      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(
+          s.stmt, env, s.extreme_runtime_sign ? sign : s.stmt.extreme_sign));
     }
     stats[si]->executions += count;
     stats[si]->nanos += NowNanos() - t0;
@@ -694,31 +530,33 @@ Status Engine::ApplyGroupVectorized(const TriggerInfo& info,
 
   // Phase 3: re-evaluation statements are all deferrable here (that is part
   // of being vectorizable); they run once at the end of the batch.
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    const Statement& stmt = trigger.statements[si];
-    if (stmt.kind != Statement::Kind::kReeval) continue;
-    Defer(&stmt, &info.renderings[si], deferred);
+  for (const tir::Stmt& s : trigger.stmts) {
+    if (s.stmt.kind != Statement::Kind::kReeval || !StmtActive(s, kind)) {
+      continue;
+    }
+    Defer(&s.stmt, &s.rendering, deferred);
   }
   return Status::OK();
 }
 
-Status Engine::ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
-                                 size_t count, DeferredReevals* deferred) {
-  const Trigger& trigger = *info.trigger;
-  const EventKind kind = trigger.event;
+Status Engine::ApplyGroupSharded(const tir::Trigger& trigger, EventKind kind,
+                                 const Row* tuples, size_t count,
+                                 DeferredReevals* deferred) {
   DBT_RETURN_IF_ERROR(CheckGroupArity(trigger, tuples, count));
-  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(info);
+  std::vector<ProfileStats::StatementStats*> stats = ResolveStats(trigger);
+  const int sign = kind == EventKind::kInsert ? +1 : -1;
 
   std::vector<size_t> delta_stmts;
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    if (trigger.statements[si].kind == Statement::Kind::kDelta) {
+  for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+    if (trigger.stmts[si].stmt.kind == Statement::Kind::kDelta &&
+        StmtActive(trigger.stmts[si], kind)) {
       delta_stmts.push_back(si);
     }
   }
 
   profile_.sharded_groups++;
   const ShardPlan plan =
-      ShardPlan::Partition(tuples, count, info.partition_cols);
+      ShardPlan::Partition(tuples, count, trigger.partition_cols);
 
   // Phase 1 fan-out: each worker evaluates its shards' bindings against the
   // shared pre-state (reads only; parallel_safe guarantees no initializer
@@ -738,13 +576,14 @@ Status Engine::ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
   shard_pool().RunShards(kNumShards, [&](size_t s) {
     ShardOut& out = outs[s];
     Bindings env;
+    env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
     for (uint32_t i : plan.shards[s]) {
       const Row& tuple = tuples[i];
       for (size_t p = 0; p < trigger.params.size(); ++p) {
-        env[trigger.params[p]] = tuple[p];
+        env[trigger.params[p].name] = tuple[p];
       }
       for (size_t d = 0; d < delta_stmts.size(); ++d) {
-        const Statement& stmt = trigger.statements[delta_stmts[d]];
+        const Statement& stmt = trigger.stmts[delta_stmts[d]].stmt;
         const uint64_t t0 = NowNanos();
         Status st = RunDeltaStatement(stmt, env, &out.pending[d]);
         out.nanos[d] += NowNanos() - t0;
@@ -786,25 +625,30 @@ Status Engine::ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
 
   // Phase 2b: extreme statements (parameter-only), in group order.
   Bindings env;
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    const Statement& stmt = trigger.statements[si];
-    if (stmt.kind != Statement::Kind::kExtreme) continue;
+  env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
+  for (size_t si = 0; si < trigger.stmts.size(); ++si) {
+    const tir::Stmt& s = trigger.stmts[si];
+    if (s.stmt.kind != Statement::Kind::kExtreme || !StmtActive(s, kind)) {
+      continue;
+    }
     uint64_t t0 = NowNanos();
     for (size_t e = 0; e < count; ++e) {
       for (size_t p = 0; p < trigger.params.size(); ++p) {
-        env[trigger.params[p]] = tuples[e][p];
+        env[trigger.params[p].name] = tuples[e][p];
       }
-      DBT_RETURN_IF_ERROR(RunExtremeStatement(stmt, env));
+      DBT_RETURN_IF_ERROR(RunExtremeStatement(
+          s.stmt, env, s.extreme_runtime_sign ? sign : s.stmt.extreme_sign));
     }
     stats[si]->executions += count;
     stats[si]->nanos += NowNanos() - t0;
   }
 
   // Phase 3: deferrable re-evaluations, once at batch end.
-  for (size_t si = 0; si < trigger.statements.size(); ++si) {
-    const Statement& stmt = trigger.statements[si];
-    if (stmt.kind != Statement::Kind::kReeval) continue;
-    Defer(&stmt, &info.renderings[si], deferred);
+  for (const tir::Stmt& s : trigger.stmts) {
+    if (s.stmt.kind != Statement::Kind::kReeval || !StmtActive(s, kind)) {
+      continue;
+    }
+    Defer(&s.stmt, &s.rendering, deferred);
   }
   return Status::OK();
 }
@@ -814,10 +658,13 @@ Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
                           DeferredReevals* deferred) {
   if (count == 0) return Status::OK();
   uint64_t start = NowNanos();
-  const TriggerInfo* info = FindTriggerInfo(relation, kind);
+  const tir::Trigger* trigger = tir_.FindTrigger(relation);
+  const bool has_side =
+      trigger != nullptr && (kind == EventKind::kInsert ? trigger->has_insert
+                                                        : trigger->has_delete);
 
   Status status = Status::OK();
-  if (info == nullptr) {
+  if (!has_side) {
     // No trigger for this (relation, op): the event still updates the
     // base-table snapshot.
     for (size_t e = 0; e < count; ++e) {
@@ -825,18 +672,17 @@ Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
       status = db_.Apply(kind, relation, tuples[e]);
       if (!status.ok()) break;
     }
-  } else if (trace_ == nullptr && info->vectorizable && count > 1) {
+  } else if (trace_ == nullptr && trigger->vectorizable && count > 1) {
     // The sharded path is chosen by group size alone — never by the pool's
     // thread count — so a batch sequence produces identical state at every
     // thread count (threads=1 runs the same shard order inline).
-    if (info->parallel_safe && count >= dbt::kShardBatchCutoff) {
-      status = ApplyGroupSharded(*info, tuples, count, deferred);
+    if (trigger->parallel_safe && count >= dbt::kShardBatchCutoff) {
+      status = ApplyGroupSharded(*trigger, kind, tuples, count, deferred);
     } else {
-      status = ApplyGroupVectorized(*info, tuples, count, deferred);
+      status = ApplyGroupVectorized(*trigger, kind, tuples, count, deferred);
     }
   } else {
-    status = ApplyGroupSequential(*info, kind, relation, tuples, count,
-                                  deferred);
+    status = ApplyGroupSequential(*trigger, kind, tuples, count, deferred);
   }
 
   if (!status.ok()) return status;
@@ -849,7 +695,7 @@ Status Engine::ApplyBatch(EventBatch&& batch) {
   DeferredReevals deferred;
   for (const EventBatch::Group& g : batch.groups()) {
     DBT_RETURN_IF_ERROR(
-        ApplyGroup(g.relation, g.kind, g.tuples.data(), g.tuples.size(),
+        ApplyGroup(g.relation, g.kind, g.rows_view().data(), g.rows,
                    &deferred));
   }
   return FlushDeferredReevals(&deferred);

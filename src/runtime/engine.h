@@ -20,6 +20,7 @@
 
 #include "src/common/status.h"
 #include "src/compiler/program.h"
+#include "src/compiler/tir.h"
 #include "src/exec/executor.h"
 #include "src/runtime/ring_eval.h"
 #include "src/runtime/stream_engine.h"
@@ -79,6 +80,7 @@ class Engine : public StreamEngine, public MapStore {
   Result<exec::QueryResult> AdhocQuery(const std::string& sql);
 
   const compiler::Program& program() const { return program_; }
+  const tir::Module& tir() const { return tir_; }
   Database& database() { return db_; }
   const Database& database() const { return db_; }
 
@@ -125,46 +127,28 @@ class Engine : public StreamEngine, public MapStore {
     }
   };
 
-  /// Batch-time analysis of one trigger, computed once at construction.
-  struct TriggerInfo {
-    const compiler::Trigger* trigger = nullptr;
-    /// Statement renderings (stmt.ToString()), cached so the profiler does
-    /// not re-render on every event.
-    std::vector<std::string> renderings;
-    /// True when phase 1 may evaluate all of a group's bindings against the
-    /// group pre-state and flush afterwards: no delta statement reads the
-    /// triggering relation, a map this trigger writes, or iterates its
-    /// target's live keys; extreme statements are parameter-only; all
-    /// re-evaluation statements are deferrable.
-    bool vectorizable = false;
-    /// Per statement: re-evaluation statements whose target no statement or
-    /// initializer reads may run once per batch instead of once per event.
-    std::vector<bool> reeval_deferrable;
-    /// Vectorizable AND the delta phase reads no init-on-access map: phase 1
-    /// is then a pure function of the pre-state and may evaluate shards of
-    /// the binding vector on concurrent workers.
-    bool parallel_safe = false;
-    /// Event-parameter positions appearing in every delta statement's target
-    /// key (the trigger's partition key); empty = hash the whole tuple.
-    std::vector<size_t> partition_cols;
-  };
-
   /// Re-evaluation statements postponed to the end of the current batch.
   using DeferredReevals = std::vector<std::pair<const compiler::Statement*,
                                                 const std::string*>>;
 
-  const TriggerInfo* FindTriggerInfo(const std::string& relation,
-                                     EventKind kind) const;
-  void BuildTriggerInfo();
+  /// True when the unified statement executes for events of `kind`.
+  static bool StmtActive(const tir::Stmt& s, EventKind kind) {
+    switch (s.when) {
+      case tir::Stmt::When::kBoth: return true;
+      case tir::Stmt::When::kInsertOnly: return kind == EventKind::kInsert;
+      case tir::Stmt::When::kDeleteOnly: return kind == EventKind::kDelete;
+    }
+    return true;
+  }
 
   /// Whole-group arity validation (the batch paths check up front; the
   /// sequential path validates per event so trace callbacks keep order).
-  Status CheckGroupArity(const compiler::Trigger& trigger, const Row* tuples,
+  Status CheckGroupArity(const tir::Trigger& trigger, const Row* tuples,
                          size_t count) const;
   /// Resolve each statement's profiler slot once per group (std::map nodes
   /// are stable, so the pointers stay valid for the group's lifetime).
   std::vector<ProfileStats::StatementStats*> ResolveStats(
-      const TriggerInfo& info);
+      const tir::Trigger& trigger);
 
   /// Apply a map mutation, keeping slice indexes in sync.
   void ApplyMapAdd(ValueMap* target, const Row& key, const Value& delta);
@@ -175,37 +159,43 @@ class Engine : public StreamEngine, public MapStore {
                                pending);
   Status RunReevalStatement(const compiler::Statement& stmt,
                             const Bindings& env);
+  /// `sign` is the multiset op to apply: +1 add, -1 remove (for
+  /// runtime-signed statements this is the event sign itself).
   Status RunExtremeStatement(const compiler::Statement& stmt,
-                             const Bindings& env);
+                             const Bindings& env, int sign);
 
   /// Process one (relation, op) group of `count` tuples; deferrable
   /// re-evaluation statements are appended to `deferred` instead of run.
   Status ApplyGroup(const std::string& relation, EventKind kind,
                     const Row* tuples, size_t count,
                     DeferredReevals* deferred);
-  Status ApplyGroupVectorized(const TriggerInfo& info, const Row* tuples,
-                              size_t count, DeferredReevals* deferred);
+  Status ApplyGroupVectorized(const tir::Trigger& trigger, EventKind kind,
+                              const Row* tuples, size_t count,
+                              DeferredReevals* deferred);
   /// Vectorized processing with the delta phase fanned out over the shard
   /// pool: tuples are partitioned by target-key hash into the fixed logical
   /// shards, each worker evaluates its shards' bindings against the batch
   /// pre-state into private pending vectors, and the merge applies them in
   /// shard order — the same order at every thread count.
-  Status ApplyGroupSharded(const TriggerInfo& info, const Row* tuples,
-                           size_t count, DeferredReevals* deferred);
-  Status ApplyGroupSequential(const TriggerInfo& info, EventKind kind,
-                              const std::string& relation, const Row* tuples,
-                              size_t count, DeferredReevals* deferred);
+  Status ApplyGroupSharded(const tir::Trigger& trigger, EventKind kind,
+                           const Row* tuples, size_t count,
+                           DeferredReevals* deferred);
+  Status ApplyGroupSequential(const tir::Trigger& trigger, EventKind kind,
+                              const Row* tuples, size_t count,
+                              DeferredReevals* deferred);
   Status FlushDeferredReevals(DeferredReevals* deferred);
   void Defer(const compiler::Statement* stmt, const std::string* rendering,
              DeferredReevals* deferred);
 
   compiler::Program program_;
+  /// Typed trigger IR lowered once from program_ (sign-unified triggers,
+  /// per-trigger batch analysis). Every trigger lookup goes through it.
+  tir::Module tir_;
   Database db_;
   std::map<std::string, ValueMap> maps_;
   std::map<std::string, std::vector<SliceIndex>> slice_indexes_;
   std::map<std::string, ExtremeMap> extremes_;
   std::map<std::string, const compiler::MapDecl*> decls_;
-  std::map<std::pair<std::string, int>, TriggerInfo> trigger_info_;
   RingEvaluator eval_;
   TraceSink* trace_ = nullptr;
   ProfileStats profile_;

@@ -26,8 +26,7 @@ ShardPlan ShardPlan::Partition(const Row* tuples, size_t count,
 
 EventBatch EventBatch::Of(const Event& event) {
   EventBatch batch;
-  batch.groups_.push_back(Group{event.relation, event.kind, {event.tuple}});
-  batch.events_ = 1;
+  batch.Add(event.kind, event.relation, event.tuple);
   return batch;
 }
 
@@ -37,18 +36,19 @@ void EventBatch::Add(EventKind kind, const std::string& relation, Row tuple) {
   // 2 * #relations).
   if (!groups_.empty() && groups_.back().kind == kind &&
       groups_.back().relation == relation) {
-    groups_.back().tuples.push_back(std::move(tuple));
+    groups_.back().Add(tuple);
     ++events_;
     return;
   }
   for (Group& g : groups_) {
     if (g.kind == kind && g.relation == relation) {
-      g.tuples.push_back(std::move(tuple));
+      g.Add(tuple);
       ++events_;
       return;
     }
   }
-  groups_.push_back(Group{relation, kind, {std::move(tuple)}});
+  groups_.emplace_back(relation, kind);
+  groups_.back().Add(tuple);
   ++events_;
 }
 
@@ -93,11 +93,45 @@ size_t CompiledProgramEngine::StateBytes() const {
 }
 
 Status CompiledProgramEngine::ApplyBatch(EventBatch&& batch) {
+  if (path_ == BatchPath::kRow) {
+    // Reference path: per-event string dispatch through the row shim,
+    // exercised by the differential harness and the row-vs-columnar bench.
+    for (const EventBatch::Group& g : batch.groups()) {
+      for (size_t i = 0; i < g.rows; ++i) {
+        program_->on_event(g.relation, g.kind == EventKind::kInsert,
+                           ToDbtValues(g.RowAt(i)));
+      }
+    }
+    return Status::OK();
+  }
+  // Columnar path: the typed column storage moves across the boundary
+  // unchanged (tags align by construction), no per-row Value conversion.
   dbt::EventBatch out;
   for (EventBatch::Group& g : batch.groups()) {
-    for (Row& tuple : g.tuples) {
-      out.add(g.relation, g.kind == EventKind::kInsert, ToDbtValues(tuple));
+    dbt::EventBatch::Group og;
+    og.relation = g.relation;
+    og.is_insert = g.kind == EventKind::kInsert;
+    og.rows = g.rows;
+    og.cols.resize(g.cols.size());
+    for (size_t c = 0; c < g.cols.size(); ++c) {
+      EventColumn& in = g.cols[c];
+      dbt::EventColumn& col = og.cols[c];
+      switch (in.tag) {
+        case EventColumn::Tag::kI64:
+          col.tag = dbt::EventColumn::Tag::kI64;
+          col.i64 = std::move(in.i64);
+          break;
+        case EventColumn::Tag::kF64:
+          col.tag = dbt::EventColumn::Tag::kF64;
+          col.f64 = std::move(in.f64);
+          break;
+        case EventColumn::Tag::kStr:
+          col.tag = dbt::EventColumn::Tag::kStr;
+          col.str = std::move(in.str);
+          break;
+      }
     }
+    out.add_group(std::move(og));
   }
   program_->on_batch(out);
   return Status::OK();

@@ -53,14 +53,94 @@ struct ShardPlan {
                              const std::vector<size_t>& partition_cols);
 };
 
-/// One batch of deltas, grouped per (relation, op): the columnar-ish unit
-/// all engines ingest. Groups keep first-encounter order.
+/// One typed column of a batch group: int64 (also carrying dates as days
+/// since epoch), double, or string, fixed by the first appended value and
+/// coerced thereafter. Mirrors dbt::EventColumn so the compiled path can
+/// move column storage across the boundary without touching rows.
+struct EventColumn {
+  enum class Tag : uint8_t { kI64 = 0, kF64 = 1, kStr = 2 };
+
+  Tag tag = Tag::kI64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  static Tag TagOf(const Value& v) {
+    if (v.is_double()) return Tag::kF64;
+    if (v.is_string()) return Tag::kStr;
+    return Tag::kI64;
+  }
+
+  void Push(const Value& v) {
+    switch (tag) {
+      case Tag::kI64: i64.push_back(v.AsInt()); break;
+      case Tag::kF64: f64.push_back(v.AsDouble()); break;
+      case Tag::kStr: str.push_back(v.AsString()); break;
+    }
+  }
+
+  Value Get(size_t i) const {
+    switch (tag) {
+      case Tag::kF64: return Value(f64[i]);
+      case Tag::kStr: return Value(str[i]);
+      default: return Value(i64[i]);
+    }
+  }
+};
+
+/// One batch of deltas, grouped per (relation, op) with per-group typed
+/// column storage: the columnar unit all engines ingest. Groups keep
+/// first-encounter order. Interpreted engines that want whole tuples use
+/// the rows() shim, which materializes (and caches) the row view.
 class EventBatch {
  public:
   struct Group {
     std::string relation;
     EventKind kind = EventKind::kInsert;
-    std::vector<Row> tuples;
+    std::vector<EventColumn> cols;
+    size_t rows = 0;
+
+    Group() = default;
+    Group(std::string rel, EventKind k)
+        : relation(std::move(rel)), kind(k) {}
+
+    /// Append one tuple, splitting it across the typed columns.
+    void Add(const Row& tuple) {
+      if (cols.size() < tuple.size()) {
+        const size_t old = cols.size();
+        cols.resize(tuple.size());
+        for (size_t c = old; c < tuple.size(); ++c) {
+          cols[c].tag = EventColumn::TagOf(tuple[c]);
+        }
+      }
+      for (size_t c = 0; c < cols.size(); ++c) {
+        cols[c].Push(c < tuple.size() ? tuple[c] : Value(int64_t{0}));
+      }
+      ++rows;
+      row_cache_.clear();
+    }
+
+    /// Reassemble tuple `i` from the columns.
+    Row RowAt(size_t i) const {
+      Row out;
+      out.reserve(cols.size());
+      for (const EventColumn& c : cols) out.push_back(c.Get(i));
+      return out;
+    }
+
+    /// Row-shim view of the whole group, materialized on first use and
+    /// cached (engines call it once per group, on the driver thread).
+    const std::vector<Row>& rows_view() const {
+      if (row_cache_.size() != rows) {
+        row_cache_.clear();
+        row_cache_.reserve(rows);
+        for (size_t i = 0; i < rows; ++i) row_cache_.push_back(RowAt(i));
+      }
+      return row_cache_;
+    }
+
+   private:
+    mutable std::vector<Row> row_cache_;
   };
 
   EventBatch() = default;
@@ -141,9 +221,16 @@ class StreamEngine {
 /// generated dispatcher's behaviour.
 class CompiledProgramEngine final : public StreamEngine {
  public:
+  /// How batches cross the boundary into the generated program.
+  enum class BatchPath {
+    kColumnar,  ///< move typed columns straight into dbt::EventBatch groups
+    kRow,       ///< replay through the per-event row shim (reference path)
+  };
+
   explicit CompiledProgramEngine(dbt::StreamProgram* program,
-                                 std::string name = "toaster-c")
-      : program_(program), name_(std::move(name)) {}
+                                 std::string name = "toaster-c",
+                                 BatchPath path = BatchPath::kColumnar)
+      : program_(program), name_(std::move(name)), path_(path) {}
 
   std::string Name() const override { return name_; }
   Status ApplyBatch(EventBatch&& batch) override;
@@ -156,6 +243,7 @@ class CompiledProgramEngine final : public StreamEngine {
  private:
   dbt::StreamProgram* program_;
   std::string name_;
+  BatchPath path_;
 };
 
 }  // namespace dbtoaster::runtime

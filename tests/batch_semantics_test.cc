@@ -286,13 +286,89 @@ TEST(EventBatch, GroupsByRelationAndOpInFirstEncounterOrder) {
   ASSERT_EQ(b.groups().size(), 3u);
   EXPECT_EQ(b.groups()[0].relation, "R");
   EXPECT_EQ(b.groups()[0].kind, EventKind::kInsert);
-  EXPECT_EQ(b.groups()[0].tuples.size(), 2u);
+  EXPECT_EQ(b.groups()[0].rows, 2u);
   EXPECT_EQ(b.groups()[1].relation, "S");
   EXPECT_EQ(b.groups()[1].kind, EventKind::kDelete);
   EXPECT_EQ(b.groups()[2].relation, "S");
   EXPECT_EQ(b.groups()[2].kind, EventKind::kInsert);
   b.Clear();
   EXPECT_TRUE(b.empty());
+}
+
+// Round-trip property over the columnar layout on both sides of the
+// boundary: random mixed-type tuples pushed through Group::Add/add must
+// reassemble exactly via RowAt/row, with column tags fixed by the first
+// tuple (later tuples coerce onto the column's type, never retag it).
+TEST(EventBatch, ColumnarRoundTripPreservesRandomTypedTuples) {
+  Rng rng(0xc01u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t width = 1 + rng.Uniform(5);
+    std::vector<int> kinds;  // 0 int, 1 double, 2 string, 3 date-as-days
+    for (size_t c = 0; c < width; ++c) {
+      kinds.push_back(static_cast<int>(rng.Uniform(4)));
+    }
+    auto make_value = [&](int kind) {
+      switch (kind) {
+        case 1: return Value(static_cast<double>(rng.Range(-50, 50)) / 8.0);
+        case 2: return Value("s" + std::to_string(rng.Range(0, 9)));
+        case 3: return Value(CivilToDays(1994, 1, 1) + rng.Range(0, 700));
+        default: return Value(rng.Range(-100, 100));
+      }
+    };
+
+    runtime::EventBatch::Group rgroup("R", EventKind::kInsert);
+    dbt::EventBatch::Group dgroup;
+    std::vector<Row> want;
+    const size_t n = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      Row tuple;
+      std::vector<dbt::Value> dtuple;
+      for (size_t c = 0; c < width; ++c) {
+        Value v = make_value(kinds[c]);
+        if (v.is_string()) {
+          dtuple.emplace_back(v.AsString());
+        } else if (v.is_int()) {
+          dtuple.emplace_back(v.AsInt());
+        } else {
+          dtuple.emplace_back(v.AsDouble());
+        }
+        tuple.push_back(std::move(v));
+      }
+      rgroup.Add(tuple);
+      dgroup.add(dtuple);
+      want.push_back(std::move(tuple));
+    }
+
+    ASSERT_EQ(rgroup.rows, n);
+    ASSERT_EQ(dgroup.rows, n);
+    ASSERT_EQ(rgroup.cols.size(), width);
+    for (size_t c = 0; c < width; ++c) {
+      // Tag fixed by the first tuple; dates share the int64 lane.
+      const auto expect_tag = kinds[c] == 1 ? runtime::EventColumn::Tag::kF64
+                              : kinds[c] == 2
+                                  ? runtime::EventColumn::Tag::kStr
+                                  : runtime::EventColumn::Tag::kI64;
+      EXPECT_EQ(rgroup.cols[c].tag, expect_tag) << "trial " << trial;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(rgroup.RowAt(i), want[i]) << "trial " << trial << " row " << i;
+      const std::vector<dbt::Value> dback = dgroup.row(i);
+      ASSERT_EQ(dback.size(), width);
+      for (size_t c = 0; c < width; ++c) {
+        if (want[i][c].is_string()) {
+          EXPECT_EQ(dbt::AsString(dback[c]), want[i][c].AsString());
+        } else if (rgroup.cols[c].tag == runtime::EventColumn::Tag::kF64) {
+          EXPECT_EQ(dbt::AsDouble(dback[c]), want[i][c].AsDouble());
+        } else {
+          EXPECT_EQ(dbt::AsInt(dback[c]), want[i][c].AsInt());
+        }
+      }
+    }
+    // The cached row-shim view equals element-wise reassembly.
+    const std::vector<Row>& view = rgroup.rows_view();
+    ASSERT_EQ(view.size(), n);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(view[i], want[i]);
+  }
 }
 
 // The dbt-side boundary: a hand-written StreamProgram sees the default

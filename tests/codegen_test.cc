@@ -46,9 +46,13 @@ TEST(CodegenStructure, Fig2HandlersMatchPaperShape) {
   const std::string& src = code.value();
 
   // The §3 listing: declarations for q and the four auxiliary maps plus the
-  // count map, and one handler per (relation, insert/delete).
-  EXPECT_NE(src.find("void on_insert_R(int64_t"), std::string::npos);
-  EXPECT_NE(src.find("void on_delete_T(int64_t"), std::string::npos);
+  // count map, and one sign-parameterized handler per relation (the insert
+  // and delete bodies of the paper unified over the event multiplicity).
+  EXPECT_NE(src.find("void on_R(int64_t"), std::string::npos);
+  EXPECT_NE(src.find("void on_T(int64_t"), std::string::npos);
+  EXPECT_EQ(src.find("void on_insert_"), std::string::npos);
+  EXPECT_EQ(src.find("void on_delete_"), std::string::npos);
+  EXPECT_NE(src.find(", const int64_t sign)"), std::string::npos);
   EXPECT_NE(src.find("dbt::Map<std::tuple<int64_t, int64_t>, int64_t> m5_"),
             std::string::npos);
   // Inlined straight-line code: the q update is a single map lookup.

@@ -8,12 +8,19 @@
 // dbt::kShardBatchCutoff so both the sequential and the sharded ApplyBatch
 // paths are exercised.
 //
-// Engines that reject a query (ivm1 on LEFT JOIN, for example) are skipped
-// for that query; at least two engines must remain so every case is a real
-// differential.
+// For bench queries the generated program runs twice: once through the
+// native columnar batch path and once through the per-event row shim
+// (toaster-c-row), and the two views must match byte for byte — same code,
+// same arrival order, so not even float tolerance applies.
+//
+// Engines that reject a query (ivm1 on LEFT JOIN, for example) are excluded
+// for that query — but only with an explicit kNotSupported status, logged
+// per case; any other rejection is a test failure. Enough engines must
+// remain that every case is still a real differential.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -130,6 +137,23 @@ void ExpectSameView(const exec::QueryResult& want,
   }
 }
 
+/// Exact comparison for the row-shim vs columnar replay of the *same*
+/// generated program: both process the same events in the same order with
+/// the same code, so the views must match without any float tolerance.
+void ExpectIdenticalView(const exec::QueryResult& want,
+                         const exec::QueryResult& got,
+                         const std::string& label) {
+  auto ws = want.SortedRows();
+  auto gs = got.SortedRows();
+  ASSERT_EQ(ws.size(), gs.size())
+      << label << "\nwant:\n" << want.ToString() << "got:\n" << got.ToString();
+  for (size_t i = 0; i < ws.size(); ++i) {
+    ASSERT_TRUE(ws[i].first == gs[i].first && ws[i].second == gs[i].second)
+        << label << " row " << i << " differs\nwant:\n" << want.ToString()
+        << "got:\n" << got.ToString();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The harness: build the engine lineup for (catalog, sql), replay a seeded
 // stream in batches, compare views after every batch.
@@ -162,12 +186,26 @@ void RunDifferential(const Catalog& catalog, const std::string& sql,
     ASSERT_TRUE(e->AddQuery("q", sql).ok()) << label << ": reeval rejected";
     engines.push_back({"reeval", std::move(e), "q", nullptr});
   }
+  bool ivm1_excluded = false;
   {
     auto e = std::make_unique<baseline::Ivm1Engine>(catalog);
-    if (e->AddQuery("q", sql).ok()) {
+    Status st = e->AddQuery("q", sql);
+    if (st.ok()) {
       engines.push_back({"ivm1", std::move(e), "q", nullptr});
+    } else {
+      // Only "outside the first-order fragment" is a legitimate reason to
+      // drop an engine from the lineup; anything else (parse error, binder
+      // bug) must fail loudly instead of silently shrinking the cross-check.
+      ASSERT_EQ(st.code(), StatusCode::kNotSupported)
+          << label << ": ivm1 rejected for an unexpected reason: "
+          << st.ToString();
+      ivm1_excluded = true;
+      std::printf("[differential] %s: ivm1 excluded (%s)\n", label.c_str(),
+                  st.ToString().c_str());
     }
   }
+  // Index of the columnar toaster-c engine, when a generated program runs.
+  size_t columnar_at = 0, row_shim_at = 0;
   if (!generated_name.empty()) {
     std::unique_ptr<dbt::StreamProgram> program =
         MakeGenerated(generated_name);
@@ -177,9 +215,31 @@ void RunDifferential(const Catalog& catalog, const std::string& sql,
     e.engine = std::make_unique<runtime::CompiledProgramEngine>(program.get());
     e.view = "q0";  // dbtc scripts auto-name their first query q0
     e.program = std::move(program);
+    columnar_at = engines.size();
     engines.push_back(std::move(e));
+
+    // The same generated program again, but every batch crosses the
+    // boundary through the per-event row shim instead of the columnar
+    // fast path. Identical code and arrival order, so the two views must
+    // agree exactly (see ExpectIdenticalView below).
+    std::unique_ptr<dbt::StreamProgram> row_program =
+        MakeGenerated(generated_name);
+    EngineUnderTest r;
+    r.name = "toaster-c-row";
+    r.engine = std::make_unique<runtime::CompiledProgramEngine>(
+        row_program.get(), "toaster-c-row",
+        runtime::CompiledProgramEngine::BatchPath::kRow);
+    r.view = "q0";
+    r.program = std::move(row_program);
+    row_shim_at = engines.size();
+    engines.push_back(std::move(r));
   }
-  ASSERT_GE(engines.size(), 2u) << label;
+  // Even with ivm1 out, every bench case still cross-checks four ways
+  // (toaster-i, reeval, toaster-c, toaster-c-row) and every micro case at
+  // least two (toaster-i vs reeval).
+  const size_t min_engines = generated_name.empty() ? 2u : 4u;
+  ASSERT_GE(engines.size(), min_engines)
+      << label << (ivm1_excluded ? " (ivm1 excluded)" : "");
 
   // Seeded stream: random inserts plus deletions of live tuples. Batch
   // sizes cycle through values straddling dbt::kShardBatchCutoff (64).
@@ -232,11 +292,20 @@ void RunDifferential(const Catalog& catalog, const std::string& sql,
                          engines[e].name + " after batch " +
                          std::to_string(b));
     }
+
+    if (!generated_name.empty()) {
+      auto cv = engines[columnar_at].engine->View("q0");
+      auto rv = engines[row_shim_at].engine->View("q0");
+      ASSERT_TRUE(cv.ok() && rv.ok()) << label;
+      ExpectIdenticalView(cv.value(), rv.value(),
+                          label + ": toaster-c columnar vs row shim after "
+                          "batch " + std::to_string(b));
+    }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Every checked-in bench query, four engines where applicable.
+// Every checked-in bench query, five engines where applicable.
 // ---------------------------------------------------------------------------
 struct ScriptCase {
   std::string name;
@@ -264,7 +333,7 @@ ScriptCase LoadScript(const std::string& name) {
 
 class BenchQueryDifferential : public ::testing::TestWithParam<const char*> {};
 
-TEST_P(BenchQueryDifferential, FourEnginesAgreeOnSeededStreams) {
+TEST_P(BenchQueryDifferential, AllEnginesAgreeOnSeededStreams) {
   ScriptCase sc = LoadScript(GetParam());
   RunDifferential(sc.catalog, sc.sql, sc.name, /*seed=*/0xd1f * 31 + 7,
                   /*generated_name=*/sc.name);
@@ -274,6 +343,18 @@ INSTANTIATE_TEST_SUITE_P(AllBenchQueries, BenchQueryDifferential,
                          ::testing::Values("vwap", "sobi_bids", "mm",
                                            "best_bid", "q41", "revenue",
                                            "q3s", "q6s", "q12s", "q13s"));
+
+// ivm1's first-order rewrite cannot express LEFT JOIN, so its exclusion on
+// q13s must be a clean kNotSupported — never a crash or a stray error code
+// that RunDifferential would (rightly) turn into a hard failure.
+TEST(EngineLineup, Ivm1ExcludedOnLeftJoinWithNotSupported) {
+  ScriptCase sc = LoadScript("q13s");
+  baseline::Ivm1Engine e(sc.catalog);
+  Status st = e.AddQuery("q", sc.sql);
+  ASSERT_FALSE(st.ok()) << "ivm1 unexpectedly supports LEFT JOIN now; "
+                           "update the lineup assertions in RunDifferential";
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported) << st.ToString();
+}
 
 // ---------------------------------------------------------------------------
 // New-construct micro-queries (interpreted engines; no checked-in header).

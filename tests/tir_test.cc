@@ -1,0 +1,177 @@
+// Typed trigger IR tests: sign unification semantics, the masked fallback
+// for non-symmetric statement pairs, batch analysis carried on the IR, and
+// golden-file checks pinning the stable `dbtc --emit-ir` text for two bench
+// queries (vwap: hybrid re-evaluation + init-on-access map; best_bid:
+// runtime-signed extreme).
+#include "src/compiler/tir.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/catalog/catalog.h"
+#include "src/compiler/compile.h"
+#include "src/ring/expr.h"
+#include "src/sql/parser.h"
+
+#ifndef DBT_QUERY_DIR
+#define DBT_QUERY_DIR "bench/queries"
+#endif
+#ifndef DBT_GOLDEN_DIR
+#define DBT_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dbtoaster {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Compile a dbtc-style script (CREATE TABLEs + SELECTs) like the driver.
+compiler::Program CompileScript(const std::string& text) {
+  auto script = sql::ParseScript(text);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  Catalog catalog;
+  for (const auto& t : script.value().tables) {
+    EXPECT_TRUE(catalog.AddRelation(t).ok());
+  }
+  compiler::Compiler c(catalog);
+  size_t qi = 0;
+  for (const auto& q : script.value().queries) {
+    std::string name = q.name.empty() ? "q" + std::to_string(qi) : q.name;
+    EXPECT_TRUE(c.AddQuery(name, *q.select).ok());
+    ++qi;
+  }
+  auto program = c.Compile();
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+compiler::Program CompileSingle(const std::string& schema,
+                                const std::string& query) {
+  return CompileScript(schema + "\n" + query + ";\n");
+}
+
+TEST(TirLower, UnifiesInsertAndDeleteIntoOneSignedTrigger) {
+  compiler::Program p = CompileSingle(
+      "create table R(A int, B int);",
+      "select B, sum(A) from R group by B");
+  tir::Module m = tir::Lower(p);
+  ASSERT_EQ(m.triggers.size(), 1u);
+  const tir::Trigger& t = m.triggers[0];
+  EXPECT_EQ(t.relation, "R");
+  EXPECT_TRUE(t.has_insert);
+  EXPECT_TRUE(t.has_delete);
+  ASSERT_EQ(t.params.size(), 2u);
+  EXPECT_EQ(t.params[0].name, "a");
+  EXPECT_EQ(t.params[0].type, Type::kInt);
+  // Every statement unified: executes for both signs, RHS reads kSignVar.
+  ASSERT_FALSE(t.stmts.empty());
+  for (const tir::Stmt& s : t.stmts) {
+    EXPECT_EQ(s.when, tir::Stmt::When::kBoth) << s.rendering;
+    EXPECT_TRUE(s.sign_dependent) << s.rendering;
+    EXPECT_TRUE(s.var_types.count(tir::kSignVar)) << s.rendering;
+  }
+  EXPECT_EQ(m.FindTrigger("R"), &t);
+  EXPECT_EQ(m.FindTrigger("NOPE"), nullptr);
+}
+
+TEST(TirLower, TypesParametersFromCatalog) {
+  compiler::Program p = CompileSingle(
+      "create table S(NAME varchar, PRICE double, DAY date);",
+      "select sum(PRICE) from S");
+  tir::Module m = tir::Lower(p);
+  ASSERT_EQ(m.triggers.size(), 1u);
+  const tir::Trigger& t = m.triggers[0];
+  ASSERT_EQ(t.params.size(), 3u);
+  EXPECT_EQ(t.params[0].type, Type::kString);
+  EXPECT_EQ(t.params[1].type, Type::kDouble);
+  EXPECT_EQ(t.params[2].type, Type::kDate);
+  for (const tir::Stmt& s : t.stmts) {
+    auto it = s.var_types.find(t.params[1].name);
+    ASSERT_NE(it, s.var_types.end());
+    EXPECT_EQ(it->second, Type::kDouble);
+  }
+}
+
+TEST(TirLower, ExtremeStatementsCarryRuntimeSign) {
+  compiler::Program p = CompileSingle("create table R(A int);",
+                                      "select max(A) from R");
+  tir::Module m = tir::Lower(p);
+  ASSERT_EQ(m.triggers.size(), 1u);
+  bool saw_extreme = false;
+  for (const tir::Stmt& s : m.triggers[0].stmts) {
+    if (s.stmt.kind != compiler::Statement::Kind::kExtreme) continue;
+    saw_extreme = true;
+    EXPECT_EQ(s.when, tir::Stmt::When::kBoth);
+    EXPECT_TRUE(s.extreme_runtime_sign);
+  }
+  EXPECT_TRUE(saw_extreme);
+}
+
+TEST(TirLower, BatchAnalysisMatchesTriggerShape) {
+  // mm-style two-stream join: fully parameter-bound point accesses.
+  compiler::Program p = CompileSingle(
+      "create table R(A int, B int); create table S(B int, C int);",
+      "select sum(R.A * S.C) from R, S where R.B = S.B");
+  tir::Module m = tir::Lower(p);
+  for (const tir::Trigger& t : m.triggers) {
+    EXPECT_TRUE(t.vectorizable) << t.signature;
+    EXPECT_TRUE(t.parallel_safe) << t.signature;
+  }
+}
+
+TEST(TirLower, OrderProductFactorsIsDeterministic) {
+  compiler::Program p = CompileSingle(
+      "create table R(A int, B int); create table S(B int, C int);",
+      "select sum(R.A * S.C) from R, S where R.B = S.B");
+  for (const compiler::Trigger& t : p.triggers) {
+    std::set<std::string> bound(t.params.begin(), t.params.end());
+    bound.insert(tir::kSignVar);
+    for (const compiler::Statement& st : t.statements) {
+      if (st.rhs == nullptr || st.rhs->kind != ring::ExprKind::kProd) {
+        continue;
+      }
+      auto a = tir::OrderProductFactors(st.rhs->children, bound);
+      auto b = tir::OrderProductFactors(st.rhs->children, bound);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(ring::ExprEquals(*a[i], *b[i]));
+      }
+    }
+  }
+}
+
+// ---- golden files: the stable `dbtc --emit-ir` dump --------------------
+
+class TirGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TirGolden, EmitIrTextMatchesGolden) {
+  const std::string name = GetParam();
+  compiler::Program p =
+      CompileScript(ReadFile(std::string(DBT_QUERY_DIR) + "/" + name +
+                             ".sql"));
+  tir::Module m = tir::Lower(p);
+  const std::string want =
+      ReadFile(std::string(DBT_GOLDEN_DIR) + "/" + name + ".ir");
+  EXPECT_EQ(m.ToText(), want)
+      << "IR drift for " << name
+      << "; if intentional, regenerate with: dbtc bench/queries/" << name
+      << ".sql --emit-ir -o tests/golden/" << name << ".ir";
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchQueries, TirGolden,
+                         ::testing::Values("vwap", "best_bid"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace dbtoaster

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Generated-header size gate for the ten checked-in bench queries.
+#
+# Counts the lines of every dbtc-generated header under
+# <build>/generated/bench/gen/, writes the per-query breakdown to
+# <build>/BENCH_gen_loc.json, and fails unless the total stays at least
+# 30% below the pre-typed-IR seed (11384 lines, when each relation carried
+# separate on_insert_/on_delete_ handler clones). The sign-parameterized
+# trigger bodies are what pay for this — a regression here means the
+# unification in src/compiler/tir.cc stopped firing for some query.
+#
+# Usage: tools/check_gen_loc.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+GEN_DIR="$BUILD_DIR/generated/bench/gen"
+OUT="$BUILD_DIR/BENCH_gen_loc.json"
+
+SEED_LOC=11384
+# floor(seed * 0.70): the acceptance threshold for the drop.
+MAX_LOC=7968
+
+QUERIES="vwap sobi_bids mm best_bid q41 revenue q3s q6s q12s q13s"
+
+total=0
+entries=""
+for q in $QUERIES; do
+  hpp="$GEN_DIR/$q.hpp"
+  if [ ! -f "$hpp" ]; then
+    echo "check_gen_loc: missing $hpp (build the dbtc_gen target first)" >&2
+    exit 1
+  fi
+  loc=$(wc -l < "$hpp")
+  total=$((total + loc))
+  [ -n "$entries" ] && entries="$entries, "
+  entries="$entries\"$q\": $loc"
+done
+
+status=ok
+[ "$total" -gt "$MAX_LOC" ] && status=fail
+
+cat > "$OUT" <<EOF
+{
+  "bench": "gen_loc",
+  "unit": "lines",
+  "queries": { $entries },
+  "total": $total,
+  "seed_total": $SEED_LOC,
+  "max_total": $MAX_LOC,
+  "reduction_vs_seed": $(awk "BEGIN { printf \"%.3f\", 1 - $total / $SEED_LOC }"),
+  "status": "$status"
+}
+EOF
+
+echo "generated-header LoC: $total (seed $SEED_LOC, gate <= $MAX_LOC) -> $OUT"
+if [ "$status" = fail ]; then
+  echo "check_gen_loc: FAIL — total $total exceeds $MAX_LOC (needs a >=30% drop vs seed)" >&2
+  exit 1
+fi
