@@ -137,7 +137,7 @@ void RunKernels(int64_t domain, size_t total_ops) {
       for (const Key& k : keys) a.Insert(k, std::get<0>(k) + 1);
       sink += a.Size();
     }
-    g_sink += sink;
+    g_sink = g_sink + sink;
     Report(Adapter::kName, "insert", domain,
            rounds * static_cast<size_t>(domain), NowSeconds() - t0);
   }
@@ -160,7 +160,7 @@ void RunKernels(int64_t domain, size_t total_ops) {
       if (v != nullptr) sink += static_cast<uint64_t>(*v);
     }
     double dt = NowSeconds() - t0;
-    g_sink += sink;
+    g_sink = g_sink + sink;
     Report(Adapter::kName, hit ? "hit-lookup" : "miss-lookup", domain,
            total_ops, dt);
   }
@@ -179,7 +179,7 @@ void RunKernels(int64_t domain, size_t total_ops) {
       filled.AddEraseOnZero(k, -1);
     }
     double dt = NowSeconds() - t0;
-    g_sink += filled.Size();
+    g_sink = g_sink + filled.Size();
     Report(Adapter::kName, "add-to-zero-erase", domain,
            (total_ops / 2) * 2, dt);
   }
@@ -200,7 +200,7 @@ void RunValueMapKernels(int64_t domain, size_t total_ops) {
       }
       sink += m.size();
     }
-    g_sink += sink;
+    g_sink = g_sink + sink;
     Report("runtime::ValueMap", "insert", domain,
            rounds * static_cast<size_t>(domain), NowSeconds() - t0);
   }
@@ -214,7 +214,7 @@ void RunValueMapKernels(int64_t domain, size_t total_ops) {
           m.Get({Value(rng.Range(0, domain - 1))}).AsInt());
     }
     double dt = NowSeconds() - t0;
-    g_sink += sink;
+    g_sink = g_sink + sink;
     Report("runtime::ValueMap", "hit-lookup", domain, total_ops, dt);
   }
 }

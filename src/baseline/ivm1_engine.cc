@@ -71,7 +71,7 @@ Status Ivm1Engine::AddQuery(const std::string& name, const std::string& sql) {
 }
 
 Status Ivm1Engine::CompileDeltas(RegisteredQuery* rq, size_t slot,
-                                 const std::vector<std::string>& group_vars,
+                                 const std::vector<std::string>& /*group_vars*/,
                                  const ExprPtr& defn) {
   std::set<std::string> rels;
   defn->CollectRels(&rels);
@@ -276,7 +276,7 @@ size_t Ivm1Engine::StateBytes() const {
 }
 
 Result<Value> Ivm1Engine::ReadMap(const std::string& map, const Row& key,
-                                  bool store_init) {
+                                  bool /*store_init*/) {
   // Result maps are readable by name (used by View's term evaluation).
   for (auto& [name, rq] : queries_) {
     for (auto& m : rq.result_maps) {

@@ -8,6 +8,7 @@
 
 #include "src/common/str.h"
 #include "src/compiler/tir.h"
+#include "src/compiler/tir_verify.h"
 #include "src/ring/expr.h"
 
 namespace dbtoaster::codegen {
@@ -365,8 +366,8 @@ class Generator {
                                   slot.c_str(), dup_of[i], fk.c_str()));
             } else {
               std::string name = Fresh("v");
-              Line(out, StrFormat("const auto %s = %s;", name.c_str(),
-                                  slot.c_str()));
+              Line(out, StrFormat("[[maybe_unused]] const auto %s = %s;",
+                                  name.c_str(), slot.c_str()));
               env2.vars[f->args[i]] = name;
             }
           }
@@ -394,8 +395,8 @@ class Generator {
                                 slot.c_str(), dup_of[i], kv.c_str()));
           } else {
             std::string name = Fresh("v");
-            Line(out, StrFormat("const auto %s = %s;", name.c_str(),
-                                slot.c_str()));
+            Line(out, StrFormat("[[maybe_unused]] const auto %s = %s;",
+                                name.c_str(), slot.c_str()));
             env2.vars[f->args[i]] = name;
           }
         }
@@ -417,7 +418,7 @@ class Generator {
         }
         std::string acc = Fresh("acc");
         Line(out, StrFormat("double %s = 0;", acc.c_str()));
-        Sink inner = [&](const Env& e2, const std::string& value) -> Status {
+        Sink inner = [&](const Env& /*e2*/, const std::string& value) -> Status {
           Line(out, StrFormat("%s += static_cast<double>(%s);", acc.c_str(),
                               value.c_str()));
           return Status::OK();
@@ -430,7 +431,7 @@ class Generator {
         // 0/1 indicator sums (OR): accumulate into a scalar, then continue.
         std::string acc = Fresh("ind");
         Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
-        Sink inner = [&](const Env& e2, const std::string& value) -> Status {
+        Sink inner = [&](const Env& /*e2*/, const std::string& value) -> Status {
           Line(out, StrFormat("%s += (%s);", acc.c_str(), value.c_str()));
           return Status::OK();
         };
@@ -499,7 +500,8 @@ class Generator {
       for (size_t i = 0; i < stmt.lhs_iterate.size(); ++i) {
         size_t pos = stmt.lhs_iterate[i];
         std::string name = Fresh("v");
-        Line(out, StrFormat("const auto %s = std::get<%zu>(%s.first);",
+        Line(out, StrFormat("[[maybe_unused]] const auto %s = "
+                            "std::get<%zu>(%s.first);",
                             name.c_str(), pos, lk.c_str()));
         env2.vars[stmt.target_keys[pos]] = name;
       }
@@ -863,7 +865,7 @@ Status Generator::EmitInitFunctions(std::string* out) {
                         m.name.c_str(), Join(params, ", ").c_str()));
     ++indent_;
     Line(out, StrFormat("%s acc{};", CppType(m.value_type)));
-    Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+    Sink sink = [&](const Env& /*e2*/, const std::string& value) -> Status {
       Line(out, StrFormat("acc += static_cast<%s>(%s);",
                           CppType(m.value_type), value.c_str()));
       return Status::OK();
@@ -968,7 +970,7 @@ Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
     if (stmt.extreme_guard != nullptr) {
       std::string acc = Fresh("g");
       Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
-      Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+      Sink sink = [&](const Env& /*e2*/, const std::string& value) -> Status {
         Line(out, StrFormat("%s += (%s);", acc.c_str(), value.c_str()));
         return Status::OK();
       };
@@ -1019,7 +1021,7 @@ Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
     Line(out, StrFormat("%s %s{};", CppType(decl->value_type), acc.c_str()));
     Env renv;  // empty: reeval depends only on state
     renv.store_flag = "true";
-    Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+    Sink sink = [&](const Env& /*e2*/, const std::string& value) -> Status {
       Line(out, StrFormat("%s += static_cast<%s>(%s);", acc.c_str(),
                           CppType(decl->value_type), value.c_str()));
       return Status::OK();
@@ -1080,7 +1082,7 @@ Status Generator::EmitViews(std::string* out) {
       if (view.having == nullptr) return std::string();
       std::string acc = Fresh("hv");
       Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
-      Sink sink = [&](const Env& e2, const std::string& value) -> Status {
+      Sink sink = [&](const Env& /*e2*/, const std::string& value) -> Status {
         // The guard is a 0/1 indicator polynomial (OR contributes negative
         // correction terms), so contributions sum — they do not saturate.
         Line(out, StrFormat("%s += static_cast<int64_t>(%s);", acc.c_str(),
@@ -1121,7 +1123,8 @@ Status Generator::EmitViews(std::string* out) {
       env.store_flag = "true";
       for (size_t i = 0; i < view.key_vars.size(); ++i) {
         std::string name = Fresh("k");
-        Line(out, StrFormat("const auto %s = std::get<%zu>(dk.first);",
+        Line(out, StrFormat("[[maybe_unused]] const auto %s = "
+                            "std::get<%zu>(dk.first);",
                             name.c_str(), i));
         env.vars[view.key_vars[i]] = name;
       }
@@ -1524,6 +1527,12 @@ Result<std::string> Generator::Run() {
 
 Result<std::string> GenerateCpp(const Program& program,
                                 const GenOptions& options) {
+  // Refuse to emit code for a module that fails static verification: a bad
+  // sign mask or stale arity must die here, not in the generated C++.
+  {
+    Status verified = tir::VerifyOrError(tir::Lower(program), "cpp_gen");
+    if (!verified.ok()) return verified;
+  }
   Generator gen(program, options);
   return gen.Run();
 }

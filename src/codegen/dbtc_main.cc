@@ -2,7 +2,7 @@
 //
 // Usage:
 //   dbtc <script.sql> [-o out.hpp] [--name ClassName] [--trace] [--program]
-//        [--emit-ir]
+//        [--emit-ir] [--verify[=strict]]
 //   dbtc --version
 //
 // The script contains CREATE TABLE statements followed by one or more
@@ -12,8 +12,13 @@
 // --emit-ir prints the typed trigger IR (the sign-unified mid-layer both
 // backends consume) in its stable text form and emits no C++.
 //
-// Exit codes: 0 success, 1 input/compile error (diagnostics carry
-// line:column positions), 2 usage error.
+// Every lowered module is verified (tir::Verify) before any C++ is emitted;
+// verifier errors are reported like parse errors and exit non-zero.
+// --verify runs the checks standalone (no C++ output), printing warnings
+// too; --verify=strict additionally promotes warnings to errors.
+//
+// Exit codes: 0 success, 1 input/compile/verification error (diagnostics
+// carry line:column or relation:stmt positions), 2 usage error.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,6 +29,7 @@
 #include "src/codegen/cpp_gen.h"
 #include "src/compiler/compile.h"
 #include "src/compiler/tir.h"
+#include "src/compiler/tir_verify.h"
 #include "src/sql/parser.h"
 
 namespace {
@@ -33,7 +39,7 @@ constexpr const char kVersion[] = "0.2.0";
 int Usage() {
   std::fprintf(stderr,
                "usage: dbtc <script.sql> [-o out.hpp] [--name ClassName] "
-               "[--trace] [--program] [--emit-ir]\n"
+               "[--trace] [--program] [--emit-ir] [--verify[=strict]]\n"
                "       dbtc --version\n");
   return 2;
 }
@@ -52,11 +58,15 @@ int main(int argc, char** argv) {
 
   std::string input, output, class_name = "Program";
   bool show_trace = false, show_program = false, emit_ir = false;
+  bool verify_only = false, verify_strict = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--version") {
       std::printf("dbtc %s\n", kVersion);
       return 0;
+    } else if (arg == "--verify" || arg == "--verify=strict") {
+      verify_only = true;
+      verify_strict = arg == "--verify=strict";
     } else if (arg == "-o" || arg == "--name") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "dbtc: option '%s' requires an argument\n",
@@ -125,8 +135,32 @@ int main(int argc, char** argv) {
   if (show_program) {
     std::printf("%s\n", program.value().ToString().c_str());
   }
+
+  // Every lowered module passes the static verifier before any backend may
+  // consume it; --verify runs the same checks standalone and prints
+  // warnings too.
+  tir::Module module = tir::Lower(program.value());
+  tir::VerifyResult verdict = tir::Verify(module);
+  if (verify_only) {
+    const std::string all = verdict.ToString(input);
+    if (!all.empty()) std::fprintf(stderr, "%s", all.c_str());
+    const bool ok = verdict.ok(verify_strict);
+    std::printf("dbtc: %s: verification %s (%zu error%s, %zu warning%s)\n",
+                input.c_str(), ok ? "passed" : "FAILED", verdict.num_errors,
+                verdict.num_errors == 1 ? "" : "s", verdict.num_warnings,
+                verdict.num_warnings == 1 ? "" : "s");
+    return ok ? 0 : 1;
+  }
+  if (!verdict.ok()) {
+    for (const auto& d : verdict.diagnostics) {
+      if (d.severity != tir::Diagnostic::Severity::kError) continue;
+      std::fprintf(stderr, "dbtc: %s: %s\n", input.c_str(),
+                   d.ToString().c_str());
+    }
+    return 1;
+  }
+
   if (emit_ir) {
-    tir::Module module = tir::Lower(program.value());
     const std::string text = module.ToText();
     if (output.empty()) {
       std::printf("%s", text.c_str());

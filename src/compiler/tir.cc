@@ -193,11 +193,6 @@ bool ReferencesSign(const ExprPtr& e) {
   return e->AllVars().count(kSignVar) > 0;
 }
 
-bool ReferencesSign(const TermPtr& t) {
-  if (t == nullptr) return false;
-  return t->Vars().count(kSignVar) > 0;
-}
-
 /// Same statement shell (kind, target, keys, iteration)?
 bool SameShape(const Statement& a, const Statement& b) {
   return a.kind == b.kind && a.target == b.target &&
@@ -317,16 +312,16 @@ ring::VarTypes TypeStatement(const Stmt& s, const Program& p,
   return types;
 }
 
+}  // namespace
+
 // ---- batch analysis ------------------------------------------------------
 // Ported from runtime::Engine::BuildTriggerInfo so every backend shares one
-// vectorization/sharding verdict per unified trigger.
+// vectorization/sharding verdict per unified trigger. Exported (tir.h) so
+// the verifier re-derives the same verdict independently of the flags a
+// module carries.
 
-struct DefReads {
-  std::map<std::string, std::set<std::string>> rels, maps;
-};
-
-DefReads TransitiveDefReads(const Program& p) {
-  DefReads out;
+DefReadSets ComputeDefReads(const Program& p) {
+  DefReadSets out;
   for (const MapDecl& m : p.maps) {
     auto& rels = out.rels[m.name];
     auto& maps = out.maps[m.name];
@@ -358,8 +353,7 @@ DefReads TransitiveDefReads(const Program& p) {
   return out;
 }
 
-/// Everything `e` may read, including through init-on-access cascades.
-void ExpandReads(const ExprPtr& e, const DefReads& def,
+void ExpandReads(const ExprPtr& e, const DefReadSets& def,
                  std::set<std::string>* rels, std::set<std::string>* maps) {
   if (e == nullptr) return;
   e->CollectRels(rels);
@@ -378,8 +372,28 @@ void ExpandReads(const ExprPtr& e, const DefReads& def,
   }
 }
 
-void AnalyzeTrigger(Trigger* t, const Program& p, const DefReads& def,
-                    const std::set<std::string>& read_anywhere) {
+std::set<std::string> MapsReadAnywhere(const Program& p,
+                                       const DefReadSets& def) {
+  std::set<std::string> read_anywhere;
+  for (const auto& [name, maps] : def.maps) {
+    read_anywhere.insert(maps.begin(), maps.end());
+  }
+  for (const compiler::Trigger& t : p.triggers) {
+    for (const Statement& st : t.statements) {
+      if (st.rhs != nullptr) st.rhs->CollectMapRefs(&read_anywhere);
+      if (st.extreme_guard != nullptr) {
+        st.extreme_guard->CollectMapRefs(&read_anywhere);
+      }
+      if (st.extreme_value != nullptr) {
+        st.extreme_value->CollectMapReads(&read_anywhere);
+      }
+    }
+  }
+  return read_anywhere;
+}
+
+void AnalyzeTriggerBatch(Trigger* t, const Program& p, const DefReadSets& def,
+                         const std::set<std::string>& read_anywhere) {
   std::set<std::string> delta_targets;
   for (const Stmt& s : t->stmts) {
     if (s.stmt.kind == Statement::Kind::kDelta) {
@@ -467,6 +481,8 @@ void AnalyzeTrigger(Trigger* t, const Program& p, const DefReads& def,
 }
 
 // ---- plan text -----------------------------------------------------------
+
+namespace {
 
 std::string AtomPattern(const ExprPtr& f, const std::set<std::string>& bound) {
   std::vector<std::string> parts;
@@ -669,22 +685,8 @@ Module Lower(const Program& program) {
     }
   }
 
-  const DefReads def = TransitiveDefReads(program);
-  std::set<std::string> read_anywhere;
-  for (const auto& [name, maps] : def.maps) {
-    read_anywhere.insert(maps.begin(), maps.end());
-  }
-  for (const compiler::Trigger& t : program.triggers) {
-    for (const Statement& st : t.statements) {
-      if (st.rhs != nullptr) st.rhs->CollectMapRefs(&read_anywhere);
-      if (st.extreme_guard != nullptr) {
-        st.extreme_guard->CollectMapRefs(&read_anywhere);
-      }
-      if (st.extreme_value != nullptr) {
-        st.extreme_value->CollectMapReads(&read_anywhere);
-      }
-    }
-  }
+  const DefReadSets def = ComputeDefReads(program);
+  const std::set<std::string> read_anywhere = MapsReadAnywhere(program, def);
 
   for (const std::string& rel : rels) {
     const compiler::Trigger* ins =
@@ -748,7 +750,7 @@ Module Lower(const Program& program) {
       s.rendering = s.stmt.ToString();
       s.var_types = TypeStatement(s, program, rel_types, param_types);
     }
-    AnalyzeTrigger(&t, program, def, read_anywhere);
+    AnalyzeTriggerBatch(&t, program, def, read_anywhere);
     m.triggers.push_back(std::move(t));
   }
   return m;

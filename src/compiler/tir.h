@@ -22,6 +22,7 @@
 #ifndef DBTOASTER_COMPILER_TIR_H_
 #define DBTOASTER_COMPILER_TIR_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -123,6 +124,33 @@ struct Module {
 /// that fail sign unification are kept as masked per-op statements, so the
 /// result always executes identically to the input program.
 Module Lower(const compiler::Program& program);
+
+/// Transitive read sets of map initializer definitions: map name -> the
+/// relations and maps reachable when an init-on-access read evaluates that
+/// map's definition (closed under map-to-map cascades). Shared between the
+/// batch analysis in Lower and the verifier's independent re-derivation.
+struct DefReadSets {
+  std::map<std::string, std::set<std::string>> rels, maps;
+};
+DefReadSets ComputeDefReads(const compiler::Program& program);
+
+/// Everything `e` may read, including through init-on-access cascades.
+void ExpandReads(const ring::ExprPtr& e, const DefReadSets& def,
+                 std::set<std::string>* rels, std::set<std::string>* maps);
+
+/// Maps whose value is read anywhere in the program: by another map's
+/// initializer definition, by any statement RHS, or by an extreme
+/// statement's guard or value.
+std::set<std::string> MapsReadAnywhere(const compiler::Program& program,
+                                       const DefReadSets& def);
+
+/// Derive the batch-analysis verdict for `t` from its statements alone:
+/// vectorizable, parallel_safe, partition_cols, and per-statement
+/// reeval_deferrable. Lower calls this once per trigger; the verifier calls
+/// it again on a scrubbed copy to re-prove the flags a module claims.
+void AnalyzeTriggerBatch(Trigger* t, const compiler::Program& program,
+                         const DefReadSets& def,
+                         const std::set<std::string>& read_anywhere);
 
 /// Greedy join order for a product's factors given already-bound variables:
 /// fully-bound factors first (cheap guards/probes), then lifts, then atoms

@@ -1,0 +1,953 @@
+#include "src/compiler/tir_verify.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/common/str.h"
+
+namespace dbtoaster::tir {
+
+using compiler::MapDecl;
+using compiler::Program;
+using compiler::Statement;
+using compiler::ViewColumn;
+using compiler::ViewSpec;
+using ring::ExprPtr;
+using ring::Term;
+using ring::TermPtr;
+
+namespace {
+
+constexpr const char* kCheckDefUse = "def-use";
+constexpr const char* kCheckType = "type";
+constexpr const char* kCheckSign = "sign";
+constexpr const char* kCheckSignMask = "sign-mask";
+constexpr const char* kCheckShard = "shard";
+constexpr const char* kCheckLiveness = "liveness";
+
+/// Key lanes: int, double and date keys compare and hash consistently with
+/// each other (exact numeric Value::Compare, int-twin hashing), so a
+/// cross-numeric key is representable; strings are their own lane.
+bool SameLane(Type a, Type b) {
+  return (a == Type::kString) == (b == Type::kString);
+}
+
+bool TermRefsSign(const TermPtr& t) {
+  return t != nullptr && t->Vars().count(kSignVar) > 0;
+}
+
+bool ExprRefsSign(const ExprPtr& e) {
+  return e != nullptr && e->AllVars().count(kSignVar) > 0;
+}
+
+/// Best-effort value type of a ring expression under `types`; nullopt when
+/// some sub-term cannot be typed.
+std::optional<Type> ValueTypeOf(const ExprPtr& e, const ring::VarTypes& types) {
+  if (e == nullptr) return std::nullopt;
+  switch (e->kind) {
+    case ring::ExprKind::kConst:
+      if (e->constant.is_string()) return Type::kString;
+      return e->constant.is_double() ? Type::kDouble : Type::kInt;
+    case ring::ExprKind::kValTerm: {
+      auto t = e->term->TypeOf(types);
+      if (!t.ok()) return std::nullopt;
+      return t.value();
+    }
+    case ring::ExprKind::kCmp:
+    case ring::ExprKind::kLift:
+    case ring::ExprKind::kRel:
+      return Type::kInt;  // 0/1 indicators and multiplicities
+    case ring::ExprKind::kMapRef:
+      return std::nullopt;  // resolved against the declaration by the caller
+    case ring::ExprKind::kNeg:
+    case ring::ExprKind::kAggSum:
+      return ValueTypeOf(e->children[0], types);
+    case ring::ExprKind::kSum:
+    case ring::ExprKind::kProd: {
+      Type acc = Type::kInt;
+      for (const ExprPtr& c : e->children) {
+        auto t = ValueTypeOf(c, types);
+        if (!t.has_value() || *t == Type::kString) return std::nullopt;
+        acc = PromoteNumeric(acc, *t);
+      }
+      return acc;
+    }
+  }
+  return std::nullopt;
+}
+
+class Verifier {
+ public:
+  Verifier(const Module& m, const VerifyOptions& opts)
+      : m_(m), opts_(opts) {}
+
+  VerifyResult Run() {
+    if (m_.program == nullptr) {
+      Error(kCheckType, "module carries no owning program");
+      return Finish();
+    }
+    const Program& p = *m_.program;
+    def_ = ComputeDefReads(p);
+    read_anywhere_ = MapsReadAnywhere(p, def_);
+
+    CheckDeclarations();
+    for (const Trigger& t : m_.triggers) {
+      relation_ = t.relation;
+      stmt_ = -1;
+      CheckTriggerShell(t);
+      for (size_t i = 0; i < t.stmts.size(); ++i) {
+        stmt_ = static_cast<int>(i);
+        CheckDefUse(t, t.stmts[i]);
+        CheckTypes(t.stmts[i]);
+        CheckSignFlow(t, t.stmts[i]);
+      }
+      stmt_ = -1;
+      CheckShardPlan(t);
+    }
+    relation_.clear();
+    stmt_ = -1;
+    CheckSignMasks();
+    CheckLiveness();
+    return Finish();
+  }
+
+ private:
+  // -- diagnostics ---------------------------------------------------------
+
+  void Add(Diagnostic::Severity sev, const char* check, std::string msg) {
+    Diagnostic d;
+    d.severity = sev;
+    d.check = check;
+    d.relation = relation_;
+    d.stmt = stmt_;
+    d.message = std::move(msg);
+    result_.diagnostics.push_back(std::move(d));
+  }
+  void Error(const char* check, std::string msg) {
+    Add(Diagnostic::Severity::kError, check, std::move(msg));
+  }
+  void Warn(const char* check, std::string msg) {
+    Add(Diagnostic::Severity::kWarning, check, std::move(msg));
+  }
+
+  VerifyResult Finish() {
+    for (const Diagnostic& d : result_.diagnostics) {
+      if (d.severity == Diagnostic::Severity::kError) {
+        ++result_.num_errors;
+      } else {
+        ++result_.num_warnings;
+      }
+    }
+    return std::move(result_);
+  }
+
+  // -- module-level declarations -------------------------------------------
+
+  void CheckDeclarations() {
+    const Program& p = *m_.program;
+    std::set<std::string> names;
+    for (const MapDecl& d : p.maps) {
+      if (!names.insert(d.name).second) {
+        Error(kCheckType, "duplicate map declaration '" + d.name + "'");
+      }
+      if (d.key_names.size() != d.key_types.size()) {
+        Error(kCheckType,
+              StrFormat("map '%s' declares %zu key names but %zu key types",
+                        d.name.c_str(), d.key_names.size(),
+                        d.key_types.size()));
+      }
+    }
+    for (const ViewSpec& v : p.views) {
+      std::set<std::string> reads;
+      if (!v.domain_map.empty()) reads.insert(v.domain_map);
+      for (const ViewColumn& c : v.columns) {
+        if (c.kind == ViewColumn::Kind::kExtremeRead) {
+          reads.insert(c.extreme_map);
+        } else if (c.value != nullptr) {
+          c.value->CollectMapReads(&reads);
+        }
+      }
+      if (v.having != nullptr) v.having->CollectMapRefs(&reads);
+      for (const std::string& mname : reads) {
+        if (p.FindMap(mname) == nullptr) {
+          Error(kCheckType,
+                "view '" + v.name + "' reads undeclared map '" + mname + "'");
+        }
+      }
+    }
+  }
+
+  void CheckTriggerShell(const Trigger& t) {
+    const Program& p = *m_.program;
+    const Schema* schema = p.catalog.FindRelation(t.relation);
+    if (schema == nullptr) {
+      Error(kCheckType, "trigger on undeclared relation '" + t.relation + "'");
+      return;
+    }
+    if (t.params.size() != schema->num_columns()) {
+      Error(kCheckType,
+            StrFormat("trigger %s has %zu parameters but relation '%s' has "
+                      "%zu columns",
+                      t.signature.c_str(), t.params.size(),
+                      t.relation.c_str(), schema->num_columns()));
+    }
+    std::set<std::string> seen;
+    for (size_t i = 0; i < t.params.size(); ++i) {
+      const Param& pr = t.params[i];
+      if (pr.name == kSignVar) {
+        Error(kCheckDefUse,
+              "trigger parameter shadows the reserved variable __sign");
+      }
+      if (!seen.insert(pr.name).second) {
+        Error(kCheckDefUse,
+              "duplicate trigger parameter '" + pr.name + "'");
+      }
+      if (i < schema->num_columns() &&
+          pr.type != schema->column_type(i)) {
+        Error(kCheckType,
+              StrFormat("parameter '%s' is typed %s but column %zu of '%s' "
+                        "is %s",
+                        pr.name.c_str(), TypeName(pr.type), i,
+                        t.relation.c_str(),
+                        TypeName(schema->column_type(i))));
+      }
+    }
+    if (!t.has_insert && !t.has_delete) {
+      Error(kCheckSignMask, "trigger covers neither insert nor delete events");
+    }
+    for (size_t i = 0; i < t.stmts.size(); ++i) {
+      const Stmt& s = t.stmts[i];
+      if ((s.when == Stmt::When::kInsertOnly && !t.has_insert) ||
+          (s.when == Stmt::When::kDeleteOnly && !t.has_delete)) {
+        stmt_ = static_cast<int>(i);
+        Error(kCheckSignMask,
+              "statement is masked to an event side the trigger does not "
+              "cover");
+        stmt_ = -1;
+      }
+    }
+  }
+
+  // -- check 1: def-before-use ---------------------------------------------
+
+  std::set<std::string> StmtEnv(const Trigger& t, const Stmt& s) const {
+    std::set<std::string> env;
+    for (const Param& pr : t.params) env.insert(pr.name);
+    env.insert(kSignVar);
+    for (size_t pos : s.stmt.lhs_iterate) {
+      if (pos < s.stmt.target_keys.size()) {
+        env.insert(s.stmt.target_keys[pos]);
+      }
+    }
+    return env;
+  }
+
+  void RequireBound(const TermPtr& t, const std::set<std::string>& bound) {
+    if (t == nullptr) return;
+    for (const std::string& v : t->Vars()) {
+      if (!bound.count(v)) {
+        Error(kCheckDefUse,
+              "variable '" + v + "' is read before it is bound (in " +
+                  t->ToString() + ")");
+      }
+    }
+  }
+
+  void CheckFactor(const ExprPtr& f, const std::set<std::string>& bound) {
+    switch (f->kind) {
+      case ring::ExprKind::kConst:
+        return;
+      case ring::ExprKind::kValTerm:
+        RequireBound(f->term, bound);
+        return;
+      case ring::ExprKind::kCmp:
+        RequireBound(f->cmp_lhs, bound);
+        RequireBound(f->cmp_rhs, bound);
+        return;
+      case ring::ExprKind::kLift:
+        if (f->var == kSignVar) {
+          Error(kCheckDefUse,
+                "lift re-binds the reserved variable __sign (single "
+                "assignment violated)");
+        }
+        RequireBound(f->term, bound);
+        return;
+      case ring::ExprKind::kRel:
+      case ring::ExprKind::kMapRef:
+        for (const std::string& a : f->args) {
+          if (a == kSignVar) {
+            Error(kCheckDefUse,
+                  "atom '" + f->name +
+                      "' binds the reserved variable __sign");
+          }
+        }
+        return;
+      case ring::ExprKind::kNeg:
+        WalkPlan(f->children[0], bound);
+        return;
+      case ring::ExprKind::kAggSum: {
+        WalkPlan(f->children[0], bound);
+        std::set<std::string> out = f->children[0]->OutVars();
+        for (const std::string& g : f->group_vars) {
+          if (!out.count(g) && !bound.count(g)) {
+            Error(kCheckDefUse,
+                  "group variable '" + g +
+                      "' is never bound by the aggregate body");
+          }
+        }
+        return;
+      }
+      case ring::ExprKind::kSum:
+      case ring::ExprKind::kProd:
+        WalkPlan(f, bound);
+        return;
+    }
+  }
+
+  /// Walk the statement body in the exact factor order both backends
+  /// execute (OrderProductFactors), proving every read is preceded by a
+  /// binding.
+  void WalkPlan(const ExprPtr& e, std::set<std::string> bound) {
+    switch (e->kind) {
+      case ring::ExprKind::kSum:
+        for (const ExprPtr& c : e->children) WalkPlan(c, bound);
+        return;
+      case ring::ExprKind::kProd:
+        for (const ExprPtr& f : OrderProductFactors(e->children, bound)) {
+          CheckFactor(f, bound);
+          for (const std::string& v : f->OutVars()) bound.insert(v);
+        }
+        return;
+      default:
+        CheckFactor(e, bound);
+        return;
+    }
+  }
+
+  void CheckDefUse(const Trigger& t, const Stmt& s) {
+    const std::set<std::string> env = StmtEnv(t, s);
+    std::set<std::string> producible = env;
+    if (s.stmt.kind == Statement::Kind::kExtreme) {
+      RequireBound(s.stmt.extreme_value, env);
+      if (s.stmt.extreme_guard != nullptr) {
+        WalkPlan(s.stmt.extreme_guard, env);
+        std::set<std::string> out = s.stmt.extreme_guard->OutVars();
+        producible.insert(out.begin(), out.end());
+      }
+    } else if (s.stmt.rhs != nullptr) {
+      WalkPlan(s.stmt.rhs, env);
+      std::set<std::string> out = s.stmt.rhs->OutVars();
+      producible.insert(out.begin(), out.end());
+    }
+    for (const std::string& k : s.stmt.target_keys) {
+      if (k == kSignVar) {
+        Error(kCheckSign, "target key is the reserved variable __sign");
+      } else if (!producible.count(k)) {
+        Error(kCheckDefUse, "target key '" + k + "' is never bound");
+      }
+    }
+    for (size_t pos : s.stmt.lhs_iterate) {
+      if (pos >= s.stmt.target_keys.size()) {
+        Error(kCheckDefUse,
+              StrFormat("LHS iteration position %zu exceeds the %zu target "
+                        "keys",
+                        pos, s.stmt.target_keys.size()));
+      }
+    }
+  }
+
+  // -- check 2: lane/type soundness ----------------------------------------
+
+  void CheckKeyLanes(const std::string& what, const MapDecl& decl,
+                     const std::vector<std::string>& key_vars,
+                     const ring::VarTypes& types) {
+    if (key_vars.size() != decl.key_types.size()) {
+      Error(kCheckType,
+            StrFormat("%s: map '%s' has arity %zu but %zu keys are given",
+                      what.c_str(), decl.name.c_str(),
+                      decl.key_types.size(), key_vars.size()));
+      return;
+    }
+    for (size_t i = 0; i < key_vars.size(); ++i) {
+      auto it = types.find(key_vars[i]);
+      if (it == types.end()) continue;  // untyped variable: nothing to prove
+      if (!SameLane(it->second, decl.key_types[i])) {
+        Error(kCheckType,
+              StrFormat("%s: key %zu ('%s': %s) does not match map '%s' key "
+                        "lane %s",
+                        what.c_str(), i, key_vars[i].c_str(),
+                        TypeName(it->second), decl.name.c_str(),
+                        TypeName(decl.key_types[i])));
+      }
+    }
+  }
+
+  void CheckTermTypes(const TermPtr& t, const ring::VarTypes& types) {
+    if (t == nullptr) return;
+    if (t->kind == Term::Kind::kMapRead) {
+      const MapDecl* decl = m_.program->FindMap(t->map_name);
+      if (decl == nullptr) {
+        Error(kCheckType, "read of undeclared map '" + t->map_name + "'");
+      } else {
+        if (t->args.size() != decl->key_types.size()) {
+          Error(kCheckType,
+                StrFormat("map read %s: map '%s' has arity %zu but %zu keys "
+                          "are given",
+                          t->ToString().c_str(), decl->name.c_str(),
+                          decl->key_types.size(), t->args.size()));
+        } else {
+          for (size_t i = 0; i < t->args.size(); ++i) {
+            auto kt = t->args[i]->TypeOf(types);
+            if (!kt.ok()) continue;
+            if (!SameLane(kt.value(), decl->key_types[i])) {
+              Error(kCheckType,
+                    StrFormat("map read %s: key %zu (%s) does not match map "
+                              "'%s' key lane %s",
+                              t->ToString().c_str(), i,
+                              TypeName(kt.value()), decl->name.c_str(),
+                              TypeName(decl->key_types[i])));
+            }
+          }
+        }
+      }
+      for (const TermPtr& a : t->args) CheckTermTypes(a, types);
+      return;
+    }
+    CheckTermTypes(t->lhs, types);
+    CheckTermTypes(t->rhs, types);
+  }
+
+  void CheckExprTypes(const ExprPtr& e, const ring::VarTypes& types) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ring::ExprKind::kRel: {
+        const Schema* schema = m_.program->catalog.FindRelation(e->name);
+        if (schema == nullptr) {
+          Error(kCheckType,
+                "atom over undeclared relation '" + e->name + "'");
+          break;
+        }
+        if (e->args.size() != schema->num_columns()) {
+          Error(kCheckType,
+                StrFormat("relation atom %s has %zu arguments but '%s' has "
+                          "%zu columns",
+                          e->name.c_str(), e->args.size(), e->name.c_str(),
+                          schema->num_columns()));
+          break;
+        }
+        for (size_t i = 0; i < e->args.size(); ++i) {
+          auto it = types.find(e->args[i]);
+          if (it == types.end()) continue;
+          if (!SameLane(it->second, schema->column_type(i))) {
+            Error(kCheckType,
+                  StrFormat("relation atom %s: argument %zu ('%s': %s) does "
+                            "not match column lane %s",
+                            e->name.c_str(), i, e->args[i].c_str(),
+                            TypeName(it->second),
+                            TypeName(schema->column_type(i))));
+          }
+        }
+        break;
+      }
+      case ring::ExprKind::kMapRef: {
+        const MapDecl* decl = m_.program->FindMap(e->name);
+        if (decl == nullptr) {
+          Error(kCheckType, "atom over undeclared map '" + e->name + "'");
+          break;
+        }
+        CheckKeyLanes("map atom " + e->name, *decl, e->args, types);
+        break;
+      }
+      default:
+        break;
+    }
+    CheckTermTypes(e->term, types);
+    CheckTermTypes(e->cmp_lhs, types);
+    CheckTermTypes(e->cmp_rhs, types);
+    for (const ExprPtr& c : e->children) CheckExprTypes(c, types);
+  }
+
+  void CheckTypes(const Stmt& s) {
+    const Program& p = *m_.program;
+    const MapDecl* decl = p.FindMap(s.stmt.target);
+    if (decl == nullptr) {
+      Error(kCheckType,
+            "statement writes undeclared map '" + s.stmt.target + "'");
+    } else {
+      CheckKeyLanes("write to " + decl->name, *decl, s.stmt.target_keys,
+                    s.var_types);
+      const bool is_extreme_stmt = s.stmt.kind == Statement::Kind::kExtreme;
+      if (is_extreme_stmt != decl->is_extreme) {
+        Error(kCheckType,
+              is_extreme_stmt
+                  ? "extreme statement targets non-extreme map '" +
+                        decl->name + "'"
+                  : "ring statement targets extreme (min/max multiset) map '" +
+                        decl->name + "'");
+      }
+      // Value lane: a double-lane value must not be stored into an
+      // int-valued map (silent truncation); int into double widens safely.
+      std::optional<Type> vt;
+      if (s.stmt.kind == Statement::Kind::kExtreme) {
+        auto t = s.stmt.extreme_value != nullptr
+                     ? s.stmt.extreme_value->TypeOf(s.var_types)
+                     : Result<Type>(Status::Internal("missing value"));
+        if (t.ok()) vt = t.value();
+      } else {
+        vt = ValueTypeOf(s.stmt.rhs, s.var_types);
+      }
+      if (vt.has_value()) {
+        if (*vt == Type::kString) {
+          Error(kCheckType,
+                "statement stores a STRING value into numeric map '" +
+                    decl->name + "'");
+        } else if (*vt == Type::kDouble &&
+                   decl->value_type == Type::kInt) {
+          Error(kCheckType,
+                "statement stores a DOUBLE value into INT-valued map '" +
+                    decl->name + "'");
+        }
+      }
+    }
+    CheckExprTypes(s.stmt.rhs, s.var_types);
+    CheckExprTypes(s.stmt.extreme_guard, s.var_types);
+    CheckTermTypes(s.stmt.extreme_value, s.var_types);
+  }
+
+  // -- check 2b: __sign flows only into sign-polymorphic ops ---------------
+
+  void NoSign(const TermPtr& t, const char* where) {
+    if (TermRefsSign(t)) {
+      Error(kCheckSign,
+            StrFormat("__sign flows into %s (%s); only sign-polymorphic "
+                      "positions (additive chains, comparison thresholds, "
+                      "ExtremeMap updates) may consume it",
+                      where, t->ToString().c_str()));
+    }
+  }
+
+  /// Value-factor terms: __sign may ride multiplicative/additive chains
+  /// (they feed Map::add) but not denominators, scalar functions or map
+  /// read keys.
+  void CheckSignValueTerm(const TermPtr& t) {
+    if (t == nullptr) return;
+    switch (t->kind) {
+      case Term::Kind::kConst:
+      case Term::Kind::kVar:
+        return;
+      case Term::Kind::kAdd:
+      case Term::Kind::kSub:
+      case Term::Kind::kMul:
+        CheckSignValueTerm(t->lhs);
+        CheckSignValueTerm(t->rhs);
+        return;
+      case Term::Kind::kDiv:
+        CheckSignValueTerm(t->lhs);
+        NoSign(t->rhs, "a division denominator");
+        return;
+      case Term::Kind::kFunc1:
+        NoSign(t->lhs, "a scalar function argument");
+        return;
+      case Term::Kind::kMapRead:
+        for (const TermPtr& a : t->args) NoSign(a, "a map read key");
+        return;
+    }
+  }
+
+  void WalkSignExpr(const ExprPtr& e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ring::ExprKind::kConst:
+        return;
+      case ring::ExprKind::kValTerm:
+        CheckSignValueTerm(e->term);
+        return;
+      case ring::ExprKind::kCmp:
+        // Sign-affine comparison thresholds are how Lower unifies
+        // zero-crossing indicators ([cnt = -1] on insert vs [cnt = +1] on
+        // delete becomes [cnt = -1*__sign]); the comparison itself is a
+        // sign-polymorphic position. Restricted positions inside the
+        // operands (map-read keys, denominators, function arguments) are
+        // still enforced by the term walk.
+        CheckSignValueTerm(e->cmp_lhs);
+        CheckSignValueTerm(e->cmp_rhs);
+        return;
+      case ring::ExprKind::kLift:
+        NoSign(e->term, "a lift definition");
+        return;
+      case ring::ExprKind::kRel:
+      case ring::ExprKind::kMapRef:
+        return;  // __sign-named args are reported by the def-use check
+      case ring::ExprKind::kNeg:
+      case ring::ExprKind::kAggSum:
+      case ring::ExprKind::kSum:
+      case ring::ExprKind::kProd:
+        for (const ExprPtr& c : e->children) WalkSignExpr(c);
+        return;
+    }
+  }
+
+  void CheckSignFlow(const Trigger& t, const Stmt& s) {
+    (void)t;
+    const bool rhs_refs = ExprRefsSign(s.stmt.rhs);
+    switch (s.stmt.kind) {
+      case Statement::Kind::kDelta:
+      case Statement::Kind::kReeval: {
+        if (rhs_refs != s.sign_dependent) {
+          Error(kCheckSign,
+                rhs_refs
+                    ? "statement reads __sign but is not marked "
+                      "sign-dependent"
+                    : "statement is marked sign-dependent but never reads "
+                      "__sign");
+        }
+        if (s.when != Stmt::When::kBoth && rhs_refs) {
+          Error(kCheckSign,
+                "single-sided (masked) statement reads __sign; the sign is "
+                "constant on its side");
+        }
+        if (s.stmt.kind == Statement::Kind::kReeval && rhs_refs) {
+          Error(kCheckSign,
+                "re-evaluation statement reads __sign; assignment is not a "
+                "sign-polymorphic operation");
+        } else if (rhs_refs) {
+          WalkSignExpr(s.stmt.rhs);
+        }
+        break;
+      }
+      case Statement::Kind::kExtreme: {
+        if (TermRefsSign(s.stmt.extreme_value)) {
+          Error(kCheckSign, "extreme value reads __sign");
+        }
+        if (ExprRefsSign(s.stmt.extreme_guard)) {
+          Error(kCheckSign, "extreme guard reads __sign");
+        }
+        if (s.extreme_runtime_sign) {
+          if (!s.sign_dependent) {
+            Error(kCheckSign,
+                  "runtime-signed extreme statement is not marked "
+                  "sign-dependent");
+          }
+          if (s.when != Stmt::When::kBoth) {
+            Error(kCheckSign,
+                  "runtime-signed extreme statement must execute for both "
+                  "event signs");
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // -- check 3: sign-mask soundness ----------------------------------------
+
+  /// Maps a statement reads, expanded through init-on-access cascades.
+  std::set<std::string> StmtReads(const Stmt& s) const {
+    std::set<std::string> rels, maps;
+    ExpandReads(s.stmt.rhs, def_, &rels, &maps);
+    ExpandReads(s.stmt.extreme_guard, def_, &rels, &maps);
+    if (s.stmt.extreme_value != nullptr) {
+      s.stmt.extreme_value->CollectMapReads(&maps);
+    }
+    return maps;
+  }
+
+  std::set<std::string> ViewReads(const ViewSpec& v) const {
+    std::set<std::string> reads;
+    if (!v.domain_map.empty()) reads.insert(v.domain_map);
+    for (const ViewColumn& c : v.columns) {
+      if (c.kind == ViewColumn::Kind::kExtremeRead) {
+        reads.insert(c.extreme_map);
+      } else if (c.value != nullptr) {
+        c.value->CollectMapReads(&reads);
+      }
+    }
+    if (v.having != nullptr) v.having->CollectMapRefs(&reads);
+    // A view read may trigger init-on-access evaluation too.
+    std::set<std::string> closed = reads;
+    for (const std::string& mname : reads) {
+      auto it = def_.maps.find(mname);
+      if (it != def_.maps.end()) {
+        closed.insert(it->second.begin(), it->second.end());
+      }
+    }
+    return closed;
+  }
+
+  void CheckSignMasks() {
+    const Program& p = *m_.program;
+    // Per map, per trigger: which event sides write it.
+    struct Cover {
+      bool ins = false, del = false;
+    };
+    std::map<std::string, std::map<const Trigger*, Cover>> writes;
+    for (const Trigger& t : m_.triggers) {
+      for (const Stmt& s : t.stmts) {
+        Cover& c = writes[s.stmt.target][&t];
+        if (s.when != Stmt::When::kDeleteOnly && t.has_insert) c.ins = true;
+        if (s.when != Stmt::When::kInsertOnly && t.has_delete) c.del = true;
+      }
+    }
+    // One-sided maps: some trigger that sees both event signs writes them
+    // on only one of the two.
+    std::map<std::string, std::string> one_sided;  // map -> description
+    for (const auto& [mname, per_trigger] : writes) {
+      for (const auto& [trig, cover] : per_trigger) {
+        if (!trig->has_insert || !trig->has_delete) continue;
+        if (cover.ins == cover.del) continue;
+        one_sided[mname] = StrFormat(
+            "written only on %s events by on_%s",
+            cover.ins ? "insert" : "delete", trig->relation.c_str());
+      }
+    }
+    if (one_sided.empty()) return;
+    // A one-sided map must not feed both-signs state consumers.
+    for (const Trigger& t : m_.triggers) {
+      for (size_t i = 0; i < t.stmts.size(); ++i) {
+        const Stmt& s = t.stmts[i];
+        if (s.when != Stmt::When::kBoth) continue;
+        for (const std::string& mname : StmtReads(s)) {
+          auto it = one_sided.find(mname);
+          if (it == one_sided.end()) continue;
+          relation_ = t.relation;
+          stmt_ = static_cast<int>(i);
+          Error(kCheckSignMask,
+                "map '" + mname + "' is " + it->second +
+                    " but a both-signs statement reads it unguarded; the "
+                    "other event side leaves it stale");
+        }
+      }
+    }
+    relation_.clear();
+    stmt_ = -1;
+    for (const ViewSpec& v : p.views) {
+      for (const std::string& mname : ViewReads(v)) {
+        auto it = one_sided.find(mname);
+        if (it == one_sided.end()) continue;
+        Error(kCheckSignMask,
+              "map '" + mname + "' is " + it->second + " but view '" +
+                  v.name + "' reads it; the other event side leaves it "
+                  "stale");
+      }
+    }
+  }
+
+  // -- check 4: shard-plan proof -------------------------------------------
+
+  void CheckShardPlan(const Trigger& t) {
+    const Program& p = *m_.program;
+    // Re-derive the batch verdict from the statements alone and require the
+    // module's claims to be no stronger.
+    Trigger probe = t;
+    probe.vectorizable = false;
+    probe.parallel_safe = false;
+    probe.partition_cols.clear();
+    for (Stmt& s : probe.stmts) s.reeval_deferrable = false;
+    AnalyzeTriggerBatch(&probe, p, def_, read_anywhere_);
+    if (t.vectorizable && !probe.vectorizable) {
+      Error(kCheckShard,
+            "trigger claims vectorizable but re-analysis of its statements "
+            "refutes it");
+    }
+    if (t.parallel_safe && !probe.parallel_safe) {
+      Error(kCheckShard,
+            "trigger claims parallel_safe but re-analysis of its statements "
+            "refutes it");
+    }
+    for (size_t pc : t.partition_cols) {
+      if (pc >= t.params.size()) {
+        Error(kCheckShard,
+              StrFormat("partition column %zu exceeds the %zu trigger "
+                        "parameters",
+                        pc, t.params.size()));
+        continue;
+      }
+      const std::string& pname = t.params[pc].name;
+      for (size_t i = 0; i < t.stmts.size(); ++i) {
+        const Stmt& s = t.stmts[i];
+        if (s.stmt.kind != Statement::Kind::kDelta) continue;
+        if (std::find(s.stmt.target_keys.begin(), s.stmt.target_keys.end(),
+                      pname) == s.stmt.target_keys.end()) {
+          stmt_ = static_cast<int>(i);
+          Error(kCheckShard,
+                StrFormat("routed write to '%s' does not cover partition "
+                          "column %zu ('%s')",
+                          s.stmt.target.c_str(), pc, pname.c_str()));
+          stmt_ = -1;
+        }
+      }
+    }
+    if (t.parallel_safe && t.partition_cols.empty()) {
+      for (size_t i = 0; i < t.stmts.size(); ++i) {
+        const Stmt& s = t.stmts[i];
+        if (s.stmt.kind != Statement::Kind::kDelta) continue;
+        const MapDecl* decl = p.FindMap(s.stmt.target);
+        if (decl != nullptr && decl->value_type == Type::kDouble) {
+          stmt_ = static_cast<int>(i);
+          Error(kCheckShard,
+                "parallel plan with no partition column writes double-valued "
+                "map '" + s.stmt.target +
+                    "'; shard-order merges would reorder non-commutative "
+                    "float additions");
+          stmt_ = -1;
+        }
+      }
+    }
+    for (size_t i = 0; i < t.stmts.size(); ++i) {
+      if (t.stmts[i].reeval_deferrable && !probe.stmts[i].reeval_deferrable) {
+        stmt_ = static_cast<int>(i);
+        Error(kCheckShard,
+              "statement claims a deferrable re-evaluation but its target "
+              "is read elsewhere in the program");
+        stmt_ = -1;
+      }
+    }
+  }
+
+  // Note on cross-trigger routing: partition_cols promise only that the
+  // partition attribute is *present* in every delta target key set of its
+  // own trigger (checked above). A single fixed key position shared by all
+  // parallel writers of a map is NOT an IR invariant — the interpreter
+  // shards each trigger's batch independently and applies shards in a fixed
+  // logical order, and cpp_gen's AnalyzeShardPlan derives its own
+  // whole-program routing with a safe non-sharded fallback when no
+  // consistent assignment exists.
+
+  // -- check 5: dataflow liveness ------------------------------------------
+
+  void CheckLiveness() {
+    const Program& p = *m_.program;
+    std::set<std::string> live;
+    for (const ViewSpec& v : p.views) {
+      std::set<std::string> reads = ViewReads(v);
+      live.insert(reads.begin(), reads.end());
+    }
+    // Reverse reachability: a map is live when a live map's maintenance
+    // reads it, or a live init-on-access definition evaluates it.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const Trigger& t : m_.triggers) {
+        for (const Stmt& s : t.stmts) {
+          if (!live.count(s.stmt.target)) continue;
+          for (const std::string& mname : StmtReads(s)) {
+            changed = live.insert(mname).second || changed;
+          }
+        }
+      }
+      for (const MapDecl& d : p.maps) {
+        if (!d.needs_init || d.definition == nullptr || !live.count(d.name)) {
+          continue;
+        }
+        std::set<std::string> reads;
+        d.definition->CollectMapRefs(&reads);
+        for (const std::string& mname : reads) {
+          changed = live.insert(mname).second || changed;
+        }
+      }
+    }
+    for (const MapDecl& d : p.maps) {
+      if (live.count(d.name)) continue;
+      // Anchor the warning at the first statement writing the map.
+      relation_.clear();
+      stmt_ = -1;
+      for (const Trigger& t : m_.triggers) {
+        for (size_t i = 0; i < t.stmts.size() && relation_.empty(); ++i) {
+          if (t.stmts[i].stmt.target == d.name) {
+            relation_ = t.relation;
+            stmt_ = static_cast<int>(i);
+          }
+        }
+        if (!relation_.empty()) break;
+      }
+      Warn(kCheckLiveness,
+           "map '" + d.name +
+               "' is dead: no view or live statement ever reads it");
+      relation_.clear();
+      stmt_ = -1;
+    }
+    // Statements whose delta provably cancels.
+    for (const Trigger& t : m_.triggers) {
+      for (size_t i = 0; i < t.stmts.size(); ++i) {
+        const Stmt& s = t.stmts[i];
+        if (s.stmt.kind != Statement::Kind::kDelta || s.stmt.rhs == nullptr) {
+          continue;
+        }
+        if (ProvablyCancels(s.stmt.rhs)) {
+          relation_ = t.relation;
+          stmt_ = static_cast<int>(i);
+          Warn(kCheckLiveness,
+               "statement delta provably cancels: the right-hand side is "
+               "identically zero");
+          relation_.clear();
+          stmt_ = -1;
+        }
+      }
+    }
+  }
+
+  static bool ProvablyCancels(const ExprPtr& e) {
+    if (e->IsZero()) return true;
+    if (e->kind == ring::ExprKind::kSum) {
+      // Sum(a, Neg(a)) and permutations of exactly two cancelling branches.
+      if (e->children.size() == 2) {
+        const ExprPtr& a = e->children[0];
+        const ExprPtr& b = e->children[1];
+        if (b->kind == ring::ExprKind::kNeg &&
+            ring::ExprEquals(*a, *b->children[0])) {
+          return true;
+        }
+        if (a->kind == ring::ExprKind::kNeg &&
+            ring::ExprEquals(*a->children[0], *b)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const Module& m_;
+  VerifyOptions opts_;
+  DefReadSets def_;
+  std::set<std::string> read_anywhere_;
+  VerifyResult result_;
+
+  std::string relation_;  ///< current diagnostic anchor
+  int stmt_ = -1;
+};
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::string loc = relation.empty() ? "module" : relation;
+  if (!relation.empty() && stmt >= 0) {
+    loc += StrFormat(":stmt %d", stmt);
+  }
+  return StrFormat("%s: %s: [%s] %s", loc.c_str(),
+                   severity == Severity::kError ? "error" : "warning",
+                   check.c_str(), message.c_str());
+}
+
+std::string VerifyResult::ToString(const std::string& file) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!file.empty()) out += file + ": ";
+    out += d.ToString() + "\n";
+  }
+  return out;
+}
+
+VerifyResult Verify(const Module& module, const VerifyOptions& options) {
+  return Verifier(module, options).Run();
+}
+
+Status VerifyOrError(const Module& module, const std::string& file,
+                     bool strict) {
+  VerifyResult r = Verify(module, {strict});
+  if (r.ok(strict)) return Status::OK();
+  return Status::Internal("trigger program failed verification\n" +
+                          r.ToString(file));
+}
+
+}  // namespace dbtoaster::tir

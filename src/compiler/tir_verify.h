@@ -1,0 +1,95 @@
+// Static verifier + dataflow analysis over lowered tir::Modules.
+//
+// tir::Lower is trusted by both backends (the C++ generator and the trigger
+// interpreter) to produce sound modules: correctly typed map accesses,
+// correctly masked one-sided statements, honest batch-analysis flags. A bad
+// sign mask or a stale map arity is otherwise only caught — if at all — by
+// the runtime differential harness. Verify() proves, per module:
+//
+//   1. def-before-use: every variable a statement reads is bound by the
+//      trigger parameters, the reserved sign variable, LHS iteration, or an
+//      earlier factor of the statement's own access plan; every target key
+//      is bound; the reserved __sign variable is never re-bound.
+//   2. lane/type soundness: every relation/map atom and every term-level
+//      map read matches the catalog- or declaration-recorded arity and
+//      column lanes; no statement stores a double-lane value into an
+//      int-valued map; __sign flows only into sign-polymorphic positions
+//      (additive delta-value chains, comparison thresholds such as the
+//      zero-crossing indicators LEFT JOIN corrections compile to, and
+//      ExtremeMap::update direction) — never into map-read keys, division
+//      denominators, scalar-function arguments or lift definitions.
+//   3. sign-mask soundness: a map written on only one event sign (by a
+//      masked kInsertOnly/kDeleteOnly statement without its counterpart)
+//      must not feed state that a both-signs statement or a view reads.
+//   4. shard-plan proof: the vectorizable/parallel_safe/partition_cols
+//      claims carried on each trigger are re-derived from the statements
+//      and must hold; under a parallel plan every routed map write covers
+//      its trigger's partition column. (Cross-trigger key-position routing
+//      is a backend choice with a safe fallback, not an IR invariant.)
+//   5. dataflow liveness: maps written but reachable by no view read (a
+//      reverse-reachability fixpoint through statements and init-on-access
+//      definitions), and statements whose delta provably cancels, are dead
+//      (warnings; errors under strict verification).
+//
+// The dbtc driver runs Verify() hard-fail between tir::Lower and both
+// backends and exposes it as `dbtc --verify[=strict]`; codegen::GenerateCpp
+// refuses unverified modules, and runtime::Engine asserts verification in
+// debug builds.
+#ifndef DBTOASTER_COMPILER_TIR_VERIFY_H_
+#define DBTOASTER_COMPILER_TIR_VERIFY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compiler/tir.h"
+
+namespace dbtoaster::tir {
+
+/// One verifier finding, anchored to a trigger statement when possible.
+struct Diagnostic {
+  enum class Severity : uint8_t { kWarning, kError };
+
+  Severity severity = Severity::kError;
+  std::string check;     ///< "def-use", "type", "sign-mask", "shard", "liveness"
+  std::string relation;  ///< trigger relation; empty for module-level findings
+  int stmt = -1;         ///< statement index within the trigger; -1 = trigger/module level
+  std::string message;
+
+  /// "<relation>:stmt <n>: error: [check] message" — the relation/statement
+  /// position plays the role the parser's "line:column" plays for SQL text;
+  /// drivers prefix the input file name.
+  std::string ToString() const;
+};
+
+struct VerifyOptions {
+  /// Promote warnings (dead state, cancelling deltas) to errors.
+  bool strict = false;
+};
+
+struct VerifyResult {
+  std::vector<Diagnostic> diagnostics;
+  size_t num_errors = 0;
+  size_t num_warnings = 0;
+
+  bool ok(bool strict = false) const {
+    return num_errors == 0 && (!strict || num_warnings == 0);
+  }
+
+  /// All diagnostics, one per line, each prefixed with `file` when given.
+  std::string ToString(const std::string& file = "") const;
+};
+
+/// Run every check over a lowered module. Never mutates the module; safe to
+/// call from backend constructors.
+VerifyResult Verify(const Module& module, const VerifyOptions& options = {});
+
+/// Hard-fail form for pipeline gates: OK when the module verifies, else an
+/// Internal status whose message lists every diagnostic.
+Status VerifyOrError(const Module& module, const std::string& file = "",
+                     bool strict = false);
+
+}  // namespace dbtoaster::tir
+
+#endif  // DBTOASTER_COMPILER_TIR_VERIFY_H_

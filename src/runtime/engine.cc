@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <set>
 
 #include "src/common/str.h"
+#include "src/compiler/tir_verify.h"
 
 namespace dbtoaster::runtime {
 
@@ -43,6 +45,17 @@ Engine::Engine(compiler::Program program)
       tir_(tir::Lower(program_)),
       db_(program_.catalog),
       eval_(this) {
+#ifndef NDEBUG
+  // Debug builds refuse to interpret an unverified module; release builds
+  // trust the dbtc pipeline gate.
+  {
+    Status verified = tir::VerifyOrError(tir_, "runtime::Engine");
+    if (!verified.ok()) {
+      std::fprintf(stderr, "%s\n", verified.ToString().c_str());
+      assert(false && "tir module failed static verification");
+    }
+  }
+#endif
   for (const MapDecl& decl : program_.maps) {
     decls_[decl.name] = &decl;
     if (decl.is_extreme) {

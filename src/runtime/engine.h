@@ -36,11 +36,12 @@ namespace dbtoaster::runtime {
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
-  virtual void OnEvent(const Event& event) {}
-  virtual void OnStatement(const compiler::Statement& stmt,
-                           size_t updates_applied) {}
-  virtual void OnMapUpdate(const std::string& map, const Row& key,
-                           const Value& old_value, const Value& new_value) {}
+  virtual void OnEvent(const Event& /*event*/) {}
+  virtual void OnStatement(const compiler::Statement& /*stmt*/,
+                           size_t /*updates_applied*/) {}
+  virtual void OnMapUpdate(const std::string& /*map*/, const Row& /*key*/,
+                           const Value& /*old_value*/,
+                           const Value& /*new_value*/) {}
 };
 
 /// Per-statement and per-map execution statistics (the paper's profiler,

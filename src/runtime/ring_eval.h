@@ -48,9 +48,9 @@ class MapStore {
   /// at `positions` equal `key`, or null when no index is available (the
   /// evaluator then scans). Engines that maintain base-table indexes (the
   /// IVM-1 baseline) override this.
-  virtual const Multiset* LookupRelIndex(const std::string& rel,
-                                         const std::vector<size_t>& positions,
-                                         const Row& key) {
+  virtual const Multiset* LookupRelIndex(
+      const std::string& /*rel*/, const std::vector<size_t>& /*positions*/,
+      const Row& /*key*/) {
     return nullptr;
   }
 
@@ -58,8 +58,8 @@ class MapStore {
   /// `positions` equal `key`. May contain stale keys for erased entries
   /// (callers re-check values); null when unavailable (evaluator scans).
   virtual const std::unordered_set<Row, RowHash, RowEq>* LookupMapSlice(
-      const std::string& map, const std::vector<size_t>& positions,
-      const Row& key) {
+      const std::string& /*map*/, const std::vector<size_t>& /*positions*/,
+      const Row& /*key*/) {
     return nullptr;
   }
 };

@@ -377,7 +377,7 @@ TEST(DbtStreamProgram, DefaultOnBatchDispatchesGroupwise) {
   struct Recorder : dbt::StreamProgram {
     std::vector<std::string> log;
     bool on_event(const std::string& relation, bool is_insert,
-                  const std::vector<dbt::Value>& tuple) override {
+                  const std::vector<dbt::Value>& /*tuple*/) override {
       log.push_back((is_insert ? "+" : "-") + relation);
       return relation != "IGNORED";
     }

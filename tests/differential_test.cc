@@ -80,7 +80,7 @@ std::unique_ptr<dbt::StreamProgram> MakeGenerated(const std::string& name) {
 // Typed random tuples: small domains so joins hit, predicates stay partially
 // selective, and deletions find prior inserts.
 // ---------------------------------------------------------------------------
-Value RandomValue(Rng* rng, const std::string& column, Type type) {
+Value RandomValue(Rng* rng, const std::string& /*column*/, Type type) {
   switch (type) {
     case Type::kInt:
       return Value(rng->Range(0, 7));

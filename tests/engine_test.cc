@@ -83,14 +83,15 @@ TEST(Engine, AdhocSnapshotQueries) {
 
 class RecordingSink : public TraceSink {
  public:
-  void OnEvent(const Event& event) override { events++; }
-  void OnStatement(const compiler::Statement& stmt,
+  void OnEvent(const Event& /*event*/) override { events++; }
+  void OnStatement(const compiler::Statement& /*stmt*/,
                    size_t updates_applied) override {
     statements++;
     updates += updates_applied;
   }
-  void OnMapUpdate(const std::string& map, const Row& key,
-                   const Value& old_value, const Value& new_value) override {
+  void OnMapUpdate(const std::string& /*map*/, const Row& /*key*/,
+                   const Value& old_value,
+                   const Value& new_value) override {
     map_updates++;
     EXPECT_NE(old_value, new_value);
   }

@@ -67,7 +67,9 @@ TEST(FlatMap, RandomizedAgainstUnorderedMapIntKeys) {
       const int64_t* got = flat.find(k);
       auto it = ref.find(k);
       ASSERT_EQ(got != nullptr, it != ref.end());
-      if (got != nullptr) EXPECT_EQ(*got, it->second);
+      if (got != nullptr) {
+        EXPECT_EQ(*got, it->second);
+      }
       EXPECT_EQ(flat.contains(k), it != ref.end());
     } else {
       flat.clear();

@@ -182,5 +182,63 @@ TEST(DbtcCli, DiagnosticsAndVersion) {
   EXPECT_NE(missing.find("usage:"), std::string::npos);
 }
 
+TEST(DbtcCli, VerifyModeExitCodesAndDiagnosticShape) {
+  if (std::string(DBTC_BINARY).empty()) {
+    GTEST_SKIP() << "dbtc path not configured";
+  }
+  std::string dir = ::testing::TempDir() + "/dbtc_cli_verify";
+  ASSERT_EQ(system(("mkdir -p " + dir).c_str()), 0);
+  auto run = [&](const std::string& args) {
+    std::string cmd = std::string(DBTC_BINARY) + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    std::string out;
+    char buf[4096];
+    while (fgets(buf, sizeof(buf), pipe)) out += buf;
+    int rc = pclose(pipe);
+    return std::make_pair(WEXITSTATUS(rc), out);
+  };
+
+  {
+    FILE* f = fopen((dir + "/ok.sql").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("create table R(A int, B int);\nselect B, sum(A) from R group by B;\n",
+          f);
+    fclose(f);
+  }
+
+  // A sound script verifies clean: exit 0 with a summary naming the file,
+  // matching the "dbtc: <file>: <message>" diagnostic shape of parse
+  // errors.
+  auto [rc_ok, ok_out] = run(dir + "/ok.sql --verify");
+  EXPECT_EQ(rc_ok, 0);
+  EXPECT_NE(ok_out.find("ok.sql"), std::string::npos);
+  EXPECT_NE(ok_out.find("verification passed"), std::string::npos);
+  EXPECT_NE(ok_out.find("0 errors"), std::string::npos);
+
+  // Strict mode on a clean module still exits 0.
+  auto [rc_strict, strict_out] = run(dir + "/ok.sql --verify=strict");
+  EXPECT_EQ(rc_strict, 0);
+  EXPECT_NE(strict_out.find("verification passed"), std::string::npos);
+
+  // --verify on a script that does not compile reports like any other
+  // input error: exit 1, file-prefixed diagnostic with line:column.
+  {
+    FILE* f = fopen((dir + "/bad.sql").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("create table R(A int);\nselect B frm R;\n", f);
+    fclose(f);
+  }
+  auto [rc_bad, bad_out] = run(dir + "/bad.sql --verify");
+  EXPECT_EQ(rc_bad, 1);
+  EXPECT_NE(bad_out.find("bad.sql"), std::string::npos);
+  EXPECT_NE(bad_out.find("line 2:"), std::string::npos);
+
+  // Normal compilation also runs the verifier (hard gate) and still
+  // succeeds end to end on a sound script.
+  auto [rc_gen, gen_out] = run(dir + "/ok.sql");
+  EXPECT_EQ(rc_gen, 0);
+  EXPECT_NE(gen_out.find("struct Program"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dbtoaster

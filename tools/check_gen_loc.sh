@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Generated-header size gate for the ten checked-in bench queries.
 #
 # Counts the lines of every dbtc-generated header under
@@ -10,7 +10,7 @@
 # unification in src/compiler/tir.cc stopped firing for some query.
 #
 # Usage: tools/check_gen_loc.sh [build-dir]   (default: build)
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 GEN_DIR="$BUILD_DIR/generated/bench/gen"
@@ -27,17 +27,18 @@ entries=""
 for q in $QUERIES; do
   hpp="$GEN_DIR/$q.hpp"
   if [ ! -f "$hpp" ]; then
-    echo "check_gen_loc: missing $hpp (build the dbtc_gen target first)" >&2
+    echo "check_gen_loc: FAIL — missing generated header $hpp" >&2
+    echo "check_gen_loc: build the codegen targets first (cmake --build $BUILD_DIR)" >&2
     exit 1
   fi
   loc=$(wc -l < "$hpp")
   total=$((total + loc))
-  [ -n "$entries" ] && entries="$entries, "
+  if [ -n "$entries" ]; then entries="$entries, "; fi
   entries="$entries\"$q\": $loc"
 done
 
 status=ok
-[ "$total" -gt "$MAX_LOC" ] && status=fail
+if [ "$total" -gt "$MAX_LOC" ]; then status=fail; fi
 
 cat > "$OUT" <<EOF
 {

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Generated-header lint for the checked-in bench queries.
+#
+# dbtc output must hold three invariants that keep the compiled backends
+# honest (run in the perf-smoke CI job, after the build):
+#
+#   1. no std::unordered_map — every aggregate store is a dbt::FlatMap (or a
+#      dbt::Sharded wrapper); falling back to the node-based container is a
+#      silent 2-3x regression on the map-ops microbenchmarks.
+#   2. no raw `new` — generated programs own no heap allocations directly;
+#      everything lives in value-semantic stores.
+#   3. per-relation handler completeness — every relation dispatched in
+#      on_batch()/on_event() has both its scalar handler (on_REL) and its
+#      batch handler (on_batch_REL).
+#
+# Usage: tools/lint_gen.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GEN_DIR="$BUILD_DIR/generated/bench/gen"
+
+QUERIES="vwap sobi_bids mm best_bid q41 revenue q3s q6s q12s q13s"
+
+fail=0
+checked=0
+for q in $QUERIES; do
+  hpp="$GEN_DIR/$q.hpp"
+  if [ ! -f "$hpp" ]; then
+    echo "lint_gen: FAIL — missing generated header $hpp" >&2
+    echo "lint_gen: build the codegen targets first (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  checked=$((checked + 1))
+
+  if grep -n 'std::unordered_map' "$hpp" >&2; then
+    echo "lint_gen: FAIL — $q.hpp uses std::unordered_map (expected dbt::FlatMap)" >&2
+    fail=1
+  fi
+
+  # Raw `new` expressions; word-boundary keeps 'newest'/placement-free code
+  # in comments from tripping it.
+  if grep -nE '(^|[^[:alnum:]_])new[[:space:]]+[[:alnum:]_:<]' "$hpp" >&2; then
+    echo "lint_gen: FAIL — $q.hpp contains a raw new-expression" >&2
+    fail=1
+  fi
+
+  # Handlers for every dispatched relation.
+  rels=$(grep -oE 'g\.relation == "[A-Za-z0-9_]+"' "$hpp" | \
+         sed 's/.*"\(.*\)"/\1/' | sort -u)
+  if [ -z "$rels" ]; then
+    echo "lint_gen: FAIL — $q.hpp dispatches no relations" >&2
+    fail=1
+  fi
+  for rel in $rels; do
+    if ! grep -q "void on_${rel}(" "$hpp"; then
+      echo "lint_gen: FAIL — $q.hpp dispatches $rel but has no on_${rel}() handler" >&2
+      fail=1
+    fi
+    if ! grep -q "on_batch_${rel}(" "$hpp"; then
+      echo "lint_gen: FAIL — $q.hpp dispatches $rel but has no on_batch_${rel}() handler" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "lint_gen: FAIL — no generated headers checked" >&2
+  exit 1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint_gen: FAIL" >&2
+  exit 1
+fi
+echo "lint_gen: OK — $checked generated headers clean"
