@@ -44,12 +44,15 @@ namespace dbtoaster::bench {
 namespace {
 
 struct Cell {
-  std::string sweep;   // "batch" | "threads"
+  std::string sweep;   // "batch" | "threads" | "batch-path[-<q>]" | ...
   std::string engine;
   size_t batch = 0;
   size_t threads = 1;
   size_t events = 0;
   double seconds = 0;
+  double selectivity = -1;       // predicate hit-rate axis; -1 = n/a
+  uint64_t selected_rows = 0;    // rows surviving selection passes
+  uint64_t probe_runs = 0;       // run-batched map commits
 
   double Rate() const {
     return seconds > 0 ? static_cast<double>(events) / seconds : 0;
@@ -376,6 +379,153 @@ void RunFragmentSweep(bool quick) {
       "re-evaluation per batch.\n");
 }
 
+// Parse a checked-in bench query script into its catalog (schema only; the
+// generated program supplies the maintenance logic).
+bool LoadQueryCatalog(const char* name, Catalog* catalog) {
+  const std::string path = std::string(DBT_QUERY_DIR) + "/" + name + ".sql";
+  std::ifstream f(path);
+  if (!f.good()) {
+    std::fprintf(stderr, "missing query script %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto script = sql::ParseScript(ss.str());
+  if (!script.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 script.status().ToString().c_str());
+    return false;
+  }
+  for (const auto& t : script.value().tables) (void)catalog->AddRelation(t);
+  return true;
+}
+
+// Axis 2c — per-query boundary layout on the predicate-heavy fragment
+// queries: the acceptance meter for the vectorized-selection prologue.
+// Each query's generated program ingests its own seeded random stream
+// through the columnar batch path and the row shim at batch {256, 4096};
+// the selection counters (selected_rows / probe_runs) land in the JSON.
+void RunQueryBatchPathSweep(bool quick) {
+  const double kBudget = quick ? 0.1 : 0.6;  // s per (query, path, batch)
+  const size_t kBatchSizes[] = {256, 4096};
+
+  std::printf(
+      "\n== events/sec: columnar vs row shim on predicate-heavy queries "
+      "(toaster-c) ==\n");
+  std::printf("%-8s %-20s", "query", "path");
+  for (size_t bs : kBatchSizes) std::printf(" %13s=%-4zu", "batch", bs);
+  std::printf("\n%s\n", std::string(66, '-').c_str());
+
+  struct Path {
+    const char* name;
+    runtime::CompiledProgramEngine::BatchPath path;
+  };
+  const Path kPaths[] = {
+      {"toaster-c-columnar",
+       runtime::CompiledProgramEngine::BatchPath::kColumnar},
+      {"toaster-c-row", runtime::CompiledProgramEngine::BatchPath::kRow},
+  };
+  const char* kQueries[] = {"q3s", "q6s", "q12s"};
+  for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+    const char* name = kQueries[qi];
+    Catalog catalog;
+    if (!LoadQueryCatalog(name, &catalog)) continue;
+    std::vector<Event> events = FragmentStream(
+        catalog, quick ? 20000 : 150000, 0x5e1ec7 + qi * 0x9e3779b97f4aULL);
+    for (const Path& p : kPaths) {
+      std::printf("%-8s %-20s", name, p.name);
+      for (size_t bs : kBatchSizes) {
+        std::unique_ptr<dbt::StreamProgram> generated = FragmentProgram(name);
+        runtime::CompiledProgramEngine engine(generated.get(), p.name,
+                                              p.path);
+        auto [n, s] = TimedBatchRun(events, kBudget, bs, &engine);
+        Cell cell{std::string("batch-path-") + name, p.name, bs, 1, n, s};
+        cell.selected_rows = generated->selected_rows();
+        cell.probe_runs = generated->probe_runs();
+        g_cells.push_back(cell);
+        std::printf(" %18.0f", s > 0 ? static_cast<double>(n) / s : 0);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nshape check: selection passes + run-batched probes widen the "
+      "columnar\nlead on low-selectivity queries; both paths stay "
+      "byte-identical\n(tests/differential_test.cc).\n");
+}
+
+// Axis 5 — selectivity: q6s with its shipdate guard's hit-rate dialed from
+// 0%% to 100%% (the other predicates always pass). The columnar path's
+// selection prologue makes skipped rows nearly free; the row shim pays the
+// full per-event dispatch either way.
+void RunSelectivitySweep(bool quick) {
+  Catalog catalog;
+  if (!LoadQueryCatalog("q6s", &catalog)) return;
+  const double kBudget = quick ? 0.1 : 0.6;  // s per (path, hit-rate) cell
+  const size_t kBatch = 4096;
+  const double kHitRates[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  // LINEITEM(orderkey, quantity, extendedprice, discount, shipdate):
+  // quantity < 24, discount in [0.05, 0.07] always hold; shipdate lands in
+  // [1994-01-01, 1995-01-01) with probability `hit`.
+  const int64_t in_lo = CivilToDays(1994, 1, 1);
+  const int64_t in_hi = CivilToDays(1995, 1, 1);
+  auto make_stream = [&](double hit) {
+    Rng rng(0xbadd1ce + static_cast<uint64_t>(hit * 1000));
+    std::vector<Event> out;
+    const size_t n = quick ? 20000 : 150000;
+    out.reserve(n);
+    static const double kDisc[] = {0.05, 0.06, 0.07};
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t date = rng.Chance(hit)
+                               ? in_lo + rng.Range(0, in_hi - in_lo - 1)
+                               : in_hi + rng.Range(0, 364);
+      Row tuple{Value(rng.Range(0, 63)), Value(rng.Range(0, 23)),
+                Value(20.0), Value(kDisc[rng.Uniform(std::size(kDisc))]),
+                Value(date)};
+      out.push_back(Event::Insert("LINEITEM", std::move(tuple)));
+    }
+    return out;
+  };
+
+  std::printf(
+      "\n== events/sec vs predicate hit-rate (q6s shipdate guard, batch "
+      "%zu) ==\n", kBatch);
+  std::printf("%-20s", "path");
+  for (double h : kHitRates) std::printf(" %11s=%-3.0f%%", "hit", h * 100);
+  std::printf("\n%s\n", std::string(100, '-').c_str());
+
+  struct Path {
+    const char* name;
+    runtime::CompiledProgramEngine::BatchPath path;
+  };
+  const Path kPaths[] = {
+      {"toaster-c-columnar",
+       runtime::CompiledProgramEngine::BatchPath::kColumnar},
+      {"toaster-c-row", runtime::CompiledProgramEngine::BatchPath::kRow},
+  };
+  for (const Path& p : kPaths) {
+    std::printf("%-20s", p.name);
+    for (double hit : kHitRates) {
+      std::vector<Event> events = make_stream(hit);
+      std::unique_ptr<dbt::StreamProgram> generated = FragmentProgram("q6s");
+      runtime::CompiledProgramEngine engine(generated.get(), p.name, p.path);
+      auto [n, s] = TimedBatchRun(events, kBudget, kBatch, &engine);
+      Cell cell{"selectivity-q6s", p.name, kBatch, 1, n, s};
+      cell.selectivity = hit;
+      cell.selected_rows = generated->selected_rows();
+      cell.probe_runs = generated->probe_runs();
+      g_cells.push_back(cell);
+      std::printf(" %16.0f", s > 0 ? static_cast<double>(n) / s : 0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check: the columnar rate rises as selectivity drops "
+      "(skipped rows\ncost one branch-free lane compare); selected_rows "
+      "in the JSON tracks the\nhit-rate linearly.\n");
+}
+
 bool WriteJson(const std::string& path) {
   std::ofstream f(path);
   if (!f) {
@@ -388,7 +538,10 @@ bool WriteJson(const std::string& path) {
     f << "  {\"sweep\": \"" << c.sweep << "\", \"engine\": \"" << c.engine
       << "\", \"batch\": " << c.batch << ", \"threads\": " << c.threads
       << ", \"events\": " << c.events << ", \"seconds\": " << c.seconds
-      << ", \"events_per_sec\": " << c.Rate() << "}"
+      << ", \"events_per_sec\": " << c.Rate();
+    if (c.selectivity >= 0) f << ", \"selectivity\": " << c.selectivity;
+    f << ", \"selected_rows\": " << c.selected_rows
+      << ", \"probe_runs\": " << c.probe_runs << "}"
       << (i + 1 < g_cells.size() ? "," : "") << "\n";
   }
   f << "]\n";
@@ -424,5 +577,7 @@ int main(int argc, char** argv) {
   dbtoaster::bench::RunBatchPathSweep(quick);
   dbtoaster::bench::RunThreadSweep(quick);
   dbtoaster::bench::RunFragmentSweep(quick);
+  dbtoaster::bench::RunQueryBatchPathSweep(quick);
+  dbtoaster::bench::RunSelectivitySweep(quick);
   return dbtoaster::bench::WriteJson(out_path) ? 0 : 1;
 }

@@ -1,0 +1,10 @@
+-- Selectivity-extreme micro-query (100% pass): both comparisons cover the
+-- harness's entire seeded int domain (0..7), so every row survives
+-- selection and the vectorized path — including run-batched probes of the
+-- double accumulator — must match the unguarded scalar replay exactly.
+create table T(K int, V int, D date, X double);
+
+select T.K, sum(T.V), sum(T.X)
+  from T
+  where T.K >= 0 and T.V <= 7
+  group by T.K;

@@ -1,0 +1,11 @@
+-- Selectivity-extreme micro-query (~50% pass): a date-range guard covering
+-- roughly half of the harness's seeded date domain (1993-06-01 ..
+-- 1995-06-30). Grouping by K exercises sorted key-run batching for both an
+-- integer and a double accumulator under a partially-selective vector.
+create table T(K int, V int, D date, X double);
+
+select T.K, sum(T.X), count(*)
+  from T
+  where T.D >= DATE '1994-01-01'
+    and T.D < DATE '1994-01-01' + INTERVAL '1' YEAR
+  group by T.K;

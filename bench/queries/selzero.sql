@@ -1,0 +1,12 @@
+-- Selectivity-extreme micro-query (0% pass): both guards are outside the
+-- differential harness's seeded domains (K, V stay in 0..7), so every
+-- selection pass must reject every row while the views stay byte-identical
+-- across all engine paths. The IN-list expands to per-literal disjunction
+-- statements (ring inclusion-exclusion), whose contradictory cross terms
+-- the lowering proves statically zero.
+create table T(K int, V int, D date, X double);
+
+select T.K, sum(T.V), count(*)
+  from T
+  where T.K > 100 and T.V in (100, 200)
+  group by T.K;

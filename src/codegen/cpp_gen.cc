@@ -17,6 +17,8 @@ using compiler::MapDecl;
 using compiler::Program;
 using compiler::Statement;
 using compiler::Trigger;
+using compiler::ViewColumn;
+using compiler::ViewSpec;
 using ring::Expr;
 using ring::ExprPtr;
 using ring::Term;
@@ -59,6 +61,91 @@ std::string ValueLiteral(const Value& v) {
   return StrFormat("INT64_C(%lld)", static_cast<long long>(v.AsInt()));
 }
 
+const char* SelOpName(sql::BinOp op) {
+  switch (op) {
+    case sql::BinOp::kEq: return "dbt::SelOp::kEq";
+    case sql::BinOp::kNeq: return "dbt::SelOp::kNe";
+    case sql::BinOp::kLt: return "dbt::SelOp::kLt";
+    case sql::BinOp::kLe: return "dbt::SelOp::kLe";
+    case sql::BinOp::kGt: return "dbt::SelOp::kGt";
+    case sql::BinOp::kGe: return "dbt::SelOp::kGe";
+    default: return "dbt::SelOp::kEq";
+  }
+}
+
+/// EventBatch column element type backing a trigger parameter lane.
+const char* ColElem(Type t) {
+  switch (t) {
+    case Type::kDouble: return "double";
+    case Type::kString: return "std::string";
+    default: return "int64_t";
+  }
+}
+
+/// Equality of extracted guard sets as multisets (order-insensitive).
+bool SamePredSet(const std::vector<tir::PredSpec>& a,
+                 const std::vector<tir::PredSpec>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const tir::PredSpec& pa : a) {
+    bool found = false;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && tir::PredSpecEquals(pa, b[j])) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Collect ring atoms of `e` whose argument lists are not fully bound by
+/// `bound`: slices and scans, whose contribution order is the iterated
+/// store's internal layout. Point accesses (all args bound) read values
+/// only and are layout-independent.
+void CollectIteratedStores(const ExprPtr& e, const std::set<std::string>& bound,
+                           std::set<std::string>* iterated) {
+  if (e == nullptr) return;
+  if (e->kind == ring::ExprKind::kRel || e->kind == ring::ExprKind::kMapRef) {
+    for (const std::string& a : e->args) {
+      if (bound.count(a) == 0) {
+        iterated->insert(e->name);
+        return;
+      }
+    }
+    return;
+  }
+  for (const ExprPtr& c : e->children) {
+    CollectIteratedStores(c, bound, iterated);
+  }
+}
+
+/// Collect every store name the expression can read back at runtime: kRel
+/// scans, kMapRef reads, and map reads buried inside value terms, lifts,
+/// and comparison operands.
+void CollectReadStores(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ring::ExprKind::kRel:
+    case ring::ExprKind::kMapRef:
+      out->insert(e->name);
+      break;
+    case ring::ExprKind::kValTerm:
+    case ring::ExprKind::kLift:
+      if (e->term != nullptr) e->term->CollectMapReads(out);
+      break;
+    case ring::ExprKind::kCmp:
+      if (e->cmp_lhs != nullptr) e->cmp_lhs->CollectMapReads(out);
+      if (e->cmp_rhs != nullptr) e->cmp_rhs->CollectMapReads(out);
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e->children) CollectReadStores(c, out);
+}
+
 /// Per-program code generation context.
 class Generator {
  public:
@@ -68,7 +155,35 @@ class Generator {
     // Base relation maps: any relation whose trigger exists or that appears
     // in a statement RHS / init definition.
     for (const Trigger& t : p_.triggers) rels_.insert(t.relation);
+    // Dead-store elimination for the base relation snapshots: rel_R_ is
+    // materialized only when something can read it back — a statement RHS
+    // scanning the relation, an init-on-access map definition, or a view
+    // expression. A write-only snapshot (q6s's LINEITEM) costs one hash
+    // update per event in every handler; eliding it is unobservable.
+    std::set<std::string> reads;
+    for (const Trigger& t : p_.triggers) {
+      for (const Statement& s : t.statements) {
+        CollectReadStores(s.rhs, &reads);
+        CollectReadStores(s.extreme_guard, &reads);
+        if (s.extreme_value != nullptr) {
+          s.extreme_value->CollectMapReads(&reads);
+        }
+      }
+    }
+    for (const MapDecl& m : p_.maps) {
+      if (m.needs_init) CollectReadStores(m.definition, &reads);
+    }
+    for (const ViewSpec& v : p_.views) {
+      CollectReadStores(v.having, &reads);
+      for (const ViewColumn& c : v.columns) {
+        if (c.value != nullptr) c.value->CollectMapReads(&reads);
+      }
+    }
+    for (const std::string& rel : rels_) {
+      if (reads.count(rel) != 0) live_rels_.insert(rel);
+    }
     AnalyzeShardPlan();
+    ComputeRelaxedOk();
   }
 
   Result<std::string> Run();
@@ -527,7 +642,271 @@ class Generator {
   }
 
   Status EmitTrigger(const tir::Trigger& trig, std::string* out);
+  Status EmitVecTrigger(const tir::Trigger& trig, std::string* out);
   Status EmitMaps(std::string* out);
+
+  // ---- group-vectorized batch path ----------------------------------------
+  //
+  // Layout-exactness vs. layout-drift. Run-batched commits into DOUBLE maps
+  // go through Map::find_value: a live key takes `*slot += v` per row (the
+  // exact add() sequence — doubles are never erased by add), an absent key
+  // falls back to per-row upd_ calls, so insertion order and float addition
+  // order are bit-identical to scalar replay. Batching INTEGER targets (one
+  // add per distinct key run) and statement-major phases over maps with
+  // several writers keep every per-key SUM exact but can change a store's
+  // internal LAYOUT (which transient zero got erased, insertion order).
+  // That drift is admissible only when provably unobservable: no statement
+  // or re-evaluation anywhere in the program iterates a drifted store into
+  // a float accumulation, and no init-on-access map can snapshot it.
+
+  /// True when a lane predicate is evaluable by the selection kernels with
+  /// C++ semantics identical to the scalar comparison.
+  bool PredSupported(const tir::PredSpec& ps) const {
+    const bool int_lane = ps.lane_type != Type::kDouble &&
+                          ps.lane_type != Type::kString;
+    switch (ps.kind) {
+      case tir::PredSpec::Kind::kCmp:
+        if (ps.values.size() != 1) return false;
+        if (ps.lane_type == Type::kString) {
+          return (ps.op == sql::BinOp::kEq || ps.op == sql::BinOp::kNeq) &&
+                 ps.values[0].is_string();
+        }
+        if (ps.values[0].is_string()) return false;
+        // An int lane against a double constant would truncate in the
+        // typed kernel; the scalar path compares in double. Fall back.
+        return !(int_lane && ps.values[0].is_double());
+      case tir::PredSpec::Kind::kRange:
+        return int_lane && ps.values.size() == 2 &&
+               !ps.values[0].is_string() && !ps.values[0].is_double() &&
+               !ps.values[1].is_string() && !ps.values[1].is_double();
+      case tir::PredSpec::Kind::kIn: {
+        if (ps.lane_type == Type::kString || ps.values.empty()) return false;
+        for (const Value& v : ps.values) {
+          if (v.is_string() || (int_lane && v.is_double())) return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool StmtPredsSupported(const tir::Stmt& s) const {
+    if (s.preds.empty()) return false;
+    for (const tir::PredSpec& ps : s.preds) {
+      if (!PredSupported(ps)) return false;
+    }
+    return true;
+  }
+
+  /// One target-key lane of a run-batched statement.
+  struct KeyLane {
+    size_t lane = 0;  ///< trigger parameter index
+    Type type = Type::kInt;
+    const tir::PredSpec* pin = nullptr;  ///< equality guard fixing the lane
+  };
+
+  /// True when every top-level residual factor is loop-free under a full
+  /// row binding: constants, terms, comparisons, and point atom accesses.
+  /// The run-batched double path duplicates the row body across the
+  /// live-slot / absent-key branches, so it requires a flat residual.
+  bool FlatResidual(const tir::Trigger& t, const tir::Stmt& s) const {
+    std::set<std::string> params;
+    for (const tir::Param& pr : t.params) params.insert(pr.name);
+    const ring::ExprPtr& rhs = s.preds.empty() ? s.stmt.rhs : s.vec_rhs;
+    std::vector<ring::ExprPtr> factors =
+        rhs->kind == ring::ExprKind::kProd ? rhs->children
+                                           : std::vector<ring::ExprPtr>{rhs};
+    for (const ring::ExprPtr& f : factors) {
+      switch (f->kind) {
+        case ring::ExprKind::kConst:
+        case ring::ExprKind::kValTerm:
+        case ring::ExprKind::kCmp:
+          break;
+        case ring::ExprKind::kRel:
+        case ring::ExprKind::kMapRef: {
+          for (const std::string& a : f->args) {
+            if (!params.count(a)) return false;
+          }
+          const MapDecl* decl = f->kind == ring::ExprKind::kMapRef &&
+                                        decls_.count(f->name)
+                                    ? decls_.at(f->name)
+                                    : nullptr;
+          if (f->kind == ring::ExprKind::kMapRef &&
+              (decl == nullptr || decl->needs_init)) {
+            return false;  // init reads may scan base tables
+          }
+          break;
+        }
+        default:
+          return false;  // lifts, sums, nested products: loop-bearing
+      }
+    }
+    return true;
+  }
+
+  /// Run-batched commit eligibility: every extracted guard has a kernel,
+  /// every target key is a plain event lane, string lanes are pinned by an
+  /// equality guard, unpinned lanes are int64-sortable, and the required
+  /// write-order relaxation is admissible for the target's value type.
+  bool BatchableStmt(const tir::Trigger& t, const tir::Stmt& s,
+                     std::vector<KeyLane>* lanes_out = nullptr) const {
+    if (s.statically_zero || s.stmt.kind != Statement::Kind::kDelta ||
+        !s.stmt.lhs_iterate.empty()) {
+      return false;
+    }
+    const MapDecl* decl =
+        decls_.count(s.stmt.target) ? decls_.at(s.stmt.target) : nullptr;
+    if (decl == nullptr || decl->is_extreme || decl->needs_init) return false;
+    const bool is_double = decl->value_type == Type::kDouble;
+    if (!is_double && !relaxed_ok_) return false;
+    if (!s.preds.empty() && !StmtPredsSupported(s)) return false;
+    std::vector<KeyLane> lanes;
+    for (const std::string& k : s.stmt.target_keys) {
+      size_t li = SIZE_MAX;
+      for (size_t i = 0; i < t.params.size(); ++i) {
+        if (t.params[i].name == k) { li = i; break; }
+      }
+      if (li == SIZE_MAX) return false;
+      KeyLane kl{li, t.params[li].type, nullptr};
+      for (const tir::PredSpec& ps : s.preds) {
+        if (ps.kind == tir::PredSpec::Kind::kCmp &&
+            ps.op == sql::BinOp::kEq && ps.lane == li) {
+          kl.pin = &ps;
+          break;
+        }
+      }
+      if (kl.pin == nullptr && kl.type == Type::kString) return false;
+      if (kl.pin == nullptr && kl.type == Type::kDouble) return false;
+      lanes.push_back(kl);
+    }
+    if (is_double && !FlatResidual(t, s)) return false;
+    if (lanes_out) *lanes_out = std::move(lanes);
+    return true;
+  }
+
+  /// Program-wide admissibility of layout drift (see block comment above):
+  /// seed the set with integer targets the vectorized path would commit in
+  /// merged/reordered order, then close over consumers that iterate a
+  /// drifted store. A double-valued consumer, a re-evaluation scan, or any
+  /// init-on-access map kills the relaxation globally.
+  void ComputeRelaxedOk() {
+    relaxed_ok_ = false;
+    for (const MapDecl& m : p_.maps) {
+      if (m.needs_init) return;
+    }
+    std::set<std::string> drifty;
+    for (const tir::Trigger& t : tir_.triggers) {
+      if (!t.vectorizable) continue;
+      bool all_delta = true;
+      for (const tir::Stmt& s : t.stmts) {
+        if (s.stmt.kind != Statement::Kind::kDelta ||
+            !s.stmt.lhs_iterate.empty()) {
+          all_delta = false;
+          break;
+        }
+      }
+      if (!all_delta) continue;
+      std::set<std::string> params;
+      for (const tir::Param& pr : t.params) params.insert(pr.name);
+      std::map<std::string, int> writers;
+      for (const tir::Stmt& s : t.stmts) {
+        if (!s.statically_zero) ++writers[s.stmt.target];
+      }
+      for (const tir::Stmt& s : t.stmts) {
+        if (s.statically_zero) continue;
+        const MapDecl* decl =
+            decls_.count(s.stmt.target) ? decls_.at(s.stmt.target) : nullptr;
+        if (decl == nullptr || decl->value_type == Type::kDouble) continue;
+        bool keyed_by_params = true;
+        for (const std::string& k : s.stmt.target_keys) {
+          if (!params.count(k)) { keyed_by_params = false; break; }
+        }
+        if (keyed_by_params || writers[s.stmt.target] > 1) {
+          drifty.insert(s.stmt.target);
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const tir::Trigger& t : tir_.triggers) {
+        std::set<std::string> params;
+        for (const tir::Param& pr : t.params) params.insert(pr.name);
+        for (const tir::Stmt& s : t.stmts) {
+          const Statement& st = s.stmt;
+          std::set<std::string> iterated;
+          if (st.kind == Statement::Kind::kReeval) {
+            CollectIteratedStores(st.rhs, {}, &iterated);
+            for (const std::string& m : iterated) {
+              if (drifty.count(m)) return;  // float refresh scans the store
+            }
+            continue;
+          }
+          if (st.kind == Statement::Kind::kExtreme) {
+            // Guards accumulate int64 indicators (exact under reorder);
+            // values/keys are point reads.
+            continue;
+          }
+          CollectIteratedStores(st.rhs, params, &iterated);
+          if (!st.lhs_iterate.empty()) iterated.insert(st.target);
+          bool reads_drifty = false;
+          for (const std::string& m : iterated) {
+            if (drifty.count(m)) { reads_drifty = true; break; }
+          }
+          if (!reads_drifty) continue;
+          const MapDecl* decl =
+              decls_.count(st.target) ? decls_.at(st.target) : nullptr;
+          if (decl == nullptr || decl->value_type == Type::kDouble) return;
+          if (drifty.insert(st.target).second) changed = true;
+        }
+      }
+    }
+    relaxed_ok_ = true;
+  }
+
+  /// The group-vectorized handler covers triggers whose statements are all
+  /// plain delta statements (tir-vectorizable: phase 1 reads nothing the
+  /// trigger writes), and pays off when some statement has extractable
+  /// guards, is statically zero, or admits run-batched commits.
+  bool VecEligible(const tir::Trigger& t) const {
+    if (!t.vectorizable || t.stmts.empty()) return false;
+    std::map<std::string, int> writers;
+    for (const tir::Stmt& s : t.stmts) {
+      if (s.stmt.kind != Statement::Kind::kDelta) return false;
+      if (!s.stmt.lhs_iterate.empty()) return false;
+      if (!s.statically_zero) ++writers[s.stmt.target];
+    }
+    bool worthwhile = false;
+    for (const tir::Stmt& s : t.stmts) {
+      const MapDecl* decl =
+          decls_.count(s.stmt.target) ? decls_.at(s.stmt.target) : nullptr;
+      if (decl == nullptr || decl->is_extreme) return false;
+      // Several writers of one target FUSE into a single loop (the exact
+      // per-event commit interleave, sound for any value type) when their
+      // masks and guard sets agree; otherwise the statement-major merge
+      // reorders per-key writes and needs the integer drift relaxation.
+      if (writers[s.stmt.target] > 1) {
+        bool fusable = true;
+        const tir::Stmt* first = nullptr;
+        for (const tir::Stmt& w : t.stmts) {
+          if (w.statically_zero || w.stmt.target != s.stmt.target) continue;
+          if (first == nullptr) { first = &w; continue; }
+          if (w.when != first->when || !SamePredSet(first->preds, w.preds)) {
+            fusable = false;
+            break;
+          }
+        }
+        if (!fusable &&
+            (decl->value_type == Type::kDouble || !relaxed_ok_)) {
+          return false;
+        }
+      }
+      if (s.statically_zero || StmtPredsSupported(s) || BatchableStmt(t, s)) {
+        worthwhile = true;
+      }
+    }
+    return worthwhile;
+  }
   Status EmitInitFunctions(std::string* out);
   Status EmitViews(std::string* out);
   Status EmitViewShim(std::string* out);
@@ -799,7 +1178,15 @@ class Generator {
   tir::Module tir_;
   std::map<std::string, const MapDecl*> decls_;
   std::set<std::string> rels_;
+  /// Relations whose base multiset some expression reads back; only these
+  /// get a rel_R_ member and per-event maintenance (see ctor).
+  std::set<std::string> live_rels_;
   ShardPlanInfo plan_;
+  /// Program-wide verdict: may integer map layout drift (run-batched adds,
+  /// statement-major multi-writer merges)? See ComputeRelaxedOk.
+  bool relaxed_ok_ = false;
+  /// Any trigger got a vec_<R> group handler (emit counters + overrides).
+  bool any_vec_ = false;
   std::vector<IndexReq> index_reqs_;
   int temp_ = 0;
   int indent_ = 1;
@@ -816,6 +1203,12 @@ Status Generator::EmitMaps(std::string* out) {
   }
   Line(out, "// --- base relation multiset maps (database snapshot) ---");
   for (const std::string& rel : rels_) {
+    if (live_rels_.count(rel) == 0) {
+      Line(out, StrFormat("// rel_%s_ elided: no statement, initializer, or "
+                          "view reads it back",
+                          rel.c_str()));
+      continue;
+    }
     const Schema* schema = RelSchema(rel);
     std::vector<Type> kt;
     for (size_t i = 0; i < schema->num_columns(); ++i) {
@@ -901,9 +1294,12 @@ Status Generator::EmitInitFunctions(std::string* out) {
 Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
   std::vector<std::string> params;
   Env env;
+  // [[maybe_unused]]: with the base-table update elided (see live_rels_),
+  // a column no statement references has no remaining use.
   for (const tir::Param& p : trig.params) {
     std::string arg = "arg_" + p.name;
-    params.push_back(StrFormat("%s %s", CppType(p.type), arg.c_str()));
+    params.push_back(StrFormat("[[maybe_unused]] %s %s", CppType(p.type),
+                               arg.c_str()));
     env.vars[p.name] = arg;
   }
   params.push_back("const int64_t sign");
@@ -934,6 +1330,10 @@ Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
   for (size_t si = 0; si < trig.stmts.size(); ++si) {
     const tir::Stmt& s = trig.stmts[si];
     if (s.stmt.kind != Statement::Kind::kDelta) continue;
+    if (s.statically_zero) {
+      Line(out, "// [statically zero] " + s.rendering);
+      continue;
+    }
     const MapDecl* decl = decls_.at(s.stmt.target);
     std::string pend = StrFormat("pend%zu", si);
     pend_names[si] = pend;
@@ -946,14 +1346,17 @@ Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
   }
 
   // Phase 2: base table + pending applications.
-  std::vector<std::string> args;
-  for (const tir::Param& p : trig.params) args.push_back("arg_" + p.name);
-  Line(out, StrFormat("upd_%s(std::make_tuple(%s), sign);",
-                      RelMapName(trig.relation).c_str(),
-                      Join(args, ", ").c_str()));
+  if (live_rels_.count(trig.relation) != 0) {
+    std::vector<std::string> args;
+    for (const tir::Param& p : trig.params) args.push_back("arg_" + p.name);
+    Line(out, StrFormat("upd_%s(std::make_tuple(%s), sign);",
+                        RelMapName(trig.relation).c_str(),
+                        Join(args, ", ").c_str()));
+  }
   for (size_t si = 0; si < trig.stmts.size(); ++si) {
     const tir::Stmt& s = trig.stmts[si];
     if (s.stmt.kind != Statement::Kind::kDelta) continue;
+    if (pend_names[si].empty()) continue;  // statically zero
     Line(out, StrFormat("for (const auto& kv : %s) upd_%s_(kv.first, "
                         "kv.second);",
                         pend_names[si].c_str(), s.stmt.target.c_str()));
@@ -1037,6 +1440,510 @@ Status Generator::EmitTrigger(const tir::Trigger& trig, std::string* out) {
     Line(out, "}");
   }
 
+  --indent_;
+  Line(out, "}");
+  return Status::OK();
+}
+
+/// Group-vectorized handler: one call per (relation, op) group (or per
+/// shard sub-range under a shard plan) replaces the per-row trigger calls.
+/// Extracted guards run once as selection kernels over whole column lanes;
+/// each statement then iterates only its class's survivors; statements
+/// whose target keys are event lanes sort survivors into key runs and
+/// commit each run with a single probe. Contribution values, their order,
+/// and float addition order are identical to per-row replay (see the
+/// layout-exactness comment at the analysis layer).
+Status Generator::EmitVecTrigger(const tir::Trigger& t, std::string* out) {
+  const std::string& rel = t.relation;
+
+  // Row binding identical to the scalar handler's, so factor ordering (and
+  // with it contribution order) matches on_<R> exactly.
+  Env row_env;
+  for (size_t i = 0; i < t.params.size(); ++i) {
+    row_env.vars[t.params[i].name] = StrFormat("c%zu[i]", i);
+  }
+  row_env.vars[tir::kSignVar] = "sign";
+
+  struct StmtPlan {
+    bool skip = false;      ///< statically zero
+    size_t cls = SIZE_MAX;  ///< selection class (SIZE_MAX: iterate base)
+    bool batched = false;
+    std::vector<KeyLane> lanes;
+    std::vector<const tir::PredSpec*> canon;  ///< canonical guard order
+  };
+  std::vector<StmtPlan> plans(t.stmts.size());
+
+  // Canonical guard order: shared (popular) guards sort first so classes
+  // overlap on a common prefix evaluated once. Reordering selection passes
+  // is exact — each is a pure 0/1 mask.
+  auto pred_tiebreak = [](const tir::PredSpec& ps) {
+    std::string k = StrFormat("%03zu|%d|%d", ps.lane,
+                              static_cast<int>(ps.kind),
+                              static_cast<int>(ps.op));
+    for (const Value& v : ps.values) k += "|" + ValueLiteral(v);
+    return k;
+  };
+  auto popularity = [&](const tir::PredSpec& ps) {
+    int n = 0;
+    for (const tir::Stmt& s : t.stmts) {
+      if (s.statically_zero || !StmtPredsSupported(s)) continue;
+      for (const tir::PredSpec& q : s.preds) {
+        if (tir::PredSpecEquals(ps, q)) { ++n; break; }
+      }
+    }
+    return n;
+  };
+
+  std::vector<std::vector<const tir::PredSpec*>> classes;
+  for (size_t si = 0; si < t.stmts.size(); ++si) {
+    const tir::Stmt& s = t.stmts[si];
+    StmtPlan& pl = plans[si];
+    if (s.statically_zero) { pl.skip = true; continue; }
+    pl.batched = BatchableStmt(t, s, &pl.lanes);
+    if (!StmtPredsSupported(s)) continue;  // no guards (or no kernel): base
+    for (const tir::PredSpec& q : s.preds) pl.canon.push_back(&q);
+    std::stable_sort(pl.canon.begin(), pl.canon.end(),
+                     [&](const tir::PredSpec* a, const tir::PredSpec* b) {
+                       const int pa = popularity(*a), pb = popularity(*b);
+                       if (pa != pb) return pa > pb;
+                       return pred_tiebreak(*a) < pred_tiebreak(*b);
+                     });
+    for (size_t ci = 0; ci < classes.size() && pl.cls == SIZE_MAX; ++ci) {
+      if (classes[ci].size() != pl.canon.size()) continue;
+      bool same = true;
+      for (size_t j = 0; j < pl.canon.size() && same; ++j) {
+        same = tir::PredSpecEquals(*classes[ci][j], *pl.canon[j]);
+      }
+      if (same) pl.cls = ci;
+    }
+    if (pl.cls == SIZE_MAX) {
+      classes.push_back(pl.canon);
+      pl.cls = classes.size() - 1;
+    }
+  }
+
+  // Fusion: all writers of one target sharing a mask and selection class
+  // collapse into one loop whose per-row body applies the statements in
+  // order — the exact per-event commit interleave, sound for any value
+  // type with no layout relaxation.
+  std::vector<size_t> fuse_leader(t.stmts.size(), SIZE_MAX);
+  std::map<size_t, std::vector<size_t>> fuse_groups;  // leader -> members
+  {
+    std::map<std::string, std::vector<size_t>> by_target;
+    for (size_t si = 0; si < t.stmts.size(); ++si) {
+      if (!plans[si].skip) {
+        by_target[t.stmts[si].stmt.target].push_back(si);
+      }
+    }
+    for (const auto& [tgt, idxs] : by_target) {
+      if (idxs.size() < 2) continue;
+      bool fusable = true;
+      for (size_t k = 1; k < idxs.size() && fusable; ++k) {
+        fusable = t.stmts[idxs[k]].when == t.stmts[idxs[0]].when &&
+                  plans[idxs[k]].cls == plans[idxs[0]].cls;
+      }
+      if (!fusable) continue;
+      for (size_t si : idxs) fuse_leader[si] = idxs[0];
+      fuse_groups[idxs[0]] = idxs;
+    }
+  }
+  auto lanes_equal = [](const std::vector<KeyLane>& a,
+                        const std::vector<KeyLane>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].lane != b[i].lane) return false;
+      if ((a[i].pin == nullptr) != (b[i].pin == nullptr)) return false;
+      if (a[i].pin != nullptr &&
+          !tir::PredSpecEquals(*a[i].pin, *b[i].pin)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Longest guard prefix common to every class.
+  size_t prefix_len = 0;
+  if (classes.size() >= 2) {
+    size_t min_len = classes[0].size();
+    for (const auto& c : classes) min_len = std::min(min_len, c.size());
+    while (prefix_len < min_len) {
+      bool same = true;
+      for (size_t ci = 1; ci < classes.size() && same; ++ci) {
+        same = tir::PredSpecEquals(*classes[0][prefix_len],
+                                   *classes[ci][prefix_len]);
+      }
+      if (!same) break;
+      ++prefix_len;
+    }
+  }
+
+  // [[maybe_unused]]: a lane may go unreferenced once the base-table
+  // update is elided and no guard or RHS touches it.
+  std::string cparams;
+  for (size_t i = 0; i < t.params.size(); ++i) {
+    cparams += StrFormat("[[maybe_unused]] const %s* c%zu, ",
+                         ColElem(t.params[i].type), i);
+  }
+  Line(out, StrFormat("void vec_%s(%sconst uint32_t* base, "
+                      "const uint32_t base_n, const int64_t sign) {",
+                      rel.c_str(), cparams.c_str()));
+  ++indent_;
+  Line(out, "uint64_t vec_rows = 0;");
+  Line(out, "uint64_t vec_runs = 0;");
+
+  // --- selection prologue (guard extraction -> kernels) ---
+  Line(out, "// --- selection prologue (guard extraction -> kernels) ---");
+  auto emit_pass = [&](const tir::PredSpec& ps, const std::string& in,
+                       const std::string& inn, const std::string& sel,
+                       const std::string& cnt_lhs) {
+    const std::string lane = StrFormat("c%zu", ps.lane);
+    const char* ty = ps.lane_type == Type::kDouble ? "double" : "int64_t";
+    switch (ps.kind) {
+      case tir::PredSpec::Kind::kCmp:
+        if (ps.lane_type == Type::kString) {
+          Line(out, StrFormat("%s = dbt::SelStr%s(%s, %s, %s, %s, %s);",
+                              cnt_lhs.c_str(),
+                              ps.op == sql::BinOp::kEq ? "Eq" : "Ne",
+                              lane.c_str(),
+                              EscapeString(ps.values[0].AsString()).c_str(),
+                              in.c_str(), inn.c_str(), sel.c_str()));
+        } else {
+          Line(out, StrFormat("%s = dbt::SelCmp<%s>(%s, %s, %s, %s, %s, %s);",
+                              cnt_lhs.c_str(), ty, lane.c_str(),
+                              SelOpName(ps.op),
+                              ValueLiteral(ps.values[0]).c_str(), in.c_str(),
+                              inn.c_str(), sel.c_str()));
+        }
+        break;
+      case tir::PredSpec::Kind::kRange:
+        Line(out, StrFormat("%s = dbt::SelRange<int64_t>(%s, %s, %s, %s, %s, "
+                            "%s);",
+                            cnt_lhs.c_str(), lane.c_str(),
+                            ValueLiteral(ps.values[0]).c_str(),
+                            ValueLiteral(ps.values[1]).c_str(), in.c_str(),
+                            inn.c_str(), sel.c_str()));
+        break;
+      case tir::PredSpec::Kind::kIn: {
+        std::string arr = Fresh("inl");
+        std::vector<std::string> lits;
+        for (const Value& v : ps.values) lits.push_back(ValueLiteral(v));
+        Line(out, StrFormat("const %s %s[] = {%s};", ty, arr.c_str(),
+                            Join(lits, ", ").c_str()));
+        Line(out, StrFormat("%s = dbt::SelIn<%s>(%s, %s, %zu, %s, %s, %s);",
+                            cnt_lhs.c_str(), ty, lane.c_str(), arr.c_str(),
+                            ps.values.size(), in.c_str(), inn.c_str(),
+                            sel.c_str()));
+        break;
+      }
+    }
+  };
+  if (prefix_len > 0) {
+    Line(out, "// shared guard prefix");
+    Line(out, "dbt::SelBuf sbp;");
+    Line(out, "uint32_t* selp = sbp.data(base_n);");
+    for (size_t j = 0; j < prefix_len; ++j) {
+      emit_pass(*classes[0][j], j == 0 ? "base" : "selp",
+                j == 0 ? "base_n" : "cntp", "selp",
+                j == 0 ? "uint32_t cntp" : "cntp");
+    }
+  }
+  for (size_t ci = 0; ci < classes.size(); ++ci) {
+    const std::string sel = StrFormat("sel%zu", ci);
+    const std::string cnt = StrFormat("cnt%zu", ci);
+    if (prefix_len > 0 && classes[ci].size() == prefix_len) {
+      Line(out, StrFormat("uint32_t* %s = selp;", sel.c_str()));
+      Line(out, StrFormat("const uint32_t %s = cntp;", cnt.c_str()));
+    } else {
+      Line(out, StrFormat("dbt::SelBuf sb%zu;", ci));
+      Line(out, StrFormat("uint32_t* %s = sb%zu.data(base_n);", sel.c_str(),
+                          ci));
+      for (size_t j = prefix_len; j < classes[ci].size(); ++j) {
+        const bool first = j == prefix_len;
+        emit_pass(*classes[ci][j],
+                  first ? (prefix_len > 0 ? "selp" : "base") : sel,
+                  first ? (prefix_len > 0 ? "cntp" : "base_n") : cnt, sel,
+                  first ? "uint32_t " + cnt : cnt);
+      }
+    }
+    Line(out, StrFormat("vec_rows += %s;", cnt.c_str()));
+  }
+
+  // --- statement phases (statement-major, selection-vector iteration) ---
+  Line(out, "// --- statement phases (statement-major, "
+            "selection-vector iteration) ---");
+  // Base-table update first: no delta statement reads the triggering
+  // relation (tir vectorizable covers init cascades too), so folding the
+  // relation update ahead of all statements matches per-row phase order.
+  if (live_rels_.count(rel) != 0) {
+    std::vector<std::string> args;
+    for (size_t i = 0; i < t.params.size(); ++i) {
+      args.push_back(StrFormat("c%zu[i]", i));
+    }
+    Line(out, "for (uint32_t ii = 0; ii < base_n; ++ii) {");
+    ++indent_;
+    Line(out, "const uint32_t i = base != nullptr ? base[ii] : ii;");
+    Line(out, StrFormat("upd_%s(std::make_tuple(%s), sign);",
+                        RelMapName(rel).c_str(), Join(args, ", ").c_str()));
+    --indent_;
+    Line(out, "}");
+  }
+
+  for (size_t si = 0; si < t.stmts.size(); ++si) {
+    const tir::Stmt& s = t.stmts[si];
+    const StmtPlan& pl = plans[si];
+    if (pl.skip) {
+      Line(out, "// [statically zero] " + s.rendering);
+      continue;
+    }
+    if (fuse_leader[si] != SIZE_MAX && fuse_leader[si] != si) {
+      Line(out, "// [fused above] " + s.rendering);
+      continue;
+    }
+    std::vector<size_t> members{si};
+    if (fuse_groups.count(si)) members = fuse_groups.at(si);
+    // One fused per-row body: each member statement's contributions in
+    // statement order — the scalar per-event apply sequence.
+    auto emit_bodies =
+        [&](const std::function<Sink(const tir::Stmt&)>& make_sink)
+        -> Status {
+      for (size_t mi : members) {
+        const tir::Stmt& ms = t.stmts[mi];
+        const ring::ExprPtr mrhs =
+            plans[mi].cls != SIZE_MAX ? ms.vec_rhs : ms.stmt.rhs;
+        DBT_RETURN_IF_ERROR(
+            EmitContribs(mrhs, row_env, out, make_sink(ms)));
+      }
+      return Status::OK();
+    };
+    bool batched = pl.batched;
+    for (size_t mi : members) {
+      batched = batched && plans[mi].batched &&
+                lanes_equal(pl.lanes, plans[mi].lanes);
+    }
+    const MapDecl* decl = decls_.at(s.stmt.target);
+    const bool base_sel = pl.cls == SIZE_MAX;
+    const std::string sel =
+        base_sel ? "base" : StrFormat("sel%zu", pl.cls);
+    const std::string cnt =
+        base_sel ? "base_n" : StrFormat("cnt%zu", pl.cls);
+    // [[maybe_unused]]: a fully run-key-bound RHS reads no per-row lane.
+    auto row_at = [&](const std::string& idx) {
+      return base_sel ? StrFormat("[[maybe_unused]] const uint32_t i = "
+                                  "base != nullptr ? base[%s] : %s;",
+                                  idx.c_str(), idx.c_str())
+                      : StrFormat("[[maybe_unused]] const uint32_t i = "
+                                  "%s[%s];",
+                                  sel.c_str(), idx.c_str());
+    };
+
+    Line(out, "{  // " + s.rendering);
+    ++indent_;
+    bool opened = false;
+    if (s.when != tir::Stmt::When::kBoth) {
+      Line(out, s.when == tir::Stmt::When::kInsertOnly ? "if (sign > 0) {"
+                                                       : "if (sign < 0) {");
+      ++indent_;
+      opened = true;
+    }
+
+    if (!batched) {
+      Line(out, StrFormat("for (uint32_t ii = 0; ii < %s; ++ii) {",
+                          cnt.c_str()));
+      ++indent_;
+      Line(out, row_at("ii"));
+      auto make_sink = [&](const tir::Stmt& mref) -> Sink {
+        const tir::Stmt* ms = &mref;
+        return [&, ms](const Env& e2, const std::string& value) -> Status {
+          std::vector<std::string> keys;
+          for (const std::string& kv : ms->stmt.target_keys) {
+            auto it = e2.vars.find(kv);
+            if (it == e2.vars.end()) {
+              return Status::Internal("codegen: unbound target key " + kv);
+            }
+            keys.push_back(it->second);
+          }
+          Line(out, StrFormat("upd_%s_(std::make_tuple(%s), "
+                              "static_cast<%s>(%s));",
+                              ms->stmt.target.c_str(),
+                              Join(keys, ", ").c_str(),
+                              CppType(decl->value_type), value.c_str()));
+          return Status::OK();
+        };
+      };
+      DBT_RETURN_IF_ERROR(emit_bodies(make_sink));
+      --indent_;
+      Line(out, "}");
+    } else {
+      std::vector<KeyLane> unpinned;
+      for (const KeyLane& kl : pl.lanes) {
+        if (kl.pin == nullptr) unpinned.push_back(kl);
+      }
+      std::vector<std::string> run_keys;
+      size_t uj = 0;
+      for (const KeyLane& kl : pl.lanes) {
+        if (kl.pin != nullptr) {
+          const Value& v = kl.pin->values[0];
+          run_keys.push_back(
+              kl.type == Type::kString
+                  ? "std::string(" + EscapeString(v.AsString()) + ")"
+                  : ValueLiteral(v));
+        } else {
+          run_keys.push_back(StrFormat("rk%zu", uj++));
+        }
+      }
+      const std::string rkey =
+          "std::make_tuple(" + Join(run_keys, ", ") + ")";
+      const bool is_double = decl->value_type == Type::kDouble;
+
+      // Emits one key run: rows [lo, hi) of `iter` accumulated locally,
+      // one probe/commit per distinct key.
+      auto emit_run = [&](const std::string& iter_open,
+                          const std::string& iter_row) -> Status {
+        if (is_double) {
+          std::string slot = Fresh("slot");
+          Line(out, StrFormat("double* %s = %s_.find_value(%s);",
+                              slot.c_str(), s.stmt.target.c_str(),
+                              rkey.c_str()));
+          Line(out, "++vec_runs;");
+          auto body = [&](bool live) -> Status {
+            Line(out, iter_open);
+            ++indent_;
+            Line(out, iter_row);
+            Sink sink = [&](const Env&, const std::string& value) -> Status {
+              if (live) {
+                // The exact add() sequence on a live key: doubles are never
+                // erased by add, so the slot stays valid for the run.
+                Line(out, StrFormat("*%s += static_cast<double>(%s);",
+                                    slot.c_str(), value.c_str()));
+              } else {
+                Line(out, StrFormat("upd_%s_(%s, static_cast<double>(%s));",
+                                    s.stmt.target.c_str(), rkey.c_str(),
+                                    value.c_str()));
+              }
+              return Status::OK();
+            };
+            DBT_RETURN_IF_ERROR(
+                emit_bodies([&](const tir::Stmt&) { return sink; }));
+            --indent_;
+            Line(out, "}");
+            return Status::OK();
+          };
+          Line(out, StrFormat("if (%s != nullptr) {", slot.c_str()));
+          ++indent_;
+          DBT_RETURN_IF_ERROR(body(true));
+          --indent_;
+          Line(out, "} else {");
+          ++indent_;
+          DBT_RETURN_IF_ERROR(body(false));
+          --indent_;
+          Line(out, "}");
+          return Status::OK();
+        }
+        std::string acc = Fresh("acc");
+        Line(out, StrFormat("int64_t %s = 0;", acc.c_str()));
+        Line(out, iter_open);
+        ++indent_;
+        Line(out, iter_row);
+        Sink sink = [&](const Env&, const std::string& value) -> Status {
+          Line(out, StrFormat("%s += static_cast<int64_t>(%s);", acc.c_str(),
+                              value.c_str()));
+          return Status::OK();
+        };
+        DBT_RETURN_IF_ERROR(
+            emit_bodies([&](const tir::Stmt&) { return sink; }));
+        --indent_;
+        Line(out, "}");
+        Line(out, "++vec_runs;");
+        Line(out, StrFormat("upd_%s_(%s, %s);", s.stmt.target.c_str(),
+                            rkey.c_str(), acc.c_str()));
+        return Status::OK();
+      };
+
+      if (unpinned.empty()) {
+        // All key lanes pinned (or scalar target): the class is one run.
+        Line(out, StrFormat("if (%s > 0) {", cnt.c_str()));
+        ++indent_;
+        DBT_RETURN_IF_ERROR(emit_run(
+            StrFormat("for (uint32_t ii = 0; ii < %s; ++ii) {", cnt.c_str()),
+            row_at("ii")));
+        --indent_;
+        Line(out, "}");
+      } else {
+        // Stable sort of the survivors on the unpinned key lanes: per-key
+        // row order stays ascending, so per-key write sequences are the
+        // scalar ones.
+        std::string srt = Fresh("srt");
+        Line(out, StrFormat("dbt::SelBuf sb_%s;", srt.c_str()));
+        Line(out, StrFormat("uint32_t* %s = sb_%s.data(%s);", srt.c_str(),
+                            srt.c_str(), cnt.c_str()));
+        if (base_sel) {
+          Line(out, "if (base != nullptr) {");
+          ++indent_;
+          Line(out, StrFormat("std::copy(base, base + base_n, %s);",
+                              srt.c_str()));
+          --indent_;
+          Line(out, "} else {");
+          ++indent_;
+          Line(out, StrFormat(
+                        "for (uint32_t ii = 0; ii < base_n; ++ii) %s[ii] = ii;",
+                        srt.c_str()));
+          --indent_;
+          Line(out, "}");
+        } else {
+          Line(out, StrFormat("std::copy(%s, %s + %s, %s);", sel.c_str(),
+                              sel.c_str(), cnt.c_str(), srt.c_str()));
+        }
+        Line(out, StrFormat("std::stable_sort(%s, %s + %s, "
+                            "[&](uint32_t ra, uint32_t rb) {",
+                            srt.c_str(), srt.c_str(), cnt.c_str()));
+        ++indent_;
+        for (size_t j = 0; j + 1 < unpinned.size(); ++j) {
+          Line(out, StrFormat("if (c%zu[ra] != c%zu[rb]) "
+                              "return c%zu[ra] < c%zu[rb];",
+                              unpinned[j].lane, unpinned[j].lane,
+                              unpinned[j].lane, unpinned[j].lane));
+        }
+        Line(out, StrFormat("return c%zu[ra] < c%zu[rb];",
+                            unpinned.back().lane, unpinned.back().lane));
+        --indent_;
+        Line(out, "});");
+        std::string rv = Fresh("r");
+        std::string rend = Fresh("rend");
+        Line(out, StrFormat("uint32_t %s = 0;", rv.c_str()));
+        Line(out, StrFormat("while (%s < %s) {", rv.c_str(), cnt.c_str()));
+        ++indent_;
+        std::string conj;
+        for (size_t j = 0; j < unpinned.size(); ++j) {
+          Line(out, StrFormat("const int64_t rk%zu = c%zu[%s[%s]];", j,
+                              unpinned[j].lane, srt.c_str(), rv.c_str()));
+          conj += StrFormat("%sc%zu[%s[%s]] == rk%zu", j == 0 ? "" : " && ",
+                            unpinned[j].lane, srt.c_str(), rend.c_str(), j);
+        }
+        Line(out, StrFormat("uint32_t %s = %s + 1;", rend.c_str(),
+                            rv.c_str()));
+        Line(out, StrFormat("while (%s < %s && %s) ++%s;", rend.c_str(),
+                            cnt.c_str(), conj.c_str(), rend.c_str()));
+        DBT_RETURN_IF_ERROR(emit_run(
+            StrFormat("for (uint32_t ii = %s; ii < %s; ++ii) {", rv.c_str(),
+                      rend.c_str()),
+            StrFormat("[[maybe_unused]] const uint32_t i = %s[ii];",
+                      srt.c_str())));
+        Line(out, StrFormat("%s = %s;", rv.c_str(), rend.c_str()));
+        --indent_;
+        Line(out, "}");
+      }
+    }
+
+    if (opened) {
+      --indent_;
+      Line(out, "}");
+    }
+    --indent_;
+    Line(out, "}");
+  }
+
+  Line(out, "selected_rows_.fetch_add(vec_rows, std::memory_order_relaxed);");
+  Line(out, "probe_runs_.fetch_add(vec_runs, std::memory_order_relaxed);");
   --indent_;
   Line(out, "}");
   return Status::OK();
@@ -1157,6 +2064,29 @@ Status Generator::EmitBatchHandlers(std::string* out) {
   for (const tir::Trigger& t : tir_.triggers) {
     const std::string& rel = t.relation;
     const size_t ncols = t.params.size();
+    bool vec = VecEligible(t);
+    if (vec) {
+      // Emission size budget: a handler whose statement residuals are deep
+      // join pyramids re-renders them once per selection class, and on such
+      // triggers the prologue win is noise against the residual cost (the
+      // wide q41 join). Dropping the oversized handler keeps dbtc output
+      // lean (tools/check_gen_loc.sh) — the scalar per-row path remains.
+      static constexpr size_t kVecEmitLineCap = 300;
+      std::string vec_text;
+      DBT_RETURN_IF_ERROR(EmitVecTrigger(t, &vec_text));
+      const size_t lines =
+          static_cast<size_t>(std::count(vec_text.begin(), vec_text.end(),
+                                         '\n'));
+      if (lines <= kVecEmitLineCap) {
+        any_vec_ = true;
+        out->append(vec_text);
+      } else {
+        vec = false;
+        Line(out, StrFormat("// vec_%s elided: %zu lines exceeds the "
+                            "emission budget (%zu)",
+                            rel.c_str(), lines, kVecEmitLineCap));
+      }
+    }
     std::vector<std::string> tags(ncols), fields(ncols), elems(ncols);
     for (size_t i = 0; i < ncols; ++i) {
       switch (t.params[i].type) {
@@ -1193,11 +2123,12 @@ Status Generator::EmitBatchHandlers(std::string* out) {
     }
     Line(out, StrFormat("if (%s) {", check.c_str()));
     ++indent_;
-    std::string col_args;
+    std::string col_args, vec_args;
     for (size_t i = 0; i < ncols; ++i) {
       Line(out, StrFormat("const %s* c%zu = g.cols[%zu].%s.data();",
                           elems[i].c_str(), i, i, fields[i].c_str()));
       col_args += StrFormat("c%zu[i], ", i);
+      vec_args += StrFormat("c%zu, ", i);
     }
     if (plan_.ok) {
       Line(out, "if (n >= dbt::kShardBatchCutoff) {");
@@ -1212,13 +2143,44 @@ Status Generator::EmitBatchHandlers(std::string* out) {
       Line(out, "dbt::shard_pool().RunShards(dbt::kNumShards, "
                 "[&](size_t shard) {");
       ++indent_;
-      Line(out, "for (uint32_t i : shard_idx[shard]) {");
-      ++indent_;
-      Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), col_args.c_str()));
-      --indent_;
-      Line(out, "}");
+      if (vec) {
+        // Selection runs AFTER the shard split, over each shard's
+        // sub-range — never re-evaluated per row.
+        Line(out, "if (dbt::SelectionEnabled()) {");
+        ++indent_;
+        Line(out, StrFormat("vec_%s(%sshard_idx[shard].data(), "
+                            "static_cast<uint32_t>(shard_idx[shard].size()), "
+                            "sign);",
+                            rel.c_str(), vec_args.c_str()));
+        --indent_;
+        Line(out, "} else {");
+        ++indent_;
+        Line(out, "for (uint32_t i : shard_idx[shard]) {");
+        ++indent_;
+        Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), col_args.c_str()));
+        --indent_;
+        Line(out, "}");
+        --indent_;
+        Line(out, "}");
+      } else {
+        Line(out, "for (uint32_t i : shard_idx[shard]) {");
+        ++indent_;
+        Line(out, StrFormat("on_%s(%ssign);", rel.c_str(), col_args.c_str()));
+        --indent_;
+        Line(out, "}");
+      }
       --indent_;
       Line(out, "});");
+      Line(out, "return n;");
+      --indent_;
+      Line(out, "}");
+    }
+    if (vec) {
+      Line(out, "if (dbt::SelectionEnabled() && n > 1) {");
+      ++indent_;
+      Line(out, StrFormat("vec_%s(%snullptr, static_cast<uint32_t>(n), "
+                          "sign);",
+                          rel.c_str(), vec_args.c_str()));
       Line(out, "return n;");
       --indent_;
       Line(out, "}");
@@ -1331,6 +2293,7 @@ Status Generator::EmitDispatcher(std::string* out) {
   ++indent_;
   Line(out, "size_t bytes = 0;");
   for (const std::string& rel : rels_) {
+    if (live_rels_.count(rel) == 0) continue;
     Line(out, StrFormat("bytes += rel_%s_.bytes();", rel.c_str()));
   }
   for (const MapDecl& m : p_.maps) {
@@ -1342,6 +2305,20 @@ Status Generator::EmitDispatcher(std::string* out) {
   Line(out, "return bytes;");
   --indent_;
   Line(out, "}");
+
+  if (any_vec_) {
+    // Selection-path observability for the bench harness.
+    Line(out, "uint64_t selected_rows() const override {");
+    ++indent_;
+    Line(out, "return selected_rows_.load(std::memory_order_relaxed);");
+    --indent_;
+    Line(out, "}");
+    Line(out, "uint64_t probe_runs() const override {");
+    ++indent_;
+    Line(out, "return probe_runs_.load(std::memory_order_relaxed);");
+    --indent_;
+    Line(out, "}");
+  }
   return Status::OK();
 }
 
@@ -1485,6 +2462,7 @@ Result<std::string> Generator::Run() {
                    store.c_str(), inserts.c_str(), erases.c_str()));
   };
   for (const std::string& rel : rels_) {
+    if (live_rels_.count(rel) == 0) continue;
     const Schema* schema = RelSchema(rel);
     std::vector<Type> kt;
     for (size_t i = 0; i < schema->num_columns(); ++i) {
@@ -1496,6 +2474,11 @@ Result<std::string> Generator::Run() {
     if (m.is_extreme) continue;
     emit_wrappers(m.name + "_", m.key_types, CppType(m.value_type));
   }
+  if (any_vec_) {
+    Line(&body, "// --- selection-path counters ---");
+    Line(&body, "std::atomic<uint64_t> selected_rows_{0};");
+    Line(&body, "std::atomic<uint64_t> probe_runs_{0};");
+  }
 
   std::string out;
   out += "// Generated by dbtc (DBToaster SQL-to-C++ compiler). DO NOT EDIT.\n";
@@ -1503,8 +2486,8 @@ Result<std::string> Generator::Run() {
     out += "//   view " + v.name + ": " + v.sql + "\n";
   }
   out += "#pragma once\n";
-  out += "#include <cstdint>\n#include <set>\n#include <string>\n";
-  out += "#include <tuple>\n#include <vector>\n";
+  out += "#include <algorithm>\n#include <cstdint>\n#include <set>\n";
+  out += "#include <string>\n#include <tuple>\n#include <vector>\n";
   out += "#include \"" + opts_.runtime_header + "\"\n\n";
   out += "namespace " + opts_.name_space + " {\n\n";
   // Guarded so several generated headers can share one translation unit.

@@ -740,6 +740,12 @@ class Sharded {
   bool contains(const K& k) const {
     return parts_[shard_of(k)].contains(k);
   }
+  /// Forwarded Map::find_value: mutable slot of a live entry, routed to the
+  /// owning partition (nullptr when absent).
+  template <typename K>
+  auto find_value(const K& k) {
+    return parts_[shard_of(k)].find_value(k);
+  }
   template <typename K, typename V>
   auto add(const K& k, V delta) {
     return parts_[shard_of(k)].add(k, std::move(delta));

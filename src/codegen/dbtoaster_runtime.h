@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dbt_flat_map.h"
+#include "dbt_select.h"
 #include "dbt_shard_pool.h"
 
 namespace dbt {
@@ -123,6 +124,13 @@ class Map {
     return v == nullptr ? V{} : *v;
   }
   bool contains(const K& k) const { return data_.contains(k); }
+
+  /// Mutable slot of a live entry (nullptr when absent). The run-batched
+  /// commit path in generated batch handlers hoists one probe per distinct
+  /// key run and accumulates through the pointer; valid only until the next
+  /// insertion into this map. Double-valued entries are never erased by
+  /// add(), so `*slot += delta` per row is exactly the add() sequence.
+  V* find_value(const K& k) { return data_.find(k); }
 
   Upd add(const K& k, V delta) {
     if (delta == V{}) return Upd::kUnchanged;
@@ -434,6 +442,13 @@ class StreamProgram {
   /// views); the typed view_<name>() accessors avoid the conversion.
   virtual std::vector<std::vector<Value>> view_rows(
       const std::string& view) = 0;
+
+  /// Vectorized-selection instrumentation (bench counters; see
+  /// dbt_select.h). Programs compiled without a selection prologue report 0.
+  /// `selected_rows` counts rows surviving a selection pass; `probe_runs`
+  /// counts run-batched map commits (one per distinct key run).
+  virtual uint64_t selected_rows() const { return 0; }
+  virtual uint64_t probe_runs() const { return 0; }
 
   /// Total live entries across aggregate maps.
   virtual size_t total_map_entries() const = 0;

@@ -314,6 +314,172 @@ ring::VarTypes TypeStatement(const Stmt& s, const Program& p,
 
 }  // namespace
 
+// ---- guard predicate extraction ------------------------------------------
+// A delta RHS is (after simplification) a product of 0/1 guard factors,
+// value factors and atoms. Guards comparing one trigger parameter against a
+// constant factor out of the whole product — they are constant across the
+// statement's bindings — so backends may evaluate them once per row with
+// the selection kernels and skip the residual entirely when they fail.
+// Extraction is purely structural: it never fires on factors referencing
+// kSignVar (the constant side must be a literal), lift-bound variables or
+// LHS-iteration variables (those statements are skipped outright).
+
+namespace {
+
+struct LaneInfo {
+  size_t index;
+  Type type;
+};
+
+/// Try to read `f` as an extractable guard over one of `lanes`.
+bool ExtractablePred(const ExprPtr& f,
+                     const std::map<std::string, LaneInfo>& lanes,
+                     PredSpec* out) {
+  if (f->kind != ring::ExprKind::kCmp) return false;
+  sql::BinOp op = f->cmp_op;
+  if (!sql::IsComparison(op) || op == sql::BinOp::kLike ||
+      op == sql::BinOp::kNotLike) {
+    return false;
+  }
+  TermPtr lhs = f->cmp_lhs, rhs = f->cmp_rhs;
+  if (lhs == nullptr || rhs == nullptr) return false;
+  if (lhs->IsConst() && !rhs->IsConst()) {
+    std::swap(lhs, rhs);
+    op = sql::FlipComparison(op);
+  }
+  if (!rhs->IsConst()) return false;
+  const Value& c = rhs->constant;
+
+  // Bare parameter against a literal.
+  if (lhs->IsVar()) {
+    auto it = lanes.find(lhs->var);
+    if (it == lanes.end()) return false;
+    const LaneInfo& lane = it->second;
+    if (lane.type == Type::kString) {
+      // Only equality shapes map onto the string kernels.
+      if (op != sql::BinOp::kEq && op != sql::BinOp::kNeq) return false;
+      if (!c.is_string()) return false;
+    } else if (c.is_string()) {
+      return false;
+    }
+    out->kind = PredSpec::Kind::kCmp;
+    out->lane = lane.index;
+    out->lane_type = lane.type;
+    out->op = op;
+    out->values = {c};
+    return true;
+  }
+
+  // EXTRACT(YEAR FROM date_param) = y rewrites to the half-open day range
+  // [Jan 1 of y, Jan 1 of y+1); month/day extracts are not contiguous.
+  if (lhs->kind == Term::Kind::kFunc1 &&
+      lhs->func == sql::FuncKind::kExtractYear && lhs->lhs != nullptr &&
+      lhs->lhs->IsVar() && op == sql::BinOp::kEq && c.is_int()) {
+    auto it = lanes.find(lhs->lhs->var);
+    if (it == lanes.end() || it->second.type != Type::kDate) return false;
+    const int64_t y = c.AsInt();
+    if (y < 1 || y > 9998) return false;
+    out->kind = PredSpec::Kind::kRange;
+    out->lane = it->second.index;
+    out->lane_type = Type::kDate;
+    out->values = {Value(CivilToDays(static_cast<int>(y), 1, 1)),
+                   Value(CivilToDays(static_cast<int>(y) + 1, 1, 1))};
+    return true;
+  }
+  return false;
+}
+
+bool ValueIdentical(const Value& a, const Value& b) {
+  if (a.is_string() != b.is_string() || a.is_double() != b.is_double()) {
+    return false;
+  }
+  return Value::Compare(a, b) == 0;
+}
+
+}  // namespace
+
+std::string PredSpec::ToString(const std::vector<Param>& params) const {
+  std::string head =
+      "#" + std::to_string(lane) + " " +
+      (lane < params.size() ? params[lane].name : std::string("?"));
+  switch (kind) {
+    case Kind::kCmp:
+      return head + " " + sql::BinOpName(op) + " " + values[0].ToString();
+    case Kind::kRange:
+      return head + " in [" + values[0].ToString() + ", " +
+             values[1].ToString() + ")";
+    case Kind::kIn: {
+      std::vector<std::string> vs;
+      for (const Value& v : values) vs.push_back(v.ToString());
+      return head + " in {" + Join(vs, ", ") + "}";
+    }
+  }
+  return head;
+}
+
+bool PredSpecEquals(const PredSpec& a, const PredSpec& b) {
+  if (a.kind != b.kind || a.lane != b.lane || a.lane_type != b.lane_type ||
+      a.values.size() != b.values.size()) {
+    return false;
+  }
+  if (a.kind == PredSpec::Kind::kCmp && a.op != b.op) return false;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    if (!ValueIdentical(a.values[i], b.values[i])) return false;
+  }
+  return true;
+}
+
+void ExtractStmtPreds(const std::vector<Param>& params, Stmt* s) {
+  s->preds.clear();
+  s->vec_rhs = nullptr;
+  s->statically_zero = false;
+  if (s->stmt.kind != Statement::Kind::kDelta || s->stmt.rhs == nullptr ||
+      !s->stmt.lhs_iterate.empty()) {
+    return;
+  }
+  std::map<std::string, LaneInfo> lanes;
+  for (size_t i = 0; i < params.size(); ++i) {
+    lanes[params[i].name] = {i, params[i].type};
+  }
+  std::vector<ExprPtr> factors;
+  if (s->stmt.rhs->kind == ring::ExprKind::kProd) {
+    factors = s->stmt.rhs->children;
+  } else {
+    factors = {s->stmt.rhs};
+  }
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& f : factors) {
+    PredSpec ps;
+    if (ExtractablePred(f, lanes, &ps)) {
+      s->preds.push_back(std::move(ps));
+    } else {
+      residual.push_back(f);
+    }
+  }
+  if (s->preds.empty()) return;
+  // Contradictory equalities on one lane (IN-list cross terms): the
+  // statement is identically zero, no backend needs to run it.
+  for (size_t i = 0; i < s->preds.size() && !s->statically_zero; ++i) {
+    for (size_t j = i + 1; j < s->preds.size(); ++j) {
+      const PredSpec& a = s->preds[i];
+      const PredSpec& b = s->preds[j];
+      if (a.kind == PredSpec::Kind::kCmp && b.kind == PredSpec::Kind::kCmp &&
+          a.op == sql::BinOp::kEq && b.op == sql::BinOp::kEq &&
+          a.lane == b.lane && !ValueIdentical(a.values[0], b.values[0])) {
+        s->statically_zero = true;
+        break;
+      }
+    }
+  }
+  if (residual.empty()) {
+    s->vec_rhs = Expr::Const(Value(int64_t{1}));
+  } else if (residual.size() == 1) {
+    s->vec_rhs = residual[0];
+  } else {
+    s->vec_rhs = Expr::Prod(std::move(residual));
+  }
+}
+
 // ---- batch analysis ------------------------------------------------------
 // Ported from runtime::Engine::BuildTriggerInfo so every backend shares one
 // vectorization/sharding verdict per unified trigger. Exported (tir.h) so
@@ -749,6 +915,7 @@ Module Lower(const Program& program) {
     for (Stmt& s : t.stmts) {
       s.rendering = s.stmt.ToString();
       s.var_types = TypeStatement(s, program, rel_types, param_types);
+      ExtractStmtPreds(t.params, &s);
     }
     AnalyzeTriggerBatch(&t, program, def, read_anywhere);
     m.triggers.push_back(std::move(t));
@@ -803,6 +970,14 @@ std::string Module::ToText() const {
                        KindName(s.stmt.kind),
                        s.sign_dependent ? " (sign)" : "",
                        s.rendering.c_str());
+      for (const PredSpec& ps : s.preds) {
+        out += "    pred: " + ps.ToString(t.params) + "\n";
+      }
+      if (s.statically_zero) {
+        out += "    statically-zero (contradictory predicates)\n";
+      } else if (s.vec_rhs != nullptr) {
+        out += "    residual: " + s.vec_rhs->ToString() + "\n";
+      }
       std::set<std::string> bound;
       for (const Param& pr : t.params) bound.insert(pr.name);
       bound.insert(kSignVar);

@@ -43,6 +43,32 @@ struct Param {
   Type type = Type::kInt;
 };
 
+/// One guard predicate extracted from a delta statement's RHS: a sign-free
+/// 0/1 comparison of a single trigger parameter (a column lane of the event
+/// batch) against constants. Backends evaluate extracted predicates with
+/// the selection kernels (dbt_select.h) over whole column lanes instead of
+/// once per row; the conjunction of a statement's `preds` with its
+/// `vec_rhs` residual is equivalent to the original RHS.
+struct PredSpec {
+  enum class Kind : uint8_t {
+    kCmp,    ///< lane <op> values[0]
+    kRange,  ///< values[0] <= lane < values[1] (EXTRACT(YEAR)=c rewrite)
+    kIn,     ///< lane is a member of values
+  };
+
+  Kind kind = Kind::kCmp;
+  size_t lane = 0;  ///< trigger parameter index (= batch column index)
+  Type lane_type = Type::kInt;
+  sql::BinOp op = sql::BinOp::kEq;  ///< kCmp only
+  std::vector<Value> values;
+
+  /// "#<lane> <param> <op> <const>" — the `dbtc --emit-ir` pred line.
+  std::string ToString(const std::vector<Param>& params) const;
+};
+
+/// Exact structural equality (kind, lane, lane type, op and constants).
+bool PredSpecEquals(const PredSpec& a, const PredSpec& b);
+
 /// One unified maintenance statement.
 struct Stmt {
   /// Which event signs execute this statement.
@@ -65,6 +91,21 @@ struct Stmt {
   /// True for kReeval statements whose target no other statement or map
   /// initializer reads: they may run once per batch instead of per event.
   bool reeval_deferrable = false;
+
+  /// Guard predicates extracted from the top-level RHS product (delta
+  /// statements only). Each is a pure comparison of one trigger parameter
+  /// against constants; the extracted factors are removed from `vec_rhs`,
+  /// and stmt.rhs itself is left untouched for the scalar paths.
+  std::vector<PredSpec> preds;
+
+  /// Residual RHS with the extracted guard factors removed; nullptr when
+  /// `preds` is empty (backends then evaluate stmt.rhs unchanged).
+  ring::ExprPtr vec_rhs;
+
+  /// Two extracted equality predicates on the same lane demand different
+  /// constants (the cross terms of a desugared IN-list): the statement can
+  /// never fire and backends skip it entirely.
+  bool statically_zero = false;
 
   /// Cached stmt.ToString() (profiler key / codegen comments).
   std::string rendering;
@@ -143,6 +184,13 @@ void ExpandReads(const ring::ExprPtr& e, const DefReadSets& def,
 /// statement's guard or value.
 std::set<std::string> MapsReadAnywhere(const compiler::Program& program,
                                        const DefReadSets& def);
+
+/// Extract the vectorizable guard prefix of a delta statement into
+/// s->preds / s->vec_rhs / s->statically_zero. Deterministic in the
+/// statement RHS and parameter list alone: Lower calls it once per
+/// statement, and the verifier re-runs it on a scrubbed copy to re-prove
+/// that the predicates a module claims are sign-free and lane-sound.
+void ExtractStmtPreds(const std::vector<Param>& params, Stmt* s);
 
 /// Derive the batch-analysis verdict for `t` from its statements alone:
 /// vectorizable, parallel_safe, partition_cols, and per-statement

@@ -25,6 +25,7 @@ constexpr const char* kCheckType = "type";
 constexpr const char* kCheckSign = "sign";
 constexpr const char* kCheckSignMask = "sign-mask";
 constexpr const char* kCheckShard = "shard";
+constexpr const char* kCheckPred = "pred";
 constexpr const char* kCheckLiveness = "liveness";
 
 /// Key lanes: int, double and date keys compare and hash consistently with
@@ -105,6 +106,7 @@ class Verifier {
       }
       stmt_ = -1;
       CheckShardPlan(t);
+      CheckPreds(t);
     }
     relation_.clear();
     stmt_ = -1;
@@ -804,6 +806,65 @@ class Verifier {
         stmt_ = -1;
       }
     }
+  }
+
+  // -- check 4b: extracted guard predicates --------------------------------
+  // Predicates a module claims must be sign-free, lane-sound and exactly
+  // reproducible: re-running the extraction on the untouched statement RHS
+  // must yield the same predicate list, residual and statically-zero
+  // verdict. A flipped lane, altered constant or smuggled-in predicate all
+  // diverge from the re-derivation.
+
+  void CheckPreds(const Trigger& t) {
+    for (size_t i = 0; i < t.stmts.size(); ++i) {
+      const Stmt& s = t.stmts[i];
+      stmt_ = static_cast<int>(i);
+      for (const PredSpec& ps : s.preds) {
+        if (ps.lane >= t.params.size()) {
+          Error(kCheckPred,
+                StrFormat("predicate lane %zu exceeds the %zu trigger "
+                          "parameters",
+                          ps.lane, t.params.size()));
+          continue;
+        }
+        const Param& pr = t.params[ps.lane];
+        if (ps.lane_type != pr.type) {
+          Error(kCheckPred,
+                StrFormat("predicate '%s' types lane %zu as %s but "
+                          "parameter '%s' is %s",
+                          ps.ToString(t.params).c_str(), ps.lane,
+                          TypeName(ps.lane_type), pr.name.c_str(),
+                          TypeName(pr.type)));
+        }
+        for (const Value& v : ps.values) {
+          if ((pr.type == Type::kString) != v.is_string()) {
+            Error(kCheckPred,
+                  StrFormat("predicate '%s' compares %s lane '%s' against a "
+                            "%s constant",
+                            ps.ToString(t.params).c_str(), TypeName(pr.type),
+                            pr.name.c_str(),
+                            v.is_string() ? "STRING" : "numeric"));
+          }
+        }
+      }
+      Stmt probe = s;
+      ExtractStmtPreds(t.params, &probe);
+      bool same = probe.preds.size() == s.preds.size() &&
+                  probe.statically_zero == s.statically_zero &&
+                  (probe.vec_rhs == nullptr) == (s.vec_rhs == nullptr) &&
+                  (probe.vec_rhs == nullptr ||
+                   ring::ExprEquals(*probe.vec_rhs, *s.vec_rhs));
+      for (size_t pi = 0; same && pi < s.preds.size(); ++pi) {
+        same = PredSpecEquals(probe.preds[pi], s.preds[pi]);
+      }
+      if (!same) {
+        Error(kCheckPred,
+              "extracted predicates do not match re-derivation from the "
+              "statement RHS (lane, op, constant, residual and "
+              "statically-zero verdict must all agree)");
+      }
+    }
+    stmt_ = -1;
   }
 
   // Note on cross-trigger routing: partition_cols promise only that the

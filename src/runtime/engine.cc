@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <set>
 
+#include "src/codegen/dbt_select.h"
 #include "src/common/str.h"
 #include "src/compiler/tir_verify.h"
 
@@ -21,6 +22,88 @@ uint64_t NowNanos() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Evaluate one extracted guard against a row's lane value — the
+/// interpreter mirror of the dbt_select.h kernels. Value comparisons
+/// promote across numeric types exactly like the scalar evaluator, so a
+/// skipped row is precisely one whose statement RHS multiplies to zero
+/// (ValueMap::Add drops zero deltas, making the skip unobservable).
+bool PredMatches(const tir::PredSpec& ps, const Value& v) {
+  switch (ps.kind) {
+    case tir::PredSpec::Kind::kCmp:
+      switch (ps.op) {
+        case sql::BinOp::kEq: return v == ps.values[0];
+        case sql::BinOp::kNeq: return v != ps.values[0];
+        case sql::BinOp::kLt: return v < ps.values[0];
+        case sql::BinOp::kLe: return v <= ps.values[0];
+        case sql::BinOp::kGt: return v > ps.values[0];
+        case sql::BinOp::kGe: return v >= ps.values[0];
+        default: return true;  // extraction emits comparisons only
+      }
+    case tir::PredSpec::Kind::kRange:
+      return ps.values[0] <= v && v < ps.values[1];
+    case tir::PredSpec::Kind::kIn:
+      for (const Value& c : ps.values) {
+        if (v == c) return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+/// Selection classes over a trigger's active delta statements: statements
+/// with equal extracted pred lists share one survivor index vector,
+/// mirroring the generated selection-vector prologue.
+struct SelectionClasses {
+  std::vector<const std::vector<tir::PredSpec>*> preds;  ///< per class
+  std::vector<size_t> cls;  ///< per statement; SIZE_MAX = no guards
+
+  /// Assign each statement (by position in `stmts`) to a pred class.
+  explicit SelectionClasses(const std::vector<const tir::Stmt*>& stmts) {
+    cls.assign(stmts.size(), SIZE_MAX);
+    for (size_t d = 0; d < stmts.size(); ++d) {
+      const std::vector<tir::PredSpec>& p = stmts[d]->preds;
+      if (p.empty()) continue;
+      for (size_t c = 0; c < preds.size(); ++c) {
+        if (preds[c]->size() != p.size()) continue;
+        bool same = true;
+        for (size_t i = 0; i < p.size(); ++i) {
+          if (!tir::PredSpecEquals((*preds[c])[i], p[i])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          cls[d] = c;
+          break;
+        }
+      }
+      if (cls[d] == SIZE_MAX) {
+        cls[d] = preds.size();
+        preds.push_back(&p);
+      }
+    }
+  }
+
+  /// Survivor indices per class over `rows` (row indices into `tuples`).
+  std::vector<std::vector<uint32_t>> Select(
+      const Row* tuples, const std::vector<uint32_t>& rows) const {
+    std::vector<std::vector<uint32_t>> sel(preds.size());
+    for (size_t c = 0; c < preds.size(); ++c) {
+      for (uint32_t i : rows) {
+        bool pass = true;
+        for (const tir::PredSpec& ps : *preds[c]) {
+          if (!PredMatches(ps, tuples[i][ps.lane])) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) sel[c].push_back(i);
+      }
+    }
+    return sel;
+  }
+};
 }  // namespace
 
 std::string ProfileStats::ToString() const {
@@ -495,23 +578,45 @@ Status Engine::ApplyGroupVectorized(const tir::Trigger& trigger,
 
   // Phase 1: each delta statement runs once over the vector of bindings,
   // all against the group pre-state (safe per the trigger's IR analysis).
+  // Statically-zero statements are dropped up front; extracted guards run
+  // once per distinct pred list as a selection prologue (the interpreter
+  // mirror of the generated vec_<R> handlers), and each guarded statement
+  // then visits only its surviving rows.
   pending_.clear();
   Bindings env;
   env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
+  std::vector<const tir::Stmt*> deltas;
+  std::vector<size_t> delta_si;
   for (size_t si = 0; si < trigger.stmts.size(); ++si) {
     const tir::Stmt& s = trigger.stmts[si];
-    if (s.stmt.kind != Statement::Kind::kDelta || !StmtActive(s, kind)) {
+    if (s.stmt.kind != Statement::Kind::kDelta || !StmtActive(s, kind) ||
+        s.statically_zero) {
       continue;
     }
+    deltas.push_back(&s);
+    delta_si.push_back(si);
+  }
+  std::vector<uint32_t> all(count);
+  for (size_t e = 0; e < count; ++e) all[e] = static_cast<uint32_t>(e);
+  const bool use_sel = dbt::SelectionEnabled();
+  SelectionClasses classes(deltas);
+  std::vector<std::vector<uint32_t>> sel;
+  if (use_sel) sel = classes.Select(tuples, all);
+
+  for (size_t d = 0; d < deltas.size(); ++d) {
+    const tir::Stmt& s = *deltas[d];
+    const size_t si = delta_si[d];
     uint64_t t0 = NowNanos();
     size_t before = pending_.size();
-    for (size_t e = 0; e < count; ++e) {
+    const std::vector<uint32_t>& rows =
+        use_sel && classes.cls[d] != SIZE_MAX ? sel[classes.cls[d]] : all;
+    for (uint32_t e : rows) {
       for (size_t i = 0; i < trigger.params.size(); ++i) {
         env[trigger.params[i].name] = tuples[e][i];
       }
       DBT_RETURN_IF_ERROR(RunDeltaStatement(s.stmt, env, &pending_));
     }
-    stats[si]->executions += count;
+    stats[si]->executions += rows.size();
     stats[si]->updates += pending_.size() - before;
     stats[si]->nanos += NowNanos() - t0;
   }
@@ -560,10 +665,13 @@ Status Engine::ApplyGroupSharded(const tir::Trigger& trigger, EventKind kind,
   const int sign = kind == EventKind::kInsert ? +1 : -1;
 
   std::vector<size_t> delta_stmts;
+  std::vector<const tir::Stmt*> deltas;
   for (size_t si = 0; si < trigger.stmts.size(); ++si) {
     if (trigger.stmts[si].stmt.kind == Statement::Kind::kDelta &&
-        StmtActive(trigger.stmts[si], kind)) {
+        StmtActive(trigger.stmts[si], kind) &&
+        !trigger.stmts[si].statically_zero) {
       delta_stmts.push_back(si);
+      deltas.push_back(&trigger.stmts[si]);
     }
   }
 
@@ -585,26 +693,37 @@ Status Engine::ApplyGroupSharded(const tir::Trigger& trigger, EventKind kind,
     out.nanos.assign(delta_stmts.size(), 0);
   }
 
+  const bool use_sel = dbt::SelectionEnabled();
+  const SelectionClasses classes(deltas);
   parallel_region_ = true;
   shard_pool().RunShards(kNumShards, [&](size_t s) {
     ShardOut& out = outs[s];
     Bindings env;
     env[tir::kSignVar] = Value(static_cast<int64_t>(sign));
-    for (uint32_t i : plan.shards[s]) {
-      const Row& tuple = tuples[i];
-      for (size_t p = 0; p < trigger.params.size(); ++p) {
-        env[trigger.params[p].name] = tuple[p];
-      }
-      for (size_t d = 0; d < delta_stmts.size(); ++d) {
-        const Statement& stmt = trigger.stmts[delta_stmts[d]].stmt;
-        const uint64_t t0 = NowNanos();
+    // Selection runs after the shard split: guards filter this worker's
+    // private sub-range only, so per-shard work (and therefore the merged
+    // state) is independent of the pool's thread count.
+    std::vector<std::vector<uint32_t>> sel;
+    if (use_sel) sel = classes.Select(tuples, plan.shards[s]);
+    for (size_t d = 0; d < delta_stmts.size(); ++d) {
+      const Statement& stmt = trigger.stmts[delta_stmts[d]].stmt;
+      const std::vector<uint32_t>& rows =
+          use_sel && classes.cls[d] != SIZE_MAX ? sel[classes.cls[d]]
+                                                : plan.shards[s];
+      const uint64_t t0 = NowNanos();
+      for (uint32_t i : rows) {
+        const Row& tuple = tuples[i];
+        for (size_t p = 0; p < trigger.params.size(); ++p) {
+          env[trigger.params[p].name] = tuple[p];
+        }
         Status st = RunDeltaStatement(stmt, env, &out.pending[d]);
-        out.nanos[d] += NowNanos() - t0;
         if (!st.ok()) {
           out.status = std::move(st);
+          out.nanos[d] += NowNanos() - t0;
           return;
         }
       }
+      out.nanos[d] += NowNanos() - t0;
     }
   });
   parallel_region_ = false;

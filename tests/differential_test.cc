@@ -35,6 +35,9 @@
 #include "bench/gen/q41.hpp"
 #include "bench/gen/q6s.hpp"
 #include "bench/gen/revenue.hpp"
+#include "bench/gen/selall.hpp"
+#include "bench/gen/selhalf.hpp"
+#include "bench/gen/selzero.hpp"
 #include "bench/gen/sobi_bids.hpp"
 #include "bench/gen/vwap.hpp"
 #include "src/baseline/ivm1_engine.h"
@@ -73,6 +76,15 @@ std::unique_ptr<dbt::StreamProgram> MakeGenerated(const std::string& name) {
   if (name == "q6s") return std::make_unique<dbtoaster_gen::q6s_Program>();
   if (name == "q12s") return std::make_unique<dbtoaster_gen::q12s_Program>();
   if (name == "q13s") return std::make_unique<dbtoaster_gen::q13s_Program>();
+  if (name == "selzero") {
+    return std::make_unique<dbtoaster_gen::selzero_Program>();
+  }
+  if (name == "selhalf") {
+    return std::make_unique<dbtoaster_gen::selhalf_Program>();
+  }
+  if (name == "selall") {
+    return std::make_unique<dbtoaster_gen::selall_Program>();
+  }
   return nullptr;
 }
 
@@ -339,10 +351,15 @@ TEST_P(BenchQueryDifferential, AllEnginesAgreeOnSeededStreams) {
                   /*generated_name=*/sc.name);
 }
 
+// selzero/selhalf/selall pin the selectivity extremes of the selection
+// prologue: guards passing 0%, ~50% (date range), and 100% of the seeded
+// rows (IN-list and comparison kernels), each replayed through columnar,
+// row-shim, and interpreted paths with byte-identical views.
 INSTANTIATE_TEST_SUITE_P(AllBenchQueries, BenchQueryDifferential,
                          ::testing::Values("vwap", "sobi_bids", "mm",
                                            "best_bid", "q41", "revenue",
-                                           "q3s", "q6s", "q12s", "q13s"));
+                                           "q3s", "q6s", "q12s", "q13s",
+                                           "selzero", "selhalf", "selall"));
 
 // ivm1's first-order rewrite cannot express LEFT JOIN, so its exclusion on
 // q13s must be a clean kNotSupported — never a crash or a stray error code

@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "bench/gen/mm.hpp"
+#include "src/codegen/dbt_select.h"
 #include "src/common/rng.h"
 #include "src/runtime/stream_engine.h"
 #include "src/sql/parser.h"
@@ -286,6 +287,122 @@ TEST(ShardDeterminism, InterpretedGroupedAggregateAcrossCutoff) {
       } else {
         EXPECT_EQ(out.state_bytes, at_one.state_bytes)
             << "batch=" << batch << " threads=" << threads;
+      }
+    }
+  }
+}
+
+/// Restores the process-wide selection toggle to its default (enabled) when
+/// a test scope ends, mirroring PoolGuard for the worker pool.
+struct SelectionGuard {
+  ~SelectionGuard() { dbt::SetSelectionEnabled(true); }
+};
+
+// The selection-vector prologue must be a pure performance rewrite: with
+// predicates extracted into kernels (selection on) or left to the per-row
+// guard factors (selection off), views must be byte-identical at every
+// thread count. Covers both the dbtc-generated sharded vec path (batch 512
+// crosses dbt::kShardBatchCutoff, so selection runs after the shard split)
+// and the interpreted engine's SelectionClasses mirror on a pred-guarded
+// grouped aggregate, below and above the cutoff.
+TEST(ShardDeterminism, SelectionToggleInvariantAcrossThreads) {
+  PoolGuard pool_guard;
+  SelectionGuard sel_guard;
+
+  // Generated program: the market-maker query's guards feed the prologue.
+  {
+    Catalog catalog = workload::OrderBookCatalog();
+    const std::string sql = workload::MarketMakerQuery();
+    workload::OrderBookConfig cfg;
+    cfg.p_modify = 0.2;
+    cfg.p_withdraw = 0.15;
+    workload::OrderBookGenerator gen(cfg);
+    const std::vector<Event> events = gen.Generate(6000);
+
+    std::string reference;
+    RunOutput per_mode[2];
+    for (bool selection : {true, false}) {
+      RunOutput at_one;
+      for (size_t threads : {size_t{1}, size_t{8}}) {
+        dbt::SetSelectionEnabled(selection);
+        runtime::shard_pool().set_threads(threads);
+        dbtoaster_gen::mm_Program program;
+        auto engine = MakeEngine("toaster-c", catalog, sql, &program);
+        ASSERT_NE(engine, nullptr);
+        RunOutput out = RunBatched(engine.get(), events, 512, "q0");
+        if (reference.empty()) reference = out.view;
+        EXPECT_EQ(out.view, reference)
+            << "selection=" << selection << " threads=" << threads;
+        if (threads == 1) {
+          at_one = out;
+        } else {
+          EXPECT_EQ(out.state_bytes, at_one.state_bytes)
+              << "selection=" << selection << " threads=" << threads;
+        }
+      }
+      per_mode[selection ? 0 : 1] = at_one;
+    }
+    EXPECT_EQ(per_mode[0].view, per_mode[1].view)
+        << "selection toggle changed the generated program's view";
+  }
+
+  // Interpreted engine: a guarded grouped aggregate through the
+  // SelectionClasses skip (batch 16 = vectorized path, 1024 = sharded).
+  {
+    auto script = sql::ParseScript("create table R(A int, B int);");
+    ASSERT_TRUE(script.ok());
+    Catalog cat;
+    for (const auto& t : script.value().tables) {
+      ASSERT_TRUE(cat.AddRelation(t).ok());
+    }
+    const char* query =
+        "select B, sum(A), count(*) from R where A < 500 group by B";
+
+    Rng rng(17);
+    std::vector<Event> events, live;
+    for (int i = 0; i < 4000; ++i) {
+      if (!live.empty() && rng.Chance(0.4)) {
+        size_t pick = rng.Uniform(live.size());
+        events.push_back(Event::Delete("R", live[pick].tuple));
+        live.erase(live.begin() + static_cast<long>(pick));
+      } else {
+        Row tuple = {Value(rng.Range(0, 1000)), Value(rng.Range(0, 64))};
+        events.push_back(Event::Insert("R", std::move(tuple)));
+        live.push_back(events.back());
+      }
+    }
+
+    dbt::SetSelectionEnabled(true);
+    runtime::shard_pool().set_threads(1);
+    auto ref_program = compiler::CompileQuery(cat, "q", query);
+    ASSERT_TRUE(ref_program.ok());
+    runtime::Engine reference(std::move(ref_program).value());
+    for (const Event& ev : events) ASSERT_TRUE(reference.OnEvent(ev).ok());
+    auto ref_view = reference.View("q");
+    ASSERT_TRUE(ref_view.ok());
+    const std::string want = Canon(ref_view.value());
+
+    for (size_t batch : {size_t{16}, size_t{1024}}) {
+      for (bool selection : {true, false}) {
+        RunOutput at_one;
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          dbt::SetSelectionEnabled(selection);
+          runtime::shard_pool().set_threads(threads);
+          auto program = compiler::CompileQuery(cat, "q", query);
+          ASSERT_TRUE(program.ok());
+          runtime::Engine engine(std::move(program).value());
+          RunOutput out = RunBatched(&engine, events, batch);
+          EXPECT_EQ(out.view, want) << "batch=" << batch
+                                    << " selection=" << selection
+                                    << " threads=" << threads;
+          if (threads == 1) {
+            at_one = out;
+          } else {
+            EXPECT_EQ(out.state_bytes, at_one.state_bytes)
+                << "batch=" << batch << " selection=" << selection
+                << " threads=" << threads;
+          }
+        }
       }
     }
   }

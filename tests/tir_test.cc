@@ -168,7 +168,7 @@ TEST_P(TirGolden, EmitIrTextMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BenchQueries, TirGolden,
-                         ::testing::Values("vwap", "best_bid"),
+                         ::testing::Values("vwap", "best_bid", "q6s", "q12s"),
                          [](const ::testing::TestParamInfo<const char*>& i) {
                            return std::string(i.param);
                          });

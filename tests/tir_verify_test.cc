@@ -294,6 +294,37 @@ const std::vector<Mutation>& Mutations() {
          m->triggers[0].vectorizable = true;
          m->triggers[0].parallel_safe = true;
        }},
+      {"pred_lane_flipped", "q6s", "do not match re-derivation",
+       [](compiler::Program*, tir::Module* m) {
+         for (tir::Trigger& t : m->triggers) {
+           for (tir::Stmt& s : t.stmts) {
+             if (s.preds.empty()) continue;
+             // Redirect the quantity guard onto the orderkey lane. Both
+             // lanes are INT, so the direct lane/type checks stay silent and
+             // only the extraction re-derivation can refute the claim.
+             ASSERT_EQ(s.preds[0].lane_type, Type::kInt);
+             ASSERT_NE(s.preds[0].lane, 0u);
+             s.preds[0].lane = 0;
+             return;
+           }
+         }
+         ADD_FAILURE() << "q6s module has no extracted predicates";
+       }},
+      {"pred_constant_altered", "q12s", "types lane",
+       [](compiler::Program*, tir::Module* m) {
+         for (tir::Trigger& t : m->triggers) {
+           for (tir::Stmt& s : t.stmts) {
+             for (tir::PredSpec& ps : s.preds) {
+               if (ps.lane_type != Type::kString) continue;
+               // Point the string-equality guard at the date lane: the
+               // lane/type soundness check rejects it outright.
+               ps.lane = 2;
+               return;
+             }
+           }
+         }
+         ADD_FAILURE() << "q12s module has no string predicate";
+       }},
       {"partition_col_uncovered", "simple",
        "does not cover partition column",
        [](compiler::Program*, tir::Module* m) {

@@ -12,6 +12,13 @@
 #   3. per-relation handler completeness — every relation dispatched in
 #      on_batch()/on_event() has both its scalar handler (on_REL) and its
 #      batch handler (on_batch_REL).
+#   4. selection loops are kernel-only — the selection prologue of a vec_
+#      handler may call dbt::Sel* kernels but must never compare strings
+#      per row (== "...", dbt::Like, strcmp); string guards go through the
+#      SelStrEq/SelStrNe kernels.
+#   5. vectorized statement phases iterate selection vectors — a vec_
+#      handler body must never materialize g.row() or rescan the raw group
+#      0..n; every row loop walks a sel*/srt* index vector.
 #
 # Usage: tools/lint_gen.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -20,6 +27,7 @@ BUILD_DIR="${1:-build}"
 GEN_DIR="$BUILD_DIR/generated/bench/gen"
 
 QUERIES="vwap sobi_bids mm best_bid q41 revenue q3s q6s q12s q13s"
+QUERIES="$QUERIES selzero selhalf selall"
 
 fail=0
 checked=0
@@ -41,6 +49,26 @@ for q in $QUERIES; do
   # in comments from tripping it.
   if grep -nE '(^|[^[:alnum:]_])new[[:space:]]+[[:alnum:]_:<]' "$hpp" >&2; then
     echo "lint_gen: FAIL — $q.hpp contains a raw new-expression" >&2
+    fail=1
+  fi
+
+  # Selection prologues (between the two region markers inside each vec_
+  # handler) must route every guard through a dbt::Sel* kernel; a per-row
+  # string comparison there defeats the vectorized rewrite.
+  prologue=$(awk '/--- selection prologue/,/--- statement phases/' "$hpp")
+  if [ -n "$prologue" ] && \
+     echo "$prologue" | grep -nE '== *"|!= *"|dbt::Like|strcmp' >&2; then
+    echo "lint_gen: FAIL — $q.hpp has a per-row string comparison inside a selection loop" >&2
+    fail=1
+  fi
+
+  # Vectorized statement phases iterate sel*/srt* index vectors; a g.row()
+  # materialization or a raw 0..n rescan inside a vec_ handler means the
+  # selection vector was computed and then ignored.
+  vecbody=$(awk '/void vec_/,/probe_runs_\.fetch_add/' "$hpp")
+  if [ -n "$vecbody" ] && \
+     echo "$vecbody" | grep -nE 'g\.row\(|for \(size_t i = 0; i < n;' >&2; then
+    echo "lint_gen: FAIL — $q.hpp vec handler iterates the raw group instead of a selection vector" >&2
     fail=1
   fi
 
