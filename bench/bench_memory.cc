@@ -3,17 +3,73 @@
 // loading". State bytes per engine as the loading stream grows: DBToaster
 // retains aggregate maps (size ~ #groups), re-evaluation retains full base
 // tables, IVM-1 retains base tables + indexes.
+//
+// After the replay the bench also runs a snapshot/restore cycle on every
+// engine and gates on state no-inflation: a restored engine must answer the
+// same view from (at most marginally) the same footprint as the engine that
+// never crashed — a recovery that balloons memory is a regression even if
+// the views match. Non-zero exit on violation, so CI runs this directly.
+// Machine-readable results land in BENCH_memory.json.
+#include <cstring>
+#include <fstream>
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "src/runtime/checkpoint.h"
 #include "src/workload/tpch.h"
 
 namespace dbtoaster::bench {
 namespace {
 
-void Run() {
+struct MemCell {
+  std::string engine;
+  size_t events = 0;
+  size_t state_bytes = 0;
+  size_t restored_bytes = 0;  // 0 until the restore cycle runs
+};
+
+std::vector<MemCell> g_cells;
+
+/// Snapshot `engine`, restore into `fresh`, and gate: views must stay
+/// available and the restored footprint must not inflate past the live one
+/// (1.5x + 64 KiB slack — allocation history differs, exact equality is not
+/// required and not claimed). Returns false on violation.
+bool RestoreGate(runtime::StreamEngine* engine, runtime::StreamEngine* fresh,
+                 size_t events) {
+  dbt::Ser snapshot;
+  Status st = engine->SaveState(&snapshot);
+  if (!st.ok()) {
+    std::fprintf(stderr, "[%s] SaveState: %s\n", engine->Name().c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  dbt::Deser in(snapshot.data());
+  st = fresh->LoadState(&in);
+  if (!st.ok()) {
+    std::fprintf(stderr, "[%s] LoadState: %s\n", engine->Name().c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  const size_t live = engine->StateBytes();
+  const size_t restored = fresh->StateBytes();
+  g_cells.push_back({engine->Name(), events, live, restored});
+  std::printf("%12s %14.1f %16.1f %18.1f\n", engine->Name().c_str(),
+              snapshot.size() / 1024.0, live / 1024.0, restored / 1024.0);
+  if (restored > live + live / 2 + 64 * 1024) {
+    std::fprintf(stderr,
+                 "[%s] restored state inflated: %zu bytes restored vs %zu "
+                 "live (limit 1.5x + 64KiB)\n",
+                 engine->Name().c_str(), restored, live);
+    return false;
+  }
+  return true;
+}
+
+bool Run(bool quick) {
   Catalog catalog = workload::TpchCatalog();
   const std::string query = workload::RevenueByYearQuery();
   workload::TpchGenerator gen;
-  std::vector<Event> events = gen.Generate(120000);
+  std::vector<Event> events = gen.Generate(quick ? 20000 : 120000);
 
   baseline::ReevalEngine reeval(catalog, /*eager=*/false);  // storage only
   (void)reeval.AddQuery("q", query);
@@ -37,6 +93,9 @@ void Run() {
                   reeval.StateBytes() / 1024.0, ivm1.StateBytes() / 1024.0,
                   toaster.MapMemoryBytes() / 1024.0,
                   toaster.TotalMapEntries());
+      g_cells.push_back({"reeval", i + 1, reeval.StateBytes(), 0});
+      g_cells.push_back({"ivm1", i + 1, ivm1.StateBytes(), 0});
+      g_cells.push_back({"toaster-i", i + 1, toaster.StateBytes(), 0});
       ++next_cp;
     }
   }
@@ -46,12 +105,74 @@ void Run() {
       "interpreter\nclasses must retain. (DBToaster also keeps the base "
       "snapshot when the\nquery needs init-on-access; the revenue query does "
       "not.)\n");
+
+  // Snapshot/restore each engine after the full replay and gate on state
+  // no-inflation.
+  std::printf("\n== snapshot/restore after replay ==\n");
+  std::printf("%12s %14s %16s %18s\n", "engine", "snapshot KiB", "live KiB",
+              "restored KiB");
+  bool ok = true;
+  {
+    baseline::ReevalEngine fresh(catalog, /*eager=*/false);
+    (void)fresh.AddQuery("q", query);
+    ok = RestoreGate(&reeval, &fresh, events.size()) && ok;
+  }
+  {
+    baseline::Ivm1Engine fresh(catalog);
+    (void)fresh.AddQuery("q", query);
+    ok = RestoreGate(&ivm1, &fresh, events.size()) && ok;
+  }
+  {
+    auto fresh_program = compiler::CompileQuery(catalog, "q", query);
+    runtime::Engine fresh(std::move(fresh_program).value());
+    ok = RestoreGate(&toaster, &fresh, events.size()) && ok;
+    if (fresh.TotalMapEntries() != toaster.TotalMapEntries()) {
+      std::fprintf(stderr,
+                   "toaster-i restored map entries %zu != live %zu\n",
+                   fresh.TotalMapEntries(), toaster.TotalMapEntries());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool WriteJson(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  f << "[\n";
+  for (size_t i = 0; i < g_cells.size(); ++i) {
+    const MemCell& c = g_cells[i];
+    f << "  {\"engine\": \"" << c.engine << "\", \"events\": " << c.events
+      << ", \"state_bytes\": " << c.state_bytes
+      << ", \"restored_bytes\": " << c.restored_bytes << "}"
+      << (i + 1 < g_cells.size() ? "," : "") << "\n";
+  }
+  f << "]\n";
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s (%zu cells)\n", path.c_str(), g_cells.size());
+  return true;
 }
 
 }  // namespace
 }  // namespace dbtoaster::bench
 
-int main() {
-  dbtoaster::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_memory.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  bool ok = dbtoaster::bench::Run(quick);
+  ok = dbtoaster::bench::WriteJson(out_path) && ok;
+  return ok ? 0 : 1;
 }

@@ -22,6 +22,7 @@ std::string ParamName(const std::string& column) {
 
 Ivm1Engine::Ivm1Engine(const Catalog& catalog)
     : catalog_(catalog), db_(catalog) {
+  RegisterIngestCatalog(catalog_);
   eval_ = std::make_unique<runtime::RingEvaluator>(this);
 }
 
@@ -188,15 +189,117 @@ Status Ivm1Engine::ApplyGroup(const std::string& relation, EventKind kind,
   return Status::OK();
 }
 
-Status Ivm1Engine::OnEvent(const Event& event) {
+Status Ivm1Engine::DoOnEvent(const Event& event) {
   return ApplyGroup(event.relation, event.kind, &event.tuple, 1);
 }
 
-Status Ivm1Engine::ApplyBatch(runtime::EventBatch&& batch) {
+Status Ivm1Engine::DoApplyBatch(runtime::EventBatch&& batch) {
   for (const runtime::EventBatch::Group& g : batch.groups()) {
     DBT_RETURN_IF_ERROR(
         ApplyGroup(g.relation, g.kind, g.rows_view().data(), g.rows));
   }
+  return Status::OK();
+}
+
+Status Ivm1Engine::SaveState(dbt::Ser* out) const {
+  out->u64(catalog_.relations().size());
+  for (const Schema& schema : catalog_.relations()) {
+    out->str(schema.name());
+    const Table* table = db_.FindTable(schema.name());
+    if (table == nullptr) {
+      return Status::Internal("save: missing table " + schema.name());
+    }
+    out->u64(table->rows().size());
+    for (const auto& [row, mult] : table->rows()) {
+      runtime::WriteRow(*out, row);
+      out->i64(mult);
+    }
+  }
+  // Per registered query: the materialized aggregate maps and the group
+  // domain map (query registration itself is reconstructed by the caller,
+  // not snapshotted).
+  out->u64(queries_.size());
+  for (const auto& [name, rq] : queries_) {
+    out->str(name);
+    auto save_map = [&out](const runtime::ValueMap& m) {
+      out->u64(m.size());
+      for (const auto& [key, value] : m.entries()) {
+        runtime::WriteRow(*out, key);
+        runtime::WriteValue(*out, value);
+      }
+    };
+    out->u64(rq.result_maps.size());
+    for (const runtime::ValueMap& m : rq.result_maps) save_map(m);
+    save_map(rq.domain_map);
+  }
+  return Status::OK();
+}
+
+Status Ivm1Engine::LoadState(dbt::Deser* in) {
+  db_.Clear();
+  // Hash indexes are derived from the tables; drop them and let the first
+  // indexed lookup rebuild from restored rows.
+  indexes_.clear();
+  for (auto& [name, rq] : queries_) {
+    for (runtime::ValueMap& m : rq.result_maps) m.Clear();
+    rq.domain_map.Clear();
+  }
+
+  const uint64_t ntables = in->u64();
+  for (uint64_t t = 0; t < ntables && in->ok(); ++t) {
+    const std::string name = in->str();
+    Table* table = db_.FindTable(name);
+    if (table == nullptr) {
+      return Status::ParseError("restore: snapshot names unknown relation '" +
+                                name + "'");
+    }
+    const uint64_t nrows = in->u64();
+    for (uint64_t i = 0; i < nrows && in->ok(); ++i) {
+      Row row;
+      if (!runtime::ReadRow(*in, &row)) {
+        return Status::ParseError("restore: corrupt row in table " + name);
+      }
+      table->Apply(row, in->i64());
+    }
+  }
+
+  const uint64_t nqueries = in->u64();
+  for (uint64_t q = 0; q < nqueries && in->ok(); ++q) {
+    const std::string name = in->str();
+    auto it = queries_.find(name);
+    if (it == queries_.end()) {
+      return Status::ParseError(
+          "restore: snapshot names unregistered query '" + name +
+          "' — register the same queries before restoring");
+    }
+    auto load_map = [in](runtime::ValueMap* m) -> bool {
+      const uint64_t n = in->u64();
+      for (uint64_t i = 0; i < n && in->ok(); ++i) {
+        Row key;
+        Value value;
+        if (!runtime::ReadRow(*in, &key) || !runtime::ReadValue(*in, &value)) {
+          return false;
+        }
+        m->Set(key, std::move(value));
+      }
+      return in->ok();
+    };
+    const uint64_t nmaps = in->u64();
+    if (nmaps != it->second.result_maps.size()) {
+      return Status::ParseError("restore: aggregate map count mismatch for " +
+                                name);
+    }
+    for (runtime::ValueMap& m : it->second.result_maps) {
+      if (!load_map(&m)) {
+        return Status::ParseError("restore: corrupt aggregate map in " + name);
+      }
+    }
+    if (!load_map(&it->second.domain_map)) {
+      return Status::ParseError("restore: corrupt domain map in " + name);
+    }
+  }
+
+  if (!in->ok()) return Status::ParseError("restore: truncated snapshot");
   return Status::OK();
 }
 

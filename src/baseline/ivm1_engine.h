@@ -37,10 +37,13 @@ class Ivm1Engine : public runtime::StreamEngine, public runtime::MapStore {
   Status AddQuery(const std::string& name, const std::string& sql);
 
   std::string Name() const override { return "ivm1"; }
-  Status ApplyBatch(runtime::EventBatch&& batch) override;
-  Status OnEvent(const Event& event) override;
   Result<exec::QueryResult> View(const std::string& name) override;
   size_t StateBytes() const override;
+
+  /// Snapshot / restore: base tables plus per-query result and domain maps.
+  /// Hash indexes are derived state and rebuild lazily after restore.
+  Status SaveState(dbt::Ser* out) const override;
+  Status LoadState(dbt::Deser* in) override;
 
   // runtime::MapStore (reads resolve against base tables + indexes only):
   Result<Value> ReadMap(const std::string& map, const Row& key,
@@ -50,6 +53,10 @@ class Ivm1Engine : public runtime::StreamEngine, public runtime::MapStore {
   const Multiset* LookupRelIndex(const std::string& rel,
                                  const std::vector<size_t>& positions,
                                  const Row& key) override;
+
+ protected:
+  Status DoApplyBatch(runtime::EventBatch&& batch) override;
+  Status DoOnEvent(const Event& event) override;
 
  private:
   struct DeltaStatement {

@@ -5,7 +5,9 @@
 namespace dbtoaster::baseline {
 
 ReevalEngine::ReevalEngine(const Catalog& catalog, bool eager)
-    : catalog_(catalog), db_(catalog), eager_(eager) {}
+    : catalog_(catalog), db_(catalog), eager_(eager) {
+  RegisterIngestCatalog(catalog_);
+}
 
 Status ReevalEngine::AddQuery(const std::string& name,
                               const std::string& sql) {
@@ -59,13 +61,13 @@ Status ReevalEngine::RefreshViews() {
   return Status::OK();
 }
 
-Status ReevalEngine::OnEvent(const Event& event) {
+Status ReevalEngine::DoOnEvent(const Event& event) {
   DBT_RETURN_IF_ERROR(db_.Apply(event));
   if (!eager_) return Status::OK();
   return RefreshViews();
 }
 
-Status ReevalEngine::ApplyBatch(runtime::EventBatch&& batch) {
+Status ReevalEngine::DoApplyBatch(runtime::EventBatch&& batch) {
   // All table updates first, then one view refresh for the whole batch:
   // this is exactly the amortization a DBMS gets from transaction batching.
   for (const runtime::EventBatch::Group& g : batch.groups()) {
@@ -91,5 +93,49 @@ Result<exec::QueryResult> ReevalEngine::View(const std::string& name) {
 }
 
 size_t ReevalEngine::StateBytes() const { return db_.MemoryBytes(); }
+
+Status ReevalEngine::SaveState(dbt::Ser* out) const {
+  out->u64(catalog_.relations().size());
+  for (const Schema& schema : catalog_.relations()) {
+    out->str(schema.name());
+    const Table* table = db_.FindTable(schema.name());
+    if (table == nullptr) {
+      return Status::Internal("save: missing table " + schema.name());
+    }
+    out->u64(table->rows().size());
+    for (const auto& [row, mult] : table->rows()) {
+      runtime::WriteRow(*out, row);
+      out->i64(mult);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReevalEngine::LoadState(dbt::Deser* in) {
+  db_.Clear();
+  last_results_.clear();
+  const uint64_t ntables = in->u64();
+  for (uint64_t t = 0; t < ntables && in->ok(); ++t) {
+    const std::string name = in->str();
+    Table* table = db_.FindTable(name);
+    if (table == nullptr) {
+      return Status::ParseError("restore: snapshot names unknown relation '" +
+                                name + "'");
+    }
+    const uint64_t nrows = in->u64();
+    for (uint64_t i = 0; i < nrows && in->ok(); ++i) {
+      Row row;
+      if (!runtime::ReadRow(*in, &row)) {
+        return Status::ParseError("restore: corrupt row in table " + name);
+      }
+      table->Apply(row, in->i64());
+    }
+  }
+  if (!in->ok()) return Status::ParseError("restore: truncated snapshot");
+  // Eager mode serves views from last_results_; rebuild them from the
+  // restored tables so the first View() after recovery is already fresh.
+  if (eager_ && !queries_.empty()) return RefreshViews();
+  return Status::OK();
+}
 
 }  // namespace dbtoaster::baseline

@@ -28,12 +28,19 @@ class ReevalEngine : public runtime::StreamEngine {
   Status AddQuery(const std::string& name, const std::string& sql);
 
   std::string Name() const override { return "reeval"; }
-  Status ApplyBatch(runtime::EventBatch&& batch) override;
-  Status OnEvent(const Event& event) override;
   Result<exec::QueryResult> View(const std::string& name) override;
   size_t StateBytes() const override;
 
+  /// Snapshot / restore: the base tables are the whole dynamic state (views
+  /// re-derive; eager mode refreshes them right after restore).
+  Status SaveState(dbt::Ser* out) const override;
+  Status LoadState(dbt::Deser* in) override;
+
   Database& database() { return db_; }
+
+ protected:
+  Status DoApplyBatch(runtime::EventBatch&& batch) override;
+  Status DoOnEvent(const Event& event) override;
 
  private:
   /// Eager mode: refresh all registered views from the current tables.

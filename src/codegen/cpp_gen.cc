@@ -2474,6 +2474,79 @@ Result<std::string> Generator::Run() {
     if (m.is_extreme) continue;
     emit_wrappers(m.name + "_", m.key_types, CppType(m.value_type));
   }
+  // State serde: published relation layouts for boundary validation, plus
+  // whole-state save/load over every container member. The slice indexes
+  // are derived state — load_state rebuilds them from the restored stores.
+  Line(&body, "// --- state capture (checkpoint/restore) ---");
+  Line(&body, "std::vector<dbt::RelationSchema> relation_schemas() const "
+              "override {");
+  ++indent_;
+  {
+    std::vector<std::string> schemas;
+    for (const Schema& schema : p_.catalog.relations()) {
+      std::vector<std::string> lanes;
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        switch (schema.column_type(i)) {
+          case Type::kString:
+            lanes.push_back("dbt::EventColumn::Tag::kStr");
+            break;
+          case Type::kDouble:
+            lanes.push_back("dbt::EventColumn::Tag::kF64");
+            break;
+          default:
+            lanes.push_back("dbt::EventColumn::Tag::kI64");
+            break;
+        }
+      }
+      schemas.push_back(StrFormat("{%s, {%s}}",
+                                  EscapeString(schema.name()).c_str(),
+                                  Join(lanes, ", ").c_str()));
+    }
+    Line(&body, StrFormat("return {%s};", Join(schemas, ", ").c_str()));
+  }
+  --indent_;
+  Line(&body, "}");
+
+  // Stores in emission order: live base relations (set order), then the
+  // aggregate maps in declaration order. Save and load must agree.
+  std::vector<std::string> state_stores;
+  for (const std::string& rel : rels_) {
+    if (live_rels_.count(rel) != 0) state_stores.push_back(RelMapName(rel));
+  }
+  for (const MapDecl& m : p_.maps) state_stores.push_back(m.name + "_");
+
+  Line(&body, "bool save_state(dbt::Ser& ser) const override {");
+  ++indent_;
+  Line(&body, "ser.u32(1u);  // program state format version");
+  for (const std::string& store : state_stores) {
+    Line(&body, StrFormat("%s.save(ser);", store.c_str()));
+  }
+  Line(&body, "return true;");
+  --indent_;
+  Line(&body, "}");
+
+  Line(&body, "bool load_state(dbt::Deser& deser) override {");
+  ++indent_;
+  Line(&body, "if (deser.u32() != 1u) return false;");
+  for (const std::string& store : state_stores) {
+    Line(&body, StrFormat("if (!%s.load(deser)) return false;", store.c_str()));
+  }
+  for (size_t i = 0; i < index_reqs_.size(); ++i) {
+    const IndexReq& req = index_reqs_[i];
+    std::vector<std::string> gets;
+    for (size_t p : req.positions) {
+      gets.push_back(StrFormat("std::get<%zu>(k)", p));
+    }
+    Line(&body, StrFormat("idx%zu_.clear();", i));
+    Line(&body,
+         StrFormat("%s.for_each([this](const auto& k, const auto& v) { "
+                   "(void)v; idx%zu_.insert(std::make_tuple(%s), k); });",
+                   req.store.c_str(), i, Join(gets, ", ").c_str()));
+  }
+  Line(&body, "return deser.ok();");
+  --indent_;
+  Line(&body, "}");
+
   if (any_vec_) {
     Line(&body, "// --- selection-path counters ---");
     Line(&body, "std::atomic<uint64_t> selected_rows_{0};");

@@ -769,6 +769,30 @@ class Sharded {
     return n;
   }
 
+  /// Visit every entry in fixed part order (the same order iteration and
+  /// materialized views use, so derived structures rebuilt from a walk are
+  /// identical at every thread count).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const M& p : parts_) p.for_each(f);
+  }
+
+  /// Serialize / restore part by part. Routing is hash-of-component, which
+  /// is a pure function of the key, so saving and loading per part lands
+  /// every entry back in its owning partition by construction. The Ser and
+  /// Deser types stay template parameters so this header does not need the
+  /// serializer (only instantiations that snapshot pull it in).
+  template <typename S>
+  void save(S& s) const {
+    for (const M& p : parts_) p.save(s);
+  }
+  template <typename D>
+  bool load(D& d) {
+    bool ok = true;
+    for (M& p : parts_) ok = p.load(d) && ok;
+    return ok;
+  }
+
  private:
   M parts_[kParts];
 };

@@ -1,0 +1,162 @@
+// Self-contained binary serialization for generated-code state: a CRC32
+// implementation, a byte-buffer writer (Ser) and a bounds-checked reader
+// (Deser), plus Write/Read overloads over the scalar and tuple shapes the
+// generated containers hold. Like the rest of the dbt runtime headers this
+// depends on the standard library only, so emitted sources stay compilable
+// outside the repository (the paper's "embedded mode").
+//
+// Encoding: little-endian fixed-width integers (memcpy'd, so bit-exact for
+// doubles via their u64 image) and u64-length-prefixed strings. Nothing is
+// varint-compressed — checkpoints are bulk state dumps where decode speed
+// and torn-read detectability matter more than byte count.
+#ifndef DBTOASTER_CODEGEN_DBT_SERIALIZE_H_
+#define DBTOASTER_CODEGEN_DBT_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace dbt {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum used
+/// by both the checkpoint format and the batch-log record frames.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const auto table = [] {
+    struct Table {
+      uint32_t v[256];
+    } t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t.v[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.v[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Append-only byte-buffer writer.
+class Ser {
+ public:
+  void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void u64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void i64(int64_t v) { Raw(&v, sizeof(v)); }
+  void f64(double v) { Raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void bytes(const void* p, size_t n) { Raw(p, n); }
+
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    // Fixed-width little-endian on every supported target (the repo builds
+    // on x86-64/aarch64 Linux); memcpy keeps doubles bit-exact.
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over an immutable byte range. Any underrun flips
+/// ok() to false and every subsequent read returns a zero value, so decode
+/// loops can run to completion and check ok() once at the end.
+class Deser {
+ public:
+  Deser(const void* data, size_t len)
+      : p_(static_cast<const char*>(data)), n_(len) {}
+  explicit Deser(const std::string& s) : Deser(s.data(), s.size()) {}
+
+  uint8_t u8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t u32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t i64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const uint64_t len = u64();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(p_ + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return n_ - pos_; }
+  /// A fully-consumed, error-free decode (trailing bytes mean the payload
+  /// and the decoder disagree about the format — treat as corruption).
+  bool done() const { return ok_ && pos_ == n_; }
+
+ private:
+  void Raw(void* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, p_ + pos_, n);
+    pos_ += n;
+  }
+
+  const char* p_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Write/Read overloads over generated-container element shapes -------
+
+inline void Write(Ser& s, int64_t v) { s.i64(v); }
+inline void Write(Ser& s, double v) { s.f64(v); }
+inline void Write(Ser& s, const std::string& v) { s.str(v); }
+template <typename... Ts>
+void Write(Ser& s, const std::tuple<Ts...>& t) {
+  std::apply([&s](const Ts&... es) { (Write(s, es), ...); }, t);
+}
+
+inline void Read(Deser& d, int64_t* v) { *v = d.i64(); }
+inline void Read(Deser& d, double* v) { *v = d.f64(); }
+inline void Read(Deser& d, std::string* v) { *v = d.str(); }
+template <typename... Ts>
+void Read(Deser& d, std::tuple<Ts...>* t) {
+  std::apply([&d](Ts&... es) { (Read(d, &es), ...); }, *t);
+}
+
+}  // namespace dbt
+
+#endif  // DBTOASTER_CODEGEN_DBT_SERIALIZE_H_

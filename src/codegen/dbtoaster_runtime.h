@@ -17,6 +17,7 @@
 
 #include "dbt_flat_map.h"
 #include "dbt_select.h"
+#include "dbt_serialize.h"
 #include "dbt_shard_pool.h"
 
 namespace dbt {
@@ -161,6 +162,41 @@ class Map {
   size_t size() const { return data_.size(); }
   const Store& entries() const { return data_; }
 
+  /// Visit every live (key, value) entry; used by generated load_state to
+  /// rebuild slice indexes and by Sharded to fan iteration over parts.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& e : data_) f(e.first, e.second);
+  }
+
+  /// Raw insert for deserialization: unlike set(), never interprets the
+  /// value (a restored double 0.0 entry must survive — its presence in the
+  /// live key set is state, see the class comment on integer erasure).
+  void restore_entry(const K& k, const V& v) {
+    auto [i, inserted] = data_.try_emplace(k, v);
+    if (!inserted) data_.value_at(i) = v;
+  }
+
+  void save(Ser& s) const {
+    s.u64(data_.size());
+    for (const auto& e : data_) {
+      Write(s, e.first);
+      Write(s, e.second);
+    }
+  }
+  bool load(Deser& d) {
+    data_.clear();
+    const uint64_t n = d.u64();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      K k{};
+      V v{};
+      Read(d, &k);
+      Read(d, &v);
+      if (d.ok()) restore_entry(k, v);
+    }
+    return d.ok();
+  }
+
   /// True slab-resident footprint plus spilled string payloads.
   size_t bytes() const {
     size_t n = sizeof(*this) + data_.pool_bytes();
@@ -254,6 +290,40 @@ class ExtremeMap {
     return false;
   }
   size_t size() const { return data_.size(); }
+
+  /// Counts are saved signed: a group holding only debts (negative counts
+  /// from a delete reordered ahead of its insert) is real state and must
+  /// survive a snapshot/restore cycle, or later inserts would resurrect
+  /// values the stream already retracted.
+  void save(Ser& s) const {
+    s.u64(data_.size());
+    for (const auto& e : data_) {
+      Write(s, e.first);
+      s.u64(e.second.counts.size());
+      for (const auto& [value, count] : e.second.counts) {
+        Write(s, value);
+        s.i64(count);
+      }
+    }
+  }
+  bool load(Deser& d) {
+    data_.clear();
+    const uint64_t groups = d.u64();
+    for (uint64_t g = 0; g < groups && d.ok(); ++g) {
+      K k{};
+      Read(d, &k);
+      const uint64_t values = d.u64();
+      for (uint64_t i = 0; i < values && d.ok(); ++i) {
+        V v{};
+        Read(d, &v);
+        const int64_t count = d.i64();
+        // Bump by the full signed count: live and the ordered multiset are
+        // reconstructed exactly (zero counts are never saved).
+        if (d.ok()) Bump(k, v, count);
+      }
+    }
+    return d.ok();
+  }
 
   size_t bytes() const {
     size_t n = sizeof(*this) + data_.pool_bytes();
@@ -405,6 +475,15 @@ class EventBatch {
   size_t events_ = 0;
 };
 
+/// Lane schema of one relation at the dynamic boundary: the EventColumn
+/// tags the program expects for each column (dates travel as kI64).
+/// Published by generated programs so a driving engine can validate batch
+/// arity and lane types before they reach the typed handlers.
+struct RelationSchema {
+  std::string name;
+  std::vector<EventColumn::Tag> lanes;
+};
+
 /// Abstract driver interface implemented by every dbtc-generated program:
 /// the string-dispatch shim that makes generated code drivable through the
 /// same engine-agnostic surface as the interpreted engines (see
@@ -455,6 +534,28 @@ class StreamProgram {
 
   /// Rough retained-bytes estimate of the maintained state.
   virtual size_t state_bytes() const = 0;
+
+  /// Relation lane schemas for boundary validation (empty when the program
+  /// predates schema publication; drivers then skip validation). Generated
+  /// programs return every catalog relation, so base-table-only relations
+  /// validate and are ignored by dispatch, exactly like the interpreter.
+  virtual std::vector<RelationSchema> relation_schemas() const { return {}; }
+
+  /// Serialize / restore the program's maintained state (aggregate maps,
+  /// base multisets, extreme multisets; slice indexes are rebuilt on load).
+  /// Return false when the program does not implement state capture (the
+  /// default, kept for hand-written StreamProgram shims); generated
+  /// programs override both. load_state must leave a program either fully
+  /// restored (true) or report failure (false) — callers treat false as a
+  /// corrupt snapshot, not a partial success.
+  virtual bool save_state(Ser& ser) const {
+    (void)ser;
+    return false;
+  }
+  virtual bool load_state(Deser& deser) {
+    (void)deser;
+    return false;
+  }
 };
 
 }  // namespace dbt

@@ -1,0 +1,126 @@
+// Append-only EventBatch log and replay-from-checkpoint recovery.
+//
+// Record framing (little-endian):
+//
+//   u32  payload length
+//   u32  CRC-32 of the payload bytes
+//   payload:
+//     u64  epoch — ordinal of this ingest call (1-based; the engine's
+//          epoch after the batch applies)
+//     serialized EventBatch (see SerializeBatch)
+//
+// The log is written before the batch is applied (write-ahead), fsync'd
+// every `sync_every` records. The reader trusts nothing: it stops at the
+// first record whose length overruns the file, whose CRC mismatches, or
+// whose payload does not decode exactly — everything before that point is
+// the valid prefix (`valid_bytes()`), everything after is a torn tail from
+// a crash mid-append (or deliberate corruption) and is discarded. A writer
+// reopening a recovered log truncates to the valid prefix first, so the
+// file never contains garbage between records.
+//
+// Exactly-once replay: ReplayLog applies a record iff its epoch is exactly
+// engine->epoch() + 1, skips records at or below the engine's epoch (they
+// are already in the checkpoint), and fails on a gap. Restoring a
+// checkpoint and replaying the same log is therefore idempotent, and a
+// checkpoint taken at any batch boundary composes with the log written
+// across it.
+#ifndef DBTOASTER_RUNTIME_BATCH_LOG_H_
+#define DBTOASTER_RUNTIME_BATCH_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/codegen/dbt_serialize.h"
+#include "src/common/status.h"
+#include "src/runtime/stream_engine.h"
+
+namespace dbtoaster::runtime {
+
+/// Columnar EventBatch serde: group count, then per group relation / op /
+/// row count / typed lanes. DeserializeBatch rebuilds an identical batch
+/// (groups are unique per (relation, op) and keep first-encounter order).
+void SerializeBatch(const EventBatch& batch, dbt::Ser* out);
+Status DeserializeBatch(dbt::Deser* in, EventBatch* out);
+
+/// Appender. Not thread-safe (the ingest path is single-driver).
+class BatchLogWriter {
+ public:
+  BatchLogWriter() = default;
+  ~BatchLogWriter() { Close(); }
+  BatchLogWriter(const BatchLogWriter&) = delete;
+  BatchLogWriter& operator=(const BatchLogWriter&) = delete;
+
+  /// Open for append, creating the file if needed. When `truncate_to` is
+  /// non-negative the file is first cut to that many bytes (the valid
+  /// prefix reported by a reader after a crash).
+  Status Open(const std::string& path, int64_t truncate_to = -1);
+
+  /// Append one record (framed + CRC'd); fsyncs every `sync_every()`
+  /// appends. `epoch` is the batch's ordinal (engine epoch after apply).
+  Status Append(uint64_t epoch, const EventBatch& batch);
+
+  /// Force an fsync of everything appended so far.
+  Status Sync();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Records per fsync; 1 = sync every append (max durability).
+  size_t sync_every() const { return sync_every_; }
+  void set_sync_every(size_t n) { sync_every_ = n == 0 ? 1 : n; }
+
+ private:
+  int fd_ = -1;
+  size_t sync_every_ = 16;
+  size_t since_sync_ = 0;
+};
+
+/// Sequential reader over a log file (loaded whole; logs are bounded by
+/// checkpoint cadence). Next() yields valid records until the valid prefix
+/// ends.
+class BatchLogReader {
+ public:
+  struct Record {
+    uint64_t epoch = 0;
+    EventBatch batch;
+  };
+
+  /// Loads and scans nothing yet; returns NotFound if the file is absent.
+  Status Open(const std::string& path);
+
+  /// Advance to the next valid record. Returns false at end of the valid
+  /// prefix (clean end or torn tail — check tail_torn()).
+  bool Next(Record* out);
+
+  /// Bytes of the longest valid record prefix seen so far; final once
+  /// Next() has returned false.
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+  /// True when scanning stopped because of a torn/corrupt record rather
+  /// than a clean end of file.
+  bool tail_torn() const { return tail_torn_; }
+
+ private:
+  std::string bytes_;
+  size_t pos_ = 0;
+  uint64_t valid_bytes_ = 0;
+  bool tail_torn_ = false;
+};
+
+/// Outcome of a recovery replay.
+struct RecoveryStats {
+  uint64_t replayed = 0;       ///< records applied to the engine
+  uint64_t skipped = 0;        ///< records already covered by the checkpoint
+  uint64_t valid_bytes = 0;    ///< valid log prefix (truncation point)
+  bool tail_truncated = false; ///< a torn/corrupt tail was discarded
+};
+
+/// Replay the log at `path` into `engine` with exactly-once epoch
+/// semantics (see the file comment). A missing log file is a clean no-op
+/// recovery. Fails on an epoch gap (a lost log segment) or if the engine
+/// rejects a batch.
+Result<RecoveryStats> ReplayLog(const std::string& path, StreamEngine* engine);
+
+}  // namespace dbtoaster::runtime
+
+#endif  // DBTOASTER_RUNTIME_BATCH_LOG_H_

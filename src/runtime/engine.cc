@@ -139,6 +139,9 @@ Engine::Engine(compiler::Program program)
     }
   }
 #endif
+  // Arm the boundary validator with the catalog: malformed batches bounce
+  // with a structured Status before any trigger runs.
+  RegisterIngestCatalog(program_.catalog);
   for (const MapDecl& decl : program_.maps) {
     decls_[decl.name] = &decl;
     if (decl.is_extreme) {
@@ -823,7 +826,7 @@ Status Engine::ApplyGroup(const std::string& relation, EventKind kind,
   return Status::OK();
 }
 
-Status Engine::ApplyBatch(EventBatch&& batch) {
+Status Engine::DoApplyBatch(EventBatch&& batch) {
   DeferredReevals deferred;
   for (const EventBatch::Group& g : batch.groups()) {
     DBT_RETURN_IF_ERROR(
@@ -833,11 +836,131 @@ Status Engine::ApplyBatch(EventBatch&& batch) {
   return FlushDeferredReevals(&deferred);
 }
 
-Status Engine::OnEvent(const Event& event) {
+Status Engine::DoOnEvent(const Event& event) {
   DeferredReevals deferred;
   DBT_RETURN_IF_ERROR(
       ApplyGroup(event.relation, event.kind, &event.tuple, 1, &deferred));
   return FlushDeferredReevals(&deferred);
+}
+
+Status Engine::SaveState(dbt::Ser* out) const {
+  // Base tables by relation name, in catalog order.
+  const Catalog& catalog = program_.catalog;
+  out->u64(catalog.relations().size());
+  for (const Schema& schema : catalog.relations()) {
+    out->str(schema.name());
+    const Table* table = db_.FindTable(schema.name());
+    if (table == nullptr) {
+      return Status::Internal("save: missing table " + schema.name());
+    }
+    out->u64(table->rows().size());
+    for (const auto& [row, mult] : table->rows()) {
+      WriteRow(*out, row);
+      out->i64(mult);
+    }
+  }
+  // Aggregate maps by name (std::map order is deterministic).
+  out->u64(maps_.size());
+  for (const auto& [name, m] : maps_) {
+    out->str(name);
+    out->u64(m.size());
+    for (const auto& [key, value] : m.entries()) {
+      WriteRow(*out, key);
+      WriteValue(*out, value);
+    }
+  }
+  // MIN/MAX multisets: per group the full signed count histogram (negative
+  // "debt" counts are part of the state and must round-trip).
+  out->u64(extremes_.size());
+  for (const auto& [name, m] : extremes_) {
+    out->str(name);
+    out->u64(m.groups().size());
+    for (const auto& [key, group] : m.groups()) {
+      WriteRow(*out, key);
+      out->u64(group.counts.size());
+      for (const auto& [value, count] : group.counts) {
+        WriteValue(*out, value);
+        out->i64(count);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::LoadState(dbt::Deser* in) {
+  db_.Clear();
+  for (auto& [name, m] : maps_) m.Clear();
+  for (auto& [name, m] : extremes_) m.Clear();
+  // Slice indexes are derived from the maps; drop them and let the first
+  // slice access rebuild from restored state.
+  slice_indexes_.clear();
+
+  const uint64_t ntables = in->u64();
+  for (uint64_t t = 0; t < ntables && in->ok(); ++t) {
+    const std::string name = in->str();
+    Table* table = db_.FindTable(name);
+    if (table == nullptr) {
+      return Status::ParseError("restore: snapshot names unknown relation '" +
+                                name + "'");
+    }
+    const uint64_t nrows = in->u64();
+    for (uint64_t i = 0; i < nrows && in->ok(); ++i) {
+      Row row;
+      if (!ReadRow(*in, &row)) {
+        return Status::ParseError("restore: corrupt row in table " + name);
+      }
+      table->Apply(row, in->i64());
+    }
+  }
+
+  const uint64_t nmaps = in->u64();
+  for (uint64_t t = 0; t < nmaps && in->ok(); ++t) {
+    const std::string name = in->str();
+    auto it = maps_.find(name);
+    if (it == maps_.end()) {
+      return Status::ParseError("restore: snapshot names unknown map '" +
+                                name + "'");
+    }
+    const uint64_t n = in->u64();
+    for (uint64_t i = 0; i < n && in->ok(); ++i) {
+      Row key;
+      Value value;
+      if (!ReadRow(*in, &key) || !ReadValue(*in, &value)) {
+        return Status::ParseError("restore: corrupt entry in map " + name);
+      }
+      it->second.Set(key, std::move(value));
+    }
+  }
+
+  const uint64_t nextremes = in->u64();
+  for (uint64_t t = 0; t < nextremes && in->ok(); ++t) {
+    const std::string name = in->str();
+    auto it = extremes_.find(name);
+    if (it == extremes_.end()) {
+      return Status::ParseError(
+          "restore: snapshot names unknown extreme map '" + name + "'");
+    }
+    const uint64_t ngroups = in->u64();
+    for (uint64_t g = 0; g < ngroups && in->ok(); ++g) {
+      Row key;
+      if (!ReadRow(*in, &key)) {
+        return Status::ParseError("restore: corrupt key in extreme map " +
+                                  name);
+      }
+      const uint64_t nvalues = in->u64();
+      for (uint64_t v = 0; v < nvalues && in->ok(); ++v) {
+        Value value;
+        if (!ReadValue(*in, &value)) {
+          return Status::ParseError("restore: corrupt value in extreme map " +
+                                    name);
+        }
+        it->second.AddCount(key, value, in->i64());
+      }
+    }
+  }
+
+  if (!in->ok()) return Status::ParseError("restore: truncated snapshot");
+  return Status::OK();
 }
 
 Result<exec::QueryResult> Engine::View(const std::string& view_name) {

@@ -68,12 +68,6 @@ class Engine : public StreamEngine, public MapStore {
 
   std::string Name() const override { return "toaster-i"; }
 
-  /// Process one batch of deltas (see stream_engine.h for semantics).
-  Status ApplyBatch(EventBatch&& batch) override;
-
-  /// Process one delta. Updates base tables, aggregate maps and views.
-  Status OnEvent(const Event& event) override;
-
   /// Current content of a registered view (fresh as of the last event).
   Result<exec::QueryResult> View(const std::string& view_name) override;
 
@@ -96,6 +90,12 @@ class Engine : public StreamEngine, public MapStore {
   /// Aggregate maps plus the base-table snapshot.
   size_t StateBytes() const override;
 
+  /// Snapshot / restore dynamic state: base tables, aggregate maps and
+  /// MIN/MAX multisets. Slice indexes are derived state and rebuild lazily
+  /// after a restore.
+  Status SaveState(dbt::Ser* out) const override;
+  Status LoadState(dbt::Deser* in) override;
+
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   const ProfileStats& profile() const { return profile_; }
   std::string Profile() const override { return profile_.ToString(); }
@@ -109,6 +109,13 @@ class Engine : public StreamEngine, public MapStore {
   const std::unordered_set<Row, RowHash, RowEq>* LookupMapSlice(
       const std::string& map, const std::vector<size_t>& positions,
       const Row& key) override;
+
+ protected:
+  /// Process one batch of deltas (see stream_engine.h for semantics).
+  Status DoApplyBatch(EventBatch&& batch) override;
+
+  /// Process one delta. Updates base tables, aggregate maps and views.
+  Status DoOnEvent(const Event& event) override;
 
  private:
   /// Secondary slice index: prefix key -> full keys (possibly stale; values

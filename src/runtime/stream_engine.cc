@@ -1,6 +1,7 @@
 #include "src/runtime/stream_engine.h"
 
 #include "src/codegen/dbtoaster_runtime.h"
+#include "src/common/str.h"
 
 namespace dbtoaster::runtime {
 
@@ -52,6 +53,172 @@ void EventBatch::Add(EventKind kind, const std::string& relation, Row tuple) {
   ++events_;
 }
 
+// ---- dynamic value serde ------------------------------------------------
+
+void WriteValue(dbt::Ser& out, const Value& v) {
+  if (v.is_string()) {
+    out.u8(2);
+    out.str(v.AsString());
+  } else if (v.is_double()) {
+    out.u8(1);
+    out.f64(v.AsDouble());
+  } else {
+    out.u8(0);
+    out.i64(v.AsInt());
+  }
+}
+
+bool ReadValue(dbt::Deser& in, Value* v) {
+  switch (in.u8()) {
+    case 0: *v = Value(in.i64()); break;
+    case 1: *v = Value(in.f64()); break;
+    case 2: *v = Value(in.str()); break;
+    default: return false;
+  }
+  return in.ok();
+}
+
+void WriteRow(dbt::Ser& out, const Row& row) {
+  out.u64(row.size());
+  for (const Value& v : row) WriteValue(out, v);
+}
+
+bool ReadRow(dbt::Deser& in, Row* row) {
+  row->clear();
+  const uint64_t n = in.u64();
+  // Arity bound: a row longer than the remaining bytes is corrupt (every
+  // value encodes to >= 1 byte), so a garbage length cannot OOM us.
+  if (!in.ok() || n > in.remaining()) return false;
+  row->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    if (!ReadValue(in, &v)) return false;
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ---- IngestValidator ----------------------------------------------------
+
+namespace {
+
+const char* TagName(EventColumn::Tag t) {
+  switch (t) {
+    case EventColumn::Tag::kF64: return "f64";
+    case EventColumn::Tag::kStr: return "str";
+    default: return "i64";
+  }
+}
+
+EventColumn::Tag TagOfType(Type t) {
+  switch (t) {
+    case Type::kString: return EventColumn::Tag::kStr;
+    case Type::kDouble: return EventColumn::Tag::kF64;
+    default: return EventColumn::Tag::kI64;  // ints and dates ride i64 lanes
+  }
+}
+
+/// String lanes and numeric lanes never mix; the two numeric lanes do
+/// (dates and widened ints legally feed double columns via promotion).
+bool LaneCompatible(EventColumn::Tag want, EventColumn::Tag got) {
+  const bool want_str = want == EventColumn::Tag::kStr;
+  const bool got_str = got == EventColumn::Tag::kStr;
+  return want_str == got_str;
+}
+
+}  // namespace
+
+void IngestValidator::Register(const std::string& relation,
+                               std::vector<EventColumn::Tag> lanes) {
+  schemas_[ToUpper(relation)] = std::move(lanes);
+}
+
+void IngestValidator::RegisterCatalog(const Catalog& catalog) {
+  for (const Schema& schema : catalog.relations()) {
+    std::vector<EventColumn::Tag> lanes;
+    lanes.reserve(schema.num_columns());
+    for (const auto& [col, type] : schema.columns()) {
+      (void)col;
+      lanes.push_back(TagOfType(type));
+    }
+    Register(schema.name(), std::move(lanes));
+  }
+}
+
+const std::vector<EventColumn::Tag>* IngestValidator::Find(
+    const std::string& relation) const {
+  auto it = schemas_.find(ToUpper(relation));
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+Status IngestValidator::ValidateBatch(const EventBatch& batch) const {
+  if (schemas_.empty()) return Status::OK();
+  for (const EventBatch::Group& g : batch.groups()) {
+    if (g.rows == 0) continue;
+    const std::vector<EventColumn::Tag>* lanes = Find(g.relation);
+    if (lanes == nullptr) {
+      return Status::NotFound(
+          StrFormat("ingest: unknown relation '%s'", g.relation.c_str()));
+    }
+    if (g.cols.size() != lanes->size()) {
+      return Status::InvalidArgument(StrFormat(
+          "ingest: relation '%s' expects arity %zu, batch group has %zu "
+          "columns",
+          g.relation.c_str(), lanes->size(), g.cols.size()));
+    }
+    for (size_t c = 0; c < g.cols.size(); ++c) {
+      if (!LaneCompatible((*lanes)[c], g.cols[c].tag)) {
+        return Status::TypeError(StrFormat(
+            "ingest: relation '%s' column %zu expects %s lane, batch "
+            "carries %s",
+            g.relation.c_str(), c, TagName((*lanes)[c]),
+            TagName(g.cols[c].tag)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status IngestValidator::ValidateEvent(const Event& event) const {
+  if (schemas_.empty()) return Status::OK();
+  const std::vector<EventColumn::Tag>* lanes = Find(event.relation);
+  if (lanes == nullptr) {
+    return Status::NotFound(
+        StrFormat("ingest: unknown relation '%s'", event.relation.c_str()));
+  }
+  if (event.tuple.size() != lanes->size()) {
+    return Status::InvalidArgument(StrFormat(
+        "ingest: relation '%s' expects arity %zu, event tuple has %zu",
+        event.relation.c_str(), lanes->size(), event.tuple.size()));
+  }
+  for (size_t c = 0; c < event.tuple.size(); ++c) {
+    const EventColumn::Tag got = EventColumn::TagOf(event.tuple[c]);
+    if (!LaneCompatible((*lanes)[c], got)) {
+      return Status::TypeError(StrFormat(
+          "ingest: relation '%s' column %zu expects %s lane, event "
+          "carries %s",
+          event.relation.c_str(), c, TagName((*lanes)[c]), TagName(got)));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- StreamEngine wrappers ----------------------------------------------
+
+Status StreamEngine::ApplyBatch(EventBatch&& batch) {
+  DBT_RETURN_IF_ERROR(validator_.ValidateBatch(batch));
+  DBT_RETURN_IF_ERROR(DoApplyBatch(std::move(batch)));
+  ++epoch_;
+  return Status::OK();
+}
+
+Status StreamEngine::OnEvent(const Event& event) {
+  DBT_RETURN_IF_ERROR(validator_.ValidateEvent(event));
+  DBT_RETURN_IF_ERROR(DoOnEvent(event));
+  ++epoch_;
+  return Status::OK();
+}
+
 Result<Value> StreamEngine::ViewScalar(const std::string& name) {
   DBT_ASSIGN_OR_RETURN(exec::QueryResult r, View(name));
   if (r.rows.size() != 1 || r.rows[0].first.size() != 1) {
@@ -59,6 +226,121 @@ Result<Value> StreamEngine::ViewScalar(const std::string& name) {
   }
   return r.rows[0].first[0];
 }
+
+Status StreamEngine::SaveState(dbt::Ser* out) const {
+  (void)out;
+  return Status::NotSupported("engine '" + Name() +
+                              "' does not implement state capture");
+}
+
+Status StreamEngine::LoadState(dbt::Deser* in) {
+  (void)in;
+  return Status::NotSupported("engine '" + Name() +
+                              "' does not implement state restore");
+}
+
+// ---- UpsertNormalizer ---------------------------------------------------
+
+void UpsertNormalizer::DeclareKey(const std::string& relation,
+                                  std::vector<size_t> key_cols) {
+  KeyedRelation& kr = keyed_[ToUpper(relation)];
+  kr.key_cols = std::move(key_cols);
+}
+
+EventBatch UpsertNormalizer::Normalize(EventBatch&& batch) {
+  EventBatch out;
+  for (EventBatch::Group& g : batch.groups()) {
+    auto it = keyed_.find(ToUpper(g.relation));
+    if (it == keyed_.end()) {
+      for (size_t i = 0; i < g.rows; ++i) {
+        out.Add(g.kind, g.relation, g.RowAt(i));
+      }
+      continue;
+    }
+    KeyedRelation& kr = it->second;
+    for (size_t i = 0; i < g.rows; ++i) {
+      Row row = g.RowAt(i);
+      Row key;
+      key.reserve(kr.key_cols.size());
+      for (size_t c : kr.key_cols) {
+        key.push_back(c < row.size() ? row[c] : Value(int64_t{0}));
+      }
+      auto cur = kr.current.find(key);
+      if (g.kind == EventKind::kInsert) {
+        if (cur != kr.current.end()) {
+          if (RowEq{}(cur->second, row)) continue;  // duplicate insert
+          out.AddDelete(g.relation, cur->second);   // upsert: replace
+          cur->second = row;
+        } else {
+          kr.current.emplace(std::move(key), row);
+        }
+        out.AddInsert(g.relation, std::move(row));
+      } else {
+        // Deletes must name the live row; late/duplicated/reordered
+        // deletes (unknown key or stale image) are dropped.
+        if (cur == kr.current.end() || !RowEq{}(cur->second, row)) continue;
+        kr.current.erase(cur);
+        out.AddDelete(g.relation, std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+void UpsertNormalizer::Save(dbt::Ser* out) const {
+  out->u64(keyed_.size());
+  for (const auto& [name, kr] : keyed_) {
+    out->str(name);
+    out->u64(kr.key_cols.size());
+    for (size_t c : kr.key_cols) out->u64(c);
+    out->u64(kr.current.size());
+    // std::unordered_map iteration order is not stable across processes;
+    // the table is rebuilt entry-by-entry, so order does not matter.
+    for (const auto& [key, row] : kr.current) {
+      (void)key;  // keys re-derive by projection
+      WriteRow(*out, row);
+    }
+  }
+}
+
+Status UpsertNormalizer::Load(dbt::Deser* in) {
+  keyed_.clear();
+  const uint64_t nrel = in->u64();
+  for (uint64_t r = 0; r < nrel && in->ok(); ++r) {
+    const std::string name = in->str();
+    KeyedRelation& kr = keyed_[name];
+    const uint64_t nkeys = in->u64();
+    if (!in->ok() || nkeys > in->remaining()) {
+      return Status::ParseError("upsert state: corrupt key column list");
+    }
+    kr.key_cols.reserve(static_cast<size_t>(nkeys));
+    for (uint64_t k = 0; k < nkeys; ++k) {
+      kr.key_cols.push_back(static_cast<size_t>(in->u64()));
+    }
+    const uint64_t nrows = in->u64();
+    for (uint64_t i = 0; i < nrows && in->ok(); ++i) {
+      Row row;
+      if (!ReadRow(*in, &row)) {
+        return Status::ParseError("upsert state: corrupt row");
+      }
+      Row key;
+      key.reserve(kr.key_cols.size());
+      for (size_t c : kr.key_cols) {
+        key.push_back(c < row.size() ? row[c] : Value(int64_t{0}));
+      }
+      kr.current[std::move(key)] = std::move(row);
+    }
+  }
+  if (!in->ok()) return Status::ParseError("upsert state: truncated");
+  return Status::OK();
+}
+
+size_t UpsertNormalizer::live_rows(const std::string& relation) const {
+  auto it = keyed_.find(ToUpper(relation));
+  return it == keyed_.end() ? 0 : it->second.current.size();
+}
+
+// ---- CompiledProgramEngine ----------------------------------------------
 
 namespace {
 
@@ -86,13 +368,36 @@ Value FromDbtValue(const dbt::Value& v) {
   return Value(std::get<int64_t>(v));
 }
 
+EventColumn::Tag FromDbtTag(dbt::EventColumn::Tag t) {
+  switch (t) {
+    case dbt::EventColumn::Tag::kF64: return EventColumn::Tag::kF64;
+    case dbt::EventColumn::Tag::kStr: return EventColumn::Tag::kStr;
+    default: return EventColumn::Tag::kI64;
+  }
+}
+
 }  // namespace
+
+CompiledProgramEngine::CompiledProgramEngine(dbt::StreamProgram* program,
+                                             std::string name, BatchPath path)
+    : program_(program), name_(std::move(name)), path_(path) {
+  // Generated programs publish the catalog's relation layouts; arm the
+  // boundary validator with them so malformed batches are rejected before
+  // the typed handlers. Programs predating schema emission publish none
+  // and keep the permissive boundary.
+  for (const dbt::RelationSchema& rs : program_->relation_schemas()) {
+    std::vector<EventColumn::Tag> lanes;
+    lanes.reserve(rs.lanes.size());
+    for (dbt::EventColumn::Tag t : rs.lanes) lanes.push_back(FromDbtTag(t));
+    RegisterIngestSchema(rs.name, std::move(lanes));
+  }
+}
 
 size_t CompiledProgramEngine::StateBytes() const {
   return program_->state_bytes();
 }
 
-Status CompiledProgramEngine::ApplyBatch(EventBatch&& batch) {
+Status CompiledProgramEngine::DoApplyBatch(EventBatch&& batch) {
   if (path_ == BatchPath::kRow) {
     // Reference path: per-event string dispatch through the row shim,
     // exercised by the differential harness and the row-vs-columnar bench.
@@ -137,9 +442,26 @@ Status CompiledProgramEngine::ApplyBatch(EventBatch&& batch) {
   return Status::OK();
 }
 
-Status CompiledProgramEngine::OnEvent(const Event& event) {
+Status CompiledProgramEngine::DoOnEvent(const Event& event) {
   program_->on_event(event.relation, event.kind == EventKind::kInsert,
                      ToDbtValues(event.tuple));
+  return Status::OK();
+}
+
+Status CompiledProgramEngine::SaveState(dbt::Ser* out) const {
+  if (!program_->save_state(*out)) {
+    return Status::NotSupported("program '" + name_ +
+                                "' was generated without state capture");
+  }
+  return Status::OK();
+}
+
+Status CompiledProgramEngine::LoadState(dbt::Deser* in) {
+  if (!program_->load_state(*in)) {
+    return Status::ParseError("program '" + name_ +
+                              "' state restore failed (corrupt snapshot or "
+                              "program generated without state capture)");
+  }
   return Status::OK();
 }
 

@@ -14,14 +14,25 @@
 // final database state, which is order-independent under multiset
 // semantics, and MIN/MAX multisets tolerate transient negative counts
 // (see ExtremeMap).
+//
+// The ingest boundary is treated as untrusted: ApplyBatch and OnEvent are
+// non-virtual wrappers that validate relation names, arity and lane types
+// against the engine's registered schemas (returning a structured Status —
+// never UB or a silent skip) before handing the batch to the engine's
+// DoApplyBatch, and count successfully applied calls as the engine's epoch
+// (the exactly-once cursor of the batch-log recovery protocol, see
+// src/runtime/batch_log.h).
 #ifndef DBTOASTER_RUNTIME_STREAM_ENGINE_H_
 #define DBTOASTER_RUNTIME_STREAM_ENGINE_H_
 
 #include <array>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/codegen/dbt_flat_map.h"
+#include "src/codegen/dbt_serialize.h"
 #include "src/codegen/dbt_shard_pool.h"
 #include "src/common/status.h"
 #include "src/exec/executor.h"
@@ -176,7 +187,53 @@ class EventBatch {
   size_t events_ = 0;
 };
 
+// ---- dynamic value serde (shared by checkpoints, the batch log and the
+// ---- upsert adapter) ---------------------------------------------------
+
+/// Tagged encoding of one dynamic Value: u8 tag (0 = int64, 1 = double,
+/// 2 = string) + payload. ReadValue/ReadRow return false on a malformed
+/// tag; truncation surfaces through the reader's ok() as usual.
+void WriteValue(dbt::Ser& out, const Value& v);
+bool ReadValue(dbt::Deser& in, Value* v);
+void WriteRow(dbt::Ser& out, const Row& row);
+bool ReadRow(dbt::Deser& in, Row* row);
+
+/// Boundary validation of untrusted batches against registered relation
+/// schemas. An engine registers the lane layout of every relation it is
+/// willing to ingest (from its catalog, or from a generated program's
+/// published schemas); Validate then rejects, with relation and column
+/// context:
+///   - unknown relations               -> kNotFound
+///   - group arity != schema arity     -> kInvalidArgument
+///   - string lane where the schema has a numeric column (or vice versa)
+///                                     -> kTypeError
+/// Numeric lanes are interchangeable (kI64 carries dates and widened ints;
+/// engines promote), so only string/numeric confusion — the one shape the
+/// typed handlers cannot absorb — is a type error. A validator with no
+/// registered schemas passes everything through (opt-in hardening).
+class IngestValidator {
+ public:
+  void Register(const std::string& relation,
+                std::vector<EventColumn::Tag> lanes);
+  void RegisterCatalog(const Catalog& catalog);
+  bool empty() const { return schemas_.empty(); }
+
+  Status ValidateBatch(const EventBatch& batch) const;
+  Status ValidateEvent(const Event& event) const;
+
+ private:
+  const std::vector<EventColumn::Tag>* Find(const std::string& relation) const;
+
+  /// Keyed by upper-cased relation name (catalog semantics).
+  std::map<std::string, std::vector<EventColumn::Tag>> schemas_;
+};
+
 /// A continuously-maintained standing-query engine fed delta batches.
+///
+/// ApplyBatch / OnEvent are deliberately non-virtual: they validate the
+/// input, delegate to the engine's DoApplyBatch / DoOnEvent, and advance
+/// the epoch on success, so every engine shares one hardened boundary and
+/// one recovery cursor. Engine classes implement the Do* hooks.
 class StreamEngine {
  public:
   virtual ~StreamEngine() = default;
@@ -185,12 +242,11 @@ class StreamEngine {
   virtual std::string Name() const = 0;
 
   /// Ingest one batch of deltas (see the file comment for semantics).
-  virtual Status ApplyBatch(EventBatch&& batch) = 0;
+  Status ApplyBatch(EventBatch&& batch);
 
-  /// One-element convenience; engines may override with a leaner path.
-  virtual Status OnEvent(const Event& event) {
-    return ApplyBatch(EventBatch::Of(event));
-  }
+  /// One-element convenience; engines may override DoOnEvent with a leaner
+  /// path than the one-element-batch default.
+  Status OnEvent(const Event& event);
 
   Status OnInsert(const std::string& relation, Row tuple) {
     return OnEvent(Event::Insert(relation, std::move(tuple)));
@@ -212,13 +268,87 @@ class StreamEngine {
 
   /// Human-readable execution statistics; empty when the engine keeps none.
   virtual std::string Profile() const { return std::string(); }
+
+  /// Serialize the engine's dynamic state (base tables, aggregate maps,
+  /// multisets) into `out` / restore it from `in`. Engines that implement
+  /// state capture override both; the default reports kNotSupported.
+  /// Restore protocol: construct the engine the same way (same program /
+  /// registered queries), then LoadState — snapshots capture dynamic state,
+  /// not query registration. The epoch is owned by the checkpoint envelope
+  /// (src/runtime/checkpoint.h), not the payload.
+  virtual Status SaveState(dbt::Ser* out) const;
+  virtual Status LoadState(dbt::Deser* in);
+
+  /// Number of successfully applied ingest calls (batches or single
+  /// events). Monotonic; the batch-log recovery protocol uses it as the
+  /// exactly-once replay cursor.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t e) { epoch_ = e; }
+
+  const IngestValidator& ingest_validator() const { return validator_; }
+
+ protected:
+  /// Engine-specific batch ingestion; input has passed boundary validation.
+  virtual Status DoApplyBatch(EventBatch&& batch) = 0;
+  virtual Status DoOnEvent(const Event& event) {
+    return DoApplyBatch(EventBatch::Of(event));
+  }
+
+  /// Schema registration for the boundary validator (typically from the
+  /// engine's constructor).
+  void RegisterIngestCatalog(const Catalog& catalog) {
+    validator_.RegisterCatalog(catalog);
+  }
+  void RegisterIngestSchema(const std::string& relation,
+                            std::vector<EventColumn::Tag> lanes) {
+    validator_.Register(relation, std::move(lanes));
+  }
+
+ private:
+  IngestValidator validator_;
+  uint64_t epoch_ = 0;
+};
+
+/// Upsert/primary-key ingestion adapter: rewrites a raw, possibly
+/// duplicated or reordered stream into the exact multiset deltas the
+/// engines consume. For each relation declared with a key:
+///   - an insert whose key is already live replaces the old row
+///     (delete(old) + insert(new));
+///   - a byte-identical duplicate insert is dropped;
+///   - a delete whose key is not live (late, duplicated, or reordered
+///     ahead of its insert) is dropped.
+/// Undeclared relations pass through untouched. The adapter's key->row
+/// table is itself engine state for recovery purposes (Save/Load), so a
+/// restored pipeline dedups exactly where the crashed one would have.
+class UpsertNormalizer {
+ public:
+  void DeclareKey(const std::string& relation, std::vector<size_t> key_cols);
+
+  /// Rewrite `batch` into normalized deltas, in group order, row order
+  /// within each group (deterministic for a given input).
+  EventBatch Normalize(EventBatch&& batch);
+
+  void Save(dbt::Ser* out) const;
+  Status Load(dbt::Deser* in);
+
+  size_t live_rows(const std::string& relation) const;
+
+ private:
+  struct KeyedRelation {
+    std::vector<size_t> key_cols;
+    std::unordered_map<Row, Row, RowHash, RowEq> current;  ///< key -> row
+  };
+
+  std::map<std::string, KeyedRelation> keyed_;
 };
 
 /// Drives a dbtc-generated program (any dbt::StreamProgram) through the
 /// same interface as the interpreted engines, via the generated program's
-/// string-dispatch shim. Events not handled by the program (no trigger for
-/// that relation/op) are counted but otherwise ignored, matching the
-/// generated dispatcher's behaviour.
+/// string-dispatch shim. The program's published relation schemas (when
+/// present) arm the boundary validator, so malformed batches are rejected
+/// before they reach the typed handlers; relations the program knows but
+/// has no trigger for remain counted no-ops, matching the generated
+/// dispatcher's behaviour.
 class CompiledProgramEngine final : public StreamEngine {
  public:
   /// How batches cross the boundary into the generated program.
@@ -229,16 +359,20 @@ class CompiledProgramEngine final : public StreamEngine {
 
   explicit CompiledProgramEngine(dbt::StreamProgram* program,
                                  std::string name = "toaster-c",
-                                 BatchPath path = BatchPath::kColumnar)
-      : program_(program), name_(std::move(name)), path_(path) {}
+                                 BatchPath path = BatchPath::kColumnar);
 
   std::string Name() const override { return name_; }
-  Status ApplyBatch(EventBatch&& batch) override;
-  Status OnEvent(const Event& event) override;
   Result<exec::QueryResult> View(const std::string& name) override;
   size_t StateBytes() const override;
 
+  Status SaveState(dbt::Ser* out) const override;
+  Status LoadState(dbt::Deser* in) override;
+
   dbt::StreamProgram* program() { return program_; }
+
+ protected:
+  Status DoApplyBatch(EventBatch&& batch) override;
+  Status DoOnEvent(const Event& event) override;
 
  private:
   dbt::StreamProgram* program_;

@@ -100,6 +100,13 @@ class ExtremeMap {
   void Add(const Row& key, const Value& v);
   void Remove(const Row& key, const Value& v);
 
+  /// Apply a full signed count delta for (key, v) — the restore path, which
+  /// must reconstruct negative "debt" counts exactly, not add occurrences
+  /// one at a time.
+  void AddCount(const Row& key, const Value& v, int64_t count) {
+    Bump(key, v, count);
+  }
+
   /// Smallest / largest live value for `key`.
   std::optional<Value> Min(const Row& key) const;
   std::optional<Value> Max(const Row& key) const;

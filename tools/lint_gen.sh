@@ -19,6 +19,10 @@
 #   5. vectorized statement phases iterate selection vectors — a vec_
 #      handler body must never materialize g.row() or rescan the raw group
 #      0..n; every row loop walks a sel*/srt* index vector.
+#   6. durability surface — every generated program overrides save_state()/
+#      load_state() (and publishes relation_schemas() for the ingest
+#      validator), so compiled programs participate in checkpoint/restore
+#      like the interpreted engines.
 #
 # Usage: tools/lint_gen.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -86,6 +90,14 @@ for q in $QUERIES; do
     fi
     if ! grep -q "on_batch_${rel}(" "$hpp"; then
       echo "lint_gen: FAIL — $q.hpp dispatches $rel but has no on_batch_${rel}() handler" >&2
+      fail=1
+    fi
+  done
+
+  # Durability surface: snapshot/restore overrides + published schemas.
+  for member in "bool save_state(" "bool load_state(" "relation_schemas("; do
+    if ! grep -qF "$member" "$hpp"; then
+      echo "lint_gen: FAIL — $q.hpp is missing the ${member%%(*}() durability member" >&2
       fail=1
     fi
   done
