@@ -364,6 +364,13 @@ Result<exec::QueryResult> Ivm1Engine::View(const std::string& name) {
   return out;
 }
 
+std::vector<std::string> Ivm1Engine::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, rq] : queries_) names.push_back(name);
+  return names;
+}
+
 size_t Ivm1Engine::StateBytes() const {
   size_t bytes = db_.MemoryBytes();
   for (const auto& [rel, by_pos] : indexes_) {

@@ -38,6 +38,7 @@ class Ivm1Engine : public runtime::StreamEngine, public runtime::MapStore {
 
   std::string Name() const override { return "ivm1"; }
   Result<exec::QueryResult> View(const std::string& name) override;
+  std::vector<std::string> ViewNames() const override;
   size_t StateBytes() const override;
 
   /// Snapshot / restore: base tables plus per-query result and domain maps.

@@ -92,6 +92,13 @@ Result<exec::QueryResult> ReevalEngine::View(const std::string& name) {
   return ex.Run(*it->second);
 }
 
+std::vector<std::string> ReevalEngine::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, query] : queries_) names.push_back(name);
+  return names;
+}
+
 size_t ReevalEngine::StateBytes() const { return db_.MemoryBytes(); }
 
 Status ReevalEngine::SaveState(dbt::Ser* out) const {

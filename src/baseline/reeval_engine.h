@@ -29,6 +29,7 @@ class ReevalEngine : public runtime::StreamEngine {
 
   std::string Name() const override { return "reeval"; }
   Result<exec::QueryResult> View(const std::string& name) override;
+  std::vector<std::string> ViewNames() const override;
   size_t StateBytes() const override;
 
   /// Snapshot / restore: the base tables are the whole dynamic state (views

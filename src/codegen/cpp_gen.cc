@@ -2373,6 +2373,21 @@ Status Generator::EmitViewShim(std::string* out) {
   Line(out, "return out;");
   --indent_;
   Line(out, "}");
+
+  // Snapshot-publish hook: one consistent rendering of every view per
+  // publish, consumed by the concurrent serving tier.
+  Line(out, "std::vector<dbt::ViewRows> publish_snapshot() override {");
+  ++indent_;
+  Line(out, "std::vector<dbt::ViewRows> out;");
+  Line(out, StrFormat("out.reserve(%zu);", p_.views.size()));
+  for (const compiler::ViewSpec& v : p_.views) {
+    Line(out, StrFormat("out.push_back(dbt::ViewRows{%s, view_rows(%s)});",
+                        EscapeString(v.name).c_str(),
+                        EscapeString(v.name).c_str()));
+  }
+  Line(out, "return out;");
+  --indent_;
+  Line(out, "}");
   return Status::OK();
 }
 

@@ -484,6 +484,13 @@ struct RelationSchema {
   std::vector<EventColumn::Tag> lanes;
 };
 
+/// One registered view's materialized rows at a publish point (the unit of
+/// the snapshot-publish hook below).
+struct ViewRows {
+  std::string name;
+  std::vector<std::vector<Value>> rows;
+};
+
 /// Abstract driver interface implemented by every dbtc-generated program:
 /// the string-dispatch shim that makes generated code drivable through the
 /// same engine-agnostic surface as the interpreted engines (see
@@ -521,6 +528,19 @@ class StreamProgram {
   /// views); the typed view_<name>() accessors avoid the conversion.
   virtual std::vector<std::vector<Value>> view_rows(
       const std::string& view) = 0;
+
+  /// Snapshot-publish hook: materialize every registered view in one call
+  /// against the current state. The concurrent serving tier invokes this at
+  /// publish time so each ingest epoch yields one consistent rendering of
+  /// all views; generated programs override it (and the generated-header
+  /// lint asserts the override), the default falls back to view_rows.
+  virtual std::vector<ViewRows> publish_snapshot() {
+    std::vector<ViewRows> out;
+    for (const std::string& v : view_names()) {
+      out.push_back(ViewRows{v, view_rows(v)});
+    }
+    return out;
+  }
 
   /// Vectorized-selection instrumentation (bench counters; see
   /// dbt_select.h). Programs compiled without a selection prologue report 0.

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/common/str.h"
+#include "src/runtime/checkpoint.h"
 
 namespace dbtoaster::runtime {
 
@@ -103,11 +104,20 @@ Status BatchLogWriter::Open(const std::string& path, int64_t truncate_to) {
     return Status::Internal(StrFormat("batch log: cannot open '%s': %s",
                                       path.c_str(), std::strerror(errno)));
   }
-  if (truncate_to >= 0 && ::ftruncate(fd, truncate_to) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Internal(StrFormat("batch log: truncate '%s' failed: %s",
-                                      path.c_str(), std::strerror(err)));
+  if (truncate_to >= 0) {
+    if (::ftruncate(fd, truncate_to) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(StrFormat("batch log: truncate '%s' failed: %s",
+                                        path.c_str(), std::strerror(err)));
+    }
+    // Make the truncation durable before new records land after it.
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(StrFormat("batch log: fsync '%s' failed: %s",
+                                        path.c_str(), std::strerror(err)));
+    }
   }
   if (::lseek(fd, 0, SEEK_END) < 0) {
     const int err = errno;
@@ -115,13 +125,28 @@ Status BatchLogWriter::Open(const std::string& path, int64_t truncate_to) {
     return Status::Internal(StrFormat("batch log: seek '%s' failed: %s",
                                       path.c_str(), std::strerror(err)));
   }
+  // A freshly created log only survives a crash once its directory entry
+  // is on disk, same as the checkpoint rename.
+  Status dir = FsyncParentDir(path);
+  if (!dir.ok()) {
+    ::close(fd);
+    return dir;
+  }
   fd_ = fd;
   since_sync_ = 0;
+  failed_ = false;
+  rollback_ok_ = true;
   return Status::OK();
 }
 
 Status BatchLogWriter::Append(uint64_t epoch, const EventBatch& batch) {
   if (fd_ < 0) return Status::Internal("batch log: append on closed log");
+  if (failed_) {
+    return Status::Internal(
+        rollback_ok_
+            ? "batch log: writer failed; Sync() to confirm rollback first"
+            : "batch log: writer failed and rollback failed; reopen the log");
+  }
   dbt::Ser payload;
   payload.u64(epoch);
   SerializeBatch(batch, &payload);
@@ -134,15 +159,37 @@ Status BatchLogWriter::Append(uint64_t epoch, const EventBatch& batch) {
   frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   frame.append(payload.data());
 
+  const off_t start = ::lseek(fd_, 0, SEEK_CUR);
+  if (start < 0) {
+    return Status::Internal(
+        StrFormat("batch log: tell failed: %s", std::strerror(errno)));
+  }
   size_t off = 0;
   while (off < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    size_t want = frame.size() - off;
+    ssize_t n;
+    if (write_limit_ == 0) {  // injected full-disk: write() rejects outright
+      errno = ENOSPC;
+      n = -1;
+    } else {
+      if (want > write_limit_) want = write_limit_;
+      n = ::write(fd_, frame.data() + off, want);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(
-          StrFormat("batch log: write failed: %s", std::strerror(errno)));
+      const int err = errno;
+      // Roll the partial frame back: leaving it in place would strand every
+      // later record behind a frame the untrusting reader refuses to cross.
+      failed_ = true;
+      rollback_ok_ = ::ftruncate(fd_, start) == 0 &&
+                     ::lseek(fd_, start, SEEK_SET) == start;
+      return Status::Internal(StrFormat(
+          "batch log: write failed: %s (%s)", std::strerror(err),
+          rollback_ok_ ? "partial frame rolled back; Sync() to resume"
+                       : "rollback failed; reopen the log"));
     }
     off += static_cast<size_t>(n);
+    if (write_limit_ != SIZE_MAX) write_limit_ -= static_cast<size_t>(n);
   }
   if (++since_sync_ >= sync_every_) return Sync();
   return Status::OK();
@@ -150,11 +197,16 @@ Status BatchLogWriter::Append(uint64_t epoch, const EventBatch& batch) {
 
 Status BatchLogWriter::Sync() {
   if (fd_ < 0) return Status::OK();
+  if (failed_ && !rollback_ok_) {
+    return Status::Internal(
+        "batch log: torn frame could not be rolled back; reopen the log");
+  }
   since_sync_ = 0;
   if (::fsync(fd_) != 0) {
     return Status::Internal(
         StrFormat("batch log: fsync failed: %s", std::strerror(errno)));
   }
+  failed_ = false;
   return Status::OK();
 }
 

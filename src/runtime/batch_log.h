@@ -57,22 +57,37 @@ class BatchLogWriter {
 
   /// Append one record (framed + CRC'd); fsyncs every `sync_every()`
   /// appends. `epoch` is the batch's ordinal (engine epoch after apply).
+  /// On a mid-frame write failure the partial frame is truncated away so
+  /// later records stay reachable; the writer is marked failed() and
+  /// refuses further appends until a successful Sync() (rollback worked)
+  /// or a fresh Open() (rollback itself failed).
   Status Append(uint64_t epoch, const EventBatch& batch);
 
-  /// Force an fsync of everything appended so far.
+  /// Force an fsync of everything appended so far. Clears a failed() state
+  /// whose torn frame was successfully rolled back.
   Status Sync();
 
   void Close();
   bool is_open() const { return fd_ >= 0; }
 
+  /// True after a mid-frame append failure; cleared by Sync()/Open().
+  bool failed() const { return failed_; }
+
   /// Records per fsync; 1 = sync every append (max durability).
   size_t sync_every() const { return sync_every_; }
   void set_sync_every(size_t n) { sync_every_ = n == 0 ? 1 : n; }
+
+  /// Fault injection: cap total bytes this writer may write before
+  /// write() starts failing with ENOSPC (simulates a full disk mid-frame).
+  void set_write_limit_for_testing(size_t bytes) { write_limit_ = bytes; }
 
  private:
   int fd_ = -1;
   size_t sync_every_ = 16;
   size_t since_sync_ = 0;
+  bool failed_ = false;
+  bool rollback_ok_ = true;
+  size_t write_limit_ = SIZE_MAX;
 };
 
 /// Sequential reader over a log file (loaded whole; logs are bounded by

@@ -16,6 +16,8 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'B', 'T', 'C', 'K', 'P', 'T', '\n'};
 
+CheckpointCrashPoint g_crash_point = CheckpointCrashPoint::kNone;
+
 Status ReadFileBytes(const std::string& path, std::string* out) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -69,13 +71,25 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
                                       tmp.c_str(), std::strerror(err)));
   }
   ::close(fd);
+  if (g_crash_point == CheckpointCrashPoint::kAfterTmpFsync) {
+    // Simulated crash: the tmp file is durable but the rename never happens.
+    // The tmp file is deliberately left behind, as a real crash would.
+    g_crash_point = CheckpointCrashPoint::kNone;
+    return Status::Internal(
+        StrFormat("checkpoint: injected crash after tmp fsync, before rename "
+                  "('%s' left behind)",
+                  tmp.c_str()));
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const int err = errno;
     ::unlink(tmp.c_str());
     return Status::Internal(StrFormat("checkpoint: rename to '%s' failed: %s",
                                       path.c_str(), std::strerror(err)));
   }
-  return Status::OK();
+  // The rename is only durable once the directory entry itself reaches disk;
+  // without this a crash after rename can roll back to the old (or no)
+  // checkpoint despite the atomic-write contract.
+  return FsyncParentDir(path);
 }
 
 /// Validate magic + CRC and return the body byte range [8, n-4).
@@ -104,6 +118,35 @@ Status CheckEnvelope(const std::string& path, const std::string& bytes,
 }
 
 }  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string dir;
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("fsync dir: cannot open '%s': %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(StrFormat("fsync dir '%s' failed: %s", dir.c_str(),
+                                      std::strerror(err)));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+void SetCheckpointCrashForTesting(CheckpointCrashPoint point) {
+  g_crash_point = point;
+}
 
 Status WriteCheckpoint(const std::string& path, const StreamEngine& engine) {
   dbt::Ser payload;

@@ -11,9 +11,10 @@
 //                     str  engine-specific state payload (SaveState output)
 //   bytes [n-4, n)  u32 CRC-32 over bytes [8, n-4)
 //
-// Writes are atomic: the snapshot is written to `<path>.tmp`, fsync'd, and
-// renamed over `path`, so a crash mid-checkpoint leaves the previous
-// snapshot intact. Restore verifies magic, CRC, version and engine name
+// Writes are atomic: the snapshot is written to `<path>.tmp`, fsync'd,
+// renamed over `path`, and the parent directory is fsync'd so the rename
+// itself is durable; a crash mid-checkpoint leaves the previous snapshot
+// intact. Restore verifies magic, CRC, version and engine name
 // before any state is touched, and requires the payload to decode exactly
 // (no trailing bytes), so a torn or bit-flipped snapshot is rejected with a
 // Status instead of silently corrupting views.
@@ -41,8 +42,21 @@ struct CheckpointMeta {
   uint64_t epoch = 0;
 };
 
-/// Snapshot `engine`'s state to `path` (atomic tmp + fsync + rename).
+/// Snapshot `engine`'s state to `path` (atomic tmp + fsync + rename +
+/// parent-directory fsync).
 Status WriteCheckpoint(const std::string& path, const StreamEngine& engine);
+
+/// fsync the directory containing `path`, making a just-completed rename or
+/// create of `path` durable. Shared by checkpoint and batch-log writers.
+Status FsyncParentDir(const std::string& path);
+
+/// Crash injection for durability tests: the next WriteCheckpoint aborts at
+/// the chosen point (one-shot; resets to kNone once it fires).
+enum class CheckpointCrashPoint {
+  kNone,
+  kAfterTmpFsync,  // tmp file written + fsync'd, rename not yet issued
+};
+void SetCheckpointCrashForTesting(CheckpointCrashPoint point);
 
 /// Validate the envelope (magic, CRC, version) and return its fields.
 Result<CheckpointMeta> ReadCheckpointMeta(const std::string& path);

@@ -963,6 +963,13 @@ Status Engine::LoadState(dbt::Deser* in) {
   return Status::OK();
 }
 
+std::vector<std::string> Engine::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(program_.views.size());
+  for (const compiler::ViewSpec& v : program_.views) names.push_back(v.name);
+  return names;
+}
+
 Result<exec::QueryResult> Engine::View(const std::string& view_name) {
   const compiler::ViewSpec* view = program_.FindView(view_name);
   if (view == nullptr) {

@@ -70,6 +70,7 @@ class Engine : public StreamEngine, public MapStore {
 
   /// Current content of a registered view (fresh as of the last event).
   Result<exec::QueryResult> View(const std::string& view_name) override;
+  std::vector<std::string> ViewNames() const override;
 
   /// Read-only snapshot interface: ad-hoc SQL over the base-table snapshot.
   Result<exec::QueryResult> AdhocQuery(const std::string& sql);

@@ -203,12 +203,248 @@ Status IngestValidator::ValidateEvent(const Event& event) const {
   return Status::OK();
 }
 
+// ---- concurrent view serving ----------------------------------------------
+
+namespace {
+
+/// Rendering diffs fan out over the worker pool past this many total rows;
+/// below it the per-shard loop runs inline (pool dispatch costs more than
+/// the diff itself for small views).
+constexpr size_t kParallelDiffCutoff = 512;
+
+/// Diff one logical shard's rows of `prev` vs `next` into `out`. Row order
+/// inside a shard follows the rendering order, so the result is
+/// deterministic for a given pair of renderings.
+void DiffShard(const exec::QueryResult& prev, const exec::QueryResult& next,
+               const std::vector<uint32_t>& prev_rows,
+               const std::vector<uint32_t>& next_rows, ViewDelta* out) {
+  std::unordered_map<Row, int64_t, RowHash, RowEq> counts;
+  counts.reserve(prev_rows.size() + next_rows.size());
+  for (uint32_t i : prev_rows) {
+    counts[prev.rows[i].first] += prev.rows[i].second;
+  }
+  for (uint32_t i : next_rows) {
+    counts[next.rows[i].first] -= next.rows[i].second;
+  }
+  for (uint32_t i : next_rows) {
+    auto it = counts.find(next.rows[i].first);
+    if (it != counts.end() && it->second < 0) {
+      out->added.emplace_back(next.rows[i].first, -it->second);
+      it->second = 0;
+    }
+  }
+  for (uint32_t i : prev_rows) {
+    auto it = counts.find(prev.rows[i].first);
+    if (it != counts.end() && it->second > 0) {
+      out->removed.emplace_back(prev.rows[i].first, it->second);
+      it->second = 0;
+    }
+  }
+}
+
+std::array<std::vector<uint32_t>, kNumShards> ShardRows(
+    const exec::QueryResult& r) {
+  std::array<std::vector<uint32_t>, kNumShards> shards;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    shards[dbt::ShardOfHash(RowHash{}(r.rows[i].first))].push_back(
+        static_cast<uint32_t>(i));
+  }
+  return shards;
+}
+
+}  // namespace
+
+ViewDelta DiffViewRendering(const std::string& name,
+                            const exec::QueryResult& prev,
+                            const exec::QueryResult& next) {
+  ViewDelta delta;
+  delta.view = name;
+  const auto prev_shards = ShardRows(prev);
+  const auto next_shards = ShardRows(next);
+  std::array<ViewDelta, kNumShards> per_shard;
+  if (prev.rows.size() + next.rows.size() >= kParallelDiffCutoff) {
+    dbt::shard_pool().RunShards(kNumShards, [&](size_t s) {
+      DiffShard(prev, next, prev_shards[s], next_shards[s], &per_shard[s]);
+    });
+  } else {
+    for (size_t s = 0; s < kNumShards; ++s) {
+      DiffShard(prev, next, prev_shards[s], next_shards[s], &per_shard[s]);
+    }
+  }
+  for (ViewDelta& d : per_shard) {
+    delta.added.insert(delta.added.end(),
+                       std::make_move_iterator(d.added.begin()),
+                       std::make_move_iterator(d.added.end()));
+    delta.removed.insert(delta.removed.end(),
+                         std::make_move_iterator(d.removed.begin()),
+                         std::make_move_iterator(d.removed.end()));
+  }
+  return delta;
+}
+
+void ApplyViewDelta(const ViewDelta& delta,
+                    std::unordered_map<Row, int64_t, RowHash, RowEq>* rows) {
+  for (const auto& [row, count] : delta.removed) {
+    auto it = rows->find(row);
+    if (it == rows->end()) continue;
+    it->second -= count;
+    if (it->second == 0) rows->erase(it);
+  }
+  for (const auto& [row, count] : delta.added) {
+    (*rows)[row] += count;
+  }
+}
+
+std::vector<std::string> ViewSnapshot::view_names() const {
+  std::vector<std::string> out;
+  if (data_ == nullptr) return out;
+  out.reserve(data_->views.size());
+  for (const ViewRendering& v : data_->views) out.push_back(v.name);
+  return out;
+}
+
+const exec::QueryResult* ViewSnapshot::Find(const std::string& name) const {
+  if (data_ == nullptr) return nullptr;
+  for (const ViewRendering& v : data_->views) {
+    if (v.name == name) return &v.result;
+  }
+  return nullptr;
+}
+
+Result<exec::QueryResult> ViewSnapshot::View(const std::string& name) const {
+  const exec::QueryResult* r = Find(name);
+  if (r == nullptr) return Status::NotFound("snapshot has no view: " + name);
+  return *r;
+}
+
+std::vector<std::shared_ptr<const EpochDelta>> ViewSubscriber::Poll() {
+  std::vector<std::shared_ptr<const EpochDelta>> out;
+  if (chan_ == nullptr) return out;
+  std::lock_guard<std::mutex> lock(chan_->mu);
+  out.assign(chan_->queue.begin(), chan_->queue.end());
+  chan_->queue.clear();
+  return out;
+}
+
+bool ViewSubscriber::lagged() const {
+  if (chan_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(chan_->mu);
+  return chan_->lagged;
+}
+
+Status StreamEngine::RenderViews(const std::vector<std::string>& names,
+                                 std::vector<ViewRendering>* out) {
+  out->reserve(names.size());
+  for (const std::string& name : names) {
+    DBT_ASSIGN_OR_RETURN(exec::QueryResult r, View(name));
+    ViewRendering rendering;
+    rendering.name = name;
+    rendering.result = std::move(r);
+    out->push_back(std::move(rendering));
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::EnableServing(std::vector<std::string> views) {
+  if (views.empty()) views = ViewNames();
+  if (views.empty()) {
+    return Status::InvalidArgument("serving: engine exposes no views");
+  }
+  auto data = std::make_shared<ViewSnapshot::Data>();
+  data->epoch = epoch_;
+  DBT_RETURN_IF_ERROR(RenderViews(views, &data->views));
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    serving_views_ = std::move(views);
+    published_ = std::move(data);
+  }
+  serving_enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+ViewSnapshot StreamEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  return ViewSnapshot(published_);
+}
+
+Result<ViewSubscriber> StreamEngine::Subscribe() {
+  if (!serving()) {
+    return Status::InvalidArgument(
+        "serving: EnableServing() before subscribing");
+  }
+  ViewSubscriber sub;
+  sub.chan_ = std::make_shared<ViewSubscriber::Channel>();
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  sub.base_ = ViewSnapshot(published_);
+  subscribers_.push_back(sub.chan_);
+  return sub;
+}
+
+Status StreamEngine::PublishSnapshot() {
+  // Render outside any lock: the writer thread has exclusive access to the
+  // live state, and readers keep using the previously published snapshot
+  // until the swap below.
+  auto data = std::make_shared<ViewSnapshot::Data>();
+  data->epoch = epoch_;
+  DBT_RETURN_IF_ERROR(RenderViews(serving_views_, &data->views));
+
+  // Short publish section: swap the snapshot in and collect the live
+  // subscriber channels as of the swap (a subscriber registered before it
+  // has base == prev and needs this delta; one registered after has base ==
+  // data and does not).
+  std::shared_ptr<const ViewSnapshot::Data> prev;
+  std::vector<std::shared_ptr<ViewSubscriber::Channel>> live;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    prev = std::move(published_);
+    published_ = data;
+    size_t kept = 0;
+    for (size_t i = 0; i < subscribers_.size(); ++i) {
+      if (auto chan = subscribers_[i].lock()) {
+        live.push_back(std::move(chan));
+        // Guard the compaction against self-move: a weak_ptr move-assigned
+        // onto itself is left empty.
+        if (kept != i) subscribers_[kept] = std::move(subscribers_[i]);
+        ++kept;
+      }
+    }
+    subscribers_.resize(kept);
+  }
+  if (live.empty()) return Status::OK();
+
+  // Delta computation happens off the publish lock; readers are already on
+  // the new snapshot.
+  auto delta = std::make_shared<EpochDelta>();
+  delta->epoch = data->epoch;
+  delta->views.reserve(data->views.size());
+  for (size_t i = 0; i < data->views.size(); ++i) {
+    delta->views.push_back(DiffViewRendering(
+        data->views[i].name, prev->views[i].result, data->views[i].result));
+  }
+  for (auto& chan : live) {
+    std::lock_guard<std::mutex> lock(chan->mu);
+    if (chan->lagged) continue;
+    if (chan->queue.size() >= max_queued_deltas_) {
+      // The subscriber fell behind the bound: its stream now has a gap, so
+      // the queued prefix is useless — drop it and mark the lag.
+      chan->queue.clear();
+      chan->lagged = true;
+      continue;
+    }
+    chan->queue.push_back(delta);
+  }
+  return Status::OK();
+}
+
 // ---- StreamEngine wrappers ----------------------------------------------
 
 Status StreamEngine::ApplyBatch(EventBatch&& batch) {
   DBT_RETURN_IF_ERROR(validator_.ValidateBatch(batch));
   DBT_RETURN_IF_ERROR(DoApplyBatch(std::move(batch)));
   ++epoch_;
+  if (serving_enabled_.load(std::memory_order_relaxed)) {
+    DBT_RETURN_IF_ERROR(PublishSnapshot());
+  }
   return Status::OK();
 }
 
@@ -216,6 +452,9 @@ Status StreamEngine::OnEvent(const Event& event) {
   DBT_RETURN_IF_ERROR(validator_.ValidateEvent(event));
   DBT_RETURN_IF_ERROR(DoOnEvent(event));
   ++epoch_;
+  if (serving_enabled_.load(std::memory_order_relaxed)) {
+    DBT_RETURN_IF_ERROR(PublishSnapshot());
+  }
   return Status::OK();
 }
 
@@ -484,6 +723,42 @@ Result<exec::QueryResult> CompiledProgramEngine::View(
     out.rows.emplace_back(std::move(r), 1);
   }
   return out;
+}
+
+std::vector<std::string> CompiledProgramEngine::ViewNames() const {
+  return program_->view_names();
+}
+
+Status CompiledProgramEngine::RenderViews(
+    const std::vector<std::string>& names, std::vector<ViewRendering>* out) {
+  // One pass over the program's maps via the generated snapshot-publish
+  // hook, instead of a string-dispatched view_rows call per view.
+  std::vector<dbt::ViewRows> snap = program_->publish_snapshot();
+  out->reserve(names.size());
+  for (const std::string& name : names) {
+    dbt::ViewRows* found = nullptr;
+    for (dbt::ViewRows& vr : snap) {
+      if (vr.name == name) {
+        found = &vr;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::NotFound("unknown view: " + name);
+    }
+    ViewRendering rendering;
+    rendering.name = name;
+    rendering.result.column_names = program_->view_column_names(name);
+    rendering.result.rows.reserve(found->rows.size());
+    for (std::vector<dbt::Value>& row : found->rows) {
+      Row r;
+      r.reserve(row.size());
+      for (const dbt::Value& v : row) r.push_back(FromDbtValue(v));
+      rendering.result.rows.emplace_back(std::move(r), 1);
+    }
+    out->push_back(std::move(rendering));
+  }
+  return Status::OK();
 }
 
 }  // namespace dbtoaster::runtime

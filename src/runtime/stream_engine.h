@@ -26,7 +26,11 @@
 #define DBTOASTER_RUNTIME_STREAM_ENGINE_H_
 
 #include <array>
+#include <atomic>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -228,6 +232,123 @@ class IngestValidator {
   std::map<std::string, std::vector<EventColumn::Tag>> schemas_;
 };
 
+// ---- concurrent view serving --------------------------------------------
+//
+// The serving tier decouples view reads from the single-threaded ingest
+// path: after every successful ingest call the writer renders each
+// registered view into an immutable, epoch-stamped snapshot
+// (copy-on-publish) and swaps it in under a short mutex section. Readers on
+// any thread grab the current ViewSnapshot handle — a shared_ptr copy —
+// and read it without ever touching live engine state, so they can never
+// observe a half-applied batch and never block the writer beyond the
+// pointer swap. Subscribers receive the per-epoch *deltas* between
+// consecutive published renderings instead (computed by a per-shard diff,
+// the same fixed logical shards the parallel ApplyBatch uses), which
+// replay to exactly the published view at every epoch.
+
+/// One registered view's materialized content inside a snapshot.
+struct ViewRendering {
+  std::string name;
+  exec::QueryResult result;
+};
+
+/// Rows added/removed in one view between two consecutive published
+/// epochs, with multiplicities (a count change from 2 to 3 is one added
+/// row). Concatenated in logical-shard order, deterministic for a given
+/// engine replay.
+struct ViewDelta {
+  std::string view;
+  std::vector<std::pair<Row, int64_t>> added;
+  std::vector<std::pair<Row, int64_t>> removed;
+};
+
+/// All view deltas of one published epoch.
+struct EpochDelta {
+  uint64_t epoch = 0;
+  std::vector<ViewDelta> views;
+};
+
+/// Per-shard diff of two renderings of the same view: rows are partitioned
+/// into the fixed logical shards by row hash (large renderings fan the
+/// shard diffs out over the worker pool) and each shard is diffed
+/// independently; results concatenate in shard order. Exposed for tests
+/// and serving tools.
+ViewDelta DiffViewRendering(const std::string& name,
+                            const exec::QueryResult& prev,
+                            const exec::QueryResult& next);
+
+/// Replay helper: apply one view delta to a row->count multiset (zero
+/// counts are erased). base + deltas(1..e) == the published rendering at
+/// epoch e.
+void ApplyViewDelta(const ViewDelta& delta,
+                    std::unordered_map<Row, int64_t, RowHash, RowEq>* rows);
+
+/// An immutable, epoch-stamped rendering of every served view. Cheap to
+/// copy (shared_ptr); safe to read from any thread, concurrently with the
+/// writer, for as long as the handle lives.
+class ViewSnapshot {
+ public:
+  struct Data {
+    uint64_t epoch = 0;
+    std::vector<ViewRendering> views;
+  };
+
+  ViewSnapshot() = default;
+
+  /// False until the engine has published (serving not enabled).
+  bool valid() const { return data_ != nullptr; }
+  /// Ingest epoch this snapshot is fresh as of.
+  uint64_t epoch() const { return data_ ? data_->epoch : 0; }
+
+  std::vector<std::string> view_names() const;
+  /// Borrowed pointer into the snapshot (nullptr for unknown views); valid
+  /// for the handle's lifetime.
+  const exec::QueryResult* Find(const std::string& name) const;
+  /// Copying convenience over Find.
+  Result<exec::QueryResult> View(const std::string& name) const;
+
+ private:
+  friend class StreamEngine;
+  explicit ViewSnapshot(std::shared_ptr<const Data> data)
+      : data_(std::move(data)) {}
+
+  std::shared_ptr<const Data> data_;
+};
+
+/// A subscription to the engine's per-epoch view delta stream. Created by
+/// StreamEngine::Subscribe; dropping the handle unsubscribes. The handle
+/// carries the base snapshot it was seeded with: base + the polled deltas
+/// (epochs base.epoch()+1, +2, ...) reconstruct the published view at
+/// every epoch. Poll may be called from any thread.
+class ViewSubscriber {
+ public:
+  ViewSubscriber() = default;
+
+  bool valid() const { return chan_ != nullptr; }
+
+  /// The snapshot this subscription started from (reconstruction base).
+  const ViewSnapshot& base() const { return base_; }
+
+  /// Drain every delta published since the last poll, in epoch order.
+  std::vector<std::shared_ptr<const EpochDelta>> Poll();
+
+  /// True once the engine dropped deltas because the subscriber fell more
+  /// than the queue bound behind. A lagged stream has a gap and cannot be
+  /// replayed; re-subscribe for a fresh base.
+  bool lagged() const;
+
+ private:
+  friend class StreamEngine;
+  struct Channel {
+    std::mutex mu;
+    std::deque<std::shared_ptr<const EpochDelta>> queue;
+    bool lagged = false;
+  };
+
+  std::shared_ptr<Channel> chan_;
+  ViewSnapshot base_;
+};
+
 /// A continuously-maintained standing-query engine fed delta batches.
 ///
 /// ApplyBatch / OnEvent are deliberately non-virtual: they validate the
@@ -256,11 +377,42 @@ class StreamEngine {
   }
 
   /// Current content of the registered view `name` (fresh as of the last
-  /// batch).
+  /// batch). Writer-thread access to live state; concurrent readers use
+  /// Snapshot() instead.
   virtual Result<exec::QueryResult> View(const std::string& name) = 0;
 
   /// Single-valued convenience for global aggregate views.
   virtual Result<Value> ViewScalar(const std::string& name);
+
+  /// Names of the views this engine serves, in registration order (empty
+  /// when the engine exposes none).
+  virtual std::vector<std::string> ViewNames() const { return {}; }
+
+  // ---- concurrent view serving (see the section comment above) ----
+
+  /// Start publishing epoch-stamped snapshots of `views` (all ViewNames()
+  /// when empty) after every ingest call, beginning with an immediate
+  /// publish at the current epoch. Call from the writer thread before
+  /// concurrent readers attach; each subsequent ApplyBatch/OnEvent pays
+  /// one rendering pass per registered view.
+  Status EnableServing(std::vector<std::string> views = {});
+  bool serving() const {
+    return serving_enabled_.load(std::memory_order_acquire);
+  }
+
+  /// The latest published snapshot (invalid handle before EnableServing).
+  /// Safe from any thread; cost is one mutex-guarded shared_ptr copy.
+  ViewSnapshot Snapshot() const;
+
+  /// Register a subscriber for per-epoch view deltas, seeded with the
+  /// current snapshot as its base. Registration is atomic with respect to
+  /// publishes: the first delta a subscriber sees is for base.epoch()+1.
+  Result<ViewSubscriber> Subscribe();
+
+  /// Per-subscriber queue bound; past it a slow subscriber is marked
+  /// lagged and its queued deltas are dropped (it must re-subscribe).
+  size_t max_queued_deltas() const { return max_queued_deltas_; }
+  void set_max_queued_deltas(size_t n) { max_queued_deltas_ = n == 0 ? 1 : n; }
 
   /// Retained bytes attributable to the engine's state (tables, indexes,
   /// maps), for the memory bench.
@@ -294,6 +446,13 @@ class StreamEngine {
     return DoApplyBatch(EventBatch::Of(event));
   }
 
+  /// Render each named view for a snapshot publish (writer thread, engine
+  /// quiescent). The default calls View() per name; engines with a cheaper
+  /// one-pass rendering (generated programs' publish_snapshot hook)
+  /// override it.
+  virtual Status RenderViews(const std::vector<std::string>& names,
+                             std::vector<ViewRendering>* out);
+
   /// Schema registration for the boundary validator (typically from the
   /// engine's constructor).
   void RegisterIngestCatalog(const Catalog& catalog) {
@@ -305,8 +464,23 @@ class StreamEngine {
   }
 
  private:
+  /// Render, diff against the previous rendering, and publish the new
+  /// snapshot + per-epoch delta (writer thread, after a successful ingest).
+  Status PublishSnapshot();
+
   IngestValidator validator_;
   uint64_t epoch_ = 0;
+
+  // Serving state. Only the writer thread mutates published_ (publish) and
+  // serving_views_ (EnableServing); serving_mu_ orders those writes against
+  // reader Snapshot()/Subscribe() calls. Subscriber channels are held
+  // weakly so dropping a ViewSubscriber handle unsubscribes it.
+  std::atomic<bool> serving_enabled_{false};
+  mutable std::mutex serving_mu_;
+  std::shared_ptr<const ViewSnapshot::Data> published_;
+  std::vector<std::weak_ptr<ViewSubscriber::Channel>> subscribers_;
+  std::vector<std::string> serving_views_;
+  size_t max_queued_deltas_ = 4096;
 };
 
 /// Upsert/primary-key ingestion adapter: rewrites a raw, possibly
@@ -363,6 +537,7 @@ class CompiledProgramEngine final : public StreamEngine {
 
   std::string Name() const override { return name_; }
   Result<exec::QueryResult> View(const std::string& name) override;
+  std::vector<std::string> ViewNames() const override;
   size_t StateBytes() const override;
 
   Status SaveState(dbt::Ser* out) const override;
@@ -373,6 +548,11 @@ class CompiledProgramEngine final : public StreamEngine {
  protected:
   Status DoApplyBatch(EventBatch&& batch) override;
   Status DoOnEvent(const Event& event) override;
+
+  /// Snapshot publishing goes through the generated program's one-pass
+  /// publish_snapshot hook instead of per-view string dispatch.
+  Status RenderViews(const std::vector<std::string>& names,
+                     std::vector<ViewRendering>* out) override;
 
  private:
   dbt::StreamProgram* program_;

@@ -737,6 +737,107 @@ TEST(BatchLog, AppendReadRoundTripAndTornTail) {
   std::remove(path.c_str());
 }
 
+/// A non-EINTR write failure mid-frame (simulated full disk) must not
+/// strand later records behind a torn frame: the writer truncates back to
+/// the pre-append offset, refuses appends until Sync() confirms the
+/// rollback, and every record appended after recovery stays replayable.
+TEST(BatchLog, MidFrameWriteFailureRollsBackTornFrame) {
+  const std::string path = TempPath("log_midframe.log");
+  std::remove(path.c_str());
+  Catalog cat = MicroCatalog();
+  std::vector<EventBatch> batches = MakeStream(cat, 0xd15c, 4);
+
+  BatchLogWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  w.set_sync_every(100);  // keep Sync() out of the way of the fault
+  ASSERT_TRUE(w.Append(1, batches[0]).ok());
+  ASSERT_TRUE(w.Append(2, batches[1]).ok());
+  const std::string before = ReadBytes(path);
+
+  // Let the next frame get 5 bytes (a torn header) before writes fail.
+  w.set_write_limit_for_testing(5);
+  Status st = w.Append(3, batches[2]);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("rolled back"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(w.failed());
+
+  // The torn frame is gone from the file, not sitting after the prefix.
+  EXPECT_EQ(ReadBytes(path).size(), before.size());
+
+  // Appends are refused until the rollback is confirmed durable.
+  w.set_write_limit_for_testing(SIZE_MAX);
+  EXPECT_FALSE(w.Append(3, batches[2]).ok());
+  ASSERT_TRUE(w.Sync().ok());
+  EXPECT_FALSE(w.failed());
+
+  // Post-recovery appends land exactly after the valid prefix...
+  ASSERT_TRUE(w.Append(3, batches[2]).ok());
+  ASSERT_TRUE(w.Append(4, batches[3]).ok());
+  ASSERT_TRUE(w.Sync().ok());
+  w.Close();
+
+  // ...and the untrusting reader reaches every record: no torn frame, no
+  // unreachable tail.
+  BatchLogReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  BatchLogReader::Record rec;
+  size_t n = 0;
+  while (reader.Next(&rec)) {
+    EXPECT_EQ(rec.epoch, n + 1);
+    EXPECT_EQ(rec.batch.size(), batches[n].size());
+    ++n;
+  }
+  EXPECT_EQ(n, batches.size());
+  EXPECT_FALSE(reader.tail_torn());
+  EXPECT_EQ(reader.valid_bytes(), ReadBytes(path).size());
+  std::remove(path.c_str());
+}
+
+/// Crash injected between the tmp-file fsync and the rename: the
+/// checkpoint write fails, the tmp file is left behind (as a real crash
+/// would leave it), and the previous checkpoint remains fully restorable.
+TEST(Checkpoint, CrashBetweenTmpFsyncAndRenamePreservesPrevious) {
+  const std::string path = TempPath("crash.ckpt");
+  std::remove(path.c_str());
+  const std::string tmp = path + ".tmp";
+
+  auto e = MicroEngine();
+  ASSERT_TRUE(
+      e->OnInsert("R", {Value(int64_t{1}), Value("a"), Value(int64_t{10})})
+          .ok());
+  ASSERT_TRUE(runtime::WriteCheckpoint(path, *e).ok());
+  const std::string good = ReadBytes(path);
+
+  ASSERT_TRUE(
+      e->OnInsert("R", {Value(int64_t{2}), Value("b"), Value(int64_t{20})})
+          .ok());
+  runtime::SetCheckpointCrashForTesting(
+      runtime::CheckpointCrashPoint::kAfterTmpFsync);
+  Status st = runtime::WriteCheckpoint(path, *e);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected crash"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(ReadBytes(tmp).empty(), false) << "tmp file should be left behind";
+
+  // The previous checkpoint is untouched and restores to epoch 1.
+  EXPECT_EQ(ReadBytes(path), good);
+  auto meta = runtime::ReadCheckpointMeta(path);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta.value().epoch, 1u);
+  auto restored = MicroEngine();
+  ASSERT_TRUE(runtime::RestoreCheckpoint(path, restored.get()).ok());
+  EXPECT_EQ(restored->epoch(), 1u);
+
+  // The injection is one-shot: a retry writes the epoch-2 snapshot.
+  ASSERT_TRUE(runtime::WriteCheckpoint(path, *e).ok());
+  auto meta2 = runtime::ReadCheckpointMeta(path);
+  ASSERT_TRUE(meta2.ok());
+  EXPECT_EQ(meta2.value().epoch, 2u);
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+}
+
 TEST(BatchLog, ReplayIsExactlyOnceAndDetectsGaps) {
   const std::string path = TempPath("log_replay.log");
   std::remove(path.c_str());

@@ -23,6 +23,9 @@
 #      load_state() (and publishes relation_schemas() for the ingest
 #      validator), so compiled programs participate in checkpoint/restore
 #      like the interpreted engines.
+#   7. serving surface — every generated program overrides
+#      publish_snapshot(), the one-pass rendering hook the concurrent
+#      snapshot-serving tier uses to publish epoch-stamped views.
 #
 # Usage: tools/lint_gen.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -101,6 +104,13 @@ for q in $QUERIES; do
       fail=1
     fi
   done
+
+  # Serving surface: the snapshot-publish hook the concurrent view-serving
+  # tier renders published epochs through.
+  if ! grep -qF "publish_snapshot(" "$hpp"; then
+    echo "lint_gen: FAIL — $q.hpp is missing the publish_snapshot() serving hook" >&2
+    fail=1
+  fi
 done
 
 if [ "$checked" -eq 0 ]; then

@@ -4,8 +4,10 @@
 // seeded mixed insert/delete stream with write-ahead batch logging and
 // checkpoints at random batch boundaries, then kills the engine at a random
 // boundary. With --faults the "disk" also misbehaves: the log tail is torn
-// mid-record or hit by a bit flip (anywhere in the file, not just the
-// tail). Recovery = restore the latest checkpoint (if any), replay the
+// mid-record, a bit is flipped anywhere in the file, or a checkpoint write
+// is killed between its tmp-file fsync and the rename (the previous
+// checkpoint must survive). Recovery = restore the latest checkpoint (if
+// any), replay the
 // log's valid prefix exactly-once, truncate the log to that prefix, resend
 // the stream from the recovered epoch, and require the final views
 // byte-identical to an uninterrupted reference engine of the same class.
@@ -199,6 +201,7 @@ struct SoakStats {
   size_t iterations = 0;
   size_t crashes = 0;
   size_t checkpoints = 0;
+  size_t ckpt_crashes = 0;
   size_t torn_tails = 0;
   size_t bit_flips = 0;
   size_t replayed = 0;
@@ -245,14 +248,31 @@ bool RunIteration(const ScriptCase& sc, const std::string& kind,
       if (!w.Append(i + 1, batches[i]).ok()) return false;
       if (!victim.engine->ApplyBatch(CopyBatch(batches[i])).ok()) return false;
       if (rng.Chance(0.3)) {
-        Status st = runtime::WriteCheckpoint(ckpt, *victim.engine);
-        if (!st.ok()) {
-          std::fprintf(stderr, "[%s] checkpoint: %s\n", label.c_str(),
-                       st.ToString().c_str());
-          return false;
+        // With --faults, sometimes kill the checkpoint between the tmp-file
+        // fsync and the rename: the write fails, a .tmp is left behind, and
+        // the previously renamed checkpoint (if any) must keep carrying the
+        // recovery — the rest of the iteration proves it survives.
+        if (faults && rng.Chance(0.25)) {
+          runtime::SetCheckpointCrashForTesting(
+              runtime::CheckpointCrashPoint::kAfterTmpFsync);
+          Status st = runtime::WriteCheckpoint(ckpt, *victim.engine);
+          if (st.ok()) {
+            std::fprintf(stderr,
+                         "[%s] injected checkpoint crash did not fire\n",
+                         label.c_str());
+            return false;
+          }
+          ++stats->ckpt_crashes;
+        } else {
+          Status st = runtime::WriteCheckpoint(ckpt, *victim.engine);
+          if (!st.ok()) {
+            std::fprintf(stderr, "[%s] checkpoint: %s\n", label.c_str(),
+                         st.ToString().c_str());
+            return false;
+          }
+          have_ckpt = true;
+          ++stats->checkpoints;
         }
-        have_ckpt = true;
-        ++stats->checkpoints;
       }
     }
     if (!w.Sync().ok()) return false;
@@ -349,6 +369,7 @@ bool RunIteration(const ScriptCase& sc, const std::string& kind,
   }
 
   std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
   std::remove(log.c_str());
   return true;
 }
@@ -395,12 +416,12 @@ int Run(int argc, char** argv) {
   }
 
   std::printf(
-      "soak_recovery: %zu iterations, %zu crashes, %zu checkpoints, "
-      "%zu torn tails, %zu bit flips, %zu batches replayed, %zu resent, "
-      "%zu failures -> %s\n",
-      stats.iterations, stats.crashes, stats.checkpoints, stats.torn_tails,
-      stats.bit_flips, stats.replayed, stats.resent, stats.failures,
-      ok ? "OK" : "FAILED");
+      "soak_recovery: %zu iterations, %zu crashes, %zu checkpoints "
+      "(%zu ckpt crashes), %zu torn tails, %zu bit flips, %zu batches "
+      "replayed, %zu resent, %zu failures -> %s\n",
+      stats.iterations, stats.crashes, stats.checkpoints, stats.ckpt_crashes,
+      stats.torn_tails, stats.bit_flips, stats.replayed, stats.resent,
+      stats.failures, ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }
 
